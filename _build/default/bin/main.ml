@@ -1,0 +1,352 @@
+(* ipdb — command-line interface to the library.
+
+   Subcommands:
+     classify     run the representability classifier on a zoo family
+     moments      certified size moments of a zoo family
+     criterion    the Theorem 5.3 series of a zoo family
+     sample       sample possible worlds from zoo PDBs
+     construct    run a construction (completeness / segment / bid / decondition)
+     prob         exact probability of an FO sentence on a built-in TI-PDB
+     lineage      Boolean provenance of a sentence
+     figures      re-verify and render the paper's Hasse diagrams
+     check        analyse a view (fragment, safe-range, plan, PQE safety)
+     export       serialise a built-in TI-PDB
+     import       load a serialised PDB and summarise it
+     zoo          list the built-in PDBs *)
+
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Interval = Ipdb_series.Interval
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+module Family = Ipdb_pdb.Family
+module Zoo = Ipdb_core.Zoo
+module Criteria = Ipdb_core.Criteria
+module Classifier = Ipdb_core.Classifier
+module Finite_complete = Ipdb_core.Finite_complete
+module Segmentation = Ipdb_core.Segmentation
+module Bid_repr = Ipdb_core.Bid_repr
+module Decondition = Ipdb_core.Decondition
+
+open Cmdliner
+
+let family_names = List.map fst Zoo.all_families
+
+let find_family name =
+  match List.assoc_opt name Zoo.all_families with
+  | Some cf -> cf
+  | None ->
+    Printf.eprintf "unknown family %s; available: %s\n" name (String.concat ", " family_names);
+    exit 2
+
+let family_arg =
+  let doc = "Zoo family (" ^ String.concat ", " family_names ^ ")." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+
+let upto_arg default =
+  Arg.(value & opt int default & info [ "upto" ] ~docv:"N" ~doc:"Number of series terms to compute.")
+
+(* classify *)
+let classify_cmd =
+  let run name upto =
+    let cf = find_family name in
+    print_endline (Classifier.verdict_to_string (Classifier.classify ~upto cf))
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Representability verdict for a zoo family")
+    Term.(const run $ family_arg $ upto_arg 2000)
+
+(* moments *)
+let moments_cmd =
+  let run name k upto =
+    let cf = find_family name in
+    let upto = Stdlib.min upto cf.Zoo.check_upto in
+    match cf.Zoo.moment_cert k with
+    | None -> Printf.printf "no certificate for k=%d\n" k
+    | Some cert -> (
+      match Criteria.moment_verdict cf.Zoo.family ~k ~cert ~upto with
+      | Criteria.Finite_sum e -> Printf.printf "E(|D|^%d) ∈ [%.9g, %.9g]\n" k (Interval.lo e) (Interval.hi e)
+      | Criteria.Infinite_sum { partial; at } ->
+        Printf.printf "E(|D|^%d) = ∞ (certified; partial sum %.6g after %d terms)\n" k partial at
+      | Criteria.Invalid_certificate m -> Printf.printf "certificate failed: %s\n" m)
+  in
+  let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Moment order.") in
+  Cmd.v (Cmd.info "moments" ~doc:"Certified size moments") Term.(const run $ family_arg $ k_arg $ upto_arg 2000)
+
+(* criterion *)
+let criterion_cmd =
+  let run name c upto =
+    let cf = find_family name in
+    let upto = Stdlib.min upto cf.Zoo.check_upto in
+    match cf.Zoo.thm53_cert c with
+    | None -> Printf.printf "no certificate for c=%d\n" c
+    | Some cert -> (
+      match Criteria.theorem53_verdict cf.Zoo.family ~c ~cert ~upto with
+      | Criteria.Finite_sum e ->
+        Printf.printf "Σ|D|·P(D)^(%d/|D|) ∈ [%.9g, %.9g] < ∞ ⟹ in FO(TI) (Theorem 5.3)\n" c (Interval.lo e) (Interval.hi e)
+      | Criteria.Infinite_sum { partial; at } ->
+        Printf.printf "Σ|D|·P(D)^(%d/|D|) = ∞ (partial %.6g after %d terms)\n" c partial at
+      | Criteria.Invalid_certificate m -> Printf.printf "certificate failed: %s\n" m)
+  in
+  let c_arg = Arg.(value & opt int 1 & info [ "c" ] ~docv:"C" ~doc:"Segment capacity.") in
+  Cmd.v
+    (Cmd.info "criterion" ~doc:"The Theorem 5.3 sufficient-condition series")
+    Term.(const run $ family_arg $ c_arg $ upto_arg 2000)
+
+(* sample *)
+let sample_cmd =
+  let run name count seed =
+    let rng = Random.State.make [| seed |] in
+    match name with
+    | "car-accidents" ->
+      for _ = 1 to count do
+        print_endline (Instance.to_string (Bid.Infinite.sample Zoo.car_accidents rng))
+      done
+    | "example-b2" ->
+      for _ = 1 to count do
+        print_endline (Instance.to_string (Bid.Finite.sample Zoo.example_b2 rng))
+      done
+    | "example-5.6" ->
+      for _ = 1 to count do
+        let w, tv = Ti.Infinite.sample Zoo.example_5_6_ti ~n:50 rng in
+        Printf.printf "%s  (truncation TV <= %.2e)\n" (Instance.to_string w) tv
+      done
+    | name ->
+      let cf = find_family name in
+      (* sample by inverse CDF over the family prefix *)
+      for _ = 1 to count do
+        let u = Random.State.float rng 1.0 in
+        let rec pick n acc =
+          let acc = acc +. cf.Zoo.family.Family.prob n in
+          if u < acc || n > 200 then n else pick (n + 1) acc
+        in
+        let n = pick cf.Zoo.family.Family.start 0.0 in
+        print_endline (Instance.to_string (cf.Zoo.family.Family.instance n))
+      done
+  in
+  let count_arg = Arg.(value & opt int 3 & info [ "n" ] ~docv:"N" ~doc:"Number of samples.") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Sample possible worlds (zoo families, car-accidents, example-b2, example-5.6)")
+    Term.(const run $ family_arg $ count_arg $ seed_arg)
+
+(* construct *)
+let construct_cmd =
+  let run which =
+    match which with
+    | "completeness" ->
+      let schema = Schema.make [ ("R", 1) ] in
+      let w k = Instance.of_list (List.init k (fun j -> Fact.make "R" [ Value.Int j ])) in
+      let d = Finite_pdb.make schema [ (w 0, Q.of_ints 1 4); (w 1, Q.of_ints 1 4); (w 2, Q.half) ] in
+      let repr = Finite_complete.represent d in
+      Format.printf "%a@.%a@.exact: %b@." Ti.Finite.pp repr.Finite_complete.ti View.pp
+        repr.Finite_complete.view
+        (Finite_complete.verify d repr)
+    | "segment" ->
+      let d = Family.truncate_exact Zoo.sensor_bounded.Zoo.family ~n:4 in
+      let out = Segmentation.bounded_size_representation d in
+      Format.printf "%a@.condition: %s@.exact: %b@." Ti.Finite.pp out.Segmentation.ti
+        (Fo.to_string out.Segmentation.condition)
+        (Segmentation.verify_exact d out)
+    | "bid" ->
+      let bid = Zoo.propD3_truncation ~blocks:3 in
+      let out = Bid_repr.represent bid in
+      Format.printf "%a@.condition: %s@.exact: %b@." Ti.Finite.pp out.Bid_repr.ti
+        (Fo.to_string out.Bid_repr.condition)
+        (Bid_repr.verify bid out)
+    | "decondition" ->
+      let schema = Schema.make [ ("R", 1) ] in
+      let ti =
+        Ti.Finite.make schema
+          [ (Fact.make "R" [ Value.Int 1 ], Q.half); (Fact.make "R" [ Value.Int 2 ], Q.of_ints 1 3) ]
+      in
+      let input =
+        { Decondition.ti; condition = Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ]); view = View.identity schema }
+      in
+      let out = Decondition.decondition input in
+      Format.printf "k = %d copies, q0 = %s@.%a@.exact: %b@." out.Decondition.copies
+        (Q.to_string out.Decondition.q0) Ti.Finite.pp out.Decondition.ti'
+        (Decondition.verify input out)
+    | other ->
+      Printf.eprintf "unknown construction %s (completeness|segment|bid|decondition)\n" other;
+      exit 2
+  in
+  let which_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CONSTRUCTION"
+           ~doc:"One of completeness, segment, bid, decondition.")
+  in
+  Cmd.v
+    (Cmd.info "construct" ~doc:"Run one of the paper's constructions on a demo input")
+    Term.(const run $ which_arg)
+
+(* built-in finite TI-PDBs to query against *)
+let builtin_tis () =
+  let b3_ti, _ = Zoo.example_b3 in
+  [ ("example-b3", b3_ti);
+    ("example-5.6", fst (Ipdb_pdb.Ti.Infinite.truncate Zoo.example_5_6_ti ~n:12));
+    ("car-accidents", (Ipdb_core.Bid_repr.represent (fst (Ipdb_pdb.Bid.Infinite.truncate Zoo.car_accidents ~n:6))).Ipdb_core.Bid_repr.ti)
+  ]
+
+let find_ti name =
+  match List.assoc_opt name (builtin_tis ()) with
+  | Some ti -> ti
+  | None ->
+    Printf.eprintf "unknown TI-PDB %s; available: %s\n" name
+      (String.concat ", " (List.map fst (builtin_tis ())));
+    exit 2
+
+let ti_arg =
+  Arg.(value & opt string "example-b3" & info [ "ti" ] ~docv:"PDB" ~doc:"Built-in TI-PDB to query.")
+
+(* prob: exact sentence probability via lineage *)
+let prob_cmd =
+  let run ti_name query =
+    let ti = find_ti ti_name in
+    match Ipdb_logic.Parser.sentence query with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 2
+    | Ok phi ->
+      let l = Ipdb_pdb.Lineage.of_sentence ti phi in
+      let p = Ipdb_pdb.Lineage.probability ti l in
+      Printf.printf "P(%s) = %s ≈ %s\n" (Ipdb_logic.Fo.to_string phi) (Q.to_string p)
+        (Q.to_decimal_string ~digits:8 p)
+  in
+  let query_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SENTENCE" ~doc:"FO sentence, e.g. \"exists x. R(x,x)\".") in
+  Cmd.v
+    (Cmd.info "prob" ~doc:"Exact probability of an FO sentence on a built-in TI-PDB (via lineage)")
+    Term.(const run $ ti_arg $ query_arg)
+
+(* lineage: print the Boolean provenance *)
+let lineage_cmd =
+  let run ti_name query =
+    let ti = find_ti ti_name in
+    match Ipdb_logic.Parser.sentence query with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 2
+    | Ok phi ->
+      let l = Ipdb_pdb.Lineage.of_sentence ti phi in
+      Format.printf "lineage: %a@.variables: %d, size: %d@." Ipdb_pdb.Lineage.pp l
+        (List.length (Ipdb_pdb.Lineage.vars l))
+        (Ipdb_pdb.Lineage.size l)
+  in
+  let query_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SENTENCE" ~doc:"FO sentence.") in
+  Cmd.v
+    (Cmd.info "lineage" ~doc:"Boolean provenance of an FO sentence over a built-in TI-PDB")
+    Term.(const run $ ti_arg $ query_arg)
+
+(* check: analyse a view definition *)
+let check_cmd =
+  let run spec =
+    match Ipdb_logic.Parser.view spec with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 2
+    | Ok v ->
+      List.iter
+        (fun (d : Ipdb_logic.View.def) ->
+          Printf.printf "%s(%s) := %s\n" d.Ipdb_logic.View.rel (String.concat "," d.Ipdb_logic.View.head)
+            (Fo.to_string d.Ipdb_logic.View.body);
+          Printf.printf "  fragment      : %s\n"
+            (if Ipdb_logic.Classify.is_cq d.Ipdb_logic.View.body then "CQ"
+             else if Ipdb_logic.Classify.is_ucq d.Ipdb_logic.View.body then "UCQ (positive existential)"
+             else "full FO");
+          (match Ipdb_logic.Safe_range.classify d.Ipdb_logic.View.body with
+          | Ipdb_logic.Safe_range.Safe_range ->
+            Printf.printf "  safe-range    : yes (domain independent)\n"
+          | Ipdb_logic.Safe_range.Not_safe_range m -> Printf.printf "  safe-range    : no — %s\n" m);
+          (match Ipdb_logic.Plan.compile_def d with
+          | Ok plan -> Printf.printf "  algebra plan  : %s\n" (Ipdb_relational.Algebra.to_string plan)
+          | Error m -> Printf.printf "  algebra plan  : unavailable — %s\n" m);
+          match Ipdb_pdb.Pqe.cq_of_formula (Fo.exists_many d.Ipdb_logic.View.head d.Ipdb_logic.View.body) with
+          | Some cq ->
+            Printf.printf "  PQE (boolean) : self-join-free=%b hierarchical=%b (lifted plan %s)\n"
+              (Ipdb_pdb.Pqe.is_self_join_free cq) (Ipdb_pdb.Pqe.is_hierarchical cq)
+              (if Ipdb_pdb.Pqe.is_self_join_free cq && Ipdb_pdb.Pqe.is_hierarchical cq then "applies"
+               else "refuses: needs lineage")
+          | None -> Printf.printf "  PQE (boolean) : not a CQ\n")
+        (Ipdb_logic.View.defs v)
+  in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VIEW"
+           ~doc:"View definitions, e.g. \"T(x) := exists y. R(x,y); U(x) := S(x)\".")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Analyse view definitions: fragment, safe-range, algebra plan, PQE safety")
+    Term.(const run $ spec_arg)
+
+(* export / import *)
+let export_cmd =
+  let run name =
+    print_endline (Ipdb_pdb.Serialize.ti_to_string (find_ti name))
+  in
+  let name_arg = Arg.(value & pos 0 string "example-b3" & info [] ~docv:"PDB" ~doc:"Built-in TI-PDB.") in
+  Cmd.v (Cmd.info "export" ~doc:"Serialise a built-in TI-PDB to stdout") Term.(const run $ name_arg)
+
+let import_cmd =
+  let run path =
+    let text = Ipdb_pdb.Serialize.load ~path in
+    let summarise_ti ti =
+      Printf.printf "tuple-independent PDB: %d facts
+" (List.length (Ipdb_pdb.Ti.Finite.facts ti));
+      Printf.printf "  E|D|  = %s (= Σ marginals)
+" (Q.to_string (Ipdb_pdb.Moments.expected_size ti));
+      Printf.printf "  Var|D| = %s
+" (Q.to_string (Ipdb_pdb.Moments.variance ti))
+    in
+    match Ipdb_pdb.Serialize.ti_of_string text with
+    | Ok ti -> summarise_ti ti
+    | Error _ -> (
+      match Ipdb_pdb.Serialize.bid_of_string text with
+      | Ok bid ->
+        Printf.printf "BID-PDB: %d blocks, E|D| = %s
+"
+          (List.length (Ipdb_pdb.Bid.Finite.blocks bid))
+          (Q.to_string (Ipdb_pdb.Bid.Finite.expected_size bid))
+      | Error _ -> (
+        match Ipdb_pdb.Serialize.pdb_of_string text with
+        | Ok d ->
+          Printf.printf "finite PDB: %d worlds, E|D| = %s
+" (Finite_pdb.num_worlds d)
+            (Q.to_string (Finite_pdb.expected_size d))
+        | Error m ->
+          Printf.eprintf "cannot parse %s: %s
+" path m;
+          exit 2))
+  in
+  let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Serialised PDB file.") in
+  Cmd.v (Cmd.info "import" ~doc:"Load a serialised PDB and print a summary") Term.(const run $ path_arg)
+
+(* figures *)
+let figures_cmd =
+  let run dot =
+    let emit d = print_string (if dot then Ipdb_core.Figure.to_dot d else Ipdb_core.Figure.to_text d) in
+    emit (Ipdb_core.Figure.figure1 ());
+    print_newline ();
+    emit (Ipdb_core.Figure.figure4 ())
+  in
+  let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Re-verify and render the paper's Hasse diagrams (Figures 1 and 4)")
+    Term.(const run $ dot_arg)
+
+(* zoo *)
+let zoo_cmd =
+  let run () =
+    List.iter (fun (name, cf) -> Printf.printf "%-16s %s\n" name cf.Zoo.description) Zoo.all_families;
+    Printf.printf "%-16s %s\n" "example-b2" "one BID block, two 1/2-facts (Figure 1 separation)";
+    Printf.printf "%-16s %s\n" "example-5.6" "TI-PDB with marginals 1/(i²+1) (Prop. D.2)";
+    Printf.printf "%-16s %s\n" "car-accidents" "Poisson counts per country (Section 1)"
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List the built-in probabilistic databases") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "ipdb" ~version:"1.0.0" ~doc:"Tuple-independent representations of infinite PDBs" in
+  exit (Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd ]))

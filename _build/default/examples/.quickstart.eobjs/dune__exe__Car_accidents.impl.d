@@ -1,0 +1,1 @@
+examples/car_accidents.ml: Format Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series List Random

@@ -1,0 +1,1 @@
+examples/idb_dichotomy.ml: Format Ipdb_bignum Ipdb_core Ipdb_pdb Ipdb_relational Ipdb_series List

@@ -1,0 +1,1 @@
+examples/idb_dichotomy.mli:

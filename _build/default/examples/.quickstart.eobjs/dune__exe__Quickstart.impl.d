@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_relational

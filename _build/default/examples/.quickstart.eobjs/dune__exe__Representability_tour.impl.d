@@ -1,0 +1,1 @@
+examples/representability_tour.ml: Float Format Ipdb_core Ipdb_pdb Ipdb_series List Stdlib

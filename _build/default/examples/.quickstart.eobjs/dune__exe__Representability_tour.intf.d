@@ -1,0 +1,1 @@
+examples/representability_tour.mli:

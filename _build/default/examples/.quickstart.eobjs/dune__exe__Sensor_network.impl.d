@@ -1,0 +1,1 @@
+examples/sensor_network.ml: Format Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_series List

@@ -1,0 +1,1 @@
+examples/uncertain_movies.ml: Format Ipdb_bignum Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series List Option Random

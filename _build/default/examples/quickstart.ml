@@ -1,0 +1,52 @@
+(* Quickstart: build a finite probabilistic database, query it, and watch
+   the finite completeness theorem (PDB_fin = FO(TI_fin), Figure 1 of the
+   paper) produce a tuple-independent representation of it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Finite_complete = Ipdb_core.Finite_complete
+
+let () =
+  (* A tiny uncertain social network: we are unsure which "knows" edges
+     exist. Three possible worlds with explicit probabilities. *)
+  let schema = Schema.make [ ("Knows", 2) ] in
+  let knows a b = Fact.make "Knows" [ Value.Str a; Value.Str b ] in
+  let w1 = Instance.of_list [ knows "ada" "bob" ] in
+  let w2 = Instance.of_list [ knows "ada" "bob"; knows "bob" "cy" ] in
+  let w3 = Instance.empty in
+  let pdb =
+    Finite_pdb.make schema [ (w1, Q.of_ints 1 2); (w2, Q.of_ints 1 3); (w3, Q.of_ints 1 6) ]
+  in
+  Format.printf "Our PDB:@.%a@." Finite_pdb.pp pdb;
+
+  (* Marginal probability of a fact. *)
+  Format.printf "P(Knows(ada,bob)) = %s@." (Q.to_string (Finite_pdb.marginal pdb (knows "ada" "bob")));
+
+  (* Probability of an FO sentence: does anyone know cy? *)
+  let somebody_knows_cy = Fo.Exists ("x", Fo.atom "Knows" [ Fo.v "x"; Fo.cs "cy" ]) in
+  Format.printf "P(∃x Knows(x,cy)) = %s@." (Q.to_string (Finite_pdb.prob_sentence pdb somebody_knows_cy));
+
+  (* Conditioning (Section 4 of the paper). *)
+  (match Finite_pdb.condition pdb somebody_knows_cy with
+  | Some conditioned -> Format.printf "Conditioned on it:@.%a@." Finite_pdb.pp conditioned
+  | None -> assert false);
+
+  (* Expected instance size and second moment (Section 2, Instance Size). *)
+  Format.printf "E(|D|)  = %s@." (Q.to_string (Finite_pdb.expected_size pdb));
+  Format.printf "E(|D|²) = %s@." (Q.to_string (Finite_pdb.moment pdb 2));
+
+  (* The completeness theorem: an FO-view over a TI-PDB representing this
+     PDB exactly. *)
+  let repr = Finite_complete.represent pdb in
+  Format.printf "@.TI representation (world selectors):@.%a@." Ti.Finite.pp repr.Finite_complete.ti;
+  Format.printf "View:@.%a@." View.pp repr.Finite_complete.view;
+  Format.printf "Exact distribution equality: %b@." (Finite_complete.verify pdb repr)

@@ -1,0 +1,1 @@
+lib/bignum/q.ml: Float Format Hashtbl Int64 List Nat Printf Stdlib String Zint

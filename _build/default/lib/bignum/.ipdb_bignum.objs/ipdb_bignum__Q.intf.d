@@ -1,0 +1,1 @@
+lib/bignum/q.mli: Format Nat Zint

@@ -1,0 +1,142 @@
+type t = { num : Zint.t; den : Nat.t }
+(* Invariant: den > 0, gcd(|num|, den) = 1, and num = 0 implies den = 1. *)
+
+let make_normalized num den =
+  (* den : Nat.t, nonzero *)
+  if Zint.is_zero num then { num = Zint.zero; den = Nat.one }
+  else begin
+    let g = Nat.gcd (Zint.to_nat num) den in
+    if Nat.is_one g then { num; den }
+    else begin
+      let reduced = Zint.of_nat (Nat.div (Zint.to_nat num) g) in
+      { num = (if Zint.is_negative num then Zint.neg reduced else reduced); den = Nat.div den g }
+    end
+  end
+
+let make num den =
+  if Zint.is_zero den then raise Division_by_zero;
+  let num = if Zint.is_negative den then Zint.neg num else num in
+  make_normalized num (Zint.to_nat den)
+
+let zero = { num = Zint.zero; den = Nat.one }
+let one = { num = Zint.one; den = Nat.one }
+let two = { num = Zint.of_int 2; den = Nat.one }
+let half = { num = Zint.one; den = Nat.two }
+let minus_one = { num = Zint.minus_one; den = Nat.one }
+let of_int n = { num = Zint.of_int n; den = Nat.one }
+let of_ints a b = make (Zint.of_int a) (Zint.of_int b)
+let of_zint z = { num = z; den = Nat.one }
+let of_nat n = { num = Zint.of_nat n; den = Nat.one }
+let num q = q.num
+let den q = q.den
+let sign q = Zint.sign q.num
+let is_zero q = Zint.is_zero q.num
+let is_one q = Zint.equal q.num Zint.one && Nat.is_one q.den
+let is_integer q = Nat.is_one q.den
+let equal a b = Zint.equal a.num b.num && Nat.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den *)
+  Zint.compare (Zint.mul a.num (Zint.of_nat b.den)) (Zint.mul b.num (Zint.of_nat a.den))
+
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let gt a b = compare a b > 0
+let geq a b = compare a b >= 0
+let min a b = if leq a b then a else b
+let max a b = if geq a b then a else b
+let is_probability q = sign q >= 0 && leq q one
+let hash q = Hashtbl.hash (Zint.hash q.num, Nat.hash q.den)
+let neg q = { q with num = Zint.neg q.num }
+let abs q = { q with num = Zint.abs q.num }
+
+let add a b =
+  let num = Zint.add (Zint.mul a.num (Zint.of_nat b.den)) (Zint.mul b.num (Zint.of_nat a.den)) in
+  make_normalized num (Nat.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make_normalized (Zint.mul a.num b.num) (Nat.mul a.den b.den)
+
+let inv q =
+  if is_zero q then raise Division_by_zero;
+  let den_as_num = Zint.of_nat q.den in
+  if Zint.is_negative q.num then { num = Zint.neg den_as_num; den = Zint.to_nat q.num }
+  else { num = den_as_num; den = Zint.to_nat q.num }
+
+let div a b = mul a (inv b)
+
+let pow q k =
+  if k >= 0 then { num = Zint.pow q.num k; den = Nat.pow q.den k } else inv { num = Zint.pow q.num (-k); den = Nat.pow q.den (-k) }
+
+let one_minus q = sub one q
+let sum qs = List.fold_left add zero qs
+let prod qs = List.fold_left mul one qs
+let mediant a b = make (Zint.add a.num b.num) (Zint.add (Zint.of_nat a.den) (Zint.of_nat b.den))
+
+let to_float q =
+  (* Scale-aware conversion: huge numerators/denominators must not overflow
+     to inf/inf. *)
+  let mn, en = Nat.frexp (Zint.to_nat q.num) in
+  let md, ed = Nat.frexp q.den in
+  if mn = 0.0 then 0.0
+  else begin
+    let v = Float.ldexp (mn /. md) (en - ed) in
+    if Zint.is_negative q.num then -.v else v
+  end
+
+let to_string q = if is_integer q then Zint.to_string q.num else Zint.to_string q.num ^ "/" ^ Nat.to_string q.den
+
+let to_decimal_string ?(digits = 12) q =
+  let neg_sign = sign q < 0 in
+  let n = Zint.to_nat q.num in
+  let ip, rest = Nat.divmod n q.den in
+  let scaled = Nat.mul rest (Nat.pow Nat.ten digits) in
+  let frac = Nat.div scaled q.den in
+  let frac_str = Nat.to_string frac in
+  let frac_str = String.make (Stdlib.max 0 (digits - String.length frac_str)) '0' ^ frac_str in
+  Printf.sprintf "%s%s.%s" (if neg_sign then "-" else "") (Nat.to_string ip) frac_str
+
+let of_float_exact f =
+  if not (Float.is_finite f) then invalid_arg "Q.of_float_exact: not finite";
+  let m, e = Float.frexp f in
+  (* m * 2^53 is an integer for finite doubles. *)
+  let mi = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+  let e = e - 53 in
+  let mag = of_zint (Zint.of_int mi) in
+  if e >= 0 then mul mag (of_zint (Zint.of_nat (Nat.shift_left Nat.one e)))
+  else div mag (of_zint (Zint.of_nat (Nat.shift_left Nat.one (-e))))
+
+let of_string s =
+  let s = String.trim s in
+  match String.index_opt s '/' with
+  | Some i ->
+    let a = Zint.of_string (String.sub s 0 i) in
+    let b = Zint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make a b
+  | None -> (
+    match String.index_opt s '.' with
+    | None -> of_zint (Zint.of_string s)
+    | Some i ->
+      let ip = String.sub s 0 i in
+      let fp = String.sub s (i + 1) (String.length s - i - 1) in
+      let neg_sign = String.length ip > 0 && ip.[0] = '-' in
+      let ipq = of_zint (Zint.of_string (if ip = "" || ip = "-" || ip = "+" then ip ^ "0" else ip)) in
+      let fpq =
+        if fp = "" then zero
+        else make (Zint.of_nat (Nat.of_string fp)) (Zint.of_nat (Nat.pow Nat.ten (String.length fp)))
+      in
+      if neg_sign then sub ipq fpq else add ipq fpq)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) = lt
+  let ( <= ) = leq
+  let ( > ) = gt
+  let ( >= ) = geq
+end
+
+let pp fmt q = Format.pp_print_string fmt (to_string q)

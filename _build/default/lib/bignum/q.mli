@@ -1,0 +1,111 @@
+(** Arbitrary-precision rational numbers.
+
+    Values are kept in lowest terms with a positive denominator, so
+    structural equality coincides with numeric equality. These are the exact
+    probabilities used throughout the library: the paper's constructions
+    (Theorems 4.1 and 5.9, Corollary 5.4, the finite completeness theorem)
+    are verified as {e equalities} of distributions in this type. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val half : t
+val minus_one : t
+
+(** {1 Construction and destruction} *)
+
+val make : Zint.t -> Zint.t -> t
+(** [make num den] is the normalised fraction [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is [a/b]. @raise Division_by_zero when [b = 0]. *)
+
+val of_zint : Zint.t -> t
+val of_nat : Nat.t -> t
+
+val of_string : string -> t
+(** Accepts ["a"], ["a/b"] and decimal notation ["1.25"], with optional
+    sign. @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** ["num/den"], or just ["num"] for integers. *)
+
+val to_decimal_string : ?digits:int -> t -> string
+(** Decimal expansion truncated to [digits] (default 12) fractional
+    digits. *)
+
+val to_float : t -> float
+val num : t -> Zint.t
+val den : t -> Nat.t
+
+val of_float_exact : float -> t
+(** Exact rational value of a finite float.
+    @raise Invalid_argument on NaN or infinities. *)
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_integer : t -> bool
+
+val is_probability : t -> bool
+(** [0 <= q <= 1]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when the divisor is zero. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val pow : t -> int -> t
+(** Integer powers, negative exponents allowed on nonzero values. *)
+
+val one_minus : t -> t
+(** [1 - q]; the complement of a probability. *)
+
+val sum : t list -> t
+val prod : t list -> t
+
+val mediant : t -> t -> t
+(** [(a+c)/(b+d)] for [a/b] and [c/d]; lies strictly between them. *)
+
+(** {1 Operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type t = { sign : int; mag : Nat.t }
+(* Invariant: sign is -1 or 1; sign of zero is 1 so that equality is
+   structural. *)
+
+let make sign mag = if Nat.is_zero mag then { sign = 1; mag } else { sign; mag }
+let zero = { sign = 1; mag = Nat.zero }
+let one = { sign = 1; mag = Nat.one }
+let minus_one = { sign = -1; mag = Nat.one }
+let of_nat mag = { sign = 1; mag }
+let of_int n = if n < 0 then make (-1) (Nat.of_int (-n)) else make 1 (Nat.of_int n)
+let to_nat a = a.mag
+let sign a = if Nat.is_zero a.mag then 0 else a.sign
+let is_zero a = Nat.is_zero a.mag
+let is_negative a = sign a < 0
+
+let to_int_opt a =
+  match Nat.to_int_opt a.mag with
+  | Some n -> Some (if a.sign < 0 then -n else n)
+  | None -> None
+
+let to_int_exn a =
+  match to_int_opt a with Some n -> n | None -> failwith "Zint.to_int_exn: value too large"
+
+let equal (a : t) (b : t) = a.sign = b.sign && Nat.equal a.mag b.mag
+
+let compare a b =
+  match (sign a, sign b) with
+  | sa, sb when sa <> sb -> Stdlib.compare sa sb
+  | 1, _ -> Nat.compare a.mag b.mag
+  | -1, _ -> Nat.compare b.mag a.mag
+  | _ -> 0
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let hash a = Hashtbl.hash (a.sign, Nat.hash a.mag)
+let neg a = make (-a.sign) a.mag
+let abs a = { a with sign = 1 }
+
+let add a b =
+  if a.sign = b.sign then make a.sign (Nat.add a.mag b.mag)
+  else if Nat.compare a.mag b.mag >= 0 then make a.sign (Nat.sub a.mag b.mag)
+  else make b.sign (Nat.sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+let mul a b = make (a.sign * b.sign) (Nat.mul a.mag b.mag)
+let mul_int a n = mul a (of_int n)
+let succ a = add a one
+let pred a = sub a one
+
+(* Euclidean division: remainder is always in [0, |b|). *)
+let divmod a b =
+  let q0, r0 = Nat.divmod a.mag b.mag in
+  if Nat.is_zero r0 then (make (a.sign * b.sign) q0, zero)
+  else if a.sign > 0 then (make b.sign q0, of_nat r0)
+  else
+    (* a < 0: floor toward -inf on |q| then fix remainder to be positive. *)
+    (make (-b.sign) (Nat.succ q0), of_nat (Nat.sub b.mag r0))
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Zint.pow: negative exponent";
+  make (if a.sign < 0 && k land 1 = 1 then -1 else 1) (Nat.pow a.mag k)
+
+let gcd a b = Nat.gcd a.mag b.mag
+let to_string a = if sign a < 0 then "-" ^ Nat.to_string a.mag else Nat.to_string a.mag
+let to_float a = if sign a < 0 then -.Nat.to_float a.mag else Nat.to_float a.mag
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Zint.of_string: empty string";
+  match s.[0] with
+  | '-' -> make (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  | '+' -> make 1 (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  | _ -> make 1 (Nat.of_string s)
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,67 @@
+(** Arbitrary-precision signed integers, built on {!Nat}.
+
+    The zero value always has a positive sign internally, so structural
+    equality coincides with numeric equality. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** {1 Construction and destruction} *)
+
+val of_int : int -> t
+val of_nat : Nat.t -> t
+val to_int_opt : t -> int option
+val to_int_exn : t -> int
+
+val of_string : string -> t
+(** Decimal numeral with optional leading [-] or [+]. *)
+
+val to_string : t -> string
+val to_float : t -> float
+
+val to_nat : t -> Nat.t
+(** Absolute value as a natural. *)
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_negative : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: [divmod a b = (q, r)] with [a = q*b + r] and
+    [0 <= r < |b|]. @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val pow : t -> int -> t
+(** @raise Invalid_argument if the exponent is negative. *)
+
+val gcd : t -> t -> Nat.t
+(** Non-negative greatest common divisor of the absolute values. *)
+
+val pp : Format.formatter -> t -> unit

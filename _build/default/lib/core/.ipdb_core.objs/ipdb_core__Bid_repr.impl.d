@@ -1,0 +1,1 @@
+lib/core/bid_repr.ml: Ipdb_bignum Ipdb_logic Ipdb_pdb Ipdb_relational List Printf String

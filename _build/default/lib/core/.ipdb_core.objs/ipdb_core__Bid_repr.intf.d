@@ -1,0 +1,1 @@
+lib/core/bid_repr.mli: Ipdb_logic Ipdb_pdb

@@ -1,0 +1,1 @@
+lib/core/classifier.ml: Criteria Ipdb_series Printf Stdlib Zoo

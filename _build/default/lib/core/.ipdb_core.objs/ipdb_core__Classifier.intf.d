@@ -1,0 +1,1 @@
+lib/core/classifier.mli: Ipdb_series Zoo

@@ -1,0 +1,1 @@
+lib/core/criteria.ml: Ipdb_bignum Ipdb_hypergraph Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series List Stdlib

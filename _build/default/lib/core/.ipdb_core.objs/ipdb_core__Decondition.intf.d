@@ -1,0 +1,1 @@
+lib/core/decondition.mli: Ipdb_bignum Ipdb_logic Ipdb_pdb Ipdb_relational

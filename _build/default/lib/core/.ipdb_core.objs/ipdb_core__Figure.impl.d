@@ -1,0 +1,1 @@
+lib/core/figure.ml: Bid_repr Buffer Criteria Decondition Finite_complete Idb Ipdb_bignum Ipdb_logic Ipdb_pdb Ipdb_relational List Option Printexc Printf Segmentation String Zoo

@@ -1,0 +1,1 @@
+lib/core/finite_complete.mli: Ipdb_logic Ipdb_pdb

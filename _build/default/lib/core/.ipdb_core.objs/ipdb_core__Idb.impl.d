@@ -1,0 +1,1 @@
+lib/core/idb.ml: Criteria Float Hashtbl Ipdb_bignum Ipdb_pdb Ipdb_relational Ipdb_series List Stdlib

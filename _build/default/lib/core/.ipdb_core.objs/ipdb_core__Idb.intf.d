@@ -1,0 +1,1 @@
+lib/core/idb.mli: Criteria Ipdb_bignum Ipdb_pdb Ipdb_relational

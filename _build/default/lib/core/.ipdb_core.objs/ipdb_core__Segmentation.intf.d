@@ -1,0 +1,1 @@
+lib/core/segmentation.mli: Ipdb_logic Ipdb_pdb

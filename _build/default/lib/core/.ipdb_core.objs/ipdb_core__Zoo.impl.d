@@ -1,0 +1,1 @@
+lib/core/zoo.ml: Criteria Float Ipdb_bignum Ipdb_dist Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series List

@@ -1,0 +1,1 @@
+lib/core/zoo.mli: Criteria Ipdb_bignum Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series

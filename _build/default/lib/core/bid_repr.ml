@@ -1,0 +1,104 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+
+type output = { ti : Ti.Finite.t; condition : Fo.t; view : View.t }
+
+let block_suffix = "$b"
+let rename r = r ^ block_suffix
+
+(* Rebalanced marginal (proof of Lemma 5.7). *)
+let rebalance ~residual p =
+  if Q.is_zero residual then Q.div p (Q.add Q.one p) else Q.div p (Q.add residual p)
+
+(* "At most one fact carries block identifier b" across all (augmented)
+   relations: same-relation duplicates are excluded pairwise, and no two
+   distinct relations may both have a b-tagged fact. *)
+let at_most_one_fact rels b =
+  let vars stem arity = List.init arity (fun i -> Printf.sprintf "%s%d" stem i) in
+  let same_rel =
+    List.map
+      (fun (r, a) ->
+        let xs = vars "x" a and ys = vars "y" a in
+        Fo.forall_many (xs @ ys)
+          (Fo.Implies
+             ( Fo.And (Fo.atom (rename r) (b :: List.map Fo.v xs), Fo.atom (rename r) (b :: List.map Fo.v ys)),
+               Fo.eq_tuple (List.map Fo.v xs) (List.map Fo.v ys) )))
+      rels
+  in
+  let cross_rel =
+    List.concat_map
+      (fun (r1, a1) ->
+        List.filter_map
+          (fun (r2, a2) ->
+            if String.compare r1 r2 >= 0 then None
+            else begin
+              let xs = vars "x" a1 and ys = vars "y" a2 in
+              Some
+                (Fo.Not
+                   (Fo.And
+                      ( Fo.exists_many xs (Fo.atom (rename r1) (b :: List.map Fo.v xs)),
+                        Fo.exists_many ys (Fo.atom (rename r2) (b :: List.map Fo.v ys)) )))
+            end)
+          rels)
+      rels
+  in
+  Fo.conj (same_rel @ cross_rel)
+
+let some_fact rels b =
+  Fo.disj
+    (List.map
+       (fun (r, a) ->
+         let xs = List.init a (fun i -> Printf.sprintf "x%d" i) in
+         Fo.exists_many xs (Fo.atom (rename r) (b :: List.map Fo.v xs)))
+       rels)
+
+let represent bid =
+  let base_schema = Bid.Finite.schema bid in
+  let rels = Schema.relations base_schema in
+  let schema' = Schema.make (List.map (fun (r, a) -> (rename r, a + 1)) rels) in
+  let blocks = Bid.Finite.blocks bid in
+  let facts =
+    List.concat
+      (List.mapi
+         (fun i block ->
+           let residual = Bid.Finite.residual block in
+           List.map
+             (fun (f, p) ->
+               (Fact.make (rename (Fact.rel f)) (Value.Int (i + 1) :: Fact.args f), rebalance ~residual p))
+             block)
+         blocks)
+  in
+  let ti = Ti.Finite.make schema' facts in
+  let condition =
+    Fo.conj
+      (List.mapi
+         (fun i block ->
+           let b = Fo.ci (i + 1) in
+           let residual = Bid.Finite.residual block in
+           if Q.is_zero residual then Fo.And (at_most_one_fact rels b, some_fact rels b)
+           else at_most_one_fact rels b)
+         blocks)
+  in
+  let view =
+    View.make
+      (List.map
+         (fun (r, a) ->
+           let xs = List.init a (fun i -> Printf.sprintf "x%d" i) in
+           (r, xs, Fo.Exists ("b", Fo.atom (rename r) (Fo.v "b" :: List.map Fo.v xs))))
+         rels)
+  in
+  { ti; condition; view }
+
+let verify bid output =
+  let expected = Bid.Finite.to_finite_pdb bid in
+  let expanded = Ti.Finite.to_finite_pdb output.ti in
+  match Finite_pdb.condition expanded output.condition with
+  | None -> false
+  | Some conditioned -> Finite_pdb.equal (Finite_pdb.map_view output.view conditioned) expected

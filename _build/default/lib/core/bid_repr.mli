@@ -1,0 +1,31 @@
+(** Lemma 5.7 / Theorem 5.9: every BID-PDB is an FO-view of an
+    FO-conditioned TI-PDB, hence [BID ⊆ FO(TI)].
+
+    The construction augments every relation with a {e block identifier}
+    attribute: fact [t_{i,j}] of block [B_i] becomes [R$b(i, ā)] and is made
+    tuple-independent with the rebalanced marginal
+
+    {v  q_{i,j} = p_{i,j} / (1 + p_{i,j})       when the block residual r_i = 0
+  q_{i,j} = p_{i,j} / (r_i + p_{i,j})     when r_i > 0              v}
+
+    The FO condition (Claim 5.8) keeps the worlds that respect the block
+    structure — at most one fact per block, exactly one for residual-zero
+    blocks — and the view projects the block identifier away. Everything is
+    rational, so Theorem 5.9 is verified as an exact distribution equality
+    (composing with {!Decondition} gives the unconditional FO(TI)
+    representation). *)
+
+type output = {
+  ti : Ipdb_pdb.Ti.Finite.t;
+  condition : Ipdb_logic.Fo.t;  (** Claim 5.8's block-structure sentence. *)
+  view : Ipdb_logic.View.t;  (** Projects out the block identifier. *)
+}
+
+val block_suffix : string
+
+val represent : Ipdb_pdb.Bid.Finite.t -> output
+(** Runs the construction on a finite BID-PDB. *)
+
+val verify : Ipdb_pdb.Bid.Finite.t -> output -> bool
+(** Expands, conditions, views; compares with
+    [Ipdb_pdb.Bid.Finite.to_finite_pdb] exactly. *)

@@ -1,0 +1,68 @@
+module Interval = Ipdb_series.Interval
+
+type reason =
+  | Bounded_size of int
+  | Theorem53 of { c : int; criterion_sum : Interval.t }
+  | Infinite_moment of { k : int; partial : float }
+
+type verdict =
+  | In_FOTI of reason
+  | Not_in_FOTI of reason
+  | Undetermined of string
+
+let classify ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certified_family) =
+  let upto = Stdlib.min upto cf.Zoo.check_upto in
+  match cf.Zoo.size_bound with
+  | Some b -> In_FOTI (Bounded_size b)
+  | None -> begin
+    (* Theorem 5.3: look for a certified-convergent criterion series. *)
+    let rec try_c c =
+      if c > max_c then None
+      else begin
+        match cf.Zoo.thm53_cert c with
+        | Some cert -> (
+          match Criteria.theorem53_verdict cf.Zoo.family ~c ~cert ~upto with
+          | Criteria.Finite_sum enclosure -> Some (In_FOTI (Theorem53 { c; criterion_sum = enclosure }))
+          | Criteria.Infinite_sum _ | Criteria.Invalid_certificate _ -> try_c (c + 1))
+        | None -> try_c (c + 1)
+      end
+    in
+    (* Proposition 3.4: look for a certified-divergent moment. *)
+    let rec try_k k =
+      if k > max_k then None
+      else begin
+        match cf.Zoo.moment_cert k with
+        | Some cert -> (
+          match Criteria.moment_verdict cf.Zoo.family ~k ~cert ~upto with
+          | Criteria.Infinite_sum { partial; _ } -> Some (Not_in_FOTI (Infinite_moment { k; partial }))
+          | Criteria.Finite_sum _ | Criteria.Invalid_certificate _ -> try_k (k + 1))
+        | None -> try_k (k + 1)
+      end
+    in
+    match try_k 1 with
+    | Some v -> v
+    | None -> (
+      match try_c 1 with
+      | Some v -> v
+      | None ->
+        Undetermined
+          "all certified moments are finite and no certified Theorem 5.3 capacity was found: \
+           the paper's criteria leave this PDB's membership open (cf. Example 3.9 and Example 5.6)")
+  end
+
+let verdict_to_string = function
+  | In_FOTI (Bounded_size b) -> Printf.sprintf "in FO(TI): bounded instance size <= %d (Corollary 5.4)" b
+  | In_FOTI (Theorem53 { c; criterion_sum }) ->
+    Printf.sprintf "in FO(TI): Theorem 5.3 series for c=%d converges to [%g, %g]" c
+      (Interval.lo criterion_sum) (Interval.hi criterion_sum)
+  | In_FOTI (Infinite_moment _) -> "in FO(TI) (unexpected reason)"
+  | Not_in_FOTI (Infinite_moment { k; partial }) ->
+    Printf.sprintf "NOT in FO(TI): %d-th size moment certified infinite (partial sum %g, Prop. 3.4)" k partial
+  | Not_in_FOTI (Bounded_size _) | Not_in_FOTI (Theorem53 _) -> "NOT in FO(TI) (unexpected reason)"
+  | Undetermined msg -> "undetermined: " ^ msg
+
+let agrees_with_paper (cf : Zoo.certified_family) verdict =
+  match (cf.Zoo.expected_in_foti, verdict) with
+  | None, _ | _, Undetermined _ -> true
+  | Some expected, In_FOTI _ -> expected
+  | Some expected, Not_in_FOTI _ -> not expected

@@ -1,0 +1,39 @@
+(** Representability classification.
+
+    Combines the paper's results into a verdict procedure for a certified
+    countable PDB ({!Zoo.certified_family}):
+
+    + bounded instance size ⟹ in [FO(TI)] (Corollary 5.4);
+    + some capacity [c] with a certified-convergent Theorem 5.3 series ⟹ in
+      [FO(TI)] (Theorem 5.3);
+    + some moment with a certified-divergent series ⟹ not in [FO(TI)]
+      (Proposition 3.4);
+    + otherwise the criteria leave a gap (the paper has no full
+      characterisation — Section 7), reported as [Undetermined].
+
+    The procedure is sound by the paper's theorems and the series
+    certificates; it is intentionally {e incomplete}, exactly as the
+    paper's criteria are (Example 3.9 is determined only by the bespoke
+    Lemma 3.7 argument; Example 5.6 satisfies neither criterion yet is
+    trivially representable). *)
+
+type reason =
+  | Bounded_size of int  (** Corollary 5.4 *)
+  | Theorem53 of { c : int; criterion_sum : Ipdb_series.Interval.t }
+  | Infinite_moment of { k : int; partial : float }  (** Proposition 3.4 *)
+
+type verdict =
+  | In_FOTI of reason
+  | Not_in_FOTI of reason
+  | Undetermined of string
+
+val classify : ?max_k:int -> ?max_c:int -> ?upto:int -> Zoo.certified_family -> verdict
+(** Tries moments [k = 1..max_k] (default 4) and capacities
+    [c = 1..max_c] (default 4), validating certificates on the first
+    [upto] (default 2000) terms. *)
+
+val verdict_to_string : verdict -> string
+
+val agrees_with_paper : Zoo.certified_family -> verdict -> bool
+(** Whether a verdict is consistent with the paper's stated expectation
+    ([Undetermined] is consistent with anything). *)

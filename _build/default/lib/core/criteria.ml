@@ -1,0 +1,153 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Series = Ipdb_series.Series
+module Interval = Ipdb_series.Interval
+module Family = Ipdb_pdb.Family
+module Ti = Ipdb_pdb.Ti
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module View = Ipdb_logic.View
+module Hypergraph = Ipdb_hypergraph.Hypergraph
+
+type certificate =
+  | Tail of Series.Tail.t
+  | Divergence of Series.Divergence.t
+
+type series_verdict =
+  | Finite_sum of Interval.t
+  | Infinite_sum of { partial : float; at : int }
+  | Invalid_certificate of string
+
+let check_series ~term ~start ~cert ~upto =
+  match cert with
+  | Tail tail -> (
+    match Series.sum ~start term ~tail ~upto with
+    | Ok enclosure -> Finite_sum enclosure
+    | Error msg -> Invalid_certificate msg)
+  | Divergence certificate -> (
+    match Series.certify_divergence ~start term ~certificate ~upto with
+    | Ok (Series.Diverges { partial; at; _ }) -> Infinite_sum { partial; at }
+    | Ok (Series.Converges _) -> Invalid_certificate "unexpected convergence verdict"
+    | Error msg -> Invalid_certificate msg)
+
+let moment_verdict fam ~k ~cert ~upto =
+  check_series ~term:(Family.moment_term fam ~k) ~start:fam.Family.start ~cert ~upto
+
+let theorem53_verdict fam ~c ~cert ~upto =
+  check_series ~term:(Family.theorem53_term fam ~c) ~start:fam.Family.start ~cert ~upto
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.3                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let binomial n k =
+  if k < 0 || k > n then Q.zero
+  else begin
+    let rec go acc i =
+      if i > k then acc else go (Q.div (Q.mul acc (Q.of_int (n - i + 1))) (Q.of_int i)) (i + 1)
+    in
+    go Q.one 1
+  end
+
+let lemma33_bound ~view ~input_schema ~input_moment ~k =
+  let m = List.length (View.defs view) in
+  let r =
+    List.fold_left (fun acc (d : View.def) -> Stdlib.max acc (List.length d.View.head)) 0 (View.defs view)
+  in
+  let c = View.max_constants_in_def view in
+  let r' = Schema.max_arity input_schema in
+  let rk = r * k in
+  let total = ref Q.zero in
+  for j = 0 to rk do
+    (* C(rk, j) r'^j c^(rk-j) E(|·|^j); with c = 0 only the j = rk term
+       survives (0^0 = 1 by the binomial-formula convention) *)
+    let const_pow = if rk - j = 0 then Q.one else Q.pow (Q.of_int c) (rk - j) in
+    total :=
+      Q.add !total
+        (Q.mul (binomial rk j) (Q.mul (Q.pow (Q.of_int r') j) (Q.mul const_pow (input_moment j))))
+  done;
+  Q.mul (Q.pow (Q.of_int m) k) !total
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.6                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type lemma36_data = {
+  vn_size : int;
+  r : int;
+  en_mass : Q.t;
+  bound : float;
+  exact_lhs : Q.t option;
+}
+
+let marginal_of ti =
+  let assoc = Ti.Finite.facts ti in
+  fun fact -> match List.assoc_opt fact assoc with Some p -> p | None -> Q.zero
+
+let lemma36_bound ~ti ~view ~world =
+  let r = Stdlib.max 1 (Schema.max_arity (Ti.Finite.schema ti)) in
+  let view_constants = View.constants view in
+  let vn =
+    List.filter (fun v -> not (List.exists (Value.equal v) view_constants)) (Instance.adom world)
+  in
+  let vn_size = List.length vn in
+  let en =
+    List.filter
+      (fun (fact, _) -> List.exists (fun v -> List.exists (Value.equal v) vn) (Ipdb_relational.Fact.values fact))
+      (Ti.Finite.facts ti)
+  in
+  let en_mass = Q.sum (List.map snd en) in
+  let bound =
+    if vn_size = 0 then 1.0
+    else begin
+      let vnf = float_of_int vn_size and rf = float_of_int r in
+      vnf *. ((rf *. rf *. (vnf ** (rf -. 1.0)) *. Q.to_float en_mass) ** (vnf /. rf))
+    end
+  in
+  let exact_lhs =
+    let uncertain = List.length (Ti.Finite.uncertain_facts ti) in
+    if uncertain > Ipdb_pdb.Worlds.max_uncertain then None
+    else begin
+      let expanded = Ti.Finite.to_finite_pdb ti in
+      let image = Finite_pdb.map_view view expanded in
+      Some (Finite_pdb.prob image world)
+    end
+  in
+  { vn_size; r; en_mass; bound; exact_lhs }
+
+let minimal_cover_sum ~ti ~target =
+  let facts = List.map fst (Ti.Finite.facts ti) in
+  let h = Hypergraph.of_facts facts in
+  let target_set = Hypergraph.VSet.of_list target in
+  let marginal = marginal_of ti in
+  let covers = Hypergraph.minimal_edge_covers h ~target:target_set in
+  Q.sum
+    (List.map
+       (fun cover ->
+         Q.prod
+           (List.map
+              (fun (e : Hypergraph.edge) ->
+                match e.Hypergraph.label with Some f -> marginal f | None -> Q.zero)
+              cover))
+       covers)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.7                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lemma37_rhs ~r ~a_n ~d_n =
+  let d = float_of_int d_n and rf = float_of_int r in
+  d *. ((a_n *. (d ** (rf -. 1.0))) ** (d /. rf))
+
+let lemma37_refutation ~prob ~adom_size ~a ~rs ~range =
+  let lo, hi = range in
+  List.map
+    (fun r ->
+      let violations = ref 0 in
+      for n = lo to hi do
+        let d_n = adom_size n in
+        if d_n > 0 && prob n >= lemma37_rhs ~r ~a_n:(a n) ~d_n then incr violations
+      done;
+      (r, !violations))
+    rs

@@ -1,0 +1,100 @@
+(** Representability criteria for countable PDBs (Sections 3 and 5.1).
+
+    - {b Necessary} (Proposition 3.4): every PDB in [FO(TI)] has all size
+      moments finite. A certified-divergent moment series refutes
+      membership.
+    - {b Sufficient} (Theorem 5.3): if
+      [Σ_{D≠∅} |D| · P(D)^(c/|D|) < ∞] for some positive integer [c], the
+      PDB is in [FO(TI)].
+    - {b Finer necessary} (Lemma 3.6 / Lemma 3.7): for domain-disjoint PDBs,
+      representability forces the world probabilities below an explicit
+      edge-cover bound along every divergent series — the tool behind
+      Example 3.9 / Theorem 3.10.
+
+    Verdicts carry certificates; nothing is concluded from bare partial
+    sums. *)
+
+module Series = Ipdb_series.Series
+module Interval = Ipdb_series.Interval
+
+type certificate =
+  | Tail of Series.Tail.t  (** the series converges *)
+  | Divergence of Series.Divergence.t  (** the series diverges *)
+
+type series_verdict =
+  | Finite_sum of Interval.t
+  | Infinite_sum of { partial : float; at : int }
+  | Invalid_certificate of string
+
+val check_series : term:(int -> float) -> start:int -> cert:certificate -> upto:int -> series_verdict
+(** Validate the certificate on the computed prefix and produce the
+    verdict. *)
+
+val moment_verdict : Ipdb_pdb.Family.t -> k:int -> cert:certificate -> upto:int -> series_verdict
+(** Verdict for the [k]-th size moment [Σ |D_n|^k P(D_n)]. *)
+
+val theorem53_verdict : Ipdb_pdb.Family.t -> c:int -> cert:certificate -> upto:int -> series_verdict
+(** Verdict for the Theorem 5.3 series with capacity [c]. *)
+
+(** {1 Lemma 3.3: views preserve finite moments} *)
+
+val lemma33_bound :
+  view:Ipdb_logic.View.t ->
+  input_schema:Ipdb_relational.Schema.t ->
+  input_moment:(int -> Ipdb_bignum.Q.t) ->
+  k:int ->
+  Ipdb_bignum.Q.t
+(** The explicit bound from the proof of Lemma 3.3:
+    [E_V(D)(|·|^k) <= m^k Σ_{j=0}^{rk} C(rk,j) r'^j c^(rk-j) E_D(|·|^j)]
+    where [m] is the number of output relations, [r] their maximal arity,
+    [c] the maximal number of constants in a defining formula, and [r'] the
+    maximal arity of the input schema. Finite whenever the input moments up
+    to order [rk] are — the inductive heart of Proposition 3.4.
+    (Property-tested: the pushforward's exact [k]-th moment never exceeds
+    this bound on finite PDBs.) *)
+
+val binomial : int -> int -> Ipdb_bignum.Q.t
+(** Exact binomial coefficient [C(n, k)] ([0] outside range). *)
+
+(** {1 Lemma 3.6: the edge-cover bound} *)
+
+type lemma36_data = {
+  vn_size : int;  (** [|V_n|]: active-domain elements not constants of the view *)
+  r : int;  (** maximal arity of the TI-PDB's schema *)
+  en_mass : Ipdb_bignum.Q.t;  (** [Σ_{e ∈ E_n} q_e] *)
+  bound : float;  (** [|V_n| (r² |V_n|^(r-1) Σq)^(|V_n|/r)] *)
+  exact_lhs : Ipdb_bignum.Q.t option;
+      (** [Pr(Φ(I) = D_n)] by exhaustive enumeration, when feasible *)
+}
+
+val lemma36_bound :
+  ti:Ipdb_pdb.Ti.Finite.t ->
+  view:Ipdb_logic.View.t ->
+  world:Ipdb_relational.Instance.t ->
+  lemma36_data
+(** Computes both sides of Lemma 3.6 for a concrete finite TI-PDB, view and
+    output instance. [exact_lhs] is [None] past the enumeration gate. *)
+
+val minimal_cover_sum :
+  ti:Ipdb_pdb.Ti.Finite.t -> target:Ipdb_relational.Value.t list -> Ipdb_bignum.Q.t
+(** [Σ_{C ∈ EC*_H(V)} Π_{e∈C} q_e] — the intermediate quantity of the
+    Lemma 3.6 proof, computed exactly over minimal edge covers. *)
+
+(** {1 Lemma 3.7: witnesses against representability} *)
+
+val lemma37_rhs : r:int -> a_n:float -> d_n:int -> float
+(** The bound [d_n · (a_n · d_n^(r-1))^(d_n/r)] of Lemma 3.7. *)
+
+val lemma37_refutation :
+  prob:(int -> float) ->
+  adom_size:(int -> int) ->
+  a:(int -> float) ->
+  rs:int list ->
+  range:int * int ->
+  (int * int) list
+(** For each candidate arity [r] in [rs], counts over [range] how many
+    indices [n] satisfy [P(D_n) >= lemma37_rhs] — i.e. {e violate} the
+    inequality that Lemma 3.7 forces for infinitely many [n] were the PDB
+    representable. Returns [(r, violations)]; a violation count equal to
+    the whole range for every [r] (and growing with the range) is the
+    Example 3.9 refutation pattern. *)

@@ -1,0 +1,138 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Surgery = Ipdb_logic.Surgery
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+
+type input = { ti : Ti.Finite.t; condition : Fo.t; view : View.t }
+
+type output = {
+  ti' : Ti.Finite.t;
+  view' : View.t;
+  copies : int;
+  d0 : Instance.t;
+  p0 : Q.t;
+  psi_prob : Q.t;
+  q0 : Q.t;
+}
+
+let copy_suffix = "$c"
+let order_relation = "Leq$"
+let bottom_relation = "Bot$"
+let rename r = r ^ copy_suffix
+
+let target { ti; condition; view } =
+  let expanded = Ti.Finite.to_finite_pdb ti in
+  match Finite_pdb.condition expanded condition with
+  | None -> invalid_arg "Decondition.target: the condition has probability zero"
+  | Some conditioned -> Finite_pdb.map_view view conditioned
+
+(* Copy-tagged schema of I^(k), plus the order and bottom relations. *)
+let product_schema base =
+  Schema.union
+    (Schema.make (List.map (fun (r, a) -> (rename r, a + 1)) (Schema.relations base)))
+    (Schema.make [ (order_relation, 2); (bottom_relation, 0) ])
+
+let index_guard iv = Fo.atom order_relation [ iv; iv ]
+
+let decondition ?(max_copies = 16) ({ ti; condition; view } as input) =
+  let d = target input in
+  (* Distinguished world: the most probable one keeps k small. *)
+  let d0, p0 =
+    List.fold_left
+      (fun ((_, bp) as best) ((_, p) as cand) -> if Q.gt p bp then cand else best)
+      (List.hd (Finite_pdb.support d))
+      (Finite_pdb.support d)
+  in
+  let out_schema = View.output_schema view in
+  if Q.is_one p0 then begin
+    (* D consists of a single world: it is trivially tuple-independent. *)
+    let ti' = Ti.Finite.make out_schema (List.map (fun f -> (f, Q.one)) (Instance.to_list d0)) in
+    {
+      ti';
+      view' = View.identity out_schema;
+      copies = 0;
+      d0;
+      p0;
+      psi_prob = Q.zero;
+      q0 = Q.zero;
+    }
+  end
+  else begin
+    let phi0 = Surgery.hardcode_instance_sentence view d0 in
+    let psi = Fo.And (condition, Fo.Not phi0) in
+    let expanded = Ti.Finite.to_finite_pdb ti in
+    let psi_prob = Finite_pdb.prob_sentence expanded psi in
+    (* 0 < P(ψ) < 1 holds because 0 < p0 < 1 (see the proof). *)
+    let rec find_k k failure =
+      if Q.lt failure p0 then k
+      else if k >= max_copies then
+        failwith
+          (Printf.sprintf "Decondition: no k <= %d with (1 - P(psi))^k < p0 = %s" max_copies
+             (Q.to_string p0))
+      else find_k (k + 1) (Q.mul failure (Q.one_minus psi_prob))
+    in
+    let k = find_k 1 (Q.one_minus psi_prob) in
+    let q = Q.one_minus (Q.pow (Q.one_minus psi_prob) k) in
+    let q0 = Q.div (Q.sub (Q.add p0 q) Q.one) q in
+    (* Facts of J: k tagged copies of I's facts, the certain order facts,
+       and the bottom fact. *)
+    let copy_facts =
+      List.concat_map
+        (fun (f, p) ->
+          List.init k (fun i -> (Fact.make (rename (Fact.rel f)) (Value.Int (i + 1) :: Fact.args f), p)))
+        (Ti.Finite.facts ti)
+    in
+    let order_facts =
+      List.concat
+        (List.init k (fun i ->
+             List.filter_map
+               (fun j -> if i + 1 <= j + 1 then Some (Fact.make order_relation [ Value.Int (i + 1); Value.Int (j + 1) ], Q.one) else None)
+               (List.init k (fun j -> j))))
+    in
+    let bottom_fact = (Fact.make bottom_relation [], q0) in
+    let schema' = product_schema (Ti.Finite.schema ti) in
+    let ti' = Ti.Finite.make schema' (copy_facts @ order_facts @ [ bottom_fact ]) in
+    (* The view Φ'. *)
+    let all_bodies = List.map (fun (defn : View.def) -> defn.body) (View.defs view) in
+    let iv = Fo.fresh_var "i" (psi :: all_bodies) in
+    let jv = Fo.fresh_var "j" (psi :: all_bodies) in
+    let suitable x = Fo.And (index_guard (Fo.v x), Surgery.relativize ~rename ~tag:(Fo.v x) psi) in
+    let min_suitable x =
+      Fo.And
+        (suitable x, Fo.Forall (jv, Fo.Implies (suitable jv, Fo.atom order_relation [ Fo.v x; Fo.v jv ])))
+    in
+    let is_rep = Fo.Exists (iv, suitable iv) in
+    let represents_d0 = Fo.Or (Fo.Not is_rep, Fo.atom bottom_relation []) in
+    let view' =
+      View.make
+        (List.map
+           (fun (defn : View.def) ->
+             let head_terms = List.map Fo.v defn.head in
+             let d0_tuples = Instance.to_list (Instance.restrict_rel defn.rel d0) in
+             let member_d0 =
+               Fo.disj
+                 (List.map (fun f -> Fo.eq_tuple head_terms (List.map Fo.c (Fact.args f))) d0_tuples)
+             in
+             let extract =
+               Fo.Exists (iv, Fo.And (min_suitable iv, Surgery.relativize ~rename ~tag:(Fo.v iv) defn.body))
+             in
+             let body =
+               Fo.Or (Fo.And (represents_d0, member_d0), Fo.And (Fo.Not represents_d0, extract))
+             in
+             (defn.rel, defn.head, body))
+           (View.defs view))
+    in
+    { ti'; view'; copies = k; d0; p0; psi_prob; q0 }
+  end
+
+let verify input output =
+  let d = target input in
+  let expanded = Ti.Finite.to_finite_pdb output.ti' in
+  let image = Finite_pdb.map_view output.view' expanded in
+  Finite_pdb.equal image d

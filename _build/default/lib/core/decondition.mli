@@ -1,0 +1,58 @@
+(** Theorem 4.1: [FO(TI | FO) = FO(TI)] — conditioning adds no expressive
+    power.
+
+    Given a representation of a PDB [D] as [Φ(I | φ)] — an FO-view [Φ] of a
+    finite TI-PDB [I] conditioned on an FO-sentence [φ] — {!decondition}
+    produces an {e unconditional} representation [(J, Φ')] with
+    [Φ'(J) = D], following the proof exactly:
+
+    + a distinguished world [D₀] of positive probability [p₀] is chosen and
+      characterised by the sentence [φ₀] of Claim 4.3
+      ({!Ipdb_logic.Surgery.hardcode_instance_sentence});
+    + [ψ = φ ∧ ¬φ₀]; the failure probability [(1 - P(ψ))^k] is pushed below
+      [p₀] by taking [k] independent tagged copies of [I] (relation [R]
+      becomes [R$c] with a copy index as first attribute) together with a
+      certain order relation [Leq$] on the copy indices;
+    + a fresh nullary relation [Bot$] holding a single fact with marginal
+      [q₀ = (p₀ - 1 + q) / q] absorbs the leftover mass into [D₀];
+    + the view [Φ'] outputs [D₀] hard-coded when no copy is suitable or the
+      [Bot$] fact is present, and otherwise extracts [Φ] from the smallest
+      suitable copy (Claim 4.3's [φ₀] and [ψ] relativised to copy [i], with
+      [Leq$] providing the order).
+
+    All probabilities are exact rationals, so {!verify} checks the theorem
+    as a distribution equality. *)
+
+type input = {
+  ti : Ipdb_pdb.Ti.Finite.t;
+  condition : Ipdb_logic.Fo.t;  (** sentence [φ] with [P(φ) > 0] *)
+  view : Ipdb_logic.View.t;  (** the view [Φ] *)
+}
+
+type output = {
+  ti' : Ipdb_pdb.Ti.Finite.t;  (** the unconditional TI-PDB [J] *)
+  view' : Ipdb_logic.View.t;  (** the view [Φ'] *)
+  copies : int;  (** the chosen [k] *)
+  d0 : Ipdb_relational.Instance.t;  (** the distinguished world *)
+  p0 : Ipdb_bignum.Q.t;
+  psi_prob : Ipdb_bignum.Q.t;  (** [P_I(ψ)] *)
+  q0 : Ipdb_bignum.Q.t;  (** marginal of the [Bot$] fact *)
+}
+
+val copy_suffix : string
+val order_relation : string
+val bottom_relation : string
+
+val target : input -> Ipdb_pdb.Finite_pdb.t
+(** The conditioned PDB [D = Φ(I | φ)] the construction must reproduce.
+    @raise Invalid_argument when [P(φ) = 0]. *)
+
+val decondition : ?max_copies:int -> input -> output
+(** Runs the construction. [max_copies] (default 16) guards against a [p₀]
+    so small that the required [k] would make exhaustive verification
+    infeasible; the most probable world is chosen as [D₀] to keep [k]
+    small. @raise Failure when no [k <= max_copies] suffices. *)
+
+val verify : input -> output -> bool
+(** Exhaustively expands [J], applies [Φ'], and compares with {!target}
+    exactly. *)

@@ -1,0 +1,236 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+
+type status =
+  | Verified
+  | Failed of string
+
+type edge = {
+  lower : string;
+  upper : string;
+  label : string;
+  strict : bool;
+  status : status;
+}
+
+type diagram = {
+  title : string;
+  classes : string list;
+  edges : edge list;
+  equalities : (string list * string * status) list;
+}
+
+let check name f = try if f () then Verified else Failed (name ^ ": check returned false") with e -> Failed (name ^ ": " ^ Printexc.to_string e)
+
+let fact r args = Fact.make r (List.map (fun n -> Value.Int n) args)
+let schema_r1 = Schema.make [ ("R", 1) ]
+
+let sample_pdb () =
+  Finite_pdb.make schema_r1
+    [ (Instance.empty, Q.of_ints 1 4);
+      (Instance.of_list [ fact "R" [ 1 ] ], Q.of_ints 1 4);
+      (Instance.of_list [ fact "R" [ 1 ]; fact "R" [ 2 ] ], Q.half)
+    ]
+
+let sample_bid () =
+  Bid.Finite.make schema_r1
+    [ [ (fact "R" [ 1 ], Q.of_ints 1 3); (fact "R" [ 2 ], Q.of_ints 1 3) ];
+      [ (fact "R" [ 3 ], Q.half) ]
+    ]
+
+let b3_image () =
+  let ti, view = Zoo.example_b3 in
+  Finite_pdb.map_view view (Ti.Finite.to_finite_pdb ti)
+
+(* ------------------------------------------------------------------ *)
+(* The individual checks                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_ti_in_bid () =
+  check "TI as BID" (fun () ->
+      let ti = Ti.Finite.make schema_r1 [ (fact "R" [ 1 ], Q.half); (fact "R" [ 2 ], Q.of_ints 1 3) ] in
+      Finite_pdb.equal (Bid.Finite.to_finite_pdb (Bid.Finite.of_ti ti)) (Ti.Finite.to_finite_pdb ti))
+
+let check_b2_not_ti () =
+  check "Example B.2 not TI" (fun () ->
+      not (Finite_pdb.is_tuple_independent (Bid.Finite.to_finite_pdb Zoo.example_b2)))
+
+let check_b2_not_monotone_ti () =
+  check "Example B.2 not CQ(TI) (Prop B.1 / Prop 6.4)" (fun () ->
+      let d = Bid.Finite.to_finite_pdb Zoo.example_b2 in
+      List.length (Finite_pdb.maximal_worlds d) = 2 && Idb.prop64_obstruction d <> None)
+
+let check_b3_not_ti_nor_bid () =
+  check "Example B.3 image not TI/BID" (fun () ->
+      let image = b3_image () in
+      let t = Fact.make "T" [ Value.Str "a"; Value.Str "b" ] in
+      let t' = Fact.make "T" [ Value.Str "a"; Value.Str "a" ] in
+      (not (Finite_pdb.is_tuple_independent image))
+      && (not (Finite_pdb.is_bid image ~blocks:[ [ t ]; [ t' ] ]))
+      && not (Finite_pdb.is_bid image ~blocks:[ [ t; t' ] ]))
+
+let check_cq_eq_ucq () =
+  check "UCQ view collapses to CQ (Prop B.4)" (fun () ->
+      let ti, _ = Zoo.example_b3 in
+      (* a genuine UCQ (non-CQ) view *)
+      let view =
+        View.make
+          [ ("T", [ "x" ],
+             Fo.Or
+               ( Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]),
+                 Fo.Exists ("y", Fo.atom "R" [ Fo.v "y"; Fo.v "x" ]) )) ]
+      in
+      let repr = Finite_complete.monotone_to_cq ti view in
+      let original = Finite_pdb.map_view view (Ti.Finite.to_finite_pdb ti) in
+      let rebuilt =
+        Finite_pdb.map_view repr.Finite_complete.view (Ti.Finite.to_finite_pdb repr.Finite_complete.ti)
+      in
+      View.is_cq repr.Finite_complete.view && Finite_pdb.equal original rebuilt)
+
+let check_fo_ti_complete () =
+  check "PDB_fin = FO(TI_fin)" (fun () ->
+      let d = sample_pdb () in
+      Finite_complete.verify d (Finite_complete.represent d))
+
+let check_cq_bid_complete () =
+  check "PDB_fin = CQ(BID_fin)" (fun () ->
+      let d = sample_pdb () in
+      Finite_complete.verify_cq_bid d (Finite_complete.represent_cq_bid d))
+
+let check_bid_in_foti () =
+  check "BID ⊆ FO(TI) (Thm 5.9 + Thm 4.1)" (fun () ->
+      let bid = sample_bid () in
+      let out = Bid_repr.represent bid in
+      Bid_repr.verify bid out
+      &&
+      let input =
+        { Decondition.ti = out.Bid_repr.ti; condition = out.Bid_repr.condition; view = out.Bid_repr.view }
+      in
+      Decondition.verify input (Decondition.decondition input))
+
+let check_deconditioning () =
+  check "FO(TI|FO) = FO(TI) (Thm 4.1)" (fun () ->
+      let ti = Ti.Finite.make schema_r1 [ (fact "R" [ 1 ], Q.half); (fact "R" [ 2 ], Q.of_ints 1 3) ] in
+      let input =
+        { Decondition.ti; condition = Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ]); view = View.identity schema_r1 }
+      in
+      Decondition.verify input (Decondition.decondition input))
+
+let check_fo_compose () =
+  check "FO(FO(TI)) = FO(TI) (view composition)" (fun () ->
+      let ti = Ti.Finite.make (Schema.make [ ("R", 2) ]) [ (fact "R" [ 1; 2 ], Q.half); (fact "R" [ 2; 1 ], Q.of_ints 1 3) ] in
+      let inner = View.make [ ("T", [ "x" ], Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ])) ] in
+      let outer = View.make [ ("U", [], Fo.Exists ("x", Fo.atom "T" [ Fo.v "x" ])) ] in
+      let d = Ti.Finite.to_finite_pdb ti in
+      Finite_pdb.equal
+        (Finite_pdb.map_view outer (Finite_pdb.map_view inner d))
+        (Finite_pdb.map_view (View.compose outer inner) d))
+
+let check_foti_proper () =
+  check "FO(TI) ⊊ PDB (Example 3.5 via Prop 3.4)" (fun () ->
+      let cf = Zoo.example_3_5 in
+      match Criteria.moment_verdict cf.Zoo.family ~k:2 ~cert:(Option.get (cf.Zoo.moment_cert 2)) ~upto:50 with
+      | Criteria.Infinite_sum _ -> true
+      | _ -> false)
+
+let check_bounded_in_foti () =
+  check "bounded-size PDBs ⊆ FO(TI) (Cor 5.4)" (fun () ->
+      let d = sample_pdb () in
+      let out = Segmentation.bounded_size_representation d in
+      out.Segmentation.exact && Segmentation.verify_exact d out)
+
+(* ------------------------------------------------------------------ *)
+(* The diagrams                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  {
+    title = "Figure 1 — finite PDB classes";
+    classes = [ "TI_fin"; "CQ(TI_fin) = UCQ(TI_fin)"; "BID_fin"; "PDB_fin = FO(TI_fin) = CQ(BID_fin)" ];
+    edges =
+      [ { lower = "TI_fin"; upper = "CQ(TI_fin)"; label = "identity view; strict by Ex. B.3"; strict = true; status = check_b3_not_ti_nor_bid () };
+        { lower = "TI_fin"; upper = "BID_fin"; label = "singleton blocks; strict by Ex. B.2"; strict = true; status = (match (check_ti_in_bid (), check_b2_not_ti ()) with Verified, Verified -> Verified | Failed m, _ | _, Failed m -> Failed m) };
+        { lower = "CQ(TI_fin)"; upper = "PDB_fin"; label = "strict: Ex. B.2 ∉ CQ(TI_fin)"; strict = true; status = check_b2_not_monotone_ti () };
+        { lower = "BID_fin"; upper = "PDB_fin"; label = "strict: Ex. B.3 image ∉ BID_fin"; strict = true; status = check_b3_not_ti_nor_bid () }
+      ];
+    equalities =
+      [ ([ "CQ(TI_fin)"; "UCQ(TI_fin)" ], "Proposition B.4", check_cq_eq_ucq ());
+        ([ "PDB_fin"; "FO(TI_fin)" ], "completeness theorem [51]", check_fo_ti_complete ());
+        ([ "PDB_fin"; "CQ(BID_fin)" ], "[16, 42]", check_cq_bid_complete ())
+      ];
+  }
+
+let figure4 () =
+  {
+    title = "Figure 4 — countable PDB classes";
+    classes = [ "TI"; "UCQ(TI)"; "BID"; "FO(TI) = FO(BID) = FO(TI|FO)"; "PDB" ];
+    edges =
+      [ { lower = "TI"; upper = "UCQ(TI)"; label = "identity view; strict by Ex. B.3"; strict = true; status = check_b3_not_ti_nor_bid () };
+        { lower = "TI"; upper = "BID"; label = "singleton blocks; strict by Ex. B.2"; strict = true; status = check_b2_not_ti () };
+        { lower = "UCQ(TI)"; upper = "FO(TI)"; label = "strict: BIDs with exclusive facts (Prop 6.4)"; strict = true; status = check_b2_not_monotone_ti () };
+        { lower = "BID"; upper = "FO(TI)"; label = "Theorem 5.9; strict by Ex. B.3 image"; strict = true; status = check_bid_in_foti () };
+        { lower = "FO(TI)"; upper = "PDB"; label = "strict: Ex. 3.5 (infinite 2nd moment)"; strict = true; status = check_foti_proper () }
+      ];
+    equalities =
+      [ ([ "FO(TI)"; "FO(TI|FO)" ], "Theorem 4.1", check_deconditioning ());
+        ([ "FO(TI)"; "FO(BID)" ], "Thm 5.9 + FO(FO(TI)) = FO(TI)", (match (check_bid_in_foti (), check_fo_compose ()) with Verified, Verified -> Verified | Failed m, _ | _, Failed m -> Failed m));
+        ([ "bounded-size PDBs"; "⊆ FO(TI)" ], "Corollary 5.4", check_bounded_in_foti ())
+      ];
+  }
+
+let all_verified d =
+  List.for_all (fun e -> e.status = Verified) d.edges
+  && List.for_all (fun (_, _, s) -> s = Verified) d.equalities
+
+let status_mark = function Verified -> "✓" | Failed m -> "✗ (" ^ m ^ ")"
+
+let to_text d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (d.title ^ "\n");
+  Buffer.add_string buf (String.make (String.length d.title) '-' ^ "\n");
+  Buffer.add_string buf "classes:\n";
+  List.iter (fun c -> Buffer.add_string buf ("  " ^ c ^ "\n")) d.classes;
+  Buffer.add_string buf "inclusions (lower ⊆ upper):\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s %s   [%s] %s\n" e.lower (if e.strict then "⊊" else "⊆") e.upper e.label
+           (status_mark e.status)))
+    d.edges;
+  Buffer.add_string buf "equalities:\n";
+  List.iter
+    (fun (cls, label, s) ->
+      Buffer.add_string buf (Printf.sprintf "  %s   [%s] %s\n" (String.concat " = " cls) label (status_mark s)))
+    d.equalities;
+  Buffer.contents buf
+
+let to_dot d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph hasse {\n  rankdir=BT;\n  node [shape=box];\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s %s\"];\n" e.lower e.upper e.label (status_mark e.status)))
+    d.edges;
+  List.iter
+    (fun (cls, label, s) ->
+      match cls with
+      | a :: rest ->
+        List.iter
+          (fun b ->
+            Buffer.add_string buf
+              (Printf.sprintf "  \"%s\" -> \"%s\" [dir=both, style=dashed, label=\"%s %s\"];\n" a b label
+                 (status_mark s)))
+          rest
+      | [] -> ())
+    d.equalities;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,189 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+
+type representation = { ti : Ti.Finite.t; view : View.t }
+
+let selector_relation = "Sel$"
+
+(* The sentence "world i is selected": Sel(i) holds and no Sel(j), j < i,
+   does; for the last world, no selector holds at all. *)
+let selection_sentence n i =
+  let no_earlier = List.init (i - 1) (fun j -> Fo.Not (Fo.atom selector_relation [ Fo.ci (j + 1) ])) in
+  if i < n then Fo.conj (Fo.atom selector_relation [ Fo.ci i ] :: no_earlier) else Fo.conj no_earlier
+
+(* A body with head variables [head] that holds of exactly the tuples of
+   relation [rel] in [inst], guarded by [sel]. *)
+let world_member_body sel rel head inst =
+  let tuples = Instance.to_list (Instance.restrict_rel rel inst) in
+  let head_terms = List.map Fo.v head in
+  Fo.And
+    (sel, Fo.disj (List.map (fun f -> Fo.eq_tuple head_terms (List.map Fo.c (Fact.args f))) tuples))
+
+let represent d =
+  let worlds = Finite_pdb.support d in
+  let n = List.length worlds in
+  (* Selector marginals: q_i = p_i / (1 - p_1 - ... - p_{i-1}). *)
+  let ti_schema = Schema.make [ (selector_relation, 1) ] in
+  let _, selector_facts =
+    List.fold_left
+      (fun (mass_before, acc) (i, (_, p)) ->
+        if i = n then (mass_before, acc)
+        else begin
+          let q = Q.div p (Q.one_minus mass_before) in
+          (Q.add mass_before p, (Fact.make selector_relation [ Value.Int i ], q) :: acc)
+        end)
+      (Q.zero, [])
+      (List.mapi (fun i w -> (i + 1, w)) worlds)
+  in
+  let ti = Ti.Finite.make ti_schema (List.rev selector_facts) in
+  let out_schema = Finite_pdb.schema d in
+  let view =
+    View.make
+      (List.map
+         (fun (rel, arity) ->
+           let head = List.init arity (fun j -> Printf.sprintf "x%d" j) in
+           let body =
+             Fo.disj
+               (List.mapi
+                  (fun i (inst, _) -> world_member_body (selection_sentence n (i + 1)) rel head inst)
+                  worlds)
+           in
+           (rel, head, body))
+         (Schema.relations out_schema))
+  in
+  { ti; view }
+
+let verify d { ti; view } =
+  let expanded = Ti.Finite.to_finite_pdb ti in
+  let image = Finite_pdb.map_view view expanded in
+  Finite_pdb.equal image d
+
+let max_b4_facts = 4
+
+(* ------------------------------------------------------------------ *)
+(* PDB_fin = CQ(BID_fin)                                               *)
+(* ------------------------------------------------------------------ *)
+
+type bid_representation = {
+  bid : Ipdb_pdb.Bid.Finite.t;
+  cq_view : View.t;
+}
+
+let world_relation = "W$"
+let tabulation_prefix = "Tab$"
+
+let represent_cq_bid d =
+  let worlds = Finite_pdb.support d in
+  let out_rels = Schema.relations (Finite_pdb.schema d) in
+  (* One block of mutually exclusive world selectors with the world
+     probabilities (they sum to 1: residual 0). *)
+  let selector_block =
+    List.mapi (fun i (_, p) -> (Fact.make world_relation [ Value.Int (i + 1) ], p)) worlds
+  in
+  (* Certain tabulation facts, one singleton block each. *)
+  let tabulation_blocks =
+    List.concat
+      (List.mapi
+         (fun i (inst, _) ->
+           List.map
+             (fun f ->
+               [ (Fact.make (tabulation_prefix ^ Fact.rel f) (Value.Int (i + 1) :: Fact.args f), Q.one) ])
+             (Instance.to_list inst))
+         worlds)
+  in
+  let schema =
+    Schema.make
+      ((world_relation, 1)
+      :: List.map (fun (r, a) -> (tabulation_prefix ^ r, a + 1)) out_rels)
+  in
+  let bid = Ipdb_pdb.Bid.Finite.make schema (selector_block :: tabulation_blocks) in
+  let cq_view =
+    View.make
+      (List.map
+         (fun (r, a) ->
+           let head = List.init a (fun j -> Printf.sprintf "x%d" j) in
+           let body =
+             Fo.Exists
+               ( "w",
+                 Fo.And
+                   ( Fo.atom world_relation [ Fo.v "w" ],
+                     Fo.atom (tabulation_prefix ^ r) (Fo.v "w" :: List.map Fo.v head) ) )
+           in
+           (r, head, body))
+         out_rels)
+  in
+  { bid; cq_view }
+
+let verify_cq_bid d { bid; cq_view } =
+  View.is_cq cq_view
+  &&
+  let expanded = Ipdb_pdb.Bid.Finite.to_finite_pdb bid in
+  Finite_pdb.equal (Finite_pdb.map_view cq_view expanded) d
+
+let monotone_to_cq ti v =
+  if not (View.is_monotone_syntactic v) then
+    invalid_arg "Finite_complete.monotone_to_cq: view is not syntactically positive";
+  let uncertain = Ti.Finite.uncertain_facts ti in
+  let n = List.length uncertain in
+  if n > max_b4_facts then invalid_arg "Finite_complete.monotone_to_cq: too many uncertain facts";
+  let always = Instance.of_list (Ti.Finite.certain_facts ti) in
+  let s_hat = "S_hat$" in
+  (* Ŝ(0) certain; Ŝ(j) with the marginal of the j-th uncertain fact. *)
+  let s_facts =
+    (Fact.make s_hat [ Value.Int 0 ], Q.one)
+    :: List.mapi (fun j (_, p) -> (Fact.make s_hat [ Value.Int (j + 1) ], p)) uncertain
+  in
+  (* One certain relation S_i per output relation, of arity n + r_i: all
+     (x1..xn, y1..yri) such that R_i(ȳ) ∈ V(T_always ∪ {t_j : j ∈ x̄ \ 0}). *)
+  let out_rels = Schema.relations (View.output_schema v) in
+  let index_range = List.init (n + 1) (fun i -> i) in
+  let rec index_tuples k = if k = 0 then [ [] ] else List.concat_map (fun rest -> List.map (fun i -> i :: rest) index_range) (index_tuples (k - 1)) in
+  let all_index_tuples = index_tuples n in
+  let fact_of_index j = fst (List.nth uncertain (j - 1)) in
+  let si_name rel = "S$" ^ rel in
+  let si_facts =
+    List.concat_map
+      (fun idx_tuple ->
+        let chosen =
+          List.sort_uniq Fact.compare (List.filter_map (fun j -> if j = 0 then None else Some (fact_of_index j)) idx_tuple)
+        in
+        let input = List.fold_left (fun acc f -> Instance.add f acc) always chosen in
+        let image = View.apply v input in
+        List.concat_map
+          (fun (rel, _) ->
+            List.map
+              (fun f ->
+                (Fact.make (si_name rel) (List.map (fun i -> Value.Int i) idx_tuple @ Fact.args f), Q.one))
+              (Instance.to_list (Instance.restrict_rel rel image)))
+          out_rels)
+      all_index_tuples
+  in
+  let si_schema =
+    Schema.make
+      ((s_hat, 1) :: List.map (fun (rel, arity) -> (si_name rel, n + arity)) out_rels)
+  in
+  let j = Ti.Finite.make si_schema (s_facts @ si_facts) in
+  (* CQ view: Φ_i(ȳ) = ∃x1..xn (Ŝ(x1) ∧ … ∧ Ŝ(xn) ∧ S_i(x̄, ȳ)). *)
+  let view =
+    View.make
+      (List.map
+         (fun (rel, arity) ->
+           let xs = List.init n (fun i -> Printf.sprintf "s%d" i) in
+           let ys = List.init arity (fun i -> Printf.sprintf "y%d" i) in
+           let body =
+             Fo.exists_many xs
+               (Fo.conj
+                  (List.map (fun x -> Fo.atom s_hat [ Fo.v x ]) xs
+                  @ [ Fo.atom (si_name rel) (List.map Fo.v xs @ List.map Fo.v ys) ]))
+           in
+           (rel, ys, body))
+         out_rels)
+  in
+  { ti = j; view }

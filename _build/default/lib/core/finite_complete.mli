@@ -1,0 +1,69 @@
+(** The finite setting (Section 2, "Finite Representation Systems", Figure 1,
+    and Appendix B).
+
+    The anchor result is the completeness theorem of Suciu, Olteanu, Ré and
+    Koch [51]: {b every finite PDB is an FO-view of a finite TI-PDB}
+    ([PDB_fin = FO(TI_fin)]). {!represent} is that construction, executable
+    and exactly verifiable. {!monotone_to_cq} is Proposition B.4: images of
+    finite TI-PDBs under monotone views are already images under CQ views
+    (hence [CQ(TI_fin) = UCQ(TI_fin)]). *)
+
+type representation = {
+  ti : Ipdb_pdb.Ti.Finite.t;  (** The underlying tuple-independent PDB. *)
+  view : Ipdb_logic.View.t;  (** The FO-view. *)
+}
+
+val selector_relation : string
+(** Name of the auxiliary world-selector relation introduced by
+    {!represent} (kept out of user schemas). *)
+
+val represent : Ipdb_pdb.Finite_pdb.t -> representation
+(** The completeness construction: worlds [D_1 … D_n] with probabilities
+    [p_1 … p_n] become selector facts [Sel(1) … Sel(n-1)] with marginals
+    [q_i = p_i / (1 - p_1 - … - p_{i-1})]; world [i] is selected when
+    [Sel(i)] is present and no earlier selector is, world [n] when no
+    selector is present. The view hard-codes each world under its selection
+    sentence. The result satisfies [view(ti) = input] {e exactly}
+    ({!verify}). *)
+
+val verify : Ipdb_pdb.Finite_pdb.t -> representation -> bool
+(** Exhaustively expands the TI-PDB, applies the view, and compares
+    distributions exactly. *)
+
+val monotone_to_cq : Ipdb_pdb.Ti.Finite.t -> Ipdb_logic.View.t -> representation
+(** Proposition B.4. Input: a finite TI-PDB and a {e monotone} view [V]
+    (monotonicity is the caller's promise; syntactic positivity is checked
+    and enforced). Output: a TI-PDB [J] and a {e CQ} view [Φ] with
+    [Φ(J) = V(I)]: indices of the uncertain facts go into a unary relation
+    [Ŝ] with the original marginals, and certain relations [S_i] tabulate
+    [V] on every subset of uncertain facts.
+    @raise Invalid_argument when the view is not syntactically positive or
+    the TI-PDB has more than {!max_b4_facts} uncertain facts (the [S_i]
+    tables have [(n+1)^n] entries). *)
+
+val max_b4_facts : int
+
+(** {1 The other Figure 1 completeness edge} *)
+
+type bid_representation = {
+  bid : Ipdb_pdb.Bid.Finite.t;
+  cq_view : Ipdb_logic.View.t;
+}
+
+val world_relation : string
+(** Name of the world-selector relation of {!represent_cq_bid}. *)
+
+val tabulation_prefix : string
+(** Output relations are tabulated in certain relations named
+    [tabulation_prefix ^ rel]. *)
+
+val represent_cq_bid : Ipdb_pdb.Finite_pdb.t -> bid_representation
+(** [PDB_fin = CQ(BID_fin)] (Figure 1, after [16, 42]): the worlds become
+    one block of mutually exclusive selector facts [W(i)] with marginals
+    [p_i] (residual 0 — exactly one fires), the facts of each world are
+    tabulated in certain relations [R̂(i, ā)], and the conjunctive view
+    [R(x̄) := ∃w (W(w) ∧ R̂(w, x̄))] reads the selected world back. *)
+
+val verify_cq_bid : Ipdb_pdb.Finite_pdb.t -> bid_representation -> bool
+(** Expands the BID-PDB, applies the CQ view, compares exactly; also checks
+    that the view is syntactically CQ. *)

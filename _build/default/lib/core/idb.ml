@@ -1,0 +1,245 @@
+module Q = Ipdb_bignum.Q
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Series = Ipdb_series.Series
+module Interval = Ipdb_series.Interval
+module Family = Ipdb_pdb.Family
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  instance : int -> Instance.t;
+  size : int -> int;
+  start : int;
+}
+
+let make ~name ~schema ~instance ?size ?(start = 0) () =
+  let size = match size with Some f -> f | None -> fun n -> Instance.size (instance n) in
+  { name; schema; instance; size; start }
+
+let of_family (fam : Family.t) =
+  {
+    name = fam.Family.name;
+    schema = fam.Family.schema;
+    instance = fam.Family.instance;
+    size = fam.Family.size;
+    start = fam.Family.start;
+  }
+
+let induced_of_finite d = List.map fst (Finite_pdb.support d)
+let ti_induced_member = Ti.Finite.induced_idb_member
+
+let max_size_on t ~upto =
+  let rec go n acc = if n > upto then acc else go (n + 1) (Stdlib.max acc (t.size n)) in
+  go t.start 0
+
+(* ------------------------------------------------------------------ *)
+(* Proposition 6.4                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type exclusion_witness = { fact1 : Fact.t; fact2 : Fact.t }
+
+let prop64_obstruction d =
+  let facts = Finite_pdb.facts d in
+  let positive = List.filter (fun f -> Q.sign (Finite_pdb.marginal d f) > 0) facts in
+  let rec go = function
+    | [] -> None
+    | f1 :: rest -> (
+      match
+        List.find_opt
+          (fun f2 ->
+            Q.is_zero (Finite_pdb.prob_event d (fun inst -> Instance.mem f1 inst && Instance.mem f2 inst)))
+          rest
+      with
+      | Some f2 -> Some { fact1 = f1; fact2 = f2 }
+      | None -> go rest)
+  in
+  go positive
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 6.5                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lemma65_weight ~size ~index =
+  if size = 0 then Q.one
+  else begin
+    (* (2^{-i} / s)^s, exactly *)
+    let base = Q.div Q.one (Q.mul (Q.of_int size) (Q.of_zint (Ipdb_bignum.Zint.pow (Ipdb_bignum.Zint.of_int 2) (Stdlib.max 0 index)))) in
+    Q.pow base size
+  end
+
+(* Float weight in log space: x_i = exp(s · (-i·ln2 - ln s)). Computing the
+   exact rational first would be astronomically large for worlds with, say,
+   2^60 facts; the float value is what the analytic checks need. *)
+let lemma65_weight_float ~size ~index =
+  if size = 0 then 1.0
+  else begin
+    let s = float_of_int size in
+    exp (s *. ((-.float_of_int index *. Float.log 2.0) -. Float.log s))
+  end
+
+(* Certified enclosure of x = Σ x_i : partial float sum + tail Σ_{i>N} 2^{-i}. *)
+let normalizer_enclosure t ~upto =
+  let term n = lemma65_weight_float ~size:(t.size n) ~index:n in
+  let head = Series.partial_sum_interval ~start:t.start term upto in
+  let tail = Float.ldexp 1.0 (-upto) in
+  Interval.add head (Interval.make 0.0 tail)
+
+let lemma65_family t =
+  let x = normalizer_enclosure t ~upto:60 in
+  let x_lo = Interval.lo x and x_mid = Interval.midpoint x in
+  let weight_q n = lemma65_weight ~size:(t.size n) ~index:n in
+  let prob n = lemma65_weight_float ~size:(t.size n) ~index:n /. x_mid in
+  (* a_n <= 2^{-n} / x for n with non-empty worlds; a single empty world can
+     exceed that, so take the max with the observed prefix. *)
+  let coeff =
+    let rec scan n acc =
+      if n > t.start + 60 then acc else scan (n + 1) (Float.max acc (prob n *. Float.ldexp 1.0 n))
+    in
+    Float.max (1.05 /. x_lo) (1.05 *. scan t.start 0.0)
+  in
+  Family.make ~name:(t.name ^ "/lemma65") ~schema:t.schema ~instance:t.instance ~prob
+    ~prob_q:weight_q ~size:t.size ~start:t.start
+    ~prob_tail:(Series.Tail.Exponential { index = t.start; coeff; rate = 0.5 })
+    ()
+
+let lemma65_criterion_cert t ~upto =
+  ignore upto;
+  let x = normalizer_enclosure t ~upto:60 in
+  let x_lo = Interval.lo x in
+  (* term_n = 2^{-n} x^{-1/s_n} <= 2^{-n} max(1, 1/x). *)
+  let coeff = 1.05 *. Float.max 1.0 (1.0 /. x_lo) in
+  Criteria.Tail (Series.Tail.Exponential { index = t.start; coeff; rate = 0.5 })
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 6.6                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Lazily classify indices: index n is the k-th "heavy" index when its world
+   is strictly larger than every earlier heavy world (greedy strictly
+   increasing size subsequence); other indices are "light". *)
+type classification = Heavy of int | Light of int
+
+let classifier t =
+  let memo : (int, classification) Hashtbl.t = Hashtbl.create 64 in
+  let last_size = ref 0
+  and heavy_count = ref 0
+  and light_count = ref 0
+  and prev_heavy = ref false
+  and scanned = ref (t.start - 1) in
+  let rec classify n =
+    if n <= !scanned then Hashtbl.find memo n
+    else begin
+      let m = !scanned + 1 in
+      let s = t.size m in
+      (* A world is heavy when it strictly out-grows every earlier heavy
+         world AND the previous index was light: the alternation keeps the
+         light subsequence infinite too, so that both halves of the paper's
+         probability mass (Σ c/k² = 1/2 on the heavies, Σ 2^{-m-1} = 1/2 on
+         the rest) are realised whenever sizes are unbounded. *)
+      let cls =
+        if s > !last_size && not !prev_heavy then begin
+          last_size := s;
+          incr heavy_count;
+          prev_heavy := true;
+          Heavy !heavy_count
+        end
+        else begin
+          incr light_count;
+          prev_heavy := false;
+          Light !light_count
+        end
+      in
+      Hashtbl.add memo m cls;
+      scanned := m;
+      classify n
+    end
+  in
+  classify
+
+let heavy_const = 3.0 /. (Float.pi *. Float.pi)
+
+let lemma66_family t ~subsequence_upto =
+  let classify = classifier t in
+  (* sanity: require a growing subsequence in the searched prefix *)
+  let heavies = ref 0 in
+  for n = t.start to subsequence_upto do
+    match classify n with Heavy _ -> incr heavies | Light _ -> ()
+  done;
+  if !heavies < 3 then
+    invalid_arg "Idb.lemma66_family: no strictly increasing size subsequence found (IDB looks bounded)";
+  let prob n =
+    match classify n with
+    | Heavy k -> heavy_const /. (float_of_int k *. float_of_int k)
+    | Light m -> Float.ldexp 1.0 (-(m + 1))
+  in
+  (* prefix-calibrated p-series bound for the probability tail *)
+  let coeff =
+    let rec scan n acc =
+      if n > t.start + 200 then acc
+      else scan (n + 1) (Float.max acc (prob n *. float_of_int (n + 1) *. float_of_int (n + 1)))
+    in
+    2.0 *. scan t.start heavy_const
+  in
+  Family.make ~name:(t.name ^ "/lemma66") ~schema:t.schema ~instance:t.instance ~prob
+    ~size:t.size ~start:t.start
+    ~prob_tail:(Series.Tail.P_series { index = Stdlib.max 1 t.start; coeff; p = 2.0 })
+    ()
+
+let lemma66_divergence_cert_for ?(search_limit = 200_000) t =
+  let classify = classifier t in
+  let pick =
+    (* index of the k-th heavy world; the scan is bounded so that an IDB
+       whose sizes stop growing (e.g. a size function saturating at
+       max_int) cannot send the search off to infinity — past the limit the
+       certificate simply stops claiming subsequence points (pick returns
+       max_int, ending any validation loop). *)
+    let memo = Hashtbl.create 16 in
+    fun k ->
+      match Hashtbl.find_opt memo k with
+      | Some n -> n
+      | None ->
+        let rec search n =
+          if n > t.start + search_limit then max_int
+          else begin
+            match classify n with
+            | Heavy k' ->
+              Hashtbl.replace memo k' n;
+              if k' = k then n else search (n + 1)
+            | Light _ -> search (n + 1)
+          end
+        in
+        search t.start
+  in
+  Criteria.Divergence (Series.Divergence.Subsequence_harmonic { index = 1; pick; coeff = heavy_const })
+
+let lemma66_divergence_cert =
+  (* for an IDB whose sizes strictly increase along the enumeration the
+     heavy worlds are the odd indices (by the alternation above) *)
+  Criteria.Divergence
+    (Series.Divergence.Subsequence_harmonic { index = 1; pick = (fun k -> (2 * k) - 1); coeff = heavy_const })
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 6.7                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type dichotomy =
+  | Bounded_hence_representable of int
+  | Unbounded_hence_undetermined of { in_foti : Family.t; not_in_foti : Family.t }
+
+let theorem67 t ~upto =
+  let growing =
+    let classify = classifier t in
+    let count = ref 0 in
+    for n = t.start to upto do
+      match classify n with Heavy _ -> incr count | Light _ -> ()
+    done;
+    !count
+  in
+  if growing >= 3 then
+    Unbounded_hence_undetermined
+      { in_foti = lemma65_family t; not_in_foti = lemma66_family t ~subsequence_upto:upto }
+  else Bounded_hence_representable (max_size_on t ~upto)

@@ -1,0 +1,113 @@
+(** Section 6: incomplete databases and logical (non-)representability.
+
+    An incomplete database (IDB) is a set of instances; the induced IDB of a
+    PDB is its set of possible worlds. This module provides:
+
+    - Observation 6.1 (the IDBs induced by TI-PDBs),
+    - Observation 6.2 / Proposition 6.3 (views commute with [IDB(·)] — used
+      as tested laws),
+    - Proposition 6.4 (mutually exclusive facts obstruct {e monotone} views
+      of TI-PDBs),
+    - Lemma 6.5 (every countable IDB underlies {e some} PDB in [FO(TI)]:
+      the [x_i = (2^{-i}/|D_i|)^{|D_i|}] probability assignment), and
+    - Lemma 6.6 / Theorem 6.7 (unbounded IDBs also underlie PDBs with
+      infinite expected size, hence outside [FO(TI)]): representability of
+      a PDB with unbounded-size worlds can never be decided by the sample
+      space alone. *)
+
+(** A countable incomplete database, enumerated. *)
+type t = {
+  name : string;
+  schema : Ipdb_relational.Schema.t;
+  instance : int -> Ipdb_relational.Instance.t;  (** injective *)
+  size : int -> int;  (** closed-form [|D_n|], cf. {!Ipdb_pdb.Family.t} *)
+  start : int;
+}
+
+val make :
+  name:string ->
+  schema:Ipdb_relational.Schema.t ->
+  instance:(int -> Ipdb_relational.Instance.t) ->
+  ?size:(int -> int) ->
+  ?start:int ->
+  unit ->
+  t
+(** [size] defaults to materialising the instance. *)
+
+val of_family : Ipdb_pdb.Family.t -> t
+(** The induced IDB of a countable PDB with everywhere-positive
+    probabilities. *)
+
+val induced_of_finite : Ipdb_pdb.Finite_pdb.t -> Ipdb_relational.Instance.t list
+(** [IDB(D)] for finite [D]: the possible worlds. *)
+
+val ti_induced_member : Ipdb_pdb.Ti.Finite.t -> Ipdb_relational.Instance.t -> bool
+(** Observation 6.1 membership test: contains all always-facts, only
+    fact-set facts. *)
+
+val max_size_on : t -> upto:int -> int
+
+(** {1 Proposition 6.4} *)
+
+type exclusion_witness = {
+  fact1 : Ipdb_relational.Fact.t;
+  fact2 : Ipdb_relational.Fact.t;
+}
+
+val prop64_obstruction : Ipdb_pdb.Finite_pdb.t -> exclusion_witness option
+(** Two facts of positive marginal that never co-occur. If present, the PDB
+    is not a monotone (in particular not a UCQ-) view of any TI-PDB. *)
+
+(** {1 Lemma 6.5} *)
+
+val lemma65_weight : size:int -> index:int -> Ipdb_bignum.Q.t
+(** [x_i = (2^{-i} / |D_i|)^{|D_i|}] ([1] for the empty instance) — exact. *)
+
+val lemma65_family : t -> Ipdb_pdb.Family.t
+(** The PDB of Lemma 6.5 on the given IDB: probabilities proportional to
+    the [x_i] (exact unnormalised weights; float probabilities use a
+    certified enclosure of the normaliser [x = Σ x_i]). Its Theorem 5.3
+    series for [c = 1] is certified convergent by
+    {!lemma65_criterion_cert}, so the PDB is in [FO(TI)]. *)
+
+val lemma65_criterion_cert : t -> upto:int -> Criteria.certificate
+(** Tail certificate for the (unnormalised) Theorem 5.3 series of
+    {!lemma65_family}: the proof's bound [term_i <= 2^{-i}]. *)
+
+(** {1 Lemma 6.6 and Theorem 6.7} *)
+
+val lemma66_family : t -> subsequence_upto:int -> Ipdb_pdb.Family.t
+(** A PDB on (a sub-enumeration of) the IDB with infinite expected size:
+    worlds of strictly increasing size get probability [c/k²], the rest
+    share the remaining mass as [c'/m²] (searching the first
+    [subsequence_upto] indices for the increasing-size subsequence).
+    @raise Invalid_argument when no strictly increasing size subsequence of
+    length 3 exists in the searched prefix (IDB looks bounded). *)
+
+val lemma66_divergence_cert : Criteria.certificate
+(** Divergence certificate for the expected-size series of
+    {!lemma66_family} when the IDB's sizes strictly increase along the
+    enumeration (heavy worlds then sit at the odd indices, by the
+    alternation {!lemma66_family} uses to keep the light subsequence
+    infinite): the harmonic minorant [c/k] along that subsequence. *)
+
+val lemma66_divergence_cert_for : ?search_limit:int -> t -> Criteria.certificate
+(** General version: locates the heavy subsequence of the given IDB lazily
+    and certifies the harmonic minorant along it. The scan for the next
+    heavy world is capped at [search_limit] (default 200000) indices so a
+    saturating size function cannot make it diverge. *)
+
+type dichotomy =
+  | Bounded_hence_representable of int  (** Theorem 6.7, first branch: size bound. *)
+  | Unbounded_hence_undetermined of {
+      in_foti : Ipdb_pdb.Family.t;  (** Lemma 6.5 assignment. *)
+      not_in_foti : Ipdb_pdb.Family.t;  (** Lemma 6.6 assignment. *)
+    }
+
+val theorem67 : t -> upto:int -> dichotomy
+(** Decides the (prefix-observable) branch of Theorem 6.7: if the sizes seen
+    up to [upto] are bounded and the caller asserts the IDB is
+    size-bounded, every probability assignment is representable
+    (Corollary 5.4); otherwise both witnesses are produced. The size
+    inspection is necessarily a prefix heuristic — boundedness of an
+    enumerated IDB is not decidable — so the caller chooses [upto]. *)

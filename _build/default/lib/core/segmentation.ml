@@ -1,0 +1,160 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+
+type output = {
+  ti : Ti.Finite.t;
+  condition : Fo.t;
+  view : View.t;
+  capacity : int;
+  exact : bool;
+}
+
+let segment_relation = "Seg$"
+
+(* Slot encoding: one original fact R(a_1 … a_k) occupies 1 + r positions:
+   the relation tag (a string value) followed by the arguments padded to the
+   maximal arity r with ⊥. An unused slot is all-⊥. *)
+let slot_of_fact r fact =
+  let args = Fact.args fact in
+  Value.Str (Fact.rel fact) :: args @ List.init (r - List.length args) (fun _ -> Value.Bot)
+
+let empty_slot r = List.init (1 + r) (fun _ -> Value.Bot)
+
+(* Chunk a list into pieces of length at most c. *)
+let rec chunks c = function
+  | [] -> []
+  | l ->
+    let rec take n acc = function
+      | rest when n = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (n - 1) (x :: acc) rest
+    in
+    let piece, rest = take c [] l in
+    piece :: chunks c rest
+
+let segment_facts ~c ~r ~instance_id inst =
+  let fact_list = Instance.to_list inst in
+  let segments = match chunks c fact_list with [] -> [ [] ] | segs -> segs in
+  let s_hat = List.length segments in
+  List.mapi
+    (fun j seg ->
+      let next = if j + 1 < s_hat then Value.Int (j + 1) else Value.Bot in
+      let slots = List.map (slot_of_fact r) seg in
+      let padding = List.init (c - List.length seg) (fun _ -> empty_slot r) in
+      Fact.make segment_relation
+        (Value.Int instance_id :: Value.Int j :: next :: List.concat (slots @ padding)))
+    segments
+
+(* The q-th root of a rational, as a float-backed rational (exact when
+   q = 1). *)
+let root_marginal p s_hat =
+  if s_hat = 1 then (Q.div p (Q.add Q.one p), true)
+  else begin
+    let base = Q.to_float (Q.div p (Q.add Q.one p)) in
+    (Q.of_float_exact (exp (log base /. float_of_int s_hat)), false)
+  end
+
+let seg_arity c r = 3 + (c * (1 + r))
+
+(* complete(i): segment 0 of chain i is present, and every present segment
+   whose next-pointer is not ⊥ has its target present (Claim 5.2(1): this
+   closure implies the full chain D̂_i ⊆ I by induction along pointers). *)
+let complete_formula ~c ~r iv =
+  let zs = List.init (c * (1 + r)) (fun m -> Printf.sprintf "z%d" m) in
+  let zs' = List.init (c * (1 + r)) (fun m -> Printf.sprintf "w%d" m) in
+  let has_segment_zero =
+    Fo.exists_many ("n0" :: zs)
+      (Fo.atom segment_relation (iv :: Fo.ci 0 :: Fo.v "n0" :: List.map Fo.v zs))
+  in
+  let closed =
+    Fo.forall_many
+      ("j0" :: "n0" :: zs)
+      (Fo.Implies
+         ( Fo.And
+             ( Fo.atom segment_relation (iv :: Fo.v "j0" :: Fo.v "n0" :: List.map Fo.v zs),
+               Fo.neq (Fo.v "n0") (Fo.c Value.Bot) ),
+           Fo.exists_many ("n1" :: zs')
+             (Fo.atom segment_relation (iv :: Fo.v "n0" :: Fo.v "n1" :: List.map Fo.v zs')) ))
+  in
+  Fo.And (has_segment_zero, closed)
+
+let condition_formula ~c ~r = Fo.exactly_one "i" (complete_formula ~c ~r (Fo.v "i"))
+
+(* Recovery view (Claim 5.2(2)): R(ȳ) holds when some complete chain has a
+   slot tagged R whose arguments are ȳ (padded positions must be ⊥). *)
+let recovery_view ~c ~r schema =
+  View.make
+    (List.map
+       (fun (rel, arity) ->
+         let ys = List.init arity (fun m -> Printf.sprintf "y%d" m) in
+         let zs = List.init (c * (1 + r)) (fun m -> Printf.sprintf "z%d" m) in
+         let slot_matches m =
+           let base = m * (1 + r) in
+           Fo.conj
+             (Fo.eq (Fo.v (List.nth zs base)) (Fo.cs rel)
+             :: List.init r (fun t ->
+                    let z = Fo.v (List.nth zs (base + 1 + t)) in
+                    if t < arity then Fo.eq z (Fo.v (List.nth ys t)) else Fo.eq z (Fo.c Value.Bot)))
+         in
+         let body =
+           Fo.exists_many
+             ("i" :: "j0" :: "n0" :: zs)
+             (Fo.conj
+                [ Fo.atom segment_relation (Fo.v "i" :: Fo.v "j0" :: Fo.v "n0" :: List.map Fo.v zs);
+                  complete_formula ~c ~r (Fo.v "i");
+                  Fo.disj (List.init c slot_matches)
+                ])
+         in
+         (rel, ys, body))
+       (Schema.relations schema))
+
+let segment ~c d =
+  if c < 1 then invalid_arg "Segmentation.segment: capacity must be >= 1";
+  let r = Schema.max_arity (Finite_pdb.schema d) in
+  let worlds = Finite_pdb.support d in
+  let exact = ref true in
+  let facts =
+    List.concat
+      (List.mapi
+         (fun i (inst, p) ->
+           let segs = segment_facts ~c ~r ~instance_id:i inst in
+           let q, ex = root_marginal p (List.length segs) in
+           if not ex then exact := false;
+           List.map (fun f -> (f, q)) segs)
+         worlds)
+  in
+  let schema = Schema.make [ (segment_relation, seg_arity c r) ] in
+  {
+    ti = Ti.Finite.make schema facts;
+    condition = condition_formula ~c ~r;
+    view = recovery_view ~c ~r (Finite_pdb.schema d);
+    capacity = c;
+    exact = !exact;
+  }
+
+let image output =
+  let expanded = Ti.Finite.to_finite_pdb output.ti in
+  match Finite_pdb.condition expanded output.condition with
+  | None -> None
+  | Some conditioned -> Some (Finite_pdb.map_view output.view conditioned)
+
+let verify_exact d output =
+  match image output with None -> false | Some img -> Finite_pdb.equal img d
+
+let verify_tv d output =
+  match image output with
+  | None -> 1.0
+  | Some img -> Q.to_float (Finite_pdb.tv_distance img d)
+
+let bounded_size_representation d =
+  let bound =
+    List.fold_left (fun acc (inst, _) -> Stdlib.max acc (Instance.size inst)) 1 (Finite_pdb.support d)
+  in
+  segment ~c:bound d

@@ -1,0 +1,53 @@
+(** Lemma 5.1 / Theorem 5.3 / Corollary 5.4: the segmented-fact
+    representation.
+
+    Given a PDB whose instance probabilities decay fast enough (condition
+    (3) of Lemma 5.1 with segment capacity [c]), the paper represents it as
+    an FO-view of an FO-conditioned TI-PDB whose facts are {e segments}:
+
+    {v  Seg$( instance-id, segment-id, next-segment-ptr, slot_1 … slot_c ) v}
+
+    where every slot packs one original fact as [(relation-tag, args padded
+    to the maximal arity with ⊥)] and unused slots are all-[⊥]. All facts of
+    the same instance [D_i] are i.i.d. with marginal
+    [(p_i / (1 + p_i))^(1/ŝ_i)], [ŝ_i = ⌈|D_i|/c⌉], so including the whole
+    chain has probability [p_i / (1 + p_i)].
+
+    The FO condition [φ] says: {e exactly one} instance id has a complete
+    chain (segment 0 present and every present segment's next-pointer
+    target present — Claim 5.2(1)); the view recovers the original facts
+    from the complete chain's slots (Claim 5.2(2)).
+
+    With [c >=] the maximal instance size every [ŝ_i = 1]: the marginals
+    are exact rationals and the construction proves Corollary 5.4 (bounded
+    instance size ⟹ FO(TI)) with exact verification. Combined with
+    {!Decondition.decondition}, this realises Theorem 5.3's unconditional
+    representation. *)
+
+type output = {
+  ti : Ipdb_pdb.Ti.Finite.t;
+  condition : Ipdb_logic.Fo.t;  (** "is a representation" (Claim 5.2(1)) *)
+  view : Ipdb_logic.View.t;  (** slot recovery (Claim 5.2(2)) *)
+  capacity : int;  (** the [c] used *)
+  exact : bool;  (** all [ŝ_i = 1], i.e. the marginals are exact *)
+}
+
+val segment_relation : string
+
+val segment : c:int -> Ipdb_pdb.Finite_pdb.t -> output
+(** Builds the representation of a finite PDB (typically an exact
+    truncation of a countable family).
+    @raise Invalid_argument when [c < 1]. *)
+
+val verify_exact : Ipdb_pdb.Finite_pdb.t -> output -> bool
+(** Expands the TI-PDB, conditions on [condition], applies [view], and
+    compares exactly. Meaningful when [output.exact]; otherwise use
+    {!verify_tv}. *)
+
+val verify_tv : Ipdb_pdb.Finite_pdb.t -> output -> float
+(** Same pipeline, returning the total-variation distance as a float
+    (small but nonzero when the marginals were irrational roots). *)
+
+val bounded_size_representation : Ipdb_pdb.Finite_pdb.t -> output
+(** Corollary 5.4: [c] = maximal instance size, hence an exact
+    representation. *)

@@ -1,0 +1,123 @@
+(** The paper's named probabilistic databases, as library values.
+
+    Each countable PDB comes bundled with the analytic certificates that
+    back the paper's claims about it, so that the experiment harness can
+    re-derive every quantitative statement with a machine-checked verdict:
+
+    - {!example_3_5} — finite expectation, certified-infinite second moment
+      ⟹ not in [FO(TI)] (Proposition 3.4);
+    - {!example_3_9} — all moments finite, yet not in [FO(TI)]
+      (Lemma 3.7 / Theorem 3.10);
+    - {!example_5_5} — unbounded instance size, in [FO(TI)] by Theorem 5.3
+      with [c = 1];
+    - {!example_5_6_ti} / Proposition D.2 — a TI-PDB (trivially in
+      [FO(TI)]) whose Theorem 5.3 series diverges for every [c]: the gap
+      between the necessary and the sufficient condition;
+    - {!propD3_truncation} — the BID analogue (Proposition D.3);
+    - {!example_b2}, {!example_b3} — the finite separations of Figure 1;
+    - {!car_accidents} — the introduction's motivating example: per-country
+      accident counts with Poisson noise, a BID-PDB with infinite blocks;
+    - {!sensor_bounded} — a bounded-instance-size PDB (Corollary 5.4
+      territory). *)
+
+module Series = Ipdb_series.Series
+module Family = Ipdb_pdb.Family
+
+(** A countable PDB with the certificates backing the paper's claims. *)
+type certified_family = {
+  family : Family.t;
+  moment_cert : int -> Criteria.certificate option;
+      (** certificate for the [k]-th moment series, when the paper
+          provides/implies one *)
+  thm53_cert : int -> Criteria.certificate option;
+      (** certificate for the Theorem 5.3 series at capacity [c] *)
+  size_bound : int option;
+  domain_disjoint : bool;
+  expected_in_foti : bool option;  (** the paper's verdict, when stated *)
+  check_upto : int;
+      (** Horizon up to which series terms are float-meaningful (e.g.
+          Example 3.5's sizes [2^n] exceed double range past [n = 55];
+          validating certificates on later terms would only measure
+          rounding). Verdict procedures clamp their [upto] to this. *)
+  description : string;
+}
+
+val example_3_5 : certified_family
+(** [|D_i| = 2^i], [P(D_i) = 3·4^{-i}]: [E(|·|) = 3] but [E(|·|²) = ∞]. *)
+
+val example_3_9 : certified_family
+(** [|adom(D_n)| = ⌈log₂ n⌉], [P(D_n) = (6/π²)/n²]: all moments finite,
+    not in [FO(TI)]. *)
+
+val example_3_9_lemma37_data :
+  unit -> (int -> float) * (int -> int) * (int -> float)
+(** [(prob, adom_size, a)] for {!Criteria.lemma37_refutation} on
+    Example 3.9, with [a n = 1/n] as in the paper. *)
+
+val example_5_5 : certified_family
+(** [|D_i| = i], [P(D_i) = 2^{-i²}/x]: unbounded size, in [FO(TI)]. *)
+
+val example_5_5_normalizer : Ipdb_series.Interval.t
+(** Certified enclosure of [x = Σ 2^{-i²}]. *)
+
+val example_5_6_ti : Ipdb_pdb.Ti.Infinite.t
+(** The TI-PDB with marginals [1/(i²+1)] (Example 5.6 / Prop. D.2). *)
+
+val z_enclosure : upto:int -> Ipdb_series.Interval.t
+(** Certified enclosure of [Z = Π (1 - 1/(i²+1))] used by Prop. D.2. *)
+
+val propD2_grouped_term : c:int -> z_lo:float -> int -> float
+(** The grouped lower-bound series of Proposition D.2:
+    [min(1,Z)^c · 2^{n-1} / n^{2c}] — a certified-divergent minorant of the
+    Theorem 5.3 series of {!example_5_6_ti}. *)
+
+val propD2_divergence_cert : c:int -> z_lo:float -> Criteria.certificate
+
+val propD3_block : int -> Ipdb_pdb.Bid.Finite.block
+(** Block [B_i] of Proposition D.3: two facts with marginal
+    [1/(2(i²+1))]. *)
+
+val propD3_truncation : blocks:int -> Ipdb_pdb.Bid.Finite.t
+
+val propD3_stream : Ipdb_pdb.Bid.Block_stream.t
+(** Proposition D.3's PDB in its native infinite shape: countably many
+    two-fact blocks with certified-summable masses. *)
+
+val propD3_grouped_term : c:int -> z_lo:float -> int -> float
+val propD3_divergence_cert : c:int -> z_lo:float -> Criteria.certificate
+
+val example_b2 : Ipdb_pdb.Bid.Finite.t
+(** One block, two facts, probability 1/2 each (Example B.2): two maximal
+    worlds, hence not in [CQ(TI_fin)]. *)
+
+val example_b3 : Ipdb_pdb.Ti.Finite.t * Ipdb_logic.View.t
+(** The TI-PDB and CQ view [∃y R(x,y) ∧ R(y,z)] of Example B.3, whose image
+    is neither TI nor BID. *)
+
+val example_b3_expected : Ipdb_bignum.Q.t -> Ipdb_bignum.Q.t -> (Ipdb_relational.Instance.t * Ipdb_bignum.Q.t) list
+(** The corrected output table for marginals [p = P(R(a,a))] and
+    [p' = P(R(a,b))]: [∅ ↦ 1-p], [{T(a,a)} ↦ p(1-p')],
+    [{T(a,a),T(a,b)} ↦ pp']. (The paper's Appendix B table transposes [p]
+    and [p']; see EXPERIMENTS.md. The separation — a 3-world image whose
+    missing singleton violates both TI and the BID block structure — is
+    unaffected.) *)
+
+val car_accidents : Ipdb_pdb.Bid.Infinite.t
+(** Countries with Poisson-distributed accident counts (Section 1). *)
+
+val approximate_counters : Ipdb_pdb.Bid.Infinite.t
+(** Geometric-distributed counters (Section 1's "approximate counters,
+    modeled by some probability distribution over the integers"): a
+    BID-PDB with {e exact rational} masses, so truncations pass through the
+    Theorem 5.9 construction with exact verification. *)
+
+val sensor_bounded : certified_family
+(** A bounded-size sensor PDB: geometric mixture of size-2 readings. *)
+
+val sqrt_growth : certified_family
+(** Synthetic companion to Example 3.5: sizes [⌈√n⌉] with [P = c/n³], so
+    moments 1–3 are finite but the 4th diverges — Proposition 3.4 excludes
+    it from [FO(TI)] one level higher up the moment hierarchy. *)
+
+val all_families : (string * certified_family) list
+(** The certified families above, for sweep-style tests and benches. *)

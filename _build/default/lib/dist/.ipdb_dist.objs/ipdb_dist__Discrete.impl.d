@@ -1,0 +1,1 @@
+lib/dist/discrete.ml: Float Ipdb_bignum Ipdb_series List Printf Random Stdlib

@@ -1,0 +1,1 @@
+lib/dist/discrete.mli: Ipdb_bignum Ipdb_series Random

@@ -1,0 +1,131 @@
+module Q = Ipdb_bignum.Q
+module Series = Ipdb_series.Series
+module Interval = Ipdb_series.Interval
+
+type support =
+  | Finite of int list
+  | Naturals_from of int
+
+type t = {
+  name : string;
+  support : support;
+  pmf : int -> float;
+  pmf_q : (int -> Q.t) option;
+  mean : float;
+  tail : Series.Tail.t;
+}
+
+let make ~name ~support ~pmf ?pmf_q ~mean ~tail () = { name; support; pmf; pmf_q; mean; tail }
+
+let point k =
+  make ~name:(Printf.sprintf "point(%d)" k) ~support:(Finite [ k ])
+    ~pmf:(fun n -> if n = k then 1.0 else 0.0)
+    ~pmf_q:(fun n -> if n = k then Q.one else Q.zero)
+    ~mean:(float_of_int k)
+    ~tail:(Series.Tail.Finite_support { last = k })
+    ()
+
+let uniform ks =
+  if ks = [] then invalid_arg "Discrete.uniform: empty support";
+  let ks = List.sort_uniq Stdlib.compare ks in
+  let n = List.length ks in
+  let p = 1.0 /. float_of_int n in
+  let pq = Q.of_ints 1 n in
+  let last = List.fold_left Stdlib.max min_int ks in
+  make ~name:"uniform" ~support:(Finite ks)
+    ~pmf:(fun k -> if List.mem k ks then p else 0.0)
+    ~pmf_q:(fun k -> if List.mem k ks then pq else Q.zero)
+    ~mean:(List.fold_left (fun acc k -> acc +. float_of_int k) 0.0 ks /. float_of_int n)
+    ~tail:(Series.Tail.Finite_support { last })
+    ()
+
+let bernoulli p =
+  if not (Q.is_probability p) then invalid_arg "Discrete.bernoulli: not a probability";
+  let pf = Q.to_float p in
+  make ~name:"bernoulli" ~support:(Finite [ 0; 1 ])
+    ~pmf:(fun k -> if k = 1 then pf else if k = 0 then 1.0 -. pf else 0.0)
+    ~pmf_q:(fun k -> if k = 1 then p else if k = 0 then Q.one_minus p else Q.zero)
+    ~mean:pf
+    ~tail:(Series.Tail.Finite_support { last = 1 })
+    ()
+
+let poisson lambda =
+  if lambda <= 0.0 then invalid_arg "Discrete.poisson: rate must be positive";
+  let pmf k =
+    if k < 0 then 0.0
+    else begin
+      (* exp(-λ) λ^k / k! computed in log space for stability *)
+      let rec log_fact acc i = if i <= 1 then acc else log_fact (acc +. log (float_of_int i)) (i - 1) in
+      exp ((float_of_int k *. log lambda) -. lambda -. log_fact 0.0 k)
+    end
+  in
+  (* For k >= 2λ the ratio λ/(k+1) <= 1/2, so the terms are dominated by a
+     geometric with ratio 1/2 starting at k0 = max(1, ⌈2λ⌉). *)
+  let k0 = Stdlib.max 1 (int_of_float (ceil (2.0 *. lambda))) in
+  make
+    ~name:(Printf.sprintf "poisson(%g)" lambda)
+    ~support:(Naturals_from 0) ~pmf ~mean:lambda
+    ~tail:(Series.Tail.Geometric { index = k0; first = pmf k0; ratio = 0.5 })
+    ()
+
+let geometric p =
+  if not (Q.is_probability p) || Q.is_zero p then invalid_arg "Discrete.geometric: need 0 < p <= 1";
+  let pf = Q.to_float p in
+  let q = Q.one_minus p in
+  let qf = Q.to_float q in
+  make ~name:"geometric" ~support:(Naturals_from 0)
+    ~pmf:(fun k -> if k < 0 then 0.0 else pf *. (qf ** float_of_int k))
+    ~pmf_q:(fun k -> if k < 0 then Q.zero else Q.mul p (Q.pow q k))
+    ~mean:(qf /. pf)
+    ~tail:(Series.Tail.Geometric { index = 0; first = pf; ratio = qf })
+    ()
+
+let basel () =
+  let c = 6.0 /. (Float.pi *. Float.pi) in
+  make ~name:"basel" ~support:(Naturals_from 1)
+    ~pmf:(fun n -> if n < 1 then 0.0 else c /. (float_of_int n *. float_of_int n))
+    ~mean:Float.infinity
+    ~tail:(Series.Tail.P_series { index = 1; coeff = c; p = 2.0 })
+    ()
+
+let first_index t = match t.support with Finite ks -> List.fold_left Stdlib.min max_int ks | Naturals_from n -> n
+
+let total_mass_check t ~upto = Series.sum ~start:(first_index t) t.pmf ~tail:t.tail ~upto
+
+let mass_outside t n =
+  match t.support with
+  | Finite ks -> if List.for_all (fun k -> k <= n) ks then 0.0 else Series.Tail.bound_from t.tail (n + 1)
+  | Naturals_from _ ->
+    (* If the certificate only applies from a later index, bridge the gap
+       with the explicit terms. *)
+    let i0 = Series.Tail.start_index t.tail in
+    if n + 1 >= i0 then Series.Tail.bound_from t.tail (n + 1)
+    else begin
+      let bridge = ref 0.0 in
+      for k = n + 1 to i0 - 1 do
+        bridge := !bridge +. t.pmf k
+      done;
+      !bridge +. Series.Tail.bound_from t.tail i0
+    end
+
+let sample t rng =
+  let u = Random.State.float rng 1.0 in
+  match t.support with
+  | Finite ks ->
+    let rec go acc = function
+      | [] -> List.nth ks (List.length ks - 1)
+      | [ k ] -> k
+      | k :: rest ->
+        let acc = acc +. t.pmf k in
+        if u < acc then k else go acc rest
+    in
+    go 0.0 ks
+  | Naturals_from n0 ->
+    let rec go acc k =
+      let acc = acc +. t.pmf k in
+      if u < acc || acc >= 1.0 -. 1e-12 then k else go acc (k + 1)
+    in
+    go 0.0 n0
+
+let mean_check t ~upto ~mean_tail =
+  Series.sum ~start:(first_index t) (fun n -> float_of_int n *. t.pmf n) ~tail:mean_tail ~upto

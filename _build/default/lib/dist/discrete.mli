@@ -1,0 +1,64 @@
+(** Discrete probability distributions over the integers.
+
+    These model the paper's motivating attribute-level uncertainty: "the
+    number of car accidents … where the errors are modeled by some Poisson
+    distribution" (Section 1) becomes a BID block whose alternative facts
+    carry the Poisson probability mass function. *)
+
+type support =
+  | Finite of int list  (** Ascending, duplicate-free. *)
+  | Naturals_from of int  (** All integers [>= n]. *)
+
+type t = private {
+  name : string;
+  support : support;
+  pmf : int -> float;
+  pmf_q : (int -> Ipdb_bignum.Q.t) option;  (** Exact mass when rational. *)
+  mean : float;
+  tail : Ipdb_series.Series.Tail.t;  (** Certificate that the mass sums (to 1). *)
+}
+
+val make :
+  name:string ->
+  support:support ->
+  pmf:(int -> float) ->
+  ?pmf_q:(int -> Ipdb_bignum.Q.t) ->
+  mean:float ->
+  tail:Ipdb_series.Series.Tail.t ->
+  unit ->
+  t
+
+val point : int -> t
+(** Point mass. *)
+
+val uniform : int list -> t
+(** Uniform on a finite non-empty list. *)
+
+val bernoulli : Ipdb_bignum.Q.t -> t
+(** Mass [p] on 1 and [1-p] on 0. *)
+
+val poisson : float -> t
+(** Poisson with rate [lambda > 0]. *)
+
+val geometric : Ipdb_bignum.Q.t -> t
+(** [P(k) = (1-p)^k p] for [k >= 0], with rational [0 < p <= 1] (exact
+    pmf available). *)
+
+val basel : unit -> t
+(** [P(n) = (6/π²) / n²] on [n >= 1] — the distribution of Example 3.9 and
+    Lemma 6.6. *)
+
+val total_mass_check : t -> upto:int -> (Ipdb_series.Interval.t, string) result
+(** Certified enclosure of the total mass; should contain 1. *)
+
+val mass_outside : t -> int -> float
+(** Upper bound on the mass of indices [> n] (from the tail certificate). *)
+
+val sample : t -> Random.State.t -> int
+(** Inverse-CDF sampling. For infinite supports the walk is capped after
+    accumulating [1 - 1e-12] of mass; the cap value is the last support
+    point visited. *)
+
+val mean_check : t -> upto:int -> mean_tail:Ipdb_series.Series.Tail.t -> (Ipdb_series.Interval.t, string) result
+(** Certified enclosure of the mean given a tail certificate for the series
+    [n * pmf n]. *)

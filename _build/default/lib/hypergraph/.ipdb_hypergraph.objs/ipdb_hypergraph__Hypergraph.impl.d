@@ -1,0 +1,1 @@
+lib/hypergraph/hypergraph.ml: Array Format Hashtbl Ipdb_relational List Set Stdlib String

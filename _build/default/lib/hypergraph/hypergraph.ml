@@ -1,0 +1,81 @@
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module VSet = Set.Make (Value)
+
+type edge = { id : int; label : Fact.t option; vertices : VSet.t }
+type t = { vertices : VSet.t; edges : edge list }
+
+let make ~vertices ~edges =
+  let edges = List.mapi (fun i vs -> { id = i; label = None; vertices = VSet.of_list vs }) edges in
+  let vertices =
+    List.fold_left (fun acc (e : edge) -> VSet.union acc e.vertices) (VSet.of_list vertices) edges
+  in
+  { vertices; edges }
+
+let of_facts facts =
+  let edges = List.mapi (fun i f -> { id = i; label = Some f; vertices = VSet.of_list (Fact.values f) }) facts in
+  let vertices = List.fold_left (fun acc (e : edge) -> VSet.union acc e.vertices) VSet.empty edges in
+  { vertices; edges }
+
+let restrict t s =
+  let edges =
+    List.filter_map
+      (fun (e : edge) ->
+        let vs = VSet.inter e.vertices s in
+        if VSet.is_empty vs then None else Some { e with vertices = vs })
+      t.edges
+  in
+  { vertices = VSet.inter t.vertices s; edges }
+
+let dedup t =
+  let seen = Hashtbl.create 16 in
+  let edges =
+    List.filter
+      (fun (e : edge) ->
+        let key = VSet.elements e.vertices in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      (List.sort (fun a b -> Stdlib.compare a.id b.id) t.edges)
+  in
+  { t with edges }
+
+let num_edges t = List.length t.edges
+let num_vertices t = VSet.cardinal t.vertices
+let max_edge_size t = List.fold_left (fun acc (e : edge) -> Stdlib.max acc (VSet.cardinal e.vertices)) 0 t.edges
+
+let is_edge_cover ~target edges =
+  let covered = List.fold_left (fun acc (e : edge) -> VSet.union acc e.vertices) VSet.empty edges in
+  VSet.subset target covered
+
+let subsets edges =
+  let n = List.length edges in
+  if n > 20 then invalid_arg "Hypergraph: too many edges for exhaustive enumeration (max 20)";
+  let arr = Array.of_list edges in
+  let out = ref [] in
+  for bits = 0 to (1 lsl n) - 1 do
+    let sub = ref [] in
+    for i = n - 1 downto 0 do
+      if bits land (1 lsl i) <> 0 then sub := arr.(i) :: !sub
+    done;
+    out := !sub :: !out
+  done;
+  List.rev !out
+
+let edge_covers t ~target = List.filter (is_edge_cover ~target) (subsets t.edges)
+
+let minimal_edge_covers t ~target =
+  let covers = edge_covers t ~target in
+  List.filter
+    (fun c -> List.for_all (fun e -> not (is_edge_cover ~target (List.filter (fun e' -> e'.id <> e.id) c))) c)
+    covers
+
+let pp fmt t =
+  Format.fprintf fmt "H(V=%d, E=%d)" (num_vertices t) (num_edges t);
+  List.iter
+    (fun (e : edge) ->
+      Format.fprintf fmt "@.  e%d = {%s}" e.id
+        (String.concat "," (List.map Value.to_string (VSet.elements e.vertices))))
+    t.edges

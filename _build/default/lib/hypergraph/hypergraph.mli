@@ -1,0 +1,51 @@
+(** Multi-hypergraphs over universe values, and edge covers.
+
+    Lemma 3.6 of the paper bounds the probability that an FO-view of a
+    TI-PDB produces a given instance by a sum over {e minimal edge covers}
+    of the hypergraph whose vertices are active-domain elements and whose
+    edges are facts. This module provides that machinery exactly: edges keep
+    their identity (facts with the same vertex set are distinct edges, i.e.
+    the structure is a multi-hypergraph), and [dedup] produces the
+    deduplicated restriction H'ₙ of the proof. *)
+
+module VSet : Set.S with type elt = Ipdb_relational.Value.t
+
+type edge = { id : int; label : Ipdb_relational.Fact.t option; vertices : VSet.t }
+
+type t = private { vertices : VSet.t; edges : edge list }
+
+val make : vertices:Ipdb_relational.Value.t list -> edges:Ipdb_relational.Value.t list list -> t
+(** Anonymous edges numbered in order. Vertices of edges are added to the
+    vertex set automatically. *)
+
+val of_facts : Ipdb_relational.Fact.t list -> t
+(** One edge per fact, containing the fact's values; vertex set is the union
+    of active domains. *)
+
+val restrict : t -> VSet.t -> t
+(** Restriction to a vertex set: every edge is intersected with the set and
+    empty edges are dropped (edge identities are preserved). *)
+
+val dedup : t -> t
+(** Remove duplicate edges (same vertex set), keeping the lowest id — the
+    deduplication step building H'ₙ in Lemma 3.6. *)
+
+val num_edges : t -> int
+val num_vertices : t -> int
+
+val max_edge_size : t -> int
+(** Size of the largest edge (the arity bound [r] in Lemma 3.6); 0 when
+    there are no edges. *)
+
+val is_edge_cover : target:VSet.t -> edge list -> bool
+(** Do the given edges jointly contain every target vertex? *)
+
+val edge_covers : t -> target:VSet.t -> edge list list
+(** All subsets of edges covering the target.
+    @raise Invalid_argument when the hypergraph has more than 20 edges. *)
+
+val minimal_edge_covers : t -> target:VSet.t -> edge list list
+(** All inclusion-minimal covers of the target.
+    @raise Invalid_argument when the hypergraph has more than 20 edges. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/logic/classify.ml: Eval Fo Ipdb_relational List

@@ -1,0 +1,1 @@
+lib/logic/classify.mli: Fo Ipdb_relational

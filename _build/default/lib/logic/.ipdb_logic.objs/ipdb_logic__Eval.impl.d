@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Fo Ipdb_relational List Map Set String

@@ -1,0 +1,1 @@
+lib/logic/eval.mli: Fo Ipdb_relational Map

@@ -1,0 +1,1 @@
+lib/logic/fo.ml: Format Ipdb_relational List Map Printf Set String

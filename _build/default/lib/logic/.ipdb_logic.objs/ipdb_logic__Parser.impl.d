@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Array Fo Ipdb_relational List Printf String View

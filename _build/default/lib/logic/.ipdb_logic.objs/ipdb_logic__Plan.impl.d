@@ -1,0 +1,1 @@
+lib/logic/plan.ml: Fo Ipdb_relational List Printf Result String View

@@ -1,0 +1,1 @@
+lib/logic/plan.mli: Fo Ipdb_relational View

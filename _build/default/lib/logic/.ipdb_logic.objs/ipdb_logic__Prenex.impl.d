@@ -1,0 +1,1 @@
+lib/logic/prenex.ml: Fo List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/logic/safe_range.ml: Fo List Printf Set String View

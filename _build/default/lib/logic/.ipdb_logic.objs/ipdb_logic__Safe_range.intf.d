@@ -1,0 +1,1 @@
+lib/logic/safe_range.mli: Fo View

@@ -1,0 +1,1 @@
+lib/logic/surgery.ml: Fo Ipdb_relational List Printf String View

@@ -1,0 +1,1 @@
+lib/logic/surgery.mli: Fo Ipdb_relational View

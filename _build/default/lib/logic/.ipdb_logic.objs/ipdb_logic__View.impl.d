@@ -1,0 +1,1 @@
+lib/logic/view.ml: Classify Eval Fo Format Hashtbl Ipdb_relational List Map Printf Set Stdlib String

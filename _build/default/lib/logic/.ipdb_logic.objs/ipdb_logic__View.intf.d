@@ -1,0 +1,1 @@
+lib/logic/view.mli: Fo Format Ipdb_relational

@@ -1,0 +1,33 @@
+module Instance = Ipdb_relational.Instance
+
+let rec is_positive_existential : Fo.t -> bool = function
+  | True | False | Atom _ | Eq _ -> true
+  | And (f, g) | Or (f, g) -> is_positive_existential f && is_positive_existential g
+  | Exists (_, f) -> is_positive_existential f
+  | Not _ | Implies _ | Iff _ | Forall _ -> false
+
+let rec is_cq : Fo.t -> bool = function
+  | True | Atom _ | Eq _ -> true
+  | And (f, g) -> is_cq f && is_cq g
+  | Exists (_, f) -> is_cq f
+  | False | Not _ | Or _ | Implies _ | Iff _ | Forall _ -> false
+
+let is_ucq = is_positive_existential
+
+let rec is_quantifier_free : Fo.t -> bool = function
+  | True | False | Atom _ | Eq _ -> true
+  | Not f -> is_quantifier_free f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> is_quantifier_free f && is_quantifier_free g
+  | Exists _ | Forall _ -> false
+
+let semantically_monotone_on phi vars pairs =
+  List.for_all
+    (fun (i, i') ->
+      if not (Instance.subset i i') then true
+      else begin
+        let extra = Instance.adom i' in
+        let small = Eval.satisfying ~extra i vars phi in
+        let large = Eval.satisfying ~extra i' vars phi in
+        List.for_all (fun tup -> List.exists (fun t' -> List.for_all2 Ipdb_relational.Value.equal tup t') large) small
+      end)
+    pairs

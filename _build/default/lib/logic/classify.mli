@@ -1,0 +1,28 @@
+(** Syntactic classes of first-order formulas.
+
+    The paper distinguishes FO-views from CQ- and UCQ-views (Figures 1
+    and 4) and uses the monotonicity of UCQ views in Proposition 6.4; this
+    module recognises the relevant fragments. *)
+
+val is_positive_existential : Fo.t -> bool
+(** Built from atoms, equalities, [True]/[False], conjunction, disjunction
+    and existential quantification only. Such formulas define monotone
+    queries. *)
+
+val is_cq : Fo.t -> bool
+(** Conjunctive queries: atoms (and equalities) combined by conjunction and
+    existential quantification. *)
+
+val is_ucq : Fo.t -> bool
+(** Unions of conjunctive queries. We accept any positive-existential
+    formula: every such formula is equivalent to a UCQ. *)
+
+val is_quantifier_free : Fo.t -> bool
+
+val semantically_monotone_on :
+  Fo.t -> Fo.var list -> (Ipdb_relational.Instance.t * Ipdb_relational.Instance.t) list -> bool
+(** [semantically_monotone_on phi vars pairs] spot-checks monotonicity: for
+    every pair [(i, i')] with [i ⊆ i'], the answers of [phi] on [i] are
+    included in the answers on [i'] (answers computed over the larger
+    instance's evaluation domain). Pairs that are not inclusions are
+    skipped. *)

@@ -1,0 +1,229 @@
+module Value = Ipdb_relational.Value
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Env = Map.Make (String)
+
+type env = Value.t Env.t
+
+let env_of_list l = List.fold_left (fun acc (k, v) -> Env.add k v acc) Env.empty l
+
+module VSet = Set.Make (Value)
+
+let domain_of ?(extra = []) inst phi =
+  let s = VSet.of_list (Instance.adom inst) in
+  let s = List.fold_left (fun acc v -> VSet.add v acc) s (Fo.constants phi) in
+  let s = List.fold_left (fun acc v -> VSet.add v acc) s extra in
+  VSet.elements s
+
+let term_value env = function
+  | Fo.C v -> v
+  | Fo.V x -> (
+    match Env.find_opt x env with
+    | Some v -> v
+    | None -> invalid_arg ("Eval: unbound variable " ^ x))
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator: plain active-domain semantics.                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_naive ~domain inst env (phi : Fo.t) =
+  match phi with
+  | True -> true
+  | False -> false
+  | Atom (r, args) -> Instance.mem (Fact.make r (List.map (term_value env) args)) inst
+  | Eq (a, b) -> Value.equal (term_value env a) (term_value env b)
+  | Not f -> not (eval_naive ~domain inst env f)
+  | And (f, g) -> eval_naive ~domain inst env f && eval_naive ~domain inst env g
+  | Or (f, g) -> eval_naive ~domain inst env f || eval_naive ~domain inst env g
+  | Implies (f, g) -> (not (eval_naive ~domain inst env f)) || eval_naive ~domain inst env g
+  | Iff (f, g) -> eval_naive ~domain inst env f = eval_naive ~domain inst env g
+  | Exists (x, f) -> List.exists (fun v -> eval_naive ~domain inst (Env.add x v env) f) domain
+  | Forall (x, f) -> List.for_all (fun v -> eval_naive ~domain inst (Env.add x v env) f) domain
+
+(* ------------------------------------------------------------------ *)
+(* Optimised evaluator.                                                *)
+(*                                                                     *)
+(* Quantifier blocks whose matrix contains atoms are evaluated by      *)
+(* unifying the atoms against the instance's facts instead of ranging  *)
+(* over the full domain — the formulas produced by the paper's         *)
+(* constructions (chain-completeness, copy-suitability, block          *)
+(* structure) all have this shape, and naive evaluation would be       *)
+(* |domain|^k for atom arity k. Equivalence with [eval_naive] is       *)
+(* property-tested.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module SSet = Set.Make (String)
+
+let rec conjuncts = function
+  | Fo.And (f, g) -> conjuncts f @ conjuncts g
+  | f -> [ f ]
+
+(* Unify atom argument terms against a fact's values. [bindable] are the
+   quantified variables of the current block; everything else must already
+   be bound (or be a constant). Returns the extended environment. *)
+let unify_args env bindable args values =
+  let rec go env args values =
+    match (args, values) with
+    | [], [] -> Some env
+    | a :: args, v :: values -> (
+      match a with
+      | Fo.C c -> if Value.equal c v then go env args values else None
+      | Fo.V x -> (
+        match Env.find_opt x env with
+        | Some bound -> if Value.equal bound v then go env args values else None
+        | None ->
+          if SSet.mem x bindable then go (Env.add x v env) args values
+          else None))
+    | _ -> None
+  in
+  go env args values
+
+(* Variables of an atom's arguments that are not yet bound. *)
+let unbound_atom_vars env args =
+  List.filter_map
+    (fun t -> match t with Fo.V x when not (Env.mem x env) -> Some x | Fo.V _ | Fo.C _ -> None)
+    args
+
+let rec eval ~domain inst env (phi : Fo.t) =
+  match phi with
+  | True -> true
+  | False -> false
+  | Atom (r, args) -> Instance.mem (Fact.make r (List.map (term_value env) args)) inst
+  | Eq (a, b) -> Value.equal (term_value env a) (term_value env b)
+  | Not f -> not (eval ~domain inst env f)
+  | And (f, g) -> eval ~domain inst env f && eval ~domain inst env g
+  | Or (f, g) -> eval ~domain inst env f || eval ~domain inst env g
+  | Implies (f, g) -> (not (eval ~domain inst env f)) || eval ~domain inst env g
+  | Iff (f, g) -> eval ~domain inst env f = eval ~domain inst env g
+  | Exists _ ->
+    let rec peel acc = function
+      | Fo.Exists (x, f) -> peel (x :: acc) f
+      | f -> (List.rev acc, f)
+    in
+    let vars, body = peel [] phi in
+    (* The block variables shadow any outer bindings of the same names. *)
+    let env = List.fold_left (fun e x -> Env.remove x e) env vars in
+    eval_exists ~domain inst env (SSet.of_list vars) vars body
+  | Forall _ ->
+    let rec peel acc = function
+      | Fo.Forall (x, f) -> peel (x :: acc) f
+      | f -> (List.rev acc, f)
+    in
+    let vars, body = peel [] phi in
+    let env = List.fold_left (fun e x -> Env.remove x e) env vars in
+    eval_forall ~domain inst env (SSet.of_list vars) vars body
+
+(* ∃ block: try to drive the search by an atom conjunct whose unbound
+   variables are all block variables. *)
+and eval_exists ~domain inst env bindable vars body =
+  if vars = [] then eval ~domain inst env body
+  else begin
+    let cs = conjuncts body in
+    let usable =
+      List.find_opt
+        (fun c ->
+          match c with
+          | Fo.Atom (_, args) -> List.for_all (fun x -> SSet.mem x bindable) (unbound_atom_vars env args)
+          | _ -> false)
+        cs
+    in
+    match usable with
+    | Some (Fo.Atom (r, args) as chosen) ->
+      let rest = Fo.conj (List.filter (fun c -> c != chosen) cs) in
+      let new_vars = unbound_atom_vars env args in
+      if new_vars = [] then
+        (* pure guard *)
+        if eval ~domain inst env chosen then eval_exists ~domain inst env bindable vars rest else false
+      else
+        Instance.exists
+          (fun f ->
+            String.equal (Fact.rel f) r
+            &&
+            match unify_args env bindable args (Fact.args f) with
+            | None -> false
+            | Some env' ->
+              let vars' = List.filter (fun x -> not (Env.mem x env')) vars in
+              eval_exists ~domain inst env' bindable vars' rest)
+          inst
+    | _ -> (
+      match vars with
+      | [] -> eval ~domain inst env body
+      | x :: vars' ->
+        (* Skipping a variable absent from the body is only sound over a
+           non-empty domain: over the empty domain ∃x.ψ is false outright. *)
+        if domain <> [] && not (List.mem x (Fo.free_vars body)) then
+          eval_exists ~domain inst env bindable vars' body
+        else
+          List.exists
+            (fun v -> eval_exists ~domain inst (Env.add x v env) bindable vars' body)
+            domain)
+  end
+
+(* ∀ block with an implication body: tuples falsifying an atom hypothesis
+   satisfy the implication vacuously, so only fact-matching bindings need to
+   be checked. *)
+and eval_forall ~domain inst env bindable vars body =
+  if vars = [] then eval ~domain inst env body
+  else begin
+    match body with
+    | Fo.Implies (lhs, rhs) -> (
+      let cs = conjuncts lhs in
+      let usable =
+        List.find_opt
+          (fun c ->
+            match c with
+            | Fo.Atom (_, args) -> List.for_all (fun x -> SSet.mem x bindable) (unbound_atom_vars env args)
+            | _ -> false)
+          cs
+      in
+      match usable with
+      | Some (Fo.Atom (r, args) as chosen) ->
+        let rest_lhs = Fo.conj (List.filter (fun c -> c != chosen) cs) in
+        let new_vars = unbound_atom_vars env args in
+        if new_vars = [] then
+          if eval ~domain inst env chosen then
+            eval_forall ~domain inst env bindable vars (Fo.Implies (rest_lhs, rhs))
+          else true
+        else
+          Instance.for_all
+            (fun f ->
+              (not (String.equal (Fact.rel f) r))
+              ||
+              match unify_args env bindable args (Fact.args f) with
+              | None -> true
+              | Some env' ->
+                let vars' = List.filter (fun x -> not (Env.mem x env')) vars in
+                eval_forall ~domain inst env' bindable vars' (Fo.Implies (rest_lhs, rhs)))
+            inst
+      | _ -> forall_naive_step ~domain inst env bindable vars body)
+    | _ -> forall_naive_step ~domain inst env bindable vars body
+  end
+
+and forall_naive_step ~domain inst env bindable vars body =
+  match vars with
+  | [] -> eval ~domain inst env body
+  | x :: vars' ->
+    (* Over the empty domain ∀x.ψ is vacuously true — do not skip x. *)
+    if domain <> [] && not (List.mem x (Fo.free_vars body)) then
+      eval_forall ~domain inst env bindable vars' body
+    else List.for_all (fun v -> eval_forall ~domain inst (Env.add x v env) bindable vars' body) domain
+
+let holds ?extra inst phi =
+  if not (Fo.is_sentence phi) then invalid_arg "Eval.holds: formula has free variables";
+  eval ~domain:(domain_of ?extra inst phi) inst Env.empty phi
+
+let holds_naive ?extra inst phi =
+  if not (Fo.is_sentence phi) then invalid_arg "Eval.holds_naive: formula has free variables";
+  eval_naive ~domain:(domain_of ?extra inst phi) inst Env.empty phi
+
+let satisfying ?extra inst vars phi =
+  let fvs = Fo.free_vars phi in
+  List.iter
+    (fun x -> if not (List.mem x vars) then invalid_arg ("Eval.satisfying: free variable not covered: " ^ x))
+    fvs;
+  let domain = domain_of ?extra inst phi in
+  let rec go env = function
+    | [] -> if eval ~domain inst env phi then [ List.map (fun x -> Env.find x env) vars ] else []
+    | x :: rest -> List.concat_map (fun v -> go (Env.add x v env) rest) domain
+  in
+  go Env.empty vars

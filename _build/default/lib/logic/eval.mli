@@ -1,0 +1,46 @@
+(** Active-domain evaluation of first-order formulas on finite instances.
+
+    Quantifiers range over the {e evaluation domain}: the active domain of
+    the instance, the constants of the formula, and any extra values supplied
+    by the caller. Every formula the paper's constructions produce is
+    domain-independent on the instances it is applied to (each construction
+    documents why), so this agrees with evaluation over the countably
+    infinite universe. *)
+
+module Env : Map.S with type key = string
+
+type env = Ipdb_relational.Value.t Env.t
+
+val env_of_list : (string * Ipdb_relational.Value.t) list -> env
+
+val domain_of : ?extra:Ipdb_relational.Value.t list -> Ipdb_relational.Instance.t -> Fo.t -> Ipdb_relational.Value.t list
+(** The evaluation domain described above, sorted and duplicate-free. *)
+
+val eval : domain:Ipdb_relational.Value.t list -> Ipdb_relational.Instance.t -> env -> Fo.t -> bool
+(** [eval ~domain inst env phi] decides [phi] under [env]. Every free
+    variable of [phi] must be bound in [env], and [domain] must contain the
+    active domain of [inst] (as {!domain_of} guarantees) — the optimised
+    quantifier evaluation binds variables to fact values directly.
+    @raise Invalid_argument on an unbound variable. *)
+
+val eval_naive : domain:Ipdb_relational.Value.t list -> Ipdb_relational.Instance.t -> env -> Fo.t -> bool
+(** Reference evaluator: plain quantifier enumeration over the domain.
+    {!eval} is an optimised evaluator (atom-driven unification for
+    quantifier blocks) that is property-tested equivalent to this one. *)
+
+val holds : ?extra:Ipdb_relational.Value.t list -> Ipdb_relational.Instance.t -> Fo.t -> bool
+(** Truth of a sentence.
+    @raise Invalid_argument when the formula has free variables. *)
+
+val holds_naive : ?extra:Ipdb_relational.Value.t list -> Ipdb_relational.Instance.t -> Fo.t -> bool
+(** {!holds} using the reference evaluator. *)
+
+val satisfying :
+  ?extra:Ipdb_relational.Value.t list ->
+  Ipdb_relational.Instance.t ->
+  Fo.var list ->
+  Fo.t ->
+  Ipdb_relational.Value.t list list
+(** [satisfying inst vars phi] enumerates the assignments (as tuples ordered
+    like [vars]) over the evaluation domain under which [phi] holds. [vars]
+    must cover the free variables of [phi]. *)

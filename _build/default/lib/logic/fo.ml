@@ -1,0 +1,188 @@
+module Value = Ipdb_relational.Value
+
+type var = string
+
+type term =
+  | V of var
+  | C of Value.t
+
+type t =
+  | True
+  | False
+  | Atom of string * term list
+  | Eq of term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of var * t
+  | Forall of var * t
+
+let v x = V x
+let c value = C value
+let ci n = C (Value.Int n)
+let cs s = C (Value.Str s)
+let atom r args = Atom (r, args)
+let eq a b = Eq (a, b)
+let neq a b = Not (Eq (a, b))
+
+let conj fs =
+  let fs = List.filter (fun f -> f <> True) fs in
+  if List.exists (fun f -> f = False) fs then False
+  else match fs with [] -> True | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let disj fs =
+  let fs = List.filter (fun f -> f <> False) fs in
+  if List.exists (fun f -> f = True) fs then True
+  else match fs with [] -> False | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let exists_many xs f = List.fold_right (fun x acc -> Exists (x, acc)) xs f
+let forall_many xs f = List.fold_right (fun x acc -> Forall (x, acc)) xs f
+
+let eq_tuple ts us =
+  if List.length ts <> List.length us then invalid_arg "Fo.eq_tuple: length mismatch";
+  conj (List.map2 eq ts us)
+
+module VarSet = Set.Make (String)
+
+let rec fv = function
+  | True | False -> VarSet.empty
+  | Atom (_, args) ->
+    List.fold_left (fun acc t -> match t with V x -> VarSet.add x acc | C _ -> acc) VarSet.empty args
+  | Eq (a, b) ->
+    let add acc t = match t with V x -> VarSet.add x acc | C _ -> acc in
+    add (add VarSet.empty a) b
+  | Not f -> fv f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> VarSet.union (fv f) (fv g)
+  | Exists (x, f) | Forall (x, f) -> VarSet.remove x (fv f)
+
+let free_vars f = VarSet.elements (fv f)
+let is_sentence f = VarSet.is_empty (fv f)
+
+let rec all_vars = function
+  | True | False -> VarSet.empty
+  | Atom (_, args) ->
+    List.fold_left (fun acc t -> match t with V x -> VarSet.add x acc | C _ -> acc) VarSet.empty args
+  | Eq (a, b) ->
+    let add acc t = match t with V x -> VarSet.add x acc | C _ -> acc in
+    add (add VarSet.empty a) b
+  | Not f -> all_vars f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> VarSet.union (all_vars f) (all_vars g)
+  | Exists (x, f) | Forall (x, f) -> VarSet.add x (all_vars f)
+
+module ValueSet = Set.Make (Value)
+
+let constants f =
+  let rec go = function
+    | True | False -> ValueSet.empty
+    | Atom (_, args) ->
+      List.fold_left (fun acc t -> match t with C v -> ValueSet.add v acc | V _ -> acc) ValueSet.empty args
+    | Eq (a, b) ->
+      let add acc t = match t with C v -> ValueSet.add v acc | V _ -> acc in
+      add (add ValueSet.empty a) b
+    | Not f -> go f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> ValueSet.union (go f) (go g)
+    | Exists (_, f) | Forall (_, f) -> go f
+  in
+  ValueSet.elements (go f)
+
+module RelMap = Map.Make (String)
+
+let relations f =
+  let rec go acc = function
+    | True | False | Eq _ -> acc
+    | Atom (r, args) -> RelMap.add r (List.length args) acc
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> go (go acc f) g
+    | Exists (_, f) | Forall (_, f) -> go acc f
+  in
+  RelMap.bindings (go RelMap.empty f)
+
+let fresh_var stem fs =
+  let used = List.fold_left (fun acc f -> VarSet.union acc (all_vars f)) VarSet.empty fs in
+  if not (VarSet.mem stem used) then stem
+  else begin
+    let rec go i =
+      let cand = Printf.sprintf "%s_%d" stem i in
+      if VarSet.mem cand used then go (i + 1) else cand
+    in
+    go 0
+  end
+
+let subst_term x t = function
+  | V y when String.equal x y -> t
+  | other -> other
+
+let rec substitute x t f =
+  match f with
+  | True | False -> f
+  | Atom (r, args) -> Atom (r, List.map (subst_term x t) args)
+  | Eq (a, b) -> Eq (subst_term x t a, subst_term x t b)
+  | Not g -> Not (substitute x t g)
+  | And (g, h) -> And (substitute x t g, substitute x t h)
+  | Or (g, h) -> Or (substitute x t g, substitute x t h)
+  | Implies (g, h) -> Implies (substitute x t g, substitute x t h)
+  | Iff (g, h) -> Iff (substitute x t g, substitute x t h)
+  | Exists (y, g) ->
+    if String.equal x y then f
+    else begin
+      match t with
+      | V z when String.equal z y ->
+        (* capture: rename the binder first *)
+        let y' = fresh_var y [ g; Atom ("", [ t ]) ] in
+        Exists (y', substitute x t (substitute y (V y') g))
+      | _ -> Exists (y, substitute x t g)
+    end
+  | Forall (y, g) ->
+    if String.equal x y then f
+    else begin
+      match t with
+      | V z when String.equal z y ->
+        let y' = fresh_var y [ g; Atom ("", [ t ]) ] in
+        Forall (y', substitute x t (substitute y (V y') g))
+      | _ -> Forall (y, substitute x t g)
+    end
+
+let rename_free x y f = substitute x (V y) f
+
+let at_most_one x phi =
+  (* ∀x ∀x' (phi(x) ∧ phi(x') → x = x') *)
+  let x' = fresh_var (x ^ "'") [ phi ] in
+  let phi' = substitute x (V x') phi in
+  Forall (x, Forall (x', Implies (And (phi, phi'), Eq (V x, V x'))))
+
+let exactly_one x phi = And (Exists (x, phi), at_most_one x phi)
+
+let rec size = function
+  | True | False -> 1
+  | Atom _ | Eq _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+
+let equal (a : t) (b : t) = a = b
+
+let term_to_string = function
+  | V x -> x
+  | C value -> Value.to_string value
+
+let rec to_string = function
+  | True -> "⊤"
+  | False -> "⊥f"
+  | Atom (r, args) -> r ^ "(" ^ String.concat "," (List.map term_to_string args) ^ ")"
+  | Eq (a, b) -> term_to_string a ^ "=" ^ term_to_string b
+  | Not f -> "¬" ^ paren f
+  | And (f, g) -> paren f ^ " ∧ " ^ paren g
+  | Or (f, g) -> paren f ^ " ∨ " ^ paren g
+  | Implies (f, g) -> paren f ^ " → " ^ paren g
+  | Iff (f, g) -> paren f ^ " ↔ " ^ paren g
+  | Exists (x, f) -> "∃" ^ x ^ "." ^ paren f
+  | Forall (x, f) -> "∀" ^ x ^ "." ^ paren f
+
+and paren f =
+  match f with
+  | True | False | Atom _ | Eq _ | Not _ -> to_string f
+  | _ -> "(" ^ to_string f ^ ")"
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)

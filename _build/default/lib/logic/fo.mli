@@ -1,0 +1,93 @@
+(** First-order logic over relational vocabularies, with constants from the
+    universe {!Ipdb_relational.Value}.
+
+    This is the language of the paper's representation systems: FO-views
+    (one formula per output relation) and FO-conditions (sentences used to
+    condition PDBs, Section 4). Conjunctive queries (CQ) and unions of
+    conjunctive queries (UCQ) are syntactic subclasses, recognised in
+    {!Classify}. *)
+
+type var = string
+
+type term =
+  | V of var
+  | C of Ipdb_relational.Value.t
+
+type t =
+  | True
+  | False
+  | Atom of string * term list
+  | Eq of term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of var * t
+  | Forall of var * t
+
+(** {1 Smart constructors} *)
+
+val v : var -> term
+val c : Ipdb_relational.Value.t -> term
+val ci : int -> term
+(** Integer constant. *)
+
+val cs : string -> term
+(** String constant. *)
+
+val atom : string -> term list -> t
+val eq : term -> term -> t
+val neq : term -> term -> t
+
+val conj : t list -> t
+(** Conjunction of a list; [True] when empty; drops [True] conjuncts. *)
+
+val disj : t list -> t
+(** Disjunction of a list; [False] when empty; drops [False] disjuncts. *)
+
+val exists_many : var list -> t -> t
+val forall_many : var list -> t -> t
+
+val eq_tuple : term list -> term list -> t
+(** Pointwise equality of two equal-length tuples.
+    @raise Invalid_argument on a length mismatch. *)
+
+val at_most_one : var -> t -> t
+(** [at_most_one x phi] says at most one value of [x] satisfies [phi]
+    (the [∃≤1] quantifier of Claim 5.8, expanded into plain FO). [phi] may
+    have free variables other than [x]. *)
+
+val exactly_one : var -> t -> t
+(** The [∃=1] quantifier, expanded into plain FO. *)
+
+(** {1 Analysis} *)
+
+val free_vars : t -> var list
+(** Sorted, duplicate-free. *)
+
+val constants : t -> Ipdb_relational.Value.t list
+(** All constants occurring in the formula, sorted, duplicate-free. *)
+
+val relations : t -> (string * int) list
+(** Relation symbols with the arities they are used at, sorted. *)
+
+val is_sentence : t -> bool
+
+val fresh_var : string -> t list -> var
+(** A variable based on the given stem not free or bound in any of the
+    formulas. *)
+
+val rename_free : var -> var -> t -> t
+(** [rename_free x y phi] replaces free occurrences of [x] by the variable
+    [y]. [y] must not be captured; use {!fresh_var}. *)
+
+val substitute : var -> term -> t -> t
+(** Capture-avoiding substitution of a term for a free variable. *)
+
+val size : t -> int
+(** Number of connectives, quantifiers and atoms. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,381 @@
+module Value = Ipdb_relational.Value
+
+type token =
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | IFF
+  | EXISTS
+  | FORALL
+  | TRUE
+  | FALSE
+  | BOT
+  | ASSIGN
+  | SEMI
+  | UIDENT of string
+  | LIDENT of string
+  | INT of int
+  | STR of string
+
+exception Parse_error of string
+
+let fail_at pos msg = raise (Parse_error (Printf.sprintf "%s (at byte %d)" msg pos))
+
+(* ------------------------------------------------------------------ *)
+(* Lexer (byte-level, with explicit UTF-8 sequences for the symbols)   *)
+(* ------------------------------------------------------------------ *)
+
+let symbols =
+  [ ("\xE2\x88\x83", EXISTS) (* ∃ *);
+    ("\xE2\x88\x80", FORALL) (* ∀ *);
+    ("\xC2\xAC", NOT) (* ¬ *);
+    ("\xE2\x88\xA7", AND) (* ∧ *);
+    ("\xE2\x88\xA8", OR) (* ∨ *);
+    ("\xE2\x86\x92", IMPLIES) (* → *);
+    ("\xE2\x86\x94", IFF) (* ↔ *);
+    ("\xE2\x8A\xA4", TRUE) (* ⊤ *);
+    ("\xE2\x89\xA0", NEQ) (* ≠ *)
+  ]
+
+let bot_utf8 = "\xE2\x8A\xA5" (* ⊥ *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '$'
+
+let keyword = function
+  | "exists" -> Some EXISTS
+  | "forall" -> Some FORALL
+  | "not" -> Some NOT
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | _ -> None
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let starts_with prefix i = i + String.length prefix <= n && String.sub s i (String.length prefix) = prefix in
+  let rec go i =
+    if i >= n then ()
+    else begin
+      let c = s.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if starts_with bot_utf8 i then begin
+        (* "⊥f" prints False; a bare "⊥" is the bottom value *)
+        let after = i + String.length bot_utf8 in
+        if after < n && s.[after] = 'f' && (after + 1 >= n || not (is_ident_char s.[after + 1])) then begin
+          out := FALSE :: !out;
+          go (after + 1)
+        end
+        else begin
+          out := BOT :: !out;
+          go after
+        end
+      end
+      else begin
+        match List.find_opt (fun (sym, _) -> starts_with sym i) symbols with
+        | Some (sym, tok) ->
+          out := tok :: !out;
+          go (i + String.length sym)
+        | None ->
+          if starts_with ":=" i then begin
+            out := ASSIGN :: !out;
+            go (i + 2)
+          end
+          else if starts_with "<->" i then begin
+            out := IFF :: !out;
+            go (i + 3)
+          end
+          else if starts_with "->" i then begin
+            out := IMPLIES :: !out;
+            go (i + 2)
+          end
+          else if starts_with "!=" i then begin
+            out := NEQ :: !out;
+            go (i + 2)
+          end
+          else if starts_with "#bot" i then begin
+            out := BOT :: !out;
+            go (i + 4)
+          end
+          else begin
+            match c with
+            | '(' -> out := LPAREN :: !out; go (i + 1)
+            | ')' -> out := RPAREN :: !out; go (i + 1)
+            | ',' -> out := COMMA :: !out; go (i + 1)
+            | '.' -> out := DOT :: !out; go (i + 1)
+            | '=' -> out := EQ :: !out; go (i + 1)
+            | '&' -> out := AND :: !out; go (i + 1)
+            | '|' -> out := OR :: !out; go (i + 1)
+            | '!' -> out := NOT :: !out; go (i + 1)
+            | ';' -> out := SEMI :: !out; go (i + 1)
+            | '\'' ->
+              let rec close j = if j >= n then fail_at i "unterminated string" else if s.[j] = '\'' then j else close (j + 1) in
+              let j = close (i + 1) in
+              out := STR (String.sub s (i + 1) (j - i - 1)) :: !out;
+              go (j + 1)
+            | '0' .. '9' ->
+              let rec last j = if j < n && s.[j] >= '0' && s.[j] <= '9' then last (j + 1) else j in
+              let j = last i in
+              out := INT (int_of_string (String.sub s i (j - i))) :: !out;
+              go j
+            | '-' when i + 1 < n && s.[i + 1] >= '0' && s.[i + 1] <= '9' ->
+              let rec last j = if j < n && s.[j] >= '0' && s.[j] <= '9' then last (j + 1) else j in
+              let j = last (i + 1) in
+              out := INT (int_of_string (String.sub s i (j - i))) :: !out;
+              go j
+            | c when is_ident_start c ->
+              let rec last j = if j < n && is_ident_char s.[j] then last (j + 1) else j in
+              let j = last i in
+              let word = String.sub s i (j - i) in
+              let tok =
+                match keyword word with
+                | Some t -> t
+                | None -> if c >= 'A' && c <= 'Z' then UIDENT word else LIDENT word
+              in
+              out := tok :: !out;
+              go j
+            | _ -> fail_at i (Printf.sprintf "unexpected character %C" c)
+          end
+      end
+    end
+  in
+  go 0;
+  Array.of_list (List.rev !out)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type state = { tokens : token array; mutable pos : int }
+
+let peek st = if st.pos < Array.length st.tokens then Some st.tokens.(st.pos) else None
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok msg =
+  match peek st with
+  | Some t when t = tok -> advance st
+  | _ -> fail_at st.pos msg
+
+let parse_term st =
+  match peek st with
+  | Some (LIDENT x) ->
+    advance st;
+    Some (Fo.V x)
+  | Some (INT n) ->
+    advance st;
+    Some (Fo.C (Value.Int n))
+  | Some (STR s) ->
+    advance st;
+    Some (Fo.C (Value.Str s))
+  | Some BOT ->
+    advance st;
+    Some (Fo.C Value.Bot)
+  | _ -> None
+
+let rec parse_formula st = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_implies st in
+  match peek st with
+  | Some IFF ->
+    advance st;
+    let rhs = parse_implies st in
+    parse_iff_tail (Fo.Iff (lhs, rhs)) st
+  | _ -> lhs
+
+and parse_iff_tail acc st =
+  match peek st with
+  | Some IFF ->
+    advance st;
+    let rhs = parse_implies st in
+    parse_iff_tail (Fo.Iff (acc, rhs)) st
+  | _ -> acc
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | Some IMPLIES ->
+    advance st;
+    let rhs = parse_implies st in
+    Fo.Implies (lhs, rhs)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec tail acc =
+    match peek st with
+    | Some OR ->
+      advance st;
+      tail (Fo.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  tail lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec tail acc =
+    match peek st with
+    | Some AND ->
+      advance st;
+      tail (Fo.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  tail lhs
+
+and parse_unary st =
+  match peek st with
+  | Some NOT ->
+    advance st;
+    Fo.Not (parse_unary st)
+  | Some EXISTS ->
+    advance st;
+    parse_quantifier st (fun x f -> Fo.Exists (x, f))
+  | Some FORALL ->
+    advance st;
+    parse_quantifier st (fun x f -> Fo.Forall (x, f))
+  | Some TRUE ->
+    advance st;
+    Fo.True
+  | Some FALSE ->
+    advance st;
+    Fo.False
+  | Some (UIDENT rel) ->
+    advance st;
+    expect st LPAREN ("expected ( after relation " ^ rel);
+    let rec args acc =
+      match peek st with
+      | Some RPAREN ->
+        advance st;
+        List.rev acc
+      | _ -> (
+        match parse_term st with
+        | None -> fail_at st.pos "expected a term"
+        | Some t -> (
+          match peek st with
+          | Some COMMA ->
+            advance st;
+            args (t :: acc)
+          | Some RPAREN ->
+            advance st;
+            List.rev (t :: acc)
+          | _ -> fail_at st.pos "expected , or ) in argument list"))
+    in
+    Fo.Atom (rel, args [])
+  | Some LPAREN -> begin
+    (* Either a parenthesised formula or an equality whose left term is
+       parenthesised — formulas only, so: parenthesised formula. *)
+    advance st;
+    let f = parse_formula st in
+    expect st RPAREN "expected )";
+    (* possibly an equality of a parenthesised... no: formulas only *)
+    f
+  end
+  | _ -> (
+    (* equality between terms *)
+    match parse_term st with
+    | None -> fail_at st.pos "expected a formula"
+    | Some lhs -> (
+      match peek st with
+      | Some EQ ->
+        advance st;
+        (match parse_term st with
+        | Some rhs -> Fo.Eq (lhs, rhs)
+        | None -> fail_at st.pos "expected a term after =")
+      | Some NEQ ->
+        advance st;
+        (match parse_term st with
+        | Some rhs -> Fo.Not (Fo.Eq (lhs, rhs))
+        | None -> fail_at st.pos "expected a term after !=")
+      | _ -> fail_at st.pos "expected = or != after a term"))
+
+and parse_quantifier st mk =
+  (* one or more variables, then '.', then the body *)
+  let rec collect acc =
+    match peek st with
+    | Some (LIDENT x) ->
+      advance st;
+      collect (x :: acc)
+    | Some DOT ->
+      advance st;
+      List.rev acc
+    | _ -> fail_at st.pos "expected variables then . after a quantifier"
+  in
+  let vars = collect [] in
+  if vars = [] then fail_at st.pos "quantifier binds no variable";
+  let body = parse_unary st in
+  List.fold_right mk vars body
+
+let run_parser f s =
+  match tokenize s with
+  | exception Parse_error msg -> Error msg
+  | tokens -> (
+    let st = { tokens; pos = 0 } in
+    match f st with
+    | exception Parse_error msg -> Error msg
+    | result -> if st.pos = Array.length tokens then Ok result else Error "trailing input"
+    )
+
+let formula s = run_parser parse_formula s
+
+let formula_exn s =
+  match formula s with Ok f -> f | Error msg -> invalid_arg ("Parser.formula_exn: " ^ msg)
+
+let sentence s =
+  match formula s with
+  | Error _ as e -> e
+  | Ok f ->
+    if Fo.is_sentence f then Ok f
+    else Error ("free variables: " ^ String.concat ", " (Fo.free_vars f))
+
+let parse_view_def st =
+  match peek st with
+  | Some (UIDENT rel) ->
+    advance st;
+    expect st LPAREN "expected ( after view relation";
+    let rec heads acc =
+      match peek st with
+      | Some RPAREN ->
+        advance st;
+        List.rev acc
+      | Some (LIDENT x) -> (
+        advance st;
+        match peek st with
+        | Some COMMA ->
+          advance st;
+          heads (x :: acc)
+        | Some RPAREN ->
+          advance st;
+          List.rev (x :: acc)
+        | _ -> fail_at st.pos "expected , or ) in head")
+      | _ -> fail_at st.pos "expected head variable"
+    in
+    let head = heads [] in
+    expect st ASSIGN "expected := after the head";
+    let body = parse_formula st in
+    (rel, head, body)
+  | _ -> fail_at st.pos "expected a view head like T(x,y)"
+
+let view_def s = run_parser parse_view_def s
+
+let view s =
+  run_parser
+    (fun st ->
+      let rec defs acc =
+        let d = parse_view_def st in
+        match peek st with
+        | Some SEMI ->
+          advance st;
+          defs (d :: acc)
+        | _ -> List.rev (d :: acc)
+      in
+      View.make (defs []))
+    s

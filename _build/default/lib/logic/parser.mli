@@ -1,0 +1,43 @@
+(** A parser for first-order formulas and view definitions.
+
+    Concrete syntax (ASCII and the pretty-printer's Unicode both accepted):
+
+    {v
+  formula   := iff
+  iff       := implies (("<->" | "↔") implies)*
+  implies   := or (("->" | "→") implies)?          (right associative)
+  or        := and (("|" | "∨" | "or") and)*
+  and       := unary (("&" | "∧" | "and") unary)*
+  unary     := ("not" | "!" | "¬") unary
+             | ("exists" | "∃") var+ "." unary
+             | ("forall" | "∀") var+ "." unary
+             | "true" | "⊤" | "false" | "⊥f"
+             | Rel "(" term ("," term)* ")" | Rel "(" ")"
+             | term ("=" | "!=" | "≠") term
+             | "(" formula ")"
+  term      := var | int | "'" chars "'" | "⊥" | "#bot"
+    v}
+
+    Relation symbols start with an upper-case letter, variables with a
+    lower-case letter or underscore. Integers and single-quoted strings are
+    constants; [⊥]/[#bot] is the bottom value. Pair values have no concrete
+    syntax. [Fo.to_string] output parses back to an equal formula whenever
+    the formula's constants are integers, strings without spaces do not
+    appear bare, and no [Pair] constants occur (property-tested for the
+    integer fragment). *)
+
+val formula : string -> (Fo.t, string) result
+(** Parse a formula. The error string contains a position. *)
+
+val formula_exn : string -> Fo.t
+(** @raise Invalid_argument on a parse error. *)
+
+val sentence : string -> (Fo.t, string) result
+(** Like {!formula} but additionally rejects free variables. *)
+
+val view_def : string -> (string * Fo.var list * Fo.t, string) result
+(** Parse ["T(x,z) := body"] into a view-definition triple (for
+    {!View.make}). *)
+
+val view : string -> (View.t, string) result
+(** Parse a whole view: definitions separated by [";"]. *)

@@ -1,0 +1,109 @@
+module Value = Ipdb_relational.Value
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module A = Ipdb_relational.Algebra
+
+let ( let* ) = Result.bind
+
+let unit_relation = A.Relation.make [] [ A.Tuple.empty ]
+let empty_relation = A.Relation.empty []
+
+let attrs_of e = match A.attributes_of e with Ok a -> a | Error m -> invalid_arg m
+
+(* Flatten a conjunction into its conjuncts. *)
+let rec conjuncts = function
+  | Fo.And (f, g) -> conjuncts f @ conjuncts g
+  | f -> [ f ]
+
+let rec compile (phi : Fo.t) : (A.expr, string) result =
+  match phi with
+  | True -> Ok (A.Const unit_relation)
+  | False -> Ok (A.Const empty_relation)
+  | Atom (rel, args) ->
+    let binding = List.map (function Fo.V x -> A.Bind x | Fo.C v -> A.Match v) args in
+    Ok (A.Scan { rel; binding })
+  | Eq (Fo.C a, Fo.C b) -> Ok (A.Const (if Value.equal a b then unit_relation else empty_relation))
+  | Eq (Fo.V x, Fo.C v) | Eq (Fo.C v, Fo.V x) ->
+    Ok (A.Const (A.Relation.make [ x ] [ A.Tuple.of_list [ (x, v) ] ]))
+  | Eq (Fo.V _, Fo.V _) -> compile_conjunction [ phi ]
+  | And _ -> compile_conjunction (conjuncts phi)
+  | Or (f, g) ->
+    let* pf = compile f in
+    let* pg = compile g in
+    if attrs_of pf = attrs_of pg then Ok (A.Union (pf, pg))
+    else Error "disjuncts with different free variables are unsafe"
+  | Exists (x, f) ->
+    let* pf = compile f in
+    let inner = attrs_of pf in
+    if List.mem x inner then Ok (A.Project (List.filter (fun a -> a <> x) inner, pf))
+    else Ok pf (* vacuous quantifier over a positive formula *)
+  | Not _ | Implies _ | Iff _ | Forall _ -> Error "not a positive-existential formula"
+
+(* A conjunction: compile the non-equality conjuncts into a join, then
+   resolve variable-variable equalities against the joined attributes. *)
+and compile_conjunction cs =
+  let var_eqs, others =
+    List.partition (function Fo.Eq (Fo.V _, Fo.V _) -> true | _ -> false) cs
+  in
+  let* base =
+    List.fold_left
+      (fun acc c ->
+        let* acc = acc in
+        let* pc = compile c in
+        Ok (A.Join (acc, pc)))
+      (Ok (A.Const unit_relation))
+      others
+  in
+  (* Resolve x = y equalities: both bound -> selection; one bound -> copy the
+     column; none bound (even after the others resolved) -> unsafe. *)
+  let rec resolve plan pending progressed =
+    match pending with
+    | [] -> Ok plan
+    | eqs when not progressed -> (
+      match eqs with
+      | Fo.Eq (Fo.V x, Fo.V y) :: _ ->
+        Error (Printf.sprintf "equality %s = %s has no bound side: unsafe" x y)
+      | _ -> Error "unexpected equality shape")
+    | eqs ->
+      let attrs = attrs_of plan in
+      let step (plan, deferred, progressed) eq =
+        match eq with
+        | Fo.Eq (Fo.V x, Fo.V y) ->
+          let hx = List.mem x attrs and hy = List.mem y attrs in
+          if hx && hy then (A.Select (A.Attr_eq_attr (x, y), plan), deferred, true)
+          else if hx then
+            ( A.Select (A.Attr_eq_attr (x, y), A.Join (plan, A.Rename ([ (x, y) ], A.Project ([ x ], plan)))),
+              deferred,
+              true )
+          else if hy then
+            ( A.Select (A.Attr_eq_attr (x, y), A.Join (plan, A.Rename ([ (y, x) ], A.Project ([ y ], plan)))),
+              deferred,
+              true )
+          else (plan, eq :: deferred, progressed)
+        | _ -> (plan, deferred, progressed)
+      in
+      let plan, deferred, progressed = List.fold_left step (plan, [], false) eqs in
+      resolve plan (List.rev deferred) progressed
+  in
+  resolve base var_eqs true
+
+let compile_def (d : View.def) =
+  let* body = compile d.View.body in
+  let attrs = attrs_of body in
+  let missing = List.filter (fun h -> not (List.mem h attrs)) d.View.head in
+  if missing <> [] then
+    Error ("head variables not bound by the body (unsafe): " ^ String.concat ", " missing)
+  else Ok (A.Project (List.sort_uniq String.compare d.View.head, body))
+
+let answers inst (d : View.def) =
+  let* plan = compile_def d in
+  let rel = A.eval inst plan in
+  Ok (List.map (fun t -> List.map (fun h -> A.Tuple.get_exn t h) d.View.head) (A.Relation.tuples rel))
+
+let apply_view inst view =
+  List.fold_left
+    (fun acc (d : View.def) ->
+      let* acc = acc in
+      let* tuples = answers inst d in
+      Ok (List.fold_left (fun acc args -> Instance.add (Fact.make d.View.rel args) acc) acc tuples))
+    (Ok Instance.empty) (View.defs view)

@@ -1,0 +1,28 @@
+(** Compilation of positive-existential (UCQ) view definitions to relational
+    algebra plans.
+
+    This gives the positive fragment a second, set-at-a-time semantics
+    (scan–join–select–project–union over {!Ipdb_relational.Algebra}),
+    property-tested against the tuple-at-a-time first-order evaluator
+    {!Eval}. Only {e safe} formulas compile: every variable must be bound by
+    an atom or a constant equality; variable–variable equalities need at
+    least one side bound; disjuncts must share their free variables. Unsafe
+    or non-positive formulas are rejected with an explanation — they are
+    exactly the ones whose answers depend on the quantification domain. *)
+
+val compile : Fo.t -> (Ipdb_relational.Algebra.expr, string) result
+(** Compile a positive-existential formula into a plan whose attributes are
+    the formula's free variables. *)
+
+val compile_def : View.def -> (Ipdb_relational.Algebra.expr, string) result
+(** Compile a view definition; the plan's attributes are the head
+    variables. *)
+
+val answers :
+  Ipdb_relational.Instance.t -> View.def -> (Ipdb_relational.Value.t list list, string) result
+(** Evaluate the compiled plan and return answer tuples in head-variable
+    order (the same convention as {!Eval.satisfying}). *)
+
+val apply_view : Ipdb_relational.Instance.t -> View.t -> (Ipdb_relational.Instance.t, string) result
+(** Apply a whole UCQ view through the algebra; agrees with {!View.apply}
+    on safe views (property-tested). *)

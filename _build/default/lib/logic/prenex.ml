@@ -1,0 +1,116 @@
+(* Negation normal form. *)
+let rec nnf (phi : Fo.t) : Fo.t =
+  match phi with
+  | True | False | Atom _ | Eq _ -> phi
+  | And (f, g) -> And (nnf f, nnf g)
+  | Or (f, g) -> Or (nnf f, nnf g)
+  | Implies (f, g) -> Or (nnf (Not f), nnf g)
+  | Iff (f, g) -> And (Or (nnf (Not f), nnf g), Or (nnf (Not g), nnf f))
+  | Exists (x, f) -> Exists (x, nnf f)
+  | Forall (x, f) -> Forall (x, nnf f)
+  | Not f -> (
+    match f with
+    | True -> False
+    | False -> True
+    | Atom _ | Eq _ -> Not f
+    | Not g -> nnf g
+    | And (g, h) -> Or (nnf (Not g), nnf (Not h))
+    | Or (g, h) -> And (nnf (Not g), nnf (Not h))
+    | Implies (g, h) -> And (nnf g, nnf (Not h))
+    | Iff (g, h) -> Or (And (nnf g, nnf (Not h)), And (nnf h, nnf (Not g)))
+    | Exists (x, g) -> Forall (x, nnf (Not g))
+    | Forall (x, g) -> Exists (x, nnf (Not g)))
+
+let rec is_nnf : Fo.t -> bool = function
+  | True | False | Atom _ | Eq _ -> true
+  | Not (Atom _) | Not (Eq _) -> true
+  | Not _ | Implies _ | Iff _ -> false
+  | And (f, g) | Or (f, g) -> is_nnf f && is_nnf g
+  | Exists (_, f) | Forall (_, f) -> is_nnf f
+
+(* Prenex: hoist quantifiers out of an NNF formula, renaming binders apart.
+   The prefix is kept as a list of (quantifier, variable) outermost-first. *)
+type q = Q_exists | Q_forall
+
+let requantify prefix matrix =
+  List.fold_right
+    (fun (q, x) acc -> match q with Q_exists -> Fo.Exists (x, acc) | Q_forall -> Fo.Forall (x, acc))
+    prefix matrix
+
+let prenex phi =
+  let phi = nnf phi in
+  (* strictly increasing counter ensures all generated binders are distinct
+     from each other; start past any "__qN" already present in the formula
+     so existing variables can never be captured *)
+  let counter =
+    let base = ref 0 in
+    let scan x =
+      if String.length x > 3 && String.sub x 0 3 = "__q" then begin
+        match int_of_string_opt (String.sub x 3 (String.length x - 3)) with
+        | Some n -> base := Stdlib.max !base n
+        | None -> ()
+      end
+    in
+    List.iter scan (Fo.free_vars phi);
+    let rec scan_bound (f : Fo.t) =
+      match f with
+      | True | False | Atom _ | Eq _ -> ()
+      | Not g -> scan_bound g
+      | And (g, h) | Or (g, h) | Implies (g, h) | Iff (g, h) ->
+        scan_bound g;
+        scan_bound h
+      | Exists (x, g) | Forall (x, g) ->
+        scan x;
+        scan_bound g
+    in
+    scan_bound phi;
+    ref !base
+  in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "__q%d" !counter
+  in
+  let rec split (phi : Fo.t) : (q * Fo.var) list * Fo.t =
+    match phi with
+    | True | False | Atom _ | Eq _ | Not _ -> ([], phi)
+    | Exists (x, f) ->
+      let x' = fresh () in
+      let prefix, matrix = split (Fo.substitute x (Fo.V x') f) in
+      ((Q_exists, x') :: prefix, matrix)
+    | Forall (x, f) ->
+      let x' = fresh () in
+      let prefix, matrix = split (Fo.substitute x (Fo.V x') f) in
+      ((Q_forall, x') :: prefix, matrix)
+    | And (f, g) ->
+      let pf, mf = split f in
+      let pg, mg = split g in
+      (pf @ pg, Fo.And (mf, mg))
+    | Or (f, g) ->
+      let pf, mf = split f in
+      let pg, mg = split g in
+      (pf @ pg, Fo.Or (mf, mg))
+    | Implies _ | Iff _ -> assert false (* eliminated by nnf *)
+  in
+  let prefix, matrix = split phi in
+  requantify prefix matrix
+
+let rec quantifier_free : Fo.t -> bool = function
+  | True | False | Atom _ | Eq _ -> true
+  | Not f -> quantifier_free f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) -> quantifier_free f && quantifier_free g
+  | Exists _ | Forall _ -> false
+
+let rec is_prenex : Fo.t -> bool = function
+  | Exists (_, f) | Forall (_, f) -> is_prenex f
+  | f -> quantifier_free f
+
+let rec quantifier_rank : Fo.t -> int = function
+  | True | False | Atom _ | Eq _ -> 0
+  | Not f -> quantifier_rank f
+  | And (f, g) | Or (f, g) | Implies (f, g) | Iff (f, g) ->
+    Stdlib.max (quantifier_rank f) (quantifier_rank g)
+  | Exists (_, f) | Forall (_, f) -> 1 + quantifier_rank f
+
+let rec prefix_length : Fo.t -> int = function
+  | Exists (_, f) | Forall (_, f) -> 1 + prefix_length f
+  | _ -> 0

@@ -1,0 +1,27 @@
+(** Normal forms for first-order formulas.
+
+    The constructions of Sections 4 and 5 manufacture deeply nested
+    sentences; these transformations give them canonical shapes —
+    negation normal form (negation only on atoms, no [→]/[↔]) and prenex
+    normal form (a quantifier prefix over a quantifier-free matrix) — with
+    semantics preserved (property-tested against {!Eval} on both the
+    optimised and the reference evaluator). *)
+
+val nnf : Fo.t -> Fo.t
+(** Negation normal form: eliminates [→] and [↔], pushes [¬] down to atoms
+    and equalities (through quantifiers by duality). *)
+
+val is_nnf : Fo.t -> bool
+
+val prenex : Fo.t -> Fo.t
+(** Prenex normal form of the NNF: all quantifiers hoisted to an outer
+    prefix, binders renamed apart as needed. *)
+
+val is_prenex : Fo.t -> bool
+
+val quantifier_rank : Fo.t -> int
+(** Maximal nesting depth of quantifiers. *)
+
+val prefix_length : Fo.t -> int
+(** Number of leading quantifiers (equals the total quantifier count on a
+    prenex formula). *)

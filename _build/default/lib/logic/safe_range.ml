@@ -1,0 +1,99 @@
+(* Safe-range analysis after Abiteboul–Hull–Vianu, "Foundations of
+   Databases", ch. 5.4. *)
+
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* SRNF                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec srnf (phi : Fo.t) : Fo.t =
+  match phi with
+  | True | False | Atom _ | Eq _ -> phi
+  | Not f -> (
+    match srnf f with
+    | Fo.Not g -> g (* double negation *)
+    | Fo.Or (a, b) ->
+      (* De Morgan over ∨: ¬(a ∨ b) ⇒ ¬a ∧ ¬b, so that "φ ∧ ¬ψ" patterns
+         surface for range restriction *)
+      Fo.And (srnf (Fo.Not a), srnf (Fo.Not b))
+    | g -> Fo.Not g)
+  | And (f, g) -> And (srnf f, srnf g)
+  | Or (f, g) -> Or (srnf f, srnf g)
+  | Implies (f, g) -> srnf (Or (Not f, g))
+  | Iff (f, g) ->
+    let f = srnf f and g = srnf g in
+    srnf (Or (And (f, g), And (Not f, Not g)))
+  | Exists (x, f) -> Exists (x, srnf f)
+  | Forall (x, f) -> srnf (Not (Exists (x, Not f)))
+
+(* ------------------------------------------------------------------ *)
+(* Range restriction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Safe_range
+  | Not_safe_range of string
+
+exception Unsafe of string
+
+(* Propagate variable-variable equalities within a conjunction: if one side
+   is ranged, so is the other (iterate to fixpoint). *)
+let close_under_equalities eqs ranged =
+  let rec fix ranged =
+    let grown =
+      List.fold_left
+        (fun acc (x, y) ->
+          if SS.mem x acc then SS.add y acc else if SS.mem y acc then SS.add x acc else acc)
+        ranged eqs
+    in
+    if SS.equal grown ranged then ranged else fix grown
+  in
+  fix ranged
+
+(* Collect the conjuncts of an And-tree. *)
+let rec conjuncts = function
+  | Fo.And (f, g) -> conjuncts f @ conjuncts g
+  | f -> [ f ]
+
+(* rr(φ): the set of range-restricted variables; raises on an unrangeable
+   quantifier. The formula must already be in SRNF. *)
+let rec rr (phi : Fo.t) : SS.t =
+  match phi with
+  | True | False -> SS.empty
+  | Atom (_, args) ->
+    List.fold_left (fun acc t -> match t with Fo.V x -> SS.add x acc | Fo.C _ -> acc) SS.empty args
+  | Eq (Fo.V x, Fo.C _) | Eq (Fo.C _, Fo.V x) -> SS.singleton x
+  | Eq (Fo.C _, Fo.C _) -> SS.empty
+  | Eq (Fo.V _, Fo.V _) -> SS.empty (* ranged only through conjunction closure *)
+  | Not f ->
+    ignore (rr f);
+    SS.empty
+  | And _ ->
+    let cs = conjuncts phi in
+    let base = List.fold_left (fun acc c -> SS.union acc (rr c)) SS.empty cs in
+    let eqs =
+      List.filter_map (function Fo.Eq (Fo.V x, Fo.V y) -> Some (x, y) | _ -> None) cs
+    in
+    close_under_equalities eqs base
+  | Or (f, g) -> SS.inter (rr f) (rr g)
+  | Exists (x, f) ->
+    let inner = rr f in
+    if SS.mem x inner then SS.remove x inner
+    else raise (Unsafe (Printf.sprintf "existential variable %s is not range-restricted" x))
+  | Implies _ | Iff _ | Forall _ -> raise (Unsafe "formula not in SRNF")
+
+let classify phi =
+  let phi = srnf phi in
+  match rr phi with
+  | ranged ->
+    let free = SS.of_list (Fo.free_vars phi) in
+    if SS.equal ranged free then Safe_range
+    else
+      Not_safe_range
+        (Printf.sprintf "free variables not range-restricted: %s"
+           (String.concat ", " (SS.elements (SS.diff free ranged))))
+  | exception Unsafe msg -> Not_safe_range msg
+
+let is_safe_range phi = classify phi = Safe_range
+let view_is_safe_range v = List.for_all (fun (d : View.def) -> is_safe_range d.View.body) (View.defs v)

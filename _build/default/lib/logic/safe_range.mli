@@ -1,0 +1,39 @@
+(** Safe-range analysis: a syntactic, conservative check for domain
+    independence.
+
+    Applying views and conditions over active-domain semantics (as this
+    library does) agrees with quantification over the paper's countably
+    infinite universe exactly for {e domain-independent} formulas. Domain
+    independence is undecidable; the classic decidable under-approximation
+    is the {e safe-range} fragment (Abiteboul–Hull–Vianu): after
+    normalisation (SRNF — no [∀], no [→]/[↔], negations not doubled), every
+    variable must be {e range-restricted} by an atom or a constant equality,
+    every existential variable must be ranged by its scope, and negation
+    contributes no range.
+
+    Safe-range implies domain-independent (property-tested here by
+    evaluating over enlarged domains); the converse fails — e.g. the
+    [φ₀ = ∀x̄ (Φ(x̄) ↔ x̄ = ā)] sentences of Claim 4.3 are domain-independent
+    by construction but not safe-range, which is why the library documents
+    per-construction domain-independence arguments instead of gating on
+    this check. *)
+
+val srnf : Fo.t -> Fo.t
+(** Safe-range normal form: eliminates [∀] (as [¬∃¬]), [→], [↔], and double
+    negations. Semantics-preserving (property-tested against {!Eval}). *)
+
+type verdict =
+  | Safe_range
+  | Not_safe_range of string  (** which rule failed, for diagnostics *)
+
+val classify : Fo.t -> verdict
+(** Range restriction on the SRNF of the formula: [Safe_range] iff the
+    range-restricted variables are exactly the free ones and every
+    quantified subformula is rangeable. *)
+
+val is_safe_range : Fo.t -> bool
+
+val view_is_safe_range : View.t -> bool
+(** All defining bodies are safe-range (hence the view is domain
+    independent and active-domain application matches the infinite-universe
+    semantics). *)

@@ -1,0 +1,78 @@
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+
+let rec relativize ~rename ~tag (phi : Fo.t) : Fo.t =
+  match phi with
+  | True | False | Eq _ -> phi
+  | Atom (r, args) -> Atom (rename r, tag :: args)
+  | Not f -> Not (relativize ~rename ~tag f)
+  | And (f, g) -> And (relativize ~rename ~tag f, relativize ~rename ~tag g)
+  | Or (f, g) -> Or (relativize ~rename ~tag f, relativize ~rename ~tag g)
+  | Implies (f, g) -> Implies (relativize ~rename ~tag f, relativize ~rename ~tag g)
+  | Iff (f, g) -> Iff (relativize ~rename ~tag f, relativize ~rename ~tag g)
+  | Exists (x, f) ->
+    (match tag with
+    | Fo.V y when String.equal x y ->
+      let x' = Fo.fresh_var x [ f ] in
+      Exists (x', relativize ~rename ~tag (Fo.substitute x (Fo.V x') f))
+    | _ -> Exists (x, relativize ~rename ~tag f))
+  | Forall (x, f) ->
+    (match tag with
+    | Fo.V y when String.equal x y ->
+      let x' = Fo.fresh_var x [ f ] in
+      Forall (x', relativize ~rename ~tag (Fo.substitute x (Fo.V x') f))
+    | _ -> Forall (x, relativize ~rename ~tag f))
+
+let hardcode_instance_sentence view d0 =
+  let view_rels = List.map (fun (d : View.def) -> d.rel) (View.defs view) in
+  List.iter
+    (fun r ->
+      if not (List.mem r view_rels) then
+        invalid_arg ("Surgery.hardcode_instance_sentence: relation " ^ r ^ " not defined by the view"))
+    (Instance.relations d0);
+  Fo.conj
+    (List.map
+       (fun (d : View.def) ->
+         let tuples = Instance.to_list (Instance.restrict_rel d.rel d0) in
+         let head_terms = List.map Fo.v d.head in
+         let rhs =
+           Fo.disj
+             (List.map (fun f -> Fo.eq_tuple head_terms (List.map Fo.c (Fact.args f))) tuples)
+         in
+         Fo.forall_many d.head (Fo.Iff (d.body, rhs)))
+       (View.defs view))
+
+let constant_instance_view base d0 guard =
+  View.make
+    (List.map
+       (fun (d : View.def) ->
+         let tuples = Instance.to_list (Instance.restrict_rel d.rel d0) in
+         let head_terms = List.map Fo.v d.head in
+         let member =
+           Fo.disj (List.map (fun f -> Fo.eq_tuple head_terms (List.map Fo.c (Fact.args f))) tuples)
+         in
+         (d.rel, d.head, Fo.And (guard, member)))
+       (View.defs base))
+
+let guarded_union v_then v_else guard =
+  let then_defs = View.defs v_then and else_defs = View.defs v_else in
+  if
+    not
+      (Ipdb_relational.Schema.equal (View.output_schema v_then) (View.output_schema v_else))
+  then invalid_arg "Surgery.guarded_union: output schemas differ";
+  View.make
+    (List.map
+       (fun (dt : View.def) ->
+         let de = List.find (fun (d : View.def) -> String.equal d.rel dt.rel) else_defs in
+         (* Align the else-branch's head variables with the then-branch's,
+            going through fresh temporaries to avoid clashes when the heads
+            permute shared names. *)
+         let temps = List.mapi (fun i _ -> Printf.sprintf "__gu_tmp%d" i) de.head in
+         let body_else =
+           List.fold_left2 (fun body x_old tmp -> Fo.substitute x_old (Fo.V tmp) body) de.body de.head temps
+         in
+         let body_else =
+           List.fold_left2 (fun body tmp x_new -> Fo.substitute tmp (Fo.V x_new) body) body_else temps dt.head
+         in
+         (dt.rel, dt.head, Fo.Or (Fo.And (guard, dt.body), Fo.And (Fo.Not guard, body_else))))
+       then_defs)

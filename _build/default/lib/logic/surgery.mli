@@ -1,0 +1,31 @@
+(** Formula surgery used by the paper's proofs.
+
+    The constructions of Theorem 4.1, Lemma 5.1 and Lemma 5.7 manufacture
+    first-order sentences out of given views, instances and schema
+    transformations; these are the corresponding syntactic operations. *)
+
+val relativize : rename:(string -> string) -> tag:Fo.term -> Fo.t -> Fo.t
+(** [relativize ~rename ~tag phi] rewrites every atom [R(t̄)] into
+    [rename R (tag, t̄)]. With [tag] the copy index [i] this turns a sentence
+    about an instance [I] into a sentence about the [i]-th copy [I[i]] inside
+    the product PDB [I^(k)] of Theorem 4.1. *)
+
+val hardcode_instance_sentence : View.t -> Ipdb_relational.Instance.t -> Fo.t
+(** Claim 4.3: a sentence [φ₀] such that [I ⊨ φ₀] iff [Φ(I) = D₀], namely
+    [⋀ᵢ ∀x̄ (Φᵢ(x̄) ↔ ⋁ⱼ x̄ = āᵢⱼ)] — for each output relation the answers of
+    its defining formula are exactly the hard-coded tuples of [D₀].
+    @raise Invalid_argument when [D₀] uses a relation the view does not
+    define. *)
+
+val constant_instance_view : View.t -> Ipdb_relational.Instance.t -> Fo.t -> View.t
+(** [constant_instance_view base d0 guard] is a view on the output schema of
+    [base] that outputs exactly the facts of [d0] whenever the sentence
+    [guard] holds (and contributes nothing otherwise). Used by Theorem 4.1
+    to "deal with the fixed instance D₀ separately using a hard-coded
+    description". *)
+
+val guarded_union : View.t -> View.t -> Fo.t -> View.t
+(** [guarded_union v_then v_else guard] outputs, for every relation of the
+    (shared) output schema, [v_then]'s answers when [guard] holds and
+    [v_else]'s answers when it does not.
+    @raise Invalid_argument when the output schemas differ. *)

@@ -1,0 +1,108 @@
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Value = Ipdb_relational.Value
+
+type def = { rel : string; head : Fo.var list; body : Fo.t }
+type t = def list
+
+let make specs =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun (rel, head, body) ->
+      if Hashtbl.mem seen rel then invalid_arg ("View.make: duplicate output relation " ^ rel);
+      Hashtbl.add seen rel ();
+      let distinct = List.sort_uniq String.compare head in
+      if List.length distinct <> List.length head then
+        invalid_arg ("View.make: repeated head variable in " ^ rel);
+      List.iter
+        (fun x ->
+          if not (List.mem x head) then
+            invalid_arg (Printf.sprintf "View.make: %s has free variable %s outside its head" rel x))
+        (Fo.free_vars body);
+      { rel; head; body })
+    specs
+
+let defs t = t
+let output_schema t = Schema.make (List.map (fun d -> (d.rel, List.length d.head)) t)
+
+module RelMap = Map.Make (String)
+
+let input_relations t =
+  let m =
+    List.fold_left
+      (fun acc d -> List.fold_left (fun acc (r, a) -> RelMap.add r a acc) acc (Fo.relations d.body))
+      RelMap.empty t
+  in
+  RelMap.bindings m
+
+module VSet = Set.Make (Value)
+
+let constants t =
+  VSet.elements
+    (List.fold_left
+       (fun acc d -> List.fold_left (fun acc v -> VSet.add v acc) acc (Fo.constants d.body))
+       VSet.empty t)
+
+let apply ?(extra = []) t inst =
+  let extra = extra @ constants t in
+  List.fold_left
+    (fun acc d ->
+      let tuples = Eval.satisfying ~extra inst d.head d.body in
+      List.fold_left (fun acc args -> Instance.add (Fact.make d.rel args) acc) acc tuples)
+    Instance.empty t
+
+let identity schema =
+  List.map
+    (fun (r, a) ->
+      let head = List.init a (fun i -> Printf.sprintf "x%d" i) in
+      { rel = r; head; body = Fo.atom r (List.map Fo.v head) })
+    (Schema.relations schema)
+
+let rename_relations f t = List.map (fun d -> { d with rel = f d.rel }) t
+
+let compose_counter = ref 0
+
+(* Inline one inner definition at an atom: substitute the head variables by
+   the atom's terms, going through globally fresh temporaries; binder capture
+   is handled by Fo.substitute. *)
+let inline_def (d : def) args =
+  let temps =
+    List.map
+      (fun _ ->
+        incr compose_counter;
+        Printf.sprintf "__cmp%d" !compose_counter)
+      d.head
+  in
+  let body = List.fold_left2 (fun b h tmp -> Fo.substitute h (Fo.V tmp) b) d.body d.head temps in
+  List.fold_left2 (fun b tmp arg -> Fo.substitute tmp arg b) body temps args
+
+let compose outer inner =
+  let find r =
+    match List.find_opt (fun (d : def) -> String.equal d.rel r) inner with
+    | Some d -> d
+    | None -> invalid_arg ("View.compose: relation " ^ r ^ " not defined by the inner view")
+  in
+  let rec subst (phi : Fo.t) : Fo.t =
+    match phi with
+    | True | False | Eq _ -> phi
+    | Atom (r, args) -> inline_def (find r) args
+    | Not f -> Not (subst f)
+    | And (f, g) -> And (subst f, subst g)
+    | Or (f, g) -> Or (subst f, subst g)
+    | Implies (f, g) -> Implies (subst f, subst g)
+    | Iff (f, g) -> Iff (subst f, subst g)
+    | Exists (x, f) -> Exists (x, subst f)
+    | Forall (x, f) -> Forall (x, subst f)
+  in
+  List.map (fun (d : def) -> { d with body = subst d.body }) outer
+let is_monotone_syntactic t = List.for_all (fun d -> Classify.is_positive_existential d.body) t
+let is_cq t = List.for_all (fun d -> Classify.is_cq d.body) t
+let is_ucq t = List.for_all (fun d -> Classify.is_ucq d.body) t
+let max_constants_in_def t = List.fold_left (fun acc d -> Stdlib.max acc (List.length (Fo.constants d.body))) 0 t
+
+let pp fmt t =
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "%s(%s) := %s@." d.rel (String.concat "," d.head) (Fo.to_string d.body))
+    t

@@ -1,0 +1,54 @@
+(** First-order views.
+
+    A view is a finite collection of queries, one per relation of the output
+    schema (Section 2 of the paper). Applying a view to an instance computes,
+    for each output relation, the tuples of the evaluation domain satisfying
+    the defining formula. *)
+
+type def = { rel : string; head : Fo.var list; body : Fo.t }
+
+type t = private def list
+
+val make : (string * Fo.var list * Fo.t) list -> t
+(** @raise Invalid_argument when an output relation repeats, head variables
+    within a definition repeat, or a body has free variables outside its
+    head. *)
+
+val defs : t -> def list
+val output_schema : t -> Ipdb_relational.Schema.t
+val input_relations : t -> (string * int) list
+(** Relation symbols used in bodies, with arities. *)
+
+val constants : t -> Ipdb_relational.Value.t list
+(** Constants appearing in any body: the elements the view can "invent". *)
+
+val apply : ?extra:Ipdb_relational.Value.t list -> t -> Ipdb_relational.Instance.t -> Ipdb_relational.Instance.t
+(** Evaluate the view. The output's active domain is contained in
+    [adom(input) ∪ constants ∪ extra]. *)
+
+val identity : Ipdb_relational.Schema.t -> t
+(** The identity view on a schema. *)
+
+val rename_relations : (string -> string) -> t -> t
+(** Renames the {e output} relations. *)
+
+val compose : t -> t -> t
+(** [compose outer inner] is the view [outer ∘ inner]: every atom of
+    [outer]'s bodies over [inner]'s output schema is replaced by [inner]'s
+    defining formula (with head variables substituted by the atom's terms).
+    Witnesses that composing FO-views yields an FO-view (the observation
+    [FO(FO(TI)) = FO(TI)] of Remark 4.2).
+    @raise Invalid_argument when [outer] uses a relation [inner] does not
+    define. *)
+
+val is_monotone_syntactic : t -> bool
+(** All bodies are positive-existential (hence the view is monotone). *)
+
+val is_cq : t -> bool
+val is_ucq : t -> bool
+
+val max_constants_in_def : t -> int
+(** The largest number of constants in a single defining formula — the
+    [c_i] of Lemma 3.3. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/pdb/bid.ml: Finite_pdb Format Hashtbl Ipdb_bignum Ipdb_dist Ipdb_relational Ipdb_series List Random Stdlib Ti Worlds

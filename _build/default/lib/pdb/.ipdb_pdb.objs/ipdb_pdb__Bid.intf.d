@@ -1,0 +1,1 @@
+lib/pdb/bid.mli: Finite_pdb Format Ipdb_bignum Ipdb_dist Ipdb_relational Ipdb_series Random Ti

@@ -1,0 +1,1 @@
+lib/pdb/estimate.ml: Bid Finite_pdb Float Ipdb_logic Ipdb_relational Ipdb_series Ti

@@ -1,0 +1,1 @@
+lib/pdb/estimate.mli: Bid Finite_pdb Ipdb_logic Ipdb_relational Ipdb_series Random Ti

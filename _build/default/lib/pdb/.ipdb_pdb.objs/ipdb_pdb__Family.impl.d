@@ -1,0 +1,1 @@
+lib/pdb/family.ml: Finite_pdb Ipdb_bignum Ipdb_relational Ipdb_series List Map Set Stdlib

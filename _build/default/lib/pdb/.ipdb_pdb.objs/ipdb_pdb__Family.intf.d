@@ -1,0 +1,1 @@
+lib/pdb/family.mli: Finite_pdb Ipdb_bignum Ipdb_relational Ipdb_series

@@ -1,0 +1,1 @@
+lib/pdb/finite_pdb.ml: Format Ipdb_bignum Ipdb_logic Ipdb_relational List Random Set Worlds

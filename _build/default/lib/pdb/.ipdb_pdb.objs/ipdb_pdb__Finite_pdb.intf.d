@@ -1,0 +1,1 @@
+lib/pdb/finite_pdb.mli: Format Ipdb_bignum Ipdb_logic Ipdb_relational Random

@@ -1,0 +1,1 @@
+lib/pdb/generate.ml: Bid Finite_pdb Hashtbl Ipdb_bignum Ipdb_logic Ipdb_relational List Printf Random Ti

@@ -1,0 +1,1 @@
+lib/pdb/generate.mli: Bid Finite_pdb Ipdb_bignum Ipdb_logic Ipdb_relational Random Ti

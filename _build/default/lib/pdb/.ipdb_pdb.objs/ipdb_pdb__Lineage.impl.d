@@ -1,0 +1,1 @@
+lib/pdb/lineage.ml: Format Hashtbl Ipdb_bignum Ipdb_logic Ipdb_relational List Map Printf Set String Ti

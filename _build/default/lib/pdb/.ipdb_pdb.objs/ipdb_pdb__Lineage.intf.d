@@ -1,0 +1,1 @@
+lib/pdb/lineage.mli: Format Ipdb_bignum Ipdb_logic Ipdb_relational Ti

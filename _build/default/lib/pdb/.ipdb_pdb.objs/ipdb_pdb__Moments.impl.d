@@ -1,0 +1,1 @@
+lib/pdb/moments.ml: Array Ipdb_bignum List Ti

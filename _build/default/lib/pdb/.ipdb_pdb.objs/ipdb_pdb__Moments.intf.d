@@ -1,0 +1,1 @@
+lib/pdb/moments.mli: Ipdb_bignum Ti

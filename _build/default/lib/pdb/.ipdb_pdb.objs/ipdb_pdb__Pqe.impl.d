@@ -1,0 +1,1 @@
+lib/pdb/pqe.ml: Finite_pdb Ipdb_bignum Ipdb_logic Ipdb_relational List Option Set String Ti

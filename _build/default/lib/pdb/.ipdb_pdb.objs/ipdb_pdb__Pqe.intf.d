@@ -1,0 +1,1 @@
+lib/pdb/pqe.mli: Ipdb_bignum Ipdb_logic Ti

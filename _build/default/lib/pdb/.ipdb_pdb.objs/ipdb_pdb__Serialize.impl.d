@@ -1,0 +1,1 @@
+lib/pdb/serialize.ml: Bid Buffer Finite_pdb Ipdb_bignum Ipdb_relational List String Ti

@@ -1,0 +1,1 @@
+lib/pdb/serialize.mli: Bid Finite_pdb Ipdb_relational Ti

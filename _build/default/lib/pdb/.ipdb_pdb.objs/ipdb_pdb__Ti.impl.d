@@ -1,0 +1,1 @@
+lib/pdb/ti.ml: Finite_pdb Float Format Hashtbl Ipdb_bignum Ipdb_relational Ipdb_series List Random Worlds

@@ -1,0 +1,1 @@
+lib/pdb/ti.mli: Finite_pdb Format Ipdb_bignum Ipdb_relational Ipdb_series Random

@@ -1,0 +1,1 @@
+lib/pdb/worlds.ml: Array List Printf Stdlib

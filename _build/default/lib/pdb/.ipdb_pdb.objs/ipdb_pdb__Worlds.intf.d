@@ -1,0 +1,1 @@
+lib/pdb/worlds.mli:

@@ -1,0 +1,223 @@
+module Q = Ipdb_bignum.Q
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Series = Ipdb_series.Series
+module Interval = Ipdb_series.Interval
+module Discrete = Ipdb_dist.Discrete
+
+module Finite = struct
+  type block = (Fact.t * Q.t) list
+  type t = { schema : Schema.t; blocks : block list }
+
+  let residual block = Q.one_minus (Q.sum (List.map snd block))
+
+  let make schema blocks =
+    let seen = Hashtbl.create 16 in
+    let blocks =
+      List.map
+        (fun block ->
+          let block =
+            List.filter
+              (fun (f, p) ->
+                if not (Fact.conforms schema f) then
+                  invalid_arg ("Bid.Finite.make: fact does not conform: " ^ Fact.to_string f);
+                if not (Q.is_probability p) then
+                  invalid_arg ("Bid.Finite.make: marginal out of range for " ^ Fact.to_string f);
+                if Hashtbl.mem seen f then
+                  invalid_arg ("Bid.Finite.make: duplicate fact " ^ Fact.to_string f);
+                Hashtbl.add seen f ();
+                not (Q.is_zero p))
+              block
+          in
+          if Q.sign (residual block) < 0 then
+            invalid_arg "Bid.Finite.make: block marginals sum to more than 1";
+          block)
+        blocks
+    in
+    { schema; blocks = List.filter (fun b -> b <> []) blocks }
+
+  let schema t = t.schema
+  let blocks t = t.blocks
+
+  let marginal t f =
+    let rec go = function
+      | [] -> Q.zero
+      | block :: rest -> ( match List.assoc_opt f block with Some p -> p | None -> go rest)
+    in
+    go t.blocks
+
+  let expected_size t = Q.sum (List.map (fun block -> Q.sum (List.map snd block)) t.blocks)
+
+  let to_finite_pdb t =
+    (* One choice per block: None (residual) or one fact; zero-probability
+       residuals are dropped up front so certain blocks do not double the
+       enumerated product. *)
+    let choices =
+      List.map
+        (fun block ->
+          let r = residual block in
+          let fact_choices = List.map (fun (f, p) -> (Some f, p)) block in
+          if Q.is_zero r then fact_choices else (None, r) :: fact_choices)
+        t.blocks
+    in
+    let combos = Worlds.cartesian choices in
+    let worlds =
+      List.filter_map
+        (fun combo ->
+          let p = Q.prod (List.map snd combo) in
+          if Q.is_zero p then None
+          else begin
+            let inst =
+              List.fold_left
+                (fun acc (choice, _) -> match choice with Some f -> Instance.add f acc | None -> acc)
+                Instance.empty combo
+            in
+            Some (inst, p)
+          end)
+        combos
+    in
+    Finite_pdb.make t.schema worlds
+
+  let of_ti ti =
+    { schema = Ti.Finite.schema ti; blocks = List.map (fun fp -> [ fp ]) (Ti.Finite.facts ti) }
+
+  let sample t rng =
+    List.fold_left
+      (fun acc block ->
+        let u = Random.State.float rng 1.0 in
+        let rec pick acc_mass = function
+          | [] -> acc
+          | (f, p) :: rest ->
+            let acc_mass = acc_mass +. Q.to_float p in
+            if u < acc_mass then Instance.add f acc else pick acc_mass rest
+        in
+        pick 0.0 block)
+      Instance.empty t.blocks
+
+  let mutually_exclusive_pair t =
+    let rec go = function
+      | [] -> None
+      | ((f1, _) :: (f2, _) :: _) :: _ -> Some (f1, f2)
+      | _ :: rest -> go rest
+    in
+    go t.blocks
+
+  let pp fmt t =
+    Format.fprintf fmt "BID-PDB over %a:@." Schema.pp t.schema;
+    List.iteri
+      (fun i block ->
+        Format.fprintf fmt "  block %d (residual %s):@." i (Q.to_string (residual block));
+        List.iter (fun (f, p) -> Format.fprintf fmt "    %s : %s@." (Fact.to_string f) (Q.to_string p)) block)
+      t.blocks
+end
+
+module Block_stream = struct
+  type t = {
+    name : string;
+    schema : Schema.t;
+    block : int -> Finite.block;
+    start : int;
+    mass_tail : Series.Tail.t;
+  }
+
+  let make ~name ~schema ~block ?(start = 1) ~mass_tail () = { name; schema; block; start; mass_tail }
+  let block_mass t i = Q.sum (List.map snd (t.block i))
+
+  let well_defined t ~upto =
+    Series.sum ~start:t.start (fun i -> Q.to_float (block_mass t i)) ~tail:t.mass_tail ~upto
+
+  let residuals_below t ~epsilon ~upto =
+    let count = ref 0 in
+    for i = t.start to upto do
+      let residual = Q.one_minus (block_mass t i) in
+      if Q.to_float residual < epsilon then incr count
+    done;
+    !count
+
+  let truncate t ~blocks =
+    let fin = Finite.make t.schema (List.init blocks (fun i -> t.block (t.start + i))) in
+    let tv = Series.Tail.bound_from t.mass_tail (t.start + blocks) in
+    (fin, tv)
+
+  let lemma57_marginal_bound t ~upto =
+    (* smallest positive residual on the prefix; the mass sum is accumulated
+       in floating point (the bound is a float, and summing 1/(i²+1)-style
+       rationals exactly grows denominators to thousands of digits) *)
+    let smallest = ref None in
+    let total_p = ref 0.0 in
+    for i = t.start to upto do
+      let mass = block_mass t i in
+      total_p := !total_p +. Q.to_float mass;
+      let r = Q.one_minus mass in
+      if Q.sign r > 0 then
+        smallest := Some (match !smallest with None -> r | Some s -> Q.min s r)
+    done;
+    match !smallest with
+    | None -> Error "no positive residual in the checked prefix"
+    | Some r ->
+      (* Σ q <= Σ p / r, plus the certified tail of Σ p (also divided by r) *)
+      let tail = Series.Tail.bound_from t.mass_tail (upto + 1) in
+      Ok ((!total_p +. tail) /. Q.to_float r)
+end
+
+module Infinite = struct
+  type block = { label : string; fact_of : int -> Fact.t; dist : Discrete.t }
+  type t = { schema : Schema.t; blocks : block list; name : string }
+
+  let make ~name ~schema blocks = { schema; blocks; name }
+
+  let well_defined t ~upto =
+    (* Σ_B (certified block mass); each block mass must be finite (≤ 1 for
+       a probability distribution). *)
+    let rec go acc = function
+      | [] -> Ok acc
+      | b :: rest -> (
+        match Discrete.total_mass_check b.dist ~upto with
+        | Error e -> Error (b.label ^ ": " ^ e)
+        | Ok m -> go (Interval.add acc m) rest)
+    in
+    go Interval.zero t.blocks
+
+  let truncate t ~n =
+    let tv = ref 0.0 in
+    let blocks =
+      List.map
+        (fun b ->
+          tv := !tv +. Discrete.mass_outside b.dist n;
+          let lo = match b.dist.Discrete.support with
+            | Discrete.Finite ks -> List.fold_left Stdlib.min max_int ks
+            | Discrete.Naturals_from k -> k
+          in
+          let mass k =
+            (* exact rational mass when the distribution provides it *)
+            match b.dist.Discrete.pmf_q with
+            | Some pmf_q -> pmf_q k
+            | None -> Q.of_float_exact (b.dist.Discrete.pmf k)
+          in
+          List.filter_map
+            (fun k ->
+              let p = mass k in
+              if Q.sign p <= 0 then None else Some (b.fact_of k, p))
+            (List.init (Stdlib.max 0 (n - lo + 1)) (fun i -> lo + i)))
+        t.blocks
+    in
+    (* Guard against rounding pushing a block sum over 1: scale down by the
+       tiniest epsilon if needed. *)
+    let blocks =
+      List.map
+        (fun block ->
+          let s = Q.sum (List.map snd block) in
+          if Q.leq s Q.one then block
+          else List.map (fun (f, p) -> (f, Q.div p s)) block)
+        blocks
+    in
+    (Finite.make t.schema blocks, !tv)
+
+  let sample t rng =
+    List.fold_left
+      (fun acc b ->
+        let k = Discrete.sample b.dist rng in
+        Instance.add (b.fact_of k) acc)
+      Instance.empty t.blocks
+end

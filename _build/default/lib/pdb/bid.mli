@@ -1,0 +1,119 @@
+(** Block-independent disjoint probabilistic databases (Definition 2.5).
+
+    Facts are partitioned into blocks; facts from different blocks are
+    independent, facts within a block are mutually exclusive. Theorem 2.6
+    characterises existence by summability of the marginals with per-block
+    sums at most 1. The residual [r_B = 1 - Σ_{t∈B} p_t] is the probability
+    that a block contributes no fact (Lemma 5.7 splits on [r = 0]). *)
+
+module Finite : sig
+  type block = (Ipdb_relational.Fact.t * Ipdb_bignum.Q.t) list
+
+  type t
+
+  val make : Ipdb_relational.Schema.t -> block list -> t
+  (** @raise Invalid_argument on duplicate facts (within or across blocks),
+      nonconforming facts, marginals outside [0,1], or a block whose
+      marginals sum to more than 1. Zero-marginal facts are dropped; empty
+      blocks are kept only if they were explicitly given facts. *)
+
+  val schema : t -> Ipdb_relational.Schema.t
+  val blocks : t -> block list
+
+  val residual : block -> Ipdb_bignum.Q.t
+  (** [1 - Σ p]: the probability mass of choosing no fact of the block. *)
+
+  val marginal : t -> Ipdb_relational.Fact.t -> Ipdb_bignum.Q.t
+  val expected_size : t -> Ipdb_bignum.Q.t
+
+  val to_finite_pdb : t -> Finite_pdb.t
+  (** Explicit distribution: the product over blocks of (no fact | one
+      fact) choices. @raise Invalid_argument past the enumeration gate. *)
+
+  val of_ti : Ti.Finite.t -> t
+  (** Every TI-PDB is BID with singleton blocks. *)
+
+  val sample : t -> Random.State.t -> Ipdb_relational.Instance.t
+
+  val mutually_exclusive_pair : t -> (Ipdb_relational.Fact.t * Ipdb_relational.Fact.t) option
+  (** Two facts of positive marginal in a common block, if any — the
+      obstruction used by Proposition 6.4 against monotone views of TI. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Countably many finite blocks, given as a stream — the shape of
+    Proposition D.3's BID-PDB (infinitely many two-fact blocks). Theorem 2.6
+    requires [Σ_i Σ_{t∈B_i} p_t < ∞]; equivalently the residual complements
+    [1 - r_i] are summable ([26, Lemma 4.14]: the residuals tend to 1). The
+    Lemma 5.7 construction for this shape rebalances marginals by
+    [q = p/(r + p)] and its well-definedness uses that only finitely many
+    residuals fall below any positive bound. *)
+module Block_stream : sig
+  type t = {
+    name : string;
+    schema : Ipdb_relational.Schema.t;
+    block : int -> Finite.block;  (** the [i]-th block, pairwise fact-disjoint *)
+    start : int;
+    mass_tail : Ipdb_series.Series.Tail.t;
+        (** certificate for [Σ_i (block mass)_i = Σ_i (1 - r_i) < ∞] *)
+  }
+
+  val make :
+    name:string ->
+    schema:Ipdb_relational.Schema.t ->
+    block:(int -> Finite.block) ->
+    ?start:int ->
+    mass_tail:Ipdb_series.Series.Tail.t ->
+    unit ->
+    t
+
+  val block_mass : t -> int -> Ipdb_bignum.Q.t
+  (** [Σ_{t ∈ B_i} p_t = 1 - r_i]. *)
+
+  val well_defined : t -> upto:int -> (Ipdb_series.Interval.t, string) result
+  (** Theorem 2.6: certified enclosure of the total marginal mass. *)
+
+  val residuals_below : t -> epsilon:float -> upto:int -> int
+  (** Number of blocks in the checked prefix with residual [r_i < epsilon].
+      By [26, Lemma 4.14] this is finite for every [epsilon ∈ (0,1)] — the
+      premise of the block-ordering step in Lemma 5.7. *)
+
+  val truncate : t -> blocks:int -> Finite.t * float
+  (** The finite BID-PDB on the first blocks; the float is the certified
+      total-variation bound (remaining blocks' mass tail). *)
+
+  val lemma57_marginal_bound : t -> upto:int -> (float, string) result
+  (** The well-definedness bound from the Lemma 5.7 proof:
+      [Σ q_{i,j} <= (1/r_{m+1}) Σ p_{i,j}] where [r_{m+1}] is the smallest
+      positive residual seen. [Error] when every checked residual is 0. *)
+end
+
+module Infinite : sig
+  (** Blocks given as distributions: finitely many blocks, each with a
+      countable set of alternative facts — e.g. the car-accident PDB of the
+      paper's introduction, one Poisson-distributed counter fact per
+      country. *)
+
+  type block = {
+    label : string;
+    fact_of : int -> Ipdb_relational.Fact.t;  (** fact for outcome [n] *)
+    dist : Ipdb_dist.Discrete.t;  (** probability of outcome [n] *)
+  }
+
+  type t = { schema : Ipdb_relational.Schema.t; blocks : block list; name : string }
+
+  val make : name:string -> schema:Ipdb_relational.Schema.t -> block list -> t
+
+  val well_defined : t -> upto:int -> (Ipdb_series.Interval.t, string) result
+  (** Theorem 2.6: certified enclosure of [Σ_B Σ_{t∈B} p_t] (must be finite;
+      here it equals the number of blocks when every block's mass is 1). *)
+
+  val truncate : t -> n:int -> Finite.t * float
+  (** Keep outcomes up to [n] per block; returns a TV-distance bound
+      (sum of the blocks' certified tail masses). *)
+
+  val sample : t -> Random.State.t -> Ipdb_relational.Instance.t
+  (** Exact per-block inverse-CDF sampling (one fact per block, or none when
+      a block has mass below 1). *)
+end

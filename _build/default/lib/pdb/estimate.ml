@@ -1,0 +1,45 @@
+module Interval = Ipdb_series.Interval
+module Instance = Ipdb_relational.Instance
+module Eval = Ipdb_logic.Eval
+
+type estimate = {
+  mean : float;
+  samples : int;
+  statistical_halfwidth : float;
+  truncation_bias : float;
+  confidence : float;
+}
+
+let hoeffding_halfwidth ~samples ~delta =
+  if samples <= 0 then invalid_arg "Estimate: need at least one sample";
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Estimate: delta must be in (0,1)";
+  sqrt (log (2.0 /. delta) /. (2.0 *. float_of_int samples))
+
+let interval e =
+  let slack = e.statistical_halfwidth +. e.truncation_bias in
+  Interval.make (Float.max 0.0 (e.mean -. slack)) (Float.min 1.0 (e.mean +. slack))
+
+let run_sampler ~delta ~samples ~bias sample_one pred =
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if pred (sample_one ()) then incr hits
+  done;
+  {
+    mean = float_of_int !hits /. float_of_int samples;
+    samples;
+    statistical_halfwidth = hoeffding_halfwidth ~samples ~delta;
+    truncation_bias = bias;
+    confidence = 1.0 -. delta;
+  }
+
+let event_probability_finite ?(delta = 0.01) ~samples ~rng d pred =
+  run_sampler ~delta ~samples ~bias:0.0 (fun () -> Finite_pdb.sample d rng) pred
+
+let event_probability_ti ?(delta = 0.01) ~samples ~truncate_at ~rng ti pred =
+  let fin, tv = Ti.Infinite.truncate ti ~n:truncate_at in
+  run_sampler ~delta ~samples ~bias:tv (fun () -> Ti.Finite.sample fin rng) pred
+
+let sentence_probability_bid ?(delta = 0.01) ~samples ~rng bid phi =
+  run_sampler ~delta ~samples ~bias:0.0
+    (fun () -> Bid.Infinite.sample bid rng)
+    (fun inst -> Eval.holds inst phi)

@@ -1,0 +1,60 @@
+(** Monte-Carlo estimation with explicit error accounting.
+
+    Exact probability computation over an infinite TI- or BID-PDB is not
+    possible in general; what is possible — and what the paper's
+    representation theory makes meaningful — is estimation against a
+    truncation whose total-variation distance to the real PDB is certified.
+    An estimate therefore carries two error terms:
+
+    - a {e statistical} half-width from Hoeffding's inequality (the event
+      indicator is bounded in [0,1]), and
+    - the {e truncation bias}, bounded by the certified TV distance.
+
+    The returned interval is the sum of both: the true probability lies in
+    it with probability at least [1 - delta]. *)
+
+type estimate = {
+  mean : float;  (** empirical frequency *)
+  samples : int;
+  statistical_halfwidth : float;  (** Hoeffding, at confidence [1 - delta] *)
+  truncation_bias : float;  (** certified TV bound of the truncation used *)
+  confidence : float;  (** [1 - delta] *)
+}
+
+val interval : estimate -> Ipdb_series.Interval.t
+(** [mean ± (statistical + bias)], clipped to [0, 1]. *)
+
+val hoeffding_halfwidth : samples:int -> delta:float -> float
+(** [sqrt (ln (2/delta) / (2 n))]. *)
+
+val event_probability_finite :
+  ?delta:float ->
+  samples:int ->
+  rng:Random.State.t ->
+  Finite_pdb.t ->
+  (Ipdb_relational.Instance.t -> bool) ->
+  estimate
+(** Sampling estimator on a finite PDB (zero truncation bias); useful to
+    cross-check the exact [Finite_pdb.prob_event] and to scale past
+    exhaustive enumeration. *)
+
+val event_probability_ti :
+  ?delta:float ->
+  samples:int ->
+  truncate_at:int ->
+  rng:Random.State.t ->
+  Ti.Infinite.t ->
+  (Ipdb_relational.Instance.t -> bool) ->
+  estimate
+(** Estimator on an infinite TI-PDB via its TV-bounded truncation. *)
+
+val sentence_probability_bid :
+  ?delta:float ->
+  samples:int ->
+  rng:Random.State.t ->
+  Bid.Infinite.t ->
+  Ipdb_logic.Fo.t ->
+  estimate
+(** Estimator for an FO sentence on an infinite BID-PDB with finitely many
+    blocks: worlds are sampled {e exactly} (one inverse-CDF draw per
+    block), so the truncation bias is zero. *)

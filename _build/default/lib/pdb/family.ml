@@ -1,0 +1,64 @@
+module Q = Ipdb_bignum.Q
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Series = Ipdb_series.Series
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  instance : int -> Instance.t;
+  prob : int -> float;
+  prob_q : (int -> Q.t) option;
+  size : int -> int;
+  start : int;
+  prob_tail : Series.Tail.t;
+}
+
+let make ~name ~schema ~instance ~prob ?prob_q ?size ?(start = 0) ~prob_tail () =
+  let size = match size with Some f -> f | None -> fun n -> Instance.size (instance n) in
+  { name; schema; instance; prob; prob_q; size; start; prob_tail }
+
+let size t n = t.size n
+let total_probability t ~upto = Series.sum ~start:t.start t.prob ~tail:t.prob_tail ~upto
+let moment_term t ~k n = (float_of_int (size t n) ** float_of_int k) *. t.prob n
+
+let theorem53_term t ~c n =
+  let s = size t n in
+  if s = 0 then 0.0
+  else float_of_int s *. (t.prob n ** (float_of_int c /. float_of_int s))
+
+let truncate_with weight t ~n =
+  let worlds = List.init (n - t.start + 1) (fun i -> let idx = t.start + i in (t.instance idx, weight idx)) in
+  Finite_pdb.make_unnormalized t.schema worlds
+
+let truncate_exact t ~n =
+  match t.prob_q with
+  | Some w -> truncate_with w t ~n
+  | None -> invalid_arg ("Family.truncate_exact: no exact weights for " ^ t.name)
+
+let truncate_float t ~n = truncate_with (fun i -> Q.of_float_exact (t.prob i)) t ~n
+
+let domain_disjoint_on t ~upto =
+  let module VSet = Set.Make (Ipdb_relational.Value) in
+  let rec go n seen =
+    if n > upto then true
+    else begin
+      let dom = VSet.of_list (Instance.adom (t.instance n)) in
+      if VSet.is_empty (VSet.inter dom seen) then go (n + 1) (VSet.union dom seen) else false
+    end
+  in
+  go t.start VSet.empty
+
+let max_domain_overlap_on t ~upto =
+  let module VMap = Map.Make (Ipdb_relational.Value) in
+  let counts = ref VMap.empty in
+  for n = t.start to upto do
+    List.iter
+      (fun v -> counts := VMap.update v (function None -> Some 1 | Some c -> Some (c + 1)) !counts)
+      (Instance.adom (t.instance n))
+  done;
+  VMap.fold (fun _ c acc -> Stdlib.max c acc) !counts 0
+
+let bounded_size_on t ~upto ~bound =
+  let rec go n = if n > upto then true else if size t n <= bound then go (n + 1) else false in
+  go t.start

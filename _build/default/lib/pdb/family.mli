@@ -1,0 +1,82 @@
+(** Countably infinite PDBs presented as enumerated families.
+
+    A family gives the [n]-th possible world and its probability; together
+    with a certificate that the probabilities sum (to 1) this is a faithful,
+    lazily-evaluated countable PDB (Definition 2.1). The named PDBs of the
+    paper — Examples 3.5, 3.9, 5.5, 5.6 — are all of this shape; see
+    [Ipdb_core.Zoo].
+
+    Quantities of interest are series: the module exposes the relevant term
+    functions, which combine with per-family certificates (supplied where
+    each family is defined) through [Ipdb_series.Series]. *)
+
+type t = {
+  name : string;
+  schema : Ipdb_relational.Schema.t;
+  instance : int -> Ipdb_relational.Instance.t;
+      (** Injective enumeration of the possible worlds. *)
+  prob : int -> float;
+  prob_q : (int -> Ipdb_bignum.Q.t) option;
+      (** Exact (possibly unnormalised) weights, when rational — allows
+          exact truncation. *)
+  size : int -> int;
+      (** [|D_n|] in closed form. Families like Example 3.5 have worlds of
+          size [2^n]: the size must be computable without materialising the
+          world, or every moment series would be intractable. Must agree
+          with [Instance.size (instance n)] wherever the instance is
+          materialisable (tested). *)
+  start : int;
+  prob_tail : Ipdb_series.Series.Tail.t;
+      (** Certificate that [Σ prob] converges (the family is a probability
+          space). *)
+}
+
+val make :
+  name:string ->
+  schema:Ipdb_relational.Schema.t ->
+  instance:(int -> Ipdb_relational.Instance.t) ->
+  prob:(int -> float) ->
+  ?prob_q:(int -> Ipdb_bignum.Q.t) ->
+  ?size:(int -> int) ->
+  ?start:int ->
+  prob_tail:Ipdb_series.Series.Tail.t ->
+  unit ->
+  t
+(** When [size] is omitted it defaults to materialising the instance —
+    fine for families whose worlds stay small. *)
+
+val size : t -> int -> int
+(** Size of the [n]-th world (closed form). *)
+
+val total_probability : t -> upto:int -> (Ipdb_series.Interval.t, string) result
+(** Certified enclosure of [Σ prob]; should contain 1. *)
+
+val moment_term : t -> k:int -> int -> float
+(** The term [|D_n|^k · P(D_n)] of the [k]-th size-moment series
+    (Section 2, Instance Size). *)
+
+val theorem53_term : t -> c:int -> int -> float
+(** The term [|D_n| · P(D_n)^(c/|D_n|)] of the Theorem 5.3 criterion
+    (0 for empty worlds, which the criterion excludes). *)
+
+val truncate_exact : t -> n:int -> Finite_pdb.t
+(** Conditioning on the first worlds: exact weights renormalised.
+    @raise Invalid_argument when the family has no exact weights. *)
+
+val truncate_float : t -> n:int -> Finite_pdb.t
+(** Like {!truncate_exact} but converting float probabilities to nearby
+    rationals before renormalising. *)
+
+val domain_disjoint_on : t -> upto:int -> bool
+(** Do the first worlds have pairwise disjoint active domains? (Hypothesis
+    of Lemma 3.7.) *)
+
+val max_domain_overlap_on : t -> upto:int -> int
+(** The largest number of worlds among the first [upto] sharing any single
+    active-domain element. Lemma 3.7 extends from disjoint domains to a
+    bounded overlap (Remark 3.8); this measures that bound on a prefix
+    ([1] iff {!domain_disjoint_on}). Worlds are materialised: keep [upto]
+    small for large-world families. *)
+
+val bounded_size_on : t -> upto:int -> bound:int -> bool
+(** Do the first worlds have size at most [bound]? *)

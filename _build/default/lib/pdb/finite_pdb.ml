@@ -1,0 +1,162 @@
+module Q = Ipdb_bignum.Q
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Eval = Ipdb_logic.Eval
+module View = Ipdb_logic.View
+
+type t = { schema : Schema.t; dist : Q.t Instance.Map.t }
+
+let build schema weighted ~normalize =
+  let total = ref Q.zero in
+  let dist =
+    List.fold_left
+      (fun acc (inst, p) ->
+        if Q.sign p < 0 then invalid_arg "Finite_pdb: negative probability";
+        if not (Instance.conforms schema inst) then
+          invalid_arg ("Finite_pdb: instance does not conform to schema: " ^ Instance.to_string inst);
+        if Q.is_zero p then acc
+        else begin
+          total := Q.add !total p;
+          Instance.Map.update inst (function None -> Some p | Some p0 -> Some (Q.add p0 p)) acc
+        end)
+      Instance.Map.empty weighted
+  in
+  if normalize then begin
+    if Q.is_zero !total then invalid_arg "Finite_pdb: total weight is zero";
+    { schema; dist = Instance.Map.map (fun p -> Q.div p !total) dist }
+  end
+  else begin
+    if not (Q.equal !total Q.one) then
+      invalid_arg ("Finite_pdb: probabilities sum to " ^ Q.to_string !total ^ ", not 1");
+    { schema; dist }
+  end
+
+let make schema weighted = build schema weighted ~normalize:false
+let make_unnormalized schema weighted = build schema weighted ~normalize:true
+let schema t = t.schema
+let support t = Instance.Map.bindings t.dist
+let num_worlds t = Instance.Map.cardinal t.dist
+let prob t inst = match Instance.Map.find_opt inst t.dist with Some p -> p | None -> Q.zero
+
+let prob_event t pred =
+  Instance.Map.fold (fun inst p acc -> if pred inst then Q.add acc p else acc) t.dist Q.zero
+
+let prob_sentence t phi = prob_event t (fun inst -> Eval.holds inst phi)
+
+module FactSet = Set.Make (Fact)
+
+let facts t =
+  FactSet.elements
+    (Instance.Map.fold
+       (fun inst _ acc -> Instance.fold FactSet.add inst acc)
+       t.dist FactSet.empty)
+
+let marginal t f = prob_event t (fun inst -> Instance.mem f inst)
+
+let moment t k =
+  if k < 0 then invalid_arg "Finite_pdb.moment: negative k";
+  Instance.Map.fold
+    (fun inst p acc -> Q.add acc (Q.mul (Q.pow (Q.of_int (Instance.size inst)) k) p))
+    t.dist Q.zero
+
+let expected_size t = moment t 1
+
+let map_view ?extra view t =
+  let out_schema = View.output_schema view in
+  build out_schema
+    (List.map (fun (inst, p) -> (View.apply ?extra view inst, p)) (support t))
+    ~normalize:false
+
+let condition_pred t pred =
+  let kept = List.filter (fun (inst, _) -> pred inst) (support t) in
+  if kept = [] then None else Some (build t.schema kept ~normalize:true)
+
+let condition t phi = condition_pred t (fun inst -> Eval.holds inst phi)
+
+let is_tuple_independent t =
+  let fs = facts t in
+  if List.length fs > Worlds.max_uncertain then
+    invalid_arg "Finite_pdb.is_tuple_independent: too many facts for the exact check";
+  let marginals = List.map (fun f -> (f, marginal t f)) fs in
+  List.for_all
+    (fun subset ->
+      let joint = prob_event t (fun inst -> List.for_all (fun (f, _) -> Instance.mem f inst) subset) in
+      Q.equal joint (Q.prod (List.map snd subset)))
+    (Worlds.subsets marginals)
+
+let is_bid t ~blocks =
+  let fs = facts t in
+  let flat = List.concat blocks in
+  let sorted_flat = List.sort_uniq Fact.compare flat in
+  if List.length flat <> List.length sorted_flat || sorted_flat <> fs then
+    invalid_arg "Finite_pdb.is_bid: blocks are not a partition of the fact set";
+  (* (2) intra-block disjointness *)
+  let disjoint =
+    List.for_all
+      (fun block ->
+        let rec pairs = function
+          | [] -> true
+          | f :: rest ->
+            List.for_all
+              (fun f' ->
+                Q.is_zero (prob_event t (fun inst -> Instance.mem f inst && Instance.mem f' inst)))
+              rest
+            && pairs rest
+        in
+        pairs block)
+      blocks
+  in
+  if not disjoint then false
+  else begin
+    (* (1) cross-block independence: one representative choice of at most one
+       fact per block; check all tuples of facts from pairwise distinct
+       blocks. Enumerate via the cartesian structure (None = skip block). *)
+    if List.length blocks > Worlds.max_uncertain then
+      invalid_arg "Finite_pdb.is_bid: too many blocks for the exact check";
+    let choices = List.map (fun block -> None :: List.map (fun f -> Some f) block) blocks in
+    let tuples = Worlds.cartesian choices in
+    List.for_all
+      (fun tuple ->
+        let chosen = List.filter_map (fun x -> x) tuple in
+        let joint = prob_event t (fun inst -> List.for_all (fun f -> Instance.mem f inst) chosen) in
+        Q.equal joint (Q.prod (List.map (marginal t) chosen)))
+      tuples
+  end
+
+let maximal_worlds t =
+  let worlds = List.map fst (support t) in
+  List.filter
+    (fun w -> not (List.exists (fun w' -> (not (Instance.equal w w')) && Instance.subset w w') worlds))
+    worlds
+
+let equal a b = Schema.equal a.schema b.schema && Instance.Map.equal Q.equal a.dist b.dist
+
+let tv_distance a b =
+  (* sum over all instances of |P_a - P_b| / 2 *)
+  let keys =
+    Instance.Set.union
+      (Instance.Set.of_list (List.map fst (support a)))
+      (Instance.Set.of_list (List.map fst (support b)))
+  in
+  let total =
+    Instance.Set.fold (fun inst acc -> Q.add acc (Q.abs (Q.sub (prob a inst) (prob b inst)))) keys Q.zero
+  in
+  Q.div total Q.two
+
+let sample t rng =
+  let u = Random.State.float rng 1.0 in
+  let rec go acc = function
+    | [] -> fst (List.nth (support t) (num_worlds t - 1))
+    | [ (inst, _) ] -> inst
+    | (inst, p) :: rest ->
+      let acc = acc +. Q.to_float p in
+      if u < acc then inst else go acc rest
+  in
+  go 0.0 (support t)
+
+let pp fmt t =
+  Format.fprintf fmt "PDB over %a with %d worlds:@." Schema.pp t.schema (num_worlds t);
+  List.iter
+    (fun (inst, p) -> Format.fprintf fmt "  %s : %s@." (Instance.to_string inst) (Q.to_string p))
+    (support t)

@@ -1,0 +1,77 @@
+(** Finite probabilistic databases with exact rational probabilities.
+
+    A finite PDB is a probability space over finitely many instances
+    (Definition 2.1 restricted to finite sample spaces). Probabilities are
+    exact rationals, so the paper's constructions can be verified as
+    distribution {e equalities}. *)
+
+type t
+
+val make : Ipdb_relational.Schema.t -> (Ipdb_relational.Instance.t * Ipdb_bignum.Q.t) list -> t
+(** Builds a PDB from weighted instances. Duplicate instances are merged,
+    zero-probability instances dropped.
+    @raise Invalid_argument when a probability is negative, the total is not
+    1, or an instance does not conform to the schema. *)
+
+val make_unnormalized : Ipdb_relational.Schema.t -> (Ipdb_relational.Instance.t * Ipdb_bignum.Q.t) list -> t
+(** Like {!make} but rescales the weights to total 1.
+    @raise Invalid_argument when the total weight is zero or a weight is
+    negative. *)
+
+val schema : t -> Ipdb_relational.Schema.t
+
+val support : t -> (Ipdb_relational.Instance.t * Ipdb_bignum.Q.t) list
+(** The possible worlds with their (positive) probabilities, in canonical
+    instance order. *)
+
+val num_worlds : t -> int
+val prob : t -> Ipdb_relational.Instance.t -> Ipdb_bignum.Q.t
+val prob_event : t -> (Ipdb_relational.Instance.t -> bool) -> Ipdb_bignum.Q.t
+val prob_sentence : t -> Ipdb_logic.Fo.t -> Ipdb_bignum.Q.t
+(** Probability that a random instance satisfies an FO sentence. *)
+
+val facts : t -> Ipdb_relational.Fact.t list
+(** [T(D)]: the facts appearing in some possible world, sorted. *)
+
+val marginal : t -> Ipdb_relational.Fact.t -> Ipdb_bignum.Q.t
+(** Marginal probability of a fact. *)
+
+val moment : t -> int -> Ipdb_bignum.Q.t
+(** [moment d k] is the [k]-th moment [E(|·|^k)] of the instance size. *)
+
+val expected_size : t -> Ipdb_bignum.Q.t
+
+val map_view : ?extra:Ipdb_relational.Value.t list -> Ipdb_logic.View.t -> t -> t
+(** Pushforward along a view: [V(D)] with
+    [P'(D') = P {D : V(D) = D'}] (Section 2, Query Semantics). *)
+
+val condition : t -> Ipdb_logic.Fo.t -> t option
+(** [condition d phi] is [d | phi] (Section 4): restrict to the worlds
+    satisfying the sentence and rescale. [None] when the event has
+    probability zero. *)
+
+val condition_pred : t -> (Ipdb_relational.Instance.t -> bool) -> t option
+
+val is_tuple_independent : t -> bool
+(** Checks Definition 2.3 exactly: for every set of distinct facts, the
+    probability that all occur equals the product of their marginals.
+    @raise Invalid_argument when [T(D)] exceeds the enumeration gate. *)
+
+val is_bid : t -> blocks:Ipdb_relational.Fact.t list list -> bool
+(** Checks Definition 2.5 for the given partition of [T(D)]:
+    cross-block independence and intra-block disjointness.
+    @raise Invalid_argument when [blocks] is not a partition of the fact
+    set, or it exceeds the enumeration gate. *)
+
+val maximal_worlds : t -> Ipdb_relational.Instance.t list
+(** Possible worlds not strictly contained in another possible world
+    (Proposition B.1 uses their uniqueness for monotone views of TI). *)
+
+val equal : t -> t -> bool
+(** Same schema and same distribution (exact). *)
+
+val tv_distance : t -> t -> Ipdb_bignum.Q.t
+(** Total variation distance between the two distributions. *)
+
+val sample : t -> Random.State.t -> Ipdb_relational.Instance.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+
+let rng seed = Random.State.make [| 0x1db; seed |]
+
+let probability st =
+  let den = 2 + Random.State.int st 11 in
+  let num = 1 + Random.State.int st (den - 1) in
+  Q.of_ints num den
+
+let random_fact st schema universe =
+  let rels = Schema.relations schema in
+  let rel, arity = List.nth rels (Random.State.int st (List.length rels)) in
+  Fact.make rel (List.init arity (fun _ -> Value.Int (Random.State.int st universe)))
+
+let instance st ~schema ~max_size ~universe =
+  let size = Random.State.int st (max_size + 1) in
+  Instance.of_list (List.init size (fun _ -> random_fact st schema universe))
+
+let finite_pdb st ~schema ~worlds ~max_size ~universe =
+  let weighted =
+    List.init worlds (fun _ ->
+        (instance st ~schema ~max_size ~universe, Q.of_int (1 + Random.State.int st 9)))
+  in
+  Finite_pdb.make_unnormalized schema weighted
+
+let ti st ~schema ~facts ~universe =
+  let rec distinct acc n =
+    if n = 0 then acc
+    else begin
+      let f = random_fact st schema universe in
+      if List.mem_assoc f acc then distinct acc n else distinct ((f, probability st) :: acc) (n - 1)
+    end
+  in
+  Ti.Finite.make schema (distinct [] facts)
+
+let bid st ~schema ~blocks ~max_block_size ~universe =
+  let seen = Hashtbl.create 16 in
+  let block () =
+    let size = 1 + Random.State.int st max_block_size in
+    let rec facts acc n =
+      if n = 0 then acc
+      else begin
+        let f = random_fact st schema universe in
+        if Hashtbl.mem seen f then facts acc n
+        else begin
+          Hashtbl.add seen f ();
+          facts (f :: acc) (n - 1)
+        end
+      end
+    in
+    let fs = facts [] size in
+    let k = List.length fs in
+    (* per-fact marginal at most 1/(k+1), keeping the block sum below 1 *)
+    List.map
+      (fun f ->
+        let den = (k + 1) * (1 + Random.State.int st 4) in
+        (f, Q.of_ints 1 den))
+      fs
+  in
+  Bid.Finite.make schema (List.init blocks (fun _ -> block ()))
+
+let ground_condition st ti_pdb =
+  let facts = List.map fst (Ti.Finite.facts ti_pdb) in
+  let ground f = Fo.atom (Fact.rel f) (List.map Fo.c (Fact.args f)) in
+  let rec build depth =
+    if depth = 0 || facts = [] then
+      if facts = [] then Fo.True
+      else ground (List.nth facts (Random.State.int st (List.length facts)))
+    else begin
+      match Random.State.int st 4 with
+      | 0 -> Fo.Not (build (depth - 1))
+      | 1 -> Fo.And (build (depth - 1), build (depth - 1))
+      | 2 -> Fo.Or (build (depth - 1), build (depth - 1))
+      | _ -> ground (List.nth facts (Random.State.int st (List.length facts)))
+    end
+  in
+  let satisfiable phi =
+    let d = Ti.Finite.to_finite_pdb ti_pdb in
+    Q.sign (Finite_pdb.prob_sentence d phi) > 0
+  in
+  let rec try_draw attempts =
+    if attempts = 0 then Fo.True
+    else begin
+      let phi = build 2 in
+      if satisfiable phi then phi else try_draw (attempts - 1)
+    end
+  in
+  try_draw 20
+
+let monotone_view st ~input_schema =
+  let rels = Schema.relations input_schema in
+  let chain () =
+    (* a 1- or 2-atom pattern sharing the variable x, projected to x *)
+    let rel1, a1 = List.nth rels (Random.State.int st (List.length rels)) in
+    let args1 = List.init a1 (fun i -> if i = 0 then Fo.v "x" else Fo.v (Printf.sprintf "u%d" i)) in
+    let atom1 = Fo.atom rel1 args1 in
+    let extra = List.filter_map (function Fo.V v when v <> "x" -> Some v | _ -> None) args1 in
+    if Random.State.bool st then Fo.exists_many extra atom1
+    else begin
+      let rel2, a2 = List.nth rels (Random.State.int st (List.length rels)) in
+      let args2 = List.init a2 (fun i -> if i = a2 - 1 then Fo.v "x" else Fo.v (Printf.sprintf "w%d" i)) in
+      let atom2 = Fo.atom rel2 args2 in
+      let extra2 = List.filter_map (function Fo.V v when v <> "x" -> Some v | _ -> None) args2 in
+      Fo.exists_many (extra @ extra2) (Fo.And (atom1, atom2))
+    end
+  in
+  let n = 1 + Random.State.int st 2 in
+  View.make [ ("Out", [ "x" ], Fo.disj (List.init n (fun _ -> chain ()))) ]

@@ -1,0 +1,56 @@
+(** Random workload generation.
+
+    Deterministic (seeded) generators for finite PDBs, TI-PDBs, BID-PDBs,
+    views and conditions, shared by the property tests and the benchmark
+    harness's parameter sweeps. Probabilities are exact rationals with
+    small denominators so that downstream exact verification stays fast. *)
+
+val rng : int -> Random.State.t
+(** Seeded generator state. *)
+
+val probability : Random.State.t -> Ipdb_bignum.Q.t
+(** A rational in (0, 1) with denominator at most 12. *)
+
+val instance :
+  Random.State.t -> schema:Ipdb_relational.Schema.t -> max_size:int -> universe:int -> Ipdb_relational.Instance.t
+(** A random instance: up to [max_size] facts over relations of the schema
+    with integer values in [0, universe). *)
+
+val finite_pdb :
+  Random.State.t ->
+  schema:Ipdb_relational.Schema.t ->
+  worlds:int ->
+  max_size:int ->
+  universe:int ->
+  Finite_pdb.t
+(** A random finite PDB with (up to) [worlds] distinct possible worlds and
+    rational probabilities summing to one. *)
+
+val ti :
+  Random.State.t ->
+  schema:Ipdb_relational.Schema.t ->
+  facts:int ->
+  universe:int ->
+  Ti.Finite.t
+(** A random finite TI-PDB with [facts] distinct facts. *)
+
+val bid :
+  Random.State.t ->
+  schema:Ipdb_relational.Schema.t ->
+  blocks:int ->
+  max_block_size:int ->
+  universe:int ->
+  Bid.Finite.t
+(** A random finite BID-PDB; block marginal sums are kept at most 1. *)
+
+val ground_condition : Random.State.t -> Ti.Finite.t -> Ipdb_logic.Fo.t
+(** A random quantifier-free Boolean combination of ground atoms over the
+    TI-PDB's facts — domain-independent by construction, hence safe for the
+    Theorem 4.1 pipeline. The condition is guaranteed satisfiable with
+    positive probability (checked against the expansion and re-drawn
+    otherwise). *)
+
+val monotone_view :
+  Random.State.t -> input_schema:Ipdb_relational.Schema.t -> Ipdb_logic.View.t
+(** A random syntactically-positive (hence monotone) single-relation view:
+    a union of short join chains over the input relations. *)

@@ -1,0 +1,174 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+
+type t =
+  | Top
+  | Bot
+  | Var of Fact.t
+  | Neg of t
+  | Conj of t * t
+  | Disj of t * t
+
+(* Smart constructors: constant folding keeps expressions small. *)
+let neg = function Top -> Bot | Bot -> Top | Neg x -> x | x -> Neg x
+
+let conj a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, x | x, Top -> x
+  | a, b when a = b -> a
+  | a, b -> Conj (a, b)
+
+let disj a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Bot, x | x, Bot -> x
+  | a, b when a = b -> a
+  | a, b -> Disj (a, b)
+
+let rec simplify = function
+  | (Top | Bot | Var _) as x -> x
+  | Neg x -> neg (simplify x)
+  | Conj (a, b) -> conj (simplify a) (simplify b)
+  | Disj (a, b) -> disj (simplify a) (simplify b)
+
+module FSet = Set.Make (Fact)
+
+let vars t =
+  let rec go acc = function
+    | Top | Bot -> acc
+    | Var f -> FSet.add f acc
+    | Neg x -> go acc x
+    | Conj (a, b) | Disj (a, b) -> go (go acc a) b
+  in
+  FSet.elements (go FSet.empty t)
+
+let rec size = function
+  | Top | Bot | Var _ -> 1
+  | Neg x -> 1 + size x
+  | Conj (a, b) | Disj (a, b) -> 1 + size a + size b
+
+let rec assign f value = function
+  | (Top | Bot) as x -> x
+  | Var g -> if Fact.equal f g then (if value then Top else Bot) else Var g
+  | Neg x -> neg (assign f value x)
+  | Conj (a, b) -> conj (assign f value a) (assign f value b)
+  | Disj (a, b) -> disj (assign f value a) (assign f value b)
+
+let rec holds_in world = function
+  | Top -> true
+  | Bot -> false
+  | Var f -> Instance.mem f world
+  | Neg x -> not (holds_in world x)
+  | Conj (a, b) -> holds_in world a && holds_in world b
+  | Disj (a, b) -> holds_in world a || holds_in world b
+
+(* ------------------------------------------------------------------ *)
+(* Construction from formulas                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Env = Map.Make (String)
+
+let of_formula ti ~domain env phi =
+  let fact_set = FSet.of_list (List.map fst (Ti.Finite.facts ti)) in
+  let term_value env = function
+    | Fo.C v -> v
+    | Fo.V x -> (
+      match Env.find_opt x env with
+      | Some v -> v
+      | None -> invalid_arg ("Lineage: unbound variable " ^ x))
+  in
+  let rec go env (phi : Fo.t) =
+    match phi with
+    | True -> Top
+    | False -> Bot
+    | Atom (r, args) ->
+      let f = Fact.make r (List.map (term_value env) args) in
+      if FSet.mem f fact_set then Var f else Bot
+    | Eq (a, b) -> if Value.equal (term_value env a) (term_value env b) then Top else Bot
+    | Not f -> neg (go env f)
+    | And (f, g) -> conj (go env f) (go env g)
+    | Or (f, g) -> disj (go env f) (go env g)
+    | Implies (f, g) -> disj (neg (go env f)) (go env g)
+    | Iff (f, g) ->
+      let lf = go env f and lg = go env g in
+      disj (conj lf lg) (conj (neg lf) (neg lg))
+    | Exists (x, f) -> List.fold_left (fun acc v -> disj acc (go (Env.add x v env) f)) Bot domain
+    | Forall (x, f) -> List.fold_left (fun acc v -> conj acc (go (Env.add x v env) f)) Top domain
+  in
+  go env phi
+
+module VSet = Set.Make (Value)
+
+let domain_of ti phi =
+  let s =
+    List.fold_left
+      (fun acc (f, _) -> List.fold_left (fun acc v -> VSet.add v acc) acc (Fact.values f))
+      VSet.empty (Ti.Finite.facts ti)
+  in
+  let s = List.fold_left (fun acc v -> VSet.add v acc) s (Fo.constants phi) in
+  VSet.elements s
+
+let of_sentence ti phi =
+  if not (Fo.is_sentence phi) then invalid_arg "Lineage.of_sentence: formula has free variables";
+  of_formula ti ~domain:(domain_of ti phi) Env.empty phi
+
+let of_output_fact ti (d : View.def) tuple =
+  if List.length d.View.head <> List.length tuple then
+    invalid_arg "Lineage.of_output_fact: tuple arity mismatch";
+  let env = List.fold_left2 (fun acc x v -> Env.add x v acc) Env.empty d.View.head tuple in
+  let domain =
+    VSet.elements
+      (List.fold_left (fun acc v -> VSet.add v acc) (VSet.of_list (domain_of ti d.View.body)) tuple)
+  in
+  of_formula ti ~domain env d.View.body
+
+(* ------------------------------------------------------------------ *)
+(* Probability by Shannon expansion                                    *)
+(* ------------------------------------------------------------------ *)
+
+let max_vars = 24
+
+let probability ti lineage =
+  let lineage = simplify lineage in
+  let nvars = List.length (vars lineage) in
+  if nvars > max_vars then
+    invalid_arg (Printf.sprintf "Lineage.probability: %d variables exceed the gate (%d)" nvars max_vars);
+  let marginal =
+    let assoc = Ti.Finite.facts ti in
+    fun f -> match List.assoc_opt f assoc with Some p -> p | None -> Q.zero
+  in
+  let memo : (t, Q.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec shannon l =
+    match l with
+    | Top -> Q.one
+    | Bot -> Q.zero
+    | _ -> (
+      match Hashtbl.find_opt memo l with
+      | Some p -> p
+      | None ->
+        let p =
+          match vars l with
+          | [] -> assert false
+          | f :: _ ->
+            let pf = marginal f in
+            Q.add
+              (Q.mul pf (shannon (assign f true l)))
+              (Q.mul (Q.one_minus pf) (shannon (assign f false l)))
+        in
+        Hashtbl.add memo l p;
+        p)
+  in
+  shannon lineage
+
+let rec pp fmt = function
+  | Top -> Format.pp_print_string fmt "⊤"
+  | Bot -> Format.pp_print_string fmt "⊥"
+  | Var f -> Format.pp_print_string fmt ("[" ^ Fact.to_string f ^ "]")
+  | Neg x -> Format.fprintf fmt "¬%a" pp x
+  | Conj (a, b) -> Format.fprintf fmt "(%a ∧ %a)" pp a pp b
+  | Disj (a, b) -> Format.fprintf fmt "(%a ∨ %a)" pp a pp b

@@ -1,0 +1,55 @@
+(** Boolean lineage (provenance) over tuple-independent PDBs.
+
+    The lineage of a sentence [φ] w.r.t. a finite TI-PDB is a Boolean
+    expression over {e fact variables} that holds in a possible world iff
+    the world satisfies [φ]. Lineage is the classic intensional route to
+    probabilistic query evaluation: [Pr(φ) = Pr(lineage)] where fact
+    variables are independent Bernoullis with the TI marginals. Probability
+    is computed by Shannon expansion with memoisation — exact for any
+    formula, exponential in the worst case (the #P-hard queries of the
+    Dalvi–Suciu dichotomy really do blow up), so the expansion is gated.
+
+    Cross-checked against world enumeration and against the lifted plan of
+    {!Pqe} (property-tested). *)
+
+type t =
+  | Top
+  | Bot
+  | Var of Ipdb_relational.Fact.t
+  | Neg of t
+  | Conj of t * t
+  | Disj of t * t
+
+val of_sentence : Ti.Finite.t -> Ipdb_logic.Fo.t -> t
+(** Lineage of an FO sentence; quantifiers range over the TI-PDB's active
+    domain plus the sentence's constants (active-domain semantics, as in
+    {!Ipdb_logic.Eval}). Atoms over facts outside the fact set become
+    [Bot]. The result is constant-folded. *)
+
+val of_output_fact :
+  Ti.Finite.t -> Ipdb_logic.View.def -> Ipdb_relational.Value.t list -> t
+(** Lineage of one output fact of a view: the defining body with the head
+    variables bound to the given tuple. *)
+
+val vars : t -> Ipdb_relational.Fact.t list
+(** Distinct fact variables, sorted. *)
+
+val size : t -> int
+val simplify : t -> t
+(** Constant folding ([x ∧ ⊤ = x], …); applied by the constructors above. *)
+
+val assign : Ipdb_relational.Fact.t -> bool -> t -> t
+(** Substitute a truth value for a fact variable and fold. *)
+
+val holds_in : Ipdb_relational.Instance.t -> t -> bool
+(** Truth of the lineage in a concrete world. *)
+
+val max_vars : int
+(** Gate for {!probability} (24). *)
+
+val probability : Ti.Finite.t -> t -> Ipdb_bignum.Q.t
+(** Exact probability by memoised Shannon expansion on the TI marginals.
+    @raise Invalid_argument when the lineage mentions more than {!max_vars}
+    fact variables. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+module Q = Ipdb_bignum.Q
+
+(* Poisson-binomial pmf by dynamic programming: multiply out
+   Π_t ((1 - p_t) + p_t x) coefficient by coefficient. *)
+let size_pmf ti =
+  let facts = Ti.Finite.facts ti in
+  let n = List.length facts in
+  let pmf = Array.make (n + 1) Q.zero in
+  pmf.(0) <- Q.one;
+  List.iteri
+    (fun i (_, p) ->
+      let not_p = Q.one_minus p in
+      (* sizes processed high-to-low so each fact is counted once *)
+      for s = i + 1 downto 1 do
+        pmf.(s) <- Q.add (Q.mul pmf.(s) not_p) (Q.mul pmf.(s - 1) p)
+      done;
+      pmf.(0) <- Q.mul pmf.(0) not_p)
+    facts;
+  pmf
+
+let moment_of_pmf pmf k =
+  let acc = ref Q.zero in
+  Array.iteri (fun s p -> acc := Q.add !acc (Q.mul (Q.pow (Q.of_int s) k) p)) pmf;
+  !acc
+
+let moment ti k =
+  if k < 0 then invalid_arg "Moments.moment: negative order";
+  moment_of_pmf (size_pmf ti) k
+
+let expected_size ti = moment ti 1
+
+let variance ti =
+  let pmf = size_pmf ti in
+  let e1 = moment_of_pmf pmf 1 in
+  Q.sub (moment_of_pmf pmf 2) (Q.mul e1 e1)
+
+let lemma_c1_chain ti ~k =
+  if k < 1 then invalid_arg "Moments.lemma_c1_chain: need k >= 1";
+  let pmf = size_pmf ti in
+  let e1 = moment_of_pmf pmf 1 in
+  let rec go j bound acc =
+    if j > k then List.rev acc
+    else begin
+      let mj = moment_of_pmf pmf j in
+      go (j + 1) (Q.mul bound (Q.add (Q.of_int j) e1)) ((mj, bound) :: acc)
+    end
+  in
+  go 1 e1 []

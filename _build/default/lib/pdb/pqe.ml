@@ -1,0 +1,154 @@
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module Fo = Ipdb_logic.Fo
+module Eval = Ipdb_logic.Eval
+
+type cq_atom = { rel : string; args : Fo.term list }
+type cq = { exists : Fo.var list; atoms : cq_atom list }
+
+let atom_vars a =
+  List.filter_map (fun t -> match t with Fo.V x -> Some x | Fo.C _ -> None) a.args
+
+let cq_of_formula phi =
+  let rec peel acc = function
+    | Fo.Exists (x, f) -> peel (x :: acc) f
+    | f -> (List.rev acc, f)
+  in
+  let exists, matrix = peel [] phi in
+  let rec conjuncts = function
+    | Fo.And (f, g) -> Option.bind (conjuncts f) (fun a -> Option.map (fun b -> a @ b) (conjuncts g))
+    | Fo.Atom (rel, args) -> Some [ { rel; args } ]
+    | Fo.True -> Some []
+    | _ -> None
+  in
+  match conjuncts matrix with
+  | None -> None
+  | Some atoms ->
+    let vars = List.concat_map atom_vars atoms in
+    if List.for_all (fun x -> List.mem x exists) vars then Some { exists; atoms } else None
+
+let cq_to_formula q =
+  Fo.exists_many q.exists (Fo.conj (List.map (fun a -> Fo.Atom (a.rel, a.args)) q.atoms))
+
+module SS = Set.Make (String)
+
+let is_self_join_free q =
+  let rec go seen = function
+    | [] -> true
+    | a :: rest -> if SS.mem a.rel seen then false else go (SS.add a.rel seen) rest
+  in
+  go SS.empty q.atoms
+
+let atoms_of_var q x =
+  List.filteri (fun _ a -> List.mem x (atom_vars a)) q.atoms
+  |> List.map (fun a -> a.rel)
+  |> List.sort_uniq String.compare
+
+let is_hierarchical q =
+  let vars = List.sort_uniq String.compare (List.concat_map atom_vars q.atoms) in
+  List.for_all
+    (fun x ->
+      List.for_all
+        (fun y ->
+          let ax = SS.of_list (atoms_of_var q x) and ay = SS.of_list (atoms_of_var q y) in
+          SS.subset ax ay || SS.subset ay ax || SS.is_empty (SS.inter ax ay))
+        vars)
+    vars
+
+let boolean_probability_exact ti phi =
+  let d = Ti.Finite.to_finite_pdb ti in
+  Finite_pdb.prob_sentence d phi
+
+(* ------------------------------------------------------------------ *)
+(* Extensional plan                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module VS = Set.Make (Value)
+
+let lifted_cq_probability ti q =
+  if not (is_self_join_free q) then None
+  else begin
+    let domain =
+      let s =
+        List.fold_left
+          (fun acc (f, _) -> List.fold_left (fun acc v -> VS.add v acc) acc (Fact.values f))
+          VS.empty (Ti.Finite.facts ti)
+      in
+      let s =
+        List.fold_left
+          (fun acc a ->
+            List.fold_left (fun acc t -> match t with Fo.C v -> VS.add v acc | Fo.V _ -> acc) acc a.args)
+          s q.atoms
+      in
+      VS.elements s
+    in
+    let ground_atom a =
+      Fact.make a.rel (List.map (fun t -> match t with Fo.C v -> v | Fo.V _ -> assert false) a.args)
+    in
+    let substitute_atom x v a =
+      { a with args = List.map (fun t -> match t with Fo.V y when String.equal y x -> Fo.C v | t -> t) a.args }
+    in
+    (* connected components by shared variables *)
+    let components atoms =
+      let rec grow comp comp_vars rest =
+        let touching, others =
+          List.partition (fun a -> List.exists (fun x -> SS.mem x comp_vars) (atom_vars a)) rest
+        in
+        if touching = [] then (comp, rest)
+        else
+          grow (comp @ touching)
+            (List.fold_left (fun acc a -> List.fold_left (fun acc x -> SS.add x acc) acc (atom_vars a)) comp_vars touching)
+            others
+      in
+      let rec split = function
+        | [] -> []
+        | a :: rest ->
+          let comp, others = grow [ a ] (SS.of_list (atom_vars a)) rest in
+          comp :: split others
+      in
+      split atoms
+    in
+    let rec lift atoms =
+      match atoms with
+      | [] -> Some Q.one
+      | _ -> begin
+        (* split off ground atoms: independent of everything else *)
+        let ground, open_atoms = List.partition (fun a -> atom_vars a = []) atoms in
+        let p_ground = Q.prod (List.map (fun a -> Ti.Finite.marginal ti (ground_atom a)) ground) in
+        if Q.is_zero p_ground then Some Q.zero
+        else if open_atoms = [] then Some p_ground
+        else begin
+          match components open_atoms with
+          | [] -> Some p_ground
+          | [ component ] -> begin
+            (* independent-project: a variable occurring in every atom *)
+            let vars = List.sort_uniq String.compare (List.concat_map atom_vars component) in
+            let n = List.length component in
+            match
+              List.find_opt (fun x -> List.length (List.filter (fun a -> List.mem x (atom_vars a)) component) = n) vars
+            with
+            | None -> None (* not hierarchical: unsafe for extensional rules *)
+            | Some root ->
+              let rec over_domain acc = function
+                | [] -> Some acc
+                | v :: rest -> (
+                  match lift (List.map (substitute_atom root v) component) with
+                  | None -> None
+                  | Some p -> over_domain (Q.mul acc (Q.one_minus p)) rest)
+              in
+              Option.map (fun none_prob -> Q.mul p_ground (Q.one_minus none_prob)) (over_domain Q.one domain)
+          end
+          | comps ->
+            (* independent-join across components *)
+            let rec product acc = function
+              | [] -> Some acc
+              | comp :: rest -> (
+                match lift comp with None -> None | Some p -> product (Q.mul acc p) rest)
+            in
+            Option.map (Q.mul p_ground) (product Q.one comps)
+        end
+      end
+    in
+    lift q.atoms
+  end

@@ -1,0 +1,44 @@
+(** Probabilistic query evaluation (PQE) on tuple-independent PDBs.
+
+    The paper situates itself against the PQE literature (Dalvi–Suciu
+    dichotomy [17]): computing the probability that a Boolean query holds on
+    a TI-PDB is tractable exactly for {e hierarchical} self-join-free
+    conjunctive queries, via an extensional ("lifted") plan, and #P-hard
+    otherwise. This module provides:
+
+    - {!boolean_probability_exact} — intensional evaluation by world
+      enumeration (any FO sentence; exponential, gated);
+    - {!lifted_cq_probability} — the extensional algorithm for
+      self-join-free Boolean CQs: independent-join on connected components,
+      independent-project on a root variable, ground-atom lookup. Returns
+      [None] exactly when the query is unsafe for these rules (not
+      hierarchical after decomposition), in which case the caller falls back
+      to enumeration.
+
+    Both return exact rationals; they agree wherever both apply
+    (property-tested). *)
+
+type cq_atom = { rel : string; args : Ipdb_logic.Fo.term list }
+
+type cq = { exists : Ipdb_logic.Fo.var list; atoms : cq_atom list }
+(** A Boolean conjunctive query [∃ x̄ (a₁ ∧ … ∧ aₖ)]; every variable in the
+    atoms must be quantified. *)
+
+val cq_of_formula : Ipdb_logic.Fo.t -> cq option
+(** Recognise an existentially closed conjunction of atoms. *)
+
+val cq_to_formula : cq -> Ipdb_logic.Fo.t
+
+val is_self_join_free : cq -> bool
+(** No relation symbol occurs twice. *)
+
+val is_hierarchical : cq -> bool
+(** For every two variables, their atom sets are nested or disjoint. *)
+
+val boolean_probability_exact : Ti.Finite.t -> Ipdb_logic.Fo.t -> Ipdb_bignum.Q.t
+(** [Pr_{I∼TI}(I ⊨ φ)] by exhaustive world enumeration.
+    @raise Invalid_argument past the {!Worlds} gate. *)
+
+val lifted_cq_probability : Ti.Finite.t -> cq -> Ipdb_bignum.Q.t option
+(** The extensional plan, grounding quantifiers over the TI-PDB's active
+    domain (plus the query's constants). [None] when no safe rule applies. *)

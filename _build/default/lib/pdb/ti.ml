@@ -1,0 +1,127 @@
+module Q = Ipdb_bignum.Q
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fact = Ipdb_relational.Fact
+module Series = Ipdb_series.Series
+module Interval = Ipdb_series.Interval
+
+module Finite = struct
+  type t = { schema : Schema.t; facts : (Fact.t * Q.t) list }
+
+  let make schema weighted =
+    let seen = Hashtbl.create 16 in
+    let facts =
+      List.filter
+        (fun (f, p) ->
+          if not (Fact.conforms schema f) then
+            invalid_arg ("Ti.Finite.make: fact does not conform: " ^ Fact.to_string f);
+          if not (Q.is_probability p) then
+            invalid_arg ("Ti.Finite.make: marginal out of range for " ^ Fact.to_string f);
+          if Hashtbl.mem seen f then invalid_arg ("Ti.Finite.make: duplicate fact " ^ Fact.to_string f);
+          Hashtbl.add seen f ();
+          not (Q.is_zero p))
+        weighted
+    in
+    { schema; facts = List.sort (fun (a, _) (b, _) -> Fact.compare a b) facts }
+
+  let schema t = t.schema
+  let facts t = t.facts
+  let marginal t f = match List.assoc_opt f t.facts with Some p -> p | None -> Q.zero
+  let certain_facts t = List.filter_map (fun (f, p) -> if Q.is_one p then Some f else None) t.facts
+  let uncertain_facts t = List.filter (fun (_, p) -> not (Q.is_one p)) t.facts
+  let expected_size t = Q.sum (List.map snd t.facts)
+
+  let prob_superset t d =
+    Instance.fold
+      (fun f acc -> Q.mul acc (marginal t f))
+      d Q.one
+
+  let world_prob t d =
+    if not (Instance.for_all (fun f -> not (Q.is_zero (marginal t f))) d) then Q.zero
+    else
+      List.fold_left
+        (fun acc (f, p) -> Q.mul acc (if Instance.mem f d then p else Q.one_minus p))
+        Q.one t.facts
+
+  let to_finite_pdb t =
+    let certain = Instance.of_list (certain_facts t) in
+    let uncertain = uncertain_facts t in
+    let worlds =
+      List.map
+        (fun (inc, exc) ->
+          let inst = List.fold_left (fun acc (f, _) -> Instance.add f acc) certain inc in
+          let p =
+            Q.mul
+              (Q.prod (List.map snd inc))
+              (Q.prod (List.map (fun (_, p) -> Q.one_minus p) exc))
+          in
+          (inst, p))
+        (Worlds.subsets_with_complement uncertain)
+    in
+    Finite_pdb.make t.schema worlds
+
+  let union_independent a b =
+    let schema = Schema.union a.schema b.schema in
+    List.iter
+      (fun (f, _) ->
+        if List.mem_assoc f b.facts then invalid_arg ("Ti.Finite.union_independent: shared fact " ^ Fact.to_string f))
+      a.facts;
+    make schema (a.facts @ b.facts)
+
+  let sample t rng =
+    List.fold_left
+      (fun acc (f, p) -> if Random.State.float rng 1.0 < Q.to_float p then Instance.add f acc else acc)
+      Instance.empty t.facts
+
+  let induced_idb_member t inst =
+    List.for_all (fun f -> Instance.mem f inst) (certain_facts t)
+    && Instance.for_all (fun f -> not (Q.is_zero (marginal t f))) inst
+
+  let pp fmt t =
+    Format.fprintf fmt "TI-PDB over %a:@." Schema.pp t.schema;
+    List.iter (fun (f, p) -> Format.fprintf fmt "  %s : %s@." (Fact.to_string f) (Q.to_string p)) t.facts
+end
+
+module Infinite = struct
+  type t = {
+    schema : Schema.t;
+    fact : int -> Fact.t;
+    marginal : int -> float;
+    start : int;
+    tail : Series.Tail.t;
+    name : string;
+  }
+
+  let make ~name ~schema ~fact ~marginal ?(start = 0) ~tail () =
+    { schema; fact; marginal; start; tail; name }
+
+  let well_defined t ~upto = Series.sum ~start:t.start t.marginal ~tail:t.tail ~upto
+  let expected_size t ~upto = well_defined t ~upto
+
+  let moment_upper_bound t ~k ~upto =
+    if k < 1 then invalid_arg "Ti.Infinite.moment_upper_bound: k must be >= 1";
+    match expected_size t ~upto with
+    | Error _ as e -> e
+    | Ok e1 ->
+      let e1_hi = Interval.hi e1 in
+      (* Lemma C.1: E(|.|^k) <= E(|.|^{k-1}) * (k - 1 + E(|.|)). *)
+      let rec go j acc = if j > k then acc else go (j + 1) (acc *. (float_of_int (j - 1) +. e1_hi)) in
+      Ok (go 2 e1_hi)
+
+  let truncate t ~n =
+    let facts =
+      List.init
+        (n - t.start + 1)
+        (fun i ->
+          let idx = t.start + i in
+          let p = t.marginal idx in
+          let p = Float.max 0.0 (Float.min 1.0 p) in
+          (t.fact idx, Q.of_float_exact p))
+    in
+    let tv_bound = Series.Tail.bound_from t.tail (n + 1) in
+    (Finite.make t.schema facts, tv_bound)
+
+  let sample t ~n rng =
+    let fin, tv = truncate t ~n in
+    (Finite.sample fin rng, tv)
+end

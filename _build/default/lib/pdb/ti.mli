@@ -1,0 +1,96 @@
+(** Tuple-independent probabilistic databases (Definition 2.3).
+
+    A TI-PDB is specified by its fact set and marginal probabilities; the
+    occurrences of distinct facts are independent events. {!Finite} carries
+    exact rational marginals and supports exhaustive world enumeration;
+    {!Infinite} carries a marginal stream with a convergence certificate and
+    realises Theorem 2.4: the TI-PDB exists iff the marginals are summable. *)
+
+module Finite : sig
+  type t
+
+  val make : Ipdb_relational.Schema.t -> (Ipdb_relational.Fact.t * Ipdb_bignum.Q.t) list -> t
+  (** @raise Invalid_argument on duplicate facts, nonconforming facts, or
+      marginals outside [0, 1]. Facts with marginal 0 are dropped. *)
+
+  val schema : t -> Ipdb_relational.Schema.t
+
+  val facts : t -> (Ipdb_relational.Fact.t * Ipdb_bignum.Q.t) list
+  (** Fact/marginal pairs, facts with positive marginals, sorted. *)
+
+  val marginal : t -> Ipdb_relational.Fact.t -> Ipdb_bignum.Q.t
+
+  val certain_facts : t -> Ipdb_relational.Fact.t list
+  (** Facts with marginal 1 ([T_always] of Observation 6.1). *)
+
+  val uncertain_facts : t -> (Ipdb_relational.Fact.t * Ipdb_bignum.Q.t) list
+  (** Facts with marginal strictly between 0 and 1 ([T_sometimes]). *)
+
+  val expected_size : t -> Ipdb_bignum.Q.t
+  (** [Σ p_t] — the proof of Proposition 3.2. *)
+
+  val prob_superset : t -> Ipdb_relational.Instance.t -> Ipdb_bignum.Q.t
+  (** [Pr(D ⊆ I)], the product of the marginals of [D]'s facts (zero when
+      a fact is not in the fact set). *)
+
+  val world_prob : t -> Ipdb_relational.Instance.t -> Ipdb_bignum.Q.t
+  (** Exact point probability [Pr(I = D)]. *)
+
+  val to_finite_pdb : t -> Finite_pdb.t
+  (** Exhaustive expansion into an explicit distribution.
+      @raise Invalid_argument past the enumeration gate of {!Worlds}. *)
+
+  val union_independent : t -> t -> t
+  (** Disjoint union of fact sets (schemas are unioned).
+      @raise Invalid_argument when fact sets overlap. *)
+
+  val sample : t -> Random.State.t -> Ipdb_relational.Instance.t
+
+  val induced_idb_member : t -> Ipdb_relational.Instance.t -> bool
+  (** Observation 6.1: is an instance a possible world, i.e. does it contain
+      all certain facts and otherwise only fact-set facts? *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Infinite : sig
+  type t = {
+    schema : Ipdb_relational.Schema.t;
+    fact : int -> Ipdb_relational.Fact.t;  (** Injective enumeration of the fact set. *)
+    marginal : int -> float;
+    start : int;
+    tail : Ipdb_series.Series.Tail.t;  (** Certificate for [Σ p_t < ∞] (Theorem 2.4). *)
+    name : string;
+  }
+
+  val make :
+    name:string ->
+    schema:Ipdb_relational.Schema.t ->
+    fact:(int -> Ipdb_relational.Fact.t) ->
+    marginal:(int -> float) ->
+    ?start:int ->
+    tail:Ipdb_series.Series.Tail.t ->
+    unit ->
+    t
+
+  val well_defined : t -> upto:int -> (Ipdb_series.Interval.t, string) result
+  (** Theorem 2.4(2): certified enclosure of [Σ p_t]; [Error] when the
+      certificate fails, meaning the data does not define a TI-PDB. *)
+
+  val expected_size : t -> upto:int -> (Ipdb_series.Interval.t, string) result
+  (** Proposition 3.2 ([k = 1]): [E(|·|) = Σ p_t]. *)
+
+  val moment_upper_bound : t -> k:int -> upto:int -> (float, string) result
+  (** Finite upper bound on [E(|·|^k)] via the Lemma C.1 recurrence
+      [E(|·|^k) ≤ E(|·|^(k-1)) · (k - 1 + E(|·|))] — the inductive step in
+      the proof of Proposition 3.2. *)
+
+  val truncate : t -> n:int -> Finite.t * float
+  (** The finite TI-PDB on the first facts up to index [n] (marginals
+      converted to nearby rationals), together with an upper bound on the
+      total-variation distance to the infinite PDB (the certified marginal
+      tail mass). *)
+
+  val sample : t -> n:int -> Random.State.t -> Ipdb_relational.Instance.t * float
+  (** Sample the truncation at [n]; also returns the TV error bound. *)
+end

@@ -1,0 +1,24 @@
+let max_uncertain = 20
+
+let subsets_with_complement xs =
+  let n = List.length xs in
+  if n > max_uncertain then
+    invalid_arg (Printf.sprintf "Worlds: %d uncertain facts exceed the enumeration gate (%d)" n max_uncertain);
+  let arr = Array.of_list xs in
+  let out = ref [] in
+  for bits = (1 lsl n) - 1 downto 0 do
+    let inc = ref [] and exc = ref [] in
+    for i = n - 1 downto 0 do
+      if bits land (1 lsl i) <> 0 then inc := arr.(i) :: !inc else exc := arr.(i) :: !exc
+    done;
+    out := (!inc, !exc) :: !out
+  done;
+  !out
+
+let subsets xs = List.map fst (subsets_with_complement xs)
+
+let cartesian lists =
+  let bound = 1 lsl max_uncertain in
+  let total = List.fold_left (fun acc l -> acc * Stdlib.max 1 (List.length l)) 1 lists in
+  if total > bound then invalid_arg "Worlds.cartesian: product of choices exceeds the enumeration gate";
+  List.fold_right (fun choices acc -> List.concat_map (fun c -> List.map (fun rest -> c :: rest) acc) choices) lists [ [] ]

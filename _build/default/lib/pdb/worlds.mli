@@ -1,0 +1,20 @@
+(** Exhaustive enumeration of possible worlds of independence-based PDBs.
+
+    A TI-PDB with [n] uncertain facts has [2^n] possible worlds; enumeration
+    is gated to keep exact verification tractable. *)
+
+val max_uncertain : int
+(** Enumeration gate (20): above this, use sampling instead. *)
+
+val subsets : 'a list -> 'a list list
+(** All sublists, each in the original order.
+    @raise Invalid_argument past the gate. *)
+
+val subsets_with_complement : 'a list -> ('a list * 'a list) list
+(** Each subset paired with its complement (both in original order).
+    @raise Invalid_argument past the gate. *)
+
+val cartesian : 'a list list -> 'a list list
+(** All ways to choose one element per list (the worlds of a BID-PDB are a
+    product of per-block choices).
+    @raise Invalid_argument when the product exceeds [2^max_uncertain]. *)

@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Fact Instance List Map Printf Set String Value

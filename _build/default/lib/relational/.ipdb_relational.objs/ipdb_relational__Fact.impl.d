@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Format Hashtbl List Schema String Value

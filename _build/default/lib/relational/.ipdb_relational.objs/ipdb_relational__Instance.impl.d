@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Fact Format List Map Set String Value

@@ -1,0 +1,1 @@
+lib/relational/instance.mli: Fact Format Map Schema Set Value

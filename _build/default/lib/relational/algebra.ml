@@ -1,0 +1,207 @@
+module SM = Map.Make (String)
+
+module Tuple = struct
+  type t = Value.t SM.t
+
+  let empty = SM.empty
+  let of_list l = List.fold_left (fun acc (k, v) -> SM.add k v acc) SM.empty l
+  let to_list t = SM.bindings t
+  let get t a = SM.find_opt a t
+  let get_exn t a =
+    match SM.find_opt a t with
+    | Some v -> v
+    | None -> invalid_arg ("Algebra.Tuple.get_exn: missing attribute " ^ a)
+
+  let set t a v = SM.add a v t
+  let attributes t = List.map fst (SM.bindings t)
+
+  let project attrs t =
+    List.fold_left
+      (fun acc a ->
+        match SM.find_opt a t with
+        | Some v -> SM.add a v acc
+        | None -> invalid_arg ("Algebra.Tuple.project: missing attribute " ^ a))
+      SM.empty attrs
+
+  let join a b =
+    let ok = ref true in
+    let merged =
+      SM.union
+        (fun _ va vb ->
+          if Value.equal va vb then Some va
+          else begin
+            ok := false;
+            Some va
+          end)
+        a b
+    in
+    if !ok then Some merged else None
+
+  let compare = SM.compare Value.compare
+  let equal a b = compare a b = 0
+
+  let to_string t =
+    "⟨" ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ Value.to_string v) (SM.bindings t)) ^ "⟩"
+end
+
+module TSet = Set.Make (Tuple)
+
+module Relation = struct
+  type t = { attributes : string list; tuples : TSet.t }
+
+  let make attributes tuples =
+    let attributes = List.sort String.compare attributes in
+    List.iter
+      (fun tup ->
+        if Tuple.attributes tup <> attributes then
+          invalid_arg
+            (Printf.sprintf "Algebra.Relation.make: tuple %s does not match attributes {%s}"
+               (Tuple.to_string tup) (String.concat "," attributes)))
+      tuples;
+    { attributes; tuples = TSet.of_list tuples }
+
+  let attributes r = r.attributes
+  let tuples r = TSet.elements r.tuples
+  let cardinality r = TSet.cardinal r.tuples
+  let empty attributes = { attributes = List.sort String.compare attributes; tuples = TSet.empty }
+  let mem t r = TSet.mem t r.tuples
+  let equal a b = a.attributes = b.attributes && TSet.equal a.tuples b.tuples
+end
+
+type predicate =
+  | Attr_eq_attr of string * string
+  | Attr_eq_const of string * Value.t
+  | Pred_not of predicate
+  | Pred_and of predicate * predicate
+  | Pred_or of predicate * predicate
+
+let rec eval_predicate p tup =
+  match p with
+  | Attr_eq_attr (a, b) -> Value.equal (Tuple.get_exn tup a) (Tuple.get_exn tup b)
+  | Attr_eq_const (a, v) -> Value.equal (Tuple.get_exn tup a) v
+  | Pred_not p -> not (eval_predicate p tup)
+  | Pred_and (p, q) -> eval_predicate p tup && eval_predicate q tup
+  | Pred_or (p, q) -> eval_predicate p tup || eval_predicate q tup
+
+type expr =
+  | Scan of { rel : string; binding : scan_column list }
+  | Select of predicate * expr
+  | Project of string list * expr
+  | Join of expr * expr
+  | Rename of (string * string) list * expr
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Const of Relation.t
+
+and scan_column =
+  | Bind of string
+  | Match of Value.t
+
+module SS = Set.Make (String)
+
+let scan_attributes binding =
+  SS.elements
+    (List.fold_left (fun acc c -> match c with Bind a -> SS.add a acc | Match _ -> acc) SS.empty binding)
+
+let rec attributes_of = function
+  | Scan { binding; _ } -> Ok (scan_attributes binding)
+  | Select (_, e) -> attributes_of e
+  | Project (attrs, e) -> (
+    match attributes_of e with
+    | Error _ as err -> err
+    | Ok inner ->
+      if List.for_all (fun a -> List.mem a inner) attrs then Ok (List.sort_uniq String.compare attrs)
+      else Error "projection introduces an attribute its input lacks")
+  | Join (a, b) -> (
+    match (attributes_of a, attributes_of b) with
+    | Ok xa, Ok xb -> Ok (SS.elements (SS.union (SS.of_list xa) (SS.of_list xb)))
+    | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | Rename (pairs, e) -> (
+    match attributes_of e with
+    | Error _ as err -> err
+    | Ok inner ->
+      let renamed = List.map (fun a -> match List.assoc_opt a pairs with Some b -> b | None -> a) inner in
+      let sorted = List.sort_uniq String.compare renamed in
+      if List.length sorted = List.length renamed then Ok sorted else Error "rename collides attributes")
+  | Union (a, b) | Diff (a, b) -> (
+    match (attributes_of a, attributes_of b) with
+    | Ok xa, Ok xb -> if xa = xb then Ok xa else Error "union/diff branches have different attributes"
+    | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | Const r -> Ok (Relation.attributes r)
+
+(* Unify one fact against a scan binding. *)
+let match_fact binding fact =
+  let rec go env cols values =
+    match (cols, values) with
+    | [], [] -> Some env
+    | Match v :: cols, w :: values -> if Value.equal v w then go env cols values else None
+    | Bind a :: cols, w :: values -> (
+      match SM.find_opt a env with
+      | Some bound -> if Value.equal bound w then go env cols values else None
+      | None -> go (SM.add a w env) cols values)
+    | _ -> None
+  in
+  go SM.empty binding (Fact.args fact)
+
+let rec eval inst = function
+  | Scan { rel; binding } ->
+    let attrs = scan_attributes binding in
+    let tuples =
+      Instance.fold
+        (fun fact acc ->
+          if String.equal (Fact.rel fact) rel then begin
+            match match_fact binding fact with Some t -> t :: acc | None -> acc
+          end
+          else acc)
+        inst []
+    in
+    Relation.make attrs tuples
+  | Select (p, e) ->
+    let r = eval inst e in
+    Relation.make (Relation.attributes r) (List.filter (eval_predicate p) (Relation.tuples r))
+  | Project (attrs, e) ->
+    let r = eval inst e in
+    Relation.make (List.sort_uniq String.compare attrs) (List.map (Tuple.project attrs) (Relation.tuples r))
+  | Join (a, b) ->
+    let ra = eval inst a and rb = eval inst b in
+    let attrs = SS.elements (SS.union (SS.of_list (Relation.attributes ra)) (SS.of_list (Relation.attributes rb))) in
+    let tuples =
+      List.concat_map
+        (fun ta -> List.filter_map (fun tb -> Tuple.join ta tb) (Relation.tuples rb))
+        (Relation.tuples ra)
+    in
+    Relation.make attrs tuples
+  | Rename (pairs, e) ->
+    let r = eval inst e in
+    let rename_attr a = match List.assoc_opt a pairs with Some b -> b | None -> a in
+    let attrs = List.map rename_attr (Relation.attributes r) in
+    let sorted = List.sort_uniq String.compare attrs in
+    if List.length sorted <> List.length attrs then invalid_arg "Algebra.eval: rename collides attributes";
+    Relation.make sorted
+      (List.map
+         (fun t -> Tuple.of_list (List.map (fun (k, v) -> (rename_attr k, v)) (Tuple.to_list t)))
+         (Relation.tuples r))
+  | Union (a, b) ->
+    let ra = eval inst a and rb = eval inst b in
+    if Relation.attributes ra <> Relation.attributes rb then
+      invalid_arg "Algebra.eval: union branches have different attributes";
+    Relation.make (Relation.attributes ra) (Relation.tuples ra @ Relation.tuples rb)
+  | Diff (a, b) ->
+    let ra = eval inst a and rb = eval inst b in
+    if Relation.attributes ra <> Relation.attributes rb then
+      invalid_arg "Algebra.eval: diff branches have different attributes";
+    Relation.make (Relation.attributes ra)
+      (List.filter (fun t -> not (Relation.mem t rb)) (Relation.tuples ra))
+  | Const r -> r
+
+let rec to_string = function
+  | Scan { rel; binding } ->
+    let col = function Bind a -> a | Match v -> Value.to_string v in
+    Printf.sprintf "%s(%s)" rel (String.concat "," (List.map col binding))
+  | Select (_, e) -> Printf.sprintf "σ(%s)" (to_string e)
+  | Project (attrs, e) -> Printf.sprintf "π_{%s}(%s)" (String.concat "," attrs) (to_string e)
+  | Join (a, b) -> Printf.sprintf "(%s ⋈ %s)" (to_string a) (to_string b)
+  | Rename (_, e) -> Printf.sprintf "ρ(%s)" (to_string e)
+  | Union (a, b) -> Printf.sprintf "(%s ∪ %s)" (to_string a) (to_string b)
+  | Diff (a, b) -> Printf.sprintf "(%s − %s)" (to_string a) (to_string b)
+  | Const r -> Printf.sprintf "const/%d" (Relation.cardinality r)

@@ -1,0 +1,88 @@
+(** Named relational algebra over finite instances.
+
+    A small executable algebra — selection, projection, natural join,
+    renaming, union, difference, constant relations — evaluating to sets of
+    named tuples. It serves two purposes:
+
+    - a second, independently-tested semantics for the positive fragment:
+      conjunctive-query views are compiled to algebra plans
+      ({!Ipdb_logic.Plan}) and property-tested against the first-order
+      evaluator, and
+    - the substrate for lineage computation ({!Ipdb_pdb.Lineage}), where the
+      same operators are evaluated over Boolean-annotated relations. *)
+
+(** Named tuples: finite maps from attribute names to values. *)
+module Tuple : sig
+  type t
+
+  val empty : t
+  val of_list : (string * Value.t) list -> t
+  val to_list : t -> (string * Value.t) list
+  val get : t -> string -> Value.t option
+  val get_exn : t -> string -> Value.t
+  val set : t -> string -> Value.t -> t
+  val attributes : t -> string list
+  val project : string list -> t -> t
+  (** @raise Invalid_argument when an attribute is missing. *)
+
+  val join : t -> t -> t option
+  (** Merge two tuples; [None] when they disagree on a shared attribute. *)
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end
+
+(** A relation instance: a set of tuples over a fixed attribute list. *)
+module Relation : sig
+  type t
+
+  val make : string list -> Tuple.t list -> t
+  (** @raise Invalid_argument when a tuple's attributes differ from the
+      declared ones. *)
+
+  val attributes : t -> string list
+  val tuples : t -> Tuple.t list
+  val cardinality : t -> int
+  val empty : string list -> t
+  val mem : Tuple.t -> t -> bool
+  val equal : t -> t -> bool
+end
+
+(** Selection predicates. *)
+type predicate =
+  | Attr_eq_attr of string * string
+  | Attr_eq_const of string * Value.t
+  | Pred_not of predicate
+  | Pred_and of predicate * predicate
+  | Pred_or of predicate * predicate
+
+val eval_predicate : predicate -> Tuple.t -> bool
+
+(** Algebra expressions. Leaves scan database relations, binding their
+    columns to attribute names. *)
+type expr =
+  | Scan of { rel : string; binding : scan_column list }
+  | Select of predicate * expr
+  | Project of string list * expr
+  | Join of expr * expr  (** natural join on shared attributes *)
+  | Rename of (string * string) list * expr  (** (old, new) pairs *)
+  | Union of expr * expr
+  | Diff of expr * expr
+  | Const of Relation.t
+
+and scan_column =
+  | Bind of string  (** bind the column to this attribute *)
+  | Match of Value.t  (** require this constant *)
+
+val eval : Instance.t -> expr -> Relation.t
+(** Evaluate against a database instance. Scans match facts of the named
+    relation whose columns unify with the binding (repeated attribute names
+    within one binding enforce equality).
+    @raise Invalid_argument on arity mismatches or malformed projections. *)
+
+val attributes_of : expr -> (string list, string) result
+(** Static attribute inference; [Error] explains a malformed expression
+    (e.g. union of incompatible branches). *)
+
+val to_string : expr -> string

@@ -1,0 +1,17 @@
+type t = { rel : string; args : Value.t list }
+
+let make rel args = { rel; args }
+let rel t = t.rel
+let args t = t.args
+let arity t = List.length t.args
+let conforms schema t = match Schema.arity schema t.rel with Some a -> a = arity t | None -> false
+
+let compare a b =
+  let c = String.compare a.rel b.rel in
+  if c <> 0 then c else List.compare Value.compare a.args b.args
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let values t = t.args
+let to_string t = t.rel ^ "(" ^ String.concat ", " (List.map Value.to_string t.args) ^ ")"
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,20 @@
+(** Facts: a relation symbol applied to universe elements. *)
+
+type t = private { rel : string; args : Value.t list }
+
+val make : string -> Value.t list -> t
+val rel : t -> string
+val args : t -> Value.t list
+val arity : t -> int
+
+val conforms : Schema.t -> t -> bool
+(** The relation exists in the schema with the right arity. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val values : t -> Value.t list
+(** The argument values (the fact's contribution to an active domain). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

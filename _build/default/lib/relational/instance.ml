@@ -1,0 +1,44 @@
+module FS = Set.Make (Fact)
+
+type t = FS.t
+
+let empty = FS.empty
+let of_list = FS.of_list
+let of_facts = FS.of_list
+let singleton = FS.singleton
+let to_list = FS.elements
+let mem = FS.mem
+let add = FS.add
+let remove = FS.remove
+let union = FS.union
+let inter = FS.inter
+let diff = FS.diff
+let subset = FS.subset
+let equal = FS.equal
+let compare = FS.compare
+let is_empty = FS.is_empty
+let size = FS.cardinal
+
+module VS = Set.Make (Value)
+
+let adom t = VS.elements (FS.fold (fun f acc -> List.fold_left (fun acc v -> VS.add v acc) acc (Fact.values f)) t VS.empty)
+let adom_size t = List.length (adom t)
+let filter = FS.filter
+let map = FS.map
+let fold = FS.fold
+let for_all = FS.for_all
+let exists = FS.exists
+let restrict_rel r t = FS.filter (fun f -> String.equal (Fact.rel f) r) t
+
+module SS = Set.Make (String)
+
+let relations t = SS.elements (FS.fold (fun f acc -> SS.add (Fact.rel f) acc) t SS.empty)
+let conforms schema t = FS.for_all (Fact.conforms schema) t
+
+let to_string t =
+  if is_empty t then "{}" else "{" ^ String.concat "; " (List.map Fact.to_string (to_list t)) ^ "}"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Map = Map.Make (FS)
+module Set = Set.Make (FS)

@@ -1,0 +1,54 @@
+(** Database instances: finite sets of facts in canonical form.
+
+    Instances compare structurally, so they can be used as keys of maps that
+    represent probability distributions (two equal instances are the same
+    sample point). *)
+
+type t
+
+val empty : t
+val of_list : Fact.t list -> t
+val of_facts : Fact.t list -> t
+(** Alias of {!of_list}. *)
+
+val singleton : Fact.t -> t
+val to_list : t -> Fact.t list
+(** In canonical (sorted) order. *)
+
+val mem : Fact.t -> t -> bool
+val add : Fact.t -> t -> t
+val remove : Fact.t -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_empty : t -> bool
+
+val size : t -> int
+(** The number of facts — the instance-size random variable [|·|] of the
+    paper once lifted to a PDB. *)
+
+val adom : t -> Value.t list
+(** Active domain, sorted, without duplicates. *)
+
+val adom_size : t -> int
+val filter : (Fact.t -> bool) -> t -> t
+val map : (Fact.t -> Fact.t) -> t -> t
+val fold : (Fact.t -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (Fact.t -> bool) -> t -> bool
+val exists : (Fact.t -> bool) -> t -> bool
+
+val restrict_rel : string -> t -> t
+(** The facts of one relation. *)
+
+val relations : t -> string list
+(** Relation names occurring in the instance, sorted. *)
+
+val conforms : Schema.t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

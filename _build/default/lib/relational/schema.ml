@@ -1,0 +1,33 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let make rels =
+  if rels = [] then invalid_arg "Schema.make: empty schema";
+  List.fold_left
+    (fun acc (name, arity) ->
+      if arity < 0 then invalid_arg ("Schema.make: negative arity for " ^ name);
+      if M.mem name acc then invalid_arg ("Schema.make: duplicate relation " ^ name);
+      M.add name arity acc)
+    M.empty rels
+
+let arity t name = M.find_opt name t
+
+let arity_exn t name =
+  match M.find_opt name t with
+  | Some a -> a
+  | None -> invalid_arg ("Schema.arity_exn: unknown relation " ^ name)
+
+let mem t name = M.mem name t
+let relations t = M.bindings t
+let names t = List.map fst (M.bindings t)
+let max_arity t = M.fold (fun _ a acc -> Stdlib.max a acc) t 0
+let equal = M.equal Int.equal
+
+let union a b =
+  M.union
+    (fun name x y -> if x = y then Some x else invalid_arg ("Schema.union: arity conflict on " ^ name))
+    a b
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat ", " (List.map (fun (n, a) -> Printf.sprintf "%s/%d" n a) (relations t)))

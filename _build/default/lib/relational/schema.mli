@@ -1,0 +1,24 @@
+(** Database schemas: finite, non-empty sets of relation symbols with
+    arities. *)
+
+type t
+
+val make : (string * int) list -> t
+(** [make rels] builds a schema from [(name, arity)] pairs.
+    @raise Invalid_argument on an empty list, a duplicate name, or a
+    negative arity. *)
+
+val arity : t -> string -> int option
+val arity_exn : t -> string -> int
+val mem : t -> string -> bool
+val relations : t -> (string * int) list
+(** In name order. *)
+
+val names : t -> string list
+val max_arity : t -> int
+val equal : t -> t -> bool
+
+val union : t -> t -> t
+(** @raise Invalid_argument when a shared name has conflicting arities. *)
+
+val pp : Format.formatter -> t -> unit

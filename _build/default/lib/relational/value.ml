@@ -1,0 +1,37 @@
+type t =
+  | Int of int
+  | Str of string
+  | Bot
+  | Pair of t * t
+
+let int n = Int n
+let str s = Str s
+let bot = Bot
+let pair a b = Pair (a, b)
+
+let rec compare a b =
+  match (a, b) with
+  | Bot, Bot -> 0
+  | Bot, _ -> -1
+  | _, Bot -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> Stdlib.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let is_bot = function Bot -> true | Int _ | Str _ | Pair _ -> false
+
+let rec to_string = function
+  | Int n -> string_of_int n
+  | Str s -> s
+  | Bot -> "⊥"
+  | Pair (a, b) -> "(" ^ to_string a ^ "," ^ to_string b ^ ")"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

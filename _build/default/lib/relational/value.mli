@@ -1,0 +1,24 @@
+(** Universe elements.
+
+    The paper fixes a countably infinite universe; we realise it as the
+    disjoint union of the integers, the strings, ordered pairs, and a
+    distinguished bottom element [Bot] (the [⊥] padding value used by the
+    segmented-fact construction of Lemma 5.1 and the block construction of
+    Theorem 4.1). *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bot
+  | Pair of t * t
+
+val int : int -> t
+val str : string -> t
+val bot : t
+val pair : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val is_bot : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

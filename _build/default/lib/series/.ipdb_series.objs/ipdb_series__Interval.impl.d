@@ -1,0 +1,1 @@
+lib/series/interval.ml: Float Format Ipdb_bignum List

@@ -1,0 +1,1 @@
+lib/series/interval.mli: Format Ipdb_bignum

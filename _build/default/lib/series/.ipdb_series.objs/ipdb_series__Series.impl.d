@@ -1,0 +1,1 @@
+lib/series/series.ml: Float Format Interval Ipdb_bignum Printf Stdlib

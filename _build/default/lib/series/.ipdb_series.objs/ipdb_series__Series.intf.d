@@ -1,0 +1,1 @@
+lib/series/series.mli: Format Interval Ipdb_bignum

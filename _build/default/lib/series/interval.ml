@@ -1,0 +1,57 @@
+type t = { lo : float; hi : float }
+
+let down x = if Float.is_finite x then Float.pred x else x
+let up x = if Float.is_finite x then Float.succ x else x
+
+let make lo hi =
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then invalid_arg "Interval.make";
+  { lo; hi }
+
+let point x =
+  if Float.is_nan x then invalid_arg "Interval.point";
+  { lo = x; hi = x }
+
+let of_q q =
+  let f = Ipdb_bignum.Q.to_float q in
+  { lo = down f; hi = up f }
+
+let zero = point 0.0
+let one = point 1.0
+let add a b = { lo = down (a.lo +. b.lo); hi = up (a.hi +. b.hi) }
+let sub a b = { lo = down (a.lo -. b.hi); hi = up (a.hi -. b.lo) }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+
+let mul a b =
+  let products = [ a.lo *. b.lo; a.lo *. b.hi; a.hi *. b.lo; a.hi *. b.hi ] in
+  let lo = List.fold_left Float.min Float.infinity products in
+  let hi = List.fold_left Float.max Float.neg_infinity products in
+  { lo = down lo; hi = up hi }
+
+let div a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then raise Division_by_zero;
+  let quotients = [ a.lo /. b.lo; a.lo /. b.hi; a.hi /. b.lo; a.hi /. b.hi ] in
+  let lo = List.fold_left Float.min Float.infinity quotients in
+  let hi = List.fold_left Float.max Float.neg_infinity quotients in
+  { lo = down lo; hi = up hi }
+
+let abs a = if a.lo >= 0.0 then a else if a.hi <= 0.0 then neg a else { lo = 0.0; hi = Float.max (-.a.lo) a.hi }
+
+let pow_int a k =
+  if k < 0 then invalid_arg "Interval.pow_int: negative exponent";
+  let rec go acc b k = if k = 0 then acc else go (if k land 1 = 1 then mul acc b else acc) (mul b b) (k lsr 1) in
+  if k = 0 then one
+  else if k land 1 = 1 || a.lo >= 0.0 then go one a k
+  else go one (abs a) k
+
+let scale c a = mul (point c) a
+let union a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let lo a = a.lo
+let hi a = a.hi
+let width a = a.hi -. a.lo
+let midpoint a = 0.5 *. (a.lo +. a.hi)
+let contains a x = a.lo <= x && x <= a.hi
+let certainly_lt a b = a.hi < b.lo
+let certainly_le a b = a.hi <= b.lo
+let certainly_positive a = a.lo > 0.0
+let certainly_finite a = Float.is_finite a.lo && Float.is_finite a.hi
+let pp fmt a = Format.fprintf fmt "[%.17g, %.17g]" a.lo a.hi

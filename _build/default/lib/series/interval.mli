@@ -1,0 +1,57 @@
+(** Closed floating-point intervals used as certified enclosures of real
+    numbers.
+
+    Every arithmetic operation selects monotone endpoints and then widens the
+    result outward by one unit in the last place per endpoint, so the true
+    real result of the corresponding real-number operation is always
+    contained in the returned interval. The widening is deliberately
+    conservative: the intervals certify inequalities (convergence bounds,
+    moment bounds), they are not meant to be tight. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi]. @raise Invalid_argument if [lo > hi] or either is NaN. *)
+
+val point : float -> t
+(** Degenerate interval [x, x] (no widening: useful for exact constants). *)
+
+val of_q : Ipdb_bignum.Q.t -> t
+(** Enclosure of an exact rational (one ulp of slack on each side). *)
+
+val zero : t
+val one : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor interval contains zero. *)
+
+val neg : t -> t
+val abs : t -> t
+
+val pow_int : t -> int -> t
+(** Non-negative integer powers. *)
+
+val scale : float -> t -> t
+
+val union : t -> t -> t
+(** Convex hull. *)
+
+val lo : t -> float
+val hi : t -> float
+val width : t -> float
+val midpoint : t -> float
+
+val contains : t -> float -> bool
+
+val certainly_lt : t -> t -> bool
+(** [certainly_lt a b] holds when every point of [a] is below every point of
+    [b]. *)
+
+val certainly_le : t -> t -> bool
+val certainly_positive : t -> bool
+val certainly_finite : t -> bool
+val pp : Format.formatter -> t -> unit

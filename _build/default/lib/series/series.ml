@@ -1,0 +1,205 @@
+type term = int -> float
+
+let ulp_slack x = Float.ldexp (Float.max (Float.abs x) Float.min_float) (-48)
+(* 4-ulps-ish relative slack used when validating pointwise hypotheses. *)
+
+module Tail = struct
+  type t =
+    | Finite_support of { last : int }
+    | Geometric of { index : int; first : float; ratio : float }
+    | P_series of { index : int; coeff : float; p : float }
+    | Exponential of { index : int; coeff : float; rate : float }
+
+  let start_index = function
+    | Finite_support _ -> min_int
+    | Geometric { index; _ } | P_series { index; _ } | Exponential { index; _ } -> index
+
+  let bound_from t n =
+    if n < start_index t && start_index t > min_int then
+      invalid_arg "Series.Tail.bound_from: index precedes certificate";
+    match t with
+    | Finite_support { last } -> if n > last then 0.0 else invalid_arg "Series.Tail.bound_from: support not exhausted"
+    | Geometric { index; first; ratio } ->
+      (* sum_{k>=n} first*ratio^(k-index) = first*ratio^(n-index)/(1-ratio) *)
+      first *. (ratio ** float_of_int (n - index)) /. (1.0 -. ratio)
+    | P_series { coeff; p; _ } ->
+      (* integral test: sum_{k>=n} coeff/k^p <= coeff * ( n^-p + (n)^(1-p)/(p-1) ) *)
+      let nf = float_of_int n in
+      coeff *. ((nf ** -.p) +. ((nf ** (1.0 -. p)) /. (p -. 1.0)))
+    | Exponential { coeff; rate; _ } ->
+      coeff *. (rate ** float_of_int n) /. (1.0 -. rate)
+
+  let pointwise_bound t n =
+    match t with
+    | Finite_support { last } -> if n > last then 0.0 else Float.infinity
+    | Geometric { index; first; ratio } -> first *. (ratio ** float_of_int (n - index))
+    | P_series { coeff; p; _ } -> coeff /. (float_of_int n ** p)
+    | Exponential { coeff; rate; _ } -> coeff *. (rate ** float_of_int n)
+
+  let params_ok = function
+    | Finite_support _ -> Ok ()
+    | Geometric { first; ratio; _ } ->
+      if ratio >= 0.0 && ratio < 1.0 && first >= 0.0 then Ok ()
+      else Error "Geometric: need 0 <= ratio < 1 and first >= 0"
+    | P_series { coeff; p; index } ->
+      if p > 1.0 && coeff >= 0.0 && index >= 1 then Ok ()
+      else Error "P_series: need p > 1, coeff >= 0, index >= 1"
+    | Exponential { coeff; rate; _ } ->
+      if rate >= 0.0 && rate < 1.0 && coeff >= 0.0 then Ok ()
+      else Error "Exponential: need 0 <= rate < 1 and coeff >= 0"
+
+  let validate t f ~from_index ~upto =
+    match params_ok t with
+    | Error _ as e -> e
+    | Ok () ->
+      let lo = Stdlib.max from_index (Stdlib.max (start_index t) from_index) in
+      let rec go n =
+        if n > upto then Ok ()
+        else begin
+          let a = f n in
+          if a < 0.0 then Error (Printf.sprintf "term %d is negative (%g)" n a)
+          else begin
+            let b = pointwise_bound t n in
+            if a <= b +. ulp_slack b then go (n + 1)
+            else Error (Printf.sprintf "term %d = %g exceeds certified bound %g" n a b)
+          end
+        end
+      in
+      go lo
+
+  let pp fmt = function
+    | Finite_support { last } -> Format.fprintf fmt "finite support (last=%d)" last
+    | Geometric { index; first; ratio } -> Format.fprintf fmt "geometric from %d: %g * %g^(n-%d)" index first ratio index
+    | P_series { index; coeff; p } -> Format.fprintf fmt "p-series from %d: %g / n^%g" index coeff p
+    | Exponential { index; coeff; rate } -> Format.fprintf fmt "exponential from %d: %g * %g^n" index coeff rate
+end
+
+module Divergence = struct
+  type t =
+    | Harmonic of { index : int; coeff : float }
+    | Bounded_below of { index : int; bound : float }
+    | Eventually_ratio_ge_one of { index : int; floor : float }
+    | Subsequence_harmonic of { index : int; pick : int -> int; coeff : float }
+
+  let start_index = function
+    | Harmonic { index; _ } | Bounded_below { index; _ } | Eventually_ratio_ge_one { index; _ } -> index
+    | Subsequence_harmonic { index; pick; _ } -> pick index
+
+  let validate t f ~upto =
+    let i0 = start_index t in
+    match t with
+    | Harmonic { coeff; _ } ->
+      if coeff <= 0.0 then Error "Harmonic: coeff must be positive"
+      else begin
+        let rec go n =
+          if n > upto then Ok ()
+          else begin
+            let b = coeff /. float_of_int n in
+            if f n >= b -. ulp_slack b then go (n + 1)
+            else Error (Printf.sprintf "term %d = %g below harmonic minorant %g" n (f n) b)
+          end
+        in
+        go (Stdlib.max i0 1)
+      end
+    | Bounded_below { bound; _ } ->
+      if bound <= 0.0 then Error "Bounded_below: bound must be positive"
+      else begin
+        let rec go n =
+          if n > upto then Ok ()
+          else if f n >= bound -. ulp_slack bound then go (n + 1)
+          else Error (Printf.sprintf "term %d = %g below floor %g" n (f n) bound)
+        in
+        go i0
+      end
+    | Eventually_ratio_ge_one { floor; _ } ->
+      if floor <= 0.0 then Error "Eventually_ratio_ge_one: floor must be positive"
+      else begin
+        let rec go n =
+          if n > upto then Ok ()
+          else if f n < floor -. ulp_slack floor then
+            Error (Printf.sprintf "term %d = %g below floor %g" n (f n) floor)
+          else if n < upto && f (n + 1) < f n -. ulp_slack (f n) then
+            Error (Printf.sprintf "terms decrease at %d" n)
+          else go (n + 1)
+        in
+        go i0
+      end
+    | Subsequence_harmonic { index; pick; coeff } ->
+      if coeff <= 0.0 then Error "Subsequence_harmonic: coeff must be positive"
+      else begin
+        let rec go k prev =
+          let n = pick k in
+          if n > upto then Ok ()
+          else if n <= prev then Error (Printf.sprintf "pick not strictly increasing at %d" k)
+          else begin
+            let b = coeff /. float_of_int k in
+            if f n >= b -. ulp_slack b then go (k + 1) n
+            else Error (Printf.sprintf "term at pick %d = %d is %g, below minorant %g" k n (f n) b)
+          end
+        in
+        go (Stdlib.max index 1) min_int
+      end
+
+  let minorant_partial_sum t n =
+    match t with
+    | Harmonic { index; coeff } ->
+      (* sum_{k=index..n} coeff/k >= coeff * ln((n+1)/index) *)
+      let i = Stdlib.max index 1 in
+      if n < i then 0.0 else coeff *. log (float_of_int (n + 1) /. float_of_int i)
+    | Bounded_below { index; bound } | Eventually_ratio_ge_one { index; floor = bound } ->
+      if n < index then 0.0 else bound *. float_of_int (n - index + 1)
+    | Subsequence_harmonic { index; pick; coeff } ->
+      (* count the picks that fall below n *)
+      let i = Stdlib.max index 1 in
+      let rec go k acc = if pick k > n then acc else go (k + 1) (acc +. (coeff /. float_of_int k)) in
+      go i 0.0
+
+  let pp fmt = function
+    | Harmonic { index; coeff } -> Format.fprintf fmt "harmonic minorant from %d: %g/n" index coeff
+    | Bounded_below { index; bound } -> Format.fprintf fmt "terms >= %g from %d" bound index
+    | Eventually_ratio_ge_one { index; floor } ->
+      Format.fprintf fmt "nondecreasing terms >= %g from %d" floor index
+    | Subsequence_harmonic { index; coeff; _ } ->
+      Format.fprintf fmt "harmonic minorant %g/k along a subsequence from k=%d" coeff index
+end
+
+type verdict =
+  | Converges of Interval.t
+  | Diverges of { certificate : Divergence.t; partial : float; at : int }
+
+let partial_sum ?(start = 0) f n =
+  let acc = ref 0.0 in
+  for k = start to n do
+    acc := !acc +. f k
+  done;
+  !acc
+
+let partial_sum_interval ?(start = 0) f n =
+  let acc = ref Interval.zero in
+  for k = start to n do
+    acc := Interval.add !acc (Interval.point (f k))
+  done;
+  !acc
+
+let sum ?(start = 0) f ~tail ~upto =
+  match Tail.validate tail f ~from_index:start ~upto with
+  | Error _ as e -> e
+  | Ok () ->
+    let head = partial_sum_interval ~start f upto in
+    let tail_bound = Tail.bound_from tail (upto + 1) in
+    if Float.is_nan tail_bound || tail_bound < 0.0 then Error "tail bound is not a non-negative number"
+    else Ok (Interval.add head (Interval.make 0.0 tail_bound))
+
+let sum_exn ?start f ~tail ~upto =
+  match sum ?start f ~tail ~upto with Ok i -> i | Error msg -> failwith ("Series.sum: " ^ msg)
+
+let certify_divergence ?(start = 0) f ~certificate ~upto =
+  ignore start;
+  match Divergence.validate certificate f ~upto with
+  | Error _ as e -> e
+  | Ok () -> Ok (Diverges { certificate; partial = partial_sum ~start:(Divergence.start_index certificate) f upto; at = upto })
+
+let geometric_tail_exact r n =
+  let module Q = Ipdb_bignum.Q in
+  if not (Q.is_probability r) || Q.is_one r then invalid_arg "Series.geometric_tail_exact: need 0 <= r < 1";
+  Q.div (Q.pow r n) (Q.one_minus r)

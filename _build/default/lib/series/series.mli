@@ -1,0 +1,109 @@
+(** Certified infinite series.
+
+    The paper's arguments are dominated by convergence and divergence claims:
+    well-definedness of TI- and BID-PDBs (Theorems 2.4 and 2.6), finiteness of
+    size moments (Propositions 3.2 and 3.4), the sufficient representability
+    criterion (Theorem 5.3), and the divergence arguments of Examples 3.9 and
+    5.6 and Propositions D.2/D.3. This module makes such claims checkable:
+
+    - a {e convergence} verdict is a partial sum computed in interval
+      arithmetic plus an analytic {!Tail} certificate whose hypothesis is
+      validated on every computed term, and
+    - a {e divergence} verdict is a {!Divergence} certificate (again validated
+      on computed terms) whose minorant provably has unbounded partial sums.
+
+    Nothing in the library ever concludes convergence from a bare partial
+    sum. *)
+
+type term = int -> float
+(** A series is a function from indices to terms. Terms are evaluated in
+    floating point; certificates are expected to carry enough analytic slack
+    to absorb a few ulps of term error. *)
+
+(** Analytic upper bounds on tails of non-negative series. *)
+module Tail : sig
+  type t =
+    | Finite_support of { last : int }
+        (** [a_n = 0] for all [n > last]. *)
+    | Geometric of { index : int; first : float; ratio : float }
+        (** [a_n <= first * ratio^(n - index)] for [n >= index], with
+            [0 <= ratio < 1]. *)
+    | P_series of { index : int; coeff : float; p : float }
+        (** [a_n <= coeff / n^p] for [n >= index], with [p > 1]. *)
+    | Exponential of { index : int; coeff : float; rate : float }
+        (** [a_n <= coeff * rate^n] for [n >= index], with [0 <= rate < 1]. *)
+
+  val start_index : t -> int
+  (** First index at which the certificate's hypothesis applies
+      ([min_int] for {!Finite_support}). *)
+
+  val bound_from : t -> int -> float
+  (** [bound_from cert n] is an upper bound on [sum_{k >= n} a_k], valid when
+      [n] is at or past the certificate's index.
+      @raise Invalid_argument when [n] precedes the certificate's index. *)
+
+  val validate : t -> term -> from_index:int -> upto:int -> (unit, string) result
+  (** Checks that every computed term in [from_index..upto] obeys the
+      certificate's pointwise hypothesis (with 4 ulps of slack) and that the
+      certificate's parameters are in range. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Certified minorants that force divergence of non-negative series. *)
+module Divergence : sig
+  type t =
+    | Harmonic of { index : int; coeff : float }
+        (** [a_n >= coeff / n > 0] for [n >= index]. *)
+    | Bounded_below of { index : int; bound : float }
+        (** [a_n >= bound > 0] for [n >= index]. *)
+    | Eventually_ratio_ge_one of { index : int; floor : float }
+        (** [a_{n+1} >= a_n >= floor > 0] for [n >= index]: terms do not even
+            tend to zero. *)
+    | Subsequence_harmonic of { index : int; pick : int -> int; coeff : float }
+        (** [a_{pick k} >= coeff / k] for [k >= index], with [pick] strictly
+            increasing: a harmonic minorant along a subsequence (sufficient
+            for divergence of a non-negative series — the Lemma 6.6
+            argument, where only the strictly-growing worlds are heavy). *)
+
+  val validate : t -> term -> upto:int -> (unit, string) result
+  (** Checks the minorant on all computed terms from the certificate's index
+      to [upto]. *)
+
+  val minorant_partial_sum : t -> int -> float
+  (** Lower bound on [sum a_n] up to the given index implied by the
+      certificate alone. Tends to infinity with the index. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The outcome of a certified summation. *)
+type verdict =
+  | Converges of Interval.t  (** Enclosure of the full infinite sum. *)
+  | Diverges of { certificate : Divergence.t; partial : float; at : int }
+      (** Validated minorant plus a partial sum computed as a witness. *)
+
+val partial_sum : ?start:int -> term -> int -> float
+(** [partial_sum ~start f n] is [f start + ... + f n] (plain float; for
+    display). *)
+
+val partial_sum_interval : ?start:int -> term -> int -> Interval.t
+(** Same, as an interval enclosure of the float additions. *)
+
+val sum : ?start:int -> term -> tail:Tail.t -> upto:int -> (Interval.t, string) result
+(** Certified enclosure of the infinite sum: validates [tail] on the computed
+    prefix, then adds the analytic tail bound to the partial-sum interval.
+    [Error] explains which hypothesis failed. *)
+
+val sum_exn : ?start:int -> term -> tail:Tail.t -> upto:int -> Interval.t
+(** @raise Failure when {!sum} returns an error. *)
+
+val certify_divergence :
+  ?start:int -> term -> certificate:Divergence.t -> upto:int -> (verdict, string) result
+(** Validates the divergence certificate on the computed prefix and returns
+    [Diverges] with the witness partial sum. *)
+
+val geometric_tail_exact : Ipdb_bignum.Q.t -> int -> Ipdb_bignum.Q.t
+(** [geometric_tail_exact r n] is the exact value [r^n / (1 - r)] of
+    [sum_{k >= n} r^k] for a rational ratio [0 <= r < 1].
+    @raise Invalid_argument when [r] is outside [0, 1). *)

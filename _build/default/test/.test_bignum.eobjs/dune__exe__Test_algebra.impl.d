@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Ipdb_logic Ipdb_relational List Option QCheck QCheck_alcotest String

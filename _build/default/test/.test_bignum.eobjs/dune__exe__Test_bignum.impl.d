@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Float Ipdb_bignum Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_constructions.ml: Alcotest Format Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_relational List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_criteria.ml: Alcotest Float Format Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series List Printf QCheck QCheck_alcotest Stdlib

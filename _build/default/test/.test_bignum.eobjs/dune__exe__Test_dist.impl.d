@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Float Ipdb_bignum Ipdb_dist Ipdb_series Random

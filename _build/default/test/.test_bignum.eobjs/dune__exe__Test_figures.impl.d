@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Ipdb_core List String

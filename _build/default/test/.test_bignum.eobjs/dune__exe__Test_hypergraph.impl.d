@@ -1,0 +1,1 @@
+test/test_hypergraph.ml: Alcotest Format Ipdb_hypergraph Ipdb_relational List QCheck QCheck_alcotest

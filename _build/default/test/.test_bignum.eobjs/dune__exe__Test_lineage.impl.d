@@ -1,0 +1,1 @@
+test/test_lineage.ml: Alcotest Format Ipdb_bignum Ipdb_logic Ipdb_pdb Ipdb_relational List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Ipdb_logic Ipdb_relational List QCheck QCheck_alcotest String

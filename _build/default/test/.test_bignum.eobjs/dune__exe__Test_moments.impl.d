@@ -1,0 +1,1 @@
+test/test_moments.ml: Alcotest Array Ipdb_bignum Ipdb_pdb Ipdb_relational List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pdb.ml: Alcotest Float Ipdb_bignum Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series List Random

@@ -1,0 +1,1 @@
+test/test_prenex.ml: Alcotest Ipdb_logic Ipdb_relational List QCheck QCheck_alcotest

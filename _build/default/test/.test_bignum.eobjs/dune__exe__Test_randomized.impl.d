@@ -1,0 +1,1 @@
+test/test_randomized.ml: Alcotest Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_relational QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Ipdb_relational List QCheck QCheck_alcotest

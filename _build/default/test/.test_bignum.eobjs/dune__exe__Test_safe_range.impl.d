@@ -1,0 +1,1 @@
+test/test_safe_range.ml: Alcotest Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_relational List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Float Ipdb_bignum Ipdb_core Ipdb_logic Ipdb_pdb Ipdb_relational Ipdb_series List Random

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Filename Ipdb_bignum Ipdb_pdb Ipdb_relational List QCheck QCheck_alcotest Sys

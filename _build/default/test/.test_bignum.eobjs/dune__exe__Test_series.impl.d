@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Float Format Ipdb_bignum Ipdb_series List QCheck QCheck_alcotest

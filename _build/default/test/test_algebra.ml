@@ -1,0 +1,250 @@
+(* Tests for the relational algebra and the UCQ-to-plan compiler: the plan
+   semantics must agree with the first-order evaluator on safe positive
+   formulas. *)
+
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module A = Ipdb_relational.Algebra
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Eval = Ipdb_logic.Eval
+module Plan = Ipdb_logic.Plan
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+let inst facts = Instance.of_list facts
+let i1 = inst [ fact "R" [ 1; 2 ]; fact "R" [ 2; 3 ]; fact "R" [ 1; 1 ]; fact "S" [ 2 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Tuples and relations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuple_ops () =
+  let t = A.Tuple.of_list [ ("x", vi 1); ("y", vi 2) ] in
+  Alcotest.(check (option bool)) "get" (Some true) (Option.map (Value.equal (vi 1)) (A.Tuple.get t "x"));
+  Alcotest.(check (list string)) "attributes" [ "x"; "y" ] (A.Tuple.attributes t);
+  let p = A.Tuple.project [ "y" ] t in
+  Alcotest.(check (list string)) "projection" [ "y" ] (A.Tuple.attributes p);
+  Alcotest.check_raises "missing attr" (Invalid_argument "Algebra.Tuple.project: missing attribute z")
+    (fun () -> ignore (A.Tuple.project [ "z" ] t));
+  (* joins *)
+  let u = A.Tuple.of_list [ ("y", vi 2); ("z", vi 5) ] in
+  (match A.Tuple.join t u with
+  | Some j -> Alcotest.(check (list string)) "join attrs" [ "x"; "y"; "z" ] (A.Tuple.attributes j)
+  | None -> Alcotest.fail "compatible join failed");
+  let v = A.Tuple.of_list [ ("y", vi 9) ] in
+  Alcotest.(check bool) "conflicting join" true (A.Tuple.join t v = None)
+
+let test_relation_make () =
+  let t = A.Tuple.of_list [ ("x", vi 1) ] in
+  let r = A.Relation.make [ "x" ] [ t; t ] in
+  Alcotest.(check int) "dedup" 1 (A.Relation.cardinality r);
+  Alcotest.check_raises "attr mismatch"
+    (Invalid_argument "Algebra.Relation.make: tuple ⟨x=1⟩ does not match attributes {y}") (fun () ->
+      ignore (A.Relation.make [ "y" ] [ t ]))
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scan_r = A.Scan { rel = "R"; binding = [ A.Bind "x"; A.Bind "y" ] }
+
+let test_scan () =
+  let r = A.eval i1 scan_r in
+  Alcotest.(check int) "3 R facts" 3 (A.Relation.cardinality r);
+  (* repeated binding enforces equality *)
+  let diag = A.eval i1 (A.Scan { rel = "R"; binding = [ A.Bind "x"; A.Bind "x" ] }) in
+  Alcotest.(check int) "diagonal" 1 (A.Relation.cardinality diag);
+  (* constant match *)
+  let from1 = A.eval i1 (A.Scan { rel = "R"; binding = [ A.Match (vi 1); A.Bind "y" ] }) in
+  Alcotest.(check int) "from 1" 2 (A.Relation.cardinality from1)
+
+let test_select_project () =
+  let sel = A.eval i1 (A.Select (A.Attr_eq_attr ("x", "y"), scan_r)) in
+  Alcotest.(check int) "x=y" 1 (A.Relation.cardinality sel);
+  let proj = A.eval i1 (A.Project ([ "x" ], scan_r)) in
+  Alcotest.(check int) "sources dedup" 2 (A.Relation.cardinality proj)
+
+let test_join () =
+  (* R(x,y) ⋈ S(y): y must be 2 *)
+  let j = A.eval i1 (A.Join (scan_r, A.Scan { rel = "S"; binding = [ A.Bind "y" ] })) in
+  Alcotest.(check int) "one match" 1 (A.Relation.cardinality j);
+  match A.Relation.tuples j with
+  | [ t ] ->
+    Alcotest.(check bool) "x=1" true (Value.equal (vi 1) (A.Tuple.get_exn t "x"));
+    Alcotest.(check bool) "y=2" true (Value.equal (vi 2) (A.Tuple.get_exn t "y"))
+  | _ -> Alcotest.fail "expected one tuple"
+
+let test_rename_union_diff () =
+  let r1 = A.Rename ([ ("y", "z") ], scan_r) in
+  (match A.attributes_of r1 with
+  | Ok attrs -> Alcotest.(check (list string)) "renamed" [ "x"; "z" ] attrs
+  | Error e -> Alcotest.fail e);
+  let u = A.eval i1 (A.Union (A.Project ([ "x" ], scan_r), A.Rename ([ ("y", "x") ], A.Project ([ "y" ], scan_r)))) in
+  Alcotest.(check int) "all endpoints" 3 (A.Relation.cardinality u);
+  let d = A.eval i1 (A.Diff (A.Project ([ "x" ], scan_r), A.Rename ([ ("y", "x") ], A.Project ([ "y" ], scan_r)))) in
+  (* sources {1,2} minus targets {1,2,3} = {} *)
+  Alcotest.(check int) "diff" 0 (A.Relation.cardinality d)
+
+let test_static_errors () =
+  (match A.attributes_of (A.Union (A.Project ([ "x" ], scan_r), scan_r)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "union mismatch accepted");
+  match A.attributes_of (A.Project ([ "zz" ], scan_r)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad projection accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Plan compiler                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_same_answers ?(extra = []) inst head body =
+  let d = List.hd (View.defs (View.make [ ("Out", head, body) ])) in
+  match Plan.answers inst d with
+  | Error e -> Alcotest.fail ("compile failed: " ^ e)
+  | Ok plan_answers ->
+    let fo_answers = Eval.satisfying ~extra inst head body in
+    let norm l = List.sort_uniq (List.compare Value.compare) l in
+    Alcotest.(check bool)
+      ("same answers for " ^ Fo.to_string body)
+      true
+      (norm plan_answers = norm fo_answers)
+
+let test_plan_basic () =
+  check_same_answers i1 [ "x"; "y" ] (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]);
+  check_same_answers i1 [ "x" ] (Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]));
+  check_same_answers i1 [ "x"; "z" ]
+    (Fo.Exists ("y", Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.atom "R" [ Fo.v "y"; Fo.v "z" ])));
+  check_same_answers i1 [ "x" ] (Fo.And (Fo.atom "S" [ Fo.v "x" ], Fo.atom "S" [ Fo.v "x" ]));
+  check_same_answers i1 [ "x" ]
+    (Fo.Or (Fo.atom "S" [ Fo.v "x" ], Fo.Exists ("y", Fo.atom "R" [ Fo.v "y"; Fo.v "x" ])))
+
+let test_plan_equalities () =
+  check_same_answers i1 [ "x" ] (Fo.And (Fo.atom "S" [ Fo.v "x" ], Fo.eq (Fo.v "x") (Fo.ci 2)));
+  check_same_answers i1 [ "x" ] (Fo.eq (Fo.v "x") (Fo.ci 7));
+  check_same_answers i1 [ "x"; "y" ] (Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.eq (Fo.v "x") (Fo.v "y")));
+  (* equality binding a head variable from a bound one *)
+  check_same_answers i1 [ "x"; "w" ] (Fo.And (Fo.atom "S" [ Fo.v "x" ], Fo.eq (Fo.v "w") (Fo.v "x")))
+
+let test_plan_rejects_unsafe () =
+  let d body = List.hd (View.defs (View.make [ ("Out", [ "x" ], body) ])) in
+  (match Plan.answers i1 (d (Fo.Not (Fo.atom "S" [ Fo.v "x" ]))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negation accepted");
+  (* head variable never bound *)
+  match Plan.compile_def (d (Fo.Exists ("y", Fo.atom "S" [ Fo.v "y" ]))) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unbound head accepted"
+
+let test_plan_whole_view () =
+  let v =
+    View.make
+      [ ("T", [ "x"; "z" ],
+         Fo.Exists ("y", Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.atom "R" [ Fo.v "y"; Fo.v "z" ])));
+        ("U", [ "x" ], Fo.atom "S" [ Fo.v "x" ])
+      ]
+  in
+  match Plan.apply_view i1 v with
+  | Error e -> Alcotest.fail e
+  | Ok out -> Alcotest.(check bool) "algebra = FO view" true (Instance.equal out (View.apply v i1))
+
+(* Random safe CQ/UCQ formulas vs. the FO evaluator. *)
+let gen_safe_formula =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let term = frequency [ (3, map Fo.v var); (1, map Fo.ci (0 -- 3)) ] in
+  let atom =
+    oneof
+      [ map2 (fun a b -> Fo.atom "R" [ a; b ]) term term;
+        map (fun a -> Fo.atom "S" [ a ]) term
+      ]
+  in
+  let conj =
+    let* n = 1 -- 3 in
+    let* atoms = list_size (return n) atom in
+    (* optionally one constant equality on a variable occurring in an atom *)
+    let vars = List.concat_map (fun a -> List.filter_map (function Fo.V x -> Some x | Fo.C _ -> None) (match a with Fo.Atom (_, args) -> args | _ -> [])) atoms in
+    let* extra =
+      if vars = [] then return []
+      else
+        frequency
+          [ (2, return []);
+            (1,
+             let* x = oneofl vars in
+             let* c = 0 -- 3 in
+             return [ Fo.eq (Fo.v x) (Fo.ci c) ])
+          ]
+    in
+    return (Fo.conj (atoms @ extra))
+  in
+  let* matrix =
+    frequency
+      [ (3, conj);
+        (1,
+         let* a = conj in
+         let* b = conj in
+         (* force the same free variables by conjoining a dummy atom over all *)
+         let fv = List.sort_uniq String.compare (Fo.free_vars a @ Fo.free_vars b) in
+         let pad phi =
+           Fo.conj (phi :: List.map (fun x -> Fo.Exists ("pad", Fo.And (Fo.atom "R" [ Fo.v x; Fo.v "pad" ], Fo.True))) (List.filter (fun x -> not (List.mem x (Fo.free_vars phi))) fv))
+         in
+         return (Fo.Or (pad a, pad b)))
+      ]
+  in
+  (* existentially close a random subset of the free variables *)
+  let fv = Fo.free_vars matrix in
+  let* closed = flatten_l (List.map (fun x -> map (fun b -> (x, b)) bool) fv) in
+  let to_close = List.filter_map (fun (x, b) -> if b then Some x else None) closed in
+  return (Fo.exists_many to_close matrix)
+
+let arb_safe =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_safe_formula in
+      let* nfacts = 0 -- 7 in
+      let* facts =
+        list_size (return nfacts)
+          (oneof
+             [ map2 (fun a b -> fact "R" [ a; b ]) (0 -- 3) (0 -- 3); map (fun a -> fact "S" [ a ]) (0 -- 3) ])
+      in
+      return (phi, inst facts))
+
+let plan_vs_eval =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"plan semantics = FO semantics on safe formulas" arb_safe
+       (fun (phi, i) ->
+         let head = Fo.free_vars phi in
+         match Plan.compile phi with
+         | Error _ -> QCheck.assume_fail ()
+         | Ok _ -> (
+           let d = List.hd (View.defs (View.make [ ("Out", head, phi) ])) in
+           match Plan.answers i d with
+           | Error _ -> QCheck.assume_fail ()
+           | Ok plan_answers ->
+             let fo_answers = Eval.satisfying i head phi in
+             let norm l = List.sort_uniq (List.compare Value.compare) l in
+             norm plan_answers = norm fo_answers)))
+
+let () =
+  Alcotest.run "algebra"
+    [ ( "tuples-relations",
+        [ Alcotest.test_case "tuple ops" `Quick test_tuple_ops;
+          Alcotest.test_case "relation make" `Quick test_relation_make
+        ] );
+      ( "operators",
+        [ Alcotest.test_case "scan" `Quick test_scan;
+          Alcotest.test_case "select/project" `Quick test_select_project;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "rename/union/diff" `Quick test_rename_union_diff;
+          Alcotest.test_case "static errors" `Quick test_static_errors
+        ] );
+      ( "plan",
+        [ Alcotest.test_case "basics" `Quick test_plan_basic;
+          Alcotest.test_case "equalities" `Quick test_plan_equalities;
+          Alcotest.test_case "rejects unsafe" `Quick test_plan_rejects_unsafe;
+          Alcotest.test_case "whole view" `Quick test_plan_whole_view;
+          plan_vs_eval
+        ] )
+    ]

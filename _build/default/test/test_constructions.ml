@@ -1,0 +1,442 @@
+(* Tests for the paper's constructions: the finite completeness theorem
+   (Figure 1), Theorem 4.1 (deconditioning), Lemma 5.1 / Corollary 5.4
+   (segmentation) and Lemma 5.7 / Theorem 5.9 (BID). Each is verified as an
+   exact distribution equality in rational arithmetic. *)
+
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Classify = Ipdb_logic.Classify
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+module Family = Ipdb_pdb.Family
+module Finite_complete = Ipdb_core.Finite_complete
+module Decondition = Ipdb_core.Decondition
+module Segmentation = Ipdb_core.Segmentation
+module Bid_repr = Ipdb_core.Bid_repr
+module Zoo = Ipdb_core.Zoo
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+let inst facts = Instance.of_list facts
+let schema_r1 = Schema.make [ ("R", 1) ]
+let schema_r2 = Schema.make [ ("R", 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Finite completeness: PDB_fin = FO(TI_fin)                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_complete name d =
+  let repr = Finite_complete.represent d in
+  Alcotest.(check bool) (name ^ ": view(ti) = pdb exactly") true (Finite_complete.verify d repr)
+
+let test_complete_simple () =
+  check_complete "three worlds"
+    (Finite_pdb.make schema_r1
+       [ (inst [], Q.of_ints 1 4);
+         (inst [ fact "R" [ 1 ] ], Q.of_ints 1 4);
+         (inst [ fact "R" [ 1 ]; fact "R" [ 2 ] ], Q.half)
+       ])
+
+let test_complete_single_world () =
+  check_complete "single world" (Finite_pdb.make schema_r1 [ (inst [ fact "R" [ 5 ] ], Q.one) ])
+
+let test_complete_two_relations () =
+  let schema = Schema.make [ ("R", 2); ("S", 1) ] in
+  check_complete "two relations"
+    (Finite_pdb.make schema
+       [ (inst [ fact "R" [ 1; 2 ]; fact "S" [ 1 ] ], Q.of_ints 2 5);
+         (inst [ fact "S" [ 3 ] ], Q.of_ints 2 5);
+         (inst [], Q.of_ints 1 5)
+       ])
+
+let test_complete_exclusive_facts () =
+  (* Example B.2 as a finite PDB: representable with an FO (non-monotone)
+     view even though no CQ view can do it. *)
+  check_complete "example B.2" (Bid.Finite.to_finite_pdb Zoo.example_b2)
+
+(* Random finite PDBs. *)
+let arb_finite_pdb =
+  QCheck.make
+    ~print:(fun d -> Format.asprintf "%a" Finite_pdb.pp d)
+    QCheck.Gen.(
+      let* n_worlds = 1 -- 5 in
+      let* worlds =
+        list_size (return n_worlds)
+          (let* sz = 0 -- 3 in
+           let* vals = list_size (return sz) (0 -- 5) in
+           return (inst (List.map (fun v -> fact "R" [ v ]) vals)))
+      in
+      let* weights = list_size (return n_worlds) (1 -- 9) in
+      let weighted = List.map2 (fun w p -> (w, Q.of_int p)) worlds weights in
+      return (Finite_pdb.make_unnormalized schema_r1 weighted))
+
+let complete_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"completeness on random finite PDBs" arb_finite_pdb (fun d ->
+         Finite_complete.verify d (Finite_complete.represent d)))
+
+(* ------------------------------------------------------------------ *)
+(* PDB_fin = CQ(BID_fin) (Figure 1, [16, 42])                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_cq_bid name d =
+  let repr = Finite_complete.represent_cq_bid d in
+  Alcotest.(check bool) (name ^ ": CQ view over BID = pdb exactly") true
+    (Finite_complete.verify_cq_bid d repr)
+
+let test_cq_bid_simple () =
+  check_cq_bid "three worlds"
+    (Finite_pdb.make schema_r1
+       [ (inst [], Q.of_ints 1 4);
+         (inst [ fact "R" [ 1 ] ], Q.of_ints 1 4);
+         (inst [ fact "R" [ 1 ]; fact "R" [ 2 ] ], Q.half)
+       ])
+
+let test_cq_bid_multi_relation () =
+  let schema = Schema.make [ ("R", 2); ("S", 1) ] in
+  check_cq_bid "two relations"
+    (Finite_pdb.make schema
+       [ (inst [ fact "R" [ 1; 2 ]; fact "S" [ 1 ] ], Q.of_ints 2 5);
+         (inst [ fact "S" [ 3 ] ], Q.of_ints 3 5)
+       ]);
+  (* the exclusive-facts PDB of Example B.2 also fits: CQ(BID) is complete
+     where CQ(TI) is not *)
+  check_cq_bid "example B.2" (Bid.Finite.to_finite_pdb Zoo.example_b2)
+
+let cq_bid_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"CQ(BID) completeness on random finite PDBs" arb_finite_pdb
+       (fun d -> Finite_complete.verify_cq_bid d (Finite_complete.represent_cq_bid d)))
+
+(* ------------------------------------------------------------------ *)
+(* Proposition B.4: monotone views of TI_fin collapse to CQ            *)
+(* ------------------------------------------------------------------ *)
+
+let test_b4_example_b3 () =
+  let ti, view = Zoo.example_b3 in
+  let repr = Finite_complete.monotone_to_cq ti view in
+  Alcotest.(check bool) "result view is CQ" true (View.is_cq repr.Finite_complete.view);
+  let original = Finite_pdb.map_view view (Ti.Finite.to_finite_pdb ti) in
+  let rebuilt = Finite_pdb.map_view repr.Finite_complete.view (Ti.Finite.to_finite_pdb repr.Finite_complete.ti) in
+  Alcotest.(check bool) "CQ(TI) image equals monotone image exactly" true (Finite_pdb.equal original rebuilt)
+
+let test_b4_with_certain_facts () =
+  let ti =
+    Ti.Finite.make schema_r2
+      [ (fact "R" [ 1; 2 ], Q.one); (fact "R" [ 2; 3 ], Q.of_ints 1 3); (fact "R" [ 3; 4 ], Q.half) ]
+  in
+  let view =
+    View.make
+      [ ("T", [ "x"; "z" ],
+         Fo.Exists ("y", Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.atom "R" [ Fo.v "y"; Fo.v "z" ]))) ]
+  in
+  let repr = Finite_complete.monotone_to_cq ti view in
+  let original = Finite_pdb.map_view view (Ti.Finite.to_finite_pdb ti) in
+  let rebuilt = Finite_pdb.map_view repr.Finite_complete.view (Ti.Finite.to_finite_pdb repr.Finite_complete.ti) in
+  Alcotest.(check bool) "paths with certain base fact" true (Finite_pdb.equal original rebuilt)
+
+let test_b4_rejects_nonmonotone () =
+  let ti, _ = Zoo.example_b3 in
+  let bad = View.make [ ("T", [ "x" ], Fo.Not (Fo.atom "R" [ Fo.v "x"; Fo.v "x" ])) ] in
+  Alcotest.check_raises "non-positive view rejected"
+    (Invalid_argument "Finite_complete.monotone_to_cq: view is not syntactically positive") (fun () ->
+      ignore (Finite_complete.monotone_to_cq ti bad))
+
+(* ------------------------------------------------------------------ *)
+(* Example B.3: the image is neither TI nor BID                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_example_b3_table () =
+  let ti, view = Zoo.example_b3 in
+  let image = Finite_pdb.map_view view (Ti.Finite.to_finite_pdb ti) in
+  let p = Q.of_ints 1 3 and p' = Q.half in
+  List.iter
+    (fun (w, expected) ->
+      Alcotest.(check bool)
+        ("P(" ^ Instance.to_string w ^ ")")
+        true
+        (Q.equal expected (Finite_pdb.prob image w)))
+    (Zoo.example_b3_expected p p');
+  Alcotest.(check int) "3 worlds as in the paper's table" 3 (Finite_pdb.num_worlds image);
+  (* not TI *)
+  Alcotest.(check bool) "image not TI" false (Finite_pdb.is_tuple_independent image);
+  (* not BID for any 2-fact partition: worlds ∅ and {t,t'} exist but {t'}
+     does not, contradicting block structure; check both partitions *)
+  let t = Fact.make "T" [ Value.Str "a"; Value.Str "b" ] in
+  let t' = Fact.make "T" [ Value.Str "a"; Value.Str "a" ] in
+  Alcotest.(check bool) "not BID (separate blocks)" false (Finite_pdb.is_bid image ~blocks:[ [ t ]; [ t' ] ]);
+  Alcotest.(check bool) "not BID (single block)" false (Finite_pdb.is_bid image ~blocks:[ [ t; t' ] ])
+
+(* ------------------------------------------------------------------ *)
+(* Example B.2: two maximal worlds obstruct monotone views of TI       *)
+(* ------------------------------------------------------------------ *)
+
+let test_example_b2_maximal () =
+  let d = Bid.Finite.to_finite_pdb Zoo.example_b2 in
+  Alcotest.(check int) "two maximal worlds" 2 (List.length (Finite_pdb.maximal_worlds d));
+  (* while every monotone view of a TI-PDB has exactly one (Prop. B.1):
+     spot-check on images of random monotone views *)
+  let ti, view = Zoo.example_b3 in
+  let image = Finite_pdb.map_view view (Ti.Finite.to_finite_pdb ti) in
+  Alcotest.(check int) "monotone image: unique maximal world" 1 (List.length (Finite_pdb.maximal_worlds image))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.1: deconditioning                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_decondition name (input : Decondition.input) =
+  let output = Decondition.decondition input in
+  Alcotest.(check bool) (name ^ ": view'(J) = Phi(I | phi) exactly") true (Decondition.verify input output)
+
+let test_decondition_basic () =
+  (* I: two unary facts; condition: at least one fact; view: identity *)
+  let ti = Ti.Finite.make schema_r1 [ (fact "R" [ 1 ], Q.half); (fact "R" [ 2 ], Q.of_ints 1 3) ] in
+  let condition = Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ]) in
+  let view = View.identity schema_r1 in
+  check_decondition "identity view, nonempty condition" { Decondition.ti; condition; view }
+
+let test_decondition_projection_view () =
+  let ti =
+    Ti.Finite.make schema_r2 [ (fact "R" [ 1; 2 ], Q.half); (fact "R" [ 2; 2 ], Q.of_ints 2 3) ]
+  in
+  (* condition: no fact R(x,x) with x = 1 .. i.e. diagonal-free on 1 *)
+  let condition = Fo.Not (Fo.atom "R" [ Fo.ci 1; Fo.ci 1 ]) in
+  let view = View.make [ ("S", [ "x" ], Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ])) ] in
+  check_decondition "projection view" { Decondition.ti; condition; view }
+
+let test_decondition_trivial_condition () =
+  let ti = Ti.Finite.make schema_r1 [ (fact "R" [ 1 ], Q.of_ints 1 4) ] in
+  check_decondition "condition True" { Decondition.ti; condition = Fo.True; view = View.identity schema_r1 }
+
+let test_decondition_deterministic_target () =
+  (* conditioning forces a single world: the p0 = 1 shortcut *)
+  let ti = Ti.Finite.make schema_r1 [ (fact "R" [ 1 ], Q.half) ] in
+  let condition = Fo.atom "R" [ Fo.ci 1 ] in
+  let input = { Decondition.ti; condition; view = View.identity schema_r1 } in
+  let output = Decondition.decondition input in
+  Alcotest.(check int) "no copies needed" 0 output.Decondition.copies;
+  Alcotest.(check bool) "exact" true (Decondition.verify input output)
+
+let test_decondition_exclusivity_condition () =
+  (* condition imposes mutual exclusivity — the resulting PDB is the
+     paradigmatic non-TI one, yet Theorem 4.1 still represents it as an
+     unconditional FO view of a TI-PDB *)
+  let ti = Ti.Finite.make schema_r1 [ (fact "R" [ 1 ], Q.half); (fact "R" [ 2 ], Q.half) ] in
+  let condition =
+    Fo.Not (Fo.And (Fo.atom "R" [ Fo.ci 1 ], Fo.atom "R" [ Fo.ci 2 ]))
+  in
+  check_decondition "mutual exclusivity" { Decondition.ti; condition; view = View.identity schema_r1 }
+
+let test_decondition_k_bound () =
+  let ti = Ti.Finite.make schema_r1 [ (fact "R" [ 1 ], Q.half); (fact "R" [ 2 ], Q.of_ints 1 3) ] in
+  let condition = Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ]) in
+  let input = { Decondition.ti; condition; view = View.identity schema_r1 } in
+  let output = Decondition.decondition input in
+  (* (1 - P(psi))^k < p0 must hold for the chosen k *)
+  let failure = Q.pow (Q.one_minus output.Decondition.psi_prob) output.Decondition.copies in
+  Alcotest.(check bool) "k sufficient" true (Q.lt failure output.Decondition.p0);
+  Alcotest.(check bool) "q0 in (0,1)" true
+    (Q.gt output.Decondition.q0 Q.zero && Q.lt output.Decondition.q0 Q.one)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 5.1 / Corollary 5.4: segmentation                             *)
+(* ------------------------------------------------------------------ *)
+
+let small_pdb =
+  Finite_pdb.make schema_r1
+    [ (inst [], Q.of_ints 1 4);
+      (inst [ fact "R" [ 1 ] ], Q.of_ints 1 4);
+      (inst [ fact "R" [ 2 ]; fact "R" [ 3 ] ], Q.half)
+    ]
+
+let test_segmentation_bounded_exact () =
+  (* Corollary 5.4: c = max size makes everything exact *)
+  let out = Segmentation.bounded_size_representation small_pdb in
+  Alcotest.(check bool) "marginals exact" true out.Segmentation.exact;
+  Alcotest.(check bool) "distribution equality" true (Segmentation.verify_exact small_pdb out)
+
+let test_segmentation_two_relations () =
+  let schema = Schema.make [ ("R", 2); ("S", 1) ] in
+  let d =
+    Finite_pdb.make schema
+      [ (inst [ fact "R" [ 1; 2 ]; fact "S" [ 7 ] ], Q.of_ints 3 5);
+        (inst [ fact "S" [ 9 ] ], Q.of_ints 2 5)
+      ]
+  in
+  let out = Segmentation.bounded_size_representation d in
+  Alcotest.(check bool) "mixed-arity exact" true (Segmentation.verify_exact d out)
+
+let test_segmentation_c1_float () =
+  (* c = 1: several segments per world, irrational roots — verify within a
+     tight TV tolerance *)
+  let out = Segmentation.segment ~c:1 small_pdb in
+  Alcotest.(check bool) "not exact (roots)" true (not out.Segmentation.exact);
+  let tv = Segmentation.verify_tv small_pdb out in
+  Alcotest.(check bool) "tv below 1e-9" true (tv < 1e-9)
+
+let test_segmentation_chain_structure () =
+  (* with c = 1 a 2-fact world becomes a 2-segment chain *)
+  let out = Segmentation.segment ~c:1 small_pdb in
+  let facts = Ti.Finite.facts out.Segmentation.ti in
+  (* 0 facts for ∅? no — the empty world gets one all-⊥ segment; world2: 1;
+     world3: 2  => 4 segment facts *)
+  Alcotest.(check int) "segment facts" 4 (List.length facts)
+
+let test_segmentation_example_5_5_truncation () =
+  (* Example 5.5 truncated: unbounded sizes, c = 1 as the paper prescribes *)
+  let d = Family.truncate_exact Zoo.example_5_5.Zoo.family ~n:3 in
+  let out = Segmentation.segment ~c:1 d in
+  let tv = Segmentation.verify_tv d out in
+  Alcotest.(check bool) "Example 5.5 truncation via Lemma 5.1" true (tv < 1e-9)
+
+let test_segmentation_sensor_exact () =
+  let d = Family.truncate_exact Zoo.sensor_bounded.Zoo.family ~n:3 in
+  let out = Segmentation.bounded_size_representation d in
+  Alcotest.(check bool) "sensor PDB exact via Corollary 5.4" true (Segmentation.verify_exact d out)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 5.7 / Theorem 5.9: BID                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_bid_repr_basic () =
+  let bid =
+    Bid.Finite.make schema_r1
+      [ [ (fact "R" [ 1 ], Q.of_ints 1 3); (fact "R" [ 2 ], Q.of_ints 1 3) ];
+        [ (fact "R" [ 3 ], Q.half) ]
+      ]
+  in
+  let out = Bid_repr.represent bid in
+  Alcotest.(check bool) "exact equality" true (Bid_repr.verify bid out)
+
+let test_bid_repr_zero_residual () =
+  (* residual-zero block: the q = p/(1+p) branch plus the ∃! condition *)
+  let bid =
+    Bid.Finite.make schema_r1
+      [ [ (fact "R" [ 1 ], Q.half); (fact "R" [ 2 ], Q.half) ]; [ (fact "R" [ 3 ], Q.of_ints 1 4) ] ]
+  in
+  let out = Bid_repr.represent bid in
+  Alcotest.(check bool) "exact with residual 0" true (Bid_repr.verify bid out)
+
+let test_bid_repr_example_b2 () =
+  let out = Bid_repr.represent Zoo.example_b2 in
+  Alcotest.(check bool) "Example B.2 via Lemma 5.7" true (Bid_repr.verify Zoo.example_b2 out)
+
+let test_bid_repr_multi_relation () =
+  let schema = Schema.make [ ("R", 1); ("S", 2) ] in
+  let bid =
+    Bid.Finite.make schema
+      [ [ (fact "R" [ 1 ], Q.of_ints 2 5); (Fact.make "S" [ vi 1; vi 2 ], Q.of_ints 2 5) ];
+        [ (Fact.make "S" [ vi 3; vi 3 ], Q.of_ints 3 4) ]
+      ]
+  in
+  let out = Bid_repr.represent bid in
+  Alcotest.(check bool) "cross-relation block" true (Bid_repr.verify bid out)
+
+let test_bid_repr_propD3_truncation () =
+  let bid = Zoo.propD3_truncation ~blocks:3 in
+  let out = Bid_repr.represent bid in
+  Alcotest.(check bool) "Prop D.3 BID via Theorem 5.9" true (Bid_repr.verify bid out)
+
+let arb_bid =
+  QCheck.make
+    ~print:(fun b -> Format.asprintf "%a" Bid.Finite.pp b)
+    QCheck.Gen.(
+      let* n_blocks = 1 -- 3 in
+      let* blocks =
+        list_size (return n_blocks)
+          (let* n_facts = 1 -- 2 in
+           let* dens = list_size (return n_facts) (2 -- 5) in
+           return (List.map (fun d -> Q.of_ints 1 (d + n_facts)) dens))
+      in
+      let counter = ref 0 in
+      let blocks =
+        List.map
+          (List.map (fun p ->
+               incr counter;
+               (fact "R" [ !counter ], p)))
+          blocks
+      in
+      return (Bid.Finite.make schema_r1 blocks))
+
+let bid_repr_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"Theorem 5.9 on random BID-PDBs" arb_bid (fun bid ->
+         Bid_repr.verify bid (Bid_repr.represent bid)))
+
+(* ------------------------------------------------------------------ *)
+(* Composition: Theorem 5.3 end-to-end                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_thm53_end_to_end () =
+  (* Lemma 5.1 gives (TI, φ, Φ); Theorem 4.1 removes the condition: the
+     composite is an unconditional FO view of a TI-PDB representing the
+     original (truncated) PDB — the full Theorem 5.3 pipeline. *)
+  let d =
+    Finite_pdb.make schema_r1
+      [ (inst [ fact "R" [ 1 ] ], Q.of_ints 2 3); (inst [ fact "R" [ 2 ]; fact "R" [ 3 ] ], Q.of_ints 1 3) ]
+  in
+  let seg = Segmentation.bounded_size_representation d in
+  Alcotest.(check bool) "segmentation exact" true seg.Segmentation.exact;
+  let input =
+    { Decondition.ti = seg.Segmentation.ti; condition = seg.Segmentation.condition; view = seg.Segmentation.view }
+  in
+  let target = Decondition.target input in
+  Alcotest.(check bool) "conditioned pipeline reproduces d" true (Finite_pdb.equal target d);
+  let output = Decondition.decondition input in
+  Alcotest.(check bool) "unconditional representation" true (Decondition.verify input output)
+
+let () =
+  Alcotest.run "constructions"
+    [ ( "finite-completeness",
+        [ Alcotest.test_case "three worlds" `Quick test_complete_simple;
+          Alcotest.test_case "single world" `Quick test_complete_single_world;
+          Alcotest.test_case "two relations" `Quick test_complete_two_relations;
+          Alcotest.test_case "exclusive facts (B.2)" `Quick test_complete_exclusive_facts;
+          complete_random
+        ] );
+      ( "cq-bid-completeness",
+        [ Alcotest.test_case "three worlds" `Quick test_cq_bid_simple;
+          Alcotest.test_case "multi-relation + B.2" `Quick test_cq_bid_multi_relation;
+          cq_bid_random
+        ] );
+      ( "prop-b4",
+        [ Alcotest.test_case "Example B.3 view" `Quick test_b4_example_b3;
+          Alcotest.test_case "with certain facts" `Quick test_b4_with_certain_facts;
+          Alcotest.test_case "rejects non-monotone" `Quick test_b4_rejects_nonmonotone
+        ] );
+      ( "figure-1-separations",
+        [ Alcotest.test_case "Example B.3 table" `Quick test_example_b3_table;
+          Alcotest.test_case "Example B.2 maximal worlds" `Quick test_example_b2_maximal
+        ] );
+      ( "theorem-4.1",
+        [ Alcotest.test_case "basic" `Quick test_decondition_basic;
+          Alcotest.test_case "projection view" `Quick test_decondition_projection_view;
+          Alcotest.test_case "trivial condition" `Quick test_decondition_trivial_condition;
+          Alcotest.test_case "deterministic target" `Quick test_decondition_deterministic_target;
+          Alcotest.test_case "exclusivity condition" `Quick test_decondition_exclusivity_condition;
+          Alcotest.test_case "k and q0 bounds" `Quick test_decondition_k_bound
+        ] );
+      ( "lemma-5.1",
+        [ Alcotest.test_case "Corollary 5.4 exact" `Quick test_segmentation_bounded_exact;
+          Alcotest.test_case "two relations" `Quick test_segmentation_two_relations;
+          Alcotest.test_case "c=1 chains (float)" `Quick test_segmentation_c1_float;
+          Alcotest.test_case "chain structure" `Quick test_segmentation_chain_structure;
+          Alcotest.test_case "Example 5.5 truncation" `Quick test_segmentation_example_5_5_truncation;
+          Alcotest.test_case "sensor PDB exact" `Quick test_segmentation_sensor_exact
+        ] );
+      ( "theorem-5.9",
+        [ Alcotest.test_case "basic" `Quick test_bid_repr_basic;
+          Alcotest.test_case "zero residual" `Quick test_bid_repr_zero_residual;
+          Alcotest.test_case "Example B.2" `Quick test_bid_repr_example_b2;
+          Alcotest.test_case "multi-relation blocks" `Quick test_bid_repr_multi_relation;
+          Alcotest.test_case "Prop D.3 truncation" `Quick test_bid_repr_propD3_truncation;
+          bid_repr_random
+        ] );
+      ("theorem-5.3", [ Alcotest.test_case "end to end" `Quick test_thm53_end_to_end ])
+    ]

@@ -1,0 +1,112 @@
+(* Tests for discrete distributions with certificates. *)
+
+module Q = Ipdb_bignum.Q
+module Interval = Ipdb_series.Interval
+module Series = Ipdb_series.Series
+module D = Ipdb_dist.Discrete
+
+let check_mass_one name d upto =
+  match D.total_mass_check d ~upto with
+  | Ok enclosure ->
+    Alcotest.(check bool) (name ^ " mass contains 1") true (Interval.contains enclosure 1.0);
+    Alcotest.(check bool) (name ^ " mass tight") true (Interval.width enclosure < 1e-6)
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+
+let test_point () =
+  let d = D.point 7 in
+  Alcotest.(check (float 0.0)) "pmf at 7" 1.0 (d.D.pmf 7);
+  Alcotest.(check (float 0.0)) "pmf elsewhere" 0.0 (d.D.pmf 3);
+  check_mass_one "point" d 10
+
+let test_uniform () =
+  let d = D.uniform [ 1; 2; 3; 4 ] in
+  Alcotest.(check (float 1e-12)) "pmf" 0.25 (d.D.pmf 2);
+  Alcotest.(check (float 1e-12)) "mean" 2.5 d.D.mean;
+  check_mass_one "uniform" d 10
+
+let test_bernoulli () =
+  let d = D.bernoulli (Q.of_ints 1 3) in
+  (match d.D.pmf_q with
+  | Some pmf_q ->
+    Alcotest.(check bool) "exact p" true (Q.equal (Q.of_ints 1 3) (pmf_q 1));
+    Alcotest.(check bool) "exact 1-p" true (Q.equal (Q.of_ints 2 3) (pmf_q 0))
+  | None -> Alcotest.fail "bernoulli should have exact pmf");
+  check_mass_one "bernoulli" d 5
+
+let test_poisson () =
+  let d = D.poisson 2.3 in
+  check_mass_one "poisson" d 80;
+  (* mean via certified series: n * pmf n has the same geometric tail shape *)
+  let mean_tail = Series.Tail.Geometric { index = 40; first = 40.0 *. d.D.pmf 40; ratio = 0.5 } in
+  (match D.mean_check d ~upto:200 ~mean_tail with
+  | Ok m -> Alcotest.(check bool) "mean encloses lambda" true (Interval.contains m 2.3)
+  | Error e -> Alcotest.fail e);
+  Alcotest.check_raises "bad rate" (Invalid_argument "Discrete.poisson: rate must be positive") (fun () ->
+      ignore (D.poisson 0.0))
+
+let test_geometric () =
+  let d = D.geometric (Q.of_ints 1 4) in
+  check_mass_one "geometric" d 200;
+  (match d.D.pmf_q with
+  | Some pmf_q ->
+    Alcotest.(check bool) "exact pmf 2" true (Q.equal (Q.of_ints 9 64) (pmf_q 2))
+  | None -> Alcotest.fail "geometric should have exact pmf");
+  Alcotest.(check (float 1e-9)) "mean (1-p)/p" 3.0 d.D.mean
+
+let check_mass_one_loose name d upto =
+  match D.total_mass_check d ~upto with
+  | Ok enclosure ->
+    Alcotest.(check bool) (name ^ " mass contains 1") true (Interval.contains enclosure 1.0);
+    Alcotest.(check bool) (name ^ " mass tight") true (Interval.width enclosure < 1e-4)
+  | Error e -> Alcotest.fail (name ^ ": " ^ e)
+
+let test_basel () =
+  let d = D.basel () in
+  check_mass_one_loose "basel" d 200000;
+  Alcotest.(check bool) "mean infinite" true (Float.is_integer d.D.mean = false || d.D.mean = Float.infinity)
+
+let test_mass_outside () =
+  let d = D.geometric Q.half in
+  let outside = D.mass_outside d 10 in
+  (* true tail mass is 2^-11 *)
+  Alcotest.(check bool) "tail bound valid" true (outside >= Float.ldexp 1.0 (-11));
+  Alcotest.(check bool) "tail bound sane" true (outside < 0.01)
+
+let test_sampling_frequencies () =
+  let rng = Random.State.make [| 42 |] in
+  let d = D.geometric Q.half in
+  let n = 20000 in
+  let zeros = ref 0 in
+  for _ = 1 to n do
+    if D.sample d rng = 0 then incr zeros
+  done;
+  let freq = float_of_int !zeros /. float_of_int n in
+  Alcotest.(check bool) "P(0) ~ 1/2" true (Float.abs (freq -. 0.5) < 0.02)
+
+let test_poisson_sampling_mean () =
+  let rng = Random.State.make [| 7 |] in
+  let d = D.poisson 3.7 in
+  let n = 20000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + D.sample d rng
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "empirical mean ~ lambda" true (Float.abs (mean -. 3.7) < 0.1)
+
+let () =
+  Alcotest.run "dist"
+    [ ( "pmf",
+        [ Alcotest.test_case "point" `Quick test_point;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "poisson" `Quick test_poisson;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "basel" `Quick test_basel;
+          Alcotest.test_case "mass outside" `Quick test_mass_outside
+        ] );
+      ( "sampling",
+        [ Alcotest.test_case "geometric frequencies" `Quick test_sampling_frequencies;
+          Alcotest.test_case "poisson empirical mean" `Quick test_poisson_sampling_mean
+        ] )
+    ]

@@ -1,0 +1,45 @@
+(* The machine-checked Hasse diagrams: every edge and equality of Figures 1
+   and 4 must re-verify when the diagram is built. *)
+
+module Figure = Ipdb_core.Figure
+
+let test_figure1 () =
+  let d = Figure.figure1 () in
+  List.iter
+    (fun (e : Figure.edge) ->
+      match e.Figure.status with
+      | Figure.Verified -> ()
+      | Figure.Failed m -> Alcotest.failf "edge %s ⊆ %s failed: %s" e.Figure.lower e.Figure.upper m)
+    d.Figure.edges;
+  List.iter
+    (fun (cls, label, s) ->
+      match s with
+      | Figure.Verified -> ()
+      | Figure.Failed m -> Alcotest.failf "equality %s (%s) failed: %s" (String.concat "=" cls) label m)
+    d.Figure.equalities;
+  Alcotest.(check bool) "all verified" true (Figure.all_verified d)
+
+let test_figure4 () =
+  Alcotest.(check bool) "all verified" true (Figure.all_verified (Figure.figure4 ()))
+
+let test_renderings () =
+  let d = Figure.figure1 () in
+  let text = Figure.to_text d in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  Alcotest.(check bool) "text mentions TI_fin" true (contains text "TI_fin");
+  let dot = Figure.to_dot d in
+  Alcotest.(check bool) "dot shape" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let () =
+  Alcotest.run "figures"
+    [ ( "hasse",
+        [ Alcotest.test_case "Figure 1 fully verified" `Quick test_figure1;
+          Alcotest.test_case "Figure 4 fully verified" `Quick test_figure4;
+          Alcotest.test_case "renderings" `Quick test_renderings
+        ] )
+    ]

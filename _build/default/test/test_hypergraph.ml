@@ -1,0 +1,109 @@
+(* Tests for the hypergraph / edge-cover engine behind Lemma 3.6. *)
+
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module H = Ipdb_hypergraph.Hypergraph
+
+let vi n = Value.Int n
+let vset l = H.VSet.of_list (List.map vi l)
+
+let triangle = H.make ~vertices:[] ~edges:[ [ vi 1; vi 2 ]; [ vi 2; vi 3 ]; [ vi 1; vi 3 ] ]
+
+let test_construction () =
+  Alcotest.(check int) "vertices" 3 (H.num_vertices triangle);
+  Alcotest.(check int) "edges" 3 (H.num_edges triangle);
+  Alcotest.(check int) "max edge size" 2 (H.max_edge_size triangle);
+  let from_facts = H.of_facts [ Fact.make "R" [ vi 1; vi 2 ]; Fact.make "S" [ vi 2 ] ] in
+  Alcotest.(check int) "facts vertices" 2 (H.num_vertices from_facts);
+  Alcotest.(check int) "facts edges" 2 (H.num_edges from_facts)
+
+let test_restrict_dedup () =
+  let h = H.make ~vertices:[] ~edges:[ [ vi 1; vi 2 ]; [ vi 1; vi 3 ]; [ vi 2 ] ] in
+  let r = H.restrict h (vset [ 1; 2 ]) in
+  Alcotest.(check int) "restricted vertices" 2 (H.num_vertices r);
+  (* edges become {1,2}, {1}, {2} *)
+  Alcotest.(check int) "restricted edges" 3 (H.num_edges r);
+  (* dedup on a multigraph with duplicate edge sets *)
+  let m = H.make ~vertices:[] ~edges:[ [ vi 1; vi 2 ]; [ vi 1; vi 2 ]; [ vi 2 ] ] in
+  Alcotest.(check int) "before dedup" 3 (H.num_edges m);
+  Alcotest.(check int) "after dedup" 2 (H.num_edges (H.dedup m))
+
+let test_edge_covers () =
+  let target = vset [ 1; 2; 3 ] in
+  let covers = H.edge_covers triangle ~target in
+  (* subsets of 3 edges covering all vertices: all pairs (3) + the full set
+     (1) = 4 *)
+  Alcotest.(check int) "covers" 4 (List.length covers);
+  let minimal = H.minimal_edge_covers triangle ~target in
+  Alcotest.(check int) "minimal covers" 3 (List.length minimal);
+  List.iter (fun c -> Alcotest.(check int) "minimal size" 2 (List.length c)) minimal
+
+let test_single_vertex_target () =
+  let target = vset [ 2 ] in
+  let minimal = H.minimal_edge_covers triangle ~target in
+  (* the two edges containing vertex 2, each alone *)
+  Alcotest.(check int) "two singleton covers" 2 (List.length minimal);
+  List.iter (fun c -> Alcotest.(check int) "singleton" 1 (List.length c)) minimal
+
+let test_empty_target () =
+  let minimal = H.minimal_edge_covers triangle ~target:(vset []) in
+  (* only the empty set is a minimal cover of nothing *)
+  Alcotest.(check int) "one empty cover" 1 (List.length minimal);
+  Alcotest.(check int) "it is empty" 0 (List.length (List.hd minimal))
+
+let test_uncoverable () =
+  let minimal = H.minimal_edge_covers triangle ~target:(vset [ 1; 99 ]) in
+  Alcotest.(check int) "no cover" 0 (List.length minimal)
+
+let test_gate () =
+  let edges = List.init 21 (fun i -> [ vi i ]) in
+  let h = H.make ~vertices:[] ~edges in
+  Alcotest.check_raises "gate" (Invalid_argument "Hypergraph: too many edges for exhaustive enumeration (max 20)")
+    (fun () -> ignore (H.edge_covers h ~target:(vset [ 0 ])))
+
+let arb_hypergraph_and_target =
+  QCheck.make
+    ~print:(fun (h, t) -> Format.asprintf "%a target %d" H.pp h (H.VSet.cardinal t))
+    QCheck.Gen.(
+      let* n_edges = 1 -- 7 in
+      let* edges = list_size (return n_edges) (list_size (1 -- 3) (map vi (0 -- 5))) in
+      let* target = list_size (0 -- 4) (map vi (0 -- 5)) in
+      return (H.make ~vertices:[] ~edges, H.VSet.of_list target))
+
+let prop name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb_hypergraph_and_target f)
+
+let cover_props =
+  [ prop "minimal covers are covers" (fun (h, target) ->
+        List.for_all (H.is_edge_cover ~target) (H.minimal_edge_covers h ~target));
+    prop "minimal covers are minimal" (fun (h, target) ->
+        List.for_all
+          (fun c ->
+            List.for_all
+              (fun (e : H.edge) ->
+                not (H.is_edge_cover ~target (List.filter (fun (e' : H.edge) -> e'.H.id <> e.H.id) c)))
+              c)
+          (H.minimal_edge_covers h ~target));
+    prop "every cover contains a minimal cover" (fun (h, target) ->
+        let minimal = H.minimal_edge_covers h ~target in
+        List.for_all
+          (fun c ->
+            List.exists
+              (fun m ->
+                List.for_all (fun (e : H.edge) -> List.exists (fun (e' : H.edge) -> e'.H.id = e.H.id) c) m)
+              minimal)
+          (H.edge_covers h ~target))
+  ]
+
+let () =
+  Alcotest.run "hypergraph"
+    [ ( "unit",
+        [ Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "restrict/dedup" `Quick test_restrict_dedup;
+          Alcotest.test_case "edge covers of a triangle" `Quick test_edge_covers;
+          Alcotest.test_case "single-vertex target" `Quick test_single_vertex_target;
+          Alcotest.test_case "empty target" `Quick test_empty_target;
+          Alcotest.test_case "uncoverable target" `Quick test_uncoverable;
+          Alcotest.test_case "enumeration gate" `Quick test_gate
+        ] );
+      ("props", cover_props)
+    ]

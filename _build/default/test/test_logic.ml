@@ -1,0 +1,257 @@
+(* Tests for the FO engine: syntax utilities, evaluation (optimised vs.
+   reference), classification, views, and surgery. *)
+
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module Eval = Ipdb_logic.Eval
+module Classify = Ipdb_logic.Classify
+module View = Ipdb_logic.View
+module Surgery = Ipdb_logic.Surgery
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+let inst facts = Instance.of_list facts
+
+(* ------------------------------------------------------------------ *)
+(* Fo syntax                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_free_vars () =
+  let f = Fo.Exists ("x", Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.Eq (Fo.v "z", Fo.ci 1))) in
+  Alcotest.(check (list string)) "free vars" [ "y"; "z" ] (Fo.free_vars f);
+  Alcotest.(check bool) "not sentence" false (Fo.is_sentence f);
+  Alcotest.(check bool) "sentence" true (Fo.is_sentence (Fo.exists_many [ "y"; "z" ] f))
+
+let test_constants_relations () =
+  let f = Fo.And (Fo.atom "R" [ Fo.ci 1; Fo.v "x" ], Fo.atom "S" [ Fo.cs "a" ]) in
+  Alcotest.(check int) "constants" 2 (List.length (Fo.constants f));
+  Alcotest.(check (list (pair string int))) "relations" [ ("R", 2); ("S", 1) ] (Fo.relations f)
+
+let test_substitute_capture () =
+  (* substituting y for x under ∃y must rename the binder *)
+  let f = Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]) in
+  let g = Fo.substitute "x" (Fo.v "y") f in
+  (* after substitution, y must still be free in g *)
+  Alcotest.(check (list string)) "y free after subst" [ "y" ] (Fo.free_vars g);
+  match g with
+  | Fo.Exists (b, Fo.Atom ("R", [ Fo.V fv; Fo.V bv ])) ->
+    Alcotest.(check bool) "binder renamed" true (not (String.equal b "y"));
+    Alcotest.(check string) "free occurrence" "y" fv;
+    Alcotest.(check string) "bound occurrence" b bv
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_conj_disj () =
+  Alcotest.(check bool) "empty conj" true (Fo.conj [] = Fo.True);
+  Alcotest.(check bool) "empty disj" true (Fo.disj [] = Fo.False);
+  Alcotest.(check bool) "conj false" true (Fo.conj [ Fo.True; Fo.False ] = Fo.False);
+  Alcotest.(check bool) "disj true" true (Fo.disj [ Fo.False; Fo.True ] = Fo.True)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let i1 = inst [ fact "R" [ 1; 2 ]; fact "R" [ 2; 3 ]; fact "S" [ 1 ] ]
+
+let test_eval_basic () =
+  let holds phi = Eval.holds i1 phi in
+  Alcotest.(check bool) "atom true" true (holds (Fo.atom "R" [ Fo.ci 1; Fo.ci 2 ]));
+  Alcotest.(check bool) "atom false" false (holds (Fo.atom "R" [ Fo.ci 2; Fo.ci 2 ]));
+  Alcotest.(check bool) "exists" true (holds (Fo.Exists ("x", Fo.atom "R" [ Fo.ci 1; Fo.v "x" ])));
+  Alcotest.(check bool) "forall fails" false (holds (Fo.Forall ("x", Fo.atom "S" [ Fo.v "x" ])));
+  Alcotest.(check bool) "path" true
+    (holds (Fo.exists_many [ "x"; "y"; "z" ] (Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.atom "R" [ Fo.v "y"; Fo.v "z" ]))));
+  Alcotest.(check bool) "implication" true
+    (holds (Fo.forall_many [ "x"; "y" ] (Fo.Implies (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.Not (Fo.Eq (Fo.v "x", Fo.v "y"))))))
+
+let test_counting_quantifiers () =
+  let phi_s = Fo.atom "S" [ Fo.v "x" ] in
+  Alcotest.(check bool) "at most one S" true (Eval.holds i1 (Fo.at_most_one "x" phi_s));
+  Alcotest.(check bool) "exactly one S" true (Eval.holds i1 (Fo.exactly_one "x" phi_s));
+  let phi_r = Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]) in
+  Alcotest.(check bool) "not at most one R source" false (Eval.holds i1 (Fo.at_most_one "x" phi_r))
+
+let test_satisfying () =
+  let tuples = Eval.satisfying i1 [ "x"; "y" ] (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]) in
+  Alcotest.(check int) "two R tuples" 2 (List.length tuples);
+  let tuples = Eval.satisfying i1 [ "x" ] (Fo.Exists ("y", Fo.atom "R" [ Fo.v "y"; Fo.v "x" ])) in
+  Alcotest.(check int) "two R targets" 2 (List.length tuples)
+
+(* Random formula generator for the optimised-vs-naive equivalence test. *)
+let gen_formula =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z"; "u" ] in
+  let term = oneof [ map Fo.v var; map Fo.ci (0 -- 4) ] in
+  let atom = oneof [ map2 (fun a b -> Fo.atom "R" [ a; b ]) term term; map (fun a -> Fo.atom "S" [ a ]) term; map2 Fo.eq term term ] in
+  let rec formula n =
+    if n = 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          (2, map2 (fun a b -> Fo.And (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map2 (fun a b -> Fo.Or (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Implies (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Iff (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map (fun a -> Fo.Not a) (formula (n - 1)));
+          (3, map2 (fun x a -> Fo.Exists (x, a)) var (formula (n - 1)));
+          (3, map2 (fun x a -> Fo.Forall (x, a)) var (formula (n - 1)))
+        ]
+  in
+  formula 4
+
+let gen_instance =
+  QCheck.Gen.(
+    let* n = 0 -- 6 in
+    let* facts =
+      list_size (return n)
+        (oneof
+           [ map2 (fun a b -> fact "R" [ a; b ]) (0 -- 4) (0 -- 4);
+             map (fun a -> fact "S" [ a ]) (0 -- 4)
+           ])
+    in
+    return (inst facts))
+
+let arb_closed_formula_and_instance =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_formula in
+      let* i = gen_instance in
+      let closed = Fo.exists_many (Fo.free_vars phi) phi in
+      return (closed, i))
+
+let eval_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000 ~name:"optimised eval = reference eval" arb_closed_formula_and_instance
+       (fun (phi, i) -> Eval.holds i phi = Eval.holds_naive i phi))
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify () =
+  let cq = Fo.Exists ("y", Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.atom "S" [ Fo.v "y" ])) in
+  Alcotest.(check bool) "cq is cq" true (Classify.is_cq cq);
+  Alcotest.(check bool) "cq is ucq" true (Classify.is_ucq cq);
+  let ucq = Fo.Or (cq, Fo.atom "S" [ Fo.v "x" ]) in
+  Alcotest.(check bool) "ucq not cq" false (Classify.is_cq ucq);
+  Alcotest.(check bool) "ucq is ucq" true (Classify.is_ucq ucq);
+  let neg = Fo.Not cq in
+  Alcotest.(check bool) "negation not ucq" false (Classify.is_ucq neg);
+  Alcotest.(check bool) "forall not ucq" false (Classify.is_ucq (Fo.Forall ("x", Fo.atom "S" [ Fo.v "x" ])))
+
+let monotone_spot_check =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"positive-existential formulas are monotone"
+       (QCheck.make
+          QCheck.Gen.(
+            let* i = gen_instance in
+            let* extra = gen_instance in
+            return (i, Instance.union i extra)))
+       (fun (small, large) ->
+         let phi = Fo.Exists ("y", Fo.Or (Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.atom "S" [ Fo.v "y" ]), Fo.atom "S" [ Fo.v "x" ])) in
+         Classify.semantically_monotone_on phi [ "x" ] [ (small, large) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_view_apply () =
+  let v =
+    View.make
+      [ ("T", [ "x"; "z" ],
+         Fo.Exists ("y", Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ], Fo.atom "R" [ Fo.v "y"; Fo.v "z" ]))) ]
+  in
+  let out = View.apply v i1 in
+  Alcotest.(check int) "one path" 1 (Instance.size out);
+  Alcotest.(check bool) "1->3" true (Instance.mem (fact "T" [ 1; 3 ]) out)
+
+let test_view_validation () =
+  Alcotest.check_raises "free var outside head"
+    (Invalid_argument "View.make: T has free variable y outside its head") (fun () ->
+      ignore (View.make [ ("T", [ "x" ], Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]) ]));
+  Alcotest.check_raises "duplicate head var" (Invalid_argument "View.make: repeated head variable in T")
+    (fun () -> ignore (View.make [ ("T", [ "x"; "x" ], Fo.atom "R" [ Fo.v "x"; Fo.v "x" ]) ]))
+
+let test_view_identity () =
+  let schema = Schema.make [ ("R", 2); ("S", 1) ] in
+  let v = View.identity schema in
+  Alcotest.(check bool) "identity" true (Instance.equal i1 (View.apply v i1))
+
+let test_view_constants_invention () =
+  (* A view can invent constants not in the input's active domain. *)
+  let v = View.make [ ("T", [ "x" ], Fo.Or (Fo.atom "S" [ Fo.v "x" ], Fo.Eq (Fo.v "x", Fo.ci 99))) ] in
+  let out = View.apply v i1 in
+  Alcotest.(check bool) "invented constant" true (Instance.mem (fact "T" [ 99 ]) out)
+
+(* ------------------------------------------------------------------ *)
+(* Surgery                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_relativize () =
+  let phi = Fo.Exists ("x", Fo.And (Fo.atom "R" [ Fo.v "x" ], Fo.Not (Fo.atom "S" [ Fo.v "x" ]))) in
+  let rel = Surgery.relativize ~rename:(fun r -> r ^ "'") ~tag:(Fo.ci 7) phi in
+  (match rel with
+  | Fo.Exists (_, Fo.And (Fo.Atom ("R'", [ Fo.C (Value.Int 7); _ ]), Fo.Not (Fo.Atom ("S'", [ Fo.C (Value.Int 7); _ ])))) -> ()
+  | _ -> Alcotest.fail ("unexpected relativization: " ^ Fo.to_string rel));
+  (* a variable tag that clashes with a binder forces a rename *)
+  let rel2 = Surgery.relativize ~rename:(fun r -> r ^ "'") ~tag:(Fo.v "x") phi in
+  match rel2 with
+  | Fo.Exists (b, Fo.And (Fo.Atom ("R'", [ Fo.V "x"; Fo.V b' ]), _)) ->
+    Alcotest.(check bool) "binder renamed away from tag" true (not (String.equal b "x"));
+    Alcotest.(check string) "binder used" b b'
+  | _ -> Alcotest.fail ("unexpected relativization: " ^ Fo.to_string rel2)
+
+let test_hardcode_instance () =
+  (* φ0 holds exactly on the preimages of d0 under the view *)
+  let v = View.make [ ("T", [ "x" ], Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ])) ] in
+  let d0 = inst [ fact "T" [ 1 ] ] in
+  let phi0 = Surgery.hardcode_instance_sentence v d0 in
+  Alcotest.(check bool) "preimage satisfies" true (Eval.holds (inst [ fact "R" [ 1; 2 ] ]) phi0);
+  Alcotest.(check bool) "preimage with extra R fact from 1" true
+    (Eval.holds (inst [ fact "R" [ 1; 2 ]; fact "R" [ 1; 3 ] ]) phi0);
+  Alcotest.(check bool) "non-preimage fails (extra source)" false
+    (Eval.holds (inst [ fact "R" [ 1; 2 ]; fact "R" [ 4; 2 ] ]) phi0);
+  Alcotest.(check bool) "non-preimage fails (empty)" false (Eval.holds Instance.empty phi0)
+
+let test_guarded_union () =
+  let v1 = View.make [ ("T", [ "x" ], Fo.atom "S" [ Fo.v "x" ]) ] in
+  let v2 = View.make [ ("T", [ "w" ], Fo.Exists ("y", Fo.atom "R" [ Fo.v "w"; Fo.v "y" ])) ] in
+  let guard = Fo.atom "S" [ Fo.ci 1 ] in
+  let gu = Surgery.guarded_union v1 v2 guard in
+  (* guard true on i1: T = S *)
+  Alcotest.(check bool) "then-branch" true (Instance.equal (inst [ fact "T" [ 1 ] ]) (View.apply gu i1));
+  (* guard false: T = R sources *)
+  let i2 = inst [ fact "R" [ 1; 2 ]; fact "R" [ 2; 3 ] ] in
+  Alcotest.(check bool) "else-branch" true
+    (Instance.equal (inst [ fact "T" [ 1 ]; fact "T" [ 2 ] ]) (View.apply gu i2))
+
+let () =
+  Alcotest.run "logic"
+    [ ( "fo",
+        [ Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "constants/relations" `Quick test_constants_relations;
+          Alcotest.test_case "capture-avoiding substitution" `Quick test_substitute_capture;
+          Alcotest.test_case "conj/disj" `Quick test_conj_disj
+        ] );
+      ( "eval",
+        [ Alcotest.test_case "basics" `Quick test_eval_basic;
+          Alcotest.test_case "counting quantifiers" `Quick test_counting_quantifiers;
+          Alcotest.test_case "satisfying assignments" `Quick test_satisfying;
+          eval_equivalence
+        ] );
+      ("classify", [ Alcotest.test_case "fragments" `Quick test_classify; monotone_spot_check ]);
+      ( "views",
+        [ Alcotest.test_case "apply" `Quick test_view_apply;
+          Alcotest.test_case "validation" `Quick test_view_validation;
+          Alcotest.test_case "identity" `Quick test_view_identity;
+          Alcotest.test_case "constant invention" `Quick test_view_constants_invention
+        ] );
+      ( "surgery",
+        [ Alcotest.test_case "relativize" `Quick test_relativize;
+          Alcotest.test_case "hardcode instance sentence" `Quick test_hardcode_instance;
+          Alcotest.test_case "guarded union" `Quick test_guarded_union
+        ] )
+    ]

@@ -1,0 +1,112 @@
+(* Exact Poisson-binomial size distributions for TI-PDBs (Proposition 3.2's
+   random variable, computed without world enumeration). *)
+
+module Q = Ipdb_bignum.Q
+module Schema = Ipdb_relational.Schema
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Ti = Ipdb_pdb.Ti
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Moments = Ipdb_pdb.Moments
+
+let fact r args = Fact.make r (List.map (fun n -> Value.Int n) args)
+let schema = Schema.make [ ("R", 1) ]
+let q = Alcotest.testable Q.pp Q.equal
+
+let ti_of probs = Ti.Finite.make schema (List.mapi (fun i p -> (fact "R" [ i ], p)) probs)
+
+let test_pmf_small () =
+  let ti = ti_of [ Q.half; Q.of_ints 1 3 ] in
+  let pmf = Moments.size_pmf ti in
+  Alcotest.(check int) "length" 3 (Array.length pmf);
+  Alcotest.(check q) "P(0)" (Q.of_ints 1 3) pmf.(0);
+  Alcotest.(check q) "P(1)" Q.half pmf.(1);
+  Alcotest.(check q) "P(2)" (Q.of_ints 1 6) pmf.(2);
+  Alcotest.(check q) "sums to 1" Q.one (Q.sum (Array.to_list pmf))
+
+let test_pmf_matches_enumeration () =
+  let ti = ti_of [ Q.of_ints 1 3; Q.of_ints 2 5; Q.of_ints 1 7; Q.of_ints 5 6 ] in
+  let pmf = Moments.size_pmf ti in
+  let d = Ti.Finite.to_finite_pdb ti in
+  Array.iteri
+    (fun s p ->
+      Alcotest.(check q)
+        (Printf.sprintf "P(|D| = %d)" s)
+        (Finite_pdb.prob_event d (fun w -> Instance.size w = s))
+        p)
+    pmf
+
+let test_prop32_identity () =
+  let ti = ti_of [ Q.of_ints 1 3; Q.of_ints 2 5; Q.of_ints 1 7 ] in
+  Alcotest.(check q) "E|D| = Σ p (Prop 3.2)" (Ti.Finite.expected_size ti) (Moments.expected_size ti);
+  (* variance = Σ p(1-p) *)
+  let expected_var = Q.sum (List.map (fun (_, p) -> Q.mul p (Q.one_minus p)) (Ti.Finite.facts ti)) in
+  Alcotest.(check q) "Var = Σ p(1-p)" expected_var (Moments.variance ti)
+
+let test_moments_match_enumeration () =
+  let ti = ti_of [ Q.of_ints 1 3; Q.of_ints 2 5; Q.of_ints 1 7; Q.of_ints 5 6; Q.of_ints 1 2 ] in
+  let d = Ti.Finite.to_finite_pdb ti in
+  List.iter
+    (fun k ->
+      Alcotest.(check q) (Printf.sprintf "E|D|^%d" k) (Finite_pdb.moment d k) (Moments.moment ti k))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_lemma_c1 () =
+  let ti = ti_of [ Q.of_ints 1 3; Q.of_ints 2 5; Q.of_ints 1 7; Q.of_ints 3 4 ] in
+  let chain = Moments.lemma_c1_chain ti ~k:5 in
+  Alcotest.(check int) "5 entries" 5 (List.length chain);
+  List.iteri
+    (fun j (m, bound) ->
+      Alcotest.(check bool) (Printf.sprintf "E|D|^%d <= Lemma C.1 bound" (j + 1)) true (Q.leq m bound))
+    chain
+
+let test_beyond_enumeration_gate () =
+  (* 120 facts: 2^120 worlds — far beyond enumeration, exact nevertheless *)
+  let ti = ti_of (List.init 120 (fun i -> Q.of_ints 1 (i + 2))) in
+  let e1 = Moments.expected_size ti in
+  Alcotest.(check q) "E|D| = Σ 1/(i+2)" (Ti.Finite.expected_size ti) e1;
+  let m4 = Moments.moment ti 4 in
+  Alcotest.(check bool) "4th moment exact and sane" true (Q.gt m4 Q.zero);
+  let pmf = Moments.size_pmf ti in
+  Alcotest.(check q) "pmf sums to 1" Q.one (Q.sum (Array.to_list pmf))
+
+let arb_probs =
+  QCheck.make
+    ~print:(fun ps -> String.concat "," (List.map Q.to_string ps))
+    QCheck.Gen.(
+      let* n = 1 -- 7 in
+      list_size (return n)
+        (let* den = 2 -- 9 in
+         let* num = 1 -- (den - 1) in
+         return (Q.of_ints num den)))
+
+let pmf_vs_enumeration =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"pmf = enumeration on random TI" arb_probs (fun probs ->
+         let ti = ti_of probs in
+         let pmf = Moments.size_pmf ti in
+         let d = Ti.Finite.to_finite_pdb ti in
+         Array.to_list pmf
+         |> List.mapi (fun s p -> (s, p))
+         |> List.for_all (fun (s, p) ->
+                Q.equal p (Finite_pdb.prob_event d (fun w -> Instance.size w = s)))))
+
+let c1_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"Lemma C.1 chain on random TI" arb_probs (fun probs ->
+         let ti = ti_of probs in
+         List.for_all (fun (m, b) -> Q.leq m b) (Moments.lemma_c1_chain ti ~k:4)))
+
+let () =
+  Alcotest.run "moments"
+    [ ( "unit",
+        [ Alcotest.test_case "small pmf" `Quick test_pmf_small;
+          Alcotest.test_case "pmf = enumeration" `Quick test_pmf_matches_enumeration;
+          Alcotest.test_case "Prop 3.2 identity" `Quick test_prop32_identity;
+          Alcotest.test_case "moments = enumeration" `Quick test_moments_match_enumeration;
+          Alcotest.test_case "Lemma C.1 chain" `Quick test_lemma_c1;
+          Alcotest.test_case "beyond the enumeration gate" `Quick test_beyond_enumeration_gate
+        ] );
+      ("props", [ pmf_vs_enumeration; c1_random ])
+    ]

@@ -1,0 +1,137 @@
+(* Tests for the formula/view parser, including a round-trip property
+   against the pretty-printer on the integer fragment. *)
+
+module Value = Ipdb_relational.Value
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Parser = Ipdb_logic.Parser
+
+let fo = Alcotest.testable Fo.pp Fo.equal
+
+let parse_ok s =
+  match Parser.formula s with Ok f -> f | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_atoms_terms () =
+  Alcotest.(check fo) "atom" (Fo.atom "R" [ Fo.v "x"; Fo.ci 3 ]) (parse_ok "R(x, 3)");
+  Alcotest.(check fo) "nullary atom" (Fo.atom "P" []) (parse_ok "P()");
+  Alcotest.(check fo) "string constant" (Fo.atom "S" [ Fo.cs "ada" ]) (parse_ok "S('ada')");
+  Alcotest.(check fo) "bottom" (Fo.atom "S" [ Fo.c Value.Bot ]) (parse_ok "S(#bot)");
+  Alcotest.(check fo) "equality" (Fo.eq (Fo.v "x") (Fo.ci 1)) (parse_ok "x = 1");
+  Alcotest.(check fo) "inequality" (Fo.neq (Fo.v "x") (Fo.v "y")) (parse_ok "x != y");
+  Alcotest.(check fo) "negative int" (Fo.eq (Fo.v "x") (Fo.ci (-2))) (parse_ok "x = -2")
+
+let test_connectives () =
+  Alcotest.(check fo) "and"
+    (Fo.And (Fo.atom "R" [ Fo.v "x" ], Fo.atom "S" [ Fo.v "x" ]))
+    (parse_ok "R(x) & S(x)");
+  Alcotest.(check fo) "keyword and"
+    (Fo.And (Fo.atom "R" [ Fo.v "x" ], Fo.atom "S" [ Fo.v "x" ]))
+    (parse_ok "R(x) and S(x)");
+  Alcotest.(check fo) "precedence: and binds tighter"
+    (Fo.Or (Fo.And (Fo.atom "A" [], Fo.atom "B" []), Fo.atom "C" []))
+    (parse_ok "A() & B() | C()");
+  Alcotest.(check fo) "implication right-assoc"
+    (Fo.Implies (Fo.atom "A" [], Fo.Implies (Fo.atom "B" [], Fo.atom "C" [])))
+    (parse_ok "A() -> B() -> C()");
+  Alcotest.(check fo) "not" (Fo.Not (Fo.atom "A" [])) (parse_ok "not A()");
+  Alcotest.(check fo) "iff" (Fo.Iff (Fo.atom "A" [], Fo.atom "B" [])) (parse_ok "A() <-> B()");
+  Alcotest.(check fo) "true/false" (Fo.And (Fo.True, Fo.False)) (parse_ok "true & false")
+
+let test_quantifiers () =
+  Alcotest.(check fo) "exists"
+    (Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ]))
+    (parse_ok "exists x. R(x)");
+  Alcotest.(check fo) "multi-binder"
+    (Fo.exists_many [ "x"; "y" ] (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]))
+    (parse_ok "exists x y. R(x, y)");
+  Alcotest.(check fo) "forall + body scope"
+    (Fo.Forall ("x", Fo.Implies (Fo.atom "R" [ Fo.v "x" ], Fo.atom "S" [ Fo.v "x" ])))
+    (parse_ok "forall x. (R(x) -> S(x))")
+
+let test_errors () =
+  let is_err s = match Parser.formula s with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "unbalanced" true (is_err "R(x");
+  Alcotest.(check bool) "trailing" true (is_err "R(x) S(y)");
+  Alcotest.(check bool) "lone term" true (is_err "x");
+  Alcotest.(check bool) "missing dot" true (is_err "exists x R(x)");
+  Alcotest.(check bool) "unterminated string" true (is_err "S('abc)");
+  match Parser.sentence "R(x)" with
+  | Error e -> Alcotest.(check bool) "free var reported" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "sentence with free variable accepted"
+
+let test_views () =
+  match Parser.view "T(x, z) := exists y. (R(x,y) & R(y,z)); U(x) := S(x)" with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    Alcotest.(check int) "two defs" 2 (List.length (View.defs v));
+    let module Instance = Ipdb_relational.Instance in
+    let module Fact = Ipdb_relational.Fact in
+    let i =
+      Instance.of_list
+        [ Fact.make "R" [ Value.Int 1; Value.Int 2 ];
+          Fact.make "R" [ Value.Int 2; Value.Int 3 ];
+          Fact.make "S" [ Value.Int 9 ]
+        ]
+    in
+    let out = View.apply v i in
+    Alcotest.(check bool) "T(1,3)" true (Instance.mem (Fact.make "T" [ Value.Int 1; Value.Int 3 ]) out);
+    Alcotest.(check bool) "U(9)" true (Instance.mem (Fact.make "U" [ Value.Int 9 ]) out)
+
+let test_unicode_roundtrip_fixed () =
+  (* the pretty-printer's own output parses back *)
+  List.iter
+    (fun f ->
+      let printed = Fo.to_string f in
+      Alcotest.(check fo) ("roundtrip " ^ printed) f (parse_ok printed))
+    [ Fo.Exists ("x", Fo.And (Fo.atom "R" [ Fo.v "x"; Fo.ci 2 ], Fo.Not (Fo.atom "S" [ Fo.v "x" ])));
+      Fo.Forall ("y", Fo.Implies (Fo.atom "S" [ Fo.v "y" ], Fo.Or (Fo.Eq (Fo.v "y", Fo.ci 0), Fo.False)));
+      Fo.at_most_one "x" (Fo.atom "S" [ Fo.v "x" ]);
+      Fo.exactly_one "x" (Fo.atom "R" [ Fo.v "x"; Fo.c Value.Bot ]);
+      Fo.Iff (Fo.True, Fo.atom "Sel$" [ Fo.ci 1 ])
+    ]
+
+(* Random integer-fragment formulas round-trip through print + parse. *)
+let gen_formula =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let term = frequency [ (2, map Fo.v var); (1, map Fo.ci (0 -- 9)) ] in
+  let atom = oneof [ map2 (fun a b -> Fo.atom "R" [ a; b ]) term term; map (fun a -> Fo.atom "S" [ a ]) term; map2 Fo.eq term term ] in
+  let rec formula n =
+    if n = 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          (2, map2 (fun a b -> Fo.And (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map2 (fun a b -> Fo.Or (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Implies (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Iff (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map (fun a -> Fo.Not a) (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Exists (x, a)) var (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Forall (x, a)) var (formula (n - 1)));
+          (1, return Fo.True);
+          (1, return Fo.False)
+        ]
+  in
+  formula 4
+
+let roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:800 ~name:"print/parse roundtrip (integer fragment)"
+       (QCheck.make ~print:Fo.to_string gen_formula)
+       (fun f ->
+         match Parser.formula (Fo.to_string f) with
+         | Ok g -> Fo.equal f g
+         | Error e -> QCheck.Test.fail_reportf "parse failed: %s on %s" e (Fo.to_string f)))
+
+let () =
+  Alcotest.run "parser"
+    [ ( "unit",
+        [ Alcotest.test_case "atoms and terms" `Quick test_atoms_terms;
+          Alcotest.test_case "connectives" `Quick test_connectives;
+          Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "views" `Quick test_views;
+          Alcotest.test_case "printer output parses" `Quick test_unicode_roundtrip_fixed
+        ] );
+      ("roundtrip", [ roundtrip_prop ])
+    ]

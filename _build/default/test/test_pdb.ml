@@ -1,0 +1,279 @@
+(* Tests for the PDB substrate: finite PDBs, TI, BID, families. *)
+
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Interval = Ipdb_series.Interval
+module Series = Ipdb_series.Series
+module Worlds = Ipdb_pdb.Worlds
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+module Family = Ipdb_pdb.Family
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+let inst facts = Instance.of_list facts
+let schema_r = Schema.make [ ("R", 1) ]
+let q = Alcotest.testable Q.pp Q.equal
+
+(* ------------------------------------------------------------------ *)
+(* Worlds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_worlds () =
+  Alcotest.(check int) "subsets of 3" 8 (List.length (Worlds.subsets [ 1; 2; 3 ]));
+  Alcotest.(check int) "subsets of 0" 1 (List.length (Worlds.subsets []));
+  List.iter
+    (fun (inc, exc) -> Alcotest.(check int) "partition" 3 (List.length inc + List.length exc))
+    (Worlds.subsets_with_complement [ 1; 2; 3 ]);
+  Alcotest.(check int) "cartesian" 6 (List.length (Worlds.cartesian [ [ 1; 2 ]; [ 3 ]; [ 4; 5; 6 ] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Finite_pdb                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let d_simple =
+  Finite_pdb.make schema_r
+    [ (inst [], Q.of_ints 1 4);
+      (inst [ fact "R" [ 1 ] ], Q.of_ints 1 4);
+      (inst [ fact "R" [ 1 ]; fact "R" [ 2 ] ], Q.of_ints 1 2)
+    ]
+
+let test_finite_pdb_basics () =
+  Alcotest.(check int) "worlds" 3 (Finite_pdb.num_worlds d_simple);
+  Alcotest.(check q) "prob" (Q.of_ints 1 4) (Finite_pdb.prob d_simple (inst [ fact "R" [ 1 ] ]));
+  Alcotest.(check q) "prob missing" Q.zero (Finite_pdb.prob d_simple (inst [ fact "R" [ 9 ] ]));
+  Alcotest.(check q) "marginal R(1)" (Q.of_ints 3 4) (Finite_pdb.marginal d_simple (fact "R" [ 1 ]));
+  Alcotest.(check q) "marginal R(2)" Q.half (Finite_pdb.marginal d_simple (fact "R" [ 2 ]));
+  Alcotest.(check q) "E|.|" (Q.of_ints 5 4) (Finite_pdb.expected_size d_simple);
+  Alcotest.(check q) "E|.|^2" (Q.of_ints 9 4) (Finite_pdb.moment d_simple 2);
+  Alcotest.(check int) "facts" 2 (List.length (Finite_pdb.facts d_simple))
+
+let test_finite_pdb_validation () =
+  Alcotest.check_raises "sum != 1" (Invalid_argument "Finite_pdb: probabilities sum to 1/2, not 1")
+    (fun () -> ignore (Finite_pdb.make schema_r [ (inst [], Q.half) ]));
+  Alcotest.check_raises "negative" (Invalid_argument "Finite_pdb: negative probability") (fun () ->
+      ignore (Finite_pdb.make schema_r [ (inst [], Q.of_int 2); (inst [ fact "R" [ 1 ] ], Q.minus_one) ]));
+  (* duplicates are merged *)
+  let d = Finite_pdb.make schema_r [ (inst [], Q.half); (inst [], Q.half) ] in
+  Alcotest.(check int) "merged" 1 (Finite_pdb.num_worlds d);
+  (* normalisation *)
+  let d = Finite_pdb.make_unnormalized schema_r [ (inst [], Q.of_int 3); (inst [ fact "R" [ 1 ] ], Q.of_int 1) ] in
+  Alcotest.(check q) "normalised" (Q.of_ints 3 4) (Finite_pdb.prob d (inst []))
+
+let test_condition () =
+  (* condition on "R(1) holds" *)
+  let phi = Fo.atom "R" [ Fo.ci 1 ] in
+  match Finite_pdb.condition d_simple phi with
+  | None -> Alcotest.fail "conditioning failed"
+  | Some c ->
+    Alcotest.(check int) "two worlds" 2 (Finite_pdb.num_worlds c);
+    Alcotest.(check q) "rescaled" (Q.of_ints 1 3) (Finite_pdb.prob c (inst [ fact "R" [ 1 ] ]));
+    Alcotest.(check q) "rescaled 2" (Q.of_ints 2 3) (Finite_pdb.prob c (inst [ fact "R" [ 1 ]; fact "R" [ 2 ] ]));
+    (* conditioning on an impossible event *)
+    Alcotest.(check bool) "impossible" true (Finite_pdb.condition d_simple (Fo.atom "R" [ Fo.ci 77 ]) = None)
+
+let test_map_view () =
+  (* copy view: S(x) := R(x) *)
+  let v = View.make [ ("S", [ "x" ], Fo.atom "R" [ Fo.v "x" ]) ] in
+  let image = Finite_pdb.map_view v d_simple in
+  Alcotest.(check int) "same world count" 3 (Finite_pdb.num_worlds image);
+  Alcotest.(check q) "pushforward prob" Q.half
+    (Finite_pdb.prob image (inst [ Fact.make "S" [ vi 1 ]; Fact.make "S" [ vi 2 ] ]));
+  (* collapsing view: T() := ∃x R(x) merges the two nonempty worlds *)
+  let v2 = View.make [ ("T", [], Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ])) ] in
+  let image2 = Finite_pdb.map_view v2 d_simple in
+  Alcotest.(check int) "merged worlds" 2 (Finite_pdb.num_worlds image2);
+  Alcotest.(check q) "mass merged" (Q.of_ints 3 4) (Finite_pdb.prob image2 (inst [ Fact.make "T" [] ]))
+
+let test_tv_distance () =
+  let d1 = Finite_pdb.make schema_r [ (inst [], Q.half); (inst [ fact "R" [ 1 ] ], Q.half) ] in
+  let d2 = Finite_pdb.make schema_r [ (inst [], Q.of_ints 1 4); (inst [ fact "R" [ 1 ] ], Q.of_ints 3 4) ] in
+  Alcotest.(check q) "tv" (Q.of_ints 1 4) (Finite_pdb.tv_distance d1 d2);
+  Alcotest.(check q) "tv self" Q.zero (Finite_pdb.tv_distance d1 d1)
+
+let test_maximal_worlds () =
+  Alcotest.(check int) "unique maximal" 1 (List.length (Finite_pdb.maximal_worlds d_simple))
+
+(* ------------------------------------------------------------------ *)
+(* TI                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ti_small =
+  Ti.Finite.make schema_r [ (fact "R" [ 1 ], Q.of_ints 1 3); (fact "R" [ 2 ], Q.of_ints 1 2) ]
+
+let test_ti_expansion () =
+  let d = Ti.Finite.to_finite_pdb ti_small in
+  Alcotest.(check int) "4 worlds" 4 (Finite_pdb.num_worlds d);
+  Alcotest.(check q) "P(empty)" (Q.of_ints 1 3) (Finite_pdb.prob d (inst []));
+  Alcotest.(check q) "P(both)" (Q.of_ints 1 6) (Finite_pdb.prob d (inst [ fact "R" [ 1 ]; fact "R" [ 2 ] ]));
+  (* the expansion is tuple-independent by Definition 2.3 *)
+  Alcotest.(check bool) "is TI" true (Finite_pdb.is_tuple_independent d);
+  (* and the expansion's marginals agree *)
+  Alcotest.(check q) "marginal agree" (Q.of_ints 1 3) (Finite_pdb.marginal d (fact "R" [ 1 ]))
+
+let test_ti_world_prob () =
+  let d = Ti.Finite.to_finite_pdb ti_small in
+  List.iter
+    (fun (w, p) -> Alcotest.(check q) ("world " ^ Instance.to_string w) p (Ti.Finite.world_prob ti_small w))
+    (Finite_pdb.support d);
+  Alcotest.(check q) "foreign world" Q.zero (Ti.Finite.world_prob ti_small (inst [ fact "R" [ 9 ] ]))
+
+let test_ti_certain () =
+  let ti = Ti.Finite.make schema_r [ (fact "R" [ 1 ], Q.one); (fact "R" [ 2 ], Q.half) ] in
+  Alcotest.(check int) "certain" 1 (List.length (Ti.Finite.certain_facts ti));
+  Alcotest.(check int) "uncertain" 1 (List.length (Ti.Finite.uncertain_facts ti));
+  let d = Ti.Finite.to_finite_pdb ti in
+  Alcotest.(check int) "2 worlds" 2 (Finite_pdb.num_worlds d);
+  Alcotest.(check bool) "idb membership yes" true (Ti.Finite.induced_idb_member ti (inst [ fact "R" [ 1 ] ]));
+  Alcotest.(check bool) "idb membership no (missing certain)" false
+    (Ti.Finite.induced_idb_member ti (inst [ fact "R" [ 2 ] ]));
+  Alcotest.(check bool) "idb membership no (foreign fact)" false
+    (Ti.Finite.induced_idb_member ti (inst [ fact "R" [ 1 ]; fact "R" [ 9 ] ]))
+
+let test_ti_not_ti_counterexample () =
+  (* the BID of Example B.2 is not tuple-independent *)
+  let d =
+    Finite_pdb.make schema_r
+      [ (inst [ fact "R" [ 1 ] ], Q.half); (inst [ fact "R" [ 2 ] ], Q.half) ]
+  in
+  Alcotest.(check bool) "mutually exclusive pair is not TI" false (Finite_pdb.is_tuple_independent d)
+
+let test_ti_infinite () =
+  let ti =
+    Ti.Infinite.make ~name:"geo" ~schema:schema_r
+      ~fact:(fun i -> fact "R" [ i ])
+      ~marginal:(fun i -> Float.ldexp 1.0 (-i))
+      ~start:1
+      ~tail:(Series.Tail.Geometric { index = 1; first = 0.5; ratio = 0.5 })
+      ()
+  in
+  (match Ti.Infinite.well_defined ti ~upto:50 with
+  | Ok s -> Alcotest.(check bool) "sum of marginals = 1" true (Interval.contains s 1.0)
+  | Error e -> Alcotest.fail e);
+  (match Ti.Infinite.moment_upper_bound ti ~k:3 ~upto:60 with
+  | Ok b -> Alcotest.(check bool) "3rd moment bound finite" true (Float.is_finite b && b > 0.0)
+  | Error e -> Alcotest.fail e);
+  let fin, tv = Ti.Infinite.truncate ti ~n:10 in
+  Alcotest.(check int) "10 facts" 10 (List.length (Ti.Finite.facts fin));
+  Alcotest.(check bool) "tv bound" true (tv <= Float.ldexp 1.0 (-10) *. 1.001)
+
+(* ------------------------------------------------------------------ *)
+(* BID                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bid_two_blocks =
+  Bid.Finite.make schema_r
+    [ [ (fact "R" [ 1 ], Q.of_ints 1 3); (fact "R" [ 2 ], Q.of_ints 1 3) ];
+      [ (fact "R" [ 3 ], Q.half) ]
+    ]
+
+let test_bid_expansion () =
+  let d = Bid.Finite.to_finite_pdb bid_two_blocks in
+  (* 3 choices in block 1 (incl. none) x 2 in block 2 *)
+  Alcotest.(check int) "6 worlds" 6 (Finite_pdb.num_worlds d);
+  Alcotest.(check q) "P(empty)" (Q.of_ints 1 6) (Finite_pdb.prob d (inst []));
+  Alcotest.(check q) "P(R1,R3)" (Q.of_ints 1 6) (Finite_pdb.prob d (inst [ fact "R" [ 1 ]; fact "R" [ 3 ] ]));
+  (* intra-block disjointness *)
+  Alcotest.(check q) "P(R1,R2) = 0" Q.zero
+    (Finite_pdb.prob_event d (fun i -> Instance.mem (fact "R" [ 1 ]) i && Instance.mem (fact "R" [ 2 ]) i));
+  (* Definition 2.5 holds for the true partition *)
+  Alcotest.(check bool) "is BID" true
+    (Finite_pdb.is_bid d ~blocks:[ [ fact "R" [ 1 ]; fact "R" [ 2 ] ]; [ fact "R" [ 3 ] ] ]);
+  (* ... and fails for a wrong partition *)
+  Alcotest.(check bool) "wrong partition" false
+    (Finite_pdb.is_bid d ~blocks:[ [ fact "R" [ 1 ] ]; [ fact "R" [ 2 ]; fact "R" [ 3 ] ] ]);
+  Alcotest.(check q) "expected size" (Q.sum [ Q.of_ints 2 3; Q.half ]) (Finite_pdb.expected_size d)
+
+let test_bid_validation () =
+  Alcotest.check_raises "block mass > 1" (Invalid_argument "Bid.Finite.make: block marginals sum to more than 1")
+    (fun () -> ignore (Bid.Finite.make schema_r [ [ (fact "R" [ 1 ], Q.of_ints 2 3); (fact "R" [ 2 ], Q.of_ints 2 3) ] ]))
+
+let test_bid_of_ti () =
+  let b = Bid.Finite.of_ti ti_small in
+  Alcotest.(check int) "singleton blocks" 2 (List.length (Bid.Finite.blocks b));
+  Alcotest.(check bool) "same distribution" true
+    (Finite_pdb.equal (Bid.Finite.to_finite_pdb b) (Ti.Finite.to_finite_pdb ti_small))
+
+let test_bid_exclusive_pair () =
+  match Bid.Finite.mutually_exclusive_pair bid_two_blocks with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected an exclusive pair"
+
+let test_bid_sample_frequencies () =
+  let rng = Random.State.make [| 3 |] in
+  let n = 30000 in
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Instance.mem (fact "R" [ 1 ]) (Bid.Finite.sample bid_two_blocks rng) then incr count
+  done;
+  let freq = float_of_int !count /. float_of_int n in
+  Alcotest.(check bool) "marginal ~ 1/3" true (Float.abs (freq -. (1.0 /. 3.0)) < 0.02)
+
+(* ------------------------------------------------------------------ *)
+(* Family                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let geometric_family =
+  Family.make ~name:"geo-family" ~schema:schema_r
+    ~instance:(fun n -> inst (List.init n (fun j -> fact "R" [ (1000 * n) + j ])))
+    ~prob:(fun n -> Float.ldexp 1.0 (-n))
+    ~prob_q:(fun n -> Q.pow Q.half n)
+    ~start:1
+    ~prob_tail:(Series.Tail.Geometric { index = 1; first = 0.5; ratio = 0.5 })
+    ()
+
+let test_family_basics () =
+  Alcotest.(check int) "size" 3 (Family.size geometric_family 3);
+  (match Family.total_probability geometric_family ~upto:50 with
+  | Ok s -> Alcotest.(check bool) "total 1" true (Interval.contains s 1.0)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "domain disjoint" true (Family.domain_disjoint_on geometric_family ~upto:20);
+  Alcotest.(check bool) "not bounded by 3" false (Family.bounded_size_on geometric_family ~upto:10 ~bound:3);
+  Alcotest.(check (float 1e-12)) "moment term" (4.0 *. 0.25) (Family.moment_term geometric_family ~k:2 2);
+  (* theorem53 term: |D| * p^{c/|D|} = 2 * (1/4)^{1/2} = 1 at n=2, c=1 *)
+  Alcotest.(check (float 1e-9)) "thm53 term" 1.0 (Family.theorem53_term geometric_family ~c:1 2)
+
+let test_family_truncate () =
+  let d = Family.truncate_exact geometric_family ~n:3 in
+  (* weights 1/2, 1/4, 1/8 renormalised over 7/8 *)
+  Alcotest.(check q) "renormalised" (Q.of_ints 4 7) (Finite_pdb.prob d (Family.(geometric_family.instance) 1));
+  Alcotest.(check int) "3 worlds" 3 (Finite_pdb.num_worlds d);
+  let df = Family.truncate_float geometric_family ~n:3 in
+  Alcotest.(check bool) "float truncation agrees" true (Q.lt (Finite_pdb.tv_distance d df) (Q.of_ints 1 1000000))
+
+let () =
+  Alcotest.run "pdb"
+    [ ("worlds", [ Alcotest.test_case "enumeration" `Quick test_worlds ]);
+      ( "finite-pdb",
+        [ Alcotest.test_case "basics" `Quick test_finite_pdb_basics;
+          Alcotest.test_case "validation" `Quick test_finite_pdb_validation;
+          Alcotest.test_case "conditioning" `Quick test_condition;
+          Alcotest.test_case "pushforward" `Quick test_map_view;
+          Alcotest.test_case "tv distance" `Quick test_tv_distance;
+          Alcotest.test_case "maximal worlds" `Quick test_maximal_worlds
+        ] );
+      ( "ti",
+        [ Alcotest.test_case "expansion" `Quick test_ti_expansion;
+          Alcotest.test_case "world probabilities" `Quick test_ti_world_prob;
+          Alcotest.test_case "certain facts" `Quick test_ti_certain;
+          Alcotest.test_case "non-TI counterexample" `Quick test_ti_not_ti_counterexample;
+          Alcotest.test_case "infinite TI (Thm 2.4)" `Quick test_ti_infinite
+        ] );
+      ( "bid",
+        [ Alcotest.test_case "expansion" `Quick test_bid_expansion;
+          Alcotest.test_case "validation" `Quick test_bid_validation;
+          Alcotest.test_case "TI as BID" `Quick test_bid_of_ti;
+          Alcotest.test_case "exclusive pair" `Quick test_bid_exclusive_pair;
+          Alcotest.test_case "sampling frequencies" `Quick test_bid_sample_frequencies
+        ] );
+      ( "family",
+        [ Alcotest.test_case "basics" `Quick test_family_basics;
+          Alcotest.test_case "truncation" `Quick test_family_truncate
+        ] )
+    ]

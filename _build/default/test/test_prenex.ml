@@ -1,0 +1,105 @@
+(* Normal forms: NNF and prenex preserve semantics and have their shapes. *)
+
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module Eval = Ipdb_logic.Eval
+module Prenex = Ipdb_logic.Prenex
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+let inst facts = Instance.of_list facts
+
+let test_nnf_shapes () =
+  let f = Fo.Not (Fo.And (Fo.atom "R" [ Fo.v "x" ], Fo.Forall ("y", Fo.atom "S" [ Fo.v "y" ]))) in
+  let n = Prenex.nnf f in
+  Alcotest.(check bool) "is nnf" true (Prenex.is_nnf n);
+  (match n with
+  | Fo.Or (Fo.Not (Fo.Atom _), Fo.Exists (_, Fo.Not (Fo.Atom _))) -> ()
+  | _ -> Alcotest.failf "unexpected NNF: %s" (Fo.to_string n));
+  Alcotest.(check bool) "iff eliminated" true
+    (Prenex.is_nnf (Prenex.nnf (Fo.Iff (Fo.atom "A" [], Fo.atom "B" []))))
+
+let test_prenex_shapes () =
+  let f =
+    Fo.And
+      ( Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ]),
+        Fo.Not (Fo.Exists ("x", Fo.atom "S" [ Fo.v "x" ])) )
+  in
+  let p = Prenex.prenex f in
+  Alcotest.(check bool) "is prenex" true (Prenex.is_prenex p);
+  Alcotest.(check int) "two quantifiers hoisted" 2 (Prenex.prefix_length p);
+  Alcotest.(check int) "rank 2" 2 (Prenex.quantifier_rank p);
+  (* the original has rank 1 on both sides *)
+  Alcotest.(check int) "original rank" 1 (Prenex.quantifier_rank f)
+
+let test_binder_collision () =
+  (* sibling sharing a binder name must not capture *)
+  let f =
+    Fo.And (Fo.Exists ("x", Fo.atom "R" [ Fo.v "x" ]), Fo.Exists ("x", Fo.atom "S" [ Fo.v "x" ]))
+  in
+  let p = Prenex.prenex f in
+  Alcotest.(check bool) "is prenex" true (Prenex.is_prenex p);
+  let i = inst [ fact "R" [ 1 ] ] in
+  (* R holds for 1, S empty: original is false; prenex must agree *)
+  Alcotest.(check bool) "semantics preserved on tricky case" (Eval.holds i f) (Eval.holds i p)
+
+(* random equivalence *)
+let gen_formula =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let term = frequency [ (3, map Fo.v var); (1, map Fo.ci (0 -- 3)) ] in
+  let atom = oneof [ map2 (fun a b -> Fo.atom "R" [ a; b ]) term term; map (fun a -> Fo.atom "S" [ a ]) term; map2 Fo.eq term term ] in
+  let rec formula n =
+    if n = 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          (2, map2 (fun a b -> Fo.And (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map2 (fun a b -> Fo.Or (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Implies (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Iff (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map (fun a -> Fo.Not a) (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Exists (x, a)) var (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Forall (x, a)) var (formula (n - 1)))
+        ]
+  in
+  formula 3
+
+let arb_sentence_instance =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_formula in
+      let* n = 0 -- 5 in
+      let* facts =
+        list_size (return n)
+          (oneof [ map2 (fun a b -> fact "R" [ a; b ]) (0 -- 3) (0 -- 3); map (fun a -> fact "S" [ a ]) (0 -- 3) ])
+      in
+      return (Fo.exists_many (Fo.free_vars phi) phi, inst facts))
+
+let props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:800 ~name:"nnf preserves truth" arb_sentence_instance (fun (phi, i) ->
+           Eval.holds i phi = Eval.holds i (Prenex.nnf phi)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:800 ~name:"nnf produces NNF" arb_sentence_instance (fun (phi, _) ->
+           Prenex.is_nnf (Prenex.nnf phi)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500 ~name:"prenex preserves truth" arb_sentence_instance (fun (phi, i) ->
+           Eval.holds i phi = Eval.holds i (Prenex.prenex phi)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500 ~name:"prenex produces prenex form" arb_sentence_instance
+         (fun (phi, _) -> Prenex.is_prenex (Prenex.prenex phi)))
+  ]
+
+let () =
+  Alcotest.run "prenex"
+    [ ( "unit",
+        [ Alcotest.test_case "nnf shapes" `Quick test_nnf_shapes;
+          Alcotest.test_case "prenex shapes" `Quick test_prenex_shapes;
+          Alcotest.test_case "binder collision" `Quick test_binder_collision
+        ] );
+      ("props", props)
+    ]

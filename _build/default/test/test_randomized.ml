@@ -1,0 +1,115 @@
+(* Randomized end-to-end validation of the paper's constructions, driven by
+   the shared workload generators: every sample runs a construction and
+   verifies the result as an exact distribution equality. *)
+
+module Q = Ipdb_bignum.Q
+module Schema = Ipdb_relational.Schema
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module View = Ipdb_logic.View
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+module Generate = Ipdb_pdb.Generate
+module Finite_complete = Ipdb_core.Finite_complete
+module Decondition = Ipdb_core.Decondition
+module Segmentation = Ipdb_core.Segmentation
+module Bid_repr = Ipdb_core.Bid_repr
+
+let schema1 = Schema.make [ ("R", 1) ]
+let schema2 = Schema.make [ ("R", 2); ("S", 1) ]
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+let prop ?(count = 40) name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb_seed f)
+
+let completeness_random =
+  prop "completeness on generated PDBs (two-relation schema)" (fun seed ->
+      let st = Generate.rng seed in
+      let d = Generate.finite_pdb st ~schema:schema2 ~worlds:(1 + (seed mod 5)) ~max_size:3 ~universe:4 in
+      Finite_complete.verify d (Finite_complete.represent d))
+
+let segmentation_random =
+  prop "Corollary 5.4 on generated PDBs" (fun seed ->
+      let st = Generate.rng (seed + 1) in
+      let d = Generate.finite_pdb st ~schema:schema2 ~worlds:(1 + (seed mod 4)) ~max_size:3 ~universe:4 in
+      let out = Segmentation.bounded_size_representation d in
+      out.Segmentation.exact && Segmentation.verify_exact d out)
+
+let bid_random =
+  prop "Theorem 5.9 on generated BID-PDBs" (fun seed ->
+      let st = Generate.rng (seed + 2) in
+      let bid = Generate.bid st ~schema:schema2 ~blocks:(1 + (seed mod 3)) ~max_block_size:2 ~universe:4 in
+      Bid_repr.verify bid (Bid_repr.represent bid))
+
+let decondition_random =
+  prop ~count:30 "Theorem 4.1 on generated TI + ground conditions" (fun seed ->
+      let st = Generate.rng (seed + 3) in
+      let ti = Generate.ti st ~schema:schema1 ~facts:2 ~universe:4 in
+      let condition = Generate.ground_condition st ti in
+      let input = { Decondition.ti; condition; view = View.identity schema1 } in
+      match Decondition.decondition ~max_copies:8 input with
+      | output -> Decondition.verify input output
+      | exception Failure _ -> QCheck.assume_fail () (* p0 too small for the gate *))
+
+let decondition_with_view_random =
+  prop ~count:20 "Theorem 4.1 with monotone views" (fun seed ->
+      let st = Generate.rng (seed + 4) in
+      let ti = Generate.ti st ~schema:schema2 ~facts:2 ~universe:3 in
+      let condition = Generate.ground_condition st ti in
+      let view = Generate.monotone_view st ~input_schema:schema2 in
+      let input = { Decondition.ti; condition; view } in
+      match Decondition.decondition ~max_copies:8 input with
+      | output -> Decondition.verify input output
+      | exception Failure _ -> QCheck.assume_fail ())
+
+let monotone_to_cq_random =
+  prop ~count:30 "Proposition B.4 on generated monotone views" (fun seed ->
+      let st = Generate.rng (seed + 5) in
+      let ti = Generate.ti st ~schema:schema2 ~facts:3 ~universe:3 in
+      let view = Generate.monotone_view st ~input_schema:schema2 in
+      let repr = Finite_complete.monotone_to_cq ti view in
+      let original = Finite_pdb.map_view view (Ti.Finite.to_finite_pdb ti) in
+      let rebuilt =
+        Finite_pdb.map_view repr.Finite_complete.view (Ti.Finite.to_finite_pdb repr.Finite_complete.ti)
+      in
+      View.is_cq repr.Finite_complete.view && Finite_pdb.equal original rebuilt)
+
+let segmentation_chains_random =
+  prop ~count:25 "Lemma 5.1 with c=1 chains on generated PDBs (TV < 1e-9)" (fun seed ->
+      let st = Generate.rng (seed + 6) in
+      let d = Generate.finite_pdb st ~schema:schema2 ~worlds:3 ~max_size:3 ~universe:4 in
+      let out = Segmentation.segment ~c:1 d in
+      Segmentation.verify_tv d out < 1e-9)
+
+let generators_sane =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:200 ~name:"generated probabilities in (0,1)" arb_seed (fun seed ->
+           let st = Generate.rng seed in
+           let p = Generate.probability st in
+           Q.sign p > 0 && Q.lt p Q.one));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:100 ~name:"generated instances conform" arb_seed (fun seed ->
+           let st = Generate.rng seed in
+           Instance.conforms schema2 (Generate.instance st ~schema:schema2 ~max_size:5 ~universe:4)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60 ~name:"generated conditions are satisfiable" arb_seed (fun seed ->
+           let st = Generate.rng seed in
+           let ti = Generate.ti st ~schema:schema1 ~facts:3 ~universe:4 in
+           let phi = Generate.ground_condition st ti in
+           let d = Ti.Finite.to_finite_pdb ti in
+           Q.sign (Finite_pdb.prob_sentence d phi) > 0))
+  ]
+
+let () =
+  Alcotest.run "randomized"
+    [ ( "constructions",
+        [ completeness_random;
+          segmentation_random;
+          bid_random;
+          decondition_random;
+          decondition_with_view_random;
+          monotone_to_cq_random;
+          segmentation_chains_random
+        ] );
+      ("generators", generators_sane)
+    ]

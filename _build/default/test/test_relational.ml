@@ -1,0 +1,99 @@
+(* Tests for the relational substrate. *)
+
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+
+let test_value_order () =
+  Alcotest.(check bool) "bot smallest" true (Value.compare Value.Bot (vi 0) < 0);
+  Alcotest.(check bool) "int < str" true (Value.compare (vi 5) (Value.Str "a") < 0);
+  Alcotest.(check bool) "str < pair" true (Value.compare (Value.Str "z") (Value.Pair (vi 0, vi 0)) < 0);
+  Alcotest.(check bool) "pair lex" true
+    (Value.compare (Value.Pair (vi 1, vi 9)) (Value.Pair (vi 2, vi 0)) < 0);
+  Alcotest.(check string) "print pair" "(1,a)" (Value.to_string (Value.Pair (vi 1, Value.Str "a")));
+  Alcotest.(check bool) "is_bot" true (Value.is_bot Value.Bot)
+
+let test_schema () =
+  let s = Schema.make [ ("R", 2); ("S", 1) ] in
+  Alcotest.(check (option int)) "arity R" (Some 2) (Schema.arity s "R");
+  Alcotest.(check (option int)) "unknown" None (Schema.arity s "T");
+  Alcotest.(check int) "max arity" 2 (Schema.max_arity s);
+  Alcotest.check_raises "empty" (Invalid_argument "Schema.make: empty schema") (fun () ->
+      ignore (Schema.make []));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema.make: duplicate relation R") (fun () ->
+      ignore (Schema.make [ ("R", 1); ("R", 2) ]));
+  let s2 = Schema.make [ ("R", 2); ("T", 3) ] in
+  Alcotest.(check int) "union size" 3 (List.length (Schema.relations (Schema.union s s2)));
+  Alcotest.check_raises "union conflict" (Invalid_argument "Schema.union: arity conflict on R") (fun () ->
+      ignore (Schema.union s (Schema.make [ ("R", 3) ])))
+
+let test_fact () =
+  let f = fact "R" [ 1; 2 ] in
+  Alcotest.(check string) "print" "R(1, 2)" (Fact.to_string f);
+  Alcotest.(check int) "arity" 2 (Fact.arity f);
+  let s = Schema.make [ ("R", 2) ] in
+  Alcotest.(check bool) "conforms" true (Fact.conforms s f);
+  Alcotest.(check bool) "wrong arity" false (Fact.conforms s (fact "R" [ 1 ]));
+  Alcotest.(check bool) "unknown rel" false (Fact.conforms s (fact "T" [ 1; 2 ]))
+
+let test_instance_ops () =
+  let i = Instance.of_list [ fact "R" [ 1; 2 ]; fact "R" [ 1; 2 ]; fact "S" [ 3 ] ] in
+  Alcotest.(check int) "dedup size" 2 (Instance.size i);
+  Alcotest.(check int) "adom" 3 (Instance.adom_size i);
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ] (Instance.relations i);
+  let j = Instance.add (fact "S" [ 4 ]) i in
+  Alcotest.(check bool) "subset" true (Instance.subset i j);
+  Alcotest.(check bool) "not subset" false (Instance.subset j i);
+  Alcotest.(check int) "union" 3 (Instance.size (Instance.union i j));
+  Alcotest.(check int) "inter" 2 (Instance.size (Instance.inter i j));
+  Alcotest.(check int) "diff" 1 (Instance.size (Instance.diff j i));
+  Alcotest.(check int) "restrict" 1 (Instance.size (Instance.restrict_rel "S" i))
+
+let test_instance_as_key () =
+  (* structural equality makes instances usable as distribution points *)
+  let i1 = Instance.of_list [ fact "R" [ 1; 2 ]; fact "S" [ 3 ] ] in
+  let i2 = Instance.add (fact "S" [ 3 ]) (Instance.of_list [ fact "R" [ 1; 2 ] ]) in
+  Alcotest.(check bool) "equal" true (Instance.equal i1 i2);
+  Alcotest.(check int) "compare 0" 0 (Instance.compare i1 i2);
+  let m = Instance.Map.add i1 1 Instance.Map.empty in
+  Alcotest.(check (option int)) "map lookup via i2" (Some 1) (Instance.Map.find_opt i2 m)
+
+let arb_instance =
+  QCheck.make ~print:Instance.to_string
+    QCheck.Gen.(
+      let* facts =
+        list_size (0 -- 8)
+          (oneof [ map2 (fun a b -> fact "R" [ a; b ]) (0 -- 4) (0 -- 4); map (fun a -> fact "S" [ a ]) (0 -- 4) ])
+      in
+      return (Instance.of_list facts))
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:300 ~name arb f)
+
+let instance_props =
+  [ prop "union commutes" (QCheck.pair arb_instance arb_instance) (fun (a, b) ->
+        Instance.equal (Instance.union a b) (Instance.union b a));
+    prop "inter subset both" (QCheck.pair arb_instance arb_instance) (fun (a, b) ->
+        let c = Instance.inter a b in
+        Instance.subset c a && Instance.subset c b);
+    prop "size of union" (QCheck.pair arb_instance arb_instance) (fun (a, b) ->
+        Instance.size (Instance.union a b) = Instance.size a + Instance.size b - Instance.size (Instance.inter a b));
+    prop "adom of union" (QCheck.pair arb_instance arb_instance) (fun (a, b) ->
+        let u = Instance.adom (Instance.union a b) in
+        List.for_all (fun v -> List.exists (Value.equal v) u) (Instance.adom a))
+  ]
+
+let () =
+  Alcotest.run "relational"
+    [ ( "unit",
+        [ Alcotest.test_case "value ordering" `Quick test_value_order;
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "fact" `Quick test_fact;
+          Alcotest.test_case "instance ops" `Quick test_instance_ops;
+          Alcotest.test_case "instance as map key" `Quick test_instance_as_key
+        ] );
+      ("props", instance_props)
+    ]

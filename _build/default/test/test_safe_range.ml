@@ -1,0 +1,150 @@
+(* Safe-range analysis: SRNF preserves semantics, the classifier accepts
+   and rejects the textbook cases, and — the point of the exercise —
+   safe-range formulas are domain independent (evaluating over an enlarged
+   domain does not change the answers). *)
+
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module Eval = Ipdb_logic.Eval
+module View = Ipdb_logic.View
+module Safe_range = Ipdb_logic.Safe_range
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+let inst facts = Instance.of_list facts
+
+let test_srnf_shapes () =
+  let f = Fo.Forall ("x", Fo.Implies (Fo.atom "R" [ Fo.v "x" ], Fo.atom "S" [ Fo.v "x" ])) in
+  let n = Safe_range.srnf f in
+  (* ∀x (R → S) becomes ¬∃x (R ∧ ¬S) after simplification of ¬¬ *)
+  (match n with
+  | Fo.Not (Fo.Exists (_, body)) ->
+    let rec has_forall = function
+      | Fo.Forall _ -> true
+      | Fo.Implies _ | Fo.Iff _ -> true
+      | Fo.True | Fo.False | Fo.Atom _ | Fo.Eq _ -> false
+      | Fo.Not g | Fo.Exists (_, g) -> has_forall g
+      | Fo.And (a, b) | Fo.Or (a, b) -> has_forall a || has_forall b
+    in
+    Alcotest.(check bool) "no ∀/→/↔ below" false (has_forall body)
+  | _ -> Alcotest.failf "unexpected SRNF: %s" (Fo.to_string n));
+  (* double negation elimination *)
+  Alcotest.(check bool) "¬¬A = A" true
+    (Safe_range.srnf (Fo.Not (Fo.Not (Fo.atom "R" [ Fo.v "x" ]))) = Fo.atom "R" [ Fo.v "x" ])
+
+let test_classify_positive () =
+  let ok phi =
+    match Safe_range.classify phi with
+    | Safe_range.Safe_range -> ()
+    | Safe_range.Not_safe_range m -> Alcotest.failf "%s wrongly rejected: %s" (Fo.to_string phi) m
+  in
+  ok (Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]);
+  ok (Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ]));
+  ok (Fo.And (Fo.atom "S" [ Fo.v "x" ], Fo.Not (Fo.atom "T" [ Fo.v "x" ])));
+  ok (Fo.And (Fo.atom "S" [ Fo.v "x" ], Fo.eq (Fo.v "y") (Fo.v "x")));
+  ok (Fo.eq (Fo.v "x") (Fo.ci 3));
+  ok (Fo.Forall ("x", Fo.Implies (Fo.atom "R" [ Fo.v "x"; Fo.v "x" ], Fo.atom "S" [ Fo.v "x" ])));
+  (* the chain-completeness sentences of Lemma 5.1 are safe-range *)
+  let seg =
+    Ipdb_core.Segmentation.segment ~c:1
+      (Ipdb_pdb.Finite_pdb.make
+         (Ipdb_relational.Schema.make [ ("R", 1) ])
+         [ (inst [ fact "R" [ 1 ] ], Ipdb_bignum.Q.one) ])
+  in
+  ok seg.Ipdb_core.Segmentation.condition
+
+let test_classify_negative () =
+  let bad phi =
+    match Safe_range.classify phi with
+    | Safe_range.Not_safe_range _ -> ()
+    | Safe_range.Safe_range -> Alcotest.failf "%s wrongly accepted" (Fo.to_string phi)
+  in
+  bad (Fo.Not (Fo.atom "R" [ Fo.v "x" ]));
+  bad (Fo.Or (Fo.atom "S" [ Fo.v "x" ], Fo.atom "T" [ Fo.v "y" ]));
+  bad (Fo.Exists ("x", Fo.Not (Fo.atom "R" [ Fo.v "x" ])));
+  bad (Fo.eq (Fo.v "x") (Fo.v "y"));
+  bad (Fo.Forall ("x", Fo.atom "R" [ Fo.v "x" ]))
+
+let test_view_check () =
+  let safe = View.make [ ("T", [ "x" ], Fo.Exists ("y", Fo.atom "R" [ Fo.v "x"; Fo.v "y" ])) ] in
+  Alcotest.(check bool) "safe view" true (Safe_range.view_is_safe_range safe);
+  let unsafe = View.make [ ("T", [ "x" ], Fo.Not (Fo.atom "S" [ Fo.v "x" ])) ] in
+  Alcotest.(check bool) "unsafe view" false (Safe_range.view_is_safe_range unsafe)
+
+(* random formulas: SRNF preserves truth; safe-range implies domain
+   independence *)
+let gen_formula =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z" ] in
+  let term = frequency [ (3, map Fo.v var); (1, map Fo.ci (0 -- 3)) ] in
+  let atom = oneof [ map2 (fun a b -> Fo.atom "R" [ a; b ]) term term; map (fun a -> Fo.atom "S" [ a ]) term; map2 Fo.eq term term ] in
+  let rec formula n =
+    if n = 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          (2, map2 (fun a b -> Fo.And (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map2 (fun a b -> Fo.Or (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Implies (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Iff (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map (fun a -> Fo.Not a) (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Exists (x, a)) var (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Forall (x, a)) var (formula (n - 1)))
+        ]
+  in
+  formula 3
+
+let gen_instance =
+  QCheck.Gen.(
+    let* n = 0 -- 6 in
+    let* facts =
+      list_size (return n)
+        (oneof [ map2 (fun a b -> fact "R" [ a; b ]) (0 -- 3) (0 -- 3); map (fun a -> fact "S" [ a ]) (0 -- 3) ])
+    in
+    return (inst facts))
+
+let arb_sentence_instance =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_formula in
+      let* i = gen_instance in
+      return (Fo.exists_many (Fo.free_vars phi) phi, i))
+
+let srnf_preserves_semantics =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:800 ~name:"SRNF preserves truth" arb_sentence_instance (fun (phi, i) ->
+         Eval.holds i phi = Eval.holds i (Safe_range.srnf phi)))
+
+let arb_formula_instance =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_formula in
+      let* i = gen_instance in
+      return (phi, i))
+
+let safe_range_domain_independent =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:800 ~name:"safe-range ⟹ domain independent" arb_formula_instance
+       (fun (phi, i) ->
+         QCheck.assume (Safe_range.is_safe_range phi);
+         let head = Fo.free_vars phi in
+         let junk = [ vi 777; vi 888; Value.Str "junk" ] in
+         let small = Eval.satisfying i head phi in
+         let large = Eval.satisfying ~extra:junk i head phi in
+         let norm l = List.sort_uniq (List.compare Value.compare) l in
+         norm small = norm large))
+
+let () =
+  Alcotest.run "safe-range"
+    [ ( "unit",
+        [ Alcotest.test_case "srnf shapes" `Quick test_srnf_shapes;
+          Alcotest.test_case "accepts" `Quick test_classify_positive;
+          Alcotest.test_case "rejects" `Quick test_classify_negative;
+          Alcotest.test_case "views" `Quick test_view_check
+        ] );
+      ("props", [ srnf_preserves_semantics; safe_range_domain_independent ])
+    ]

@@ -1,0 +1,156 @@
+(* Statistical round-trips: sampling through the paper's representations
+   reproduces the represented distributions (within Monte-Carlo tolerance),
+   and exact truncations of the new zoo members verify exactly. *)
+
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Eval = Ipdb_logic.Eval
+module View = Ipdb_logic.View
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+module Zoo = Ipdb_core.Zoo
+module Bid_repr = Ipdb_core.Bid_repr
+module Segmentation = Ipdb_core.Segmentation
+
+let fact r args = Fact.make r (List.map (fun n -> Value.Int n) args)
+let schema_r1 = Schema.make [ ("R", 1) ]
+
+(* Draw from the conditional representation by rejection: sample TI worlds,
+   keep those satisfying the FO condition, apply the view. *)
+let sample_representation ~ti ~condition ~view rng =
+  let rec draw attempts =
+    if attempts > 10_000 then failwith "rejection sampling starved";
+    let world = Ti.Finite.sample ti rng in
+    if Eval.holds world condition then View.apply view world else draw (attempts + 1)
+  in
+  draw 0
+
+let test_bid_representation_roundtrip () =
+  let bid =
+    Bid.Finite.make schema_r1
+      [ [ (fact "R" [ 1 ], Q.of_ints 1 3); (fact "R" [ 2 ], Q.of_ints 1 3) ];
+        [ (fact "R" [ 3 ], Q.half) ]
+      ]
+  in
+  let out = Bid_repr.represent bid in
+  let rng = Random.State.make [| 59 |] in
+  let n = 3000 in
+  let count1 = ref 0 and count3 = ref 0 in
+  for _ = 1 to n do
+    let w = sample_representation ~ti:out.Bid_repr.ti ~condition:out.Bid_repr.condition ~view:out.Bid_repr.view rng in
+    if Instance.mem (fact "R" [ 1 ]) w then incr count1;
+    if Instance.mem (fact "R" [ 3 ]) w then incr count3
+  done;
+  let f1 = float_of_int !count1 /. float_of_int n and f3 = float_of_int !count3 /. float_of_int n in
+  Alcotest.(check bool) "marginal of R(1) ~ 1/3" true (Float.abs (f1 -. (1.0 /. 3.0)) < 0.04);
+  Alcotest.(check bool) "marginal of R(3) ~ 1/2" true (Float.abs (f3 -. 0.5) < 0.04)
+
+let test_segmentation_roundtrip () =
+  let d =
+    Finite_pdb.make schema_r1
+      [ (Instance.empty, Q.of_ints 1 4);
+        (Instance.of_list [ fact "R" [ 1 ] ], Q.of_ints 1 4);
+        (Instance.of_list [ fact "R" [ 2 ]; fact "R" [ 3 ] ], Q.half)
+      ]
+  in
+  let out = Segmentation.bounded_size_representation d in
+  let rng = Random.State.make [| 54 |] in
+  let n = 3000 in
+  let empty = ref 0 and big = ref 0 in
+  for _ = 1 to n do
+    let w = sample_representation ~ti:out.Segmentation.ti ~condition:out.Segmentation.condition ~view:out.Segmentation.view rng in
+    if Instance.is_empty w then incr empty;
+    if Instance.size w = 2 then incr big
+  done;
+  Alcotest.(check bool) "P(empty) ~ 1/4" true
+    (Float.abs ((float_of_int !empty /. float_of_int n) -. 0.25) < 0.04);
+  Alcotest.(check bool) "P(2 facts) ~ 1/2" true
+    (Float.abs ((float_of_int !big /. float_of_int n) -. 0.5) < 0.04)
+
+let test_finite_pdb_sampler () =
+  let d =
+    Finite_pdb.make schema_r1
+      [ (Instance.empty, Q.of_ints 1 5); (Instance.of_list [ fact "R" [ 7 ] ], Q.of_ints 4 5) ]
+  in
+  let rng = Random.State.make [| 11 |] in
+  let n = 20000 in
+  let hit = ref 0 in
+  for _ = 1 to n do
+    if Instance.is_empty (Finite_pdb.sample d rng) then incr hit
+  done;
+  Alcotest.(check bool) "P(empty) ~ 1/5" true (Float.abs ((float_of_int !hit /. float_of_int n) -. 0.2) < 0.02)
+
+let test_approximate_counters_exact () =
+  (* geometric masses are rational: the truncation verifies exactly *)
+  let truncated, tv = Bid.Infinite.truncate Zoo.approximate_counters ~n:3 in
+  List.iter
+    (fun block ->
+      Alcotest.(check bool) "rational residual positive" true (Q.sign (Bid.Finite.residual block) > 0))
+    (Bid.Finite.blocks truncated);
+  Alcotest.(check bool) "tv is the geometric tail" true (tv > 0.0 && tv < 0.35);
+  let out = Bid_repr.represent truncated in
+  Alcotest.(check bool) "Theorem 5.9 exact on rational truncation" true (Bid_repr.verify truncated out)
+
+let test_approximate_counters_mass () =
+  match Bid.Infinite.well_defined Zoo.approximate_counters ~upto:200 with
+  | Ok mass ->
+    Alcotest.(check bool) "Σ masses = #blocks" true (Ipdb_series.Interval.contains mass 3.0)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Block streams (infinitely many blocks, Prop D.3's native shape)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_block_stream_well_defined () =
+  match Bid.Block_stream.well_defined Zoo.propD3_stream ~upto:3000 with
+  | Ok mass ->
+    (* Σ 1/(i²+1) ≈ 1.0767: a legal BID-PDB by Theorem 2.6 *)
+    Alcotest.(check bool) "total marginal mass finite" true
+      (Ipdb_series.Interval.lo mass > 1.0 && Ipdb_series.Interval.hi mass < 1.1)
+  | Error e -> Alcotest.fail e
+
+let test_block_stream_residuals () =
+  (* residuals r_i = i²/(i²+1) tend to 1 ([26, Lemma 4.14]): only finitely
+     many fall below any ε *)
+  let below = Bid.Block_stream.residuals_below Zoo.propD3_stream ~epsilon:0.9 ~upto:5000 in
+  Alcotest.(check int) "r_1 = 1/2 and r_2 = 4/5 only" 2 below;
+  let below_tiny = Bid.Block_stream.residuals_below Zoo.propD3_stream ~epsilon:0.999 ~upto:5000 in
+  Alcotest.(check int) "i² < 999 ⟺ i <= 31" 31 below_tiny
+
+let test_block_stream_truncate () =
+  let fin, tv = Bid.Block_stream.truncate Zoo.propD3_stream ~blocks:4 in
+  Alcotest.(check int) "4 blocks" 4 (List.length (Bid.Finite.blocks fin));
+  Alcotest.(check bool) "tv bound sane" true (tv > 0.0 && tv < 0.3);
+  (* and it passes through Theorem 5.9 exactly *)
+  let out = Bid_repr.represent fin in
+  Alcotest.(check bool) "exact" true (Bid_repr.verify fin out)
+
+let test_block_stream_lemma57_bound () =
+  match Bid.Block_stream.lemma57_marginal_bound Zoo.propD3_stream ~upto:2000 with
+  | Ok bound ->
+    (* Σq is finite: the rebalanced marginals of Lemma 5.7 stay summable *)
+    Alcotest.(check bool) "finite marginal bound" true (Float.is_finite bound && bound > 1.0)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "sampling"
+    [ ( "representation-roundtrips",
+        [ Alcotest.test_case "Theorem 5.9 sampling" `Slow test_bid_representation_roundtrip;
+          Alcotest.test_case "Corollary 5.4 sampling" `Slow test_segmentation_roundtrip;
+          Alcotest.test_case "finite PDB sampler" `Quick test_finite_pdb_sampler
+        ] );
+      ( "approximate-counters",
+        [ Alcotest.test_case "exact truncation via Theorem 5.9" `Quick test_approximate_counters_exact;
+          Alcotest.test_case "total mass" `Quick test_approximate_counters_mass
+        ] );
+      ( "block-streams",
+        [ Alcotest.test_case "Theorem 2.6 well-definedness" `Quick test_block_stream_well_defined;
+          Alcotest.test_case "residuals tend to 1" `Quick test_block_stream_residuals;
+          Alcotest.test_case "truncation + Theorem 5.9" `Quick test_block_stream_truncate;
+          Alcotest.test_case "Lemma 5.7 marginal bound" `Quick test_block_stream_lemma57_bound
+        ] )
+    ]
