@@ -33,8 +33,34 @@ module Finite_complete = Ipdb_core.Finite_complete
 module Segmentation = Ipdb_core.Segmentation
 module Bid_repr = Ipdb_core.Bid_repr
 module Decondition = Ipdb_core.Decondition
+module Budget = Ipdb_run.Budget
+module Run_error = Ipdb_run.Error
 
 open Cmdliner
+
+(* Exit-code contract (documented in README.md):
+     0  success / certified-positive verdict
+     1  certified-negative verdict
+     2  usage error (bad arguments, unreadable input, missing certificate)
+     3  budget exhausted: a sound partial verdict was printed
+     4  internal error (invalid certificate, injected fault, bug) *)
+
+(* Last-resort boundary: anything escaping a subcommand becomes a one-line
+   diagnostic plus the taxonomy's exit code — never an uncaught exception. *)
+let guard f =
+  try f () with
+  | Ipdb_run.Faultinj.Injected site ->
+    let err = Run_error.Injected_fault { site = Ipdb_run.Faultinj.site_name site } in
+    Printf.eprintf "ipdb: %s\n" (Run_error.to_string err);
+    exit (Run_error.exit_code err)
+  | e ->
+    let err = Run_error.of_exn e in
+    Printf.eprintf "ipdb: %s\n" (Run_error.to_string err);
+    exit (Run_error.exit_code err)
+
+let fail_typed e =
+  Printf.eprintf "ipdb: %s\n" (Run_error.to_string e);
+  exit (Run_error.exit_code e)
 
 let family_names = List.map fst Zoo.all_families
 
@@ -52,56 +78,114 @@ let family_arg =
 let upto_arg default =
   Arg.(value & opt int default & info [ "upto" ] ~docv:"N" ~doc:"Number of series terms to compute.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:"Wall-clock budget in seconds. Exceeding it stops the run with a certified partial verdict (exit 3).")
+
+let max_steps_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Term-evaluation budget. Exceeding it stops the run with a certified partial verdict (exit 3).")
+
+let budget_of timeout max_steps =
+  match (timeout, max_steps) with
+  | None, None -> Budget.unlimited
+  | _ -> Budget.make ?timeout ?max_steps ()
+
+(* Shared reporting for a budgeted series check: print the verdict, exit per
+   the contract. [negative_exit] is what a certified Infinite_sum means for
+   this command (moments: not in FO(TI); criterion: condition fails). *)
+let finish_series_verdict ~render v =
+  match v with
+  | Criteria.Finite_sum _ | Criteria.Infinite_sum _ ->
+    print_endline (render v);
+    exit (match v with Criteria.Infinite_sum _ -> 1 | _ -> 0)
+  | Criteria.Partial _ ->
+    print_endline (render v);
+    exit 3
+  | Criteria.Invalid_certificate m ->
+    Printf.eprintf "ipdb: certificate failed: %s\n" m;
+    exit 4
+  | Criteria.Check_failed e -> fail_typed e
+
 (* classify *)
 let classify_cmd =
-  let run name upto =
+  let run name upto timeout max_steps =
+    guard @@ fun () ->
     let cf = find_family name in
-    print_endline (Classifier.verdict_to_string (Classifier.classify ~upto cf))
+    let budget = budget_of timeout max_steps in
+    let v = Classifier.classify ~budget ~upto cf in
+    print_endline (Classifier.verdict_to_string v);
+    exit
+      (match v with
+      | Classifier.In_FOTI _ | Classifier.Undetermined _ -> 0
+      | Classifier.Not_in_FOTI _ -> 1
+      | Classifier.Partial _ -> 3)
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Representability verdict for a zoo family")
-    Term.(const run $ family_arg $ upto_arg 2000)
+    Term.(const run $ family_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg)
 
 (* moments *)
 let moments_cmd =
-  let run name k upto =
+  let run name k upto timeout max_steps =
+    guard @@ fun () ->
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
+    let budget = budget_of timeout max_steps in
     match cf.Zoo.moment_cert k with
-    | None -> Printf.printf "no certificate for k=%d\n" k
-    | Some cert -> (
-      match Criteria.moment_verdict cf.Zoo.family ~k ~cert ~upto with
-      | Criteria.Finite_sum e -> Printf.printf "E(|D|^%d) ∈ [%.9g, %.9g]\n" k (Interval.lo e) (Interval.hi e)
-      | Criteria.Infinite_sum { partial; at } ->
-        Printf.printf "E(|D|^%d) = ∞ (certified; partial sum %.6g after %d terms)\n" k partial at
-      | Criteria.Invalid_certificate m -> Printf.printf "certificate failed: %s\n" m)
+    | None ->
+      Printf.eprintf "ipdb: no certificate for k=%d\n" k;
+      exit 2
+    | Some cert ->
+      finish_series_verdict
+        ~render:(function
+          | Criteria.Finite_sum e -> Printf.sprintf "E(|D|^%d) ∈ [%.9g, %.9g]" k (Interval.lo e) (Interval.hi e)
+          | Criteria.Infinite_sum { partial; at } ->
+            Printf.sprintf "E(|D|^%d) = ∞ (certified; partial sum %.6g after %d terms)" k partial at
+          | v -> Printf.sprintf "E(|D|^%d): %s" k (Criteria.verdict_to_string v))
+        (Criteria.moment_verdict ~budget cf.Zoo.family ~k ~cert ~upto)
   in
   let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Moment order.") in
-  Cmd.v (Cmd.info "moments" ~doc:"Certified size moments") Term.(const run $ family_arg $ k_arg $ upto_arg 2000)
+  Cmd.v (Cmd.info "moments" ~doc:"Certified size moments")
+    Term.(const run $ family_arg $ k_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg)
 
 (* criterion *)
 let criterion_cmd =
-  let run name c upto =
+  let run name c upto timeout max_steps =
+    guard @@ fun () ->
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
+    let budget = budget_of timeout max_steps in
     match cf.Zoo.thm53_cert c with
-    | None -> Printf.printf "no certificate for c=%d\n" c
-    | Some cert -> (
-      match Criteria.theorem53_verdict cf.Zoo.family ~c ~cert ~upto with
-      | Criteria.Finite_sum e ->
-        Printf.printf "Σ|D|·P(D)^(%d/|D|) ∈ [%.9g, %.9g] < ∞ ⟹ in FO(TI) (Theorem 5.3)\n" c (Interval.lo e) (Interval.hi e)
-      | Criteria.Infinite_sum { partial; at } ->
-        Printf.printf "Σ|D|·P(D)^(%d/|D|) = ∞ (partial %.6g after %d terms)\n" c partial at
-      | Criteria.Invalid_certificate m -> Printf.printf "certificate failed: %s\n" m)
+    | None ->
+      Printf.eprintf "ipdb: no certificate for c=%d\n" c;
+      exit 2
+    | Some cert ->
+      finish_series_verdict
+        ~render:(function
+          | Criteria.Finite_sum e ->
+            Printf.sprintf "Σ|D|·P(D)^(%d/|D|) ∈ [%.9g, %.9g] < ∞ ⟹ in FO(TI) (Theorem 5.3)" c (Interval.lo e)
+              (Interval.hi e)
+          | Criteria.Infinite_sum { partial; at } ->
+            Printf.sprintf "Σ|D|·P(D)^(%d/|D|) = ∞ (partial %.6g after %d terms)" c partial at
+          | v -> Printf.sprintf "Σ|D|·P(D)^(%d/|D|): %s" c (Criteria.verdict_to_string v))
+        (Criteria.theorem53_verdict ~budget cf.Zoo.family ~c ~cert ~upto)
   in
   let c_arg = Arg.(value & opt int 1 & info [ "c" ] ~docv:"C" ~doc:"Segment capacity.") in
   Cmd.v
     (Cmd.info "criterion" ~doc:"The Theorem 5.3 sufficient-condition series")
-    Term.(const run $ family_arg $ c_arg $ upto_arg 2000)
+    Term.(const run $ family_arg $ c_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg)
 
 (* sample *)
 let sample_cmd =
   let run name count seed =
+    guard @@ fun () ->
     let rng = Random.State.make [| seed |] in
     match name with
     | "car-accidents" ->
@@ -139,6 +223,7 @@ let sample_cmd =
 (* construct *)
 let construct_cmd =
   let run which =
+    guard @@ fun () ->
     match which with
     | "completeness" ->
       let schema = Schema.make [ ("R", 1) ] in
@@ -207,6 +292,7 @@ let ti_arg =
 (* prob: exact sentence probability via lineage *)
 let prob_cmd =
   let run ti_name query =
+    guard @@ fun () ->
     let ti = find_ti ti_name in
     match Ipdb_logic.Parser.sentence query with
     | Error e ->
@@ -226,6 +312,7 @@ let prob_cmd =
 (* lineage: print the Boolean provenance *)
 let lineage_cmd =
   let run ti_name query =
+    guard @@ fun () ->
     let ti = find_ti ti_name in
     match Ipdb_logic.Parser.sentence query with
     | Error e ->
@@ -245,6 +332,7 @@ let lineage_cmd =
 (* check: analyse a view definition *)
 let check_cmd =
   let run spec =
+    guard @@ fun () ->
     match Ipdb_logic.Parser.view spec with
     | Error e ->
       Printf.eprintf "parse error: %s\n" e;
@@ -285,14 +373,19 @@ let check_cmd =
 (* export / import *)
 let export_cmd =
   let run name =
-    print_endline (Ipdb_pdb.Serialize.ti_to_string (find_ti name))
+    guard @@ fun () -> print_endline (Ipdb_pdb.Serialize.ti_to_string (find_ti name))
   in
   let name_arg = Arg.(value & pos 0 string "example-b3" & info [] ~docv:"PDB" ~doc:"Built-in TI-PDB.") in
   Cmd.v (Cmd.info "export" ~doc:"Serialise a built-in TI-PDB to stdout") Term.(const run $ name_arg)
 
 let import_cmd =
   let run path =
-    let text = Ipdb_pdb.Serialize.load ~path in
+    guard @@ fun () ->
+    let text =
+      match Ipdb_pdb.Serialize.load ~path with
+      | Ok text -> text
+      | Error e -> fail_typed e
+    in
     let summarise_ti ti =
       Printf.printf "tuple-independent PDB: %d facts
 " (List.length (Ipdb_pdb.Ti.Finite.facts ti));
@@ -327,6 +420,7 @@ let import_cmd =
 (* figures *)
 let figures_cmd =
   let run dot =
+    guard @@ fun () ->
     let emit d = print_string (if dot then Ipdb_core.Figure.to_dot d else Ipdb_core.Figure.to_text d) in
     emit (Ipdb_core.Figure.figure1 ());
     print_newline ();
@@ -349,4 +443,9 @@ let zoo_cmd =
 
 let () =
   let info = Cmd.info "ipdb" ~version:"1.0.0" ~doc:"Tuple-independent representations of infinite PDBs" in
-  exit (Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd ]))
+  let code =
+    Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd ])
+  in
+  (* map cmdliner's reserved codes onto the documented contract:
+     124 (cli error) → 2 usage, 125 (internal) → 4 internal *)
+  exit (if code = 124 then 2 else if code = 125 then 4 else code)

@@ -21,7 +21,7 @@ let print_moment fam cert k upto =
     | Criteria.Finite_sum e -> Format.printf "    E(|D|^%d) ∈ [%.6g, %.6g]@." k (Interval.lo e) (Interval.hi e)
     | Criteria.Infinite_sum { partial; at } ->
       Format.printf "    E(|D|^%d) = ∞ (certified; partial sum %.3g after %d terms)@." k partial at
-    | Criteria.Invalid_certificate m -> Format.printf "    E(|D|^%d): certificate failed: %s@." k m)
+    | v -> Format.printf "    E(|D|^%d): %s@." k (Criteria.verdict_to_string v))
 
 let print_thm53 fam cert c upto =
   match cert with
@@ -32,7 +32,7 @@ let print_thm53 fam cert c upto =
       Format.printf "    Σ|D|·P(D)^(%d/|D|) ∈ [%.6g, %.6g] < ∞  ⟹  in FO(TI)@." c (Interval.lo e) (Interval.hi e)
     | Criteria.Infinite_sum { partial; at } ->
       Format.printf "    Σ|D|·P(D)^(%d/|D|) = ∞ (partial %.3g after %d terms)@." c partial at
-    | Criteria.Invalid_certificate m -> Format.printf "    Thm 5.3 (c=%d): certificate failed: %s@." c m)
+    | v -> Format.printf "    Thm 5.3 (c=%d): %s@." c (Criteria.verdict_to_string v))
 
 let () =
   Format.printf "=== The FO(TI) landscape, example by example ===@.";

@@ -9,8 +9,14 @@ type verdict =
   | In_FOTI of reason
   | Not_in_FOTI of reason
   | Undetermined of string
+  | Partial of { exhausted : Ipdb_run.Error.exhaustion; detail : string }
 
-let classify ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certified_family) =
+(* Escapes the try_k / try_c search as soon as a budgeted criterion check
+   reports exhaustion: continuing with the remaining (equally budgeted)
+   checks would only burn the already-spent budget again. *)
+exception Out_of_budget of { exhausted : Ipdb_run.Error.exhaustion; detail : string }
+
+let classify ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certified_family) =
   let upto = Stdlib.min upto cf.Zoo.check_upto in
   match cf.Zoo.size_bound with
   | Some b -> In_FOTI (Bounded_size b)
@@ -21,9 +27,14 @@ let classify ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certified_family
       else begin
         match cf.Zoo.thm53_cert c with
         | Some cert -> (
-          match Criteria.theorem53_verdict cf.Zoo.family ~c ~cert ~upto with
+          match Criteria.theorem53_verdict ?budget cf.Zoo.family ~c ~cert ~upto with
           | Criteria.Finite_sum enclosure -> Some (In_FOTI (Theorem53 { c; criterion_sum = enclosure }))
-          | Criteria.Infinite_sum _ | Criteria.Invalid_certificate _ -> try_c (c + 1))
+          | Criteria.Partial { exhausted; _ } as v ->
+            raise
+              (Out_of_budget
+                 { exhausted; detail = Printf.sprintf "Theorem 5.3 check at c=%d: %s" c (Criteria.verdict_to_string v) })
+          | Criteria.Infinite_sum _ | Criteria.Invalid_certificate _ | Criteria.Check_failed _ ->
+            try_c (c + 1))
         | None -> try_c (c + 1)
       end
     in
@@ -33,21 +44,28 @@ let classify ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certified_family
       else begin
         match cf.Zoo.moment_cert k with
         | Some cert -> (
-          match Criteria.moment_verdict cf.Zoo.family ~k ~cert ~upto with
+          match Criteria.moment_verdict ?budget cf.Zoo.family ~k ~cert ~upto with
           | Criteria.Infinite_sum { partial; _ } -> Some (Not_in_FOTI (Infinite_moment { k; partial }))
-          | Criteria.Finite_sum _ | Criteria.Invalid_certificate _ -> try_k (k + 1))
+          | Criteria.Partial { exhausted; _ } as v ->
+            raise
+              (Out_of_budget
+                 { exhausted; detail = Printf.sprintf "moment check at k=%d: %s" k (Criteria.verdict_to_string v) })
+          | Criteria.Finite_sum _ | Criteria.Invalid_certificate _ | Criteria.Check_failed _ ->
+            try_k (k + 1))
         | None -> try_k (k + 1)
       end
     in
-    match try_k 1 with
-    | Some v -> v
-    | None -> (
-      match try_c 1 with
+    try
+      match try_k 1 with
       | Some v -> v
-      | None ->
-        Undetermined
-          "all certified moments are finite and no certified Theorem 5.3 capacity was found: \
-           the paper's criteria leave this PDB's membership open (cf. Example 3.9 and Example 5.6)")
+      | None -> (
+        match try_c 1 with
+        | Some v -> v
+        | None ->
+          Undetermined
+            "all certified moments are finite and no certified Theorem 5.3 capacity was found: \
+             the paper's criteria leave this PDB's membership open (cf. Example 3.9 and Example 5.6)")
+    with Out_of_budget { exhausted; detail } -> Partial { exhausted; detail }
   end
 
 let verdict_to_string = function
@@ -60,9 +78,10 @@ let verdict_to_string = function
     Printf.sprintf "NOT in FO(TI): %d-th size moment certified infinite (partial sum %g, Prop. 3.4)" k partial
   | Not_in_FOTI (Bounded_size _) | Not_in_FOTI (Theorem53 _) -> "NOT in FO(TI) (unexpected reason)"
   | Undetermined msg -> "undetermined: " ^ msg
+  | Partial { exhausted = _; detail } -> "partial verdict: " ^ detail
 
 let agrees_with_paper (cf : Zoo.certified_family) verdict =
   match (cf.Zoo.expected_in_foti, verdict) with
-  | None, _ | _, Undetermined _ -> true
+  | None, _ | _, Undetermined _ | _, Partial _ -> true
   | Some expected, In_FOTI _ -> expected
   | Some expected, Not_in_FOTI _ -> not expected

@@ -26,14 +26,21 @@ type verdict =
   | In_FOTI of reason
   | Not_in_FOTI of reason
   | Undetermined of string
+  | Partial of { exhausted : Ipdb_run.Error.exhaustion; detail : string }
+      (** The budget ran out mid-search. Nothing was certified either way;
+          [detail] records which criterion check was interrupted and the
+          partial evidence it had gathered. *)
 
-val classify : ?max_k:int -> ?max_c:int -> ?upto:int -> Zoo.certified_family -> verdict
+val classify :
+  ?budget:Ipdb_run.Budget.t -> ?max_k:int -> ?max_c:int -> ?upto:int -> Zoo.certified_family -> verdict
 (** Tries moments [k = 1..max_k] (default 4) and capacities
     [c = 1..max_c] (default 4), validating certificates on the first
-    [upto] (default 2000) terms. *)
+    [upto] (default 2000) terms. The budget (default unlimited) is shared
+    across all criterion checks; exhaustion aborts the search with
+    {!Partial} rather than raising. *)
 
 val verdict_to_string : verdict -> string
 
 val agrees_with_paper : Zoo.certified_family -> verdict -> bool
 (** Whether a verdict is consistent with the paper's stated expectation
-    ([Undetermined] is consistent with anything). *)
+    ([Undetermined] and [Partial] are consistent with anything). *)

@@ -17,25 +17,60 @@ type certificate =
 type series_verdict =
   | Finite_sum of Interval.t
   | Infinite_sum of { partial : float; at : int }
+  | Partial of {
+      enclosure : Interval.t option;
+      partial : float;
+      at : int;
+      requested : int;
+      exhausted : Ipdb_run.Error.exhaustion;
+    }
   | Invalid_certificate of string
+  | Check_failed of Ipdb_run.Error.t
 
-let check_series ~term ~start ~cert ~upto =
+let check_series ?budget ~start ~cert ~upto term =
   match cert with
   | Tail tail -> (
-    match Series.sum ~start term ~tail ~upto with
-    | Ok enclosure -> Finite_sum enclosure
-    | Error msg -> Invalid_certificate msg)
+    match Series.sum_budgeted ?budget ~start term ~tail ~upto with
+    | Ok (Series.Complete enclosure) -> Finite_sum enclosure
+    | Ok (Series.Exhausted p) ->
+      Partial
+        {
+          enclosure = p.Series.enclosure;
+          partial = Interval.midpoint p.Series.prefix;
+          at = p.Series.last;
+          requested = p.Series.requested;
+          exhausted = p.Series.exhausted;
+        }
+    | Error (Ipdb_run.Error.Certificate { msg; _ }) -> Invalid_certificate msg
+    | Error e -> Check_failed e)
   | Divergence certificate -> (
-    match Series.certify_divergence ~start term ~certificate ~upto with
-    | Ok (Series.Diverges { partial; at; _ }) -> Infinite_sum { partial; at }
-    | Ok (Series.Converges _) -> Invalid_certificate "unexpected convergence verdict"
-    | Error msg -> Invalid_certificate msg)
+    match Series.certify_divergence_budgeted ?budget ~start term ~certificate ~upto with
+    | Ok (Series.Div_complete { partial; at }) -> Infinite_sum { partial; at }
+    | Ok (Series.Div_exhausted { partial; last; requested; exhausted; _ }) ->
+      Partial { enclosure = None; partial; at = last; requested; exhausted }
+    | Error (Ipdb_run.Error.Certificate { msg; _ }) -> Invalid_certificate msg
+    | Error e -> Check_failed e)
 
-let moment_verdict fam ~k ~cert ~upto =
-  check_series ~term:(Family.moment_term fam ~k) ~start:fam.Family.start ~cert ~upto
+let moment_verdict ?budget fam ~k ~cert ~upto =
+  check_series ?budget ~start:fam.Family.start ~cert ~upto (Family.moment_term fam ~k)
 
-let theorem53_verdict fam ~c ~cert ~upto =
-  check_series ~term:(Family.theorem53_term fam ~c) ~start:fam.Family.start ~cert ~upto
+let theorem53_verdict ?budget fam ~c ~cert ~upto =
+  check_series ?budget ~start:fam.Family.start ~cert ~upto (Family.theorem53_term fam ~c)
+
+let verdict_to_string = function
+  | Finite_sum e -> Printf.sprintf "finite: sum in [%g, %g]" (Interval.lo e) (Interval.hi e)
+  | Infinite_sum { partial; at } -> Printf.sprintf "infinite (certified; partial %g after %d terms)" partial at
+  | Partial { enclosure; partial; at; requested; exhausted } ->
+    let enc =
+      match enclosure with
+      | Some e -> Printf.sprintf "; certified enclosure so far [%g, %g]" (Interval.lo e) (Interval.hi e)
+      | None -> ""
+    in
+    Printf.sprintf "partial: %s after %d of %d terms (partial sum %g%s)"
+      (Ipdb_run.Error.exhaustion_to_string exhausted)
+      at requested partial enc
+  | Invalid_certificate msg -> "certificate failed: " ^ msg
+  | Check_failed e -> Ipdb_run.Error.to_string e
 
 (* ------------------------------------------------------------------ *)
 (* Lemma 3.3                                                           *)

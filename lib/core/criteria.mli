@@ -24,17 +24,43 @@ type certificate =
 type series_verdict =
   | Finite_sum of Interval.t
   | Infinite_sum of { partial : float; at : int }
+  | Partial of {
+      enclosure : Interval.t option;
+          (** for convergence checks: a sound enclosure of the infinite sum
+              under the certificate hypothesis, validated only up to [at] *)
+      partial : float;  (** partial sum over the evaluated prefix *)
+      at : int;  (** last index evaluated *)
+      requested : int;  (** the [upto] originally asked for *)
+      exhausted : Ipdb_run.Error.exhaustion;
+    }
+      (** The budget ran out before [upto]: a certified partial verdict,
+          never a crash or a silent wrong answer. *)
   | Invalid_certificate of string
+  | Check_failed of Ipdb_run.Error.t
+      (** Typed non-certificate failure (injected fault, I/O, internal). *)
 
-val check_series : term:(int -> float) -> start:int -> cert:certificate -> upto:int -> series_verdict
+val check_series :
+  ?budget:Ipdb_run.Budget.t ->
+  start:int ->
+  cert:certificate ->
+  upto:int ->
+  (int -> float) ->
+  series_verdict
 (** Validate the certificate on the computed prefix and produce the
-    verdict. *)
+    verdict, consuming one budget step per term. Never raises: faults in
+    term evaluation or certificate validation surface as
+    {!Invalid_certificate} / {!Check_failed}. *)
 
-val moment_verdict : Ipdb_pdb.Family.t -> k:int -> cert:certificate -> upto:int -> series_verdict
+val moment_verdict :
+  ?budget:Ipdb_run.Budget.t -> Ipdb_pdb.Family.t -> k:int -> cert:certificate -> upto:int -> series_verdict
 (** Verdict for the [k]-th size moment [Σ |D_n|^k P(D_n)]. *)
 
-val theorem53_verdict : Ipdb_pdb.Family.t -> c:int -> cert:certificate -> upto:int -> series_verdict
+val theorem53_verdict :
+  ?budget:Ipdb_run.Budget.t -> Ipdb_pdb.Family.t -> c:int -> cert:certificate -> upto:int -> series_verdict
 (** Verdict for the Theorem 5.3 series with capacity [c]. *)
+
+val verdict_to_string : series_verdict -> string
+(** One-line rendering of a series verdict. *)
 
 (** {1 Lemma 3.3: views preserve finite moments} *)
 

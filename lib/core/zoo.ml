@@ -361,6 +361,47 @@ let sensor_bounded =
   }
 
 (* ------------------------------------------------------------------ *)
+(* The hello-world family: one fact, geometric world weights           *)
+(* ------------------------------------------------------------------ *)
+
+let geometric =
+  (* |D_n| = 1, P(D_n) = 2^{-n}: the simplest certified family. Every
+     series it induces is exactly geometric, so certificates hold at every
+     index with no slack and no float-horizon — check_upto = max_int. That
+     makes it the stress family for the budgeted engine: huge [upto]
+     requests are legitimate, and only the budget stops them. *)
+  let prob_q n = Q.pow Q.half n in
+  let family =
+    Family.make ~name:"geometric" ~schema:unary_schema
+      ~instance:(fun n -> Instance.of_list [ Fact.make "R" [ Value.Int n ] ])
+      ~prob:(fun n -> Float.ldexp 1.0 (-n))
+      ~prob_q ~start:1
+      ~prob_tail:(Series.Tail.Geometric { index = 1; first = 0.5; ratio = 0.5 })
+      ()
+  in
+  {
+    family;
+    moment_cert =
+      (fun k ->
+        (* 1^k · 2^{-n} = 2^{-n}, independent of k *)
+        if k < 1 then None
+        else Some (Criteria.Tail (Series.Tail.Geometric { index = 1; first = 0.5; ratio = 0.5 })));
+    thm53_cert =
+      (fun c ->
+        (* 1 · (2^{-n})^{c/1} = 2^{-cn} *)
+        if c < 1 || c > 30 then None
+        else begin
+          let r = Float.ldexp 1.0 (-c) in
+          Some (Criteria.Tail (Series.Tail.Geometric { index = 1; first = r; ratio = r }))
+        end);
+    size_bound = Some 1;
+    domain_disjoint = true;
+    expected_in_foti = Some true;
+    check_upto = max_int;
+    description = "single fact per world, P(D_n) = 2^{-n}: trivially in FO(TI); exact certificates at every index";
+  }
+
+(* ------------------------------------------------------------------ *)
 (* A synthetic companion: killed only by its fourth moment             *)
 (* ------------------------------------------------------------------ *)
 
@@ -411,6 +452,7 @@ let all_families =
   [ ("example-3.5", example_3_5);
     ("example-3.9", example_3_9);
     ("example-5.5", example_5_5);
+    ("geometric", geometric);
     ("sensor-bounded", sensor_bounded);
     ("sqrt-growth", sqrt_growth)
   ]

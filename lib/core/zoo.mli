@@ -111,6 +111,11 @@ val approximate_counters : Ipdb_pdb.Bid.Infinite.t
     BID-PDB with {e exact rational} masses, so truncations pass through the
     Theorem 5.9 construction with exact verification. *)
 
+val geometric : certified_family
+(** The hello-world family: [|D_n| = 1], [P(D_n) = 2^{-n}]. Every induced
+    series is exactly geometric, so certificates are exact at every index
+    and [check_upto] is unbounded — the stress family for budgeted runs. *)
+
 val sensor_bounded : certified_family
 (** A bounded-size sensor PDB: geometric mixture of size-2 readings. *)
 

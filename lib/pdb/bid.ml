@@ -83,6 +83,7 @@ module Finite = struct
     { schema = Ti.Finite.schema ti; blocks = List.map (fun fp -> [ fp ]) (Ti.Finite.facts ti) }
 
   let sample t rng =
+    Ipdb_run.Faultinj.fire Ipdb_run.Faultinj.Sampling;
     List.fold_left
       (fun acc block ->
         let u = Random.State.float rng 1.0 in
@@ -215,6 +216,7 @@ module Infinite = struct
     (Finite.make t.schema blocks, !tv)
 
   let sample t rng =
+    Ipdb_run.Faultinj.fire Ipdb_run.Faultinj.Sampling;
     List.fold_left
       (fun acc b ->
         let k = Discrete.sample b.dist rng in

@@ -160,7 +160,16 @@ let weighted_fact_of_sexp = function
 (* Top-level forms                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let wrap f s = try Ok (f (parse_sexp s)) with Bad m -> Error m | Invalid_argument m -> Error m
+(* The corruption boundary: any exception escaping a parser — our own [Bad],
+   [Invalid_argument] from constructors, [Division_by_zero] from a corrupted
+   rational like "1/0", stack overflow on adversarial nesting — must become
+   [Error], never propagate. *)
+let wrap f s =
+  try Ok (f (parse_sexp s)) with
+  | Bad m -> Error m
+  | Invalid_argument m | Failure m -> Error m
+  | Division_by_zero -> Error "division by zero in a probability"
+  | Stack_overflow -> Error "input too deeply nested"
 
 let ti_to_string ti =
   sexp_to_string
@@ -214,15 +223,23 @@ let pdb_of_string =
            worlds)
     | s -> raise (Bad ("not a pdb form: " ^ sexp_to_string s)))
 
+let io_result ~path f =
+  match Ipdb_run.Faultinj.fire Ipdb_run.Faultinj.Io; f () with
+  | v -> Ok v
+  | exception Sys_error msg -> Error (Ipdb_run.Error.Io { path; msg })
+  | exception End_of_file -> Error (Ipdb_run.Error.Io { path; msg = "unexpected end of file" })
+  | exception Ipdb_run.Faultinj.Injected site ->
+    Error (Ipdb_run.Error.Injected_fault { site = Ipdb_run.Faultinj.site_name site })
+
 let save text ~path =
-  let oc = open_out path in
-  output_string oc text;
-  output_char oc '\n';
-  close_out oc
+  io_result ~path (fun () ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          output_string oc text;
+          output_char oc '\n'))
 
 let load ~path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  io_result ~path (fun () ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          really_input_string ic (in_channel_length ic)))

@@ -28,8 +28,11 @@ val bid_of_string : string -> (Bid.Finite.t, string) result
 val pdb_to_string : Finite_pdb.t -> string
 val pdb_of_string : string -> (Finite_pdb.t, string) result
 
-val save : string -> path:string -> unit
-(** Write serialised text to a file. *)
+val save : string -> path:string -> (unit, Ipdb_run.Error.t) result
+(** Write serialised text to a file. I/O trouble (and armed
+    {!Ipdb_run.Faultinj.Io} faults) comes back as a typed [Error], never an
+    exception. *)
 
-val load : path:string -> string
-(** @raise Sys_error when unreadable. *)
+val load : path:string -> (string, Ipdb_run.Error.t) result
+(** Read a file's contents. Missing or unreadable files yield
+    [Error (Io _)]; nothing raises. *)

@@ -69,6 +69,7 @@ module Finite = struct
     make schema (a.facts @ b.facts)
 
   let sample t rng =
+    Ipdb_run.Faultinj.fire Ipdb_run.Faultinj.Sampling;
     List.fold_left
       (fun acc (f, p) -> if Random.State.float rng 1.0 < Q.to_float p then Instance.add f acc else acc)
       Instance.empty t.facts

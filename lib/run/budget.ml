@@ -1,0 +1,58 @@
+type t = {
+  started : float;
+  deadline : float option;  (* absolute wall-clock time *)
+  timeout : float;          (* the requested relative limit, for reporting *)
+  max_steps : int option;
+  cancel : (unit -> bool) option;
+  limited : bool;
+  mutable steps : int;
+}
+
+(* Wall-clock and cancellation polls happen every [poll_mask + 1] steps so
+   that check stays cheap inside per-term loops. *)
+let poll_mask = 15
+
+let unlimited =
+  { started = 0.0; deadline = None; timeout = 0.0; max_steps = None; cancel = None; limited = false; steps = 0 }
+
+let make ?timeout ?max_steps ?cancel () =
+  (match timeout with
+  | Some s when not (s > 0.0) -> invalid_arg "Budget.make: timeout must be positive"
+  | _ -> ());
+  (match max_steps with
+  | Some n when n <= 0 -> invalid_arg "Budget.make: max_steps must be positive"
+  | _ -> ());
+  let now = Unix.gettimeofday () in
+  {
+    started = now;
+    deadline = Option.map (fun s -> now +. s) timeout;
+    timeout = Option.value timeout ~default:0.0;
+    max_steps;
+    cancel;
+    limited = timeout <> None || max_steps <> None || cancel <> None;
+    steps = 0;
+  }
+
+let is_unlimited t = not t.limited
+let steps_used t = t.steps
+let elapsed t = if t.limited then Unix.gettimeofday () -. t.started else 0.0
+
+let check t =
+  if not t.limited then Ok ()
+  else begin
+    t.steps <- t.steps + 1;
+    match t.max_steps with
+    | Some limit when t.steps > limit -> Error (Error.Steps { used = t.steps; limit })
+    | _ ->
+      if t.steps land poll_mask <> 0 && t.steps <> 1 then Ok ()
+      else begin
+        match t.cancel with
+        | Some f when f () -> Error Error.Cancelled
+        | _ -> (
+          match t.deadline with
+          | Some d ->
+            let now = Unix.gettimeofday () in
+            if now > d then Error (Error.Timeout { elapsed = now -. t.started; limit = t.timeout }) else Ok ()
+          | None -> Ok ())
+      end
+  end

@@ -1,0 +1,40 @@
+(** Cooperative resource budgets.
+
+    A budget carries up to three limits — a wall-clock deadline, a step
+    (term-evaluation) budget, and a cancellation flag — and is threaded
+    through long-running certified computations ([Series.sum_budgeted],
+    [Criteria.check_series], [Classifier.classify]). The computation calls
+    {!check} once per unit of work; when any limit trips, the computation
+    stops and degrades to a {e certified partial verdict} carrying whatever
+    evidence was accumulated, rather than hanging or crashing.
+
+    A single budget may be shared across several checks (the classifier
+    passes one budget through all its moment and criterion probes), so the
+    step count is cumulative across calls. Budgets are not thread-safe. *)
+
+type t
+
+val unlimited : t
+(** Never trips. {!check} on it costs one branch. *)
+
+val make : ?timeout:float -> ?max_steps:int -> ?cancel:(unit -> bool) -> unit -> t
+(** [make ~timeout ~max_steps ~cancel ()]: the deadline is [timeout]
+    seconds of wall-clock time from the call to [make]; [max_steps] bounds
+    the number of {!check} calls; [cancel] is polled periodically and trips
+    the budget when it returns [true]. Omitted limits never trip.
+    @raise Invalid_argument if [timeout] or [max_steps] is not positive. *)
+
+val check : t -> (unit, Error.exhaustion) result
+(** Consume one step. [Error] reports the first limit that tripped; once a
+    budget has tripped, every later [check] reports the same class of
+    exhaustion (the budget does not reset). The wall clock and the
+    cancellation flag are polled every few steps, so a deadline is detected
+    within a small bounded number of term evaluations. *)
+
+val steps_used : t -> int
+(** Number of {!check} calls so far. *)
+
+val elapsed : t -> float
+(** Wall-clock seconds since [make] (0. for {!unlimited}). *)
+
+val is_unlimited : t -> bool

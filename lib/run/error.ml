@@ -1,0 +1,51 @@
+type exhaustion =
+  | Timeout of { elapsed : float; limit : float }
+  | Steps of { used : int; limit : int }
+  | Cancelled
+
+type t =
+  | Parse of { what : string; msg : string }
+  | Validation of { what : string; msg : string }
+  | Certificate of { what : string; msg : string }
+  | Io of { path : string; msg : string }
+  | Exhausted of { what : string; reason : exhaustion }
+  | Injected_fault of { site : string }
+  | Internal of { msg : string }
+
+let code = function
+  | Parse _ -> "E_PARSE"
+  | Validation _ -> "E_VALIDATION"
+  | Certificate _ -> "E_CERTIFICATE"
+  | Io _ -> "E_IO"
+  | Exhausted _ -> "E_BUDGET"
+  | Injected_fault _ -> "E_FAULT"
+  | Internal _ -> "E_INTERNAL"
+
+let exhaustion_to_string = function
+  | Timeout { elapsed; limit } -> Printf.sprintf "deadline exceeded (%.3fs elapsed, limit %.3fs)" elapsed limit
+  | Steps { used; limit } -> Printf.sprintf "step budget exhausted (%d steps, limit %d)" used limit
+  | Cancelled -> "cancelled"
+
+let message = function
+  | Parse { what; msg } -> Printf.sprintf "cannot parse %s: %s" what msg
+  | Validation { what; msg } -> Printf.sprintf "invalid %s: %s" what msg
+  | Certificate { what; msg } -> Printf.sprintf "certificate rejected for %s: %s" what msg
+  | Io { path; msg } -> Printf.sprintf "I/O failure on %s: %s" path msg
+  | Exhausted { what; reason } -> Printf.sprintf "%s: %s" what (exhaustion_to_string reason)
+  | Injected_fault { site } -> Printf.sprintf "injected fault at site %s" site
+  | Internal { msg } -> Printf.sprintf "internal error: %s" msg
+
+let to_string e = code e ^ ": " ^ message e
+
+let exit_code = function
+  | Parse _ | Validation _ | Io _ -> 2
+  | Exhausted _ -> 3
+  | Certificate _ | Injected_fault _ | Internal _ -> 4
+
+let of_exn ?(what = "input") = function
+  | Sys_error msg -> Io { path = what; msg }
+  | Invalid_argument msg | Failure msg -> Validation { what; msg }
+  | e -> Internal { msg = Printexc.to_string e }
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+let pp_exhaustion fmt r = Format.pp_print_string fmt (exhaustion_to_string r)

@@ -1,0 +1,76 @@
+(** Structured error taxonomy for recoverable failures.
+
+    Every failure that can cross an API boundary is classified into one of
+    the variants below, each carrying enough context to produce a one-line
+    diagnostic and a {e stable error code} suitable for scripting against.
+    The taxonomy deliberately mirrors the ways a certified check can fail:
+
+    - the input could not be read or parsed ({!Parse}, {!Io});
+    - the input was read but is not a legal object ({!Validation});
+    - a series certificate's hypothesis failed on a computed term
+      ({!Certificate});
+    - a resource budget ran out before the requested prefix was evaluated
+      ({!Exhausted}) — the caller still holds whatever certified partial
+      evidence was accumulated;
+    - a fault-injection site fired ({!Injected_fault}, test-only); or
+    - an invariant of the library itself broke ({!Internal}).
+
+    The discipline is the same one the paper applies to partial sums:
+    evidence is only meaningful with an explicit certificate, and resource
+    exhaustion must degrade to a certified partial verdict — never a crash
+    or a silent wrong answer. *)
+
+(** Why a budget ran out. *)
+type exhaustion =
+  | Timeout of { elapsed : float; limit : float }
+      (** Wall-clock deadline passed after [elapsed] of [limit] seconds. *)
+  | Steps of { used : int; limit : int }
+      (** The step (term-evaluation) budget was consumed. *)
+  | Cancelled  (** The cooperative cancellation flag was raised. *)
+
+type t =
+  | Parse of { what : string; msg : string }
+      (** Malformed textual input ([what] names the grammar entry). *)
+  | Validation of { what : string; msg : string }
+      (** Structurally well-formed input violating a semantic invariant
+          (marginal out of range, non-conforming fact, bad parameter). *)
+  | Certificate of { what : string; msg : string }
+      (** A tail/divergence certificate's hypothesis failed on a computed
+          term, or the certificate's parameters are out of range. *)
+  | Io of { path : string; msg : string }
+      (** File-system failure while reading or writing [path]. *)
+  | Exhausted of { what : string; reason : exhaustion }
+      (** A {!Budget} ran out inside the computation named [what]. *)
+  | Injected_fault of { site : string }
+      (** A {!Faultinj} site fired (only when armed, i.e. in tests). *)
+  | Internal of { msg : string }
+      (** Unclassified exception: a library bug, not a user error. *)
+
+val code : t -> string
+(** Stable machine-readable code: one of ["E_PARSE"], ["E_VALIDATION"],
+    ["E_CERTIFICATE"], ["E_IO"], ["E_BUDGET"], ["E_FAULT"],
+    ["E_INTERNAL"]. *)
+
+val message : t -> string
+(** Human-readable one-line description (no code prefix). *)
+
+val to_string : t -> string
+(** ["CODE: message"]. *)
+
+val exhaustion_to_string : exhaustion -> string
+
+val exit_code : t -> int
+(** The CLI exit-code contract: [2] for usage-class errors (parse,
+    validation, I/O), [3] for budget exhaustion, [4] for certificate
+    failures, injected faults and internal errors. Exit codes [0] (ok) and
+    [1] (certified negative) are verdicts, not errors, and are assigned by
+    the caller. *)
+
+val of_exn : ?what:string -> exn -> t
+(** Classify a caught exception: [Sys_error] becomes {!Io},
+    [Invalid_argument]/[Failure] become {!Validation}, everything else
+    {!Internal}. [what] provides context ({!Io}'s path, {!Validation}'s
+    subject). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_exhaustion : Format.formatter -> exhaustion -> unit

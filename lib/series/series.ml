@@ -181,14 +181,106 @@ let partial_sum_interval ?(start = 0) f n =
   done;
   !acc
 
-let sum ?(start = 0) f ~tail ~upto =
-  match Tail.validate tail f ~from_index:start ~upto with
-  | Error _ as e -> e
+(* ------------------------------------------------------------------ *)
+(* The budgeted engine                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Budget = Ipdb_run.Budget
+module Run_error = Ipdb_run.Error
+module Faultinj = Ipdb_run.Faultinj
+
+type partial = {
+  enclosure : Interval.t option;
+  prefix : Interval.t;
+  last : int;
+  requested : int;
+  exhausted : Run_error.exhaustion;
+}
+
+type budgeted =
+  | Complete of Interval.t
+  | Exhausted of partial
+
+(* Non-raising variant of [Tail.bound_from]: [None] when the certificate
+   cannot bound the tail at [n] (finite support not yet exhausted, index
+   before the certificate's start, or a non-finite bound). *)
+let tail_bound_opt tail n =
+  match tail with
+  | Tail.Finite_support { last } -> if n > last then Some 0.0 else None
+  | _ ->
+    if n < Tail.start_index tail then None
+    else begin
+      let b = Tail.bound_from tail n in
+      if Float.is_nan b || b < 0.0 then None else Some b
+    end
+
+let sum_budgeted ?(start = 0) ?(budget = Budget.unlimited) f ~tail ~upto =
+  match Tail.params_ok tail with
+  | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
   | Ok () ->
-    let head = partial_sum_interval ~start f upto in
-    let tail_bound = Tail.bound_from tail (upto + 1) in
-    if Float.is_nan tail_bound || tail_bound < 0.0 then Error "tail bound is not a non-negative number"
-    else Ok (Interval.add head (Interval.make 0.0 tail_bound))
+    let check_from = Stdlib.max start (Tail.start_index tail) in
+    let eval n =
+      Faultinj.fire Faultinj.Term_eval;
+      f n
+    in
+    let validate n a =
+      if n < check_from then Ok ()
+      else begin
+        Faultinj.fire Faultinj.Certificate;
+        let b = Tail.pointwise_bound tail n in
+        if a <= b +. ulp_slack b then Ok ()
+        else Error (Printf.sprintf "term %d = %g exceeds certified bound %g" n a b)
+      end
+    in
+    let stop acc last exhausted =
+      let enclosure =
+        match tail_bound_opt tail (last + 1) with
+        | Some b -> Some (Interval.add acc (Interval.make 0.0 b))
+        | None -> None
+      in
+      Ok (Exhausted { enclosure; prefix = acc; last; requested = upto; exhausted })
+    in
+    let rec go n acc =
+      if n > upto then begin
+        match tail_bound_opt tail (upto + 1) with
+        | Some b -> Ok (Complete (Interval.add acc (Interval.make 0.0 b)))
+        | None ->
+          Error
+            (Run_error.Certificate
+               { what = "tail certificate"; msg = "no tail bound at the cutoff (finite support not exhausted?)" })
+      end
+      else begin
+        match Budget.check budget with
+        | Error exhausted -> stop acc (n - 1) exhausted
+        | Ok () -> (
+          match eval n with
+          | exception Faultinj.Injected site ->
+            Error (Run_error.Injected_fault { site = Faultinj.site_name site })
+          | exception e ->
+            Error
+              (Run_error.Certificate
+                 { what = Printf.sprintf "term %d" n; msg = "term evaluation raised " ^ Printexc.to_string e })
+          | a ->
+            if Float.is_nan a || a < 0.0 then
+              Error
+                (Run_error.Certificate
+                   { what = Printf.sprintf "term %d" n; msg = Printf.sprintf "term is not a non-negative number (%g)" a })
+            else begin
+              match validate n a with
+              | exception Faultinj.Injected site ->
+                Error (Run_error.Injected_fault { site = Faultinj.site_name site })
+              | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
+              | Ok () -> go (n + 1) (Interval.add acc (Interval.point a))
+            end)
+      end
+    in
+    go start Interval.zero
+
+let sum ?(start = 0) f ~tail ~upto =
+  match sum_budgeted ~start f ~tail ~upto with
+  | Ok (Complete enclosure) -> Ok enclosure
+  | Ok (Exhausted _) -> Error "unlimited budget exhausted (impossible)"
+  | Error e -> Error (Run_error.message e)
 
 let sum_exn ?start f ~tail ~upto =
   match sum ?start f ~tail ~upto with Ok i -> i | Error msg -> failwith ("Series.sum: " ^ msg)
@@ -198,6 +290,48 @@ let certify_divergence ?(start = 0) f ~certificate ~upto =
   match Divergence.validate certificate f ~upto with
   | Error _ as e -> e
   | Ok () -> Ok (Diverges { certificate; partial = partial_sum ~start:(Divergence.start_index certificate) f upto; at = upto })
+
+type divergence_budgeted =
+  | Div_complete of { partial : float; at : int }
+  | Div_exhausted of { partial : float; minorant : float; last : int; requested : int; exhausted : Run_error.exhaustion }
+
+exception Stop of Run_error.exhaustion
+
+let certify_divergence_budgeted ?(start = 0) ?(budget = Budget.unlimited) f ~certificate ~upto =
+  ignore start;
+  (* The minorant checkers have four different traversal orders; rather than
+     fusing a budget into each, the term function itself is instrumented:
+     it pays one budget step per evaluation and accumulates each distinct
+     index's term into the witness partial sum. *)
+  let acc = ref 0.0 in
+  let seen = ref min_int in
+  let wrapped n =
+    (match Budget.check budget with Error reason -> raise (Stop reason) | Ok () -> ());
+    Faultinj.fire Faultinj.Term_eval;
+    let a = f n in
+    if n > !seen then begin
+      seen := n;
+      if not (Float.is_nan a) then acc := !acc +. a
+    end;
+    a
+  in
+  match Divergence.validate certificate wrapped ~upto with
+  | exception Stop exhausted ->
+    let last = if !seen = min_int then Divergence.start_index certificate - 1 else !seen in
+    Ok
+      (Div_exhausted
+         {
+           partial = !acc;
+           minorant = Divergence.minorant_partial_sum certificate (Stdlib.max last 0);
+           last;
+           requested = upto;
+           exhausted;
+         })
+  | exception Faultinj.Injected site -> Error (Run_error.Injected_fault { site = Faultinj.site_name site })
+  | exception e ->
+    Error (Run_error.Certificate { what = "divergence certificate"; msg = "term evaluation raised " ^ Printexc.to_string e })
+  | Error msg -> Error (Run_error.Certificate { what = "divergence certificate"; msg })
+  | Ok () -> Ok (Div_complete { partial = !acc; at = upto })
 
 let geometric_tail_exact r n =
   let module Q = Ipdb_bignum.Q in

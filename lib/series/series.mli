@@ -90,10 +90,76 @@ val partial_sum : ?start:int -> term -> int -> float
 val partial_sum_interval : ?start:int -> term -> int -> Interval.t
 (** Same, as an interval enclosure of the float additions. *)
 
+(** {1 The budgeted engine}
+
+    All certified summation funnels through {!sum_budgeted} /
+    {!certify_divergence_budgeted}: a single fused pass that evaluates each
+    term once, validates the certificate's pointwise hypothesis on it, and
+    accumulates the interval partial sum — consuming one {!Ipdb_run.Budget}
+    step per term. Exhausting the budget is not an error: it degrades to an
+    {!Exhausted} value carrying the evidence accumulated so far. *)
+
+(** What a budget-interrupted summation still certifies. *)
+type partial = {
+  enclosure : Interval.t option;
+      (** Enclosure of the {e infinite} sum obtained by adding the analytic
+          tail bound at the stop index: sound under exactly the same
+          hypothesis as a completed run (the certificate's pointwise bound,
+          here validated on [start..last] rather than the full requested
+          prefix). [None] when the certificate cannot bound the tail at the
+          stop index (e.g. {!Tail.Finite_support} stopped inside its
+          support). *)
+  prefix : Interval.t;  (** Interval enclosure of [f start + ... + f last]. *)
+  last : int;  (** Last index evaluated and validated. *)
+  requested : int;  (** The [upto] that was asked for. *)
+  exhausted : Ipdb_run.Error.exhaustion;  (** Which limit tripped. *)
+}
+
+type budgeted =
+  | Complete of Interval.t  (** Full prefix evaluated: enclosure of the infinite sum. *)
+  | Exhausted of partial  (** Budget ran out first: certified partial verdict. *)
+
+val sum_budgeted :
+  ?start:int ->
+  ?budget:Ipdb_run.Budget.t ->
+  term ->
+  tail:Tail.t ->
+  upto:int ->
+  (budgeted, Ipdb_run.Error.t) result
+(** Like {!sum}, under a budget. [Error] carries the typed failure: a
+    rejected certificate hypothesis ([Certificate]), a term evaluation that
+    raised, or an injected fault. Never raises on certificate or budget
+    trouble; exceptions escaping the term function are converted to typed
+    errors. *)
+
+type divergence_budgeted =
+  | Div_complete of { partial : float; at : int }
+      (** Minorant validated on the whole requested prefix; [partial] sums
+          the evaluated terms as a witness. *)
+  | Div_exhausted of {
+      partial : float;  (** witness partial sum over the evaluated terms *)
+      minorant : float;  (** certified lower bound implied up to [last] *)
+      last : int;
+      requested : int;
+      exhausted : Ipdb_run.Error.exhaustion;
+    }
+
+val certify_divergence_budgeted :
+  ?start:int ->
+  ?budget:Ipdb_run.Budget.t ->
+  term ->
+  certificate:Divergence.t ->
+  upto:int ->
+  (divergence_budgeted, Ipdb_run.Error.t) result
+(** Budgeted {!certify_divergence}: each term evaluation consumes one budget
+    step; exhaustion degrades to [Div_exhausted] with the witness evidence
+    accumulated so far. *)
+
 val sum : ?start:int -> term -> tail:Tail.t -> upto:int -> (Interval.t, string) result
 (** Certified enclosure of the infinite sum: validates [tail] on the computed
     prefix, then adds the analytic tail bound to the partial-sum interval.
-    [Error] explains which hypothesis failed. *)
+    [Error] explains which hypothesis failed. Equivalent to {!sum_budgeted}
+    with an unlimited budget. *)
 
 val sum_exn : ?start:int -> term -> tail:Tail.t -> upto:int -> Interval.t
 (** @raise Failure when {!sum} returns an error. *)

@@ -1,0 +1,200 @@
+(* Corruption robustness: the textual parsers are a trust boundary. Whatever
+   bytes arrive — truncations, bit flips, insertions, cross-format confusion,
+   pathological nesting — [*_of_string] must return [Error _] or a valid
+   object; it must never raise. ~1000 seeded mutations per format. *)
+
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Schema = Ipdb_relational.Schema
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Finite_pdb = Ipdb_pdb.Finite_pdb
+module Ti = Ipdb_pdb.Ti
+module Bid = Ipdb_pdb.Bid
+module Serialize = Ipdb_pdb.Serialize
+
+let mutations_per_format = 1_000
+
+(* ------------------------------------------------------------------ *)
+(* Seed documents (one well-formed text per format)                    *)
+(* ------------------------------------------------------------------ *)
+
+let schema = Schema.make [ ("R", 2); ("S", 1) ]
+
+let ti_text =
+  Serialize.ti_to_string
+    (Ti.Finite.make schema
+       [ (Fact.make "R" [ Value.Int 1; Value.Str "a b" ], Q.of_ints 1 3);
+         (Fact.make "R" [ Value.Int 2; Value.Pair (Value.Int 3, Value.Bot) ], Q.of_ints 2 7);
+         (Fact.make "S" [ Value.Str "x" ], Q.one)
+       ])
+
+let bid_text =
+  Serialize.bid_to_string
+    (Bid.Finite.make schema
+       [ [ (Fact.make "R" [ Value.Int 1; Value.Int 2 ], Q.of_ints 1 4);
+           (Fact.make "R" [ Value.Int 1; Value.Int 3 ], Q.of_ints 1 2)
+         ];
+         [ (Fact.make "S" [ Value.Bot ], Q.of_ints 5 9) ]
+       ])
+
+let pdb_text =
+  Serialize.pdb_to_string
+    (Finite_pdb.make schema
+       [ (Instance.empty, Q.of_ints 1 4);
+         (Instance.of_list [ Fact.make "S" [ Value.Int 7 ] ], Q.of_ints 1 4);
+         ( Instance.of_list
+             [ Fact.make "R" [ Value.Int 1; Value.Int 2 ]; Fact.make "S" [ Value.Int 7 ] ],
+           Q.of_ints 1 2 )
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Seeded mutators                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mutate rng s =
+  let n = String.length s in
+  if n = 0 then "("
+  else begin
+    match Random.State.int rng 5 with
+    | 0 ->
+      (* truncate at a random point *)
+      String.sub s 0 (Random.State.int rng n)
+    | 1 ->
+      (* overwrite one byte with an arbitrary byte *)
+      let b = Bytes.of_string s in
+      Bytes.set b (Random.State.int rng n) (Char.chr (Random.State.int rng 256));
+      Bytes.to_string b
+    | 2 ->
+      (* delete one byte *)
+      let i = Random.State.int rng n in
+      String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+    | 3 ->
+      (* insert an arbitrary byte *)
+      let i = Random.State.int rng (n + 1) in
+      String.sub s 0 i ^ String.make 1 (Char.chr (Random.State.int rng 256)) ^ String.sub s i (n - i)
+    | _ ->
+      (* swap two random spans: scrambles structure while keeping tokens *)
+      let i = Random.State.int rng n and j = Random.State.int rng n in
+      let i, j = (min i j, max i j) in
+      String.sub s j (n - j) ^ String.sub s i (j - i) ^ String.sub s 0 i
+  end
+
+(* Parsing a mutant must terminate in Ok or Error; any exception is a bug.
+   An Ok result must additionally survive re-serialisation (the parser may
+   only accept texts denoting valid objects). *)
+let never_raises ~format ~reserialize parse text =
+  match parse text with
+  | Ok v ->
+    (try ignore (reserialize v : string)
+     with e ->
+       Alcotest.failf "%s: parser accepted a mutant whose value breaks re-serialisation (%s) on %S"
+         format (Printexc.to_string e) text)
+  | Error (_ : string) -> ()
+  | exception e ->
+    Alcotest.failf "%s parser raised %s on mutant %S" format (Printexc.to_string e) text
+
+let corruption_suite ~format ~parse ~reserialize seed_text () =
+  let rng = Random.State.make [| 0xC0; 0x44; String.length seed_text |] in
+  for _ = 1 to mutations_per_format do
+    (* between 1 and 4 stacked mutations, so multi-byte damage is covered *)
+    let rounds = 1 + Random.State.int rng 4 in
+    let mutant = ref seed_text in
+    for _ = 1 to rounds do
+      mutant := mutate rng !mutant
+    done;
+    never_raises ~format ~reserialize parse !mutant
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Handcrafted adversarial inputs, shared by all parsers               *)
+(* ------------------------------------------------------------------ *)
+
+let adversarial_inputs =
+  [ "";
+    "(";
+    ")";
+    "()";
+    "(ti)";
+    "(ti (schema))";
+    "(ti (schema (R 1)) ((R 1) 1/0))" (* zero denominator *);
+    "(ti (schema (R 1)) ((R 1) 3/2))" (* marginal above one *);
+    "(ti (schema (R 1)) ((R 1) -1/2))" (* negative marginal *);
+    "(ti (schema (R 1)) ((R 1) 1/2) ((R 1) 1/2))" (* duplicate fact *);
+    "(ti (schema (R 99999999999999999999)) ((R 1) 1/2))" (* arity overflow *);
+    "(bid (schema (R 1)) (block ((R 1) 2/3) ((R 2) 2/3)))" (* block mass > 1 *);
+    "(pdb (schema (R 1)) (world 1/2))" (* world mass < 1 *);
+    "(pdb (schema (R 1)) (world 1/2 (R 1)) (world 1/2 (R 1)))" (* duplicate world *);
+    String.make 100_000 '(' (* deep nesting: must not blow the stack *);
+    String.concat "" (List.init 50_000 (fun _ -> "(ti ")) (* nested headers *);
+    "(ti (schema (R 1)) ((R 1) "
+    ^ String.make 10_000 '9'
+    ^ "/"
+    ^ String.make 10_000 '7'
+    ^ "))" (* huge rational: must parse or reject, not hang or crash *);
+    "\"unterminated string";
+    "(ti (schema (R 1)) ((R \"\xff\xfe\x00\") 1/2))" (* non-UTF8 bytes *)
+  ]
+
+let test_adversarial () =
+  List.iter
+    (fun text ->
+      never_raises ~format:"ti" ~reserialize:Serialize.ti_to_string Serialize.ti_of_string text;
+      never_raises ~format:"bid" ~reserialize:Serialize.bid_to_string Serialize.bid_of_string text;
+      never_raises ~format:"pdb" ~reserialize:Serialize.pdb_to_string Serialize.pdb_of_string text)
+    adversarial_inputs
+
+(* Feeding each format's well-formed text to the other formats' parsers must
+   give a clean [Error], not a crash or a bogus [Ok]. *)
+let test_cross_format () =
+  let expect_error ~format parse text =
+    match parse text with
+    | Ok _ -> Alcotest.failf "%s parser accepted another format's document" format
+    | Error (_ : string) -> ()
+    | exception e -> Alcotest.failf "%s parser raised %s cross-format" format (Printexc.to_string e)
+  in
+  expect_error ~format:"ti" Serialize.ti_of_string bid_text;
+  expect_error ~format:"ti" Serialize.ti_of_string pdb_text;
+  expect_error ~format:"bid" Serialize.bid_of_string ti_text;
+  expect_error ~format:"bid" Serialize.bid_of_string pdb_text;
+  expect_error ~format:"pdb" Serialize.pdb_of_string ti_text;
+  expect_error ~format:"pdb" Serialize.pdb_of_string bid_text
+
+(* The seeds themselves round-trip: the corruption suite is mutating texts
+   the parsers genuinely accept, not texts they already reject. *)
+let test_seeds_parse () =
+  (match Serialize.ti_of_string ti_text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "ti seed rejected: %s" m);
+  (match Serialize.bid_of_string bid_text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "bid seed rejected: %s" m);
+  match Serialize.pdb_of_string pdb_text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "pdb seed rejected: %s" m
+
+let () =
+  Alcotest.run "corruption"
+    [ ( "mutants",
+        [ Alcotest.test_case "seeds are well-formed" `Quick test_seeds_parse;
+          Alcotest.test_case
+            (Printf.sprintf "ti: %d seeded mutations" mutations_per_format)
+            `Quick
+            (corruption_suite ~format:"ti" ~parse:Serialize.ti_of_string
+               ~reserialize:Serialize.ti_to_string ti_text);
+          Alcotest.test_case
+            (Printf.sprintf "bid: %d seeded mutations" mutations_per_format)
+            `Quick
+            (corruption_suite ~format:"bid" ~parse:Serialize.bid_of_string
+               ~reserialize:Serialize.bid_to_string bid_text);
+          Alcotest.test_case
+            (Printf.sprintf "pdb: %d seeded mutations" mutations_per_format)
+            `Quick
+            (corruption_suite ~format:"pdb" ~parse:Serialize.pdb_of_string
+               ~reserialize:Serialize.pdb_to_string pdb_text)
+        ] );
+      ( "adversarial",
+        [ Alcotest.test_case "handcrafted hostile inputs" `Quick test_adversarial;
+          Alcotest.test_case "cross-format confusion" `Quick test_cross_format
+        ] )
+    ]

@@ -25,15 +25,13 @@ let inst facts = Instance.of_list facts
 
 let expect_finite name = function
   | Criteria.Finite_sum enclosure -> enclosure
-  | Criteria.Infinite_sum _ -> Alcotest.failf "%s: unexpectedly diverges" name
-  | Criteria.Invalid_certificate msg -> Alcotest.failf "%s: bad certificate: %s" name msg
+  | v -> Alcotest.failf "%s: expected finite, got %s" name (Criteria.verdict_to_string v)
 
 let expect_infinite name = function
   | Criteria.Infinite_sum { partial; at } ->
     ignore at;
     partial
-  | Criteria.Finite_sum _ -> Alcotest.failf "%s: unexpectedly converges" name
-  | Criteria.Invalid_certificate msg -> Alcotest.failf "%s: bad certificate: %s" name msg
+  | v -> Alcotest.failf "%s: expected infinite, got %s" name (Criteria.verdict_to_string v)
 
 let get_cert name = function Some c -> c | None -> Alcotest.failf "%s: missing certificate" name
 
@@ -360,8 +358,7 @@ let test_lemma65 () =
   (* the Theorem 5.3 series converges with the lemma's certificate *)
   match Criteria.theorem53_verdict fam ~c:1 ~cert:(Idb.lemma65_criterion_cert idb ~upto:60) ~upto:60 with
   | Criteria.Finite_sum _ -> ()
-  | Criteria.Infinite_sum _ -> Alcotest.fail "lemma 6.5 series diverged"
-  | Criteria.Invalid_certificate m -> Alcotest.fail m
+  | v -> Alcotest.failf "lemma 6.5 series: %s" (Criteria.verdict_to_string v)
 
 let test_lemma65_weights () =
   let q = Alcotest.testable Q.pp Q.equal in
@@ -378,8 +375,7 @@ let test_lemma66 () =
   (* expected size diverges with the harmonic-subsequence certificate *)
   match Criteria.moment_verdict fam ~k:1 ~cert:(Idb.lemma66_divergence_cert_for idb) ~upto:3000 with
   | Criteria.Infinite_sum { partial; _ } -> Alcotest.(check bool) "partial grows" true (partial > 2.0)
-  | Criteria.Finite_sum _ -> Alcotest.fail "unexpected convergence"
-  | Criteria.Invalid_certificate m -> Alcotest.fail m
+  | v -> Alcotest.failf "expected divergence: %s" (Criteria.verdict_to_string v)
 
 let test_theorem67 () =
   (* bounded IDB: first branch *)

@@ -55,11 +55,23 @@ let test_file_roundtrip () =
       ]
   in
   let path = Filename.temp_file "ipdb" ".pdb" in
-  Serialize.save (Serialize.pdb_to_string d) ~path;
-  (match Serialize.pdb_of_string (Serialize.load ~path) with
+  (match Serialize.save (Serialize.pdb_to_string d) ~path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Ipdb_run.Error.to_string e));
+  let text =
+    match Serialize.load ~path with
+    | Ok text -> text
+    | Error e -> Alcotest.fail (Ipdb_run.Error.to_string e)
+  in
+  (match Serialize.pdb_of_string text with
   | Ok d' -> Alcotest.(check bool) "file roundtrip" true (Finite_pdb.equal d d')
   | Error m -> Alcotest.fail m);
-  Sys.remove path
+  Sys.remove path;
+  (* I/O failure is a typed Io error, not an exception *)
+  match Serialize.load ~path:"/nonexistent/missing.pdb" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error (Ipdb_run.Error.Io _) -> ()
+  | Error e -> Alcotest.failf "expected Io error, got %s" (Ipdb_run.Error.to_string e)
 
 let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
 let prop name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:150 ~name arb_seed f)
