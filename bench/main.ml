@@ -33,6 +33,8 @@ module Zoo = Ipdb_core.Zoo
 module Classifier = Ipdb_core.Classifier
 module Budget = Ipdb_run.Budget
 module Run_error = Ipdb_run.Error
+module Journal = Ipdb_run.Journal
+module Supervisor = Ipdb_run.Supervisor
 
 (* Per-experiment deadline for the heavy certified-series checks: a hung or
    mis-certified series degrades to a reported Partial verdict instead of
@@ -674,20 +676,215 @@ let exp_figures () =
   print_newline ();
   print_string (Ipdb_core.Figure.to_text (Ipdb_core.Figure.figure4 ()))
 
+(* ------------------------------------------------------------------ *)
+(* Crash-safe resumable series                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately long certified summation that checkpoints its exact
+   cross-iteration state into the journal every [progress_every] terms.
+   Killed mid-run and resumed, it restarts from the last snapshot and
+   — because the engine is a sequential left fold restored exactly —
+   prints the bit-identical enclosure an uninterrupted run prints. All
+   resume chatter goes to stderr so the stdout report compares equal. *)
+let exp_resumable ~load_ckpt ~save_ckpt () =
+  section "Crash-safe resumable series — checkpointed exact summation";
+  let restore key =
+    match load_ckpt key with
+    | None -> None
+    | Some s -> (
+      match Series.Snapshot.of_string s with
+      | Ok snap ->
+        Printf.eprintf "  [resumable-series] %s: resuming from snapshot %s\n%!" key
+          (Format.asprintf "%a" Series.Snapshot.pp snap);
+        Some snap
+      | Error msg ->
+        Printf.eprintf "  [resumable-series] %s: ignoring damaged snapshot (%s)\n%!" key msg;
+        None)
+  in
+  let progress key snap = save_ckpt key (Series.Snapshot.to_string snap) in
+  (* (1) a convergent p-series summed over a long prefix *)
+  let p = 2.5 in
+  let upto = 3_000_000 in
+  (match
+     Series.sum_resumable ~start:1 ?from:(restore "sum-p2.5")
+       ~progress:(progress "sum-p2.5") ~progress_every:150_000
+       (fun i -> 1.0 /. (float_of_int i ** p))
+       ~tail:(Series.Tail.P_series { index = 1; coeff = 1.0; p })
+       ~upto
+   with
+  | Ok (Series.Complete e, _) ->
+    row "  Σ 1/i^2.5 over %d terms + analytic tail ∈ [%.17g, %.17g]\n" upto (Interval.lo e)
+      (Interval.hi e)
+  | Ok (Series.Exhausted _, _) -> row "  Σ 1/i^2.5: unexpected exhaustion (no budget was set)\n"
+  | Error e -> row "  Σ 1/i^2.5: %s\n" (Run_error.to_string e));
+  (* (2) a divergence certificate validated over a long prefix *)
+  let upto_d = 1_500_000 in
+  match
+    Series.certify_divergence_resumable ~start:1 ?from:(restore "div-harmonic")
+      ~progress:(progress "div-harmonic") ~progress_every:150_000
+      (fun i -> 1.0 /. float_of_int i)
+      ~certificate:(Series.Divergence.Harmonic { index = 1; coeff = 1.0 })
+      ~upto:upto_d
+  with
+  | Ok (Series.Div_complete { partial; at }, _) ->
+    row "  Σ 1/i: divergence certified on %d terms, witness partial %.17g\n" at partial
+  | Ok (Series.Div_exhausted _, _) -> row "  Σ 1/i: unexpected exhaustion (no budget was set)\n"
+  | Error e -> row "  Σ 1/i: %s\n" (Run_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe driver: journal, resume, supervised experiments           *)
+(* ------------------------------------------------------------------ *)
+
+type run_cfg = { journal_path : string option; resume : bool; only : string list option }
+
+let usage_exit () =
+  prerr_endline "usage: bench [--journal FILE] [--resume] [--only name,name,...]";
+  exit 2
+
+let parse_argv () =
+  let journal = ref None and resume = ref false and only = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--journal" :: path :: rest ->
+      journal := Some path;
+      go rest
+    | "--resume" :: rest ->
+      resume := true;
+      go rest
+    | "--only" :: names :: rest ->
+      only := Some (List.filter (fun s -> s <> "") (String.split_on_char ',' names));
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown argument %s\n" arg;
+      usage_exit ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if !resume && !journal = None then begin
+    Printf.eprintf "bench: --resume requires --journal FILE\n";
+    usage_exit ()
+  end;
+  { journal_path = !journal; resume = !resume; only = !only }
+
+(* Journal record payloads: "done <name> <ok|failed>\n<captured stdout>"
+   for a finished experiment, "ckpt <key>\n<snapshot>" for an exact series
+   snapshot. The journal framing makes the whole payload (newlines
+   included) one atomic, checksummed record. *)
+let split_record payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i -> (String.sub payload 0 i, String.sub payload (i + 1) (String.length payload - i - 1))
+
+let recovered_state path =
+  match Journal.recover ~path with
+  | Error e ->
+    Printf.eprintf "bench: cannot read journal %s: %s\n" path (Run_error.to_string e);
+    exit 4
+  | Ok { Journal.records; tail } ->
+    (match tail with
+    | Journal.Clean -> ()
+    | Journal.Torn { line; reason } ->
+      Printf.eprintf "bench: journal torn at line %d (%s); resuming from the valid prefix\n%!" line
+        reason);
+    let completed = Hashtbl.create 16 and ckpts = Hashtbl.create 16 in
+    List.iter
+      (fun payload ->
+        let header, body = split_record payload in
+        match String.split_on_char ' ' header with
+        | [ "done"; name; status ] -> Hashtbl.replace completed name (status, body)
+        | [ "ckpt"; key ] -> Hashtbl.replace ckpts key body
+        | _ -> Printf.eprintf "bench: ignoring unknown journal record %S\n" header)
+      records;
+    (completed, ckpts)
+
+(* Run [f] with stdout redirected into a temp file; return what it wrote. *)
+let capture f =
+  let tmp = Filename.temp_file "ipdb-bench" ".out" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  let result = try Ok (f ()) with e -> Error e in
+  flush stdout;
+  Unix.dup2 saved Unix.stdout;
+  Unix.close saved;
+  Unix.close fd;
+  let ic = open_in_bin tmp in
+  let output = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove tmp;
+  (output, result)
+
 let () =
+  let cfg = parse_argv () in
+  let completed, ckpts =
+    match cfg.journal_path with
+    | Some path when cfg.resume -> recovered_state path
+    | _ -> (Hashtbl.create 1, Hashtbl.create 1)
+  in
+  let journal =
+    match cfg.journal_path with
+    | None -> None
+    | Some path -> (
+      match Journal.open_append ~path with
+      | Ok j -> Some j
+      | Error e ->
+        Printf.eprintf "bench: cannot open journal %s: %s\n" path (Run_error.to_string e);
+        exit 4)
+  in
+  let append payload =
+    match journal with
+    | None -> ()
+    | Some j -> (
+      match Journal.append j payload with
+      | Ok () -> ()
+      | Error e -> Printf.eprintf "bench: journal append failed: %s\n%!" (Run_error.to_string e))
+  in
+  let save_ckpt key snap =
+    Hashtbl.replace ckpts key snap;
+    append (Printf.sprintf "ckpt %s\n%s" key snap)
+  in
+  let load_ckpt key = Hashtbl.find_opt ckpts key in
+  let sup = Supervisor.create () in
   Printf.printf "ipdb experiment harness — Carmeli, Grohe, Lindner, Standke (PODS 2021)\n%!";
-  (* Fault-tolerant driver: one experiment blowing up (or injecting a fault)
-     reports a typed error and the suite carries on; every experiment's
-     wall-clock cost is printed so regressions are visible in the log. *)
+  (* Supervised driver: each experiment runs with its stdout captured, under
+     the retry/quarantine policy; its report is journaled as one atomic
+     record before being printed, so a killed run replays completed
+     experiments verbatim under --resume and reruns only the interrupted
+     one (which itself restarts from its last series snapshot). *)
   let failed = ref [] in
+  let wanted name = match cfg.only with None -> true | Some names -> List.mem name names in
   let step name f =
-    let t0 = Unix.gettimeofday () in
-    (try f () with
-    | e ->
-      failed := name :: !failed;
-      Printf.printf "\n  [%s] experiment aborted: %s\n" name (Run_error.to_string (Run_error.of_exn e)));
-    Printf.printf "  -- %s: %.2fs\n" name (Unix.gettimeofday () -. t0);
-    flush_out ()
+    if wanted name then begin
+      let t0 = Unix.gettimeofday () in
+      (match Hashtbl.find_opt completed name with
+      | Some (status, output) ->
+        Printf.eprintf "  [%s] already journaled (%s); replaying recorded report\n%!" name status;
+        print_string output;
+        if status <> "ok" then failed := name :: !failed
+      | None ->
+        let last_output = ref "" in
+        let attempt () =
+          let output, result = capture f in
+          last_output := output;
+          match result with Ok () -> Ok output | Error e -> Error (Run_error.of_exn e)
+        in
+        let output, status =
+          match Supervisor.run sup ~task:name attempt with
+          | Supervisor.Done output -> (output, "ok")
+          | Supervisor.Failed { error; attempts } ->
+            ( Printf.sprintf "%s\n  [%s] experiment aborted after %d attempt(s): %s\n" !last_output
+                name attempts (Run_error.to_string error),
+              "failed" )
+          | Supervisor.Quarantined { failures } ->
+            ( Printf.sprintf "\n  [%s] quarantined after %d consecutive failures\n" name failures,
+              "failed" )
+        in
+        if status <> "ok" then failed := name :: !failed;
+        append (Printf.sprintf "done %s %s\n%s" name status output);
+        print_string output);
+      Printf.printf "  -- %s: %.2fs\n" name (Unix.gettimeofday () -. t0);
+      flush_out ()
+    end
   in
   step "figures" exp_figures;
   step "figure-1" exp_f1;
@@ -701,10 +898,12 @@ let () =
   step "example-5.6" exp_ex56;
   step "section-6" exp_sec6;
   step "theorem-2.4" exp_thm24;
+  step "resumable-series" (exp_resumable ~load_ckpt ~save_ckpt);
   step "classifier" exp_classifier;
   step "pqe" exp_pqe;
   step "ablations" ablation_section;
   step "bechamel" bechamel_section;
+  Option.iter Journal.close journal;
   match !failed with
   | [] -> Printf.printf "\nAll experiments executed.\n"
   | names ->

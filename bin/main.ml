@@ -35,6 +35,8 @@ module Bid_repr = Ipdb_core.Bid_repr
 module Decondition = Ipdb_core.Decondition
 module Budget = Ipdb_run.Budget
 module Run_error = Ipdb_run.Error
+module Checkpoint = Ipdb_run.Checkpoint
+module Series = Ipdb_series.Series
 
 open Cmdliner
 
@@ -97,6 +99,36 @@ let budget_of timeout max_steps =
   | None, None -> Budget.unlimited
   | _ -> Budget.make ?timeout ?max_steps ()
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Persist progress to $(docv) (atomic, checksummed) while the check runs, and on budget \
+           exhaustion. A later run with $(b,--resume) continues from the saved state.")
+
+let resume_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue from the state saved in the $(b,--checkpoint) file. The resumed run reproduces \
+           the uninterrupted result exactly; a missing file starts fresh.")
+
+let require_checkpoint_for_resume checkpoint resume =
+  if resume && checkpoint = None then begin
+    Printf.eprintf "ipdb: --resume requires --checkpoint FILE\n";
+    exit 2
+  end
+
+let load_payload ~path =
+  match Checkpoint.load ~path with Ok v -> v | Error e -> fail_typed e
+
+let save_payload ~path payload =
+  match Checkpoint.save ~path payload with Ok () -> () | Error e -> fail_typed e
+
 (* Shared reporting for a budgeted series check: print the verdict, exit per
    the contract. [negative_exit] is what a certified Infinite_sum means for
    this command (moments: not in FO(TI); criterion: condition fails). *)
@@ -113,13 +145,57 @@ let finish_series_verdict ~render v =
     exit 4
   | Criteria.Check_failed e -> fail_typed e
 
+(* Budgeted series check with optional durable progress: resume from the
+   snapshot in the checkpoint file, save periodically while running, and
+   leave a resumable snapshot behind on exhaustion (exit 3). *)
+let run_series_check ~checkpoint ~resume ~budget ~start ~cert ~upto ~render term =
+  require_checkpoint_for_resume checkpoint resume;
+  let from =
+    match checkpoint with
+    | Some path when resume -> (
+      match load_payload ~path with
+      | None -> None
+      | Some payload -> (
+        match Series.Snapshot.of_string payload with
+        | Ok s -> Some s
+        | Error msg -> fail_typed (Run_error.Validation { what = "checkpoint " ^ path; msg })))
+    | _ -> None
+  in
+  let save_snap =
+    Option.map (fun path snap -> save_payload ~path (Series.Snapshot.to_string snap)) checkpoint
+  in
+  let v, snap = Criteria.check_series_resumable ~budget ?from ?progress:save_snap ~start ~cert ~upto term in
+  (match (save_snap, v, snap) with
+  | Some save, Criteria.Partial _, Some s -> save s
+  | _ -> ());
+  finish_series_verdict ~render v
+
 (* classify *)
 let classify_cmd =
-  let run name upto timeout max_steps =
+  let run name upto timeout max_steps checkpoint resume =
     guard @@ fun () ->
+    require_checkpoint_for_resume checkpoint resume;
     let cf = find_family name in
     let budget = budget_of timeout max_steps in
-    let v = Classifier.classify ~budget ~upto cf in
+    let v =
+      match checkpoint with
+      | None -> Classifier.classify ~budget ~upto cf
+      | Some path ->
+        let from =
+          if resume then begin
+            match load_payload ~path with
+            | None -> Classifier.empty_checkpoint
+            | Some payload -> (
+              match Classifier.checkpoint_of_string payload with
+              | Ok cp -> cp
+              | Error msg -> fail_typed (Run_error.Validation { what = "checkpoint " ^ path; msg }))
+          end
+          else Classifier.empty_checkpoint
+        in
+        Classifier.classify_resumable ~budget ~upto ~from
+          ~save:(fun cp -> save_payload ~path (Classifier.checkpoint_to_string cp))
+          cf
+    in
     print_endline (Classifier.verdict_to_string v);
     exit
       (match v with
@@ -129,11 +205,11 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Representability verdict for a zoo family")
-    Term.(const run $ family_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg)
+    Term.(const run $ family_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg)
 
 (* moments *)
 let moments_cmd =
-  let run name k upto timeout max_steps =
+  let run name k upto timeout max_steps checkpoint resume =
     guard @@ fun () ->
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
@@ -143,21 +219,21 @@ let moments_cmd =
       Printf.eprintf "ipdb: no certificate for k=%d\n" k;
       exit 2
     | Some cert ->
-      finish_series_verdict
+      run_series_check ~checkpoint ~resume ~budget ~start:cf.Zoo.family.Family.start ~cert ~upto
         ~render:(function
           | Criteria.Finite_sum e -> Printf.sprintf "E(|D|^%d) ∈ [%.9g, %.9g]" k (Interval.lo e) (Interval.hi e)
           | Criteria.Infinite_sum { partial; at } ->
             Printf.sprintf "E(|D|^%d) = ∞ (certified; partial sum %.6g after %d terms)" k partial at
           | v -> Printf.sprintf "E(|D|^%d): %s" k (Criteria.verdict_to_string v))
-        (Criteria.moment_verdict ~budget cf.Zoo.family ~k ~cert ~upto)
+        (Family.moment_term cf.Zoo.family ~k)
   in
   let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Moment order.") in
   Cmd.v (Cmd.info "moments" ~doc:"Certified size moments")
-    Term.(const run $ family_arg $ k_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg)
+    Term.(const run $ family_arg $ k_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg)
 
 (* criterion *)
 let criterion_cmd =
-  let run name c upto timeout max_steps =
+  let run name c upto timeout max_steps checkpoint resume =
     guard @@ fun () ->
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
@@ -167,7 +243,7 @@ let criterion_cmd =
       Printf.eprintf "ipdb: no certificate for c=%d\n" c;
       exit 2
     | Some cert ->
-      finish_series_verdict
+      run_series_check ~checkpoint ~resume ~budget ~start:cf.Zoo.family.Family.start ~cert ~upto
         ~render:(function
           | Criteria.Finite_sum e ->
             Printf.sprintf "Σ|D|·P(D)^(%d/|D|) ∈ [%.9g, %.9g] < ∞ ⟹ in FO(TI) (Theorem 5.3)" c (Interval.lo e)
@@ -175,12 +251,12 @@ let criterion_cmd =
           | Criteria.Infinite_sum { partial; at } ->
             Printf.sprintf "Σ|D|·P(D)^(%d/|D|) = ∞ (partial %.6g after %d terms)" c partial at
           | v -> Printf.sprintf "Σ|D|·P(D)^(%d/|D|): %s" c (Criteria.verdict_to_string v))
-        (Criteria.theorem53_verdict ~budget cf.Zoo.family ~c ~cert ~upto)
+        (Family.theorem53_term cf.Zoo.family ~c)
   in
   let c_arg = Arg.(value & opt int 1 & info [ "c" ] ~docv:"C" ~doc:"Segment capacity.") in
   Cmd.v
     (Cmd.info "criterion" ~doc:"The Theorem 5.3 sufficient-condition series")
-    Term.(const run $ family_arg $ c_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg)
+    Term.(const run $ family_arg $ c_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg)
 
 (* sample *)
 let sample_cmd =

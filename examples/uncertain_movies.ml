@@ -59,8 +59,12 @@ let () =
   let rng = Random.State.make [| 2001 |] in
   let fin = Ti.Finite.to_finite_pdb movies in
   let est =
-    Estimate.event_probability_finite ~samples:30000 ~rng fin (fun w ->
-        Ipdb_logic.Eval.holds w q1)
+    match
+      Estimate.event_probability_finite ~samples:30000 ~rng fin (fun w ->
+          Ipdb_logic.Eval.holds w q1)
+    with
+    | Ok est -> est
+    | Error e -> failwith (Ipdb_run.Error.to_string e)
   in
   Format.printf "  Monte-Carlo (30k samples) : %.4f ± %.4f (99%% confidence)@.@." est.Estimate.mean
     est.Estimate.statistical_halfwidth;

@@ -68,6 +68,174 @@ let classify ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certifie
     with Out_of_budget { exhausted; detail } -> Partial { exhausted; detail }
   end
 
+(* ------------------------------------------------------------------ *)
+(* Checkpointable classification                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = Ipdb_series.Series.Snapshot
+
+type checkpoint = {
+  completed : (string * Criteria.series_verdict) list;
+  in_flight : (string * Snapshot.t) option;
+}
+
+let empty_checkpoint = { completed = []; in_flight = None }
+
+(* One line per entry: "done <id> <verdict>" / "flight <id> <snapshot>".
+   Check ids ("k1".."k4", "c1".."c4") are space-free, so the rest of each
+   line is the (single-line) verdict or snapshot encoding. *)
+let checkpoint_to_string cp =
+  let lines =
+    List.map
+      (fun (id, v) -> Printf.sprintf "done %s %s" id (Criteria.verdict_serialize v))
+      cp.completed
+    @
+    match cp.in_flight with
+    | None -> []
+    | Some (id, snap) -> [ Printf.sprintf "flight %s %s" id (Snapshot.to_string snap) ]
+  in
+  String.concat "\n" lines
+
+let checkpoint_of_string s =
+  let ( let* ) = Result.bind in
+  let split2 line =
+    match String.index_opt line ' ' with
+    | None -> Error (Printf.sprintf "malformed checkpoint line %S" line)
+    | Some i -> (
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      match String.index_opt rest ' ' with
+      | None -> Error (Printf.sprintf "malformed checkpoint line %S" line)
+      | Some j ->
+        Ok
+          ( String.sub line 0 i,
+            String.sub rest 0 j,
+            String.sub rest (j + 1) (String.length rest - j - 1) ))
+  in
+  let lines = String.split_on_char '\n' s in
+  let rec go acc lines =
+    match lines with
+    | [] -> Ok { acc with completed = List.rev acc.completed }
+    | line :: rest ->
+      if String.trim line = "" then go acc rest
+      else
+        let* tag, id, payload = split2 line in
+        (match tag with
+        | "done" ->
+          let* v = Criteria.verdict_deserialize payload in
+          go { acc with completed = (id, v) :: acc.completed } rest
+        | "flight" ->
+          let* snap = Snapshot.of_string payload in
+          go { acc with in_flight = Some (id, snap) } rest
+        | tag -> Error (Printf.sprintf "unknown checkpoint entry %S" tag))
+  in
+  go empty_checkpoint lines
+
+let classify_resumable ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000)
+    ?(from = empty_checkpoint) ?save ?(progress_every = 1000) (cf : Zoo.certified_family) =
+  let upto = Stdlib.min upto cf.Zoo.check_upto in
+  match cf.Zoo.size_bound with
+  | Some b -> In_FOTI (Bounded_size b)
+  | None -> begin
+    let completed = ref from.completed in
+    let emit in_flight =
+      match save with
+      | Some s -> s { completed = !completed; in_flight }
+      | None -> ()
+    in
+    (* Run one criterion check, replaying it from the checkpoint when a
+       previous run already concluded it, resuming mid-series when it was
+       in flight, and recording the outcome. A snapshot that no longer
+       matches the computation (e.g. the cutoff changed between runs) is
+       discarded and the check restarts from scratch. *)
+    let run_check ~id check =
+      match List.assoc_opt id !completed with
+      | Some v -> v
+      | None ->
+        let from_snap =
+          match from.in_flight with Some (fid, s) when fid = id -> Some s | _ -> None
+        in
+        let progress =
+          match save with
+          | None -> None
+          | Some _ -> Some (fun snap -> emit (Some (id, snap)))
+        in
+        let v, snap =
+          match check ?from:from_snap ?progress ~progress_every () with
+          | (Criteria.Check_failed (Ipdb_run.Error.Validation { what = "snapshot"; _ }), _)
+            when from_snap <> None ->
+            check ?from:None ?progress ~progress_every ()
+          | r -> r
+        in
+        (match v with
+        | Criteria.Partial _ -> (
+          match snap with Some s -> emit (Some (id, s)) | None -> emit None)
+        | v ->
+          completed := !completed @ [ (id, v) ];
+          emit None);
+        v
+    in
+    let rec try_c c =
+      if c > max_c then None
+      else begin
+        match cf.Zoo.thm53_cert c with
+        | Some cert -> (
+          let v =
+            run_check ~id:(Printf.sprintf "c%d" c) (fun ?from ?progress ~progress_every () ->
+                Criteria.theorem53_verdict_resumable ?budget ?from ?progress ~progress_every
+                  cf.Zoo.family ~c ~cert ~upto)
+          in
+          match v with
+          | Criteria.Finite_sum enclosure -> Some (In_FOTI (Theorem53 { c; criterion_sum = enclosure }))
+          | Criteria.Partial { exhausted; _ } ->
+            raise
+              (Out_of_budget
+                 {
+                   exhausted;
+                   detail =
+                     Printf.sprintf "Theorem 5.3 check at c=%d: %s" c (Criteria.verdict_to_string v);
+                 })
+          | Criteria.Infinite_sum _ | Criteria.Invalid_certificate _ | Criteria.Check_failed _ ->
+            try_c (c + 1))
+        | None -> try_c (c + 1)
+      end
+    in
+    let rec try_k k =
+      if k > max_k then None
+      else begin
+        match cf.Zoo.moment_cert k with
+        | Some cert -> (
+          let v =
+            run_check ~id:(Printf.sprintf "k%d" k) (fun ?from ?progress ~progress_every () ->
+                Criteria.moment_verdict_resumable ?budget ?from ?progress ~progress_every
+                  cf.Zoo.family ~k ~cert ~upto)
+          in
+          match v with
+          | Criteria.Infinite_sum { partial; _ } -> Some (Not_in_FOTI (Infinite_moment { k; partial }))
+          | Criteria.Partial { exhausted; _ } ->
+            raise
+              (Out_of_budget
+                 {
+                   exhausted;
+                   detail = Printf.sprintf "moment check at k=%d: %s" k (Criteria.verdict_to_string v);
+                 })
+          | Criteria.Finite_sum _ | Criteria.Invalid_certificate _ | Criteria.Check_failed _ ->
+            try_k (k + 1))
+        | None -> try_k (k + 1)
+      end
+    in
+    try
+      match try_k 1 with
+      | Some v -> v
+      | None -> (
+        match try_c 1 with
+        | Some v -> v
+        | None ->
+          Undetermined
+            "all certified moments are finite and no certified Theorem 5.3 capacity was found: \
+             the paper's criteria leave this PDB's membership open (cf. Example 3.9 and Example 5.6)")
+    with Out_of_budget { exhausted; detail } -> Partial { exhausted; detail }
+  end
+
 let verdict_to_string = function
   | In_FOTI (Bounded_size b) -> Printf.sprintf "in FO(TI): bounded instance size <= %d (Corollary 5.4)" b
   | In_FOTI (Theorem53 { c; criterion_sum }) ->

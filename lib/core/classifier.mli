@@ -39,6 +39,48 @@ val classify :
     across all criterion checks; exhaustion aborts the search with
     {!Partial} rather than raising. *)
 
+(** {1 Checkpointable classification}
+
+    A {!checkpoint} is the durable state of a classification run: the
+    verdicts of the criterion checks that already concluded (keyed
+    ["k1"].."k4" for moments, ["c1"].."c4" for Theorem 5.3 capacities) and
+    at most one in-flight series snapshot. {!classify_resumable} replays
+    completed checks from the checkpoint and resumes the in-flight one
+    mid-series, so a budget-killed classification continued across any
+    number of runs reaches the same verdict as a single uninterrupted
+    run. *)
+
+type checkpoint = {
+  completed : (string * Criteria.series_verdict) list;
+  in_flight : (string * Ipdb_series.Series.Snapshot.t) option;
+}
+
+val empty_checkpoint : checkpoint
+
+val checkpoint_to_string : checkpoint -> string
+(** Line-per-entry encoding (exact rationals throughout); suitable as an
+    {!Ipdb_run.Checkpoint} payload. *)
+
+val checkpoint_of_string : string -> (checkpoint, string) result
+(** Total inverse of {!checkpoint_to_string}. *)
+
+val classify_resumable :
+  ?budget:Ipdb_run.Budget.t ->
+  ?max_k:int ->
+  ?max_c:int ->
+  ?upto:int ->
+  ?from:checkpoint ->
+  ?save:(checkpoint -> unit) ->
+  ?progress_every:int ->
+  Zoo.certified_family ->
+  verdict
+(** {!classify} with durable progress: [from] seeds the search with a
+    previous run's checkpoint, and [save] (when given) is invoked with the
+    current checkpoint after every concluded check and every
+    [progress_every] terms inside a running series. An in-flight snapshot
+    that no longer matches its check (changed cutoff, different
+    certificate index) is discarded and that check restarts cleanly. *)
+
 val verdict_to_string : verdict -> string
 
 val agrees_with_paper : Zoo.certified_family -> verdict -> bool

@@ -57,6 +57,208 @@ let moment_verdict ?budget fam ~k ~cert ~upto =
 let theorem53_verdict ?budget fam ~c ~cert ~upto =
   check_series ?budget ~start:fam.Family.start ~cert ~upto (Family.theorem53_term fam ~c)
 
+let check_series_resumable ?budget ?from ?progress ?progress_every ~start ~cert ~upto term =
+  match cert with
+  | Tail tail -> (
+    match Series.sum_resumable ?budget ?from ?progress ?progress_every ~start term ~tail ~upto with
+    | Ok (Series.Complete enclosure, snap) -> (Finite_sum enclosure, Some snap)
+    | Ok (Series.Exhausted p, snap) ->
+      ( Partial
+          {
+            enclosure = p.Series.enclosure;
+            partial = Interval.midpoint p.Series.prefix;
+            at = p.Series.last;
+            requested = p.Series.requested;
+            exhausted = p.Series.exhausted;
+          },
+        Some snap )
+    | Error (Ipdb_run.Error.Certificate { msg; _ }) -> (Invalid_certificate msg, None)
+    | Error e -> (Check_failed e, None))
+  | Divergence certificate -> (
+    match
+      Series.certify_divergence_resumable ?budget ?from ?progress ?progress_every ~start term
+        ~certificate ~upto
+    with
+    | Ok (Series.Div_complete { partial; at }, snap) -> (Infinite_sum { partial; at }, Some snap)
+    | Ok (Series.Div_exhausted { partial; last; requested; exhausted; _ }, snap) ->
+      (Partial { enclosure = None; partial; at = last; requested; exhausted }, Some snap)
+    | Error (Ipdb_run.Error.Certificate { msg; _ }) -> (Invalid_certificate msg, None)
+    | Error e -> (Check_failed e, None))
+
+let moment_verdict_resumable ?budget ?from ?progress ?progress_every fam ~k ~cert ~upto =
+  check_series_resumable ?budget ?from ?progress ?progress_every ~start:fam.Family.start ~cert
+    ~upto (Family.moment_term fam ~k)
+
+let theorem53_verdict_resumable ?budget ?from ?progress ?progress_every fam ~c ~cert ~upto =
+  check_series_resumable ?budget ?from ?progress ?progress_every ~start:fam.Family.start ~cert
+    ~upto (Family.theorem53_term fam ~c)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict (de)serialization — evidence persisted in checkpoints        *)
+(* ------------------------------------------------------------------ *)
+
+(* Space-free token encoding for embedded strings, so a serialized verdict
+   is a single line that splits cleanly on spaces. The empty string gets a
+   dedicated spelling (["\e"]) that no nonempty escape can collide with. *)
+let tok_escape s =
+  if s = "" then "\\e"
+  else begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | ' ' -> Buffer.add_string b "\\s"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let tok_unescape s =
+  if s = "\\e" then Ok ""
+  else begin
+    let n = String.length s in
+    let b = Buffer.create n in
+    let rec go i =
+      if i >= n then Ok (Buffer.contents b)
+      else
+        match s.[i] with
+        | '\\' ->
+          if i + 1 >= n then Error "dangling escape in token"
+          else (
+            match s.[i + 1] with
+            | '\\' -> Buffer.add_char b '\\'; go (i + 2)
+            | 's' -> Buffer.add_char b ' '; go (i + 2)
+            | 'n' -> Buffer.add_char b '\n'; go (i + 2)
+            | 'r' -> Buffer.add_char b '\r'; go (i + 2)
+            | c -> Error (Printf.sprintf "invalid token escape '\\%c'" c))
+        | c -> Buffer.add_char b c; go (i + 1)
+    in
+    go 0
+  end
+
+let enc_f = Series.Snapshot.encode_float
+let dec_f = Series.Snapshot.decode_float
+let ( let* ) = Result.bind
+
+let exhaustion_to_tokens = function
+  | Ipdb_run.Error.Timeout { elapsed; limit } -> [ "timeout"; enc_f elapsed; enc_f limit ]
+  | Ipdb_run.Error.Steps { used; limit } -> [ "steps"; string_of_int used; string_of_int limit ]
+  | Ipdb_run.Error.Cancelled -> [ "cancelled" ]
+
+let int_tok name s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "unparsable %s %S" name s)
+
+let exhaustion_of_tokens = function
+  | [ "timeout"; e; l ] ->
+    let* elapsed = dec_f e in
+    let* limit = dec_f l in
+    Ok (Ipdb_run.Error.Timeout { elapsed; limit })
+  | [ "steps"; u; l ] ->
+    let* used = int_tok "step count" u in
+    let* limit = int_tok "step limit" l in
+    Ok (Ipdb_run.Error.Steps { used; limit })
+  | [ "cancelled" ] -> Ok Ipdb_run.Error.Cancelled
+  | toks -> Error (Printf.sprintf "unparsable exhaustion %S" (String.concat " " toks))
+
+let error_to_tokens = function
+  | Ipdb_run.Error.Parse { what; msg } -> [ "parse"; tok_escape what; tok_escape msg ]
+  | Ipdb_run.Error.Validation { what; msg } -> [ "validation"; tok_escape what; tok_escape msg ]
+  | Ipdb_run.Error.Certificate { what; msg } -> [ "certificate"; tok_escape what; tok_escape msg ]
+  | Ipdb_run.Error.Io { path; msg } -> [ "io"; tok_escape path; tok_escape msg ]
+  | Ipdb_run.Error.Exhausted { what; reason } ->
+    "exhausted" :: tok_escape what :: exhaustion_to_tokens reason
+  | Ipdb_run.Error.Injected_fault { site } -> [ "fault"; tok_escape site ]
+  | Ipdb_run.Error.Internal { msg } -> [ "internal"; tok_escape msg ]
+
+let error_of_tokens toks =
+  let two k what msg =
+    let* what = tok_unescape what in
+    let* msg = tok_unescape msg in
+    Ok (k ~what ~msg)
+  in
+  match toks with
+  | [ "parse"; w; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Parse { what; msg }) w m
+  | [ "validation"; w; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Validation { what; msg }) w m
+  | [ "certificate"; w; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Certificate { what; msg }) w m
+  | [ "io"; p; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Io { path = what; msg }) p m
+  | "exhausted" :: w :: rest ->
+    let* what = tok_unescape w in
+    let* reason = exhaustion_of_tokens rest in
+    Ok (Ipdb_run.Error.Exhausted { what; reason })
+  | [ "fault"; s ] ->
+    let* site = tok_unescape s in
+    Ok (Ipdb_run.Error.Injected_fault { site })
+  | [ "internal"; m ] ->
+    let* msg = tok_unescape m in
+    Ok (Ipdb_run.Error.Internal { msg })
+  | toks -> Error (Printf.sprintf "unparsable error %S" (String.concat " " toks))
+
+let verdict_serialize v =
+  let tokens =
+    match v with
+    | Finite_sum e -> [ "finite"; enc_f (Interval.lo e); enc_f (Interval.hi e) ]
+    | Infinite_sum { partial; at } -> [ "infinite"; enc_f partial; string_of_int at ]
+    | Partial { enclosure; partial; at; requested; exhausted } ->
+      let enc =
+        match enclosure with
+        | None -> [ "none" ]
+        | Some e -> [ "some"; enc_f (Interval.lo e); enc_f (Interval.hi e) ]
+      in
+      ("partial" :: enc)
+      @ [ enc_f partial; string_of_int at; string_of_int requested ]
+      @ exhaustion_to_tokens exhausted
+    | Invalid_certificate msg -> [ "invalid"; tok_escape msg ]
+    | Check_failed e -> "failed" :: error_to_tokens e
+  in
+  String.concat " " tokens
+
+let interval_of lo_s hi_s =
+  let* lo = dec_f lo_s in
+  let* hi = dec_f hi_s in
+  if Float.is_nan lo || Float.is_nan hi || lo > hi then
+    Error "endpoints do not form an interval"
+  else Ok (Interval.make lo hi)
+
+let verdict_deserialize s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "finite"; lo_s; hi_s ] ->
+    let* e = interval_of lo_s hi_s in
+    Ok (Finite_sum e)
+  | [ "infinite"; p_s; at_s ] ->
+    let* partial = dec_f p_s in
+    let* at = int_tok "index" at_s in
+    Ok (Infinite_sum { partial; at })
+  | "partial" :: rest -> (
+    let finish enclosure rest =
+      match rest with
+      | p_s :: at_s :: req_s :: exh ->
+        let* partial = dec_f p_s in
+        let* at = int_tok "index" at_s in
+        let* requested = int_tok "requested index" req_s in
+        let* exhausted = exhaustion_of_tokens exh in
+        Ok (Partial { enclosure; partial; at; requested; exhausted })
+      | _ -> Error "truncated partial verdict"
+    in
+    match rest with
+    | "none" :: rest -> finish None rest
+    | "some" :: lo_s :: hi_s :: rest ->
+      let* e = interval_of lo_s hi_s in
+      finish (Some e) rest
+    | _ -> Error "unparsable partial enclosure")
+  | [ "invalid"; m ] ->
+    let* msg = tok_unescape m in
+    Ok (Invalid_certificate msg)
+  | "failed" :: rest ->
+    let* e = error_of_tokens rest in
+    Ok (Check_failed e)
+  | tag :: _ -> Error (Printf.sprintf "unknown verdict tag %S" tag)
+  | [] -> Error "empty verdict"
+
 let verdict_to_string = function
   | Finite_sum e -> Printf.sprintf "finite: sum in [%g, %g]" (Interval.lo e) (Interval.hi e)
   | Infinite_sum { partial; at } -> Printf.sprintf "infinite (certified; partial %g after %d terms)" partial at

@@ -62,6 +62,64 @@ val theorem53_verdict :
 val verdict_to_string : series_verdict -> string
 (** One-line rendering of a series verdict. *)
 
+(** {1 Resumable checks and persisted evidence}
+
+    The [_resumable] variants thread {!Ipdb_series.Series.Snapshot}s
+    through the budgeted engines: [from] restarts a check from the exact
+    state a previous (budget-exhausted) run stopped at, and [progress]
+    observes the state every [progress_every] terms so callers can
+    checkpoint mid-flight. Because the engines are sequential folds over
+    exactly-persisted state, an interrupted-and-resumed check returns the
+    same verdict, bit for bit, as an uninterrupted one. *)
+
+val check_series_resumable :
+  ?budget:Ipdb_run.Budget.t ->
+  ?from:Series.Snapshot.t ->
+  ?progress:(Series.Snapshot.t -> unit) ->
+  ?progress_every:int ->
+  start:int ->
+  cert:certificate ->
+  upto:int ->
+  (int -> float) ->
+  series_verdict * Series.Snapshot.t option
+(** {!check_series} with checkpoint/resume. The snapshot is [Some] exactly
+    when the engine ran (verdicts [Finite_sum], [Infinite_sum] and
+    [Partial]); for a [Partial] verdict it is the state to resume from. A
+    snapshot of a different computation yields
+    [Check_failed (Validation _)]. *)
+
+val moment_verdict_resumable :
+  ?budget:Ipdb_run.Budget.t ->
+  ?from:Series.Snapshot.t ->
+  ?progress:(Series.Snapshot.t -> unit) ->
+  ?progress_every:int ->
+  Ipdb_pdb.Family.t ->
+  k:int ->
+  cert:certificate ->
+  upto:int ->
+  series_verdict * Series.Snapshot.t option
+
+val theorem53_verdict_resumable :
+  ?budget:Ipdb_run.Budget.t ->
+  ?from:Series.Snapshot.t ->
+  ?progress:(Series.Snapshot.t -> unit) ->
+  ?progress_every:int ->
+  Ipdb_pdb.Family.t ->
+  c:int ->
+  cert:certificate ->
+  upto:int ->
+  series_verdict * Series.Snapshot.t option
+
+val verdict_serialize : series_verdict -> string
+(** Single-line encoding of a verdict with all floats persisted as exact
+    rationals (via {!Series.Snapshot.encode_float}), so deserializing
+    reproduces the verdict bit for bit — including the typed error inside
+    [Check_failed]. *)
+
+val verdict_deserialize : string -> (series_verdict, string) result
+(** Total inverse of {!verdict_serialize}; malformed input yields a
+    diagnostic, never an exception. *)
+
 (** {1 Lemma 3.3: views preserve finite moments} *)
 
 val lemma33_bound :

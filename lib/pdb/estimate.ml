@@ -1,6 +1,7 @@
 module Interval = Ipdb_series.Interval
 module Instance = Ipdb_relational.Instance
 module Eval = Ipdb_logic.Eval
+module Run_error = Ipdb_run.Error
 
 type estimate = {
   mean : float;
@@ -10,34 +11,58 @@ type estimate = {
   confidence : float;
 }
 
-let hoeffding_halfwidth ~samples ~delta =
-  if samples <= 0 then invalid_arg "Estimate: need at least one sample";
-  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Estimate: delta must be in (0,1)";
+(* The [not (delta > 0 && delta < 1)] spelling also rejects NaN, which the
+   naive two-sided comparison would let through — and a NaN delta silently
+   poisons every downstream halfwidth. *)
+let validate_params ~samples ~delta =
+  if samples <= 0 then
+    Error
+      (Run_error.Validation
+         { what = "samples"; msg = Printf.sprintf "need at least one sample, got %d" samples })
+  else if not (delta > 0.0 && delta < 1.0) then
+    Error
+      (Run_error.Validation
+         { what = "delta"; msg = Printf.sprintf "must be in (0,1), got %g" delta })
+  else Ok ()
+
+let hoeffding_halfwidth_unchecked ~samples ~delta =
   sqrt (log (2.0 /. delta) /. (2.0 *. float_of_int samples))
+
+let hoeffding_halfwidth ~samples ~delta =
+  match validate_params ~samples ~delta with
+  | Error _ as e -> e
+  | Ok () -> Ok (hoeffding_halfwidth_unchecked ~samples ~delta)
 
 let interval e =
   let slack = e.statistical_halfwidth +. e.truncation_bias in
   Interval.make (Float.max 0.0 (e.mean -. slack)) (Float.min 1.0 (e.mean +. slack))
 
 let run_sampler ~delta ~samples ~bias sample_one pred =
-  let hits = ref 0 in
-  for _ = 1 to samples do
-    if pred (sample_one ()) then incr hits
-  done;
-  {
-    mean = float_of_int !hits /. float_of_int samples;
-    samples;
-    statistical_halfwidth = hoeffding_halfwidth ~samples ~delta;
-    truncation_bias = bias;
-    confidence = 1.0 -. delta;
-  }
+  match validate_params ~samples ~delta with
+  | Error _ as e -> e
+  | Ok () ->
+    let hits = ref 0 in
+    for _ = 1 to samples do
+      if pred (sample_one ()) then incr hits
+    done;
+    Ok
+      {
+        mean = float_of_int !hits /. float_of_int samples;
+        samples;
+        statistical_halfwidth = hoeffding_halfwidth_unchecked ~samples ~delta;
+        truncation_bias = bias;
+        confidence = 1.0 -. delta;
+      }
 
 let event_probability_finite ?(delta = 0.01) ~samples ~rng d pred =
   run_sampler ~delta ~samples ~bias:0.0 (fun () -> Finite_pdb.sample d rng) pred
 
 let event_probability_ti ?(delta = 0.01) ~samples ~truncate_at ~rng ti pred =
-  let fin, tv = Ti.Infinite.truncate ti ~n:truncate_at in
-  run_sampler ~delta ~samples ~bias:tv (fun () -> Ti.Finite.sample fin rng) pred
+  match validate_params ~samples ~delta with
+  | Error _ as e -> e
+  | Ok () ->
+    let fin, tv = Ti.Infinite.truncate ti ~n:truncate_at in
+    run_sampler ~delta ~samples ~bias:tv (fun () -> Ti.Finite.sample fin rng) pred
 
 let sentence_probability_bid ?(delta = 0.01) ~samples ~rng bid phi =
   run_sampler ~delta ~samples ~bias:0.0

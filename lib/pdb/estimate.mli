@@ -24,8 +24,14 @@ type estimate = {
 val interval : estimate -> Ipdb_series.Interval.t
 (** [mean ± (statistical + bias)], clipped to [0, 1]. *)
 
-val hoeffding_halfwidth : samples:int -> delta:float -> float
-(** [sqrt (ln (2/delta) / (2 n))]. *)
+val validate_params : samples:int -> delta:float -> (unit, Ipdb_run.Error.t) result
+(** Typed validation shared by every estimator: [samples] must be
+    positive and [delta] strictly inside [(0,1)] — a NaN [delta] is
+    rejected too, instead of silently producing NaN halfwidths. *)
+
+val hoeffding_halfwidth : samples:int -> delta:float -> (float, Ipdb_run.Error.t) result
+(** [sqrt (ln (2/delta) / (2 n))]; [Error (Validation _)] on out-of-range
+    parameters. *)
 
 val event_probability_finite :
   ?delta:float ->
@@ -33,7 +39,7 @@ val event_probability_finite :
   rng:Random.State.t ->
   Finite_pdb.t ->
   (Ipdb_relational.Instance.t -> bool) ->
-  estimate
+  (estimate, Ipdb_run.Error.t) result
 (** Sampling estimator on a finite PDB (zero truncation bias); useful to
     cross-check the exact [Finite_pdb.prob_event] and to scale past
     exhaustive enumeration. *)
@@ -45,8 +51,9 @@ val event_probability_ti :
   rng:Random.State.t ->
   Ti.Infinite.t ->
   (Ipdb_relational.Instance.t -> bool) ->
-  estimate
-(** Estimator on an infinite TI-PDB via its TV-bounded truncation. *)
+  (estimate, Ipdb_run.Error.t) result
+(** Estimator on an infinite TI-PDB via its TV-bounded truncation.
+    Parameters are validated {e before} the truncation is built. *)
 
 val sentence_probability_bid :
   ?delta:float ->
@@ -54,7 +61,7 @@ val sentence_probability_bid :
   rng:Random.State.t ->
   Bid.Infinite.t ->
   Ipdb_logic.Fo.t ->
-  estimate
+  (estimate, Ipdb_run.Error.t) result
 (** Estimator for an FO sentence on an infinite BID-PDB with finitely many
     blocks: worlds are sampled {e exactly} (one inverse-CDF draw per
     block), so the truncation bias is zero. *)

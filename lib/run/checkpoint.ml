@@ -1,0 +1,93 @@
+(* Atomic checkpoint files: temp file + fsync + rename in the same
+   directory, with a checksummed header so partial or corrupted payloads
+   are detected on load rather than silently resumed from. *)
+
+let magic = "ipdbc1"
+let io path msg = Error (Error.Io { path; msg })
+let invalid path msg = Error (Error.Validation { what = "checkpoint " ^ path; msg })
+
+let frame payload =
+  Printf.sprintf "%s %d %016Lx\n%s" magic (String.length payload)
+    (Journal.checksum payload) payload
+
+let fsync_dir dir =
+  (* Persist the rename itself. Best-effort: not every platform allows
+     fsync on a directory fd, and the write+rename alone already gives
+     old-or-new atomicity. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with _ -> ());
+      (try Unix.close fd with _ -> ())
+  | exception _ -> ()
+
+let save ~path payload =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let write () =
+    let fd =
+      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    in
+    let cleanup () = try Unix.close fd with _ -> () in
+    match
+      let text = frame payload in
+      let len = String.length text in
+      let written = Unix.write_substring fd text 0 len in
+      if written <> len then failwith "short write";
+      Unix.fsync fd
+    with
+    | () ->
+        cleanup ();
+        Unix.rename tmp path;
+        fsync_dir dir
+    | exception e ->
+        cleanup ();
+        (try Sys.remove tmp with _ -> ());
+        raise e
+  in
+  match write () with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      io path (Printf.sprintf "checkpoint write failed: %s" (Unix.error_message e))
+  | exception Sys_error m -> io path m
+  | exception Failure m -> io path (Printf.sprintf "checkpoint write failed: %s" m)
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok None
+  else
+    match
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in_noerr ic;
+      s
+    with
+    | exception Sys_error m -> io path m
+    | exception End_of_file -> invalid path "file shrank while reading"
+    | text -> (
+        match String.index_opt text '\n' with
+        | None -> invalid path "missing header line"
+        | Some nl -> (
+            let header = String.sub text 0 nl in
+            let payload = String.sub text (nl + 1) (String.length text - nl - 1) in
+            match String.split_on_char ' ' header with
+            | [ m; len_s; sum_s ] when m = magic -> (
+                match (int_of_string_opt len_s, Int64.of_string_opt ("0x" ^ sum_s)) with
+                | None, _ ->
+                    invalid path (Printf.sprintf "unparsable length %S in header" len_s)
+                | _, None ->
+                    invalid path (Printf.sprintf "unparsable checksum %S in header" sum_s)
+                | Some len, Some sum ->
+                    if String.length payload <> len then
+                      invalid path
+                        (Printf.sprintf
+                           "length mismatch: header says %d bytes, payload has %d"
+                           len (String.length payload))
+                    else if Journal.checksum payload <> sum then
+                      invalid path "checksum mismatch"
+                    else Ok (Some payload))
+            | m :: _ when m <> magic ->
+                invalid path (Printf.sprintf "bad magic %S (expected %s)" m magic)
+            | _ -> invalid path "malformed header line"))

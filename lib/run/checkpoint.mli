@@ -1,0 +1,20 @@
+(** Atomic, checksummed single-payload checkpoint files.
+
+    A checkpoint holds one opaque payload (callers store exact-rational
+    snapshots of series state, classifier progress, ...) framed as
+
+    {v ipdbc1 <length> <fnv64-hex>\n<payload> v}
+
+    {!save} writes to a temporary file in the same directory, [fsync]s it,
+    and [rename]s it over the destination, so readers see either the old
+    complete checkpoint or the new complete checkpoint — never a torn mix.
+    {!load} verifies the frame and returns a typed error for any damage;
+    it never raises. *)
+
+val save : path:string -> string -> (unit, Error.t) result
+(** Atomically replace the checkpoint at [path] with the given payload. *)
+
+val load : path:string -> (string option, Error.t) result
+(** [Ok None] if no checkpoint exists; [Ok (Some payload)] when the frame
+    verifies; [Error (Validation _)] with a positioned diagnostic when the
+    file is damaged; [Error (Io _)] when it cannot be read. *)

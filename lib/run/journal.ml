@@ -1,0 +1,172 @@
+(* Append-only write-ahead journal with per-record checksums.
+
+   Record framing (one line per record):
+
+     ipdbj1 <length> <fnv64-hex> <escaped-payload>\n
+
+   [length] and the checksum cover the raw payload, before escaping, so a
+   torn or bit-flipped line fails verification no matter where the damage
+   landed. Appends are a single write(2) followed by fsync, so after a
+   crash at most the final line is damaged; [recover] returns the valid
+   prefix and a positioned diagnostic for the tail. *)
+
+let magic = "ipdbj1"
+
+(* FNV-1a, 64-bit. Dependency-free and plenty for torn-write detection;
+   this is an integrity check, not an adversarial MAC. *)
+let checksum s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents b)
+    else
+      match s.[i] with
+      | '\\' ->
+          if i + 1 >= n then Error "dangling escape at end of payload"
+          else (
+            match s.[i + 1] with
+            | '\\' ->
+                Buffer.add_char b '\\';
+                go (i + 2)
+            | 'n' ->
+                Buffer.add_char b '\n';
+                go (i + 2)
+            | 'r' ->
+                Buffer.add_char b '\r';
+                go (i + 2)
+            | c -> Error (Printf.sprintf "invalid escape '\\%c'" c))
+      | '\n' | '\r' -> Error "unescaped line break in payload"
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0
+
+let frame payload =
+  Printf.sprintf "%s %d %016Lx %s\n" magic (String.length payload)
+    (checksum payload) (escape payload)
+
+type t = { fd : Unix.file_descr; path : string; mutable closed : bool }
+
+let io path msg = Error (Error.Io { path; msg })
+
+let open_append ~path =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
+  | fd -> Ok { fd; path; closed = false }
+  | exception Unix.Unix_error (e, _, _) ->
+      io path (Printf.sprintf "cannot open journal: %s" (Unix.error_message e))
+  | exception Sys_error m -> io path m
+
+let append t payload =
+  if t.closed then io t.path "journal handle is closed"
+  else
+    let line = frame payload in
+    let len = String.length line in
+    match
+      let written = Unix.write_substring t.fd line 0 len in
+      if written <> len then failwith "short write"
+      else Unix.fsync t.fd
+    with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        io t.path (Printf.sprintf "journal append failed: %s" (Unix.error_message e))
+    | exception Failure m -> io t.path (Printf.sprintf "journal append failed: %s" m)
+
+let close t =
+  if not t.closed then (
+    t.closed <- true;
+    try Unix.close t.fd with _ -> ())
+
+type tail = Clean | Torn of { line : int; reason : string }
+type recovery = { records : string list; tail : tail }
+
+(* Parse one framed line (without its trailing newline). *)
+let parse_line line =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt line ' ' with
+  | None -> fail "missing record header"
+  | Some sp1 -> (
+      if String.sub line 0 sp1 <> magic then fail "bad magic (expected %s)" magic
+      else
+        match String.index_from_opt line (sp1 + 1) ' ' with
+        | None -> fail "truncated header (no length field)"
+        | Some sp2 -> (
+            match String.index_from_opt line (sp2 + 1) ' ' with
+            | None -> fail "truncated header (no checksum field)"
+            | Some sp3 -> (
+                let len_s = String.sub line (sp1 + 1) (sp2 - sp1 - 1) in
+                let sum_s = String.sub line (sp2 + 1) (sp3 - sp2 - 1) in
+                let body = String.sub line (sp3 + 1) (String.length line - sp3 - 1) in
+                match int_of_string_opt len_s with
+                | None -> fail "unparsable length %S" len_s
+                | Some expect_len when expect_len < 0 -> fail "negative length"
+                | Some expect_len -> (
+                    match Int64.of_string_opt ("0x" ^ sum_s) with
+                    | None -> fail "unparsable checksum %S" sum_s
+                    | Some expect_sum -> (
+                        match unescape body with
+                        | Error m -> fail "payload: %s" m
+                        | Ok payload ->
+                            if String.length payload <> expect_len then
+                              fail "length mismatch: header says %d, payload has %d"
+                                expect_len (String.length payload)
+                            else if checksum payload <> expect_sum then
+                              fail "checksum mismatch"
+                            else Ok payload)))))
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in_noerr ic;
+      Ok s
+  | exception Sys_error m -> io path m
+
+let recover ~path =
+  if not (Sys.file_exists path) then Ok { records = []; tail = Clean }
+  else
+    match read_file path with
+    | Error _ as e -> e
+    | Ok text ->
+        let n = String.length text in
+        let records = ref [] in
+        (* Walk newline-terminated lines; a final chunk without '\n' is a
+           torn append unless it still verifies as a complete record. *)
+        let rec go pos line_no =
+          if pos >= n then Clean
+          else
+            let stop, next =
+              match String.index_from_opt text pos '\n' with
+              | Some i -> (i, i + 1)
+              | None -> (n, n)
+            in
+            let line = String.sub text pos (stop - pos) in
+            match parse_line line with
+            | Ok payload ->
+                records := payload :: !records;
+                go next (line_no + 1)
+            | Error reason -> Torn { line = line_no; reason }
+        in
+        let tail = go 0 1 in
+        Ok { records = List.rev !records; tail }

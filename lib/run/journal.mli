@@ -1,0 +1,51 @@
+(** Append-only, per-record-checksummed write-ahead journal.
+
+    One record per line, framed as
+
+    {v ipdbj1 <length> <fnv64-hex> <escaped-payload> v}
+
+    where [length] is the byte length of the {e raw} payload, the checksum
+    is FNV-1a/64 over the raw payload, and the escaping makes arbitrary
+    payload bytes (including newlines) line-safe. Appends are single
+    [write]s followed by [fsync], so a crash leaves at most one torn record
+    at the tail.
+
+    Recovery is total: {!recover} scans the file, returns every record of
+    the longest valid prefix, and reports the first damaged line as a
+    positioned diagnostic — it never raises, whatever bytes are on disk.
+    This is the crash-consistency contract the bench suite's [--resume]
+    and the corruption fuzz tests rely on. *)
+
+type t
+(** An open journal handle for appending. *)
+
+val open_append : path:string -> (t, Error.t) result
+(** Open (creating if missing) a journal for appending. *)
+
+val append : t -> string -> (unit, Error.t) result
+(** Append one record (any bytes) and [fsync]. *)
+
+val close : t -> unit
+(** Close the handle (idempotent; errors ignored). *)
+
+type tail =
+  | Clean  (** every line parsed as a valid record *)
+  | Torn of { line : int; reason : string }
+      (** first damaged line (1-based) and why it was rejected; all
+          records before it are returned *)
+
+type recovery = { records : string list; tail : tail }
+
+val recover : path:string -> (recovery, Error.t) result
+(** Scan a journal file and return the valid prefix. A missing file is an
+    empty, clean journal (so a first run and a resumed run share one code
+    path); unreadable files surface as [Error (Io _)]. Damaged or torn
+    records never raise — they terminate the prefix with {!Torn}. *)
+
+val checksum : string -> int64
+(** FNV-1a/64 of a string (exposed for tests and cross-checking). *)
+
+val escape : string -> string
+(** Line-safe escaping used by the record framing (exposed for tests). *)
+
+val unescape : string -> (string, string) result

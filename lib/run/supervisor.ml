@@ -1,0 +1,110 @@
+type classification = Transient | Permanent
+
+let classify = function
+  | Error.Io _ | Error.Injected_fault _ -> Transient
+  | Error.Parse _ | Error.Validation _ | Error.Certificate _ | Error.Internal _
+  | Error.Exhausted _ ->
+      Permanent
+
+let classification_to_string = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  seed : int;
+  quarantine_after : int;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_delay = 0.05;
+    max_delay = 1.0;
+    seed = 0;
+    quarantine_after = 3;
+  }
+
+(* Deterministic jitter: hash (seed, task, attempt) to a factor in
+   [0.5, 1.0]. Same policy seed => same retry schedule, which keeps
+   supervised runs reproducible. *)
+let jitter_factor ~seed ~task ~attempt =
+  let h = Journal.checksum (Printf.sprintf "%d\x00%s\x00%d" seed task attempt) in
+  let u = Int64.to_float (Int64.logand h 0xFFFFFFL) /. 16777215.0 in
+  0.5 +. (0.5 *. u)
+
+let backoff_delay policy ~task ~attempt =
+  let attempt = max attempt 1 in
+  let exp =
+    policy.base_delay *. Float.of_int (1 lsl min (attempt - 1) 30)
+  in
+  Float.min policy.max_delay exp
+  *. jitter_factor ~seed:policy.seed ~task ~attempt
+
+type t = {
+  policy : policy;
+  sleep : float -> unit;
+  fail_counts : (string, int) Hashtbl.t;
+}
+
+let create ?(policy = default_policy) ?(sleep = Unix.sleepf) () =
+  { policy; sleep; fail_counts = Hashtbl.create 16 }
+
+let failures t ~task = Option.value ~default:0 (Hashtbl.find_opt t.fail_counts task)
+
+let quarantined t ~task =
+  t.policy.quarantine_after > 0 && failures t ~task >= t.policy.quarantine_after
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { error : Error.t; attempts : int }
+  | Quarantined of { failures : int }
+
+let run t ~task thunk =
+  if quarantined t ~task then Quarantined { failures = failures t ~task }
+  else
+    let record_failure () =
+      Hashtbl.replace t.fail_counts task (failures t ~task + 1)
+    in
+    let rec attempt n =
+      match thunk () with
+      | Ok v ->
+          Hashtbl.replace t.fail_counts task 0;
+          Done v
+      | Error e -> (
+          match classify e with
+          | Permanent ->
+              record_failure ();
+              Failed { error = e; attempts = n }
+          | Transient ->
+              if n >= max t.policy.max_attempts 1 then (
+                record_failure ();
+                Failed { error = e; attempts = n })
+              else (
+                t.sleep (backoff_delay t.policy ~task ~attempt:n);
+                attempt (n + 1)))
+    in
+    attempt 1
+
+type 'a graded = Exact of 'a | Degraded of 'a | Skipped of { reason : Error.t }
+
+let with_degradation t ~task ~exact ?budgeted () =
+  let fallback reason =
+    match budgeted with
+    | None -> Skipped { reason }
+    | Some b -> (
+        match b () with Ok v -> Degraded v | Error e -> Skipped { reason = e })
+  in
+  match run t ~task exact with
+  | Done v -> Exact v
+  | Failed { error; _ } -> fallback error
+  | Quarantined { failures } ->
+      fallback
+        (Error.Internal
+           {
+             msg =
+               Printf.sprintf "task %s quarantined after %d consecutive failures"
+                 task failures;
+           })

@@ -1,0 +1,89 @@
+(** Supervised execution: retry, quarantine, graceful degradation.
+
+    The supervisor runs result-typed thunks and decides, from the {!Error}
+    taxonomy, whether a failure is worth retrying:
+
+    - {e transient} faults (I/O hiccups, injected faults) are retried with
+      bounded exponential backoff and {e seeded deterministic} jitter, so a
+      given (seed, task, attempt) always waits the same amount — retry
+      schedules are reproducible in tests and in post-mortems;
+    - {e permanent} faults (parse/validation errors, rejected certificates,
+      internal bugs) fail fast — retrying cannot change a deterministic
+      verdict;
+    - budget exhaustion is neither: it is handled by the degradation
+      ladder, not by retry.
+
+    Each named task keeps a consecutive-failure count; after
+    [quarantine_after] failed runs the task is quarantined and subsequent
+    runs are refused without executing, so one pathological experiment
+    cannot starve the rest of a suite. A success resets the count.
+
+    {!with_degradation} implements the ladder exact → budgeted-partial →
+    skip-with-typed-reason used by the bench driver. *)
+
+type classification = Transient | Permanent
+
+val classify : Error.t -> classification
+(** [Io] and [Injected_fault] are transient; [Parse], [Validation],
+    [Certificate] and [Internal] are permanent. [Exhausted] is classified
+    permanent for retry purposes (same budget ⇒ same exhaustion); route it
+    through {!with_degradation} instead. *)
+
+val classification_to_string : classification -> string
+
+type policy = {
+  max_attempts : int;  (** total tries per [run], including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** backoff ceiling in seconds *)
+  seed : int;  (** jitter seed; same seed ⇒ same schedule *)
+  quarantine_after : int;  (** consecutive failed runs before quarantine *)
+}
+
+val default_policy : policy
+(** 3 attempts, 0.05s base, 1s ceiling, seed 0, quarantine after 3. *)
+
+val backoff_delay : policy -> task:string -> attempt:int -> float
+(** Delay before retrying [task] after failed attempt [attempt] (1-based):
+    [min max_delay (base_delay * 2^(attempt-1))] scaled by a deterministic
+    jitter factor in [0.5, 1.0] derived from (seed, task, attempt). *)
+
+type t
+
+val create : ?policy:policy -> ?sleep:(float -> unit) -> unit -> t
+(** [sleep] defaults to [Unix.sleepf]; tests inject a recorder to assert
+    on the schedule without actually waiting. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { error : Error.t; attempts : int }
+      (** permanent failure, or retries exhausted; [attempts] executions
+          were made *)
+  | Quarantined of { failures : int }
+      (** refused without executing: the task already failed [failures]
+          consecutive runs *)
+
+val run : t -> task:string -> (unit -> ('a, Error.t) result) -> 'a outcome
+(** Execute the thunk under the retry policy, updating [task]'s
+    quarantine state. *)
+
+val failures : t -> task:string -> int
+(** Current consecutive-failure count for [task]. *)
+
+val quarantined : t -> task:string -> bool
+
+type 'a graded =
+  | Exact of 'a
+  | Degraded of 'a  (** the budgeted fallback tier produced the value *)
+  | Skipped of { reason : Error.t }
+
+val with_degradation :
+  t ->
+  task:string ->
+  exact:(unit -> ('a, Error.t) result) ->
+  ?budgeted:(unit -> ('a, Error.t) result) ->
+  unit ->
+  'a graded
+(** The degradation ladder: run [exact] under the retry policy; if it
+    fails (or the task is quarantined) and a [budgeted] fallback is given,
+    run that (single attempt); if everything fails, [Skipped] with the
+    last typed error. *)

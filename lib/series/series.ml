@@ -214,77 +214,6 @@ let tail_bound_opt tail n =
       if Float.is_nan b || b < 0.0 then None else Some b
     end
 
-let sum_budgeted ?(start = 0) ?(budget = Budget.unlimited) f ~tail ~upto =
-  match Tail.params_ok tail with
-  | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
-  | Ok () ->
-    let check_from = Stdlib.max start (Tail.start_index tail) in
-    let eval n =
-      Faultinj.fire Faultinj.Term_eval;
-      f n
-    in
-    let validate n a =
-      if n < check_from then Ok ()
-      else begin
-        Faultinj.fire Faultinj.Certificate;
-        let b = Tail.pointwise_bound tail n in
-        if a <= b +. ulp_slack b then Ok ()
-        else Error (Printf.sprintf "term %d = %g exceeds certified bound %g" n a b)
-      end
-    in
-    let stop acc last exhausted =
-      let enclosure =
-        match tail_bound_opt tail (last + 1) with
-        | Some b -> Some (Interval.add acc (Interval.make 0.0 b))
-        | None -> None
-      in
-      Ok (Exhausted { enclosure; prefix = acc; last; requested = upto; exhausted })
-    in
-    let rec go n acc =
-      if n > upto then begin
-        match tail_bound_opt tail (upto + 1) with
-        | Some b -> Ok (Complete (Interval.add acc (Interval.make 0.0 b)))
-        | None ->
-          Error
-            (Run_error.Certificate
-               { what = "tail certificate"; msg = "no tail bound at the cutoff (finite support not exhausted?)" })
-      end
-      else begin
-        match Budget.check budget with
-        | Error exhausted -> stop acc (n - 1) exhausted
-        | Ok () -> (
-          match eval n with
-          | exception Faultinj.Injected site ->
-            Error (Run_error.Injected_fault { site = Faultinj.site_name site })
-          | exception e ->
-            Error
-              (Run_error.Certificate
-                 { what = Printf.sprintf "term %d" n; msg = "term evaluation raised " ^ Printexc.to_string e })
-          | a ->
-            if Float.is_nan a || a < 0.0 then
-              Error
-                (Run_error.Certificate
-                   { what = Printf.sprintf "term %d" n; msg = Printf.sprintf "term is not a non-negative number (%g)" a })
-            else begin
-              match validate n a with
-              | exception Faultinj.Injected site ->
-                Error (Run_error.Injected_fault { site = Faultinj.site_name site })
-              | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
-              | Ok () -> go (n + 1) (Interval.add acc (Interval.point a))
-            end)
-      end
-    in
-    go start Interval.zero
-
-let sum ?(start = 0) f ~tail ~upto =
-  match sum_budgeted ~start f ~tail ~upto with
-  | Ok (Complete enclosure) -> Ok enclosure
-  | Ok (Exhausted _) -> Error "unlimited budget exhausted (impossible)"
-  | Error e -> Error (Run_error.message e)
-
-let sum_exn ?start f ~tail ~upto =
-  match sum ?start f ~tail ~upto with Ok i -> i | Error msg -> failwith ("Series.sum: " ^ msg)
-
 let certify_divergence ?(start = 0) f ~certificate ~upto =
   ignore start;
   match Divergence.validate certificate f ~upto with
@@ -332,6 +261,354 @@ let certify_divergence_budgeted ?(start = 0) ?(budget = Budget.unlimited) f ~cer
     Error (Run_error.Certificate { what = "divergence certificate"; msg = "term evaluation raised " ^ Printexc.to_string e })
   | Error msg -> Error (Run_error.Certificate { what = "divergence certificate"; msg })
   | Ok () -> Ok (Div_complete { partial = !acc; at = upto })
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots and resumable engines                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  module Q = Ipdb_bignum.Q
+
+  (* Floats are persisted as exact rationals (plus tokens for the
+     non-rational values), so a decode . encode roundtrip is the identity
+     on bits and resumed runs reproduce one-shot enclosures exactly. *)
+  let encode_float x =
+    if Float.is_nan x then "nan"
+    else if x = Float.infinity then "inf"
+    else if x = Float.neg_infinity then "-inf"
+    else if x = 0.0 && 1.0 /. x < 0.0 then "-0"
+    else Q.to_string (Q.of_float_exact x)
+
+  let decode_float s =
+    match s with
+    | "nan" -> Ok Float.nan
+    | "inf" -> Ok Float.infinity
+    | "-inf" -> Ok Float.neg_infinity
+    | "-0" -> Ok (-0.0)
+    | _ -> (
+        match Q.of_string s with
+        | q -> Ok (Q.to_float q)
+        | exception Invalid_argument m ->
+            Error (Printf.sprintf "unparsable rational %S: %s" s m)
+        | exception _ -> Error (Printf.sprintf "unparsable rational %S" s))
+
+  let float_equal_bits a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+  type sum_state = { sum_start : int; next : int; prefix : Interval.t }
+
+  type div_state = {
+    div_start : int;
+    next_k : int;
+    partial : float;
+    prev_term : float option;
+    prev_pick : int;
+  }
+
+  type t = Sum_state of sum_state | Div_state of div_state
+
+  let to_string = function
+    | Sum_state { sum_start; next; prefix } ->
+        Printf.sprintf "sum %d %d %s %s" sum_start next
+          (encode_float (Interval.lo prefix))
+          (encode_float (Interval.hi prefix))
+    | Div_state { div_start; next_k; partial; prev_term; prev_pick } ->
+        Printf.sprintf "div %d %d %s %s %d" div_start next_k
+          (encode_float partial)
+          (match prev_term with None -> "_" | Some x -> encode_float x)
+          prev_pick
+
+  let ( let* ) = Result.bind
+
+  let int_field name s =
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "unparsable %s %S" name s)
+
+  let of_string s =
+    match String.split_on_char ' ' (String.trim s) with
+    | [ "sum"; start_s; next_s; lo_s; hi_s ] ->
+        let* sum_start = int_field "start index" start_s in
+        let* next = int_field "next index" next_s in
+        let* lo = decode_float lo_s in
+        let* hi = decode_float hi_s in
+        if Float.is_nan lo || Float.is_nan hi || lo > hi then
+          Error "prefix endpoints do not form an interval"
+        else Ok (Sum_state { sum_start; next; prefix = Interval.make lo hi })
+    | [ "div"; start_s; next_s; partial_s; prev_s; pick_s ] ->
+        let* div_start = int_field "start index" start_s in
+        let* next_k = int_field "next index" next_s in
+        let* partial = decode_float partial_s in
+        let* prev_term =
+          if prev_s = "_" then Ok None
+          else Result.map Option.some (decode_float prev_s)
+        in
+        let* prev_pick = int_field "previous pick" pick_s in
+        Ok (Div_state { div_start; next_k; partial; prev_term; prev_pick })
+    | kind :: _ when kind <> "sum" && kind <> "div" ->
+        Error (Printf.sprintf "unknown snapshot kind %S" kind)
+    | _ -> Error "wrong number of snapshot fields"
+
+  let equal a b =
+    match (a, b) with
+    | Sum_state x, Sum_state y ->
+        x.sum_start = y.sum_start && x.next = y.next
+        && float_equal_bits (Interval.lo x.prefix) (Interval.lo y.prefix)
+        && float_equal_bits (Interval.hi x.prefix) (Interval.hi y.prefix)
+    | Div_state x, Div_state y ->
+        x.div_start = y.div_start && x.next_k = y.next_k
+        && float_equal_bits x.partial y.partial
+        && x.prev_pick = y.prev_pick
+        && (match (x.prev_term, y.prev_term) with
+           | None, None -> true
+           | Some a, Some b -> float_equal_bits a b
+           | _ -> false)
+    | _ -> false
+
+  let pp fmt t =
+    match t with
+    | Sum_state { sum_start; next; prefix } ->
+        Format.fprintf fmt "sum snapshot: start=%d next=%d prefix=%a" sum_start
+          next Interval.pp prefix
+    | Div_state { div_start; next_k; partial; _ } ->
+        Format.fprintf fmt "divergence snapshot: start=%d next=%d partial=%.17g"
+          div_start next_k partial
+end
+
+let snapshot_mismatch msg = Error (Run_error.Validation { what = "snapshot"; msg })
+
+let sum_resumable ?(start = 0) ?(budget = Budget.unlimited) ?from ?progress
+    ?(progress_every = 1000) f ~tail ~upto =
+  match Tail.params_ok tail with
+  | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
+  | Ok () -> (
+    let init =
+      match from with
+      | None -> Ok (start, Interval.zero)
+      | Some (Snapshot.Sum_state s) ->
+        if s.sum_start <> start then
+          snapshot_mismatch
+            (Printf.sprintf "snapshot starts at %d, computation at %d" s.sum_start start)
+        else if s.next < start || s.next > upto + 1 then
+          snapshot_mismatch
+            (Printf.sprintf "snapshot resume index %d outside %d..%d" s.next start (upto + 1))
+        else Ok (s.next, s.prefix)
+      | Some (Snapshot.Div_state _) ->
+        snapshot_mismatch "divergence snapshot given to a summation"
+    in
+    match init with
+    | Error _ as e -> e
+    | Ok (n0, acc0) ->
+      let snapshot n acc = Snapshot.Sum_state { sum_start = start; next = n; prefix = acc } in
+      let check_from = Stdlib.max start (Tail.start_index tail) in
+      let eval n =
+        Faultinj.fire Faultinj.Term_eval;
+        f n
+      in
+      let validate n a =
+        if n < check_from then Ok ()
+        else begin
+          Faultinj.fire Faultinj.Certificate;
+          let b = Tail.pointwise_bound tail n in
+          if a <= b +. ulp_slack b then Ok ()
+          else Error (Printf.sprintf "term %d = %g exceeds certified bound %g" n a b)
+        end
+      in
+      let stop acc last exhausted =
+        let enclosure =
+          match tail_bound_opt tail (last + 1) with
+          | Some b -> Some (Interval.add acc (Interval.make 0.0 b))
+          | None -> None
+        in
+        Ok
+          ( Exhausted { enclosure; prefix = acc; last; requested = upto; exhausted },
+            snapshot (last + 1) acc )
+      in
+      let tick n acc =
+        match progress with
+        | Some emit when (n - n0) mod progress_every = 0 -> emit (snapshot n acc)
+        | _ -> ()
+      in
+      let rec go n acc =
+        if n > upto then begin
+          match tail_bound_opt tail (upto + 1) with
+          | Some b -> Ok (Complete (Interval.add acc (Interval.make 0.0 b)), snapshot n acc)
+          | None ->
+            Error
+              (Run_error.Certificate
+                 { what = "tail certificate"; msg = "no tail bound at the cutoff (finite support not exhausted?)" })
+        end
+        else begin
+          match Budget.check budget with
+          | Error exhausted -> stop acc (n - 1) exhausted
+          | Ok () -> (
+            match eval n with
+            | exception Faultinj.Injected site ->
+              Error (Run_error.Injected_fault { site = Faultinj.site_name site })
+            | exception e ->
+              Error
+                (Run_error.Certificate
+                   { what = Printf.sprintf "term %d" n; msg = "term evaluation raised " ^ Printexc.to_string e })
+            | a ->
+              if Float.is_nan a || a < 0.0 then
+                Error
+                  (Run_error.Certificate
+                     { what = Printf.sprintf "term %d" n; msg = Printf.sprintf "term is not a non-negative number (%g)" a })
+              else begin
+                match validate n a with
+                | exception Faultinj.Injected site ->
+                  Error (Run_error.Injected_fault { site = Faultinj.site_name site })
+                | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
+                | Ok () ->
+                  let acc = Interval.add acc (Interval.point a) in
+                  tick (n + 1) acc;
+                  go (n + 1) acc
+              end)
+        end
+      in
+      go n0 acc0)
+
+let certify_divergence_resumable ?(start = 0) ?(budget = Budget.unlimited) ?from
+    ?progress ?(progress_every = 1000) f ~certificate ~upto =
+  ignore start;
+  (* A sequential re-implementation of [Divergence.validate]'s four
+     traversals: one term evaluation and one budget step per index, with
+     the cross-index context ([prev_term] for the ratio certificate,
+     [prev_pick] for the subsequence one) carried explicitly so it can be
+     checkpointed and restored. The witness partial sum is a left fold in
+     index order, hence bit-for-bit reproducible across resumes. *)
+  let param_error =
+    match certificate with
+    | Divergence.Harmonic { coeff; _ } when coeff <= 0.0 -> Some "Harmonic: coeff must be positive"
+    | Divergence.Bounded_below { bound; _ } when bound <= 0.0 -> Some "Bounded_below: bound must be positive"
+    | Divergence.Eventually_ratio_ge_one { floor; _ } when floor <= 0.0 ->
+      Some "Eventually_ratio_ge_one: floor must be positive"
+    | Divergence.Subsequence_harmonic { coeff; _ } when coeff <= 0.0 ->
+      Some "Subsequence_harmonic: coeff must be positive"
+    | _ -> None
+  in
+  match param_error with
+  | Some msg -> Error (Run_error.Certificate { what = "divergence certificate"; msg })
+  | None -> (
+    let i0 =
+      match certificate with
+      | Divergence.Harmonic { index; _ } -> Stdlib.max index 1
+      | Divergence.Bounded_below { index; _ } -> index
+      | Divergence.Eventually_ratio_ge_one { index; _ } -> index
+      | Divergence.Subsequence_harmonic { index; _ } -> Stdlib.max index 1
+    in
+    let init =
+      match from with
+      | None ->
+        Ok Snapshot.{ div_start = i0; next_k = i0; partial = 0.0; prev_term = None; prev_pick = min_int }
+      | Some (Snapshot.Div_state s) ->
+        if s.Snapshot.div_start <> i0 then
+          snapshot_mismatch
+            (Printf.sprintf "snapshot starts at %d, certificate at %d" s.Snapshot.div_start i0)
+        else if s.Snapshot.next_k < i0 then
+          snapshot_mismatch
+            (Printf.sprintf "snapshot resume index %d precedes certificate start %d" s.Snapshot.next_k i0)
+        else Ok s
+      | Some (Snapshot.Sum_state _) ->
+        snapshot_mismatch "summation snapshot given to a divergence check"
+    in
+    match init with
+    | Error _ as e -> e
+    | Ok st0 ->
+      let cert_error msg = Error (Run_error.Certificate { what = "divergence certificate"; msg }) in
+      let snapshot k partial prev_term prev_pick =
+        Snapshot.Div_state { div_start = i0; next_k = k; partial; prev_term; prev_pick }
+      in
+      let eval n =
+        Faultinj.fire Faultinj.Term_eval;
+        f n
+      in
+      let index_of k =
+        match certificate with
+        | Divergence.Subsequence_harmonic { pick; _ } -> pick k
+        | _ -> k
+      in
+      let last_evaluated k prev_pick =
+        match certificate with
+        | Divergence.Subsequence_harmonic _ ->
+          if prev_pick = min_int then Divergence.start_index certificate - 1 else prev_pick
+        | _ -> k - 1
+      in
+      let rec go k partial prev prev_pick =
+        let n = index_of k in
+        if n > upto then
+          Ok (Div_complete { partial; at = upto }, snapshot k partial prev prev_pick)
+        else begin
+          match Budget.check budget with
+          | Error exhausted ->
+            let last = last_evaluated k prev_pick in
+            Ok
+              ( Div_exhausted
+                  {
+                    partial;
+                    minorant = Divergence.minorant_partial_sum certificate (Stdlib.max last 0);
+                    last;
+                    requested = upto;
+                    exhausted;
+                  },
+                snapshot k partial prev prev_pick )
+          | Ok () -> (
+            match eval n with
+            | exception Faultinj.Injected site ->
+              Error (Run_error.Injected_fault { site = Faultinj.site_name site })
+            | exception e ->
+              cert_error ("term evaluation raised " ^ Printexc.to_string e)
+            | a -> (
+              let verdict =
+                match certificate with
+                | Divergence.Harmonic { coeff; _ } ->
+                  let b = coeff /. float_of_int n in
+                  if a >= b -. ulp_slack b then Ok ()
+                  else Error (Printf.sprintf "term %d = %g below harmonic minorant %g" n a b)
+                | Divergence.Bounded_below { bound; _ } ->
+                  if a >= bound -. ulp_slack bound then Ok ()
+                  else Error (Printf.sprintf "term %d = %g below floor %g" n a bound)
+                | Divergence.Eventually_ratio_ge_one { floor; _ } ->
+                  if a < floor -. ulp_slack floor then
+                    Error (Printf.sprintf "term %d = %g below floor %g" n a floor)
+                  else (
+                    match prev with
+                    | Some p when a < p -. ulp_slack p ->
+                      Error (Printf.sprintf "terms decrease at %d" (n - 1))
+                    | _ -> Ok ())
+                | Divergence.Subsequence_harmonic { coeff; _ } ->
+                  if prev_pick <> min_int && n <= prev_pick then
+                    Error (Printf.sprintf "pick not strictly increasing at %d" k)
+                  else begin
+                    let b = coeff /. float_of_int k in
+                    if a >= b -. ulp_slack b then Ok ()
+                    else Error (Printf.sprintf "term at pick %d = %d is %g, below minorant %g" k n a b)
+                  end
+              in
+              match verdict with
+              | Error msg -> cert_error msg
+              | Ok () ->
+                let partial = if Float.is_nan a then partial else partial +. a in
+                let prev = Some a in
+                (match progress with
+                | Some emit when (k + 1 - st0.Snapshot.next_k) mod progress_every = 0 ->
+                  emit (snapshot (k + 1) partial prev n)
+                | _ -> ());
+                go (k + 1) partial prev n))
+        end
+      in
+      go st0.Snapshot.next_k st0.Snapshot.partial st0.Snapshot.prev_term st0.Snapshot.prev_pick)
+
+let sum_budgeted ?start ?budget f ~tail ~upto =
+  Result.map fst (sum_resumable ?start ?budget f ~tail ~upto)
+
+let sum ?(start = 0) f ~tail ~upto =
+  match sum_budgeted ~start f ~tail ~upto with
+  | Ok (Complete enclosure) -> Ok enclosure
+  | Ok (Exhausted _) -> Error "unlimited budget exhausted (impossible)"
+  | Error e -> Error (Run_error.message e)
+
+let sum_exn ?start f ~tail ~upto =
+  match sum ?start f ~tail ~upto with Ok i -> i | Error msg -> failwith ("Series.sum: " ^ msg)
 
 let geometric_tail_exact r n =
   let module Q = Ipdb_bignum.Q in

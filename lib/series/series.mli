@@ -169,6 +169,87 @@ val certify_divergence :
 (** Validates the divergence certificate on the computed prefix and returns
     [Diverges] with the witness partial sum. *)
 
+(** {1 Snapshots and resumable engines}
+
+    A {!Snapshot.t} is the exact cross-iteration state of a budgeted
+    engine: the interval prefix sum (endpoints persisted as {e exact
+    rationals}), the next index to evaluate, and — for divergence
+    certificates — the carried term/pick context. Because both engines
+    are sequential left folds, restarting from a snapshot replays the
+    identical float operations in the identical order, so a resumed run
+    produces {e bit-for-bit} the same enclosure and verdict as an
+    uninterrupted one (the resume-equivalence property tests pin this
+    down). Snapshots serialize to a single line, survive
+    {!Ipdb_run.Checkpoint} roundtrips exactly, and deserialize with a
+    typed error — never an exception. *)
+module Snapshot : sig
+  type sum_state = { sum_start : int; next : int; prefix : Interval.t }
+  (** State of {!sum_resumable}: terms [sum_start..next-1] are folded into
+      [prefix]; [next] is evaluated next. *)
+
+  type div_state = {
+    div_start : int;  (** first loop index of the certificate *)
+    next_k : int;  (** next loop index to check *)
+    partial : float;  (** witness partial sum over evaluated terms *)
+    prev_term : float option;  (** last term (ratio certificates) *)
+    prev_pick : int;  (** last picked index ([min_int] if none) *)
+  }
+
+  type t = Sum_state of sum_state | Div_state of div_state
+
+  val to_string : t -> string
+  (** Single-line encoding with exact-rational floats. *)
+
+  val of_string : string -> (t, string) result
+  (** Total inverse of {!to_string}; malformed input yields [Error]. *)
+
+  val equal : t -> t -> bool
+  (** Structural equality comparing floats by bits (NaN-safe). *)
+
+  val encode_float : float -> string
+  (** Exact encoding of any float: a rational in lowest terms, or one of
+      the tokens ["nan"], ["inf"], ["-inf"], ["-0"]. *)
+
+  val decode_float : string -> (float, string) result
+  (** Bit-exact inverse of {!encode_float}. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val sum_resumable :
+  ?start:int ->
+  ?budget:Ipdb_run.Budget.t ->
+  ?from:Snapshot.t ->
+  ?progress:(Snapshot.t -> unit) ->
+  ?progress_every:int ->
+  term ->
+  tail:Tail.t ->
+  upto:int ->
+  (budgeted * Snapshot.t, Ipdb_run.Error.t) result
+(** {!sum_budgeted} with checkpoint/resume: [from] restarts the fold from
+    a snapshot's exact state (a snapshot of a different computation is a
+    typed [Validation] error); [progress] is invoked every
+    [progress_every] evaluated terms (default 1000) with the current
+    snapshot. The returned snapshot reflects the final state — for an
+    [Exhausted] verdict it is exactly the point to resume from. One-shot
+    and interrupted-then-resumed runs produce bit-identical results. *)
+
+val certify_divergence_resumable :
+  ?start:int ->
+  ?budget:Ipdb_run.Budget.t ->
+  ?from:Snapshot.t ->
+  ?progress:(Snapshot.t -> unit) ->
+  ?progress_every:int ->
+  term ->
+  certificate:Divergence.t ->
+  upto:int ->
+  (divergence_budgeted * Snapshot.t, Ipdb_run.Error.t) result
+(** Resumable divergence checking: a strictly sequential engine (one term
+    evaluation and one budget step per index) equivalent to
+    {!certify_divergence_budgeted} on completion, whose cross-index state
+    is a {!Snapshot.t}. Same resume-equivalence guarantee as
+    {!sum_resumable}. *)
+
 val geometric_tail_exact : Ipdb_bignum.Q.t -> int -> Ipdb_bignum.Q.t
 (** [geometric_tail_exact r n] is the exact value [r^n / (1 - r)] of
     [sum_{k >= n} r^k] for a rational ratio [0 <= r < 1].

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Crash-recovery integration test (DESIGN.md §7): SIGKILL a journaled bench
+# run mid-flight, resume it from the journal, and require the resumed
+# final report to be byte-identical to an uninterrupted run's.
+#
+# The experiment list is restricted to deterministic experiments; the
+# resumable-series experiment checkpoints its exact series state into the
+# journal, so even a kill in the middle of a 3M-term summation resumes to
+# the bit-identical enclosure. Wall-clock timing lines ("  -- name: 0.12s")
+# are stripped before comparison; everything else must match exactly.
+#
+# Usage: crash_recovery.sh /path/to/bench/main.exe
+
+set -u
+
+BENCH=${1:?usage: crash_recovery.sh BENCH_EXE}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ipdb-crash.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+ONLY=figures,example-3.5,theorem-2.4,resumable-series
+
+fail() {
+  echo "crash_recovery: $1" >&2
+  exit 1
+}
+
+# 1. Reference: the same journaled run, uninterrupted.
+"$BENCH" --only "$ONLY" --journal "$TMP/ref.journal" \
+  > "$TMP/ref.out" 2> /dev/null \
+  || fail "reference run failed"
+
+# 2. Victim: identical run, SIGKILLed mid-flight. A kill can land inside a
+#    journal append; recovery must shrug off the torn tail.
+"$BENCH" --only "$ONLY" --journal "$TMP/victim.journal" \
+  > "$TMP/victim.out" 2> /dev/null &
+PID=$!
+sleep 0.25
+kill -9 "$PID" 2> /dev/null
+wait "$PID" 2> /dev/null
+
+# 3. Resume from the journal: completed experiments replay verbatim, the
+#    interrupted one restarts from its last exact snapshot.
+"$BENCH" --only "$ONLY" --journal "$TMP/victim.journal" --resume \
+  > "$TMP/resumed.out" 2> /dev/null \
+  || fail "resumed run failed"
+
+# 4. The reports must agree bit-for-bit modulo timing lines.
+sed 's/^  -- .*//' "$TMP/ref.out" > "$TMP/ref.norm"
+sed 's/^  -- .*//' "$TMP/resumed.out" > "$TMP/resumed.norm"
+if ! cmp -s "$TMP/ref.norm" "$TMP/resumed.norm"; then
+  echo "crash_recovery: resumed report differs from the uninterrupted run" >&2
+  diff "$TMP/ref.norm" "$TMP/resumed.norm" >&2 || true
+  exit 1
+fi
+
+echo "crash_recovery: OK (resumed report identical to uninterrupted run)"

@@ -12,6 +12,13 @@ module Finite_pdb = Ipdb_pdb.Finite_pdb
 module Ti = Ipdb_pdb.Ti
 module Bid = Ipdb_pdb.Bid
 module Serialize = Ipdb_pdb.Serialize
+module Interval = Ipdb_series.Interval
+module Series = Ipdb_series.Series
+module Criteria = Ipdb_core.Criteria
+module Classifier = Ipdb_core.Classifier
+module Run_error = Ipdb_run.Error
+module Journal = Ipdb_run.Journal
+module Checkpoint = Ipdb_run.Checkpoint
 
 let mutations_per_format = 1_000
 
@@ -107,6 +114,139 @@ let corruption_suite ~format ~parse ~reserialize seed_text () =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Durability formats (DESIGN.md §7): snapshots, verdicts, classifier  *)
+(* checkpoints, journal files, checkpoint files                        *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_text =
+  Series.Snapshot.to_string
+    (Series.Snapshot.Sum_state
+       { Series.Snapshot.sum_start = 1; next = 4242; prefix = Interval.make 0.1 (0.1 +. 0.2) })
+
+let div_snapshot_text =
+  Series.Snapshot.to_string
+    (Series.Snapshot.Div_state
+       { Series.Snapshot.div_start = 2; next_k = 99; partial = 14.5; prev_term = Some 0.25;
+         prev_pick = 123 })
+
+let verdict_text =
+  Criteria.verdict_serialize
+    (Criteria.Partial
+       { enclosure = Some (Interval.make 1.0 2.0); partial = 1.5; at = 10; requested = 100;
+         exhausted = Run_error.Steps { used = 11; limit = 10 }
+       })
+
+let classifier_ckpt_text =
+  Classifier.checkpoint_to_string
+    { Classifier.completed =
+        [ ("k1", Criteria.Finite_sum (Interval.make 1.0 2.0));
+          ("c1", Criteria.Invalid_certificate "terms decrease at 17")
+        ];
+      in_flight =
+        Some
+          ( "c2",
+            Series.Snapshot.Sum_state
+              { Series.Snapshot.sum_start = 1; next = 500; prefix = Interval.make 0.5 0.5 } )
+    }
+
+(* String-level parsers with non-string error types: only the never-raises
+   and accepted-mutants-reserialize obligations apply. *)
+let string_corruption_suite ~format ~parse ~reserialize seed_text () =
+  let rng = Random.State.make [| 0xD0; 0x7A; String.length seed_text |] in
+  for _ = 1 to mutations_per_format do
+    let rounds = 1 + Random.State.int rng 4 in
+    let mutant = ref seed_text in
+    for _ = 1 to rounds do
+      mutant := mutate rng !mutant
+    done;
+    match parse !mutant with
+    | Ok v -> (
+      try ignore (reserialize v : string)
+      with e ->
+        Alcotest.failf "%s: accepted mutant breaks re-serialisation (%s) on %S" format
+          (Printexc.to_string e) !mutant)
+    | Error (_ : string) -> ()
+    | exception e ->
+      Alcotest.failf "%s parser raised %s on mutant %S" format (Printexc.to_string e) !mutant
+  done
+
+(* File-level recovery: the mutant bytes are written to disk and recovery
+   must produce a typed result — never an exception — whatever is there. *)
+let file_corruption_suite ~format ~seed_file_text ~check () =
+  let rng = Random.State.make [| 0xF1; 0x1E; String.length seed_file_text |] in
+  let path = Filename.temp_file "ipdb-corrupt" ("." ^ format) in
+  for _ = 1 to mutations_per_format do
+    let rounds = 1 + Random.State.int rng 4 in
+    let mutant = ref seed_file_text in
+    for _ = 1 to rounds do
+      mutant := mutate rng !mutant
+    done;
+    let oc = open_out_bin path in
+    output_string oc !mutant;
+    close_out oc;
+    try check path
+    with e ->
+      Alcotest.failf "%s recovery raised %s on mutant %S" format (Printexc.to_string e) !mutant
+  done;
+  Sys.remove path
+
+(* A well-formed journal file to mutate: a handful of framed records. *)
+let journal_file_text =
+  let path = Filename.temp_file "ipdb-corrupt" ".journal-seed" in
+  (match Journal.open_append ~path with
+  | Ok j ->
+    List.iter
+      (fun p -> match Journal.append j p with Ok () -> () | Error _ -> ())
+      [ "done figures ok\nreport body"; "ckpt sum-p2.5\n1 42 1/10 3/10"; "third record" ];
+    Journal.close j
+  | Error _ -> ());
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let checkpoint_file_text =
+  let path = Filename.temp_file "ipdb-corrupt" ".ckpt-seed" in
+  (match Checkpoint.save ~path snapshot_text with Ok () -> () | Error _ -> ());
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let journal_check path =
+  match Journal.recover ~path with
+  | Ok { Journal.records; _ } ->
+    (* every recovered record passed its checksum; recovery is total *)
+    List.iter (fun (r : string) -> ignore (String.length r)) records
+  | Error (Run_error.Io _) -> ()
+  | Error e -> Alcotest.failf "journal recovery returned a non-Io error: %s" (Run_error.to_string e)
+
+let checkpoint_check path =
+  match Checkpoint.load ~path with
+  | Ok None | Ok (Some _) -> ()
+  | Error (Run_error.Validation _) | Error (Run_error.Io _) -> ()
+  | Error e -> Alcotest.failf "checkpoint load returned an unexpected error: %s" (Run_error.to_string e)
+
+let test_durability_seeds_parse () =
+  (match Series.Snapshot.of_string snapshot_text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "snapshot seed rejected: %s" m);
+  (match Series.Snapshot.of_string div_snapshot_text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "div snapshot seed rejected: %s" m);
+  (match Criteria.verdict_deserialize verdict_text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "verdict seed rejected: %s" m);
+  (match Classifier.checkpoint_of_string classifier_ckpt_text with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "classifier checkpoint seed rejected: %s" m);
+  (match Journal.recover ~path:"/nonexistent-dir-ipdb/journal" with
+  | Ok { Journal.records = []; _ } | Error (Run_error.Io _) -> ()
+  | _ -> Alcotest.fail "unreadable journal should be empty or Io")
+
+(* ------------------------------------------------------------------ *)
 (* Handcrafted adversarial inputs, shared by all parsers               *)
 (* ------------------------------------------------------------------ *)
 
@@ -192,6 +332,39 @@ let () =
             `Quick
             (corruption_suite ~format:"pdb" ~parse:Serialize.pdb_of_string
                ~reserialize:Serialize.pdb_to_string pdb_text)
+        ] );
+      ( "durability-mutants",
+        [ Alcotest.test_case "durability seeds are well-formed" `Quick test_durability_seeds_parse;
+          Alcotest.test_case
+            (Printf.sprintf "series snapshot: %d seeded mutations" mutations_per_format)
+            `Quick
+            (string_corruption_suite ~format:"snapshot" ~parse:Series.Snapshot.of_string
+               ~reserialize:Series.Snapshot.to_string snapshot_text);
+          Alcotest.test_case
+            (Printf.sprintf "divergence snapshot: %d seeded mutations" mutations_per_format)
+            `Quick
+            (string_corruption_suite ~format:"div-snapshot" ~parse:Series.Snapshot.of_string
+               ~reserialize:Series.Snapshot.to_string div_snapshot_text);
+          Alcotest.test_case
+            (Printf.sprintf "series verdict: %d seeded mutations" mutations_per_format)
+            `Quick
+            (string_corruption_suite ~format:"verdict" ~parse:Criteria.verdict_deserialize
+               ~reserialize:Criteria.verdict_serialize verdict_text);
+          Alcotest.test_case
+            (Printf.sprintf "classifier checkpoint: %d seeded mutations" mutations_per_format)
+            `Quick
+            (string_corruption_suite ~format:"classifier-ckpt" ~parse:Classifier.checkpoint_of_string
+               ~reserialize:Classifier.checkpoint_to_string classifier_ckpt_text);
+          Alcotest.test_case
+            (Printf.sprintf "journal file: %d seeded mutations" mutations_per_format)
+            `Quick
+            (file_corruption_suite ~format:"journal" ~seed_file_text:journal_file_text
+               ~check:journal_check);
+          Alcotest.test_case
+            (Printf.sprintf "checkpoint file: %d seeded mutations" mutations_per_format)
+            `Quick
+            (file_corruption_suite ~format:"checkpoint" ~seed_file_text:checkpoint_file_text
+               ~check:checkpoint_check)
         ] );
       ( "adversarial",
         [ Alcotest.test_case "handcrafted hostile inputs" `Quick test_adversarial;

@@ -21,6 +21,10 @@ let fact r args = Fact.make r (List.map vi args)
 let inst facts = Instance.of_list facts
 let q = Alcotest.testable Q.pp Q.equal
 
+let estimate_exn = function
+  | Ok e -> e
+  | Error err -> Alcotest.fail (Ipdb_run.Error.to_string err)
+
 (* ------------------------------------------------------------------ *)
 (* View composition                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -76,7 +80,9 @@ let test_estimate_finite () =
   in
   let rng = Random.State.make [| 5 |] in
   let e =
-    Estimate.event_probability_finite ~samples:20000 ~rng d (fun i -> Instance.mem (fact "R" [ 1 ]) i)
+    estimate_exn
+      (Estimate.event_probability_finite ~samples:20000 ~rng d (fun i ->
+           Instance.mem (fact "R" [ 1 ]) i))
   in
   Alcotest.(check bool) "interval contains truth" true (Interval.contains (Estimate.interval e) 0.75);
   Alcotest.(check bool) "tight-ish" true (e.Estimate.statistical_halfwidth < 0.03)
@@ -93,8 +99,9 @@ let test_estimate_ti_infinite () =
   in
   let rng = Random.State.make [| 6 |] in
   let e =
-    Estimate.event_probability_ti ~samples:20000 ~truncate_at:30 ~rng ti (fun i ->
-        Instance.mem (fact "R" [ 1 ]) i)
+    estimate_exn
+      (Estimate.event_probability_ti ~samples:20000 ~truncate_at:30 ~rng ti (fun i ->
+           Instance.mem (fact "R" [ 1 ]) i))
   in
   Alcotest.(check bool) "bias is the certified tail" true (e.Estimate.truncation_bias < 1e-8);
   Alcotest.(check bool) "contains 1/2" true (Interval.contains (Estimate.interval e) 0.5)
@@ -105,16 +112,35 @@ let test_estimate_bid_sentence () =
   let phi =
     Fo.Exists ("n", Fo.And (Fo.atom "Accidents" [ Fo.cs "DE"; Fo.v "n" ], Fo.Not (Fo.Eq (Fo.v "n", Fo.ci 0))))
   in
-  let e = Estimate.sentence_probability_bid ~samples:8000 ~rng Zoo.car_accidents phi in
+  let e = estimate_exn (Estimate.sentence_probability_bid ~samples:8000 ~rng Zoo.car_accidents phi) in
   Alcotest.(check bool) "contains 1 - e^-2.3" true
     (Interval.contains (Estimate.interval e) (1.0 -. exp (-2.3)))
 
 let test_hoeffding () =
+  let hw ~samples ~delta =
+    match Estimate.hoeffding_halfwidth ~samples ~delta with
+    | Ok h -> h
+    | Error e -> Alcotest.fail (Ipdb_run.Error.to_string e)
+  in
   Alcotest.(check bool) "halfwidth shrinks" true
-    (Estimate.hoeffding_halfwidth ~samples:10000 ~delta:0.01
-    < Estimate.hoeffding_halfwidth ~samples:100 ~delta:0.01);
-  Alcotest.check_raises "bad delta" (Invalid_argument "Estimate: delta must be in (0,1)") (fun () ->
-      ignore (Estimate.hoeffding_halfwidth ~samples:10 ~delta:0.0))
+    (hw ~samples:10000 ~delta:0.01 < hw ~samples:100 ~delta:0.01);
+  let is_validation what = function
+    | Error (Ipdb_run.Error.Validation { what = w; _ }) -> w = what
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad delta is typed" true
+    (is_validation "delta" (Estimate.hoeffding_halfwidth ~samples:10 ~delta:0.0));
+  Alcotest.(check bool) "NaN delta is typed" true
+    (is_validation "delta" (Estimate.hoeffding_halfwidth ~samples:10 ~delta:Float.nan));
+  Alcotest.(check bool) "bad samples is typed" true
+    (is_validation "samples" (Estimate.hoeffding_halfwidth ~samples:0 ~delta:0.01));
+  let rng = Random.State.make [| 11 |] in
+  let d =
+    Finite_pdb.make (Schema.make [ ("R", 1) ]) [ (inst [ fact "R" [ 1 ] ], Q.one) ]
+  in
+  Alcotest.(check bool) "estimator rejects bad samples" true
+    (is_validation "samples"
+       (Estimate.event_probability_finite ~samples:(-3) ~rng d (fun _ -> true)))
 
 (* ------------------------------------------------------------------ *)
 (* PQE                                                                 *)

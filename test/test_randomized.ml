@@ -19,7 +19,25 @@ module Bid_repr = Ipdb_core.Bid_repr
 let schema1 = Schema.make [ ("R", 1) ]
 let schema2 = Schema.make [ ("R", 2); ("S", 1) ]
 
-let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+(* IPDB_SEED=n shifts every generated workload to a fresh deterministic
+   region of the seed space (CI can sweep it); the effective seed is part
+   of the printed counterexample, so a red run reproduces exactly by
+   re-running with the same IPDB_SEED. *)
+let base_seed =
+  match Sys.getenv_opt "IPDB_SEED" with
+  | None -> 0
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "test_randomized: ignoring non-integer IPDB_SEED=%S\n%!" s;
+      0)
+
+let arb_seed =
+  QCheck.make
+    ~print:(fun i -> Printf.sprintf "%d (effective seed; IPDB_SEED=%d)" i base_seed)
+    QCheck.Gen.(map (fun i -> i + base_seed) (0 -- 1_000_000))
+
 let prop ?(count = 40) name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb_seed f)
 
 let completeness_random =
