@@ -1,0 +1,60 @@
+#!/bin/sh
+# Produce BENCH_PR3.json: per-experiment wall-clock of the series-heavy
+# bench subset at --jobs 1 vs --jobs 4, from the bench harness's --json
+# output. The reports themselves are byte-identical between the two runs
+# (asserted by test/par_determinism.sh); this records only the timing
+# side. "cores" records how many CPUs the host actually exposes — on a
+# single-core host the jobs=4 run cannot be faster, only the determinism
+# guarantee is observable.
+#
+# Usage: bench_pr3.sh [BENCH_EXE] [OUT_JSON]
+
+set -eu
+
+BENCH=${1:-_build/default/bench/main.exe}
+OUT=${2:-BENCH_PR3.json}
+ONLY=figures,example-3.5,example-3.9,theorem-2.4,resumable-series,classifier
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ipdb-pr3.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+CORES=$( (nproc || getconf _NPROCESSORS_ONLN) 2>/dev/null | head -n 1 )
+CORES=${CORES:-1}
+
+"$BENCH" --only "$ONLY" --jobs 1 --json "$TMP/j1.json" > /dev/null 2>&1
+"$BENCH" --only "$ONLY" --jobs 4 --json "$TMP/j4.json" > /dev/null 2>&1
+
+seconds_of() {
+  awk -F'"' -v want="$2" \
+    '$2 == "name" && $4 == want { sub(/.*"seconds": /, ""); sub(/[^0-9.].*/, ""); print; exit }' \
+    "$1"
+}
+
+{
+  printf '{\n'
+  printf '  "bench": "bench/main.exe --only %s",\n' "$ONLY"
+  printf '  "cores": %s,\n' "$CORES"
+  printf '  "experiments": [\n'
+  first=1
+  total1=0
+  total4=0
+  for name in $(printf '%s' "$ONLY" | tr ',' ' '); do
+    s1=$(seconds_of "$TMP/j1.json" "$name")
+    s4=$(seconds_of "$TMP/j4.json" "$name")
+    [ -n "$s1" ] && [ -n "$s4" ] || continue
+    total1=$(awk -v a="$total1" -v b="$s1" 'BEGIN { printf "%.3f", a + b }')
+    total4=$(awk -v a="$total4" -v b="$s4" 'BEGIN { printf "%.3f", a + b }')
+    speedup=$(awk -v a="$s1" -v b="$s4" 'BEGIN { printf "%.2f", (b > 0) ? a / b : 1 }')
+    [ "$first" = 1 ] || printf ',\n'
+    first=0
+    printf '    {"name": "%s", "jobs1_seconds": %s, "jobs4_seconds": %s, "speedup": %s}' \
+      "$name" "$s1" "$s4" "$speedup"
+  done
+  printf '\n  ],\n'
+  total_speedup=$(awk -v a="$total1" -v b="$total4" 'BEGIN { printf "%.2f", (b > 0) ? a / b : 1 }')
+  printf '  "total_jobs1_seconds": %s,\n' "$total1"
+  printf '  "total_jobs4_seconds": %s,\n' "$total4"
+  printf '  "total_speedup": %s\n' "$total_speedup"
+  printf '}\n'
+} > "$OUT"
+
+echo "bench_pr3: wrote $OUT (cores=$CORES, total speedup ${total_speedup}x)"

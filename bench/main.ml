@@ -35,6 +35,8 @@ module Budget = Ipdb_run.Budget
 module Run_error = Ipdb_run.Error
 module Journal = Ipdb_run.Journal
 module Supervisor = Ipdb_run.Supervisor
+module Pool = Ipdb_par.Pool
+module Reduce = Ipdb_par.Reduce
 
 (* Per-experiment deadline for the heavy certified-series checks: a hung or
    mis-certified series degrades to a reported Partial verdict instead of
@@ -46,14 +48,35 @@ let fact r args = Fact.make r (List.map vi args)
 let inst facts = Instance.of_list facts
 let schema_r1 = Schema.make [ ("R", 1) ]
 
-let section title =
-  Printf.printf "\n================================================================\n";
-  Printf.printf "%s\n" title;
-  Printf.printf "================================================================\n%!"
+(* Experiments run as pool tasks, so their report text cannot go through
+   process-wide stdout redirection: concurrent experiments would
+   interleave. Instead each domain carries its own output sink — a buffer
+   while an experiment body runs, stdout otherwise — and [capture] swaps
+   the sink around the body. The saved sink is restored afterwards, so a
+   caller that executes queued experiments while waiting (the pool's
+   help-while-waiting discipline) gets its own sink back. *)
+let out_sink : Buffer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let row fmt = Printf.printf fmt
+let out_string str =
+  match Domain.DLS.get out_sink with
+  | Some buf -> Buffer.add_string buf str
+  | None -> print_string str
+
+let capture f =
+  let buf = Buffer.create 4096 in
+  let saved = Domain.DLS.get out_sink in
+  Domain.DLS.set out_sink (Some buf);
+  let result = try Ok (f ()) with e -> Error e in
+  Domain.DLS.set out_sink saved;
+  (Buffer.contents buf, result)
+
+let section title =
+  out_string "\n================================================================\n";
+  out_string (title ^ "\n");
+  out_string "================================================================\n"
+
+let row fmt = Printf.ksprintf out_string fmt
 let ok b = if b then "OK " else "FAIL"
-let flush_out () = flush stdout
 
 (* A small pool of finite PDBs parameterised by world count, used by several
    construction sweeps. *)
@@ -454,11 +477,11 @@ let exp_thm24 () =
 (* Classifier sweep                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let exp_classifier () =
+let exp_classifier ~pool () =
   section "Classifier sweep — the FO(TI) boundary as the paper draws it";
   List.iter
     (fun (name, cf) ->
-      let v = Classifier.classify ~budget:(series_budget ()) cf in
+      let v = Classifier.classify ~pool ~budget:(series_budget ()) cf in
       row "  %-16s %-72s agrees-with-paper=%s\n" name (Classifier.verdict_to_string v)
         (ok (Classifier.agrees_with_paper cf v)))
     Zoo.all_families
@@ -670,11 +693,11 @@ let bechamel_section () =
       | _ -> row "  %-44s (no estimate)\n" name)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
-let exp_figures () =
+let exp_figures ~pool () =
   section "The Hasse diagrams, re-verified edge by edge";
-  print_string (Ipdb_core.Figure.to_text (Ipdb_core.Figure.figure1 ()));
-  print_newline ();
-  print_string (Ipdb_core.Figure.to_text (Ipdb_core.Figure.figure4 ()))
+  out_string (Ipdb_core.Figure.to_text (Ipdb_core.Figure.figure1 ~pool ()));
+  out_string "\n";
+  out_string (Ipdb_core.Figure.to_text (Ipdb_core.Figure.figure4 ~pool ()))
 
 (* ------------------------------------------------------------------ *)
 (* Crash-safe resumable series                                          *)
@@ -686,7 +709,7 @@ let exp_figures () =
    — because the engine is a sequential left fold restored exactly —
    prints the bit-identical enclosure an uninterrupted run prints. All
    resume chatter goes to stderr so the stdout report compares equal. *)
-let exp_resumable ~load_ckpt ~save_ckpt () =
+let exp_resumable ~pool ~load_ckpt ~save_ckpt () =
   section "Crash-safe resumable series — checkpointed exact summation";
   let restore key =
     match load_ckpt key with
@@ -706,7 +729,7 @@ let exp_resumable ~load_ckpt ~save_ckpt () =
   let p = 2.5 in
   let upto = 3_000_000 in
   (match
-     Series.sum_resumable ~start:1 ?from:(restore "sum-p2.5")
+     Series.sum_resumable ~pool ~start:1 ?from:(restore "sum-p2.5")
        ~progress:(progress "sum-p2.5") ~progress_every:150_000
        (fun i -> 1.0 /. (float_of_int i ** p))
        ~tail:(Series.Tail.P_series { index = 1; coeff = 1.0; p })
@@ -720,7 +743,7 @@ let exp_resumable ~load_ckpt ~save_ckpt () =
   (* (2) a divergence certificate validated over a long prefix *)
   let upto_d = 1_500_000 in
   match
-    Series.certify_divergence_resumable ~start:1 ?from:(restore "div-harmonic")
+    Series.certify_divergence_resumable ~pool ~start:1 ?from:(restore "div-harmonic")
       ~progress:(progress "div-harmonic") ~progress_every:150_000
       (fun i -> 1.0 /. float_of_int i)
       ~certificate:(Series.Divergence.Harmonic { index = 1; coeff = 1.0 })
@@ -735,14 +758,21 @@ let exp_resumable ~load_ckpt ~save_ckpt () =
 (* Crash-safe driver: journal, resume, supervised experiments           *)
 (* ------------------------------------------------------------------ *)
 
-type run_cfg = { journal_path : string option; resume : bool; only : string list option }
+type run_cfg = {
+  journal_path : string option;
+  resume : bool;
+  only : string list option;
+  jobs : int option;
+  json : string option;
+}
 
 let usage_exit () =
-  prerr_endline "usage: bench [--journal FILE] [--resume] [--only name,name,...]";
+  prerr_endline "usage: bench [--journal FILE] [--resume] [--only name,name,...] [--jobs N] [--json FILE]";
   exit 2
 
 let parse_argv () =
   let journal = ref None and resume = ref false and only = ref None in
+  let jobs = ref None and json = ref None in
   let rec go = function
     | [] -> ()
     | "--journal" :: path :: rest ->
@@ -754,6 +784,17 @@ let parse_argv () =
     | "--only" :: names :: rest ->
       only := Some (List.filter (fun s -> s <> "") (String.split_on_char ',' names));
       go rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j > 0 ->
+        jobs := Some j;
+        go rest
+      | _ ->
+        Printf.eprintf "bench: --jobs expects a positive integer, got %s\n" n;
+        usage_exit ())
+    | "--json" :: path :: rest ->
+      json := Some path;
+      go rest
     | arg :: _ ->
       Printf.eprintf "bench: unknown argument %s\n" arg;
       usage_exit ()
@@ -763,9 +804,9 @@ let parse_argv () =
     Printf.eprintf "bench: --resume requires --journal FILE\n";
     usage_exit ()
   end;
-  { journal_path = !journal; resume = !resume; only = !only }
+  { journal_path = !journal; resume = !resume; only = !only; jobs = !jobs; json = !json }
 
-(* Journal record payloads: "done <name> <ok|failed>\n<captured stdout>"
+(* Journal record payloads: "done <name> <ok|failed>\n<captured report>"
    for a finished experiment, "ckpt <key>\n<snapshot>" for an exact series
    snapshot. The journal framing makes the whole payload (newlines
    included) one atomic, checksummed record. *)
@@ -796,23 +837,43 @@ let recovered_state path =
       records;
     (completed, ckpts)
 
-(* Run [f] with stdout redirected into a temp file; return what it wrote. *)
-let capture f =
-  let tmp = Filename.temp_file "ipdb-bench" ".out" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
-  flush stdout;
-  let saved = Unix.dup Unix.stdout in
-  Unix.dup2 fd Unix.stdout;
-  let result = try Ok (f ()) with e -> Error e in
-  flush stdout;
-  Unix.dup2 saved Unix.stdout;
-  Unix.close saved;
-  Unix.close fd;
-  let ic = open_in_bin tmp in
-  let output = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  Sys.remove tmp;
-  (output, result)
+(* What running one experiment (possibly on a worker domain) produced. The
+   ordered fold on the main domain turns outcomes into journal records and
+   printed report text in the canonical experiment order, so the report and
+   the journal's "done" sequence are identical for every worker count. *)
+type outcome =
+  | Skipped
+  | Replayed of { status : string; output : string }
+  | Ran of { status : string; output : string; seconds : float }
+
+let run_experiment ~completed ~wanted (name, f) =
+  if not (wanted name) then Skipped
+  else
+    match Hashtbl.find_opt completed name with
+    | Some (status, output) -> Replayed { status; output }
+    | None ->
+      let t0 = Unix.gettimeofday () in
+      (* One supervisor per task: the retry/quarantine bookkeeping is a
+         Hashtbl, which must not be shared across worker domains. *)
+      let sup = Supervisor.create () in
+      let last_output = ref "" in
+      let attempt () =
+        let output, result = capture f in
+        last_output := output;
+        match result with Ok () -> Ok output | Error e -> Error (Run_error.of_exn e)
+      in
+      let output, status =
+        match Supervisor.run sup ~task:name attempt with
+        | Supervisor.Done output -> (output, "ok")
+        | Supervisor.Failed { error; attempts } ->
+          ( Printf.sprintf "%s\n  [%s] experiment aborted after %d attempt(s): %s\n" !last_output
+              name attempts (Run_error.to_string error),
+            "failed" )
+        | Supervisor.Quarantined { failures } ->
+          ( Printf.sprintf "\n  [%s] quarantined after %d consecutive failures\n" name failures,
+            "failed" )
+      in
+      Ran { status; output; seconds = Unix.gettimeofday () -. t0 }
 
 let () =
   let cfg = parse_argv () in
@@ -839,71 +900,90 @@ let () =
       | Ok () -> ()
       | Error e -> Printf.eprintf "bench: journal append failed: %s\n%!" (Run_error.to_string e))
   in
+  (* [ckpts] is filled by recovery before the pool starts and afterwards
+     mutated only by the resumable-series experiment (one task, one
+     domain); the journal itself serialises concurrent appends. *)
   let save_ckpt key snap =
     Hashtbl.replace ckpts key snap;
     append (Printf.sprintf "ckpt %s\n%s" key snap)
   in
   let load_ckpt key = Hashtbl.find_opt ckpts key in
-  let sup = Supervisor.create () in
+  let pool = Pool.create ?jobs:cfg.jobs () in
   Printf.printf "ipdb experiment harness — Carmeli, Grohe, Lindner, Standke (PODS 2021)\n%!";
-  (* Supervised driver: each experiment runs with its stdout captured, under
-     the retry/quarantine policy; its report is journaled as one atomic
-     record before being printed, so a killed run replays completed
-     experiments verbatim under --resume and reruns only the interrupted
-     one (which itself restarts from its last series snapshot). *)
   let failed = ref [] in
+  let timings = ref [] in
   let wanted name = match cfg.only with None -> true | Some names -> List.mem name names in
-  let step name f =
-    if wanted name then begin
-      let t0 = Unix.gettimeofday () in
-      (match Hashtbl.find_opt completed name with
-      | Some (status, output) ->
-        Printf.eprintf "  [%s] already journaled (%s); replaying recorded report\n%!" name status;
-        print_string output;
-        if status <> "ok" then failed := name :: !failed
-      | None ->
-        let last_output = ref "" in
-        let attempt () =
-          let output, result = capture f in
-          last_output := output;
-          match result with Ok () -> Ok output | Error e -> Error (Run_error.of_exn e)
-        in
-        let output, status =
-          match Supervisor.run sup ~task:name attempt with
-          | Supervisor.Done output -> (output, "ok")
-          | Supervisor.Failed { error; attempts } ->
-            ( Printf.sprintf "%s\n  [%s] experiment aborted after %d attempt(s): %s\n" !last_output
-                name attempts (Run_error.to_string error),
-              "failed" )
-          | Supervisor.Quarantined { failures } ->
-            ( Printf.sprintf "\n  [%s] quarantined after %d consecutive failures\n" name failures,
-              "failed" )
-        in
-        if status <> "ok" then failed := name :: !failed;
-        append (Printf.sprintf "done %s %s\n%s" name status output);
-        print_string output);
-      Printf.printf "  -- %s: %.2fs\n" name (Unix.gettimeofday () -. t0);
-      flush_out ()
-    end
+  (* The canonical-order fold: journal the record, print the report, keep
+     the books. Runs on the main domain only. *)
+  let finish (name, _) outcome =
+    match outcome with
+    | Skipped -> ()
+    | Replayed { status; output } ->
+      Printf.eprintf "  [%s] already journaled (%s); replaying recorded report\n%!" name status;
+      print_string output;
+      if status <> "ok" then failed := name :: !failed;
+      timings := (name, status, 0.0) :: !timings;
+      Printf.printf "  -- %s: %.2fs\n" name 0.0;
+      flush stdout
+    | Ran { status; output; seconds } ->
+      if status <> "ok" then failed := name :: !failed;
+      append (Printf.sprintf "done %s %s\n%s" name status output);
+      print_string output;
+      timings := (name, status, seconds) :: !timings;
+      Printf.printf "  -- %s: %.2fs\n" name seconds;
+      flush stdout
   in
-  step "figures" exp_figures;
-  step "figure-1" exp_f1;
-  step "theorem-4.1" exp_thm41;
-  step "theorem-5.9" exp_thm59;
-  step "corollary-5.4" exp_cor54;
-  step "example-3.5" exp_ex35;
-  step "example-3.9" exp_ex39;
-  step "lemma-3.6" exp_lem36;
-  step "example-5.5" exp_ex55;
-  step "example-5.6" exp_ex56;
-  step "section-6" exp_sec6;
-  step "theorem-2.4" exp_thm24;
-  step "resumable-series" (exp_resumable ~load_ckpt ~save_ckpt);
-  step "classifier" exp_classifier;
-  step "pqe" exp_pqe;
-  step "ablations" ablation_section;
-  step "bechamel" bechamel_section;
+  (* Every experiment except the two timing sections runs as a pool task;
+     the pipeline journals and prints each one in canonical order as soon
+     as it and all its predecessors are done. The Bechamel sections time
+     construction micro-benchmarks, so they keep the machine to
+     themselves at the end. *)
+  let pooled_experiments =
+    [ ("figures", exp_figures ~pool);
+      ("figure-1", exp_f1);
+      ("theorem-4.1", exp_thm41);
+      ("theorem-5.9", exp_thm59);
+      ("corollary-5.4", exp_cor54);
+      ("example-3.5", exp_ex35);
+      ("example-3.9", exp_ex39);
+      ("lemma-3.6", exp_lem36);
+      ("example-5.5", exp_ex55);
+      ("example-5.6", exp_ex56);
+      ("section-6", exp_sec6);
+      ("theorem-2.4", exp_thm24);
+      ("resumable-series", exp_resumable ~pool ~load_ckpt ~save_ckpt);
+      ("classifier", exp_classifier ~pool);
+      ("pqe", exp_pqe)
+    ]
+  in
+  (match
+     Reduce.map_fold pool
+       ~map:(fun exp -> (exp, run_experiment ~completed ~wanted exp))
+       ~fold:(fun () (exp, outcome) ->
+         finish exp outcome;
+         Ok ())
+       ~init:()
+       (List.to_seq pooled_experiments)
+   with
+  | Ok () -> ()
+  | Error (_ : unit) -> ());
+  List.iter
+    (fun exp -> finish exp (run_experiment ~completed ~wanted exp))
+    [ ("ablations", ablation_section); ("bechamel", bechamel_section) ];
+  Pool.shutdown pool;
   Option.iter Journal.close journal;
+  (match cfg.json with
+  | None -> ()
+  | Some path ->
+    (* Line-oriented JSON: one object per line, trivially awk/jq-able. *)
+    let oc = open_out path in
+    Printf.fprintf oc "{\"jobs\": %d}\n" (Pool.jobs pool);
+    List.iter
+      (fun (name, status, seconds) ->
+        Printf.fprintf oc "{\"name\": %S, \"status\": %S, \"seconds\": %.3f}\n" name status
+          seconds)
+      (List.rev !timings);
+    close_out oc);
   match !failed with
   | [] -> Printf.printf "\nAll experiments executed.\n"
   | names ->

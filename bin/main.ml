@@ -37,6 +37,7 @@ module Budget = Ipdb_run.Budget
 module Run_error = Ipdb_run.Error
 module Checkpoint = Ipdb_run.Checkpoint
 module Series = Ipdb_series.Series
+module Pool = Ipdb_par.Pool
 
 open Cmdliner
 
@@ -94,6 +95,23 @@ let max_steps_arg =
     & info [ "max-steps" ] ~docv:"N"
         ~doc:"Term-evaluation budget. Exceeding it stops the run with a certified partial verdict (exit 3).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel series engines (default: $(b,IPDB_JOBS), else the \
+           machine's core count). Results are bit-identical for every $(docv); only wall-clock \
+           time changes.")
+
+(* The pool is shut down via at_exit so every exit path (including the
+   documented non-zero exit codes) joins the worker domains. *)
+let make_pool jobs =
+  let pool = Pool.create ?jobs () in
+  at_exit (fun () -> Pool.shutdown pool);
+  pool
+
 let budget_of timeout max_steps =
   match (timeout, max_steps) with
   | None, None -> Budget.unlimited
@@ -148,7 +166,7 @@ let finish_series_verdict ~render v =
 (* Budgeted series check with optional durable progress: resume from the
    snapshot in the checkpoint file, save periodically while running, and
    leave a resumable snapshot behind on exhaustion (exit 3). *)
-let run_series_check ~checkpoint ~resume ~budget ~start ~cert ~upto ~render term =
+let run_series_check ~pool ~checkpoint ~resume ~budget ~start ~cert ~upto ~render term =
   require_checkpoint_for_resume checkpoint resume;
   let from =
     match checkpoint with
@@ -164,7 +182,9 @@ let run_series_check ~checkpoint ~resume ~budget ~start ~cert ~upto ~render term
   let save_snap =
     Option.map (fun path snap -> save_payload ~path (Series.Snapshot.to_string snap)) checkpoint
   in
-  let v, snap = Criteria.check_series_resumable ~budget ?from ?progress:save_snap ~start ~cert ~upto term in
+  let v, snap =
+    Criteria.check_series_resumable ~pool ~budget ?from ?progress:save_snap ~start ~cert ~upto term
+  in
   (match (save_snap, v, snap) with
   | Some save, Criteria.Partial _, Some s -> save s
   | _ -> ());
@@ -172,14 +192,15 @@ let run_series_check ~checkpoint ~resume ~budget ~start ~cert ~upto ~render term
 
 (* classify *)
 let classify_cmd =
-  let run name upto timeout max_steps checkpoint resume =
+  let run name upto timeout max_steps checkpoint resume jobs =
     guard @@ fun () ->
     require_checkpoint_for_resume checkpoint resume;
     let cf = find_family name in
     let budget = budget_of timeout max_steps in
+    let pool = make_pool jobs in
     let v =
       match checkpoint with
-      | None -> Classifier.classify ~budget ~upto cf
+      | None -> Classifier.classify ~pool ~budget ~upto cf
       | Some path ->
         let from =
           if resume then begin
@@ -192,7 +213,7 @@ let classify_cmd =
           end
           else Classifier.empty_checkpoint
         in
-        Classifier.classify_resumable ~budget ~upto ~from
+        Classifier.classify_resumable ~pool ~budget ~upto ~from
           ~save:(fun cp -> save_payload ~path (Classifier.checkpoint_to_string cp))
           cf
     in
@@ -205,21 +226,22 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Representability verdict for a zoo family")
-    Term.(const run $ family_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg)
+    Term.(const run $ family_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg)
 
 (* moments *)
 let moments_cmd =
-  let run name k upto timeout max_steps checkpoint resume =
+  let run name k upto timeout max_steps checkpoint resume jobs =
     guard @@ fun () ->
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
     let budget = budget_of timeout max_steps in
+    let pool = make_pool jobs in
     match cf.Zoo.moment_cert k with
     | None ->
       Printf.eprintf "ipdb: no certificate for k=%d\n" k;
       exit 2
     | Some cert ->
-      run_series_check ~checkpoint ~resume ~budget ~start:cf.Zoo.family.Family.start ~cert ~upto
+      run_series_check ~pool ~checkpoint ~resume ~budget ~start:cf.Zoo.family.Family.start ~cert ~upto
         ~render:(function
           | Criteria.Finite_sum e -> Printf.sprintf "E(|D|^%d) ∈ [%.9g, %.9g]" k (Interval.lo e) (Interval.hi e)
           | Criteria.Infinite_sum { partial; at } ->
@@ -229,21 +251,22 @@ let moments_cmd =
   in
   let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Moment order.") in
   Cmd.v (Cmd.info "moments" ~doc:"Certified size moments")
-    Term.(const run $ family_arg $ k_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg)
+    Term.(const run $ family_arg $ k_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg)
 
 (* criterion *)
 let criterion_cmd =
-  let run name c upto timeout max_steps checkpoint resume =
+  let run name c upto timeout max_steps checkpoint resume jobs =
     guard @@ fun () ->
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
     let budget = budget_of timeout max_steps in
+    let pool = make_pool jobs in
     match cf.Zoo.thm53_cert c with
     | None ->
       Printf.eprintf "ipdb: no certificate for c=%d\n" c;
       exit 2
     | Some cert ->
-      run_series_check ~checkpoint ~resume ~budget ~start:cf.Zoo.family.Family.start ~cert ~upto
+      run_series_check ~pool ~checkpoint ~resume ~budget ~start:cf.Zoo.family.Family.start ~cert ~upto
         ~render:(function
           | Criteria.Finite_sum e ->
             Printf.sprintf "Σ|D|·P(D)^(%d/|D|) ∈ [%.9g, %.9g] < ∞ ⟹ in FO(TI) (Theorem 5.3)" c (Interval.lo e)
@@ -256,7 +279,7 @@ let criterion_cmd =
   let c_arg = Arg.(value & opt int 1 & info [ "c" ] ~docv:"C" ~doc:"Segment capacity.") in
   Cmd.v
     (Cmd.info "criterion" ~doc:"The Theorem 5.3 sufficient-condition series")
-    Term.(const run $ family_arg $ c_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg)
+    Term.(const run $ family_arg $ c_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg)
 
 (* sample *)
 let sample_cmd =
@@ -495,17 +518,18 @@ let import_cmd =
 
 (* figures *)
 let figures_cmd =
-  let run dot =
+  let run dot jobs =
     guard @@ fun () ->
+    let pool = make_pool jobs in
     let emit d = print_string (if dot then Ipdb_core.Figure.to_dot d else Ipdb_core.Figure.to_text d) in
-    emit (Ipdb_core.Figure.figure1 ());
+    emit (Ipdb_core.Figure.figure1 ~pool ());
     print_newline ();
-    emit (Ipdb_core.Figure.figure4 ())
+    emit (Ipdb_core.Figure.figure4 ~pool ())
   in
   let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
   Cmd.v
     (Cmd.info "figures" ~doc:"Re-verify and render the paper's Hasse diagrams (Figures 1 and 4)")
-    Term.(const run $ dot_arg)
+    Term.(const run $ dot_arg $ jobs_arg)
 
 (* zoo *)
 let zoo_cmd =

@@ -16,18 +16,85 @@ type verdict =
    checks would only burn the already-spent budget again. *)
 exception Out_of_budget of { exhausted : Ipdb_run.Error.exhaustion; detail : string }
 
-let classify ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certified_family) =
+(* The criterion probes a classification runs, in the order the sequential
+   search visits them: every certified moment k = 1..max_k, then every
+   certified Theorem 5.3 capacity c = 1..max_c. *)
+type probe = Moment of int * Criteria.certificate | Capacity of int * Criteria.certificate
+
+let probes ?(max_k = 4) ?(max_c = 4) (cf : Zoo.certified_family) =
+  let range lo hi f =
+    List.filter_map f (List.init (Stdlib.max 0 (hi - lo + 1)) (fun i -> lo + i))
+  in
+  range 1 max_k (fun k -> Option.map (fun cert -> Moment (k, cert)) (cf.Zoo.moment_cert k))
+  @ range 1 max_c (fun c -> Option.map (fun cert -> Capacity (c, cert)) (cf.Zoo.thm53_cert c))
+
+let moment_detail k v = Printf.sprintf "moment check at k=%d: %s" k (Criteria.verdict_to_string v)
+
+let capacity_detail c v =
+  Printf.sprintf "Theorem 5.3 check at c=%d: %s" c (Criteria.verdict_to_string v)
+
+let undetermined =
+  Undetermined
+    "all certified moments are finite and no certified Theorem 5.3 capacity was found: \
+     the paper's criteria leave this PDB's membership open (cf. Example 3.9 and Example 5.6)"
+
+(* Replays the sequential search's selection over the probe verdicts, in
+   probe order: the first deciding (or interrupted) probe wins, moments
+   before capacities, smaller indices first. Fanning the probes out over a
+   pool and then selecting this way returns exactly the verdict the
+   one-at-a-time search returns. *)
+let rec select = function
+  | [] -> undetermined
+  | (probe, v) :: rest -> (
+    match (probe, v) with
+    | Moment (k, _), Criteria.Infinite_sum { partial; _ } ->
+      Not_in_FOTI (Infinite_moment { k; partial })
+    | Moment (k, _), Criteria.Partial { exhausted; _ } ->
+      Partial { exhausted; detail = moment_detail k v }
+    | Capacity (c, _), Criteria.Finite_sum enclosure ->
+      In_FOTI (Theorem53 { c; criterion_sum = enclosure })
+    | Capacity (c, _), Criteria.Partial { exhausted; _ } ->
+      Partial { exhausted; detail = capacity_detail c v }
+    | _, (Criteria.Finite_sum _ | Criteria.Infinite_sum _
+         | Criteria.Invalid_certificate _ | Criteria.Check_failed _) -> select rest)
+
+let classify ?pool ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certified_family) =
   let upto = Stdlib.min upto cf.Zoo.check_upto in
   match cf.Zoo.size_bound with
   | Some b -> In_FOTI (Bounded_size b)
-  | None -> begin
+  | None ->
+  (* A pool fans the independent probes out speculatively — but only when
+     the budget cannot trip. A shared limited budget is consumed in probe
+     order by the sequential search; concurrent probes would interleave
+     their step reservations nondeterministically, so those runs keep the
+     canonical probe order and parallelise inside each series instead. *)
+  let fan_out =
+    match (pool, budget) with
+    | Some _, None -> true
+    | Some _, Some b -> Ipdb_run.Budget.is_unlimited b
+    | None, _ -> false
+  in
+  if fan_out then begin
+    let pool = Option.get pool in
+    let eval probe =
+      let v =
+        match probe with
+        | Moment (k, cert) -> Criteria.moment_verdict ?pool:None ?budget cf.Zoo.family ~k ~cert ~upto
+        | Capacity (c, cert) ->
+          Criteria.theorem53_verdict ?pool:None ?budget cf.Zoo.family ~c ~cert ~upto
+      in
+      (probe, v)
+    in
+    select (Ipdb_par.Pool.map_ordered pool ~f:eval (probes ~max_k ~max_c cf))
+  end
+  else begin
     (* Theorem 5.3: look for a certified-convergent criterion series. *)
     let rec try_c c =
       if c > max_c then None
       else begin
         match cf.Zoo.thm53_cert c with
         | Some cert -> (
-          match Criteria.theorem53_verdict ?budget cf.Zoo.family ~c ~cert ~upto with
+          match Criteria.theorem53_verdict ?pool ?budget cf.Zoo.family ~c ~cert ~upto with
           | Criteria.Finite_sum enclosure -> Some (In_FOTI (Theorem53 { c; criterion_sum = enclosure }))
           | Criteria.Partial { exhausted; _ } as v ->
             raise
@@ -44,12 +111,10 @@ let classify ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certifie
       else begin
         match cf.Zoo.moment_cert k with
         | Some cert -> (
-          match Criteria.moment_verdict ?budget cf.Zoo.family ~k ~cert ~upto with
+          match Criteria.moment_verdict ?pool ?budget cf.Zoo.family ~k ~cert ~upto with
           | Criteria.Infinite_sum { partial; _ } -> Some (Not_in_FOTI (Infinite_moment { k; partial }))
           | Criteria.Partial { exhausted; _ } as v ->
-            raise
-              (Out_of_budget
-                 { exhausted; detail = Printf.sprintf "moment check at k=%d: %s" k (Criteria.verdict_to_string v) })
+            raise (Out_of_budget { exhausted; detail = moment_detail k v })
           | Criteria.Finite_sum _ | Criteria.Invalid_certificate _ | Criteria.Check_failed _ ->
             try_k (k + 1))
         | None -> try_k (k + 1)
@@ -58,13 +123,7 @@ let classify ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.certifie
     try
       match try_k 1 with
       | Some v -> v
-      | None -> (
-        match try_c 1 with
-        | Some v -> v
-        | None ->
-          Undetermined
-            "all certified moments are finite and no certified Theorem 5.3 capacity was found: \
-             the paper's criteria leave this PDB's membership open (cf. Example 3.9 and Example 5.6)")
+      | None -> ( match try_c 1 with Some v -> v | None -> undetermined)
     with Out_of_budget { exhausted; detail } -> Partial { exhausted; detail }
   end
 
@@ -130,7 +189,10 @@ let checkpoint_of_string s =
   in
   go empty_checkpoint lines
 
-let classify_resumable ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000)
+(* Resumable classification keeps the canonical one-check-at-a-time order
+   regardless of the pool — the checkpoint format records checks as a
+   sequential history — and parallelises inside each series instead. *)
+let classify_resumable ?pool ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000)
     ?(from = empty_checkpoint) ?save ?(progress_every = 1000) (cf : Zoo.certified_family) =
   let upto = Stdlib.min upto cf.Zoo.check_upto in
   match cf.Zoo.size_bound with
@@ -181,7 +243,7 @@ let classify_resumable ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000)
         | Some cert -> (
           let v =
             run_check ~id:(Printf.sprintf "c%d" c) (fun ?from ?progress ~progress_every () ->
-                Criteria.theorem53_verdict_resumable ?budget ?from ?progress ~progress_every
+                Criteria.theorem53_verdict_resumable ?pool ?budget ?from ?progress ~progress_every
                   cf.Zoo.family ~c ~cert ~upto)
           in
           match v with
@@ -206,7 +268,7 @@ let classify_resumable ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000)
         | Some cert -> (
           let v =
             run_check ~id:(Printf.sprintf "k%d" k) (fun ?from ?progress ~progress_every () ->
-                Criteria.moment_verdict_resumable ?budget ?from ?progress ~progress_every
+                Criteria.moment_verdict_resumable ?pool ?budget ?from ?progress ~progress_every
                   cf.Zoo.family ~k ~cert ~upto)
           in
           match v with
@@ -226,13 +288,7 @@ let classify_resumable ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000)
     try
       match try_k 1 with
       | Some v -> v
-      | None -> (
-        match try_c 1 with
-        | Some v -> v
-        | None ->
-          Undetermined
-            "all certified moments are finite and no certified Theorem 5.3 capacity was found: \
-             the paper's criteria leave this PDB's membership open (cf. Example 3.9 and Example 5.6)")
+      | None -> ( match try_c 1 with Some v -> v | None -> undetermined)
     with Out_of_budget { exhausted; detail } -> Partial { exhausted; detail }
   end
 

@@ -32,12 +32,20 @@ type verdict =
           partial evidence it had gathered. *)
 
 val classify :
-  ?budget:Ipdb_run.Budget.t -> ?max_k:int -> ?max_c:int -> ?upto:int -> Zoo.certified_family -> verdict
+  ?pool:Ipdb_par.Pool.t ->
+  ?budget:Ipdb_run.Budget.t ->
+  ?max_k:int -> ?max_c:int -> ?upto:int -> Zoo.certified_family -> verdict
 (** Tries moments [k = 1..max_k] (default 4) and capacities
     [c = 1..max_c] (default 4), validating certificates on the first
     [upto] (default 2000) terms. The budget (default unlimited) is shared
     across all criterion checks; exhaustion aborts the search with
-    {!Partial} rather than raising. *)
+    {!Partial} rather than raising. With [?pool] and a budget that cannot
+    trip, the independent criterion checks are fanned out across the pool
+    and the verdict is selected in the canonical search order, so the
+    result is identical — bit for bit — to the sequential search for any
+    worker count. With a limited budget the checks keep their canonical
+    order (a shared step budget must be consumed in a deterministic
+    sequence) and each series parallelises internally instead. *)
 
 (** {1 Checkpointable classification}
 
@@ -65,6 +73,7 @@ val checkpoint_of_string : string -> (checkpoint, string) result
 (** Total inverse of {!checkpoint_to_string}. *)
 
 val classify_resumable :
+  ?pool:Ipdb_par.Pool.t ->
   ?budget:Ipdb_run.Budget.t ->
   ?max_k:int ->
   ?max_c:int ->

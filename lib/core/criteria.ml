@@ -27,10 +27,10 @@ type series_verdict =
   | Invalid_certificate of string
   | Check_failed of Ipdb_run.Error.t
 
-let check_series ?budget ~start ~cert ~upto term =
+let check_series ?pool ?budget ~start ~cert ~upto term =
   match cert with
   | Tail tail -> (
-    match Series.sum_budgeted ?budget ~start term ~tail ~upto with
+    match Series.sum_budgeted ?pool ?budget ~start term ~tail ~upto with
     | Ok (Series.Complete enclosure) -> Finite_sum enclosure
     | Ok (Series.Exhausted p) ->
       Partial
@@ -44,23 +44,23 @@ let check_series ?budget ~start ~cert ~upto term =
     | Error (Ipdb_run.Error.Certificate { msg; _ }) -> Invalid_certificate msg
     | Error e -> Check_failed e)
   | Divergence certificate -> (
-    match Series.certify_divergence_budgeted ?budget ~start term ~certificate ~upto with
+    match Series.certify_divergence_budgeted ?pool ?budget ~start term ~certificate ~upto with
     | Ok (Series.Div_complete { partial; at }) -> Infinite_sum { partial; at }
     | Ok (Series.Div_exhausted { partial; last; requested; exhausted; _ }) ->
       Partial { enclosure = None; partial; at = last; requested; exhausted }
     | Error (Ipdb_run.Error.Certificate { msg; _ }) -> Invalid_certificate msg
     | Error e -> Check_failed e)
 
-let moment_verdict ?budget fam ~k ~cert ~upto =
-  check_series ?budget ~start:fam.Family.start ~cert ~upto (Family.moment_term fam ~k)
+let moment_verdict ?pool ?budget fam ~k ~cert ~upto =
+  check_series ?pool ?budget ~start:fam.Family.start ~cert ~upto (Family.moment_term fam ~k)
 
-let theorem53_verdict ?budget fam ~c ~cert ~upto =
-  check_series ?budget ~start:fam.Family.start ~cert ~upto (Family.theorem53_term fam ~c)
+let theorem53_verdict ?pool ?budget fam ~c ~cert ~upto =
+  check_series ?pool ?budget ~start:fam.Family.start ~cert ~upto (Family.theorem53_term fam ~c)
 
-let check_series_resumable ?budget ?from ?progress ?progress_every ~start ~cert ~upto term =
+let check_series_resumable ?pool ?budget ?from ?progress ?progress_every ~start ~cert ~upto term =
   match cert with
   | Tail tail -> (
-    match Series.sum_resumable ?budget ?from ?progress ?progress_every ~start term ~tail ~upto with
+    match Series.sum_resumable ?pool ?budget ?from ?progress ?progress_every ~start term ~tail ~upto with
     | Ok (Series.Complete enclosure, snap) -> (Finite_sum enclosure, Some snap)
     | Ok (Series.Exhausted p, snap) ->
       ( Partial
@@ -76,7 +76,7 @@ let check_series_resumable ?budget ?from ?progress ?progress_every ~start ~cert 
     | Error e -> (Check_failed e, None))
   | Divergence certificate -> (
     match
-      Series.certify_divergence_resumable ?budget ?from ?progress ?progress_every ~start term
+      Series.certify_divergence_resumable ?pool ?budget ?from ?progress ?progress_every ~start term
         ~certificate ~upto
     with
     | Ok (Series.Div_complete { partial; at }, snap) -> (Infinite_sum { partial; at }, Some snap)
@@ -85,12 +85,12 @@ let check_series_resumable ?budget ?from ?progress ?progress_every ~start ~cert 
     | Error (Ipdb_run.Error.Certificate { msg; _ }) -> (Invalid_certificate msg, None)
     | Error e -> (Check_failed e, None))
 
-let moment_verdict_resumable ?budget ?from ?progress ?progress_every fam ~k ~cert ~upto =
-  check_series_resumable ?budget ?from ?progress ?progress_every ~start:fam.Family.start ~cert
+let moment_verdict_resumable ?pool ?budget ?from ?progress ?progress_every fam ~k ~cert ~upto =
+  check_series_resumable ?pool ?budget ?from ?progress ?progress_every ~start:fam.Family.start ~cert
     ~upto (Family.moment_term fam ~k)
 
-let theorem53_verdict_resumable ?budget ?from ?progress ?progress_every fam ~c ~cert ~upto =
-  check_series_resumable ?budget ?from ?progress ?progress_every ~start:fam.Family.start ~cert
+let theorem53_verdict_resumable ?pool ?budget ?from ?progress ?progress_every fam ~c ~cert ~upto =
+  check_series_resumable ?pool ?budget ?from ?progress ?progress_every ~start:fam.Family.start ~cert
     ~upto (Family.theorem53_term fam ~c)
 
 (* ------------------------------------------------------------------ *)

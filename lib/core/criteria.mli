@@ -40,6 +40,7 @@ type series_verdict =
       (** Typed non-certificate failure (injected fault, I/O, internal). *)
 
 val check_series :
+  ?pool:Ipdb_par.Pool.t ->
   ?budget:Ipdb_run.Budget.t ->
   start:int ->
   cert:certificate ->
@@ -49,14 +50,21 @@ val check_series :
 (** Validate the certificate on the computed prefix and produce the
     verdict, consuming one budget step per term. Never raises: faults in
     term evaluation or certificate validation surface as
-    {!Invalid_certificate} / {!Check_failed}. *)
+    {!Invalid_certificate} / {!Check_failed}. With [?pool] the chunked
+    parallel series engines run instead — completed verdicts are
+    bit-identical to the sequential ones for any worker count (see
+    {!Ipdb_series.Series.sum_resumable}). *)
 
 val moment_verdict :
-  ?budget:Ipdb_run.Budget.t -> Ipdb_pdb.Family.t -> k:int -> cert:certificate -> upto:int -> series_verdict
+  ?pool:Ipdb_par.Pool.t ->
+  ?budget:Ipdb_run.Budget.t ->
+  Ipdb_pdb.Family.t -> k:int -> cert:certificate -> upto:int -> series_verdict
 (** Verdict for the [k]-th size moment [Σ |D_n|^k P(D_n)]. *)
 
 val theorem53_verdict :
-  ?budget:Ipdb_run.Budget.t -> Ipdb_pdb.Family.t -> c:int -> cert:certificate -> upto:int -> series_verdict
+  ?pool:Ipdb_par.Pool.t ->
+  ?budget:Ipdb_run.Budget.t ->
+  Ipdb_pdb.Family.t -> c:int -> cert:certificate -> upto:int -> series_verdict
 (** Verdict for the Theorem 5.3 series with capacity [c]. *)
 
 val verdict_to_string : series_verdict -> string
@@ -73,6 +81,7 @@ val verdict_to_string : series_verdict -> string
     same verdict, bit for bit, as an uninterrupted one. *)
 
 val check_series_resumable :
+  ?pool:Ipdb_par.Pool.t ->
   ?budget:Ipdb_run.Budget.t ->
   ?from:Series.Snapshot.t ->
   ?progress:(Series.Snapshot.t -> unit) ->
@@ -89,6 +98,7 @@ val check_series_resumable :
     [Check_failed (Validation _)]. *)
 
 val moment_verdict_resumable :
+  ?pool:Ipdb_par.Pool.t ->
   ?budget:Ipdb_run.Budget.t ->
   ?from:Series.Snapshot.t ->
   ?progress:(Series.Snapshot.t -> unit) ->
@@ -100,6 +110,7 @@ val moment_verdict_resumable :
   series_verdict * Series.Snapshot.t option
 
 val theorem53_verdict_resumable :
+  ?pool:Ipdb_par.Pool.t ->
   ?budget:Ipdb_run.Budget.t ->
   ?from:Series.Snapshot.t ->
   ?progress:(Series.Snapshot.t -> unit) ->

@@ -151,40 +151,65 @@ let check_bounded_in_foti () =
 (* The diagrams                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let figure1 () =
-  {
-    title = "Figure 1 — finite PDB classes";
-    classes = [ "TI_fin"; "CQ(TI_fin) = UCQ(TI_fin)"; "BID_fin"; "PDB_fin = FO(TI_fin) = CQ(BID_fin)" ];
-    edges =
-      [ { lower = "TI_fin"; upper = "CQ(TI_fin)"; label = "identity view; strict by Ex. B.3"; strict = true; status = check_b3_not_ti_nor_bid () };
-        { lower = "TI_fin"; upper = "BID_fin"; label = "singleton blocks; strict by Ex. B.2"; strict = true; status = (match (check_ti_in_bid (), check_b2_not_ti ()) with Verified, Verified -> Verified | Failed m, _ | _, Failed m -> Failed m) };
-        { lower = "CQ(TI_fin)"; upper = "PDB_fin"; label = "strict: Ex. B.2 ∉ CQ(TI_fin)"; strict = true; status = check_b2_not_monotone_ti () };
-        { lower = "BID_fin"; upper = "PDB_fin"; label = "strict: Ex. B.3 image ∉ BID_fin"; strict = true; status = check_b3_not_ti_nor_bid () }
-      ];
-    equalities =
-      [ ([ "CQ(TI_fin)"; "UCQ(TI_fin)" ], "Proposition B.4", check_cq_eq_ucq ());
-        ([ "PDB_fin"; "FO(TI_fin)" ], "completeness theorem [51]", check_fo_ti_complete ());
-        ([ "PDB_fin"; "CQ(BID_fin)" ], "[16, 42]", check_cq_bid_complete ())
-      ];
-  }
+(* Each distinct check runs exactly once — as a pool task when a pool is
+   given — and the diagram is assembled from the results in a fixed order,
+   so the rendered figure is identical for any worker count. *)
+let run_checks ?pool checks =
+  match pool with
+  | None -> List.map (fun f -> f ()) checks
+  | Some pool -> Ipdb_par.Pool.map_ordered pool ~f:(fun f -> f ()) checks
 
-let figure4 () =
-  {
-    title = "Figure 4 — countable PDB classes";
-    classes = [ "TI"; "UCQ(TI)"; "BID"; "FO(TI) = FO(BID) = FO(TI|FO)"; "PDB" ];
-    edges =
-      [ { lower = "TI"; upper = "UCQ(TI)"; label = "identity view; strict by Ex. B.3"; strict = true; status = check_b3_not_ti_nor_bid () };
-        { lower = "TI"; upper = "BID"; label = "singleton blocks; strict by Ex. B.2"; strict = true; status = check_b2_not_ti () };
-        { lower = "UCQ(TI)"; upper = "FO(TI)"; label = "strict: BIDs with exclusive facts (Prop 6.4)"; strict = true; status = check_b2_not_monotone_ti () };
-        { lower = "BID"; upper = "FO(TI)"; label = "Theorem 5.9; strict by Ex. B.3 image"; strict = true; status = check_bid_in_foti () };
-        { lower = "FO(TI)"; upper = "PDB"; label = "strict: Ex. 3.5 (infinite 2nd moment)"; strict = true; status = check_foti_proper () }
-      ];
-    equalities =
-      [ ([ "FO(TI)"; "FO(TI|FO)" ], "Theorem 4.1", check_deconditioning ());
-        ([ "FO(TI)"; "FO(BID)" ], "Thm 5.9 + FO(FO(TI)) = FO(TI)", (match (check_bid_in_foti (), check_fo_compose ()) with Verified, Verified -> Verified | Failed m, _ | _, Failed m -> Failed m));
-        ([ "bounded-size PDBs"; "⊆ FO(TI)" ], "Corollary 5.4", check_bounded_in_foti ())
-      ];
-  }
+let both a b =
+  match (a, b) with Verified, Verified -> Verified | Failed m, _ | _, Failed m -> Failed m
+
+let figure1 ?pool () =
+  match
+    run_checks ?pool
+      [ check_b3_not_ti_nor_bid; check_ti_in_bid; check_b2_not_ti; check_b2_not_monotone_ti;
+        check_cq_eq_ucq; check_fo_ti_complete; check_cq_bid_complete ]
+  with
+  | [ b3; ti_in_bid; b2_not_ti; b2_not_mono; cq_eq_ucq; fo_ti; cq_bid ] ->
+    {
+      title = "Figure 1 — finite PDB classes";
+      classes = [ "TI_fin"; "CQ(TI_fin) = UCQ(TI_fin)"; "BID_fin"; "PDB_fin = FO(TI_fin) = CQ(BID_fin)" ];
+      edges =
+        [ { lower = "TI_fin"; upper = "CQ(TI_fin)"; label = "identity view; strict by Ex. B.3"; strict = true; status = b3 };
+          { lower = "TI_fin"; upper = "BID_fin"; label = "singleton blocks; strict by Ex. B.2"; strict = true; status = both ti_in_bid b2_not_ti };
+          { lower = "CQ(TI_fin)"; upper = "PDB_fin"; label = "strict: Ex. B.2 ∉ CQ(TI_fin)"; strict = true; status = b2_not_mono };
+          { lower = "BID_fin"; upper = "PDB_fin"; label = "strict: Ex. B.3 image ∉ BID_fin"; strict = true; status = b3 }
+        ];
+      equalities =
+        [ ([ "CQ(TI_fin)"; "UCQ(TI_fin)" ], "Proposition B.4", cq_eq_ucq);
+          ([ "PDB_fin"; "FO(TI_fin)" ], "completeness theorem [51]", fo_ti);
+          ([ "PDB_fin"; "CQ(BID_fin)" ], "[16, 42]", cq_bid)
+        ];
+    }
+  | _ -> assert false
+
+let figure4 ?pool () =
+  match
+    run_checks ?pool
+      [ check_b3_not_ti_nor_bid; check_b2_not_ti; check_b2_not_monotone_ti; check_bid_in_foti;
+        check_foti_proper; check_deconditioning; check_fo_compose; check_bounded_in_foti ]
+  with
+  | [ b3; b2_not_ti; b2_not_mono; bid_in_foti; foti_proper; decond; fo_compose; bounded ] ->
+    {
+      title = "Figure 4 — countable PDB classes";
+      classes = [ "TI"; "UCQ(TI)"; "BID"; "FO(TI) = FO(BID) = FO(TI|FO)"; "PDB" ];
+      edges =
+        [ { lower = "TI"; upper = "UCQ(TI)"; label = "identity view; strict by Ex. B.3"; strict = true; status = b3 };
+          { lower = "TI"; upper = "BID"; label = "singleton blocks; strict by Ex. B.2"; strict = true; status = b2_not_ti };
+          { lower = "UCQ(TI)"; upper = "FO(TI)"; label = "strict: BIDs with exclusive facts (Prop 6.4)"; strict = true; status = b2_not_mono };
+          { lower = "BID"; upper = "FO(TI)"; label = "Theorem 5.9; strict by Ex. B.3 image"; strict = true; status = bid_in_foti };
+          { lower = "FO(TI)"; upper = "PDB"; label = "strict: Ex. 3.5 (infinite 2nd moment)"; strict = true; status = foti_proper }
+        ];
+      equalities =
+        [ ([ "FO(TI)"; "FO(TI|FO)" ], "Theorem 4.1", decond);
+          ([ "FO(TI)"; "FO(BID)" ], "Thm 5.9 + FO(FO(TI)) = FO(TI)", both bid_in_foti fo_compose);
+          ([ "bounded-size PDBs"; "⊆ FO(TI)" ], "Corollary 5.4", bounded)
+        ];
+    }
+  | _ -> assert false
 
 let all_verified d =
   List.for_all (fun e -> e.status = Verified) d.edges

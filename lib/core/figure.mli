@@ -26,12 +26,14 @@ type diagram = {
       (** classes proven equal, with the backing result *)
 }
 
-val figure1 : unit -> diagram
+val figure1 : ?pool:Ipdb_par.Pool.t -> unit -> diagram
 (** The finite-setting diagram: [TI ⊊ CQ(TI) = UCQ(TI)], [TI ⊊ BID],
     incomparability of [CQ(TI)] and [BID], and the completeness equalities
-    [PDB_fin = FO(TI_fin) = CQ(BID_fin)] — every relation re-verified. *)
+    [PDB_fin = FO(TI_fin) = CQ(BID_fin)] — every relation re-verified.
+    With [?pool] the backing checks run as pool tasks (each distinct check
+    once); the assembled diagram is identical for any worker count. *)
 
-val figure4 : unit -> diagram
+val figure4 : ?pool:Ipdb_par.Pool.t -> unit -> diagram
 (** The countable-setting diagram: [TI ⊊ UCQ(TI)], [TI ⊊ BID ⊊ FO(TI)],
     [FO(TI) = FO(BID) = FO(TI|FO) ⊊ PDB] — verified on witnesses
     (constructions run on finite/truncated instances; separations run their

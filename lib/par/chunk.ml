@@ -1,0 +1,20 @@
+type t = { lo : int; hi : int }
+
+let default_size = 2048
+let length c = c.hi - c.lo + 1
+
+let split c n =
+  if n < 1 || n >= length c then invalid_arg "Chunk.split";
+  ({ lo = c.lo; hi = c.lo + n - 1 }, { lo = c.lo + n; hi = c.hi })
+
+let plan ?(size = default_size) ~start ~upto () =
+  if size < 1 then invalid_arg "Chunk.plan: size must be >= 1";
+  let rec from lo () =
+    if lo > upto then Seq.Nil
+    else
+      let hi = if upto - lo < size then upto else lo + size - 1 in
+      Seq.Cons ({ lo; hi }, from (hi + 1))
+  in
+  from start
+
+let to_list = List.of_seq

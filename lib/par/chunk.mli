@@ -1,0 +1,36 @@
+(** Size-deterministic chunk planning for index ranges.
+
+    A chunk plan splits an inclusive index range [[start, upto]] into
+    consecutive chunks of at most [size] indices.  The plan depends only on
+    [(start, upto, size)] — never on the number of workers — so two runs
+    with different [--jobs] values produce the same chunk boundaries, which
+    is the first ingredient of the bit-for-bit determinism guarantee
+    (DESIGN.md §8).
+
+    Plans are lazy ([Seq.t]): a range of 10^12 indices costs nothing to
+    plan, and budget admission can stop pulling chunks the moment the step
+    budget runs dry. *)
+
+type t = private { lo : int; hi : int }
+(** An inclusive, non-empty index range [\[lo, hi\]]. *)
+
+val default_size : int
+(** Default chunk size (2048 indices).  Large enough that per-chunk
+    scheduling overhead is negligible, small enough that checkpoints stay
+    frequent and budget exhaustion stays precise. *)
+
+val length : t -> int
+(** Number of indices in the chunk, [hi - lo + 1]. *)
+
+val split : t -> int -> t * t
+(** [split c n] splits [c] into its first [n] indices and the rest.
+    Raises [Invalid_argument] unless [1 <= n < length c].  Used by budget
+    admission to truncate the final chunk to the remaining step budget. *)
+
+val plan : ?size:int -> start:int -> upto:int -> unit -> t Seq.t
+(** [plan ~start ~upto ()] is the sequence of chunks covering
+    [\[start, upto\]] in ascending order; empty when [upto < start].
+    Raises [Invalid_argument] if [size < 1]. *)
+
+val to_list : t Seq.t -> t list
+(** Force a plan; test helper. *)

@@ -1,0 +1,166 @@
+(* Growable ring-buffer deque.  All access is under the pool mutex, so the
+   structure itself needs no synchronisation. *)
+module Deque = struct
+  type 'a t = { mutable buf : 'a option array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 64 None; head = 0; len = 0 }
+
+  let grow d =
+    let cap = Array.length d.buf in
+    let buf = Array.make (2 * cap) None in
+    for i = 0 to d.len - 1 do
+      buf.(i) <- d.buf.((d.head + i) mod cap)
+    done;
+    d.buf <- buf;
+    d.head <- 0
+
+  let push_back d x =
+    let cap = Array.length d.buf in
+    if d.len = cap then grow d;
+    let cap = Array.length d.buf in
+    d.buf.((d.head + d.len) mod cap) <- Some x;
+    d.len <- d.len + 1
+
+  let take d i =
+    let x = d.buf.(i) in
+    d.buf.(i) <- None;
+    match x with Some x -> x | None -> assert false
+
+  let pop_front d =
+    if d.len = 0 then None
+    else begin
+      let x = take d d.head in
+      d.head <- (d.head + 1) mod Array.length d.buf;
+      d.len <- d.len - 1;
+      Some x
+    end
+
+  let pop_back d =
+    if d.len = 0 then None
+    else begin
+      let x = take d ((d.head + d.len - 1) mod Array.length d.buf) in
+      d.len <- d.len - 1;
+      Some x
+    end
+end
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* signalled on push and on shutdown *)
+  deque : (unit -> unit) Deque.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let max_jobs = 64
+
+let default_jobs () =
+  let cores () = Domain.recommended_domain_count () in
+  let n =
+    match Sys.getenv_opt "IPDB_JOBS" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> n
+        | _ -> cores ())
+    | None -> cores ()
+  in
+  max 1 (min max_jobs n)
+
+(* Tasks are pre-wrapped by [map_ordered] and never raise; the [try] is a
+   belt-and-braces guard so a worker can never die. *)
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec await () =
+    match Deque.pop_front t.deque with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        (try task () with _ -> ());
+        worker t
+    | None ->
+        if t.closed then Mutex.unlock t.mutex
+        else begin
+          Condition.wait t.work t.mutex;
+          await ()
+        end
+  in
+  await ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j ->
+        if j < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+        min j max_jobs
+  in
+  let t =
+    { jobs; mutex = Mutex.create (); work = Condition.create (); deque = Deque.create (); closed = false; domains = [] }
+  in
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let domains = t.domains in
+  t.closed <- true;
+  t.domains <- [];
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let map_ordered (type b) t ~(f : 'a -> b) (items : 'a list) : b list =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ] (* inline: a 1-task fan-out gains nothing from the pool *)
+  | _ ->
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let results : (b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+      let remaining = ref n in
+      let finished = Condition.create () in
+      let run_one i =
+        let r = try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+        Mutex.lock t.mutex;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast finished;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.map_ordered: pool is shut down"
+      end;
+      for i = 0 to n - 1 do
+        Deque.push_back t.deque (fun () -> run_one i)
+      done;
+      Condition.broadcast t.work;
+      (* Help while waiting: run queued tasks (ours or anyone's) until all
+         of our results are in.  Popping from the back favours the most
+         recently submitted work, which keeps nested fan-outs hot. *)
+      let rec drain () =
+        if !remaining > 0 then
+          match Deque.pop_back t.deque with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              task ();
+              Mutex.lock t.mutex;
+              drain ()
+          | None ->
+              Condition.wait finished t.mutex;
+              drain ()
+      in
+      drain ();
+      Mutex.unlock t.mutex;
+      let out =
+        Array.map
+          (function
+            | Some (Ok v) -> v
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | None -> assert false)
+          results
+      in
+      Array.to_list out

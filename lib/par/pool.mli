@@ -1,0 +1,39 @@
+(** A fixed-size pool of OCaml 5 domains with a deque-based work queue.
+
+    The pool carries no determinism obligations of its own: tasks run in
+    whatever order the scheduler picks.  Determinism is recovered one layer
+    up, by {!Reduce.map_fold}, which merges results in submission order.
+
+    Waiting callers {e help}: while a [map_ordered] call waits for its
+    tasks to finish, the calling domain pops queued tasks (newest first,
+    from the back of the deque) and runs them itself.  This makes nested
+    use — a pool task that itself calls [map_ordered] on the same pool —
+    deadlock-free: in the worst case the submitter executes all of its own
+    subtasks, so progress never depends on another worker being free. *)
+
+type t
+
+val default_jobs : unit -> int
+(** Worker count used when [create] gets no [?jobs]: the [IPDB_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()], clamped to [\[1, 64\]]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    Raises [Invalid_argument] if [jobs < 1].  Values above 64 are clamped
+    (the OCaml runtime supports a bounded number of domains). *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val map_ordered : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** [map_ordered t ~f xs] applies [f] to every element of [xs] on the
+    pool, helping while waiting, and returns the results in input order.
+    If any application raises, the exception from the smallest input index
+    is re-raised in the caller (after all tasks have settled).
+    Single-element and empty lists run inline without touching the pool,
+    so results cannot depend on worker count. *)
+
+val shutdown : t -> unit
+(** Drain queued tasks, stop the workers, and join their domains.
+    Idempotent.  Submitting to a shut-down pool raises [Invalid_argument]. *)

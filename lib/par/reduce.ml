@@ -1,0 +1,20 @@
+(* Pull up to [n] elements; return them with the untouched remainder. *)
+let take n seq =
+  let rec go acc n seq = if n = 0 then (List.rev acc, seq) else match seq () with Seq.Nil -> (List.rev acc, Seq.empty) | Seq.Cons (x, rest) -> go (x :: acc) (n - 1) rest in
+  go [] n seq
+
+let map_fold pool ?window ~map ~fold ~init seq =
+  let window = match window with Some w -> max 1 w | None -> 4 * Pool.jobs pool in
+  let rec wave acc seq =
+    let items, rest = take window seq in
+    match items with
+    | [] -> Ok acc
+    | _ -> (
+        let mapped = Pool.map_ordered pool ~f:map items in
+        let rec merge acc = function
+          | [] -> wave acc rest
+          | r :: tl -> ( match fold acc r with Ok acc -> merge acc tl | Error _ as e -> e)
+        in
+        merge acc mapped)
+  in
+  wave init seq

@@ -5,7 +5,8 @@ type t = {
   max_steps : int option;
   cancel : (unit -> bool) option;
   limited : bool;
-  mutable steps : int;
+  steps : int Atomic.t;
+  tripped : Error.exhaustion option Atomic.t;  (* first trip, latched *)
 }
 
 (* Wall-clock and cancellation polls happen every [poll_mask + 1] steps so
@@ -13,7 +14,16 @@ type t = {
 let poll_mask = 15
 
 let unlimited =
-  { started = 0.0; deadline = None; timeout = 0.0; max_steps = None; cancel = None; limited = false; steps = 0 }
+  {
+    started = 0.0;
+    deadline = None;
+    timeout = 0.0;
+    max_steps = None;
+    cancel = None;
+    limited = false;
+    steps = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
 
 let make ?timeout ?max_steps ?cancel () =
   (match timeout with
@@ -30,29 +40,74 @@ let make ?timeout ?max_steps ?cancel () =
     max_steps;
     cancel;
     limited = timeout <> None || max_steps <> None || cancel <> None;
-    steps = 0;
+    steps = Atomic.make 0;
+    tripped = Atomic.make None;
   }
 
 let is_unlimited t = not t.limited
-let steps_used t = t.steps
+let steps_used t = Atomic.get t.steps
 let elapsed t = if t.limited then Unix.gettimeofday () -. t.started else 0.0
+
+(* Latch the first exhaustion; concurrent trippers all observe the winner,
+   so every domain sharing the budget reports the same exhaustion. *)
+let trip t e =
+  ignore (Atomic.compare_and_set t.tripped None (Some e));
+  match Atomic.get t.tripped with Some e -> Error e | None -> assert false
+
+(* Deadline / cancellation checks shared by check, reserve and poll. *)
+let poll_limits t =
+  match t.cancel with
+  | Some f when f () -> trip t Error.Cancelled
+  | _ -> (
+      match t.deadline with
+      | Some d ->
+          let now = Unix.gettimeofday () in
+          if now > d then trip t (Error.Timeout { elapsed = now -. t.started; limit = t.timeout }) else Ok ()
+      | None -> Ok ())
+
+let poll t =
+  if not t.limited then Ok ()
+  else match Atomic.get t.tripped with Some e -> Error e | None -> poll_limits t
 
 let check t =
   if not t.limited then Ok ()
-  else begin
-    t.steps <- t.steps + 1;
-    match t.max_steps with
-    | Some limit when t.steps > limit -> Error (Error.Steps { used = t.steps; limit })
-    | _ ->
-      if t.steps land poll_mask <> 0 && t.steps <> 1 then Ok ()
-      else begin
-        match t.cancel with
-        | Some f when f () -> Error Error.Cancelled
-        | _ -> (
-          match t.deadline with
-          | Some d ->
-            let now = Unix.gettimeofday () in
-            if now > d then Error (Error.Timeout { elapsed = now -. t.started; limit = t.timeout }) else Ok ()
-          | None -> Ok ())
-      end
-  end
+  else
+    match Atomic.get t.tripped with
+    | Some e -> Error e
+    | None -> (
+        let n = Atomic.fetch_and_add t.steps 1 + 1 in
+        match t.max_steps with
+        | Some limit when n > limit -> trip t (Error.Steps { used = n; limit })
+        | _ -> if n land poll_mask <> 0 && n <> 1 then Ok () else poll_limits t)
+
+let reserve t n =
+  if n < 1 then invalid_arg "Budget.reserve: n must be >= 1";
+  if not t.limited then Ok n
+  else
+    match Atomic.get t.tripped with
+    | Some e -> Error e
+    | None -> (
+        match poll_limits t with
+        | Error e -> Error e
+        | Ok () -> (
+            match t.max_steps with
+            | None ->
+                ignore (Atomic.fetch_and_add t.steps n);
+                Ok n
+            | Some limit ->
+                let rec grab () =
+                  let cur = Atomic.get t.steps in
+                  let avail = limit - cur in
+                  if avail <= 0 then trip t (Error.Steps { used = cur; limit })
+                  else
+                    let g = min n avail in
+                    if Atomic.compare_and_set t.steps cur (cur + g) then begin
+                      (* A partial grant drains the budget: latch the trip now
+                         so admission (and every other sharer) observes it. *)
+                      if g < n then
+                        ignore (Atomic.compare_and_set t.tripped None (Some (Error.Steps { used = limit; limit })));
+                      Ok g
+                    end
+                    else grab ()
+                in
+                grab ()))

@@ -66,36 +66,46 @@ let frame payload =
   Printf.sprintf "%s %d %016Lx %s\n" magic (String.length payload)
     (checksum payload) (escape payload)
 
-type t = { fd : Unix.file_descr; path : string; mutable closed : bool }
+(* The mutex serialises appends from concurrent domains (pool workers
+   checkpoint while the merge domain journals completions); each record
+   still lands as a single write+fsync, so crash atomicity is unchanged. *)
+type t = { fd : Unix.file_descr; path : string; lock : Mutex.t; mutable closed : bool }
 
 let io path msg = Error (Error.Io { path; msg })
 
 let open_append ~path =
   match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
-  | fd -> Ok { fd; path; closed = false }
+  | fd -> Ok { fd; path; lock = Mutex.create (); closed = false }
   | exception Unix.Unix_error (e, _, _) ->
       io path (Printf.sprintf "cannot open journal: %s" (Unix.error_message e))
   | exception Sys_error m -> io path m
 
 let append t payload =
-  if t.closed then io t.path "journal handle is closed"
-  else
-    let line = frame payload in
-    let len = String.length line in
-    match
-      let written = Unix.write_substring t.fd line 0 len in
-      if written <> len then failwith "short write"
-      else Unix.fsync t.fd
-    with
-    | () -> Ok ()
-    | exception Unix.Unix_error (e, _, _) ->
-        io t.path (Printf.sprintf "journal append failed: %s" (Unix.error_message e))
-    | exception Failure m -> io t.path (Printf.sprintf "journal append failed: %s" m)
+  Mutex.lock t.lock;
+  let r =
+    if t.closed then io t.path "journal handle is closed"
+    else
+      let line = frame payload in
+      let len = String.length line in
+      match
+        let written = Unix.write_substring t.fd line 0 len in
+        if written <> len then failwith "short write"
+        else Unix.fsync t.fd
+      with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+          io t.path (Printf.sprintf "journal append failed: %s" (Unix.error_message e))
+      | exception Failure m -> io t.path (Printf.sprintf "journal append failed: %s" m)
+  in
+  Mutex.unlock t.lock;
+  r
 
 let close t =
+  Mutex.lock t.lock;
   if not t.closed then (
     t.closed <- true;
-    try Unix.close t.fd with _ -> ())
+    try Unix.close t.fd with _ -> ());
+  Mutex.unlock t.lock
 
 type tail = Clean | Torn of { line : int; reason : string }
 type recovery = { records : string list; tail : tail }

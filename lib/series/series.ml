@@ -188,6 +188,48 @@ let partial_sum_interval ?(start = 0) f n =
 module Budget = Ipdb_run.Budget
 module Run_error = Ipdb_run.Error
 module Faultinj = Ipdb_run.Faultinj
+module Pool = Ipdb_par.Pool
+module Chunk = Ipdb_par.Chunk
+module Reduce = Ipdb_par.Reduce
+
+(* Pull chunks from a plan while the budget still grants their steps.
+   Reservation happens here — on the single admitting domain, in chunk
+   order — so the index at which a step budget exhausts depends only on
+   the chunk plan and the limit, never on worker scheduling. A partial
+   grant truncates the chunk to the granted steps and ends admission
+   (Budget.reserve latches the trip). The first reservation failure is
+   recorded in [stop]. *)
+let admit_chunks ~budget ~stop plan =
+  let rec admit plan () =
+    if !stop <> None then Seq.Nil
+    else
+      match plan () with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (c, rest) -> (
+          let len = Chunk.length c in
+          match Budget.reserve budget len with
+          | Error e ->
+              stop := Some e;
+              Seq.Nil
+          | Ok g when g = len -> Seq.Cons (c, admit rest)
+          | Ok g ->
+              let c, _ = Chunk.split c g in
+              (stop :=
+                 match Budget.poll budget with
+                 | Error e -> Some e
+                 | Ok () -> (* unreachable: the partial grant latched a trip *) None);
+              Seq.Cons (c, fun () -> Seq.Nil))
+  in
+  admit plan
+
+(* Worker-side budget poll for chunks whose steps were reserved up front:
+   an admitted chunk must run to completion under a pure step budget (or
+   the stop index would depend on scheduling), so latched step exhaustion
+   is ignored here; only wall-clock and cancellation cut a chunk short. *)
+let poll_cut budget =
+  match Budget.poll budget with
+  | Ok () | Error (Run_error.Steps _) -> None
+  | Error e -> Some e
 
 type partial = {
   enclosure : Interval.t option;
@@ -376,7 +418,7 @@ end
 
 let snapshot_mismatch msg = Error (Run_error.Validation { what = "snapshot"; msg })
 
-let sum_resumable ?(start = 0) ?(budget = Budget.unlimited) ?from ?progress
+let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?progress
     ?(progress_every = 1000) f ~tail ~upto =
   match Tail.params_ok tail with
   | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
@@ -465,9 +507,84 @@ let sum_resumable ?(start = 0) ?(budget = Budget.unlimited) ?from ?progress
               end)
         end
       in
-      go n0 acc0)
+      match pool with
+      | None -> go n0 acc0
+      | Some pool ->
+        (* Chunked parallel engine. Workers evaluate and validate terms
+           into per-chunk arrays; the interval fold below replays them
+           strictly in index order, so a completed run is bit-identical
+           to [go n0 acc0] for any worker count. *)
+        let size = match chunk with Some s -> Stdlib.max 1 s | None -> Chunk.default_size in
+        let admit_stop = ref None in
+        let chunks = admit_chunks ~budget ~stop:admit_stop (Chunk.plan ~size ~start:n0 ~upto ()) in
+        let run_chunk (c : Chunk.t) =
+          let arr = Array.make (Chunk.length c) 0.0 in
+          let rec at n =
+            if n > c.Chunk.hi then `Terms arr
+            else begin
+              match (if (n - c.Chunk.lo) land 15 = 0 then poll_cut budget else None) with
+              | Some exh -> `Cut exh
+              | None -> (
+                match eval n with
+                | exception Faultinj.Injected site ->
+                  `Fail (Run_error.Injected_fault { site = Faultinj.site_name site })
+                | exception e ->
+                  `Fail
+                    (Run_error.Certificate
+                       { what = Printf.sprintf "term %d" n; msg = "term evaluation raised " ^ Printexc.to_string e })
+                | a ->
+                  if Float.is_nan a || a < 0.0 then
+                    `Fail
+                      (Run_error.Certificate
+                         { what = Printf.sprintf "term %d" n; msg = Printf.sprintf "term is not a non-negative number (%g)" a })
+                  else begin
+                    match validate n a with
+                    | exception Faultinj.Injected site ->
+                      `Fail (Run_error.Injected_fault { site = Faultinj.site_name site })
+                    | Error msg -> `Fail (Run_error.Certificate { what = "tail certificate"; msg })
+                    | Ok () ->
+                      arr.(n - c.Chunk.lo) <- a;
+                      at (n + 1)
+                  end)
+            end
+          in
+          (c, at c.Chunk.lo)
+        in
+        let fold (acc, next, emitted) (c, outcome) =
+          match outcome with
+          | `Fail e -> Error (`Fail e)
+          | `Cut exh -> Error (`Cut (acc, next, exh))
+          | `Terms arr ->
+            let acc = Array.fold_left (fun acc a -> Interval.add acc (Interval.point a)) acc arr in
+            let next = c.Chunk.hi + 1 in
+            let emitted =
+              match progress with
+              | Some emit ->
+                let due = (next - n0) / progress_every in
+                if due > emitted then begin
+                  emit (snapshot next acc);
+                  due
+                end
+                else emitted
+              | None -> emitted
+            in
+            Ok (acc, next, emitted)
+        in
+        (match Reduce.map_fold pool ~map:run_chunk ~fold ~init:(acc0, n0, 0) chunks with
+        | Error (`Fail e) -> Error e
+        | Error (`Cut (acc, next, exh)) -> stop acc (next - 1) exh
+        | Ok (acc, next, _) -> (
+          match !admit_stop with
+          | Some exh -> stop acc (next - 1) exh
+          | None -> (
+            match tail_bound_opt tail (upto + 1) with
+            | Some b -> Ok (Complete (Interval.add acc (Interval.make 0.0 b)), snapshot next acc)
+            | None ->
+              Error
+                (Run_error.Certificate
+                   { what = "tail certificate"; msg = "no tail bound at the cutoff (finite support not exhausted?)" })))))
 
-let certify_divergence_resumable ?(start = 0) ?(budget = Budget.unlimited) ?from
+let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from
     ?progress ?(progress_every = 1000) f ~certificate ~upto =
   ignore start;
   (* A sequential re-implementation of [Divergence.validate]'s four
@@ -596,10 +713,177 @@ let certify_divergence_resumable ?(start = 0) ?(budget = Budget.unlimited) ?from
                 go (k + 1) partial prev n))
         end
       in
-      go st0.Snapshot.next_k st0.Snapshot.partial st0.Snapshot.prev_term st0.Snapshot.prev_pick)
+      match pool with
+      | None -> go st0.Snapshot.next_k st0.Snapshot.partial st0.Snapshot.prev_term st0.Snapshot.prev_pick
+      | Some pool ->
+        (* Chunked parallel engine over the loop index k. Workers evaluate
+           terms and check the pointwise minorant hypotheses; the witness
+           fold and the cross-index checks (ratio decrease at a chunk
+           boundary, pick monotonicity) replay in k order here, mirroring
+           [go]'s per-index check order exactly. *)
+        let k0 = st0.Snapshot.next_k in
+        let size = match chunk with Some s -> Stdlib.max 1 s | None -> Chunk.default_size in
+        (* Upper bound on k: for a plain certificate the loop index is the
+           term index; for a subsequence, [pick] strictly increasing means
+           pick k >= pick k0 + (k - k0), so the first k with pick k > upto
+           is at most k0 + (upto - pick k0) + 1. *)
+        let kmax =
+          match certificate with
+          | Divergence.Subsequence_harmonic { pick; _ } ->
+            let n_first = pick k0 in
+            if n_first > upto then k0 - 1 else k0 + (upto - n_first)
+          | _ -> upto
+        in
+        let admit_stop = ref None in
+        let chunks = admit_chunks ~budget ~stop:admit_stop (Chunk.plan ~size ~start:k0 ~upto:kmax ()) in
+        let run_chunk (c : Chunk.t) =
+          let len = Chunk.length c in
+          let terms = Array.make len 0.0 in
+          let picks = Array.make len 0 in
+          let stop_at j s = `Stopped (j, s) in
+          let rec at j =
+            if j >= len then `Full
+            else begin
+              let k = c.Chunk.lo + j in
+              let n = index_of k in
+              if n > upto then stop_at j `Upto_hit
+              else begin
+                match (if j land 15 = 0 then poll_cut budget else None) with
+                | Some exh -> stop_at j (`Cut exh)
+                | None -> (
+                  match eval n with
+                  | exception Faultinj.Injected site ->
+                    stop_at j (`Err (Run_error.Injected_fault { site = Faultinj.site_name site }))
+                  | exception e ->
+                    stop_at j
+                      (`Err
+                         (Run_error.Certificate
+                            { what = "divergence certificate"; msg = "term evaluation raised " ^ Printexc.to_string e }))
+                  | a -> (
+                    let verdict =
+                      match certificate with
+                      | Divergence.Harmonic { coeff; _ } ->
+                        let b = coeff /. float_of_int n in
+                        if a >= b -. ulp_slack b then Ok ()
+                        else Error (Printf.sprintf "term %d = %g below harmonic minorant %g" n a b)
+                      | Divergence.Bounded_below { bound; _ } ->
+                        if a >= bound -. ulp_slack bound then Ok ()
+                        else Error (Printf.sprintf "term %d = %g below floor %g" n a bound)
+                      | Divergence.Eventually_ratio_ge_one { floor; _ } ->
+                        if a < floor -. ulp_slack floor then
+                          Error (Printf.sprintf "term %d = %g below floor %g" n a floor)
+                        else if j > 0 && a < terms.(j - 1) -. ulp_slack terms.(j - 1) then
+                          Error (Printf.sprintf "terms decrease at %d" (n - 1))
+                        else Ok ()
+                      | Divergence.Subsequence_harmonic { coeff; _ } ->
+                        if j > 0 && n <= picks.(j - 1) then
+                          Error (Printf.sprintf "pick not strictly increasing at %d" k)
+                        else begin
+                          let b = coeff /. float_of_int k in
+                          if a >= b -. ulp_slack b then Ok ()
+                          else Error (Printf.sprintf "term at pick %d = %d is %g, below minorant %g" k n a b)
+                        end
+                    in
+                    match verdict with
+                    | Error msg -> stop_at j (`Err (Run_error.Certificate { what = "divergence certificate"; msg }))
+                    | Ok () ->
+                      terms.(j) <- a;
+                      picks.(j) <- n;
+                      at (j + 1)))
+              end
+            end
+          in
+          (c, terms, picks, at 0)
+        in
+        (* Merge state mirrors [go]'s accumulator exactly. *)
+        let fold (partial, prev, prev_pick, k_next, emitted) (c, terms, picks, outcome) =
+          let dlen = match outcome with `Full -> Chunk.length c | `Stopped (j, _) -> j in
+          (* Cross-index checks on the chunk's first index, against the
+             carried state — in [go]'s per-index check order. *)
+          let boundary_err =
+            match certificate with
+            | Divergence.Eventually_ratio_ge_one _ when dlen >= 1 -> (
+              match prev with
+              | Some p when terms.(0) < p -. ulp_slack p ->
+                Some (Printf.sprintf "terms decrease at %d" (c.Chunk.lo - 1))
+              | _ -> None)
+            | Divergence.Subsequence_harmonic _ when prev_pick <> min_int -> (
+              let first_attempted =
+                if dlen >= 1 then Some picks.(0)
+                else
+                  match outcome with
+                  | `Stopped (0, `Err _) -> Some (index_of c.Chunk.lo)
+                  | _ -> None
+              in
+              match first_attempted with
+              | Some n when n <= prev_pick ->
+                Some (Printf.sprintf "pick not strictly increasing at %d" c.Chunk.lo)
+              | _ -> None)
+            | _ -> None
+          in
+          match boundary_err with
+          | Some msg -> Error (`Fail (Run_error.Certificate { what = "divergence certificate"; msg }))
+          | None ->
+            let partial = ref partial in
+            for j = 0 to dlen - 1 do
+              if not (Float.is_nan terms.(j)) then partial := !partial +. terms.(j)
+            done;
+            let partial = !partial in
+            let prev = if dlen >= 1 then Some terms.(dlen - 1) else prev in
+            let prev_pick = if dlen >= 1 then picks.(dlen - 1) else prev_pick in
+            let k_next = if dlen >= 1 then c.Chunk.lo + dlen else k_next in
+            let st = (partial, prev, prev_pick, k_next, emitted) in
+            (match outcome with
+            | `Full ->
+              let emitted =
+                match progress with
+                | Some emit ->
+                  let due = (k_next - k0) / progress_every in
+                  if due > emitted then begin
+                    emit (snapshot k_next partial prev prev_pick);
+                    due
+                  end
+                  else emitted
+                | None -> emitted
+              in
+              Ok (partial, prev, prev_pick, k_next, emitted)
+            | `Stopped (_, `Upto_hit) -> Error (`Done st)
+            | `Stopped (_, `Cut exh) -> Error (`Cut (st, exh))
+            | `Stopped (_, `Err e) -> Error (`Fail e))
+        in
+        let finish_exhausted (partial, prev, prev_pick, k_next, _) exhausted =
+          let last = last_evaluated k_next prev_pick in
+          Ok
+            ( Div_exhausted
+                {
+                  partial;
+                  minorant = Divergence.minorant_partial_sum certificate (Stdlib.max last 0);
+                  last;
+                  requested = upto;
+                  exhausted;
+                },
+              snapshot k_next partial prev prev_pick )
+        in
+        let init = (st0.Snapshot.partial, st0.Snapshot.prev_term, st0.Snapshot.prev_pick, k0, 0) in
+        (match Reduce.map_fold pool ~map:run_chunk ~fold ~init chunks with
+        | Error (`Fail e) -> Error e
+        | Error (`Cut (st, exh)) -> finish_exhausted st exh
+        | Error (`Done (partial, prev, prev_pick, k_next, _)) ->
+          Ok (Div_complete { partial; at = upto }, snapshot k_next partial prev prev_pick)
+        | Ok ((partial, prev, prev_pick, k_next, _) as st) -> (
+          match !admit_stop with
+          | Some exh -> finish_exhausted st exh
+          | None -> Ok (Div_complete { partial; at = upto }, snapshot k_next partial prev prev_pick))))
 
-let sum_budgeted ?start ?budget f ~tail ~upto =
-  Result.map fst (sum_resumable ?start ?budget f ~tail ~upto)
+(* With a pool, the budgeted divergence check runs the chunked resumable
+   engine (identical verdicts on completion; chunk-aligned exhaustion). *)
+let certify_divergence_budgeted ?pool ?chunk ?start ?budget f ~certificate ~upto =
+  match pool with
+  | None -> certify_divergence_budgeted ?start ?budget f ~certificate ~upto
+  | Some _ -> Result.map fst (certify_divergence_resumable ?pool ?chunk ?start ?budget f ~certificate ~upto)
+
+let sum_budgeted ?pool ?chunk ?start ?budget f ~tail ~upto =
+  Result.map fst (sum_resumable ?pool ?chunk ?start ?budget f ~tail ~upto)
 
 let sum ?(start = 0) f ~tail ~upto =
   match sum_budgeted ~start f ~tail ~upto with

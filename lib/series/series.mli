@@ -120,6 +120,8 @@ type budgeted =
   | Exhausted of partial  (** Budget ran out first: certified partial verdict. *)
 
 val sum_budgeted :
+  ?pool:Ipdb_par.Pool.t ->
+  ?chunk:int ->
   ?start:int ->
   ?budget:Ipdb_run.Budget.t ->
   term ->
@@ -130,7 +132,12 @@ val sum_budgeted :
     rejected certificate hypothesis ([Certificate]), a term evaluation that
     raised, or an injected fault. Never raises on certificate or budget
     trouble; exceptions escaping the term function are converted to typed
-    errors. *)
+    errors.
+
+    With [?pool] the chunked parallel engine runs instead (see
+    {!sum_resumable} for the determinism contract); the term function must
+    then be safe to call from several domains at once (the certificate
+    families in [Ipdb_core.Zoo] all are). *)
 
 type divergence_budgeted =
   | Div_complete of { partial : float; at : int }
@@ -145,6 +152,8 @@ type divergence_budgeted =
     }
 
 val certify_divergence_budgeted :
+  ?pool:Ipdb_par.Pool.t ->
+  ?chunk:int ->
   ?start:int ->
   ?budget:Ipdb_run.Budget.t ->
   term ->
@@ -153,7 +162,9 @@ val certify_divergence_budgeted :
   (divergence_budgeted, Ipdb_run.Error.t) result
 (** Budgeted {!certify_divergence}: each term evaluation consumes one budget
     step; exhaustion degrades to [Div_exhausted] with the witness evidence
-    accumulated so far. *)
+    accumulated so far. With [?pool] this runs the chunked parallel
+    divergence engine of {!certify_divergence_resumable} (identical
+    verdicts on completion; chunk-aligned stop points on exhaustion). *)
 
 val sum : ?start:int -> term -> tail:Tail.t -> upto:int -> (Interval.t, string) result
 (** Certified enclosure of the infinite sum: validates [tail] on the computed
@@ -217,6 +228,8 @@ module Snapshot : sig
 end
 
 val sum_resumable :
+  ?pool:Ipdb_par.Pool.t ->
+  ?chunk:int ->
   ?start:int ->
   ?budget:Ipdb_run.Budget.t ->
   ?from:Snapshot.t ->
@@ -232,9 +245,30 @@ val sum_resumable :
     [progress_every] evaluated terms (default 1000) with the current
     snapshot. The returned snapshot reflects the final state — for an
     [Exhausted] verdict it is exactly the point to resume from. One-shot
-    and interrupted-then-resumed runs produce bit-identical results. *)
+    and interrupted-then-resumed runs produce bit-identical results.
+
+    {b Parallelism.} With [?pool] the prefix is evaluated in fixed chunks
+    of [?chunk] indices (default {!Ipdb_par.Chunk.default_size}) on the
+    pool: workers evaluate terms and validate the certificate's pointwise
+    hypothesis, while the interval fold replays their results strictly in
+    index order on the calling domain. Because chunk boundaries depend
+    only on [(start, upto, chunk)] and the fold order is the sequential
+    order, the enclosure, verdict, and final snapshot of a {e completed}
+    run are bit-for-bit identical to the sequential engine's, for every
+    worker count. Budget steps are reserved per chunk, in chunk order, on
+    the calling domain, so step-budget exhaustion also stops at an index
+    that is independent of worker count — but, unlike the sequential
+    engine's per-term accounting, the stop index is chunk-plan-aligned,
+    and [progress]/exhaustion snapshots are emitted at chunk boundaries.
+    Every such snapshot is an exact sequential state, so sequential and
+    parallel runs can resume each other freely; a resumed chain that runs
+    to completion reproduces the uninterrupted enclosure exactly.
+    Wall-clock and cancellation trips remain timing-dependent, exactly as
+    they are sequentially. *)
 
 val certify_divergence_resumable :
+  ?pool:Ipdb_par.Pool.t ->
+  ?chunk:int ->
   ?start:int ->
   ?budget:Ipdb_run.Budget.t ->
   ?from:Snapshot.t ->
@@ -244,11 +278,15 @@ val certify_divergence_resumable :
   certificate:Divergence.t ->
   upto:int ->
   (divergence_budgeted * Snapshot.t, Ipdb_run.Error.t) result
-(** Resumable divergence checking: a strictly sequential engine (one term
-    evaluation and one budget step per index) equivalent to
-    {!certify_divergence_budgeted} on completion, whose cross-index state
-    is a {!Snapshot.t}. Same resume-equivalence guarantee as
-    {!sum_resumable}. *)
+(** Resumable divergence checking: one term evaluation and one budget step
+    per index, equivalent to {!certify_divergence_budgeted} on completion,
+    whose cross-index state is a {!Snapshot.t}. Same resume-equivalence
+    guarantee as {!sum_resumable}, and the same [?pool] contract: chunk
+    workers evaluate terms and check the pointwise minorant hypotheses,
+    while the witness fold and the cross-index checks (ratio decrease,
+    pick monotonicity) replay in index order on the calling domain —
+    completed verdicts, witness partial sums, and snapshots are
+    bit-identical to the sequential engine for every worker count. *)
 
 val geometric_tail_exact : Ipdb_bignum.Q.t -> int -> Ipdb_bignum.Q.t
 (** [geometric_tail_exact r n] is the exact value [r^n / (1 - r)] of

@@ -53,4 +53,16 @@ if ! cmp -s "$TMP/ref.norm" "$TMP/resumed.norm"; then
   exit 1
 fi
 
+# 5. The journal's "done" records must cover the experiments exactly once,
+#    in the canonical experiment order. The parallel driver journals
+#    completions through an ordered fold, so the victim's records are a
+#    canonical prefix and the resumed run appends exactly the rest.
+awk '$1 == "ipdbj1" && $4 == "done" { print $5 }' "$TMP/victim.journal" > "$TMP/done.order"
+printf 'figures\nexample-3.5\ntheorem-2.4\nresumable-series\n' > "$TMP/done.expect"
+if ! cmp -s "$TMP/done.order" "$TMP/done.expect"; then
+  echo "crash_recovery: journal done-records out of canonical order:" >&2
+  cat "$TMP/done.order" >&2
+  exit 1
+fi
+
 echo "crash_recovery: OK (resumed report identical to uninterrupted run)"

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Parallel-determinism integration test (DESIGN.md §8): run the same
+# journaled bench subset under 1 worker domain and under 4, and require the
+# two final reports to be byte-identical.
+#
+# The experiment list is restricted to deterministic experiments (the same
+# subset crash_recovery.sh uses); it includes the 3M-term resumable series,
+# the figures (whose checks fan out as pool tasks), and certified-series
+# verdicts. Worker count may only change wall-clock time, never a printed
+# enclosure, verdict, or diagram. Timing lines ("  -- name: 0.12s") are
+# stripped before comparison; everything else must match exactly.
+#
+# Usage: par_determinism.sh /path/to/bench/main.exe
+
+set -u
+
+BENCH=${1:?usage: par_determinism.sh BENCH_EXE}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ipdb-par.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+ONLY=figures,example-3.5,theorem-2.4,resumable-series
+
+fail() {
+  echo "par_determinism: $1" >&2
+  exit 1
+}
+
+IPDB_JOBS=1 "$BENCH" --only "$ONLY" --journal "$TMP/j1.journal" \
+  > "$TMP/j1.out" 2> /dev/null \
+  || fail "jobs=1 run failed"
+
+IPDB_JOBS=4 "$BENCH" --only "$ONLY" --journal "$TMP/j4.journal" \
+  > "$TMP/j4.out" 2> /dev/null \
+  || fail "jobs=4 run failed"
+
+sed 's/^  -- .*//' "$TMP/j1.out" > "$TMP/j1.norm"
+sed 's/^  -- .*//' "$TMP/j4.out" > "$TMP/j4.norm"
+if ! cmp -s "$TMP/j1.norm" "$TMP/j4.norm"; then
+  echo "par_determinism: jobs=4 report differs from jobs=1" >&2
+  diff "$TMP/j1.norm" "$TMP/j4.norm" >&2 || true
+  exit 1
+fi
+
+# The journals' "done" records must also agree: completions are journaled
+# in the canonical experiment order for every worker count.
+awk '$1 == "ipdbj1" && $4 == "done" { print $5 }' "$TMP/j1.journal" > "$TMP/j1.done"
+awk '$1 == "ipdbj1" && $4 == "done" { print $5 }' "$TMP/j4.journal" > "$TMP/j4.done"
+cmp -s "$TMP/j1.done" "$TMP/j4.done" \
+  || fail "journal done-record order differs between jobs=1 and jobs=4"
+
+# --jobs must override IPDB_JOBS.
+IPDB_JOBS=3 "$BENCH" --only figures --jobs 2 --json "$TMP/flag.json" \
+  > /dev/null 2> /dev/null \
+  || fail "--jobs run failed"
+grep -q '"jobs": 2' "$TMP/flag.json" || fail "--jobs did not override IPDB_JOBS"
+
+echo "par_determinism: OK (jobs=1 and jobs=4 reports identical)"
