@@ -37,11 +37,28 @@ module Journal = Ipdb_run.Journal
 module Supervisor = Ipdb_run.Supervisor
 module Pool = Ipdb_par.Pool
 module Reduce = Ipdb_par.Reduce
+module Metrics = Ipdb_obs.Metrics
+module Sink = Ipdb_obs.Sink
+module Trace = Ipdb_obs.Trace
+module OJson = Ipdb_obs.Json
+
+(* Budget ledger: every budget an experiment creates is registered on the
+   domain that runs the experiment body, so after the attempt the harness
+   can report exactly how many series steps the experiment consumed
+   (Σ Budget.steps_used over its budgets). Budgets are created on the
+   experiment task's domain even when their steps are later charged from
+   pool workers — steps_used is per-budget and exact either way. *)
+let budget_ledger : Budget.t list ref option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 (* Per-experiment deadline for the heavy certified-series checks: a hung or
    mis-certified series degrades to a reported Partial verdict instead of
    wedging the whole suite. *)
-let series_budget () = Budget.make ~timeout:10.0 ()
+let series_budget () =
+  let b = Budget.make ~timeout:10.0 () in
+  (match Domain.DLS.get budget_ledger with
+  | Some ledger -> ledger := b :: !ledger
+  | None -> ());
+  b
 
 let vi n = Value.Int n
 let fact r args = Fact.make r (List.map vi args)
@@ -764,15 +781,20 @@ type run_cfg = {
   only : string list option;
   jobs : int option;
   json : string option;
+  trace : string option;
+  metrics : bool;
 }
 
 let usage_exit () =
-  prerr_endline "usage: bench [--journal FILE] [--resume] [--only name,name,...] [--jobs N] [--json FILE]";
+  prerr_endline
+    "usage: bench [--journal FILE] [--resume] [--only name,name,...] [--jobs N] [--json FILE] \
+     [--trace FILE] [--metrics]";
   exit 2
 
 let parse_argv () =
   let journal = ref None and resume = ref false and only = ref None in
   let jobs = ref None and json = ref None in
+  let trace = ref None and metrics = ref false in
   let rec go = function
     | [] -> ()
     | "--journal" :: path :: rest ->
@@ -795,6 +817,12 @@ let parse_argv () =
     | "--json" :: path :: rest ->
       json := Some path;
       go rest
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      go rest
+    | "--metrics" :: rest ->
+      metrics := true;
+      go rest
     | arg :: _ ->
       Printf.eprintf "bench: unknown argument %s\n" arg;
       usage_exit ()
@@ -804,7 +832,14 @@ let parse_argv () =
     Printf.eprintf "bench: --resume requires --journal FILE\n";
     usage_exit ()
   end;
-  { journal_path = !journal; resume = !resume; only = !only; jobs = !jobs; json = !json }
+  { journal_path = !journal;
+    resume = !resume;
+    only = !only;
+    jobs = !jobs;
+    json = !json;
+    trace = !trace;
+    metrics = !metrics
+  }
 
 (* Journal record payloads: "done <name> <ok|failed>\n<captured report>"
    for a finished experiment, "ckpt <key>\n<snapshot>" for an exact series
@@ -844,7 +879,7 @@ let recovered_state path =
 type outcome =
   | Skipped
   | Replayed of { status : string; output : string }
-  | Ran of { status : string; output : string; seconds : float }
+  | Ran of { status : string; output : string; seconds : float; steps : int }
 
 let run_experiment ~completed ~wanted (name, f) =
   if not (wanted name) then Skipped
@@ -857,12 +892,20 @@ let run_experiment ~completed ~wanted (name, f) =
          Hashtbl, which must not be shared across worker domains. *)
       let sup = Supervisor.create () in
       let last_output = ref "" in
+      let steps = ref 0 in
       let attempt () =
+        (* A fresh ledger per attempt: a retried experiment reports only
+           the steps of the attempt that produced its verdict. *)
+        let ledger = ref [] in
+        let saved = Domain.DLS.get budget_ledger in
+        Domain.DLS.set budget_ledger (Some ledger);
         let output, result = capture f in
+        Domain.DLS.set budget_ledger saved;
+        steps := List.fold_left (fun acc b -> acc + Budget.steps_used b) 0 !ledger;
         last_output := output;
         match result with Ok () -> Ok output | Error e -> Error (Run_error.of_exn e)
       in
-      let output, status =
+      let supervised () =
         match Supervisor.run sup ~task:name attempt with
         | Supervisor.Done output -> (output, "ok")
         | Supervisor.Failed { error; attempts } ->
@@ -873,7 +916,13 @@ let run_experiment ~completed ~wanted (name, f) =
           ( Printf.sprintf "\n  [%s] quarantined after %d consecutive failures\n" name failures,
             "failed" )
       in
-      Ran { status; output; seconds = Unix.gettimeofday () -. t0 }
+      let output, status =
+        Trace.with_span "bench.experiment" ~attrs:[ ("name", OJson.String name) ] (fun () ->
+            let ((_, status) as r) = supervised () in
+            Trace.annotate [ ("status", OJson.String status); ("steps", OJson.Int !steps) ];
+            r)
+      in
+      Ran { status; output; seconds = Unix.gettimeofday () -. t0; steps = !steps }
 
 let () =
   let cfg = parse_argv () in
@@ -908,6 +957,20 @@ let () =
     append (Printf.sprintf "ckpt %s\n%s" key snap)
   in
   let load_ckpt key = Hashtbl.find_opt ckpts key in
+  (* Observability before the pool: at_exit runs LIFO, so the sink
+     uninstalls (flush + close) after the pool's own at_exit teardown —
+     worker-emitted events are never written to a closed sink. *)
+  (match cfg.trace with
+  | None -> ()
+  | Some path -> (
+    match Sink.open_jsonl path with
+    | Ok sink ->
+      Sink.install sink;
+      at_exit Sink.uninstall
+    | Error msg ->
+      Printf.eprintf "bench: cannot open trace file %s: %s\n" path msg;
+      exit 2));
+  if cfg.metrics || cfg.trace <> None then Metrics.enable ();
   let pool = Pool.create ?jobs:cfg.jobs () in
   Printf.printf "ipdb experiment harness — Carmeli, Grohe, Lindner, Standke (PODS 2021)\n%!";
   let failed = ref [] in
@@ -922,14 +985,15 @@ let () =
       Printf.eprintf "  [%s] already journaled (%s); replaying recorded report\n%!" name status;
       print_string output;
       if status <> "ok" then failed := name :: !failed;
-      timings := (name, status, 0.0) :: !timings;
+      (* Replayed experiments consumed no series steps in this process. *)
+      timings := (name, status, 0.0, 0) :: !timings;
       Printf.printf "  -- %s: %.2fs\n" name 0.0;
       flush stdout
-    | Ran { status; output; seconds } ->
+    | Ran { status; output; seconds; steps } ->
       if status <> "ok" then failed := name :: !failed;
       append (Printf.sprintf "done %s %s\n%s" name status output);
       print_string output;
-      timings := (name, status, seconds) :: !timings;
+      timings := (name, status, seconds, steps) :: !timings;
       Printf.printf "  -- %s: %.2fs\n" name seconds;
       flush stdout
   in
@@ -972,6 +1036,11 @@ let () =
     [ ("ablations", ablation_section); ("bechamel", bechamel_section) ];
   Pool.shutdown pool;
   Option.iter Journal.close journal;
+  (* The final metrics snapshot goes everywhere the run is observable:
+     as a schema-valid "metrics" trace event, as a trailing JSON line,
+     and as human-readable "metric ..." lines on stderr. *)
+  let snapshot = if Metrics.enabled () then Some (Metrics.snapshot ()) else None in
+  Option.iter Trace.metrics_event snapshot;
   (match cfg.json with
   | None -> ()
   | Some path ->
@@ -979,11 +1048,16 @@ let () =
     let oc = open_out path in
     Printf.fprintf oc "{\"jobs\": %d}\n" (Pool.jobs pool);
     List.iter
-      (fun (name, status, seconds) ->
-        Printf.fprintf oc "{\"name\": %S, \"status\": %S, \"seconds\": %.3f}\n" name status
-          seconds)
+      (fun (name, status, seconds, steps) ->
+        Printf.fprintf oc "{\"name\": %S, \"status\": %S, \"seconds\": %.3f, \"steps\": %d}\n" name
+          status seconds steps)
       (List.rev !timings);
+    Option.iter
+      (fun snap -> output_string oc (OJson.to_string (OJson.Obj [ ("metrics", snap) ]) ^ "\n"))
+      snapshot;
     close_out oc);
+  if cfg.metrics then
+    List.iter (fun l -> Printf.eprintf "metric %s\n" l) (Metrics.summary_lines ());
   match !failed with
   | [] -> Printf.printf "\nAll experiments executed.\n"
   | names ->

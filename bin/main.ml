@@ -38,6 +38,8 @@ module Run_error = Ipdb_run.Error
 module Checkpoint = Ipdb_run.Checkpoint
 module Series = Ipdb_series.Series
 module Pool = Ipdb_par.Pool
+module Metrics = Ipdb_obs.Metrics
+module Sink = Ipdb_obs.Sink
 
 open Cmdliner
 
@@ -104,6 +106,46 @@ let jobs_arg =
           "Worker domains for the parallel series engines (default: $(b,IPDB_JOBS), else the \
            machine's core count). Results are bit-identical for every $(docv); only wall-clock \
            time changes.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL trace of the run to $(docv): hierarchical spans for every \
+           series engine and criterion probe, plus budget, journal and error events (schema in \
+           DESIGN.md §9).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect runtime counters (terms evaluated, budget steps, pool tasks, fsyncs, …) and \
+           print a summary to stderr on exit.")
+
+(* Install the observability surface before any pool is created, so the
+   at_exit ordering (LIFO) closes the trace sink only after the pool's
+   worker domains have been joined and can no longer emit events. *)
+let setup_obs trace metrics =
+  (match trace with
+  | None -> ()
+  | Some path -> (
+    match Sink.open_jsonl path with
+    | Ok s ->
+      Sink.install s;
+      at_exit Sink.uninstall
+    | Error msg ->
+      Printf.eprintf "ipdb: %s\n" msg;
+      exit 2));
+  if metrics || trace <> None then begin
+    Metrics.enable ();
+    if metrics then
+      at_exit (fun () ->
+          List.iter (fun l -> Printf.eprintf "metric %s\n" l) (Metrics.summary_lines ()))
+  end
 
 (* The pool is shut down via at_exit so every exit path (including the
    documented non-zero exit codes) joins the worker domains. *)
@@ -192,8 +234,9 @@ let run_series_check ~pool ~checkpoint ~resume ~budget ~start ~cert ~upto ~rende
 
 (* classify *)
 let classify_cmd =
-  let run name upto timeout max_steps checkpoint resume jobs =
+  let run name upto timeout max_steps checkpoint resume jobs trace metrics =
     guard @@ fun () ->
+    setup_obs trace metrics;
     require_checkpoint_for_resume checkpoint resume;
     let cf = find_family name in
     let budget = budget_of timeout max_steps in
@@ -226,12 +269,13 @@ let classify_cmd =
   in
   Cmd.v
     (Cmd.info "classify" ~doc:"Representability verdict for a zoo family")
-    Term.(const run $ family_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg)
+    Term.(const run $ family_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* moments *)
 let moments_cmd =
-  let run name k upto timeout max_steps checkpoint resume jobs =
+  let run name k upto timeout max_steps checkpoint resume jobs trace metrics =
     guard @@ fun () ->
+    setup_obs trace metrics;
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
     let budget = budget_of timeout max_steps in
@@ -251,12 +295,13 @@ let moments_cmd =
   in
   let k_arg = Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Moment order.") in
   Cmd.v (Cmd.info "moments" ~doc:"Certified size moments")
-    Term.(const run $ family_arg $ k_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg)
+    Term.(const run $ family_arg $ k_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* criterion *)
 let criterion_cmd =
-  let run name c upto timeout max_steps checkpoint resume jobs =
+  let run name c upto timeout max_steps checkpoint resume jobs trace metrics =
     guard @@ fun () ->
+    setup_obs trace metrics;
     let cf = find_family name in
     let upto = Stdlib.min upto cf.Zoo.check_upto in
     let budget = budget_of timeout max_steps in
@@ -279,7 +324,7 @@ let criterion_cmd =
   let c_arg = Arg.(value & opt int 1 & info [ "c" ] ~docv:"C" ~doc:"Segment capacity.") in
   Cmd.v
     (Cmd.info "criterion" ~doc:"The Theorem 5.3 sufficient-condition series")
-    Term.(const run $ family_arg $ c_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg)
+    Term.(const run $ family_arg $ c_arg $ upto_arg 2000 $ timeout_arg $ max_steps_arg $ checkpoint_arg $ resume_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* sample *)
 let sample_cmd =
@@ -518,8 +563,9 @@ let import_cmd =
 
 (* figures *)
 let figures_cmd =
-  let run dot jobs =
+  let run dot jobs trace metrics =
     guard @@ fun () ->
+    setup_obs trace metrics;
     let pool = make_pool jobs in
     let emit d = print_string (if dot then Ipdb_core.Figure.to_dot d else Ipdb_core.Figure.to_text d) in
     emit (Ipdb_core.Figure.figure1 ~pool ());
@@ -529,7 +575,7 @@ let figures_cmd =
   let dot_arg = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.") in
   Cmd.v
     (Cmd.info "figures" ~doc:"Re-verify and render the paper's Hasse diagrams (Figures 1 and 4)")
-    Term.(const run $ dot_arg $ jobs_arg)
+    Term.(const run $ dot_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 (* zoo *)
 let zoo_cmd =

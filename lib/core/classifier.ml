@@ -21,6 +21,20 @@ exception Out_of_budget of { exhausted : Ipdb_run.Error.exhaustion; detail : str
    certified Theorem 5.3 capacity c = 1..max_c. *)
 type probe = Moment of int * Criteria.certificate | Capacity of int * Criteria.certificate
 
+module Trace = Ipdb_obs.Trace
+module OJson = Ipdb_obs.Json
+
+let probe_id = function
+  | Moment (k, _) -> Printf.sprintf "k%d" k
+  | Capacity (c, _) -> Printf.sprintf "c%d" c
+
+(* One span per criterion probe ("k1".."k4", "c1".."c4" — the same ids
+   the checkpoint format uses), nesting the criteria/series spans the
+   probe runs underneath. *)
+let probe_span id run =
+  if not (Trace.enabled ()) then run ()
+  else Trace.with_span "classify.probe" ~attrs:[ ("id", OJson.String id) ] run
+
 let probes ?(max_k = 4) ?(max_c = 4) (cf : Zoo.certified_family) =
   let range lo hi f =
     List.filter_map f (List.init (Stdlib.max 0 (hi - lo + 1)) (fun i -> lo + i))
@@ -78,6 +92,7 @@ let classify ?pool ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.ce
     let pool = Option.get pool in
     let eval probe =
       let v =
+        probe_span (probe_id probe) @@ fun () ->
         match probe with
         | Moment (k, cert) -> Criteria.moment_verdict ?pool:None ?budget cf.Zoo.family ~k ~cert ~upto
         | Capacity (c, cert) ->
@@ -94,7 +109,10 @@ let classify ?pool ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.ce
       else begin
         match cf.Zoo.thm53_cert c with
         | Some cert -> (
-          match Criteria.theorem53_verdict ?pool ?budget cf.Zoo.family ~c ~cert ~upto with
+          match
+            probe_span (Printf.sprintf "c%d" c) (fun () ->
+                Criteria.theorem53_verdict ?pool ?budget cf.Zoo.family ~c ~cert ~upto)
+          with
           | Criteria.Finite_sum enclosure -> Some (In_FOTI (Theorem53 { c; criterion_sum = enclosure }))
           | Criteria.Partial { exhausted; _ } as v ->
             raise
@@ -111,7 +129,10 @@ let classify ?pool ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000) (cf : Zoo.ce
       else begin
         match cf.Zoo.moment_cert k with
         | Some cert -> (
-          match Criteria.moment_verdict ?pool ?budget cf.Zoo.family ~k ~cert ~upto with
+          match
+            probe_span (Printf.sprintf "k%d" k) (fun () ->
+                Criteria.moment_verdict ?pool ?budget cf.Zoo.family ~k ~cert ~upto)
+          with
           | Criteria.Infinite_sum { partial; _ } -> Some (Not_in_FOTI (Infinite_moment { k; partial }))
           | Criteria.Partial { exhausted; _ } as v ->
             raise (Out_of_budget { exhausted; detail = moment_detail k v })
@@ -211,8 +232,11 @@ let classify_resumable ?pool ?budget ?(max_k = 4) ?(max_c = 4) ?(upto = 2000)
        discarded and the check restarts from scratch. *)
     let run_check ~id check =
       match List.assoc_opt id !completed with
-      | Some v -> v
+      | Some v ->
+        Trace.event "classify.replayed" ~attrs:[ ("id", OJson.String id) ];
+        v
       | None ->
+        probe_span id @@ fun () ->
         let from_snap =
           match from.in_flight with Some (fid, s) when fid = id -> Some s | _ -> None
         in

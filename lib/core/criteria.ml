@@ -27,7 +27,32 @@ type series_verdict =
   | Invalid_certificate of string
   | Check_failed of Ipdb_run.Error.t
 
+module Trace = Ipdb_obs.Trace
+module OJson = Ipdb_obs.Json
+
+let verdict_label = function
+  | Finite_sum _ -> "finite"
+  | Infinite_sum _ -> "infinite"
+  | Partial _ -> "partial"
+  | Invalid_certificate _ -> "invalid-certificate"
+  | Check_failed _ -> "check-failed"
+
+let cert_label = function Tail _ -> "tail" | Divergence _ -> "divergence"
+
+(* Criterion-level span: one per certified series check, annotated with
+   the verdict it produced. The engines underneath record their own
+   spans, step counts and error events (DESIGN.md §9). *)
+let traced_check cert ~verdict_of run =
+  if not (Trace.enabled ()) then run ()
+  else
+    Trace.with_span "criteria.check" ~attrs:[ ("kind", OJson.String (cert_label cert)) ]
+      (fun () ->
+        let r = run () in
+        Trace.annotate [ ("verdict", OJson.String (verdict_label (verdict_of r))) ];
+        r)
+
 let check_series ?pool ?budget ~start ~cert ~upto term =
+  traced_check cert ~verdict_of:Fun.id @@ fun () ->
   match cert with
   | Tail tail -> (
     match Series.sum_budgeted ?pool ?budget ~start term ~tail ~upto with
@@ -58,6 +83,7 @@ let theorem53_verdict ?pool ?budget fam ~c ~cert ~upto =
   check_series ?pool ?budget ~start:fam.Family.start ~cert ~upto (Family.theorem53_term fam ~c)
 
 let check_series_resumable ?pool ?budget ?from ?progress ?progress_every ~start ~cert ~upto term =
+  traced_check cert ~verdict_of:fst @@ fun () ->
   match cert with
   | Tail tail -> (
     match Series.sum_resumable ?pool ?budget ?from ?progress ?progress_every ~start term ~tail ~upto with

@@ -28,7 +28,13 @@ type diagram = {
   equalities : (string list * string * status) list;
 }
 
-let check name f = try if f () then Verified else Failed (name ^ ": check returned false") with e -> Failed (name ^ ": " ^ Printexc.to_string e)
+(* Each diagram check runs in its own span so a trace shows which edge
+   or equality of the figure was being verified (DESIGN.md §9). *)
+let check name f =
+  Ipdb_obs.Trace.with_span "figure.check" ~attrs:[ ("name", Ipdb_obs.Json.String name) ]
+  @@ fun () ->
+  try if f () then Verified else Failed (name ^ ": check returned false")
+  with e -> Failed (name ^ ": " ^ Printexc.to_string e)
 
 let fact r args = Fact.make r (List.map (fun n -> Value.Int n) args)
 let schema_r1 = Schema.make [ ("R", 1) ]

@@ -1,0 +1,219 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_literal f =
+  (* %.17g round-trips every float; make sure the literal stays a JSON
+     number (dune's OCaml prints integral floats without a dot). *)
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (float_literal f)
+    else escape buf (if Float.is_nan f then "nan" else if f > 0.0 then "inf" else "-inf")
+  | String s -> escape buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        render buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        escape buf k;
+        Buffer.add_string buf ": ";
+        render buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render buf v;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (
+      pos := !pos + l;
+      v)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+               (* Only BMP code points below 0x80 round-trip as single
+                  bytes; everything else is preserved as an escaped
+                  replacement to keep the validator total. *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+               pos := !pos + 4
+             | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (
+        advance ();
+        Obj [])
+      else
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        fields []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (
+        advance ();
+        List [])
+      else
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None

@@ -1,0 +1,28 @@
+(** A minimal JSON tree: enough to encode trace events and metrics
+    snapshots, and to parse them back for schema validation.  The encoder
+    is total (non-finite floats are encoded as strings, so every emitted
+    line is valid JSON); the parser accepts the subset the encoder
+    produces plus ordinary whitespace. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One-line rendering with no trailing newline.  Object fields keep
+    their given order; strings are escaped per RFC 8259. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Rejects trailing garbage.  Integral
+    number literals without ['.'], ['e'] or ['E'] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k], if any. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] and [Float] both succeed. *)

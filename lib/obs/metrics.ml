@@ -1,0 +1,132 @@
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+type counter = { count : int Atomic.t }
+
+(* Gauges hold the (boxed) float directly in the Atomic; max_gauge's CAS
+   loop passes back the very box it read, so the physical-equality
+   compare_and_set is sound. *)
+type gauge = { cell : float Atomic.t }
+
+let buckets = 48 (* 2^47 covers any sane microsecond/byte magnitude *)
+
+type histogram = { cells : int Atomic.t array }
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let get_or_create name make classify =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+        match classify m with
+        | Some x -> x
+        | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered with another type" name))
+      | None ->
+        let x = make () in
+        x)
+
+let counter name =
+  get_or_create name
+    (fun () ->
+      let c = { count = Atomic.make 0 } in
+      Hashtbl.replace registry name (C c);
+      c)
+    (function C c -> Some c | _ -> None)
+
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c.count 1)
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.count n)
+let value c = Atomic.get c.count
+
+let gauge name =
+  get_or_create name
+    (fun () ->
+      let g = { cell = Atomic.make 0.0 } in
+      Hashtbl.replace registry name (G g);
+      g)
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = if Atomic.get on then Atomic.set g.cell v
+
+let max_gauge g v =
+  if Atomic.get on then begin
+    let rec go () =
+      let cur = Atomic.get g.cell in
+      if v > cur && not (Atomic.compare_and_set g.cell cur v) then go ()
+    in
+    go ()
+  end
+
+let gauge_value g = Atomic.get g.cell
+
+let histogram name =
+  get_or_create name
+    (fun () ->
+      let h = { cells = Array.init buckets (fun _ -> Atomic.make 0) } in
+      Hashtbl.replace registry name (H h);
+      h)
+    (function H h -> Some h | _ -> None)
+
+let bucket_of v =
+  if not (v >= 1.0) then 0
+  else
+    let i = 1 + int_of_float (Float.log2 v) in
+    if i >= buckets then buckets - 1 else i
+
+let observe h v =
+  if Atomic.get on then ignore (Atomic.fetch_and_add h.cells.(bucket_of v) 1)
+
+let histogram_count h = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.cells
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C c -> Atomic.set c.count 0
+          | G g -> Atomic.set g.cell 0.0
+          | H h -> Array.iter (fun cell -> Atomic.set cell 0) h.cells)
+        registry)
+
+let sorted_metrics () =
+  with_lock (fun () -> Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram_json h =
+  let cells = Array.map Atomic.get h.cells in
+  let last = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then last := i) cells;
+  let kept = Array.to_list (Array.sub cells 0 (!last + 1)) in
+  Json.Obj
+    [ ("count", Json.Int (Array.fold_left ( + ) 0 cells));
+      ("buckets", Json.List (List.map (fun c -> Json.Int c) kept)) ]
+
+let snapshot () =
+  let metrics = sorted_metrics () in
+  let pick f = List.filter_map (fun (name, m) -> Option.map (fun v -> (name, v)) (f m)) metrics in
+  Json.Obj
+    [ ("counters", Json.Obj (pick (function C c -> Some (Json.Int (value c)) | _ -> None)));
+      ("gauges", Json.Obj (pick (function G g -> Some (Json.Float (gauge_value g)) | _ -> None)));
+      ("histograms", Json.Obj (pick (function H h -> Some (histogram_json h) | _ -> None))) ]
+
+let summary_lines () =
+  sorted_metrics ()
+  |> List.filter_map (fun (name, m) ->
+         match m with
+         | C c ->
+           let v = value c in
+           if v = 0 then None else Some (Printf.sprintf "%s %d" name v)
+         | G g ->
+           let v = gauge_value g in
+           if v = 0.0 then None else Some (Printf.sprintf "%s %g" name v)
+         | H h ->
+           let n = histogram_count h in
+           if n = 0 then None else Some (Printf.sprintf "%s %d samples" name n))

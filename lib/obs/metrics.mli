@@ -1,0 +1,59 @@
+(** A process-global metrics registry: named atomic counters, float
+    gauges, and power-of-two histograms.
+
+    Recording is gated on a single global flag ([enable]/[disable],
+    default off): when disabled, every recording call is one atomic
+    load plus a branch, so instrumented hot paths cost near-zero.
+    Handles are created eagerly (get-or-create by name) and are cheap
+    to hoist to module level at each instrumentation site.
+
+    All recording operations are domain-safe: counters and histogram
+    buckets are [Atomic.t] cells, gauges use a CAS loop.  [snapshot]
+    and [reset] take a registry mutex only to walk the name table. *)
+
+type counter
+type gauge
+type histogram
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val counter : string -> counter
+(** Get or create the counter registered under this name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Current count; reads are never gated. *)
+
+val gauge : string -> gauge
+
+val set_gauge : gauge -> float -> unit
+val max_gauge : gauge -> float -> unit
+(** [max_gauge g v] raises the gauge to [v] if [v] is larger (CAS loop),
+    e.g. for peak queue depth. *)
+
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record a non-negative sample into log2 buckets: bucket [i] counts
+    samples in [[2^(i-1), 2^i)], with bucket 0 for samples < 1. *)
+
+val histogram_count : histogram -> int
+(** Total samples recorded. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (the names stay registered). *)
+
+val snapshot : unit -> Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {..}}] with names
+    sorted; histograms render as [{"count": n, "buckets": [..]}] with
+    trailing empty buckets trimmed. *)
+
+val summary_lines : unit -> string list
+(** Human-readable ["name value"] lines, sorted by name, omitting
+    metrics that were never touched. *)

@@ -1,0 +1,138 @@
+let ( let* ) = Result.bind
+
+let field name v =
+  match Json.member name v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let non_negative_number name v =
+  let* x = field name v in
+  match Json.to_float x with
+  | Some f when f >= 0.0 -> Ok ()
+  | Some _ -> Error (Printf.sprintf "field %S must be >= 0" name)
+  | None -> Error (Printf.sprintf "field %S must be a number" name)
+
+let non_negative_int name v =
+  let* x = field name v in
+  match x with
+  | Json.Int i when i >= 0 -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S must be a non-negative integer" name)
+
+let int_or_null name v =
+  let* x = field name v in
+  match x with
+  | Json.Int i when i >= 0 -> Ok ()
+  | Json.Null -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S must be a non-negative integer or null" name)
+
+let string_field name v =
+  let* x = field name v in
+  match x with
+  | Json.String s when s <> "" -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S must be a non-empty string" name)
+
+let obj_field name v =
+  let* x = field name v in
+  match x with
+  | Json.Obj _ -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S must be an object" name)
+
+let attrs_ok v =
+  match Json.member "attrs" v with
+  | None -> Ok ()
+  | Some (Json.Obj _) -> Ok ()
+  | Some _ -> Error "field \"attrs\" must be an object"
+
+let no_unknown_keys allowed v =
+  match v with
+  | Json.Obj fields -> (
+    match List.find_opt (fun (k, _) -> not (List.mem k allowed)) fields with
+    | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
+    | None -> Ok ())
+  | _ -> Error "event must be a JSON object"
+
+let validate v =
+  match v with
+  | Json.Obj _ -> (
+    let* () = non_negative_number "ts" v in
+    let* () = non_negative_int "dom" v in
+    let* ev = field "ev" v in
+    match ev with
+    | Json.String "span_begin" ->
+      let* () = non_negative_int "id" v in
+      let* () = int_or_null "parent" v in
+      let* () = string_field "name" v in
+      let* () = attrs_ok v in
+      no_unknown_keys [ "ev"; "ts"; "dom"; "id"; "parent"; "name"; "attrs" ] v
+    | Json.String "span_end" ->
+      let* () = non_negative_int "id" v in
+      let* () = string_field "name" v in
+      let* () = non_negative_number "dur" v in
+      let* () = attrs_ok v in
+      no_unknown_keys [ "ev"; "ts"; "dom"; "id"; "name"; "dur"; "attrs" ] v
+    | Json.String "event" ->
+      let* () = int_or_null "span" v in
+      let* () = string_field "name" v in
+      let* () = attrs_ok v in
+      no_unknown_keys [ "ev"; "ts"; "dom"; "span"; "name"; "attrs" ] v
+    | Json.String "metrics" ->
+      let* () = obj_field "snapshot" v in
+      let* () =
+        let* snap = field "snapshot" v in
+        let* () = obj_field "counters" snap in
+        let* () = obj_field "gauges" snap in
+        obj_field "histograms" snap
+      in
+      no_unknown_keys [ "ev"; "ts"; "dom"; "snapshot" ] v
+    | Json.String s -> Error (Printf.sprintf "unknown event kind %S" s)
+    | _ -> Error "field \"ev\" must be a string")
+  | _ -> Error "event must be a JSON object"
+
+let validate_line line =
+  let* v = Json.parse line in
+  validate v
+
+let validate_lines lines =
+  let rec go i = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match validate_line line with
+      | Ok () -> go (i + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" i msg))
+  in
+  go 1 lines
+
+let check_nesting events =
+  let stacks : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  let get d = Option.value ~default:[] (Hashtbl.find_opt stacks d) in
+  let rec go i = function
+    | [] -> Ok ()
+    | v :: rest -> (
+      let err msg = Error (Printf.sprintf "event %d: %s" i msg) in
+      let dom = match Json.member "dom" v with Some (Json.Int d) -> d | _ -> -1 in
+      let id = match Json.member "id" v with Some (Json.Int x) -> x | _ -> -1 in
+      match Json.member "ev" v with
+      | Some (Json.String "span_begin") -> (
+        match Json.member "parent" v with
+        | Some parent -> (
+          let stack = get dom in
+          let expected = match stack with [] -> Json.Null | p :: _ -> Json.Int p in
+          if parent <> expected then
+            err
+              (Printf.sprintf "span %d on domain %d declares parent %s but innermost open span is %s"
+                 id dom (Json.to_string parent) (Json.to_string expected))
+          else (
+            Hashtbl.replace stacks dom (id :: stack);
+            go (i + 1) rest))
+        | None -> err "span_begin without parent")
+      | Some (Json.String "span_end") -> (
+        match get dom with
+        | top :: stack' when top = id ->
+          Hashtbl.replace stacks dom stack';
+          go (i + 1) rest
+        | top :: _ ->
+          err (Printf.sprintf "span_end %d on domain %d but innermost open span is %d" id dom top)
+        | [] -> err (Printf.sprintf "span_end %d on domain %d with no open span" id dom))
+      | _ -> go (i + 1) rest)
+  in
+  go 1 events

@@ -1,0 +1,30 @@
+(** Validator for the trace event schema (DESIGN.md §9).
+
+    Every line of a [--trace] JSONL file is one JSON object with an
+    ["ev"] discriminator:
+
+    - [span_begin]: [ts], [dom], [id], [parent] (int or null), [name]
+    - [span_end]:   [ts], [dom], [id], [name], [dur]
+    - [event]:      [ts], [dom], [span] (int or null), [name]
+    - [metrics]:    [ts], [dom], [snapshot] (a {!Metrics.snapshot})
+
+    plus an optional ["attrs"] object of free-form attributes.  [ts]
+    and [dur] are non-negative numbers; [dom] and span ids are
+    non-negative integers.  Unknown top-level keys are rejected so the
+    schema cannot drift silently. *)
+
+val validate : Json.t -> (unit, string) result
+(** Validate one parsed event. *)
+
+val validate_line : string -> (unit, string) result
+(** Parse + validate one line. *)
+
+val validate_lines : string list -> (unit, string) result
+(** Validate every line; the first failure is reported with its
+    1-based line number. *)
+
+val check_nesting : Json.t list -> (unit, string) result
+(** Check that span begin/end events are well-nested (LIFO) per domain
+    and that every [span_end] closes the innermost open span of its
+    domain.  Spans still open at end-of-trace are allowed (a trace may
+    be torn by a crash). *)

@@ -1,0 +1,76 @@
+type kind =
+  | Null
+  | Memory of string list ref
+  | File of { fd : Unix.file_descr; fsync : bool; mutable open_ : bool }
+
+type t = { kind : kind; lock : Mutex.t }
+
+let null = { kind = Null; lock = Mutex.create () }
+
+let memory () =
+  let lines = ref [] in
+  let t = { kind = Memory lines; lock = Mutex.create () } in
+  let read () =
+    Mutex.lock t.lock;
+    let ls = List.rev !lines in
+    Mutex.unlock t.lock;
+    ls
+  in
+  (t, read)
+
+let open_jsonl ?(fsync = false) path =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+  | fd -> Ok { kind = File { fd; fsync; open_ = true }; lock = Mutex.create () }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "cannot open trace file %s: %s" path (Unix.error_message err))
+
+let current : t option Atomic.t = Atomic.make None
+
+let close t =
+  Mutex.lock t.lock;
+  (match t.kind with
+  | File f when f.open_ ->
+    f.open_ <- false;
+    (try Unix.fsync f.fd with Unix.Unix_error _ -> ());
+    (try Unix.close f.fd with Unix.Unix_error _ -> ())
+  | _ -> ());
+  Mutex.unlock t.lock
+
+let install t = Atomic.set current (Some t)
+
+let uninstall () =
+  match Atomic.exchange current None with
+  | Some t -> close t
+  | None -> ()
+
+let active () = Atomic.get current <> None
+
+(* One write(2) per line: concurrent emitters cannot interleave bytes,
+   and a crash tears at most the final line (the schema validator and
+   any reader must tolerate a torn tail, as with the journal). *)
+let write_all fd s =
+  let n = String.length s in
+  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+  go 0
+
+let emit_line line =
+  match Atomic.get current with
+  | None -> ()
+  | Some t -> (
+    Mutex.lock t.lock;
+    match t.kind with
+    | Null -> Mutex.unlock t.lock
+    | Memory lines ->
+      lines := line :: !lines;
+      Mutex.unlock t.lock
+    | File f ->
+      (if f.open_ then
+         try
+           write_all f.fd (line ^ "\n");
+           if f.fsync then Unix.fsync f.fd
+         with Unix.Unix_error _ | Sys_error _ ->
+           (* A failing trace must not fail the traced run: drop the
+              sink and keep going. *)
+           f.open_ <- false;
+           Atomic.set current None);
+      Mutex.unlock t.lock)

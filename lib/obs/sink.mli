@@ -1,0 +1,40 @@
+(** Trace event sinks.  At most one sink is installed process-wide;
+    when none is installed, [emit_line] is one atomic load plus a
+    branch, so tracing compiles down to near-zero cost when disabled.
+
+    The JSONL sink follows the Journal's write discipline (DESIGN.md
+    §7): each event is rendered to one line and handed to the kernel
+    in a single [write(2)] under a mutex, so concurrent domains never
+    interleave bytes and a crash can tear at most the final line.
+    Unlike the journal it does not fsync per line by default — traces
+    are diagnostics, not durability records — but [~fsync:true]
+    restores that too. *)
+
+type t
+
+val null : t
+(** Accepts and discards every line. *)
+
+val memory : unit -> t * (unit -> string list)
+(** In-process sink for tests; the thunk returns the lines emitted so
+    far, in emission order. *)
+
+val open_jsonl : ?fsync:bool -> string -> (t, string) result
+(** [open_jsonl path] creates/truncates [path] for line-oriented
+    output.  [~fsync] (default false) forces an [fsync] per line. *)
+
+val install : t -> unit
+(** Make [t] the process sink (replacing any previous one). *)
+
+val uninstall : unit -> unit
+(** Remove the process sink, flushing and closing a file sink. *)
+
+val active : unit -> bool
+(** True iff a sink is installed. *)
+
+val emit_line : string -> unit
+(** Append one line (newline added) to the installed sink, if any.
+    Write failures disable the sink rather than raise: tracing must
+    never take down the traced computation. *)
+
+val close : t -> unit

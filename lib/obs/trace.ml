@@ -1,0 +1,94 @@
+type attr = string * Json.t
+
+let enabled = Sink.active
+
+(* Timestamps are wall-clock seconds relative to process start: the
+   base is sampled once at module initialisation, so ts is monotone
+   non-decreasing per domain up to clock adjustments and always >= 0
+   for schema purposes. *)
+let base = Unix.gettimeofday ()
+let now () = Float.max 0.0 (Unix.gettimeofday () -. base)
+let next_id = Atomic.make 1
+let dom () = (Domain.self () :> int)
+
+type span = { id : int; name : string; t0 : float; mutable notes : attr list }
+
+let stack : span list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let emit fields = Sink.emit_line (Json.to_string (Json.Obj fields))
+
+let attrs_field = function
+  | [] -> []
+  | attrs -> [ ("attrs", Json.Obj attrs) ]
+
+let parent_json = function
+  | [] -> Json.Null
+  | s :: _ -> Json.Int s.id
+
+let with_span ?(attrs = []) name f =
+  if not (Sink.active ()) then f ()
+  else begin
+    let st = Domain.DLS.get stack in
+    let sp = { id = Atomic.fetch_and_add next_id 1; name; t0 = now (); notes = [] } in
+    emit
+      ([ ("ev", Json.String "span_begin");
+         ("ts", Json.Float sp.t0);
+         ("dom", Json.Int (dom ()));
+         ("id", Json.Int sp.id);
+         ("parent", parent_json !st);
+         ("name", Json.String name) ]
+      @ attrs_field attrs);
+    st := sp :: !st;
+    let finish extra =
+      (match !st with
+      | s :: rest when s.id = sp.id -> st := rest
+      | _ -> () (* never happens: spans close in LIFO order per domain *));
+      emit
+        ([ ("ev", Json.String "span_end");
+           ("ts", Json.Float (now ()));
+           ("dom", Json.Int (dom ()));
+           ("id", Json.Int sp.id);
+           ("name", Json.String name);
+           ("dur", Json.Float (now () -. sp.t0)) ]
+        @ attrs_field (List.rev sp.notes @ extra))
+    in
+    match f () with
+    | v ->
+      finish [];
+      v
+    | exception e ->
+      finish [ ("raised", Json.String (Printexc.to_string e)) ];
+      raise e
+  end
+
+let annotate attrs =
+  if Sink.active () then
+    match !(Domain.DLS.get stack) with
+    | sp :: _ -> sp.notes <- List.rev_append attrs sp.notes
+    | [] -> ()
+
+let current_span () =
+  match !(Domain.DLS.get stack) with
+  | sp :: _ -> Some sp.id
+  | [] -> None
+
+let event ?(attrs = []) name =
+  if Sink.active () then
+    emit
+      ([ ("ev", Json.String "event");
+         ("ts", Json.Float (now ()));
+         ("dom", Json.Int (dom ()));
+         ("span", match current_span () with Some i -> Json.Int i | None -> Json.Null);
+         ("name", Json.String name) ]
+      @ attrs_field attrs)
+
+let error ~code ~msg =
+  event ~attrs:[ ("code", Json.String code); ("msg", Json.String msg) ] "error"
+
+let metrics_event snapshot =
+  if Sink.active () then
+    emit
+      [ ("ev", Json.String "metrics");
+        ("ts", Json.Float (now ()));
+        ("dom", Json.Int (dom ()));
+        ("snapshot", snapshot) ]

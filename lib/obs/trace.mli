@@ -1,0 +1,51 @@
+(** Hierarchical spans and point events, emitted as JSONL through the
+    installed {!Sink}.
+
+    Each domain keeps its own span stack in [Domain.DLS], so spans are
+    well-nested per domain by construction: a pool worker that executes
+    a chunk opens the chunk span as a root on its own domain, while the
+    admitting domain's engine span stays open on the admitting domain.
+    Span ids are drawn from one process-global atomic counter and are
+    unique across domains.
+
+    When no sink is installed every operation short-circuits:
+    [with_span name f] is [f ()] plus one atomic load, and [event] is a
+    no-op, satisfying the disabled-path overhead budget (DESIGN.md §9). *)
+
+type attr = string * Json.t
+
+val enabled : unit -> bool
+(** True iff a sink is installed (alias of {!Sink.active}). *)
+
+val with_span : ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span: emits [span_begin] before and
+    [span_end] after (also on exception, with a ["raised"] attribute).
+    The end event carries the wall-clock duration in seconds and any
+    attributes attached with {!annotate}. *)
+
+val annotate : attr list -> unit
+(** Attach attributes to the innermost open span on this domain; they
+    ride on its [span_end] event.  No-op outside any span. *)
+
+val event : ?attrs:attr list -> string -> unit
+(** Emit a point event, parented to the innermost open span on this
+    domain (or a root event if none). *)
+
+val error : code:string -> msg:string -> unit
+(** Emit an ["error"] event with ["code"] (an [E_*] taxonomy code) and
+    ["msg"] attributes — the hook every runtime error surfaces
+    through. *)
+
+val metrics_event : Json.t -> unit
+(** Emit a ["metrics"] event carrying a {!Metrics.snapshot}; callers
+    pass the snapshot so this module stays independent of the
+    registry. *)
+
+val current_span : unit -> int option
+(** Id of the innermost open span on this domain, for tests. *)
+
+val now : unit -> float
+(** Wall-clock seconds since trace base (process start); the timestamp
+    scale used in emitted events.  Exposed so instrumentation sites in
+    otherwise dependency-free libraries can measure durations without
+    their own [unix] dependency. *)

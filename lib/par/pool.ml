@@ -44,6 +44,13 @@ module Deque = struct
     end
 end
 
+module Metrics = Ipdb_obs.Metrics
+
+let m_tasks = Metrics.counter "pool.tasks"
+let m_helped = Metrics.counter "pool.helped"
+let m_queue_peak = Metrics.gauge "pool.queue_peak"
+let m_task_us = Metrics.histogram "pool.task_us"
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -122,7 +129,11 @@ let map_ordered (type b) t ~(f : 'a -> b) (items : 'a list) : b list =
       let remaining = ref n in
       let finished = Condition.create () in
       let run_one i =
+        let timed = Metrics.enabled () in
+        let t0 = if timed then Ipdb_obs.Trace.now () else 0.0 in
         let r = try Ok (f arr.(i)) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+        if timed then
+          Metrics.observe m_task_us ((Ipdb_obs.Trace.now () -. t0) *. 1e6);
         Mutex.lock t.mutex;
         results.(i) <- Some r;
         decr remaining;
@@ -137,6 +148,8 @@ let map_ordered (type b) t ~(f : 'a -> b) (items : 'a list) : b list =
       for i = 0 to n - 1 do
         Deque.push_back t.deque (fun () -> run_one i)
       done;
+      Metrics.add m_tasks n;
+      Metrics.max_gauge m_queue_peak (float_of_int t.deque.Deque.len);
       Condition.broadcast t.work;
       (* Help while waiting: run queued tasks (ours or anyone's) until all
          of our results are in.  Popping from the back favours the most
@@ -146,6 +159,7 @@ let map_ordered (type b) t ~(f : 'a -> b) (items : 'a list) : b list =
           match Deque.pop_back t.deque with
           | Some task ->
               Mutex.unlock t.mutex;
+              Metrics.incr m_helped;
               task ();
               Mutex.lock t.mutex;
               drain ()

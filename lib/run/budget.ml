@@ -13,6 +13,30 @@ type t = {
    that check stays cheap inside per-term loops. *)
 let poll_mask = 15
 
+module Metrics = Ipdb_obs.Metrics
+module Trace = Ipdb_obs.Trace
+
+let m_steps = Metrics.counter "budget.steps"
+let m_reserves = Metrics.counter "budget.reserves"
+let m_trips = Metrics.counter "budget.trips"
+
+let exhaustion_attrs = function
+  | Error.Timeout { elapsed; limit } ->
+    [ ("reason", Ipdb_obs.Json.String "timeout");
+      ("elapsed", Ipdb_obs.Json.Float elapsed);
+      ("limit", Ipdb_obs.Json.Float limit) ]
+  | Error.Steps { used; limit } ->
+    [ ("reason", Ipdb_obs.Json.String "steps");
+      ("used", Ipdb_obs.Json.Int used);
+      ("limit", Ipdb_obs.Json.Int limit) ]
+  | Error.Cancelled -> [ ("reason", Ipdb_obs.Json.String "cancelled") ]
+
+(* Called exactly once per budget, by whichever domain wins the latch. *)
+let note_trip e =
+  Metrics.incr m_trips;
+  Trace.event ~attrs:(exhaustion_attrs e) "budget.exhausted";
+  Trace.error ~code:"E_BUDGET" ~msg:(Error.exhaustion_to_string e)
+
 let unlimited =
   {
     started = 0.0;
@@ -51,7 +75,7 @@ let elapsed t = if t.limited then Unix.gettimeofday () -. t.started else 0.0
 (* Latch the first exhaustion; concurrent trippers all observe the winner,
    so every domain sharing the budget reports the same exhaustion. *)
 let trip t e =
-  ignore (Atomic.compare_and_set t.tripped None (Some e));
+  if Atomic.compare_and_set t.tripped None (Some e) then note_trip e;
   match Atomic.get t.tripped with Some e -> Error e | None -> assert false
 
 (* Deadline / cancellation checks shared by check, reserve and poll. *)
@@ -76,6 +100,7 @@ let check t =
     | Some e -> Error e
     | None -> (
         let n = Atomic.fetch_and_add t.steps 1 + 1 in
+        Metrics.incr m_steps;
         match t.max_steps with
         | Some limit when n > limit -> trip t (Error.Steps { used = n; limit })
         | _ -> if n land poll_mask <> 0 && n <> 1 then Ok () else poll_limits t)
@@ -90,9 +115,11 @@ let reserve t n =
         match poll_limits t with
         | Error e -> Error e
         | Ok () -> (
+            Metrics.incr m_reserves;
             match t.max_steps with
             | None ->
                 ignore (Atomic.fetch_and_add t.steps n);
+                Metrics.add m_steps n;
                 Ok n
             | Some limit ->
                 let rec grab () =
@@ -102,10 +129,13 @@ let reserve t n =
                   else
                     let g = min n avail in
                     if Atomic.compare_and_set t.steps cur (cur + g) then begin
+                      Metrics.add m_steps g;
                       (* A partial grant drains the budget: latch the trip now
                          so admission (and every other sharer) observes it. *)
-                      if g < n then
-                        ignore (Atomic.compare_and_set t.tripped None (Some (Error.Steps { used = limit; limit })));
+                      if g < n then begin
+                        let e = Error.Steps { used = limit; limit } in
+                        if Atomic.compare_and_set t.tripped None (Some e) then note_trip e
+                      end;
                       Ok g
                     end
                     else grab ()

@@ -3,8 +3,23 @@
    are detected on load rather than silently resumed from. *)
 
 let magic = "ipdbc1"
-let io path msg = Error (Error.Io { path; msg })
-let invalid path msg = Error (Error.Validation { what = "checkpoint " ^ path; msg })
+
+module Metrics = Ipdb_obs.Metrics
+module Trace = Ipdb_obs.Trace
+
+let m_saves = Metrics.counter "checkpoint.saves"
+let m_loads = Metrics.counter "checkpoint.loads"
+let m_bytes = Metrics.counter "checkpoint.bytes"
+
+let io path msg =
+  let e = Error.Io { path; msg } in
+  Error.emit e;
+  Error e
+
+let invalid path msg =
+  let e = Error.Validation { what = "checkpoint " ^ path; msg } in
+  Error.emit e;
+  Error e
 
 let frame payload =
   Printf.sprintf "%s %d %016Lx\n%s" magic (String.length payload)
@@ -48,7 +63,14 @@ let save ~path payload =
         raise e
   in
   match write () with
-  | () -> Ok ()
+  | () ->
+      Metrics.incr m_saves;
+      Metrics.add m_bytes (String.length payload);
+      Trace.event "checkpoint.saved"
+        ~attrs:
+          [ ("path", Ipdb_obs.Json.String path);
+            ("bytes", Ipdb_obs.Json.Int (String.length payload)) ];
+      Ok ()
   | exception Unix.Unix_error (e, _, _) ->
       io path (Printf.sprintf "checkpoint write failed: %s" (Unix.error_message e))
   | exception Sys_error m -> io path m
@@ -87,7 +109,10 @@ let load ~path =
                            len (String.length payload))
                     else if Journal.checksum payload <> sum then
                       invalid path "checksum mismatch"
-                    else Ok (Some payload))
+                    else begin
+                      Metrics.incr m_loads;
+                      Ok (Some payload)
+                    end)
             | m :: _ when m <> magic ->
                 invalid path (Printf.sprintf "bad magic %S (expected %s)" m magic)
             | _ -> invalid path "malformed header line"))

@@ -49,3 +49,7 @@ let of_exn ?(what = "input") = function
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 let pp_exhaustion fmt r = Format.pp_print_string fmt (exhaustion_to_string r)
+
+module Trace = Ipdb_obs.Trace
+
+let emit e = Trace.error ~code:(code e) ~msg:(message e)

@@ -74,3 +74,10 @@ val of_exn : ?what:string -> exn -> t
 
 val pp : Format.formatter -> t -> unit
 val pp_exhaustion : Format.formatter -> exhaustion -> unit
+
+val emit : t -> unit
+(** Emit the error as a structured trace event (an ["error"] event with
+    [code]/[msg] attributes, see DESIGN.md §9).  No-op when no trace
+    sink is installed.  Every runtime boundary that turns an [Error.t]
+    into a verdict, report line, or exit code calls this, so a trace
+    records each [E_*] failure where it surfaced. *)

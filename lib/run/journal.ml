@@ -71,7 +71,17 @@ let frame payload =
    still lands as a single write+fsync, so crash atomicity is unchanged. *)
 type t = { fd : Unix.file_descr; path : string; lock : Mutex.t; mutable closed : bool }
 
-let io path msg = Error (Error.Io { path; msg })
+module Metrics = Ipdb_obs.Metrics
+module Trace = Ipdb_obs.Trace
+
+let m_appends = Metrics.counter "journal.appends"
+let m_fsyncs = Metrics.counter "journal.fsyncs"
+let m_bytes = Metrics.counter "journal.bytes"
+
+let io path msg =
+  let e = Error.Io { path; msg } in
+  Error.emit e;
+  Error e
 
 let open_append ~path =
   match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
@@ -92,7 +102,11 @@ let append t payload =
         if written <> len then failwith "short write"
         else Unix.fsync t.fd
       with
-      | () -> Ok ()
+      | () ->
+          Metrics.incr m_appends;
+          Metrics.incr m_fsyncs;
+          Metrics.add m_bytes len;
+          Ok ()
       | exception Unix.Unix_error (e, _, _) ->
           io t.path (Printf.sprintf "journal append failed: %s" (Unix.error_message e))
       | exception Failure m -> io t.path (Printf.sprintf "journal append failed: %s" m)
@@ -179,4 +193,9 @@ let recover ~path =
             | Error reason -> Torn { line = line_no; reason }
         in
         let tail = go 0 1 in
+        Trace.event "journal.recovered"
+          ~attrs:
+            [ ("path", Ipdb_obs.Json.String path);
+              ("records", Ipdb_obs.Json.Int (List.length !records));
+              ("torn", Ipdb_obs.Json.Bool (tail <> Clean)) ];
         Ok { records = List.rev !records; tail }

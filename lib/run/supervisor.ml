@@ -62,11 +62,32 @@ type 'a outcome =
   | Failed of { error : Error.t; attempts : int }
   | Quarantined of { failures : int }
 
+module Metrics = Ipdb_obs.Metrics
+module Trace = Ipdb_obs.Trace
+
+let m_retries = Metrics.counter "supervisor.retries"
+let m_failures = Metrics.counter "supervisor.failures"
+let m_quarantines = Metrics.counter "supervisor.quarantines"
+
 let run t ~task thunk =
-  if quarantined t ~task then Quarantined { failures = failures t ~task }
+  if quarantined t ~task then begin
+    Metrics.incr m_quarantines;
+    Trace.event "supervisor.quarantined"
+      ~attrs:
+        [ ("task", Ipdb_obs.Json.String task);
+          ("failures", Ipdb_obs.Json.Int (failures t ~task)) ];
+    Quarantined { failures = failures t ~task }
+  end
   else
-    let record_failure () =
-      Hashtbl.replace t.fail_counts task (failures t ~task + 1)
+    let record_failure e n =
+      Hashtbl.replace t.fail_counts task (failures t ~task + 1);
+      Metrics.incr m_failures;
+      Error.emit e;
+      Trace.event "supervisor.failed"
+        ~attrs:
+          [ ("task", Ipdb_obs.Json.String task);
+            ("code", Ipdb_obs.Json.String (Error.code e));
+            ("attempts", Ipdb_obs.Json.Int n) ]
     in
     let rec attempt n =
       match thunk () with
@@ -76,15 +97,24 @@ let run t ~task thunk =
       | Error e -> (
           match classify e with
           | Permanent ->
-              record_failure ();
+              record_failure e n;
               Failed { error = e; attempts = n }
           | Transient ->
               if n >= max t.policy.max_attempts 1 then (
-                record_failure ();
+                record_failure e n;
                 Failed { error = e; attempts = n })
-              else (
-                t.sleep (backoff_delay t.policy ~task ~attempt:n);
-                attempt (n + 1)))
+              else begin
+                let delay = backoff_delay t.policy ~task ~attempt:n in
+                Metrics.incr m_retries;
+                Trace.event "supervisor.retry"
+                  ~attrs:
+                    [ ("task", Ipdb_obs.Json.String task);
+                      ("code", Ipdb_obs.Json.String (Error.code e));
+                      ("attempt", Ipdb_obs.Json.Int n);
+                      ("delay", Ipdb_obs.Json.Float delay) ];
+                t.sleep delay;
+                attempt (n + 1)
+              end)
     in
     attempt 1
 

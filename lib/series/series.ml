@@ -191,6 +191,47 @@ module Faultinj = Ipdb_run.Faultinj
 module Pool = Ipdb_par.Pool
 module Chunk = Ipdb_par.Chunk
 module Reduce = Ipdb_par.Reduce
+module Metrics = Ipdb_obs.Metrics
+module Trace = Ipdb_obs.Trace
+module OJson = Ipdb_obs.Json
+
+let m_terms = Metrics.counter "series.terms"
+let m_chunks = Metrics.counter "series.chunks"
+let m_widenings = Metrics.counter "series.widenings"
+
+(* One interval accumulation with the widening counter: a "widening" is a
+   fold step that strictly grew the enclosure's width (rounding slack
+   picked up beyond the point terms themselves). The count depends only
+   on the index-ordered fold, so it is identical for every worker count. *)
+let accumulate acc a =
+  let acc' = Interval.add acc (Interval.point a) in
+  if Metrics.enabled () && Interval.width acc' > Interval.width acc then Metrics.incr m_widenings;
+  acc'
+
+(* Wrap an engine invocation in a trace span: records the requested
+   range and engine flavour up front, and on the way out the outcome
+   plus the budget steps this call consumed. Every [Error] additionally
+   surfaces as an ["error"] event. When no sink is installed this is
+   exactly [run ()]. *)
+let traced_engine name ~pooled ~start ~upto ~budget ~outcome run =
+  if not (Trace.enabled ()) then run ()
+  else
+    Trace.with_span name
+      ~attrs:
+        [ ("start", OJson.Int start);
+          ("upto", OJson.Int upto);
+          ("engine", OJson.String (if pooled then "pool" else "seq")) ]
+      (fun () ->
+        let steps0 = Budget.steps_used budget in
+        let r = run () in
+        (match r with
+        | Ok v -> Trace.annotate [ ("outcome", OJson.String (outcome v)) ]
+        | Error e ->
+          Run_error.emit e;
+          Trace.annotate
+            [ ("outcome", OJson.String "error"); ("code", OJson.String (Run_error.code e)) ]);
+        Trace.annotate [ ("steps", OJson.Int (Budget.steps_used budget - steps0)) ];
+        r)
 
 (* Pull chunks from a plan while the budget still grants their steps.
    Reservation happens here — on the single admitting domain, in chunk
@@ -270,6 +311,10 @@ exception Stop of Run_error.exhaustion
 
 let certify_divergence_budgeted ?(start = 0) ?(budget = Budget.unlimited) f ~certificate ~upto =
   ignore start;
+  traced_engine "series.divergence" ~pooled:false
+    ~start:(Divergence.start_index certificate) ~upto ~budget
+    ~outcome:(function Div_complete _ -> "complete" | Div_exhausted _ -> "exhausted")
+  @@ fun () ->
   (* The minorant checkers have four different traversal orders; rather than
      fusing a budget into each, the term function itself is instrumented:
      it pays one budget step per evaluation and accumulates each distinct
@@ -278,6 +323,7 @@ let certify_divergence_budgeted ?(start = 0) ?(budget = Budget.unlimited) f ~cer
   let seen = ref min_int in
   let wrapped n =
     (match Budget.check budget with Error reason -> raise (Stop reason) | Ok () -> ());
+    Metrics.incr m_terms;
     Faultinj.fire Faultinj.Term_eval;
     let a = f n in
     if n > !seen then begin
@@ -420,6 +466,9 @@ let snapshot_mismatch msg = Error (Run_error.Validation { what = "snapshot"; msg
 
 let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?progress
     ?(progress_every = 1000) f ~tail ~upto =
+  traced_engine "series.sum" ~pooled:(Option.is_some pool) ~start ~upto ~budget
+    ~outcome:(function Complete _, _ -> "complete" | Exhausted _, _ -> "exhausted")
+  @@ fun () ->
   match Tail.params_ok tail with
   | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
   | Ok () -> (
@@ -443,6 +492,7 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
       let snapshot n acc = Snapshot.Sum_state { sum_start = start; next = n; prefix = acc } in
       let check_from = Stdlib.max start (Tail.start_index tail) in
       let eval n =
+        Metrics.incr m_terms;
         Faultinj.fire Faultinj.Term_eval;
         f n
       in
@@ -501,7 +551,7 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
                   Error (Run_error.Injected_fault { site = Faultinj.site_name site })
                 | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
                 | Ok () ->
-                  let acc = Interval.add acc (Interval.point a) in
+                  let acc = accumulate acc a in
                   tick (n + 1) acc;
                   go (n + 1) acc
               end)
@@ -518,6 +568,10 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
         let admit_stop = ref None in
         let chunks = admit_chunks ~budget ~stop:admit_stop (Chunk.plan ~size ~start:n0 ~upto ()) in
         let run_chunk (c : Chunk.t) =
+          Metrics.incr m_chunks;
+          Trace.with_span "series.chunk"
+            ~attrs:[ ("lo", OJson.Int c.Chunk.lo); ("hi", OJson.Int c.Chunk.hi) ]
+          @@ fun () ->
           let arr = Array.make (Chunk.length c) 0.0 in
           let rec at n =
             if n > c.Chunk.hi then `Terms arr
@@ -555,7 +609,7 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
           | `Fail e -> Error (`Fail e)
           | `Cut exh -> Error (`Cut (acc, next, exh))
           | `Terms arr ->
-            let acc = Array.fold_left (fun acc a -> Interval.add acc (Interval.point a)) acc arr in
+            let acc = Array.fold_left accumulate acc arr in
             let next = c.Chunk.hi + 1 in
             let emitted =
               match progress with
@@ -587,6 +641,10 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
 let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from
     ?progress ?(progress_every = 1000) f ~certificate ~upto =
   ignore start;
+  traced_engine "series.divergence" ~pooled:(Option.is_some pool)
+    ~start:(Divergence.start_index certificate) ~upto ~budget
+    ~outcome:(function Div_complete _, _ -> "complete" | Div_exhausted _, _ -> "exhausted")
+  @@ fun () ->
   (* A sequential re-implementation of [Divergence.validate]'s four
      traversals: one term evaluation and one budget step per index, with
      the cross-index context ([prev_term] for the ratio certificate,
@@ -636,6 +694,7 @@ let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unl
         Snapshot.Div_state { div_start = i0; next_k = k; partial; prev_term; prev_pick }
       in
       let eval n =
+        Metrics.incr m_terms;
         Faultinj.fire Faultinj.Term_eval;
         f n
       in
@@ -737,6 +796,10 @@ let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unl
         let admit_stop = ref None in
         let chunks = admit_chunks ~budget ~stop:admit_stop (Chunk.plan ~size ~start:k0 ~upto:kmax ()) in
         let run_chunk (c : Chunk.t) =
+          Metrics.incr m_chunks;
+          Trace.with_span "series.chunk"
+            ~attrs:[ ("lo", OJson.Int c.Chunk.lo); ("hi", OJson.Int c.Chunk.hi) ]
+          @@ fun () ->
           let len = Chunk.length c in
           let terms = Array.make len 0.0 in
           let picks = Array.make len 0 in

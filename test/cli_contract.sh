@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Golden CLI contract test: every documented exit code (0–4) with its
+# exact verdict text, plus the observability surface — bench --json line
+# schema (including the per-experiment "steps" field and the trailing
+# metrics snapshot), --trace JSONL sanity, and the --metrics stderr
+# summary with its exact term count.
+#
+# Usage: cli_contract.sh /path/to/bin/main.exe /path/to/bench/main.exe
+
+set -euo pipefail
+
+IPDB=${1:?usage: cli_contract.sh IPDB_EXE BENCH_EXE}
+BENCH=${2:?usage: cli_contract.sh IPDB_EXE BENCH_EXE}
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ipdb-cli.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "cli_contract: $1" >&2
+  exit 1
+}
+
+# run <expected-exit> <label> <cmd...>: capture stdout/stderr, check code.
+run() {
+  local expect=$1 label=$2
+  shift 2
+  local code=0
+  "$@" > "$TMP/out" 2> "$TMP/err" || code=$?
+  [ "$code" -eq "$expect" ] \
+    || fail "$label: expected exit $expect, got $code (stderr: $(cat "$TMP/err"))"
+}
+
+# ---------------------------------------------------------------- exit 0
+run 0 "exit0" "$IPDB" criterion geometric --upto 2000
+printf 'Σ|D|·P(D)^(1/|D|) ∈ [1, 1] < ∞ ⟹ in FO(TI) (Theorem 5.3)\n' > "$TMP/want"
+cmp -s "$TMP/out" "$TMP/want" || fail "exit0: verdict text drifted: $(cat "$TMP/out")"
+
+# ---------------------------------------------------------------- exit 1
+run 1 "exit1" "$IPDB" classify example-3.5
+printf 'NOT in FO(TI): 2-th size moment certified infinite (partial sum 165, Prop. 3.4)\n' > "$TMP/want"
+cmp -s "$TMP/out" "$TMP/want" || fail "exit1: verdict text drifted: $(cat "$TMP/out")"
+
+# ---------------------------------------------------------------- exit 2
+run 2 "exit2-family" "$IPDB" classify no-such-family
+grep -q 'unknown family no-such-family' "$TMP/err" || fail "exit2: missing diagnostic"
+run 2 "exit2-trace" "$IPDB" criterion geometric --upto 10 --trace /nonexistent-ipdb-dir/t.jsonl
+grep -q 'cannot open trace file' "$TMP/err" || fail "exit2-trace: missing diagnostic"
+
+# ---------------------------------------------------------------- exit 3
+run 3 "exit3" "$IPDB" criterion geometric --upto 100000000 --max-steps 5000
+printf 'Σ|D|·P(D)^(1/|D|): partial: step budget exhausted (5000 steps, limit 5000) after 5000 of 100000000 terms (partial sum 1; certified enclosure so far [1, 1])\n' > "$TMP/want"
+cmp -s "$TMP/out" "$TMP/want" || fail "exit3: partial verdict text drifted: $(cat "$TMP/out")"
+
+# ---------------------------------------------------------------- exit 4
+run 4 "exit4" "$BENCH" --only figures --journal "$TMP"
+grep -q 'cannot open journal' "$TMP/err" || fail "exit4: missing diagnostic"
+
+# ------------------------------------------------- bench --json schema
+run 0 "bench-json" "$BENCH" --only figures,classifier --jobs 2 \
+  --json "$TMP/b.json" --trace "$TMP/b.jsonl" --metrics
+head -n1 "$TMP/b.json" | grep -q '^{"jobs": 2}$' || fail "bench-json: bad header line"
+# every experiment line carries name/status/seconds/steps in order
+if sed -n '2,$p' "$TMP/b.json" | grep -v '^{"metrics": ' \
+  | grep -qv '^{"name": "[^"]*", "status": "[a-z]*", "seconds": [0-9.]*, "steps": [0-9]*}$'; then
+  fail "bench-json: experiment line violates the schema"
+fi
+grep -c '^{"name": ' "$TMP/b.json" | grep -qx 2 || fail "bench-json: expected 2 experiment lines"
+# the classifier experiment consumes budget steps; figures runs unbudgeted
+grep -q '^{"name": "classifier", "status": "ok", "seconds": [0-9.]*, "steps": [1-9]' "$TMP/b.json" \
+  || fail "bench-json: classifier steps missing or zero"
+grep -q '^{"name": "figures", "status": "ok", "seconds": [0-9.]*, "steps": 0}$' "$TMP/b.json" \
+  || fail "bench-json: figures should report zero steps"
+# trailing metrics snapshot line with the three registries
+tail -n1 "$TMP/b.json" | grep -q '^{"metrics": {"counters": {.*}, "gauges": {.*}, "histograms": {.*}}}$' \
+  || fail "bench-json: missing metrics snapshot line"
+# --metrics also prints a human summary on stderr
+grep -q '^metric series\.terms [0-9]' "$TMP/err" || fail "bench-json: no metric summary on stderr"
+
+# ------------------------------------------------- trace JSONL sanity
+for f in "$TMP/b.jsonl"; do
+  [ -s "$f" ] || fail "trace: $f is empty"
+  if grep -qv '^{"ev": "' "$f"; then fail "trace: non-event line in $f"; fi
+  grep -q '"ev": "span_begin"' "$f" || fail "trace: no span_begin events"
+  grep -q '"name": "bench.experiment"' "$f" || fail "trace: no experiment spans"
+  grep -q '"ev": "metrics"' "$f" || fail "trace: no metrics event"
+  b=$(grep -c '"ev": "span_begin"' "$f")
+  e=$(grep -c '"ev": "span_end"' "$f")
+  [ "$b" -eq "$e" ] || fail "trace: $b span_begin vs $e span_end"
+done
+
+# ------------------------------------------- CLI --trace and --metrics
+run 0 "cli-trace" "$IPDB" criterion geometric --upto 2000 --trace "$TMP/c.jsonl" --metrics
+[ -s "$TMP/c.jsonl" ] || fail "cli-trace: empty trace"
+grep -q '"name": "criteria.check"' "$TMP/c.jsonl" || fail "cli-trace: no criteria span"
+grep -q '"name": "series.sum"' "$TMP/c.jsonl" || fail "cli-trace: no series span"
+# the metrics summary counts exactly the 2000 evaluated terms
+grep -qx 'metric series\.terms 2000' "$TMP/err" || fail "cli-trace: terms summary not exact"
+
+echo "cli_contract: OK (exit codes 0-4, json schema, trace and metrics surface)"

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Coverage gate for the runtime layers (lib/obs, lib/run): run the test
+# suite with bisect_ppx instrumentation and fail if per-directory line
+# coverage regresses below the recorded baseline
+# (test/coverage_baseline.txt).
+#
+# The dune files of lib/obs, lib/run, lib/par and lib/series carry
+# (instrumentation (backend bisect_ppx)) stanzas, which are inert unless
+# dune is invoked with --instrument-with bisect_ppx — so ordinary builds
+# and CI machines without bisect_ppx are unaffected. When bisect_ppx is
+# not installed this script reports an explicit SKIP (exit 0), never a
+# silent pass: the gate only enforces where it can measure.
+#
+# Usage: test/coverage.sh          (from the repository root)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE=test/coverage_baseline.txt
+
+skip() {
+  echo "coverage: SKIP ($1)" >&2
+  exit 0
+}
+
+command -v ocamlfind > /dev/null 2>&1 || skip "ocamlfind not available"
+ocamlfind query bisect_ppx > /dev/null 2>&1 || skip "bisect_ppx not installed"
+command -v bisect-ppx-report > /dev/null 2>&1 || skip "bisect-ppx-report not available"
+
+rm -f bisect*.coverage
+find _build -name 'bisect*.coverage' -delete 2> /dev/null || true
+
+dune runtest --instrument-with bisect_ppx --force
+
+COV_FILES=$(find . _build -maxdepth 3 -name 'bisect*.coverage' 2> /dev/null | sort -u)
+[ -n "$COV_FILES" ] || skip "no .coverage files were produced"
+
+# Per-file percentages, e.g. "  83.33 %   lib/obs/trace.ml"; average them
+# per gated directory.
+# shellcheck disable=SC2086
+bisect-ppx-report summary --per-file $COV_FILES > _coverage_summary.txt
+trap 'rm -f _coverage_summary.txt bisect*.coverage' EXIT
+
+status=0
+while read -r dir floor; do
+  case "$dir" in ''|\#*) continue ;; esac
+  actual=$(awk -v d="$dir/" '
+    index($0, d) { for (i = 1; i <= NF; i++) if ($i ~ /^[0-9.]+$/) { sum += $i; n++; break } }
+    END { if (n) printf "%.2f", sum / n; else print "none" }' _coverage_summary.txt)
+  if [ "$actual" = "none" ]; then
+    echo "coverage: no instrumented files reported for $dir" >&2
+    status=1
+  elif awk -v a="$actual" -v f="$floor" 'BEGIN { exit !(a < f) }'; then
+    echo "coverage: $dir at ${actual}% is below the recorded baseline ${floor}%" >&2
+    status=1
+  else
+    echo "coverage: $dir ${actual}% (baseline ${floor}%)"
+  fi
+done < "$BASELINE"
+
+exit "$status"

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Crash-recovery integration test (DESIGN.md §7): SIGKILL a journaled bench
 # run mid-flight, resume it from the journal, and require the resumed
 # final report to be byte-identical to an uninterrupted run's.
@@ -9,19 +9,33 @@
 # the bit-identical enclosure. Wall-clock timing lines ("  -- name: 0.12s")
 # are stripped before comparison; everything else must match exactly.
 #
+# If the victim finishes before the SIGKILL lands (a very fast machine),
+# the run proved nothing about recovery: the test reports an explicit
+# SKIP instead of passing vacuously.
+#
 # Usage: crash_recovery.sh /path/to/bench/main.exe
 
-set -u
+set -euo pipefail
 
 BENCH=${1:?usage: crash_recovery.sh BENCH_EXE}
 TMP=$(mktemp -d "${TMPDIR:-/tmp}/ipdb-crash.XXXXXX")
-trap 'rm -rf "$TMP"' EXIT
+VICTIM_PID=""
+cleanup() {
+  [ -n "$VICTIM_PID" ] && kill -9 "$VICTIM_PID" 2> /dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
 
 ONLY=figures,example-3.5,theorem-2.4,resumable-series
 
 fail() {
   echo "crash_recovery: $1" >&2
   exit 1
+}
+
+skip() {
+  echo "crash_recovery: SKIP ($1)" >&2
+  exit 0
 }
 
 # 1. Reference: the same journaled run, uninterrupted.
@@ -33,10 +47,17 @@ fail() {
 #    journal append; recovery must shrug off the torn tail.
 "$BENCH" --only "$ONLY" --journal "$TMP/victim.journal" \
   > "$TMP/victim.out" 2> /dev/null &
-PID=$!
+VICTIM_PID=$!
 sleep 0.25
-kill -9 "$PID" 2> /dev/null
-wait "$PID" 2> /dev/null
+if ! kill -9 "$VICTIM_PID" 2> /dev/null; then
+  # The victim already exited: nothing was interrupted, so a "pass" here
+  # would not exercise recovery at all.
+  wait "$VICTIM_PID" 2> /dev/null || true
+  VICTIM_PID=""
+  skip "victim finished before SIGKILL; crash path not exercised"
+fi
+wait "$VICTIM_PID" 2> /dev/null || true
+VICTIM_PID=""
 
 # 3. Resume from the journal: completed experiments replay verbatim, the
 #    interrupted one restarts from its last exact snapshot.

@@ -1,0 +1,202 @@
+(* Metamorphic properties of the logic layer: the same formula evaluated
+   through independent pipelines (raw tuple-at-a-time evaluator, prenex /
+   NNF / SRNF normal forms, compiled relational-algebra plans) must
+   agree, and the safe-range classification must be invariant under
+   renaming of free variables. Disagreement between any two pipelines
+   pinpoints a semantics bug without needing a ground-truth oracle. *)
+
+module Value = Ipdb_relational.Value
+module Fact = Ipdb_relational.Fact
+module Instance = Ipdb_relational.Instance
+module Fo = Ipdb_logic.Fo
+module Eval = Ipdb_logic.Eval
+module Prenex = Ipdb_logic.Prenex
+module Safe_range = Ipdb_logic.Safe_range
+module View = Ipdb_logic.View
+module Plan = Ipdb_logic.Plan
+
+let vi n = Value.Int n
+let fact r args = Fact.make r (List.map vi args)
+let inst facts = Instance.of_list facts
+let prop ?(count = 300) name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+let fail fmt = Printf.ksprintf QCheck.Test.fail_report fmt
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_var = QCheck.Gen.oneofl [ "x"; "y"; "z" ]
+
+let gen_term =
+  QCheck.Gen.(frequency [ (3, map Fo.v gen_var); (1, map Fo.ci (0 -- 3)) ])
+
+let gen_atom =
+  QCheck.Gen.(
+    oneof
+      [ map2 (fun a b -> Fo.atom "R" [ a; b ]) gen_term gen_term;
+        map (fun a -> Fo.atom "S" [ a ]) gen_term;
+        map2 Fo.eq gen_term gen_term ])
+
+(* The full fragment, for normal-form and safe-range properties. *)
+let gen_formula =
+  let open QCheck.Gen in
+  let rec formula n =
+    if n = 0 then gen_atom
+    else
+      frequency
+        [ (3, gen_atom);
+          (2, map2 (fun a b -> Fo.And (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map2 (fun a b -> Fo.Or (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Implies (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (1, map2 (fun a b -> Fo.Iff (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map (fun a -> Fo.Not a) (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Exists (x, a)) gen_var (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Forall (x, a)) gen_var (formula (n - 1)))
+        ]
+  in
+  formula 3
+
+(* The positive-existential fragment, for the plan-compilation pipeline. *)
+let gen_positive =
+  let open QCheck.Gen in
+  let rec formula n =
+    if n = 0 then gen_atom
+    else
+      frequency
+        [ (3, gen_atom);
+          (2, map2 (fun a b -> Fo.And (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map2 (fun a b -> Fo.Or (a, b)) (formula (n - 1)) (formula (n - 1)));
+          (2, map2 (fun x a -> Fo.Exists (x, a)) gen_var (formula (n - 1)))
+        ]
+  in
+  formula 3
+
+let gen_instance =
+  QCheck.Gen.(
+    let* n = 0 -- 6 in
+    let* facts =
+      list_size (return n)
+        (oneof
+           [ map2 (fun a b -> fact "R" [ a; b ]) (0 -- 3) (0 -- 3);
+             map (fun a -> fact "S" [ a ]) (0 -- 3) ])
+    in
+    return (inst facts))
+
+let arb_sentence_instance =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_formula in
+      let* i = gen_instance in
+      return (Fo.exists_many (Fo.free_vars phi) phi, i))
+
+let arb_formula_instance =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_formula in
+      let* i = gen_instance in
+      return (phi, i))
+
+let arb_positive_instance =
+  QCheck.make
+    ~print:(fun (phi, i) -> Fo.to_string phi ^ " on " ^ Instance.to_string i)
+    QCheck.Gen.(
+      let* phi = gen_positive in
+      let* i = gen_instance in
+      return (phi, i))
+
+(* ------------------------------------------------------------------ *)
+(* Normal-form pipelines agree with raw evaluation                     *)
+(* ------------------------------------------------------------------ *)
+
+let normal_forms_agree (phi, i) =
+  let raw = Eval.holds i phi in
+  let check name form =
+    let v = Eval.holds i form in
+    v = raw || fail "%s disagrees with raw eval on %s: %b vs %b" name (Fo.to_string phi) v raw
+  in
+  check "nnf" (Prenex.nnf phi)
+  && check "prenex" (Prenex.prenex phi)
+  && check "srnf" (Safe_range.srnf phi)
+  && check "prenex∘srnf" (Prenex.prenex (Safe_range.srnf phi))
+
+(* ------------------------------------------------------------------ *)
+(* Plan compilation agrees with the tuple-at-a-time evaluator          *)
+(* ------------------------------------------------------------------ *)
+
+let sorted = List.sort compare
+
+let plan_agrees_with_eval (phi, i) =
+  let head = Fo.free_vars phi in
+  let def = { View.rel = "V"; head; body = phi } in
+  match Plan.answers i def with
+  | Error _ -> true (* unsafe for the algebra: outside the compiled fragment *)
+  | Ok plan_answers ->
+    let fo_answers = Eval.satisfying i head phi in
+    sorted plan_answers = sorted fo_answers
+    || fail "plan and evaluator disagree on %s: %d vs %d answers" (Fo.to_string phi)
+         (List.length plan_answers) (List.length fo_answers)
+
+(* Compiling the prenex form of a positive formula (when it stays
+   compilable) must not change the answers. *)
+let plan_invariant_under_prenex (phi, i) =
+  let head = Fo.free_vars phi in
+  match
+    ( Plan.answers i { View.rel = "V"; head; body = phi },
+      Plan.answers i { View.rel = "V"; head; body = Prenex.prenex phi } )
+  with
+  | Ok a, Ok b ->
+    sorted a = sorted b
+    || fail "prenexing changed the plan's answers on %s" (Fo.to_string phi)
+  | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Safe-range classification is invariant under renaming               *)
+(* ------------------------------------------------------------------ *)
+
+let rename_invariance (phi, i) =
+  match Fo.free_vars phi with
+  | [] -> true
+  | x :: _ ->
+    let y = Fo.fresh_var "w" [ phi ] in
+    let renamed = Fo.rename_free x y phi in
+    let same_class = Safe_range.is_safe_range phi = Safe_range.is_safe_range renamed in
+    (* Truth of the existential closure is also renaming-invariant. *)
+    let close f = Fo.exists_many (Fo.free_vars f) f in
+    let same_truth = Eval.holds i (close phi) = Eval.holds i (close renamed) in
+    if not same_class then
+      fail "renaming %s to %s changed the safe-range verdict of %s" x y (Fo.to_string phi)
+    else if not same_truth then
+      fail "renaming %s to %s changed the truth of %s" x y (Fo.to_string phi)
+    else true
+
+(* SRNF must preserve the safe-range verdict: classification is defined
+   on the SRNF, so normalising first is a fixpoint. *)
+let srnf_fixpoint phi =
+  Safe_range.is_safe_range phi = Safe_range.is_safe_range (Safe_range.srnf phi)
+  || fail "srnf changed the safe-range verdict of %s" (Fo.to_string phi)
+
+let () =
+  Alcotest.run "metamorphic"
+    [
+      ( "normal-forms",
+        [ prop ~count:500 "nnf/prenex/srnf pipelines agree with raw eval" arb_sentence_instance
+            normal_forms_agree
+        ] );
+      ( "plans",
+        [
+          prop ~count:400 "compiled plans agree with the evaluator" arb_positive_instance
+            plan_agrees_with_eval;
+          prop ~count:300 "plan answers survive prenexing" arb_positive_instance
+            plan_invariant_under_prenex;
+        ] );
+      ( "safe-range",
+        [
+          prop ~count:400 "classification and truth survive renaming" arb_formula_instance
+            rename_invariance;
+          prop ~count:400 "srnf is a classification fixpoint"
+            (QCheck.make ~print:Fo.to_string gen_formula)
+            srnf_fixpoint;
+        ] );
+    ]
