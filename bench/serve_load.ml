@@ -1,0 +1,170 @@
+(* Load driver for the serve daemon: many concurrent clients against an
+   in-process server, reporting throughput, latency percentiles, cache
+   hit rate — and, in a deliberate overload phase, the shed rate — as the
+   JSON consumed by BENCH_PR6.json.
+
+   Usage: serve_load.exe [-o FILE] [--clients N] [--requests N] [--jobs N] *)
+
+module Server = Ipdb_serve.Server
+module Client = Ipdb_serve.Client
+module Protocol = Ipdb_serve.Protocol
+
+let out_file = ref "BENCH_PR6.json"
+let clients = ref 8
+let requests = ref 50
+let jobs = ref 2
+
+let () =
+  Arg.parse
+    [
+      ("-o", Arg.Set_string out_file, "FILE output path (default BENCH_PR6.json)");
+      ("--clients", Arg.Set_int clients, "N concurrent client domains (default 8)");
+      ("--requests", Arg.Set_int requests, "N requests per client (default 50)");
+      ("--jobs", Arg.Set_int jobs, "N server worker domains (default 2)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serve_load [-o FILE] [--clients N] [--requests N] [--jobs N]"
+
+(* The steady-state workload: repeated certified queries, so after each
+   distinct query's first computation the daemon answers from the
+   content-addressed cache — the serving regime the daemon is built for. *)
+let workload =
+  [|
+    "version";
+    "classify geometric";
+    "criterion geometric upto=2000";
+    "moments geometric k=2 upto=2000";
+    "classify sensor-bounded";
+    "pqe example-b3 exists x y. R(x,y)";
+    "criterion example-5.5 upto=2000";
+    "moments example-3.5 k=1 upto=55";
+  |]
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("serve_load: " ^ m); exit 1) fmt
+
+let run_client port n offset =
+  let lat = Array.make n 0.0 in
+  let failures = ref 0 in
+  for i = 0 to n - 1 do
+    let payload = workload.((offset + i) mod Array.length workload) in
+    let t0 = Unix.gettimeofday () in
+    (match Client.request ~retries:5 ~port payload with
+    | Ok _ -> ()
+    | Error _ -> incr failures);
+    lat.(i) <- (Unix.gettimeofday () -. t0) *. 1e3
+  done;
+  (lat, !failures)
+
+let () =
+  (* Phase 1: steady state — mixed workload over a comfortable pool. *)
+  let cfg = { Server.default_config with port = 0; jobs = Some !jobs } in
+  let t =
+    match Server.start cfg with
+    | Ok t -> t
+    | Error e -> die "server failed to start: %s" (Ipdb_run.Error.to_string e)
+  in
+  let port = Server.port t in
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    List.init !clients (fun c -> Domain.spawn (fun () -> run_client port !requests (c * 3)))
+  in
+  let results = List.map Domain.join doms in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let lats = Array.concat (List.map fst results) in
+  let failures = List.fold_left (fun a (_, f) -> a + f) 0 results in
+  Array.sort compare lats;
+  let stats = Server.stats t in
+  Server.stop t;
+  let total = Array.length lats in
+  let hit_rate =
+    let h = float_of_int stats.Server.cache_hits
+    and m = float_of_int stats.Server.cache_misses in
+    if h +. m = 0.0 then 0.0 else h /. (h +. m)
+  in
+
+  (* Phase 2: overload — one slow worker, no queue, a burst of clients.
+     The contract: excess load sheds with E_BUSY, nothing crashes, and
+     offered = served + shed + transport failures. *)
+  let cfg2 =
+    {
+      Server.default_config with
+      port = 0;
+      jobs = Some 1;
+      queue_limit = 0;
+      slow_worker = 0.05;
+    }
+  in
+  let t2 =
+    match Server.start cfg2 with
+    | Ok t -> t
+    | Error e -> die "overload server failed to start: %s" (Ipdb_run.Error.to_string e)
+  in
+  let port2 = Server.port t2 in
+  let burst_clients = 6 and burst_requests = 25 in
+  let busy = ref 0 and ok2 = ref 0 and fail2 = ref 0 in
+  let lock = Mutex.create () in
+  let doms2 =
+    List.init burst_clients (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to burst_requests do
+              match Client.request ~retries:5 ~port:port2 "version" with
+              | Ok { Protocol.status = Protocol.Busy; _ } ->
+                  Mutex.lock lock; incr busy; Mutex.unlock lock
+              | Ok _ -> Mutex.lock lock; incr ok2; Mutex.unlock lock
+              | Error _ -> Mutex.lock lock; incr fail2; Mutex.unlock lock
+            done))
+  in
+  List.iter Domain.join doms2;
+  let stats2 = Server.stats t2 in
+  (* the daemon must still answer after the burst: that is the crash check *)
+  let alive = match Client.request ~port:port2 "version" with Ok _ -> true | Error _ -> false in
+  Server.stop t2;
+  let offered = burst_clients * burst_requests in
+  let shed_rate = float_of_int stats2.Server.shed /. float_of_int offered in
+
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "bench/serve_load.exe --clients %d --requests %d --jobs %d",
+  "steady_state": {
+    "clients": %d,
+    "requests": %d,
+    "transport_failures": %d,
+    "elapsed_seconds": %.3f,
+    "throughput_rps": %.1f,
+    "latency_ms": {"p50": %.3f, "p99": %.3f, "max": %.3f},
+    "cache_hits": %d,
+    "cache_misses": %d,
+    "cache_hit_rate": %.4f,
+    "shed": %d
+  },
+  "overload": {
+    "jobs": 1,
+    "queue_limit": 0,
+    "slow_worker_seconds": 0.05,
+    "offered": %d,
+    "served_ok": %d,
+    "shed_busy": %d,
+    "transport_failures": %d,
+    "shed_counter": %d,
+    "shed_rate": %.4f,
+    "alive_after_burst": %b
+  }
+}
+|}
+      !clients !requests !jobs !clients total failures elapsed
+      (float_of_int (total - failures) /. elapsed)
+      (percentile lats 0.50) (percentile lats 0.99)
+      (if total = 0 then 0.0 else lats.(total - 1))
+      stats.Server.cache_hits stats.Server.cache_misses hit_rate stats.Server.shed offered !ok2
+      !busy !fail2 stats2.Server.shed shed_rate alive
+  in
+  let oc = open_out !out_file in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  if not alive then die "daemon stopped answering after the overload burst"

@@ -414,13 +414,9 @@ let construct_cmd =
     (Cmd.info "construct" ~doc:"Run one of the paper's constructions on a demo input")
     Term.(const run $ which_arg)
 
-(* built-in finite TI-PDBs to query against *)
-let builtin_tis () =
-  let b3_ti, _ = Zoo.example_b3 in
-  [ ("example-b3", b3_ti);
-    ("example-5.6", fst (Ipdb_pdb.Ti.Infinite.truncate Zoo.example_5_6_ti ~n:12));
-    ("car-accidents", (Ipdb_core.Bid_repr.represent (fst (Ipdb_pdb.Bid.Infinite.truncate Zoo.car_accidents ~n:6))).Ipdb_core.Bid_repr.ti)
-  ]
+(* built-in finite TI-PDBs to query against (shared with the serve daemon,
+   so `ipdb prob` and a served `pqe` answer over the same PDBs) *)
+let builtin_tis = Ipdb_serve.Server.builtin_tis
 
 let find_ti name =
   match List.assoc_opt name (builtin_tis ()) with
@@ -587,10 +583,143 @@ let zoo_cmd =
   in
   Cmd.v (Cmd.info "zoo" ~doc:"List the built-in probabilistic databases") Term.(const run $ const ())
 
+(* serve: the persistent query daemon *)
+let serve_cmd =
+  let run port jobs queue_limit degraded_steps default_timeout journal cache fault_rate fault_seed
+      slow_worker trace metrics =
+    guard @@ fun () ->
+    setup_obs trace metrics;
+    let cfg =
+      {
+        Ipdb_serve.Server.default_config with
+        port;
+        jobs;
+        queue_limit;
+        degraded_max_steps = degraded_steps;
+        default_timeout;
+        journal;
+        cache_file = cache;
+        fault_rate;
+        fault_seed;
+        slow_worker;
+      }
+    in
+    match Ipdb_serve.Server.run cfg with Ok () -> () | Error e -> fail_typed e
+  in
+  let port_arg =
+    Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 for ephemeral).")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:"Admitted-beyond-workers bound; connections beyond it are shed with E_BUSY.")
+  in
+  let degraded_arg =
+    Arg.(
+      value
+      & opt int 20000
+      & info [ "degraded-max-steps" ] ~docv:"N"
+          ~doc:
+            "Step cap applied to requests admitted while all workers are busy — they return sound \
+             partial verdicts (status 3) instead of queueing unboundedly.")
+  in
+  let default_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-timeout" ] ~docv:"SECS" ~doc:"Per-request deadline when the client sends none.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Journal accepted requests to $(docv) (fsync before compute). After a crash, requests \
+             that were accepted but never answered are replayed on restart.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:"Persist the verdict cache to $(docv) (atomic checkpoints; loaded on start).")
+  in
+  let fault_rate_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P" ~doc:"Arm the serve-worker fault-injection site (tests).")
+  in
+  let fault_seed_arg = Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault PRNG seed.") in
+  let slow_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "slow-worker" ] ~docv:"SECS" ~doc:"Injected per-request delay (tests/bench).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Fault-tolerant persistent query daemon (framed TCP protocol)")
+    Term.(
+      const run $ port_arg $ jobs_arg $ queue_arg $ degraded_arg $ default_timeout_arg $ journal_arg
+      $ cache_arg $ fault_rate_arg $ fault_seed_arg $ slow_arg $ trace_arg $ metrics_arg)
+
+(* request: one-shot client, exit code mirrors the response status *)
+let request_cmd =
+  let run port retries raw payload =
+    guard @@ fun () ->
+    if raw then begin
+      match Ipdb_serve.Client.request_raw ~retries ~port payload with
+      | Ok line ->
+        print_string line;
+        if not (String.length line > 0 && line.[String.length line - 1] = '\n') then print_newline ()
+      | Error msg ->
+        Printf.eprintf "ipdb: %s\n" msg;
+        exit 2
+    end
+    else
+      match Ipdb_serve.Client.request ~retries ~port payload with
+      | Error msg ->
+        Printf.eprintf "ipdb: %s\n" msg;
+        exit 2
+      | Ok { Ipdb_serve.Protocol.status; body } ->
+        Printf.printf "%s %s\n" (Ipdb_serve.Protocol.status_token status) body;
+        exit (Ipdb_serve.Protocol.status_exit_code status)
+  in
+  let port_arg = Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port.") in
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc:"Connect retries (0.1s apart).")
+  in
+  let raw_arg =
+    Arg.(value & flag & info [ "raw" ] ~doc:"Send the payload bytes verbatim, unframed (protocol tests).")
+  in
+  let payload_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST" ~doc:"Request payload, e.g. \"classify geometric upto=2000\".")
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc:"Send one request to a running ipdb serve daemon")
+    Term.(const run $ port_arg $ retries_arg $ raw_arg $ payload_arg)
+
+(* version: package plus every on-disk/wire format version *)
+let version_cmd =
+  let run () = print_endline (Ipdb_serve.Server.version_string ()) in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the package version and all on-disk/wire format versions")
+    Term.(const run $ const ())
+
 let () =
-  let info = Cmd.info "ipdb" ~version:"1.0.0" ~doc:"Tuple-independent representations of infinite PDBs" in
+  let info =
+    Cmd.info "ipdb"
+      ~version:(Ipdb_serve.Server.version_string ())
+      ~doc:"Tuple-independent representations of infinite PDBs"
+  in
   let code =
-    Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd ])
+    Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd; serve_cmd; request_cmd; version_cmd ])
   in
   (* map cmdliner's reserved codes onto the documented contract:
      124 (cli error) → 2 usage, 125 (internal) → 4 internal *)

@@ -47,11 +47,10 @@ let active () = Atomic.get current <> None
 
 (* One write(2) per line: concurrent emitters cannot interleave bytes,
    and a crash tears at most the final line (the schema validator and
-   any reader must tolerate a torn tail, as with the journal). *)
-let write_all fd s =
-  let n = String.length s in
-  let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
-  go 0
+   any reader must tolerate a torn tail, as with the journal). The
+   EINTR-safe loop lives in [Ioutil], shared with the journal and
+   checkpoint writers. *)
+let write_all = Ioutil.write_all
 
 let emit_line line =
   match Atomic.get current with

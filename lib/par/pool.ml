@@ -118,6 +118,18 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join domains
 
+let async t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.async: pool is shut down"
+  end;
+  Deque.push_back t.deque task;
+  Metrics.incr m_tasks;
+  Metrics.max_gauge m_queue_peak (float_of_int t.deque.Deque.len);
+  Condition.signal t.work;
+  Mutex.unlock t.mutex
+
 let map_ordered (type b) t ~(f : 'a -> b) (items : 'a list) : b list =
   match items with
   | [] -> []

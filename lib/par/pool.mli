@@ -26,6 +26,15 @@ val create : ?jobs:int -> unit -> t
 val jobs : t -> int
 (** Number of worker domains. *)
 
+val async : t -> (unit -> unit) -> unit
+(** [async t task] enqueues a fire-and-forget task: some worker runs it
+    eventually, in FIFO order relative to other [async] submissions.  The
+    caller does not wait and gets no result; an exception escaping the
+    task is swallowed by the worker guard (wrap the task if failures must
+    be observed).  This is the submission path of the serve daemon, whose
+    request handlers carry their own socket to respond on.  Raises
+    [Invalid_argument] if the pool is shut down. *)
+
 val map_ordered : t -> f:('a -> 'b) -> 'a list -> 'b list
 (** [map_ordered t ~f xs] applies [f] to every element of [xs] on the
     pool, helping while waiting, and returns the results in input order.

@@ -223,6 +223,17 @@ let pdb_of_string =
            worlds)
     | s -> raise (Bad ("not a pdb form: " ^ sexp_to_string s)))
 
+(* Canonical bytes for a (family, query, precision) request, the preimage
+   of the serve layer's content-addressed verdict cache: parameters are
+   sorted by name and values quoted, so any two syntactic spellings of the
+   same request serialise to identical bytes. *)
+let canonical_key ~op params =
+  let params = List.sort (fun (a, _) (b, _) -> compare a b) params in
+  sexp_to_string
+    (List
+       (Atom "req" :: Atom op
+       :: List.map (fun (k, v) -> List [ Atom k; Atom ("\"" ^ escape v ^ "\"") ]) params))
+
 let io_result ~path f =
   match Ipdb_run.Faultinj.fire Ipdb_run.Faultinj.Io; f () with
   | v -> Ok v

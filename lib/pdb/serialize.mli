@@ -28,6 +28,14 @@ val bid_of_string : string -> (Bid.Finite.t, string) result
 val pdb_to_string : Finite_pdb.t -> string
 val pdb_of_string : string -> (Finite_pdb.t, string) result
 
+val canonical_key : op:string -> (string * string) list -> string
+(** [canonical_key ~op params] is the canonical serialisation of a
+    (family, query, precision) request — a deterministic s-expression
+    [(req op (name "value") ...)] with parameters sorted by name — used as
+    the content-address preimage of the serve layer's verdict cache.
+    Parameters that do not change the answer (budgets, deadlines) must be
+    left out by the caller. *)
+
 val save : string -> path:string -> (unit, Ipdb_run.Error.t) result
 (** Write serialised text to a file. I/O trouble (and armed
     {!Ipdb_run.Faultinj.Io} faults) comes back as a typed [Error], never an

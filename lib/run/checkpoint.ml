@@ -3,6 +3,7 @@
    are detected on load rather than silently resumed from. *)
 
 let magic = "ipdbc1"
+let format_version = magic
 
 module Metrics = Ipdb_obs.Metrics
 module Trace = Ipdb_obs.Trace
@@ -25,44 +26,8 @@ let frame payload =
   Printf.sprintf "%s %d %016Lx\n%s" magic (String.length payload)
     (Journal.checksum payload) payload
 
-let fsync_dir dir =
-  (* Persist the rename itself. Best-effort: not every platform allows
-     fsync on a directory fd, and the write+rename alone already gives
-     old-or-new atomicity. *)
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
-  | fd ->
-      (try Unix.fsync fd with _ -> ());
-      (try Unix.close fd with _ -> ())
-  | exception _ -> ()
-
 let save ~path payload =
-  let dir = Filename.dirname path in
-  let tmp =
-    Filename.concat dir
-      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
-  in
-  let write () =
-    let fd =
-      Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-    in
-    let cleanup () = try Unix.close fd with _ -> () in
-    match
-      let text = frame payload in
-      let len = String.length text in
-      let written = Unix.write_substring fd text 0 len in
-      if written <> len then failwith "short write";
-      Unix.fsync fd
-    with
-    | () ->
-        cleanup ();
-        Unix.rename tmp path;
-        fsync_dir dir
-    | exception e ->
-        cleanup ();
-        (try Sys.remove tmp with _ -> ());
-        raise e
-  in
-  match write () with
+  match Ioutil.atomic_replace ~path (frame payload) with
   | () ->
       Metrics.incr m_saves;
       Metrics.add m_bytes (String.length payload);

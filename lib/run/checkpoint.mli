@@ -11,6 +11,10 @@
     {!load} verifies the frame and returns a typed error for any damage;
     it never raises. *)
 
+val format_version : string
+(** The on-disk frame tag (["ipdbc1"]), printed by [ipdb version] so
+    mixed-version resume fails loudly instead of mysteriously. *)
+
 val save : path:string -> string -> (unit, Error.t) result
 (** Atomically replace the checkpoint at [path] with the given payload. *)
 

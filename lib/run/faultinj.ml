@@ -1,4 +1,4 @@
-type site = Term_eval | Sampling | Io | Certificate
+type site = Term_eval | Sampling | Io | Certificate | Serve_worker
 
 exception Injected of site
 
@@ -7,6 +7,7 @@ let site_name = function
   | Sampling -> "sampling"
   | Io -> "io"
   | Certificate -> "certificate"
+  | Serve_worker -> "serve-worker"
 
 type state = { sites : site list; rng : Random.State.t; rate : float; mutable count : int }
 

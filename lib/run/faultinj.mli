@@ -16,6 +16,7 @@ type site =
   | Sampling  (** possible-world sampling *)
   | Io  (** serializer file I/O *)
   | Certificate  (** certificate validation *)
+  | Serve_worker  (** serve-daemon request handling (crash / slow-worker drives) *)
 
 exception Injected of site
 

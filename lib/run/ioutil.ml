@@ -1,0 +1,94 @@
+(* Shared durable-I/O discipline: EINTR-safe write loops, fsync-before-ack,
+   atomic temp+fsync+rename replacement, and the FNV-1a/64 + line-escaping
+   framing integrity bits used by every on-disk format. See ioutil.mli. *)
+
+let rec write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+and fsync fd =
+  match Unix.fsync fd with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> fsync fd
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try fsync fd with _ -> ());
+      (try Unix.close fd with _ -> ())
+  | exception _ -> ()
+
+let checksum s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents b)
+    else
+      match s.[i] with
+      | '\\' ->
+          if i + 1 >= n then Error "dangling escape at end of payload"
+          else (
+            match s.[i + 1] with
+            | '\\' ->
+                Buffer.add_char b '\\';
+                go (i + 2)
+            | 'n' ->
+                Buffer.add_char b '\n';
+                go (i + 2)
+            | 'r' ->
+                Buffer.add_char b '\r';
+                go (i + 2)
+            | c -> Error (Printf.sprintf "invalid escape '\\%c'" c))
+      | '\n' | '\r' -> Error "unescaped line break in payload"
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0
+
+let atomic_replace ~path text =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let cleanup () = try Unix.close fd with _ -> () in
+  match
+    write_all fd text;
+    fsync fd
+  with
+  | () ->
+      cleanup ();
+      Unix.rename tmp path;
+      fsync_dir dir
+  | exception e ->
+      cleanup ();
+      (try Sys.remove tmp with _ -> ());
+      raise e

@@ -1,0 +1,50 @@
+(** Shared durable-I/O discipline.
+
+    One home for the low-level habits every persistent artifact in the
+    system relies on — the journal ([lib/run/journal.ml]), the trace sink
+    ([lib/obs/sink.ml]), checkpoint files ([lib/run/checkpoint.ml]) and the
+    serve verdict cache ([lib/serve/cache.ml]) all write through here:
+
+    - {b EINTR-safe write loops}: a signal landing mid-[write(2)] (SIGTERM
+      during drain, SIGCHLD from a test harness) must never tear a record
+      or drop bytes;
+    - {b fsync-before-ack}: a record is durable before the caller
+      proceeds;
+    - {b atomic replace}: temp file + fsync + rename in the same
+      directory, so readers observe old-or-new, never a torn file;
+    - {b FNV-1a/64 checksums} and line-safe escaping, the framing
+      integrity discipline shared by every on-disk format.
+
+    This library deliberately depends only on [unix], so both [ipdb_obs]
+    and [ipdb_run] (which depends on [ipdb_obs]) can build on it. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, retrying on [EINTR] and short writes.
+    @raise Unix.Unix_error on any other failure. *)
+
+val fsync : Unix.file_descr -> unit
+(** [fsync(2)], retrying on [EINTR].
+    @raise Unix.Unix_error on any other failure. *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory, to persist a rename. Never raises:
+    not every platform allows fsync on a directory fd, and the
+    write+rename alone already gives old-or-new atomicity. *)
+
+val checksum : string -> int64
+(** FNV-1a, 64-bit. Dependency-free and plenty for torn-write detection;
+    an integrity check, not an adversarial MAC. *)
+
+val escape : string -> string
+(** Make arbitrary payload bytes line-safe: ['\\'] → ["\\\\"], newline →
+    ["\\n"], carriage return → ["\\r"]. *)
+
+val unescape : string -> (string, string) result
+(** Total inverse of {!escape}; malformed input yields a diagnostic. *)
+
+val atomic_replace : path:string -> string -> unit
+(** Atomically replace the contents of [path]: write to a temp file in the
+    same directory, fsync it, rename over [path], then best-effort fsync
+    the directory. On failure the temp file is removed and the original
+    [path] is untouched.
+    @raise Unix.Unix_error or [Failure] on I/O trouble. *)

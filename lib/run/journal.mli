@@ -16,6 +16,10 @@
     This is the crash-consistency contract the bench suite's [--resume]
     and the corruption fuzz tests rely on. *)
 
+val format_version : string
+(** The on-disk record format tag (["ipdbj1"]), printed by [ipdb version]
+    so mixed-version replay fails loudly instead of mysteriously. *)
+
 type t
 (** An open journal handle for appending. *)
 
@@ -41,6 +45,14 @@ val recover : path:string -> (recovery, Error.t) result
     empty, clean journal (so a first run and a resumed run share one code
     path); unreadable files surface as [Error (Io _)]. Damaged or torn
     records never raise — they terminate the prefix with {!Torn}. *)
+
+val repair : path:string -> (recovery, Error.t) result
+(** {!recover}, then — if the tail was torn — atomically rewrite the file
+    to exactly the valid prefix (temp + fsync + rename), so that later
+    appends land on a clean tail instead of burying the damage mid-file.
+    Returns the recovered records with [tail = Clean] on success. A
+    process that reopens its journal for appending across crashes (the
+    serve daemon) must use this instead of {!recover}. *)
 
 val checksum : string -> int64
 (** FNV-1a/64 of a string (exposed for tests and cross-checking). *)

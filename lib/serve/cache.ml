@@ -1,0 +1,124 @@
+(* Content-addressed verdict cache with versioned, atomic persistence.
+   See cache.mli. *)
+
+module Metrics = Ipdb_obs.Metrics
+module Checkpoint = Ipdb_run.Checkpoint
+
+let format_version = "ipdbsc1"
+
+let m_hits = Metrics.counter "serve.cache_hits"
+let m_misses = Metrics.counter "serve.cache_misses"
+
+type entry = { key : string; response : string }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t; (* content address -> entry *)
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create () =
+  { tbl = Hashtbl.create 64; lock = Mutex.create (); hits = Atomic.make 0; misses = Atomic.make 0 }
+
+let address key = Printf.sprintf "%016Lx" (Ioutil.checksum key)
+
+let find t ~key =
+  Mutex.lock t.lock;
+  let found = Hashtbl.find_opt t.tbl (address key) in
+  Mutex.unlock t.lock;
+  match found with
+  | Some e when e.key = key ->
+      Atomic.incr t.hits;
+      Metrics.incr m_hits;
+      Some e.response
+  | _ ->
+      Atomic.incr t.misses;
+      Metrics.incr m_misses;
+      None
+
+let put t ~key response =
+  Mutex.lock t.lock;
+  Hashtbl.replace t.tbl (address key) { key; response };
+  Mutex.unlock t.lock
+
+let size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+
+(* Snapshot lines: "<addr> <klen> <rlen> <escaped-key> <escaped-response>"
+   where klen/rlen are the byte lengths of the *escaped* fields, so the
+   decoder slices at fixed offsets and spaces inside keys survive. *)
+let entry_to_line e =
+  let ek = Ioutil.escape e.key and er = Ioutil.escape e.response in
+  Printf.sprintf "%s %d %d %s %s" (address e.key) (String.length ek) (String.length er) ek er
+
+let entry_of_line line =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.split_on_char ' ' line with
+  | addr :: klen_s :: rlen_s :: _ -> (
+      match (int_of_string_opt klen_s, int_of_string_opt rlen_s) with
+      | Some klen, Some rlen when klen >= 0 && rlen >= 0 -> (
+          let head =
+            String.length addr + 1 + String.length klen_s + 1 + String.length rlen_s + 1
+          in
+          if String.length line <> head + klen + 1 + rlen then
+            fail "entry length mismatch"
+          else
+            let ek = String.sub line head klen in
+            let er = String.sub line (head + klen + 1) rlen in
+            match (Ioutil.unescape ek, Ioutil.unescape er) with
+            | Ok key, Ok response ->
+                if address key <> addr then fail "entry address mismatch"
+                else Ok { key; response }
+            | Error m, _ | _, Error m -> fail "entry key/response: %s" m)
+      | _ -> fail "unparsable entry lengths")
+  | _ -> fail "malformed entry line"
+
+let to_string t =
+  Mutex.lock t.lock;
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [] in
+  Mutex.unlock t.lock;
+  (* Sort by address so snapshots of equal content are byte-identical. *)
+  let entries = List.sort (fun a b -> compare (address a.key) (address b.key)) entries in
+  String.concat "\n" (format_version :: List.map entry_to_line entries)
+
+let of_string text =
+  match String.split_on_char '\n' text with
+  | [] -> Error "empty cache snapshot"
+  | v :: lines ->
+      if v <> format_version then
+        Error
+          (Printf.sprintf
+             "cache format mismatch: snapshot has %S, this binary writes %S — refusing \
+              mixed-version replay"
+             v format_version)
+      else
+        let t = create () in
+        let rec go i = function
+          | [] -> Ok t
+          | "" :: rest -> go (i + 1) rest
+          | line :: rest -> (
+              match entry_of_line line with
+              | Ok e ->
+                  Hashtbl.replace t.tbl (address e.key) e;
+                  go (i + 1) rest
+              | Error m -> Error (Printf.sprintf "cache snapshot line %d: %s" i m))
+        in
+        go 2 lines
+
+let checkpoint t ~path = Checkpoint.save ~path (to_string t)
+
+let load ~path =
+  match Checkpoint.load ~path with
+  | Error e -> Error e
+  | Ok None -> Ok (create ())
+  | Ok (Some payload) -> (
+      match of_string payload with
+      | Ok t -> Ok t
+      | Error msg -> Error (Ipdb_run.Error.Validation { what = "cache " ^ path; msg }))

@@ -1,0 +1,52 @@
+(** Content-addressed verdict/marginal cache.
+
+    Entries are keyed by the FNV-1a/64 content address of the canonical
+    {!Ipdb_pdb.Serialize.canonical_key} bytes of a (family, query,
+    precision) request, with the full preimage stored alongside the
+    response so an address collision degrades to a miss, never to a wrong
+    answer. Repeated traffic is O(hash): the daemon answers a hit with the
+    exact cached response bytes, so a cached answer is byte-identical to
+    the fresh computation that produced it (asserted end-to-end by
+    [test/serve_crash.sh]).
+
+    The cache is domain-safe (one mutex) and durable on demand:
+    {!checkpoint} persists a versioned snapshot through
+    {!Ipdb_run.Checkpoint} (atomic temp+fsync+rename via [Ioutil]), and
+    {!load} refuses snapshots written by a different cache format version
+    — mixed-version replay fails loudly instead of mysteriously. *)
+
+type t
+
+val format_version : string
+(** The snapshot format tag (["ipdbsc1"]), printed by [ipdb version]. *)
+
+val create : unit -> t
+
+val address : string -> string
+(** The content address of a key: FNV-1a/64 of the canonical bytes, as 16
+    hex digits. *)
+
+val find : t -> key:string -> string option
+(** Cached response payload for a canonical key, if present (and the
+    stored preimage matches — a colliding address is a miss). Records a
+    hit/miss metric either way. *)
+
+val put : t -> key:string -> string -> unit
+(** Insert or overwrite the response payload for a key. *)
+
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Versioned snapshot encoding (first line is {!format_version}); the
+    decoder rejects other versions and damaged entries with a diagnostic. *)
+
+val checkpoint : t -> path:string -> (unit, Ipdb_run.Error.t) result
+(** Atomically persist a snapshot ({!Ipdb_run.Checkpoint} framing: temp
+    file + fsync + rename + checksummed header). *)
+
+val load : path:string -> (t, Ipdb_run.Error.t) result
+(** Load a snapshot; a missing file is an empty cache. Damage or a
+    format-version mismatch is a typed [Error], never a silent reset. *)

@@ -1,0 +1,60 @@
+(* One-shot serve client. See client.mli. *)
+
+let connect ?(retries = 0) ?(delay = 0.1) ~port () =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let rec go attempt =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with _ -> ());
+        if attempt < retries then begin
+          Unix.sleepf delay;
+          go (attempt + 1)
+        end
+        else Error (Printf.sprintf "connect 127.0.0.1:%d: %s" port (Unix.error_message e))
+  in
+  go 0
+
+let with_conn ?retries ~port f =
+  match connect ?retries ~port () with
+  | Error _ as e -> e
+  | Ok fd ->
+      let r = try f fd with e -> (try Unix.close fd with _ -> ()); raise e in
+      (try Unix.close fd with _ -> ());
+      r
+
+let request ?retries ~port payload =
+  with_conn ?retries ~port @@ fun fd ->
+  Protocol.write_frame fd payload;
+  match Protocol.read_frame fd with
+  | Error _ as e -> e
+  | Ok resp_payload -> Protocol.parse_response resp_payload
+
+(* Read one raw line (through the first '\n', or to EOF) without frame
+   parsing, so tests can inspect the server's bytes exactly. *)
+let read_line_raw fd =
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (e, _, _) ->
+        if Buffer.length buf = 0 then Error (Unix.error_message e) else Ok (Buffer.contents buf)
+    | 0 -> Ok (Buffer.contents buf)
+    | n -> (
+        match Bytes.index_from_opt chunk 0 '\n' with
+        | Some i when i < n ->
+            Buffer.add_subbytes buf chunk 0 (i + 1);
+            Ok (Buffer.contents buf)
+        | _ ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ())
+  in
+  go ()
+
+let request_raw ?retries ~port bytes =
+  with_conn ?retries ~port @@ fun fd ->
+  (* raw means raw: write the caller's bytes, not a frame *)
+  (try Ioutil.write_all fd bytes with _ -> ());
+  read_line_raw fd

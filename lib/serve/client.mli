@@ -1,0 +1,17 @@
+(** One-shot client for the {!Server} daemon: one framed request per
+    connection, used by [ipdb request], the wire-contract tests and the
+    load bench. *)
+
+val connect : ?retries:int -> ?delay:float -> port:int -> unit -> (Unix.file_descr, string) result
+(** TCP connect to [127.0.0.1:port]. Retries [retries] times (default 0)
+    sleeping [delay] seconds (default 0.1) between attempts — scripts use
+    this to wait out daemon startup. *)
+
+val request : ?retries:int -> port:int -> string -> (Protocol.response, string) result
+(** Send one request payload, read the framed response, close. [Error]
+    covers transport failures and protocol damage, never server-side
+    statuses — an [E_BUSY] shed is an [Ok] response with {!Protocol.Busy}. *)
+
+val request_raw : ?retries:int -> port:int -> string -> (string, string) result
+(** Send raw bytes verbatim (no framing — the malformed-frame test path)
+    and read back one response line, unparsed. *)

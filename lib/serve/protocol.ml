@@ -1,0 +1,249 @@
+(* Wire protocol: journal-style length-prefixed line framing plus the
+   request/response grammar. See protocol.mli for the contract. *)
+
+let version = "ipdbs1"
+let magic = version
+let package_version = "1.0.0"
+let max_payload = 65536
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame payload =
+  Printf.sprintf "%s %d %s\n" magic (String.length payload) (Ioutil.escape payload)
+
+let parse_frame line =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt line ' ' with
+  | None -> fail "missing frame header"
+  | Some sp1 -> (
+      if String.sub line 0 sp1 <> magic then
+        fail "bad magic (expected %s)" magic
+      else
+        match String.index_from_opt line (sp1 + 1) ' ' with
+        | None -> fail "truncated header (no length field)"
+        | Some sp2 -> (
+            let len_s = String.sub line (sp1 + 1) (sp2 - sp1 - 1) in
+            let body = String.sub line (sp2 + 1) (String.length line - sp2 - 1) in
+            match int_of_string_opt len_s with
+            | None -> fail "unparsable length %S" len_s
+            | Some len when len < 0 -> fail "negative length"
+            | Some len when len > max_payload ->
+                fail "frame too large (%d bytes, limit %d)" len max_payload
+            | Some len -> (
+                match Ioutil.unescape body with
+                | Error m -> fail "payload: %s" m
+                | Ok payload ->
+                    if String.length payload <> len then
+                      fail "length mismatch: header says %d, payload has %d" len
+                        (String.length payload)
+                    else Ok payload)))
+
+(* A frame is one line; the escaped form of a max_payload payload plus its
+   header is bounded, so a reader that saw this many bytes without a
+   newline is looking at garbage and can stop. *)
+let max_line = (2 * max_payload) + 64
+
+let read_frame fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "read failed: %s" (Unix.error_message e))
+    | 0 ->
+        if Buffer.length buf = 0 then Error "connection closed before a frame arrived"
+        else Error "connection closed mid-frame"
+    | n -> (
+        match Bytes.index_from_opt chunk 0 '\n' with
+        | Some i when i < n ->
+            Buffer.add_subbytes buf chunk 0 i;
+            parse_frame (Buffer.contents buf)
+        | _ ->
+            Buffer.add_subbytes buf chunk 0 n;
+            if Buffer.length buf > max_line then Error "frame exceeds line limit"
+            else go ())
+  in
+  go ()
+
+let write_frame fd payload = Ioutil.write_all fd (frame payload)
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Version
+  | Stats
+  | Classify of { family : string; upto : int }
+  | Moments of { family : string; k : int; upto : int }
+  | Criterion of { family : string; c : int; upto : int }
+  | Pqe of { ti : string; query : string }
+
+type budget_opts = { timeout : float option; max_steps : int option }
+
+let no_budget = { timeout = None; max_steps = None }
+let default_upto = 2000
+
+let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* key=value parameters shared by the series ops *)
+type params = {
+  mutable upto : int;
+  mutable k : int;
+  mutable c : int;
+  mutable p_timeout : float option;
+  mutable p_max_steps : int option;
+}
+
+let parse_params words =
+  let p = { upto = default_upto; k = 1; c = 1; p_timeout = None; p_max_steps = None } in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let pos_int name v k =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> k n
+    | _ -> err "parameter %s needs a positive integer, got %S" name v
+  in
+  let rec go = function
+    | [] -> Ok p
+    | w :: rest -> (
+        match String.index_opt w '=' with
+        | None -> err "malformed parameter %S (expected name=value)" w
+        | Some eq -> (
+            let name = String.sub w 0 eq in
+            let v = String.sub w (eq + 1) (String.length w - eq - 1) in
+            match name with
+            | "upto" -> pos_int name v (fun n -> p.upto <- n; go rest)
+            | "k" -> pos_int name v (fun n -> p.k <- n; go rest)
+            | "c" -> pos_int name v (fun n -> p.c <- n; go rest)
+            | "max_steps" -> pos_int name v (fun n -> p.p_max_steps <- Some n; go rest)
+            | "timeout" -> (
+                match float_of_string_opt v with
+                | Some t when t > 0. && Float.is_finite t ->
+                    p.p_timeout <- Some t;
+                    go rest
+                | _ -> err "parameter timeout needs a positive number, got %S" v)
+            | _ -> err "unknown parameter %S" name))
+  in
+  go words
+
+let budget_of_params p = { timeout = p.p_timeout; max_steps = p.p_max_steps }
+
+let parse_request payload =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match split_words payload with
+  | [] -> err "empty request"
+  | [ "version" ] -> Ok (Version, no_budget)
+  | [ "stats" ] -> Ok (Stats, no_budget)
+  | "version" :: _ | "stats" :: _ -> err "this op takes no arguments"
+  | "classify" :: family :: rest ->
+      Result.bind (parse_params rest) (fun p ->
+          Ok (Classify { family; upto = p.upto }, budget_of_params p))
+  | "moments" :: family :: rest ->
+      Result.bind (parse_params rest) (fun p ->
+          Ok (Moments { family; k = p.k; upto = p.upto }, budget_of_params p))
+  | "criterion" :: family :: rest ->
+      Result.bind (parse_params rest) (fun p ->
+          Ok (Criterion { family; c = p.c; upto = p.upto }, budget_of_params p))
+  | "pqe" :: ti :: (_ :: _ as query) -> Ok (Pqe { ti; query = String.concat " " query }, no_budget)
+  | "pqe" :: _ -> err "pqe needs a PDB name and a sentence"
+  | [ ("classify" | "moments" | "criterion") ] -> err "missing FAMILY argument"
+  | op :: _ -> err "unknown op %S (version|stats|classify|moments|criterion|pqe)" op
+
+let request_to_payload req opts =
+  let budget =
+    (match opts.timeout with Some t -> [ Printf.sprintf "timeout=%g" t ] | None -> [])
+    @ match opts.max_steps with Some n -> [ Printf.sprintf "max_steps=%d" n ] | None -> []
+  in
+  let words =
+    match req with
+    | Version -> [ "version" ]
+    | Stats -> [ "stats" ]
+    | Classify { family; upto } -> [ "classify"; family; Printf.sprintf "upto=%d" upto ] @ budget
+    | Moments { family; k; upto } ->
+        [ "moments"; family; Printf.sprintf "k=%d" k; Printf.sprintf "upto=%d" upto ] @ budget
+    | Criterion { family; c; upto } ->
+        [ "criterion"; family; Printf.sprintf "c=%d" c; Printf.sprintf "upto=%d" upto ] @ budget
+    | Pqe { ti; query } -> [ "pqe"; ti; query ]
+  in
+  String.concat " " words
+
+module Serialize = Ipdb_pdb.Serialize
+
+let cache_key = function
+  | Version | Stats -> None
+  | Classify { family; upto } ->
+      Some (Serialize.canonical_key ~op:"classify" [ ("family", family); ("upto", string_of_int upto) ])
+  | Moments { family; k; upto } ->
+      Some
+        (Serialize.canonical_key ~op:"moments"
+           [ ("family", family); ("k", string_of_int k); ("upto", string_of_int upto) ])
+  | Criterion { family; c; upto } ->
+      Some
+        (Serialize.canonical_key ~op:"criterion"
+           [ ("family", family); ("c", string_of_int c); ("upto", string_of_int upto) ])
+  | Pqe { ti; query } ->
+      (* Canonicalise the sentence through the parser so spelling variants
+         of one query share a cache slot; unparsable sentences get no key
+         (the request is about to fail with status 2 anyway). *)
+      let query =
+        match Ipdb_logic.Parser.sentence query with
+        | Ok phi -> Ipdb_logic.Fo.to_string phi
+        | Error _ -> query
+      in
+      Some (Serialize.canonical_key ~op:"pqe" [ ("ti", ti); ("query", query) ])
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type status = Ok_positive | Certified_negative | Bad_request | Partial | Internal | Busy | Proto
+
+let status_token = function
+  | Ok_positive -> "0"
+  | Certified_negative -> "1"
+  | Bad_request -> "2"
+  | Partial -> "3"
+  | Internal -> "4"
+  | Busy -> "E_BUSY"
+  | Proto -> "E_PROTO"
+
+let status_of_token = function
+  | "0" -> Some Ok_positive
+  | "1" -> Some Certified_negative
+  | "2" -> Some Bad_request
+  | "3" -> Some Partial
+  | "4" -> Some Internal
+  | "E_BUSY" -> Some Busy
+  | "E_PROTO" -> Some Proto
+  | _ -> None
+
+let status_exit_code = function
+  | Ok_positive -> 0
+  | Certified_negative -> 1
+  | Bad_request -> 2
+  | Partial -> 3
+  | Internal -> 4
+  | Busy -> 3
+  | Proto -> 2
+
+type response = { status : status; body : string }
+
+let render_response { status; body } =
+  if body = "" then status_token status else status_token status ^ " " ^ body
+
+let parse_response payload =
+  let token, body =
+    match String.index_opt payload ' ' with
+    | None -> (payload, "")
+    | Some sp -> (String.sub payload 0 sp, String.sub payload (sp + 1) (String.length payload - sp - 1))
+  in
+  match status_of_token token with
+  | Some status -> Ok { status; body }
+  | None -> Error (Printf.sprintf "unknown status token %S" token)
+
+let cacheable = function
+  | Ok_positive | Certified_negative -> true
+  | Bad_request | Partial | Internal | Busy | Proto -> false

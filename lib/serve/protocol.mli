@@ -1,0 +1,112 @@
+(** Wire protocol of the [ipdb serve] daemon.
+
+    {b Framing.} Every message — request or response — is one
+    length-prefixed line:
+
+    {v ipdbs1 <length> <escaped-payload>\n v}
+
+    where [length] is the byte length of the {e raw} payload (before
+    escaping) and the escaping ([Ioutil.escape]) makes arbitrary payload
+    bytes line-safe — the same discipline as the journal's record framing,
+    so a torn connection damages at most the in-flight frame and is always
+    detectable. Frames above {!max_payload} raw bytes are rejected.
+
+    {b Requests} (payload grammar, one per connection):
+
+    {v
+  version
+  stats
+  classify  FAMILY [upto=N] [timeout=S] [max_steps=N]
+  moments   FAMILY [k=K] [upto=N] [timeout=S] [max_steps=N]
+  criterion FAMILY [c=C] [upto=N] [timeout=S] [max_steps=N]
+  pqe       PDB SENTENCE...
+    v}
+
+    {b Responses} are [<status> <body>] where the status token mirrors the
+    CLI exit-code contract 0–4, plus two server-only rejections:
+
+    - [0] success / certified-positive verdict
+    - [1] certified-negative verdict
+    - [2] bad request (unknown op, unknown family, parse error)
+    - [3] budget exhausted: the body is a sound partial verdict
+    - [E_BUSY] load shed: admission control refused the request
+    - [E_PROTO] malformed frame; the connection is closed after it
+    - [4] internal error (invalid certificate, injected fault, bug) *)
+
+val version : string
+(** Protocol format tag, ["ipdbs1"]. *)
+
+val package_version : string
+(** The ipdb package version. *)
+
+val max_payload : int
+(** Upper bound on raw payload bytes per frame (64 KiB). *)
+
+(** {1 Framing} *)
+
+val frame : string -> string
+(** Wrap a raw payload into one framed line (with trailing newline). *)
+
+val parse_frame : string -> (string, string) result
+(** Parse one framed line (without its trailing newline) back to the raw
+    payload; diagnostics for bad magic, bad length, oversize, or damaged
+    escapes. *)
+
+val read_frame : Unix.file_descr -> (string, string) result
+(** Read bytes until the first newline (bounded by an escaped
+    {!max_payload}) and parse the frame. [Error] on EOF, timeouts
+    ([SO_RCVTIMEO] on the fd), oversize input, or a malformed frame. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame and send a payload ({!Ioutil.write_all}; EINTR-safe).
+    @raise Unix.Unix_error when the peer is gone — callers at the serve
+    boundary must treat that as a torn connection, not a crash. *)
+
+(** {1 Requests} *)
+
+type request =
+  | Version
+  | Stats
+  | Classify of { family : string; upto : int }
+  | Moments of { family : string; k : int; upto : int }
+  | Criterion of { family : string; c : int; upto : int }
+  | Pqe of { ti : string; query : string }
+
+type budget_opts = { timeout : float option; max_steps : int option }
+
+val parse_request : string -> (request * budget_opts, string) result
+(** Parse a request payload. Unknown ops, malformed parameters and missing
+    arguments yield a diagnostic (the server answers it with status [2]). *)
+
+val request_to_payload : request -> budget_opts -> string
+(** Render back to the wire grammar (inverse of {!parse_request} up to
+    parameter order). *)
+
+val cache_key : request -> string option
+(** Canonical content-address preimage of the (family, query, precision)
+    triple, via {!Ipdb_pdb.Serialize.canonical_key}. [None] for requests
+    that must not be cached ([version], [stats]). Budget options are
+    deliberately excluded: a cached answer is a {e completed} verdict,
+    valid whatever budget the asker would have allowed. *)
+
+(** {1 Responses} *)
+
+type status = Ok_positive | Certified_negative | Bad_request | Partial | Internal | Busy | Proto
+
+val status_token : status -> string
+val status_of_token : string -> status option
+
+val status_exit_code : status -> int
+(** The CLI exit code a one-shot client maps the status to: [0]–[4] for
+    the mirror statuses, [3] for [E_BUSY] (resource exhaustion), [2] for
+    [E_PROTO]. *)
+
+type response = { status : status; body : string }
+
+val render_response : response -> string
+val parse_response : string -> (response, string) result
+
+val cacheable : status -> bool
+(** Only completed certified verdicts ([0] and [1]) enter the verdict
+    cache; partial verdicts depend on the asker's budget and errors are
+    not answers. *)

@@ -1,0 +1,666 @@
+(* The persistent query daemon. See server.mli for the robustness model. *)
+
+module Budget = Ipdb_run.Budget
+module Run_error = Ipdb_run.Error
+module Journal = Ipdb_run.Journal
+module Checkpoint = Ipdb_run.Checkpoint
+module Faultinj = Ipdb_run.Faultinj
+module Pool = Ipdb_par.Pool
+module Metrics = Ipdb_obs.Metrics
+module Trace = Ipdb_obs.Trace
+module Json = Ipdb_obs.Json
+module Zoo = Ipdb_core.Zoo
+module Criteria = Ipdb_core.Criteria
+module Classifier = Ipdb_core.Classifier
+module Interval = Ipdb_series.Interval
+module Family = Ipdb_pdb.Family
+module Q = Ipdb_bignum.Q
+
+type config = {
+  port : int;
+  jobs : int option;
+  queue_limit : int;
+  degraded_max_steps : int;
+  default_timeout : float option;
+  max_timeout : float;
+  read_timeout : float;
+  journal : string option;
+  cache_file : string option;
+  checkpoint_every : int;
+  fault_rate : float;
+  fault_seed : int;
+  slow_worker : float;
+}
+
+let default_config =
+  {
+    port = 7411;
+    jobs = None;
+    queue_limit = 16;
+    degraded_max_steps = 20_000;
+    default_timeout = None;
+    max_timeout = 30.0;
+    read_timeout = 30.0;
+    journal = None;
+    cache_file = None;
+    checkpoint_every = 32;
+    fault_rate = 0.0;
+    fault_seed = 0;
+    slow_worker = 0.0;
+  }
+
+let m_accepted = Metrics.counter "serve.accepted"
+let m_served = Metrics.counter "serve.served"
+let m_shed = Metrics.counter "serve.shed"
+let m_degraded = Metrics.counter "serve.degraded"
+let m_replayed = Metrics.counter "serve.replayed"
+let m_torn = Metrics.counter "serve.torn_connections"
+let m_proto_errors = Metrics.counter "serve.proto_errors"
+let m_queue_depth = Metrics.gauge "serve.queue_depth"
+let m_latency_ms = Metrics.histogram "serve.latency_ms"
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Pool.t;
+  cache : Cache.t;
+  journal : Journal.t option;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  in_flight : int Atomic.t;
+  next_id : int Atomic.t;
+  completions : int Atomic.t; (* computations since the last cache checkpoint *)
+  n_accepted : int Atomic.t;
+  n_served : int Atomic.t;
+  n_shed : int Atomic.t;
+  n_degraded : int Atomic.t;
+  n_replayed : int Atomic.t;
+  jobs : int;
+  capacity : int;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let port t = t.bound_port
+
+let version_string () =
+  Printf.sprintf "ipdb %s proto=%s journal=%s checkpoint=%s cache=%s" Protocol.package_version
+    Protocol.version Journal.format_version Checkpoint.format_version Cache.format_version
+
+let builtin_tis () =
+  let b3_ti, _ = Zoo.example_b3 in
+  [
+    ("example-b3", b3_ti);
+    ("example-5.6", fst (Ipdb_pdb.Ti.Infinite.truncate Zoo.example_5_6_ti ~n:12));
+    ( "car-accidents",
+      (Ipdb_core.Bid_repr.represent (fst (Ipdb_pdb.Bid.Infinite.truncate Zoo.car_accidents ~n:6)))
+        .Ipdb_core.Bid_repr.ti );
+  ]
+
+type stats = {
+  accepted : int;
+  served : int;
+  shed : int;
+  degraded : int;
+  replayed : int;
+  in_flight : int;
+  cache_size : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let stats (t : t) =
+  {
+    accepted = Atomic.get t.n_accepted;
+    served = Atomic.get t.n_served;
+    shed = Atomic.get t.n_shed;
+    degraded = Atomic.get t.n_degraded;
+    replayed = Atomic.get t.n_replayed;
+    in_flight = Atomic.get t.in_flight;
+    cache_size = Cache.size t.cache;
+    cache_hits = Cache.hits t.cache;
+    cache_misses = Cache.misses t.cache;
+  }
+
+let stats_json t =
+  let s = stats t in
+  Json.to_string
+    (Json.Obj
+       [
+         ("accepted", Json.Int s.accepted);
+         ("served", Json.Int s.served);
+         ("shed", Json.Int s.shed);
+         ("degraded", Json.Int s.degraded);
+         ("replayed", Json.Int s.replayed);
+         ("in_flight", Json.Int s.in_flight);
+         ("cache_size", Json.Int s.cache_size);
+         ("cache_hits", Json.Int s.cache_hits);
+         ("cache_misses", Json.Int s.cache_misses);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+open Protocol
+
+let status_of_run_error e =
+  match Run_error.exit_code e with
+  | 2 -> Bad_request
+  | 3 -> Partial
+  | _ -> Internal
+
+let status_of_series_verdict = function
+  | Criteria.Finite_sum _ -> Ok_positive
+  | Criteria.Infinite_sum _ -> Certified_negative
+  | Criteria.Partial _ -> Partial
+  | Criteria.Invalid_certificate _ -> Internal
+  | Criteria.Check_failed e -> status_of_run_error e
+
+(* The per-request budget: client-supplied limits clamped by the server,
+   plus the degraded-rung step cap. The degraded cap is steps, not
+   wall-clock, so a degraded Partial verdict is deterministic and a
+   replayed request reaches the same answer. *)
+let budget_of cfg opts ~degraded =
+  let timeout =
+    match opts.timeout with
+    | Some s -> Some (Float.min s cfg.max_timeout)
+    | None -> cfg.default_timeout
+  in
+  let max_steps =
+    let cap = if degraded then Some cfg.degraded_max_steps else None in
+    match (opts.max_steps, cap) with
+    | Some a, Some b -> Some (min a b)
+    | Some a, None -> Some a
+    | None, cap -> cap
+  in
+  match (timeout, max_steps) with
+  | None, None -> Budget.unlimited
+  | _ -> Budget.make ?timeout ?max_steps ()
+
+let unknown_family family =
+  {
+    status = Bad_request;
+    body =
+      Printf.sprintf "unknown family %s; available: %s" family
+        (String.concat ", " (List.map fst Zoo.all_families));
+  }
+
+(* Renders mirror the CLI's verdict lines exactly, so a query answered by
+   the daemon, the cache, a journal replay, or the one-shot CLI prints the
+   same bytes. *)
+let render_moments ~k = function
+  | Criteria.Finite_sum e ->
+      Printf.sprintf "E(|D|^%d) ∈ [%.9g, %.9g]" k (Interval.lo e) (Interval.hi e)
+  | Criteria.Infinite_sum { partial; at } ->
+      Printf.sprintf "E(|D|^%d) = ∞ (certified; partial sum %.6g after %d terms)" k partial at
+  | v -> Printf.sprintf "E(|D|^%d): %s" k (Criteria.verdict_to_string v)
+
+let render_criterion ~c = function
+  | Criteria.Finite_sum e ->
+      Printf.sprintf "Σ|D|·P(D)^(%d/|D|) ∈ [%.9g, %.9g] < ∞ ⟹ in FO(TI) (Theorem 5.3)" c
+        (Interval.lo e) (Interval.hi e)
+  | Criteria.Infinite_sum { partial; at } ->
+      Printf.sprintf "Σ|D|·P(D)^(%d/|D|) = ∞ (partial %.6g after %d terms)" c partial at
+  | v -> Printf.sprintf "Σ|D|·P(D)^(%d/|D|): %s" c (Criteria.verdict_to_string v)
+
+(* Evaluate one request to a response. Total: every failure mode is a
+   statused response, never an exception (the caller adds the last-resort
+   Faultinj.protect boundary). *)
+let evaluate t req opts ~degraded =
+  let cfg = t.cfg in
+  match req with
+  | Version -> { status = Ok_positive; body = version_string () }
+  | Stats -> { status = Ok_positive; body = stats_json t }
+  | Classify { family; upto } -> (
+      match List.assoc_opt family Zoo.all_families with
+      | None -> unknown_family family
+      | Some cf ->
+          let budget = budget_of cfg opts ~degraded in
+          let v = Classifier.classify ~budget ~upto cf in
+          let status =
+            match v with
+            | Classifier.In_FOTI _ | Classifier.Undetermined _ -> Ok_positive
+            | Classifier.Not_in_FOTI _ -> Certified_negative
+            | Classifier.Partial _ -> Partial
+          in
+          { status; body = Classifier.verdict_to_string v })
+  | Moments { family; k; upto } -> (
+      match List.assoc_opt family Zoo.all_families with
+      | None -> unknown_family family
+      | Some cf -> (
+          match cf.Zoo.moment_cert k with
+          | None -> { status = Bad_request; body = Printf.sprintf "no certificate for k=%d" k }
+          | Some cert ->
+              let upto = Stdlib.min upto cf.Zoo.check_upto in
+              let budget = budget_of cfg opts ~degraded in
+              let v = Criteria.moment_verdict ~budget cf.Zoo.family ~k ~cert ~upto in
+              { status = status_of_series_verdict v; body = render_moments ~k v }))
+  | Criterion { family; c; upto } -> (
+      match List.assoc_opt family Zoo.all_families with
+      | None -> unknown_family family
+      | Some cf -> (
+          match cf.Zoo.thm53_cert c with
+          | None -> { status = Bad_request; body = Printf.sprintf "no certificate for c=%d" c }
+          | Some cert ->
+              let upto = Stdlib.min upto cf.Zoo.check_upto in
+              let budget = budget_of cfg opts ~degraded in
+              let v = Criteria.theorem53_verdict ~budget cf.Zoo.family ~c ~cert ~upto in
+              { status = status_of_series_verdict v; body = render_criterion ~c v }))
+  | Pqe { ti; query } -> (
+      match List.assoc_opt ti (builtin_tis ()) with
+      | None ->
+          {
+            status = Bad_request;
+            body =
+              Printf.sprintf "unknown TI-PDB %s; available: %s" ti
+                (String.concat ", " (List.map fst (builtin_tis ())));
+          }
+      | Some tipdb -> (
+          match Ipdb_logic.Parser.sentence query with
+          | Error e -> { status = Bad_request; body = "parse error: " ^ e }
+          | Ok phi ->
+              let l = Ipdb_pdb.Lineage.of_sentence tipdb phi in
+              let p = Ipdb_pdb.Lineage.probability tipdb l in
+              {
+                status = Ok_positive;
+                body =
+                  Printf.sprintf "P(%s) = %s ≈ %s" (Ipdb_logic.Fo.to_string phi) (Q.to_string p)
+                    (Q.to_decimal_string ~digits:8 p);
+              }))
+
+(* Clamp a request to its canonical precision (the horizon past which the
+   family's certificates stop being float-meaningful), so equivalent
+   requests share one cache slot and one journal replay. *)
+let normalize req =
+  let clamp family upto =
+    match List.assoc_opt family Zoo.all_families with
+    | Some cf -> Stdlib.min upto cf.Zoo.check_upto
+    | None -> upto
+  in
+  match req with
+  | Moments m -> Moments { m with upto = clamp m.family m.upto }
+  | Criterion c -> Criterion { c with upto = clamp c.family c.upto }
+  | Version | Stats | Classify _ | Pqe _ -> req
+
+(* ------------------------------------------------------------------ *)
+(* Journal records                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Header: "serve <proto> <cache-format> <package>". Format versions must
+   match exactly on reopen — a journal written by another format fails
+   loudly instead of replaying garbage. *)
+let journal_header =
+  Printf.sprintf "serve %s %s %s" Protocol.version Cache.format_version Protocol.package_version
+
+let check_header path record =
+  match String.split_on_char ' ' record with
+  | "serve" :: proto :: cachefmt :: _ ->
+      if proto <> Protocol.version || cachefmt <> Cache.format_version then
+        Error
+          (Run_error.Validation
+             {
+               what = "journal " ^ path;
+               msg =
+                 Printf.sprintf
+                   "format version mismatch: journal was written by proto=%s cache=%s, this \
+                    binary speaks proto=%s cache=%s — refusing mixed-version replay"
+                   proto cachefmt Protocol.version Cache.format_version;
+             })
+      else Ok ()
+  | _ ->
+      Error
+        (Run_error.Validation
+           { what = "journal " ^ path; msg = "first record is not a serve header" })
+
+let split2 s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let journal_append t payload =
+  match t.journal with
+  | None -> Ok ()
+  | Some j -> Journal.append j payload
+
+(* ------------------------------------------------------------------ *)
+(* The request pipeline                                                *)
+(* ------------------------------------------------------------------ *)
+
+let set_queue_gauge (t : t) = Metrics.set_gauge m_queue_depth (float_of_int (Atomic.get t.in_flight))
+
+let maybe_checkpoint_cache t =
+  match t.cfg.cache_file with
+  | None -> ()
+  | Some path ->
+      if Atomic.fetch_and_add t.completions 1 mod t.cfg.checkpoint_every = t.cfg.checkpoint_every - 1
+      then ignore (Cache.checkpoint t.cache ~path)
+
+(* Compute a response for an already-parsed request, going through the
+   cache and the journal. Shared by live connections and journal replay. *)
+let answer (t : t) req opts ~degraded =
+  let req = normalize req in
+  match Protocol.cache_key req with
+  | None -> (evaluate t req opts ~degraded, `Fresh)
+  | Some key -> (
+      match Cache.find t.cache ~key with
+      | Some payload -> (
+          match Protocol.parse_response payload with
+          | Ok resp -> (resp, `Hit)
+          | Error _ ->
+              (* A damaged in-memory entry is impossible short of a bug;
+                 degrade to recomputation rather than serving garbage. *)
+              let resp = evaluate t req opts ~degraded in
+              if Protocol.cacheable resp.status then
+                Cache.put t.cache ~key (Protocol.render_response resp);
+              (resp, `Fresh))
+      | None ->
+          let id = Atomic.fetch_and_add t.next_id 1 in
+          let payload = Protocol.request_to_payload req opts in
+          let journal_err = journal_append t (Printf.sprintf "req %d %s" id payload) in
+          let resp =
+            match journal_err with
+            | Error e ->
+                (* The durability contract is broken: refuse rather than
+                   compute an answer that could not be replayed. *)
+                { status = Internal; body = Run_error.to_string e }
+            | Ok () ->
+                let resp = evaluate t req opts ~degraded in
+                ignore
+                  (journal_append t
+                     (Printf.sprintf "done %d %s" id (Protocol.render_response resp)));
+                if Protocol.cacheable resp.status then begin
+                  Cache.put t.cache ~key (Protocol.render_response resp);
+                  maybe_checkpoint_cache t
+                end;
+                resp
+          in
+          (resp, `Fresh))
+
+(* Complete one journal-pending request under its {e original} id:
+   compute (through the cache), journal the [done] record so the request
+   never replays again, and cache certified verdicts. Going through
+   {!answer} instead would allocate a fresh id and leave the old one
+   pending on every future restart. *)
+let complete_pending (t : t) id req opts =
+  let req = normalize req in
+  let resp =
+    match Protocol.cache_key req with
+    | None -> evaluate t req opts ~degraded:false
+    | Some key -> (
+        match Option.bind (Cache.find t.cache ~key) (fun p -> Result.to_option (Protocol.parse_response p)) with
+        | Some resp -> resp
+        | None ->
+            let resp = evaluate t req opts ~degraded:false in
+            if Protocol.cacheable resp.status then
+              Cache.put t.cache ~key (Protocol.render_response resp);
+            resp)
+  in
+  ignore (journal_append t (Printf.sprintf "done %d %s" id (Protocol.render_response resp)))
+
+let respond conn resp =
+  match Protocol.write_frame conn (Protocol.render_response resp) with
+  | () -> true
+  | exception _ ->
+      (* Torn connection: the client is gone; the daemon shrugs. *)
+      Metrics.incr m_torn;
+      false
+
+let handle (t : t) conn ~degraded =
+  let t0 = Trace.now () in
+  let finally () =
+    (try Unix.close conn with _ -> ());
+    Atomic.decr t.in_flight;
+    set_queue_gauge t;
+    Metrics.observe m_latency_ms ((Trace.now () -. t0) *. 1e3)
+  in
+  Fun.protect ~finally @@ fun () ->
+  Trace.with_span "serve.request" @@ fun () ->
+  (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.cfg.read_timeout with _ -> ());
+  (try Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.cfg.read_timeout with _ -> ());
+  match Protocol.read_frame conn with
+  | Error msg ->
+      Metrics.incr m_proto_errors;
+      Trace.annotate [ ("status", Json.String "E_PROTO") ];
+      if respond conn { status = Proto; body = msg } then begin
+        Atomic.incr t.n_served;
+        Metrics.incr m_served
+      end
+  | Ok payload ->
+      let resp =
+        match Protocol.parse_request payload with
+        | Error msg -> { status = Bad_request; body = msg }
+        | Ok (req, opts) -> (
+            match
+              Faultinj.protect ~what:"serve request" (fun () ->
+                  Faultinj.fire Faultinj.Serve_worker;
+                  if t.cfg.slow_worker > 0.0 then Unix.sleepf t.cfg.slow_worker;
+                  answer t req opts ~degraded)
+            with
+            | Ok (resp, _) -> resp
+            | Error e -> { status = status_of_run_error e; body = Run_error.to_string e })
+      in
+      Trace.annotate [ ("status", Json.String (Protocol.status_token resp.status)) ];
+      if respond conn resp then begin
+        Atomic.incr t.n_served;
+        Metrics.incr m_served
+      end
+
+(* Shed an over-capacity connection: structured E_BUSY, then a short
+   drain-read so the rejection survives the close (an unread request in
+   the receive buffer would otherwise turn the close into a reset that
+   races our response). *)
+let shed (t : t) conn =
+  Atomic.incr t.n_shed;
+  Metrics.incr m_shed;
+  Trace.event "serve.shed";
+  (try Unix.setsockopt_float conn Unix.SO_SNDTIMEO 1.0 with _ -> ());
+  (try
+     Protocol.write_frame conn
+       (Protocol.render_response { status = Busy; body = "server at capacity; retry later" });
+     Unix.shutdown conn Unix.SHUTDOWN_SEND
+   with _ -> Metrics.incr m_torn);
+  (try
+     Unix.setsockopt_float conn Unix.SO_RCVTIMEO 0.25;
+     ignore (Unix.read conn (Bytes.create 4096) 0 4096)
+   with _ -> ());
+  (try Unix.close conn with _ -> ());
+  Atomic.decr t.in_flight;
+  set_queue_gauge t
+
+let accept_loop (t : t) =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error (_, _, _) -> () (* racing stop, or a vanished client *)
+        | conn, _ ->
+            Atomic.incr t.n_accepted;
+            Metrics.incr m_accepted;
+            let n = 1 + Atomic.fetch_and_add t.in_flight 1 in
+            set_queue_gauge t;
+            if n > t.capacity then shed t conn
+            else begin
+              let degraded = n > t.jobs in
+              if degraded then begin
+                Atomic.incr t.n_degraded;
+                Metrics.incr m_degraded
+              end;
+              match Pool.async t.pool (fun () -> handle t conn ~degraded) with
+              | () -> ()
+              | exception _ -> shed t conn (* pool already shut down *)
+            end)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Startup: journal replay, cache load                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay requests that were accepted (journaled) but never answered:
+   recompute them under their journaled budgets and journal the answers.
+   Completed certified verdicts — replayed or recovered from done records
+   — enter the cache, so a re-asked query is answered byte-identically. *)
+let replay t records =
+  let pending = Hashtbl.create 16 in
+  let max_id = ref 0 in
+  List.iter
+    (fun record ->
+      let kind, rest = split2 record in
+      let id_s, payload = split2 rest in
+      match (kind, int_of_string_opt id_s) with
+      | "req", Some id ->
+          max_id := Stdlib.max !max_id id;
+          Hashtbl.replace pending id payload
+      | "done", Some id ->
+          max_id := Stdlib.max !max_id id;
+          (match Hashtbl.find_opt pending id with
+          | Some req_payload -> (
+              (* Re-seed the cache from the journaled answer. *)
+              match (Protocol.parse_request req_payload, Protocol.parse_response payload) with
+              | Ok (req, _), Ok resp when Protocol.cacheable resp.status -> (
+                  match Protocol.cache_key (normalize req) with
+                  | Some key -> Cache.put t.cache ~key payload
+                  | None -> ())
+              | _ -> ())
+          | None -> ());
+          Hashtbl.remove pending id
+      | _ -> () (* the header, or a record from a future minor revision *))
+    records;
+  Atomic.set t.next_id (!max_id + 1);
+  let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) pending []) in
+  List.iter
+    (fun id ->
+      let payload = Hashtbl.find pending id in
+      Trace.with_span "serve.replay" @@ fun () ->
+      match Protocol.parse_request payload with
+      | Error _ -> ()
+      | Ok (req, opts) ->
+          complete_pending t id req opts;
+          Atomic.incr t.n_replayed;
+          Metrics.incr m_replayed)
+    ids;
+  (* Replayed verdicts are durable in the journal; make the cache snapshot
+     catch up too so a following crash loses nothing. *)
+  if ids <> [] then
+    match t.cfg.cache_file with
+    | Some path -> ignore (Cache.checkpoint t.cache ~path)
+    | None -> ()
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  if cfg.fault_rate > 0.0 then
+    Faultinj.arm ~seed:cfg.fault_seed ~rate:cfg.fault_rate [ Faultinj.Serve_worker ];
+  let ( let* ) = Result.bind in
+  (* Cache checkpoint first: a mixed-version snapshot must abort startup
+     before we touch the journal. *)
+  let* cache =
+    match cfg.cache_file with None -> Ok (Cache.create ()) | Some path -> Cache.load ~path
+  in
+  (* Journal: repair a torn tail, check the format header, remember the
+     records for replay once the server object exists. *)
+  let* journal_state =
+    match cfg.journal with
+    | None -> Ok None
+    | Some path ->
+        let* { Journal.records; _ } = Journal.repair ~path in
+        let* () =
+          match records with [] -> Ok () | first :: _ -> check_header path first
+        in
+        let* j = Journal.open_append ~path in
+        let* () = if records = [] then Journal.append j journal_header else Ok () in
+        Ok (Some (j, records))
+  in
+  let* listen_fd =
+    match
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, cfg.port));
+      Unix.listen fd 128;
+      fd
+    with
+    | fd -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Run_error.Io
+             {
+               path = Printf.sprintf "tcp:%d" cfg.port;
+               msg = Printf.sprintf "cannot bind: %s" (Unix.error_message e);
+             })
+  in
+  let bound_port =
+    match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
+  in
+  let jobs = match cfg.jobs with Some j -> Stdlib.max 1 j | None -> Pool.default_jobs () in
+  let pool = Pool.create ~jobs () in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      bound_port;
+      pool;
+      cache;
+      journal = Option.map fst journal_state;
+      stopping = Atomic.make false;
+      stopped = Atomic.make false;
+      in_flight = Atomic.make 0;
+      next_id = Atomic.make 1;
+      completions = Atomic.make 0;
+      n_accepted = Atomic.make 0;
+      n_served = Atomic.make 0;
+      n_shed = Atomic.make 0;
+      n_degraded = Atomic.make 0;
+      n_replayed = Atomic.make 0;
+      jobs;
+      capacity = jobs + Stdlib.max 0 cfg.queue_limit;
+      accept_domain = None;
+    }
+  in
+  (match journal_state with Some (_, records) -> replay t records | None -> ());
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  Trace.event "serve.started"
+    ~attrs:[ ("port", Json.Int bound_port); ("jobs", Json.Int jobs); ("capacity", Json.Int t.capacity) ];
+  Ok t
+
+let stop ?(drain_timeout = 30.0) t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stopping true;
+    (match t.accept_domain with Some d -> Domain.join d | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    (* Drain: in-flight handlers decrement the counter as they finish;
+       Pool.shutdown then runs anything still queued before joining. *)
+    let deadline = Unix.gettimeofday () +. drain_timeout in
+    while Atomic.get t.in_flight > 0 && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.01
+    done;
+    Pool.shutdown t.pool;
+    (match t.cfg.cache_file with
+    | Some path -> ignore (Cache.checkpoint t.cache ~path)
+    | None -> ());
+    (match t.journal with Some j -> Journal.close j | None -> ());
+    if t.cfg.fault_rate > 0.0 then Faultinj.disarm ();
+    Trace.event "serve.stopped"
+      ~attrs:[ ("served", Json.Int (Atomic.get t.n_served)); ("shed", Json.Int (Atomic.get t.n_shed)) ]
+  end
+
+let run cfg =
+  match start cfg with
+  | Error _ as e -> e
+  | Ok t ->
+      Printf.printf "ipdb serve: listening on 127.0.0.1:%d (jobs=%d, capacity=%d)\n%!" t.bound_port
+        t.jobs t.capacity;
+      let stop_requested = Atomic.make false in
+      let on_signal _ = Atomic.set stop_requested true in
+      let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+      let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+      while not (Atomic.get stop_requested) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Printf.printf "ipdb serve: draining\n%!";
+      stop t;
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int;
+      let s = stats t in
+      Printf.printf "ipdb serve: bye (served=%d shed=%d cache=%d)\n%!" s.served s.shed s.cache_size;
+      Ok ()

@@ -1,0 +1,103 @@
+(** The [ipdb serve] daemon: a fault-tolerant persistent query server.
+
+    A dependency-free Unix TCP daemon accepting one framed request per
+    connection ({!Protocol}) and answering classify / moments / criterion
+    / pqe queries concurrently over an {!Ipdb_par.Pool} of worker domains.
+    Robustness model (DESIGN.md §10):
+
+    - {b Admission control}: at most [jobs + queue_limit] connections are
+      in flight; each admitted request runs under a per-request
+      {!Ipdb_run.Budget} (client-supplied deadline/step caps, clamped by
+      the server's own limits).
+    - {b Load shedding and graceful degradation}: beyond [jobs] in-flight
+      requests, admitted work is {e degraded} — its step budget is capped
+      so heavy queries return sound Partial verdicts (status [3]) quickly
+      instead of piling up; beyond the full capacity, connections receive
+      a structured [E_BUSY] response and are closed. The queue never grows
+      without bound and overload never crashes the daemon.
+    - {b Crash safety}: every accepted cache-miss request is journaled
+      ({!Ipdb_run.Journal}, fsync-before-compute) and its response
+      journaled on completion; a SIGKILL'd daemon {e replays} requests
+      that were accepted but never answered on the next start, repairing
+      any torn journal tail first. Replayed verdicts enter the cache, so
+      a re-asked query is answered byte-identically to an uninterrupted
+      run ([test/serve_crash.sh]).
+    - {b Content-addressed caching}: completed certified verdicts
+      (statuses [0]/[1]) are cached under the canonical
+      [Serialize.canonical_key] bytes of (family, query, precision)
+      ({!Cache}); repeated traffic is O(hash). The cache is checkpointed
+      atomically every [checkpoint_every] completions and on graceful
+      shutdown.
+    - {b Graceful shutdown}: SIGTERM/SIGINT ({!run}) or {!stop} stops
+      accepting, drains in-flight requests, checkpoints the cache, and
+      closes the journal.
+    - {b Observability}: per-request spans and [serve.*] metrics (queue
+      depth gauge, shed/hit/miss counters, latency histogram). *)
+
+type config = {
+  port : int;  (** TCP port; [0] binds an ephemeral port (see {!port}) *)
+  jobs : int option;  (** worker domains; default {!Ipdb_par.Pool.default_jobs} *)
+  queue_limit : int;  (** admitted-beyond-workers bound; excess sheds [E_BUSY] *)
+  degraded_max_steps : int;
+      (** step cap applied to requests admitted beyond [jobs] in-flight —
+          the Partial rung of the degradation ladder *)
+  default_timeout : float option;  (** per-request deadline when the client sends none *)
+  max_timeout : float;  (** clamp on client-supplied deadlines *)
+  read_timeout : float;  (** [SO_RCVTIMEO] on accepted connections *)
+  journal : string option;  (** request journal path; [None] disables replay *)
+  cache_file : string option;  (** cache checkpoint path; [None] keeps the cache in memory *)
+  checkpoint_every : int;  (** cache checkpoint cadence, in completed computations *)
+  fault_rate : float;  (** arm {!Ipdb_run.Faultinj.Serve_worker} at this rate (tests) *)
+  fault_seed : int;
+  slow_worker : float;  (** injected per-request delay in seconds (tests/bench) *)
+}
+
+val default_config : config
+(** Port 7411, jobs defaulted, queue 16, degraded cap 20k steps, 30s
+    max/read timeouts, no journal, no cache file, checkpoint every 32. *)
+
+type t
+(** A running server. *)
+
+val start : config -> (t, Ipdb_run.Error.t) result
+(** Bind, replay the journal (repairing a torn tail), load the cache
+    checkpoint, spawn the accept loop and worker pool. Fails loudly —
+    typed [Error], no partial daemon — on bind failure, journal damage, a
+    journal/cache written by a different format version, or an unreadable
+    cache checkpoint. *)
+
+val port : t -> int
+(** The bound port (the ephemeral port when the config said [0]). *)
+
+val stop : ?drain_timeout:float -> t -> unit
+(** Graceful shutdown: stop accepting, drain in-flight requests (up to
+    [drain_timeout], default 30s), run queued work to completion,
+    checkpoint the cache atomically, close the journal. Idempotent. *)
+
+val run : config -> (unit, Ipdb_run.Error.t) result
+(** {!start}, print a [listening on 127.0.0.1:PORT] line to stdout, then
+    block until SIGTERM/SIGINT and {!stop} gracefully. *)
+
+type stats = {
+  accepted : int;  (** connections accepted *)
+  served : int;  (** responses written (all statuses except sheds) *)
+  shed : int;  (** connections refused with [E_BUSY] *)
+  degraded : int;  (** requests admitted onto the degraded rung *)
+  replayed : int;  (** journal replays completed at start *)
+  in_flight : int;
+  cache_size : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val stats : t -> stats
+
+val version_string : unit -> string
+(** ["ipdb VERSION proto=… journal=… checkpoint=… cache=…"] — the package
+    version plus every on-disk/wire format version, so mixed-version
+    deployments are diagnosable at a glance ([ipdb --version], the
+    [version] protocol op). *)
+
+val builtin_tis : unit -> (string * Ipdb_pdb.Ti.Finite.t) list
+(** The built-in finite TI-PDBs servable by [pqe] (shared with the CLI's
+    [prob]/[lineage]/[export] subcommands). *)

@@ -87,8 +87,12 @@ let props =
       (QCheck.Test.make ~count:800 ~name:"nnf produces NNF" arb_sentence_instance (fun (phi, _) ->
            Prenex.is_nnf (Prenex.nnf phi)));
     QCheck_alcotest.to_alcotest
+      (* only on nonempty evaluation domains: prenexing assumes the
+         classical nonempty-domain convention (hoisting ∃x out of
+         `ψ ∨ ∃x.φ` can turn a vacuously-true sentence false on {}) *)
       (QCheck.Test.make ~count:500 ~name:"prenex preserves truth" arb_sentence_instance (fun (phi, i) ->
-           Eval.holds i phi = Eval.holds i (Prenex.prenex phi)));
+           Eval.domain_of i phi = []
+           || Eval.holds i phi = Eval.holds i (Prenex.prenex phi)));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~count:500 ~name:"prenex produces prenex form" arb_sentence_instance
          (fun (phi, _) -> Prenex.is_prenex (Prenex.prenex phi)))

@@ -1,0 +1,435 @@
+(* The serve daemon: wire framing, the verdict cache, admission control,
+   load shedding, fault drives, journal replay and graceful drain — all
+   in-process against ephemeral-port servers. The cross-process contracts
+   (SIGKILL replay, golden wire bytes) live in serve_crash.sh and
+   serve_contract.sh. *)
+
+module Protocol = Ipdb_serve.Protocol
+module Cache = Ipdb_serve.Cache
+module Server = Ipdb_serve.Server
+module Client = Ipdb_serve.Client
+module Journal = Ipdb_run.Journal
+module Checkpoint = Ipdb_run.Checkpoint
+module Faultinj = Ipdb_run.Faultinj
+
+let prop ?(count = 200) name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+let fail fmt = Printf.ksprintf QCheck.Test.fail_report fmt
+
+let tmpfile suffix =
+  let f = Filename.temp_file "ipdb-serve-test" suffix in
+  at_exit (fun () -> try Sys.remove f with _ -> ());
+  f
+
+(* A config every test starts from: ephemeral port, tiny timeouts so a
+   wedged path fails the suite instead of hanging it. *)
+let test_config =
+  {
+    Server.default_config with
+    port = 0;
+    jobs = Some 2;
+    read_timeout = 5.0;
+    max_timeout = 5.0;
+  }
+
+let with_server cfg f =
+  match Server.start cfg with
+  | Error e -> Alcotest.failf "server failed to start: %s" (Ipdb_run.Error.to_string e)
+  | Ok t ->
+      let finally () = Server.stop ~drain_timeout:10.0 t in
+      Fun.protect ~finally (fun () -> f t)
+
+let request t payload =
+  match Client.request ~port:(Server.port t) payload with
+  | Ok resp -> resp
+  | Error msg -> Alcotest.failf "request %S failed: %s" payload msg
+
+let check_status what expected (resp : Protocol.response) =
+  Alcotest.(check string)
+    what
+    (Protocol.status_token expected)
+    (Protocol.status_token resp.Protocol.status)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let arb_payload =
+  QCheck.make
+    ~print:(Printf.sprintf "%S")
+    QCheck.Gen.(
+      map
+        (fun cs -> String.concat "" cs)
+        (list_size (0 -- 60)
+           (oneof [ map (String.make 1) printable; return "\n"; return "\\"; return " " ])))
+
+let frame_roundtrip payload =
+  let line = Protocol.frame payload in
+  (* the frame is one newline-terminated line whatever the payload *)
+  if String.index_opt line '\n' <> Some (String.length line - 1) then
+    fail "frame of %S is not a single line" payload;
+  match Protocol.parse_frame (String.sub line 0 (String.length line - 1)) with
+  | Ok p when p = payload -> true
+  | Ok p -> fail "roundtrip of %S produced %S" payload p
+  | Error m -> fail "roundtrip of %S rejected: %s" payload m
+
+let test_frame_rejects () =
+  let reject what line =
+    match Protocol.parse_frame line with
+    | Error _ -> ()
+    | Ok p -> Alcotest.failf "%s accepted as %S" what p
+  in
+  reject "empty line" "";
+  reject "bad magic" "nonsense 3 abc";
+  reject "missing length" "ipdbs1";
+  reject "unparsable length" "ipdbs1 x yz";
+  reject "negative length" "ipdbs1 -1 x";
+  reject "length mismatch" "ipdbs1 5 abc";
+  reject "oversized" (Printf.sprintf "ipdbs1 %d x" (Protocol.max_payload + 1));
+  reject "bad escape" "ipdbs1 1 \\x"
+
+let response_roundtrip (status, body) =
+  (* bodies are single-line by construction at call sites *)
+  let body = String.concat "·" (String.split_on_char '\n' body) in
+  let r = { Protocol.status; body } in
+  match Protocol.parse_response (Protocol.render_response r) with
+  | Ok r' when r' = r -> true
+  | Ok { Protocol.status = s; body = b } ->
+      fail "response (%s, %S) came back (%s, %S)" (Protocol.status_token status) body
+        (Protocol.status_token s) b
+  | Error m -> fail "response rejected: %s" m
+
+let arb_status_body =
+  QCheck.make
+    ~print:(fun (s, b) -> Printf.sprintf "(%s, %S)" (Protocol.status_token s) b)
+    QCheck.Gen.(
+      pair
+        (oneofl
+           Protocol.[ Ok_positive; Certified_negative; Bad_request; Partial; Internal; Busy; Proto ])
+        (string_size ~gen:printable (0 -- 40)))
+
+let test_request_grammar () =
+  let ok payload =
+    match Protocol.parse_request payload with
+    | Ok _ -> ()
+    | Error m -> Alcotest.failf "%S rejected: %s" payload m
+  in
+  let reject payload =
+    match Protocol.parse_request payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S accepted" payload
+  in
+  ok "version";
+  ok "stats";
+  ok "classify geometric";
+  ok "classify geometric upto=100 timeout=1.5 max_steps=50";
+  ok "moments example-3.5 k=2 upto=50";
+  ok "criterion geometric c=1";
+  ok "pqe example-b3 exists x y. R(x,y)";
+  reject "";
+  reject "frobnicate geometric";
+  reject "classify";
+  reject "classify geometric upto=-3";
+  reject "classify geometric upto=x";
+  reject "classify geometric bogus=1";
+  reject "version now";
+  reject "pqe example-b3"
+
+(* cache keys ignore budget options and canonicalise pqe sentences *)
+let test_cache_key_canonical () =
+  let key payload =
+    match Protocol.parse_request payload with
+    | Ok (req, _) -> Protocol.cache_key req
+    | Error m -> Alcotest.failf "%S rejected: %s" payload m
+  in
+  Alcotest.(check bool)
+    "budget opts are not part of the key" true
+    (key "classify geometric upto=100" = key "classify geometric upto=100 timeout=2 max_steps=9");
+  Alcotest.(check bool)
+    "pqe spelling variants share a key" true
+    (key "pqe example-b3 exists x y. R(x,y)" = key "pqe example-b3 exists x. exists y. R(x,y)");
+  Alcotest.(check bool) "version has no key" true (key "version" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let arb_entries =
+  QCheck.make
+    ~print:(fun es -> String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%S->%S" k v) es))
+    QCheck.Gen.(
+      list_size (0 -- 30)
+        (pair (string_size ~gen:(oneof [ printable; return '\n' ]) (1 -- 30)) (string_size ~gen:printable (0 -- 30))))
+
+let cache_snapshot_roundtrip entries =
+  let c = Cache.create () in
+  List.iter (fun (k, v) -> Cache.put c ~key:k v) entries;
+  let snap = Cache.to_string c in
+  match Cache.of_string snap with
+  | Error m -> fail "snapshot rejected: %s" m
+  | Ok c' ->
+      if Cache.size c' <> Cache.size c then fail "size %d -> %d" (Cache.size c) (Cache.size c');
+      List.for_all
+        (fun (k, _v) ->
+          (* last write per key wins, so compare against c itself *)
+          match (Cache.find c ~key:k, Cache.find c' ~key:k) with
+          | Some a, Some b when a = b -> true
+          | a, b ->
+              fail "entry %S: %s vs %s" k
+                (Option.value ~default:"<none>" a)
+                (Option.value ~default:"<none>" b)
+          | exception _ -> false)
+        entries
+      &&
+      (* snapshots are canonical: reloading and re-snapshotting is stable *)
+      Cache.to_string c' = snap
+
+let test_cache_version_mismatch () =
+  match Cache.of_string "ipdbsc0" with
+  | Error m ->
+      Alcotest.(check bool) "names both versions" true (String.length m > 0 && String.sub m 0 5 = "cache")
+  | Ok _ -> Alcotest.fail "stale snapshot version accepted"
+
+let test_cache_checkpoint_file () =
+  let path = tmpfile ".cache" in
+  Sys.remove path;
+  (match Cache.load ~path with
+  | Ok c -> Alcotest.(check int) "missing file is an empty cache" 0 (Cache.size c)
+  | Error e -> Alcotest.failf "missing file: %s" (Ipdb_run.Error.to_string e));
+  let c = Cache.create () in
+  Cache.put c ~key:"k one" "0 verdict one";
+  Cache.put c ~key:"k\ntwo" "1 verdict two";
+  (match Cache.checkpoint c ~path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checkpoint: %s" (Ipdb_run.Error.to_string e));
+  match Cache.load ~path with
+  | Error e -> Alcotest.failf "load: %s" (Ipdb_run.Error.to_string e)
+  | Ok c' ->
+      Alcotest.(check (option string)) "entry 1" (Some "0 verdict one") (Cache.find c' ~key:"k one");
+      Alcotest.(check (option string)) "entry 2" (Some "1 verdict two") (Cache.find c' ~key:"k\ntwo")
+
+(* ------------------------------------------------------------------ *)
+(* The daemon, in process                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_statuses () =
+  with_server test_config @@ fun t ->
+  check_status "version" Protocol.Ok_positive (request t "version");
+  check_status "positive verdict" Protocol.Ok_positive (request t "classify geometric");
+  check_status "certified negative" Protocol.Certified_negative
+    (request t "moments example-3.5 k=2 upto=50");
+  check_status "usage error" Protocol.Bad_request (request t "classify no-such-family");
+  check_status "budget exhaustion" Protocol.Partial
+    (request t "criterion geometric upto=100000000 max_steps=5000");
+  check_status "pqe" Protocol.Ok_positive (request t "pqe example-b3 exists x y. R(x,y)");
+  let v = request t "version" in
+  Alcotest.(check string) "version body" (Server.version_string ()) v.Protocol.body
+
+let test_responses_match_cli_bytes () =
+  (* The response body for a served request must be the CLI's verdict
+     line for the same query — one render, two transports. *)
+  with_server test_config @@ fun t ->
+  let r = request t "moments example-3.5 k=2 upto=50" in
+  Alcotest.(check string)
+    "moments render" "E(|D|^2) = ∞ (certified; partial sum 150 after 50 terms)" r.Protocol.body;
+  let r = request t "pqe example-b3 exists x y. R(x,y)" in
+  Alcotest.(check string) "pqe render" "P(∃x.(∃y.R(x,y))) = 2/3 ≈ 0.66666666" r.Protocol.body
+
+let test_cache_accounting () =
+  with_server test_config @@ fun t ->
+  let a = request t "criterion geometric upto=2000" in
+  let b = request t "criterion geometric upto=2000" in
+  Alcotest.(check string) "hit is byte-identical" a.Protocol.body b.Protocol.body;
+  let s = Server.stats t in
+  Alcotest.(check int) "one miss" 1 s.Server.cache_misses;
+  Alcotest.(check int) "one hit" 1 s.Server.cache_hits;
+  Alcotest.(check int) "one entry" 1 s.Server.cache_size
+
+let test_overload_sheds () =
+  (* jobs=1, queue_limit=0: while one slow request is in flight, every
+     further connection must shed with E_BUSY — and the daemon must keep
+     serving normally afterwards. *)
+  let cfg = { test_config with jobs = Some 1; queue_limit = 0; slow_worker = 0.8 } in
+  with_server cfg @@ fun t ->
+  let slow = Domain.spawn (fun () -> request t "version") in
+  Unix.sleepf 0.3;
+  let shed1 = request t "version" in
+  let shed2 = request t "version" in
+  check_status "first excess connection" Protocol.Busy shed1;
+  check_status "second excess connection" Protocol.Busy shed2;
+  let first = Domain.join slow in
+  ignore first;
+  let s = Server.stats t in
+  Alcotest.(check int) "shed counter" 2 s.Server.shed;
+  Alcotest.(check bool) "queue depth settled" true (s.Server.in_flight <= 1);
+  (* the slow handler's client has its response, but the server-side
+     in_flight decrement races the join on a loaded host — wait for it *)
+  let rec settle n =
+    if (Server.stats t).Server.in_flight > 0 && n > 0 then (Unix.sleepf 0.01; settle (n - 1))
+  in
+  settle 500;
+  (* capacity is free again: served, not shed *)
+  check_status "after the burst" Protocol.Ok_positive (request t "version")
+
+let test_degradation_ladder () =
+  (* jobs=1 with a queue: the queued request runs on the degraded rung —
+     a tiny step cap — so an astronomically long series answers quickly
+     with a sound Partial instead of occupying the queue for hours. *)
+  let cfg =
+    { test_config with jobs = Some 1; queue_limit = 4; degraded_max_steps = 100; slow_worker = 0.0 }
+  in
+  with_server cfg @@ fun t ->
+  let blocker =
+    Domain.spawn (fun () -> request t "criterion geometric upto=3000000")
+  in
+  Unix.sleepf 0.2;
+  let degraded = request t "criterion geometric upto=100000000" in
+  check_status "degraded request is a sound Partial" Protocol.Partial degraded;
+  ignore (Domain.join blocker);
+  let s = Server.stats t in
+  Alcotest.(check bool) "degraded counter" true (s.Server.degraded >= 1)
+
+let test_fault_drive () =
+  (* An armed Serve_worker site must surface as a typed status-4 response,
+     never a crash or a torn connection. *)
+  let cfg = { test_config with fault_rate = 1.0; fault_seed = 42 } in
+  with_server cfg @@ fun t ->
+  let r = request t "classify geometric" in
+  check_status "injected fault is status 4" Protocol.Internal r;
+  Alcotest.(check bool) "typed E_FAULT body" true
+    (String.length r.Protocol.body >= 7 && String.sub r.Protocol.body 0 7 = "E_FAULT");
+  Faultinj.disarm ()
+
+let test_torn_client () =
+  with_server test_config @@ fun t ->
+  (* half a frame, then vanish *)
+  (match Client.connect ~port:(Server.port t) () with
+  | Error m -> Alcotest.fail m
+  | Ok fd ->
+      ignore (Unix.write_substring fd "ipdbs1 999" 0 10);
+      Unix.close fd);
+  (* unframed garbage gets a structured E_PROTO, not a hangup *)
+  (match Client.request_raw ~port:(Server.port t) "not a frame at all\n" with
+  | Ok line ->
+      let payload =
+        match Protocol.parse_frame (String.trim line) with
+        | Ok p -> p
+        | Error m -> Alcotest.failf "unparsable E_PROTO frame: %s" m
+      in
+      (match Protocol.parse_response payload with
+      | Ok r -> check_status "malformed frame" Protocol.Proto r
+      | Error m -> Alcotest.fail m)
+  | Error m -> Alcotest.failf "raw request: %s" m);
+  (* and the daemon is still healthy *)
+  check_status "still serving" Protocol.Ok_positive (request t "version")
+
+let test_replay_completes_pending () =
+  (* A journal holding an accepted-but-unanswered request must be replayed
+     on start, journaled as done under its original id, and not replayed
+     again on the next start. *)
+  let path = tmpfile ".journal" in
+  Sys.remove path;
+  let cfg = { test_config with journal = Some path } in
+  with_server cfg @@ fun t0 ->
+  let answered = request t0 "criterion geometric upto=2000" in
+  Server.stop t0;
+  (* append a pending request by hand, as if the daemon died mid-compute *)
+  (match Journal.open_append ~path with
+  | Error e -> Alcotest.failf "journal: %s" (Ipdb_run.Error.to_string e)
+  | Ok j ->
+      (match Journal.append j "req 999 criterion geometric c=1 upto=2000" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "append: %s" (Ipdb_run.Error.to_string e));
+      Journal.close j);
+  with_server cfg @@ fun t1 ->
+  let s = Server.stats t1 in
+  Alcotest.(check int) "one replay" 1 s.Server.replayed;
+  let again = request t1 "criterion geometric upto=2000" in
+  Alcotest.(check string) "replayed verdict is byte-identical" answered.Protocol.body
+    again.Protocol.body;
+  (* two hits: the replay itself (the cache was re-seeded from the first
+     run's done record) and the client's re-ask *)
+  Alcotest.(check int) "replay and re-ask both hit the cache" 2 (Server.stats t1).Server.cache_hits;
+  Server.stop t1;
+  with_server cfg @@ fun t2 ->
+  Alcotest.(check int) "nothing pending on the next start" 0 (Server.stats t2).Server.replayed
+
+let test_mixed_version_refused () =
+  (* A journal whose header speaks a different protocol version must fail
+     startup loudly, not replay garbage. *)
+  let path = tmpfile ".journal" in
+  Sys.remove path;
+  (match Journal.open_append ~path with
+  | Error e -> Alcotest.failf "journal: %s" (Ipdb_run.Error.to_string e)
+  | Ok j ->
+      ignore (Journal.append j "serve ipdbs0 ipdbsc1 0.9.9");
+      Journal.close j);
+  (match Server.start { test_config with journal = Some path } with
+  | Ok t ->
+      Server.stop t;
+      Alcotest.fail "mixed-version journal accepted"
+  | Error e ->
+      let m = Ipdb_run.Error.to_string e in
+      let contains needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "diagnostic names the stale version" true (contains "ipdbs0" m));
+  (* same for a cache snapshot *)
+  let cpath = tmpfile ".cache" in
+  (match Checkpoint.save ~path:cpath "ipdbsc0\ngarbage" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "checkpoint: %s" (Ipdb_run.Error.to_string e));
+  match Server.start { test_config with cache_file = Some cpath } with
+  | Ok t ->
+      Server.stop t;
+      Alcotest.fail "mixed-version cache accepted"
+  | Error _ -> ()
+
+let test_graceful_drain () =
+  (* stop during an in-flight slow request: the response is still written
+     before the daemon exits. *)
+  let cfg = { test_config with jobs = Some 1; slow_worker = 0.5 } in
+  with_server cfg @@ fun t ->
+  let inflight = Domain.spawn (fun () -> Client.request ~port:(Server.port t) "version") in
+  Unix.sleepf 0.15;
+  Server.stop ~drain_timeout:10.0 t;
+  match Domain.join inflight with
+  | Ok r -> check_status "drained request answered" Protocol.Ok_positive r
+  | Error m -> Alcotest.failf "in-flight request lost during drain: %s" m
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          prop "frame/parse_frame round-trips" arb_payload frame_roundtrip;
+          Alcotest.test_case "malformed frames rejected" `Quick test_frame_rejects;
+          prop ~count:100 "response render/parse round-trips" arb_status_body response_roundtrip;
+          Alcotest.test_case "request grammar" `Quick test_request_grammar;
+          Alcotest.test_case "cache keys are canonical" `Quick test_cache_key_canonical;
+        ] );
+      ( "cache",
+        [
+          prop ~count:100 "snapshot round-trips and is canonical" arb_entries cache_snapshot_roundtrip;
+          Alcotest.test_case "stale snapshot version refused" `Quick test_cache_version_mismatch;
+          Alcotest.test_case "checkpoint file round-trips" `Quick test_cache_checkpoint_file;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "status contract 0-4" `Quick test_statuses;
+          Alcotest.test_case "responses match CLI bytes" `Quick test_responses_match_cli_bytes;
+          Alcotest.test_case "cache accounting" `Quick test_cache_accounting;
+          Alcotest.test_case "overload sheds E_BUSY" `Quick test_overload_sheds;
+          Alcotest.test_case "degradation ladder" `Quick test_degradation_ladder;
+          Alcotest.test_case "fault drive is typed" `Quick test_fault_drive;
+          Alcotest.test_case "torn client shrugged off" `Quick test_torn_client;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "pending requests complete on restart" `Quick
+            test_replay_completes_pending;
+          Alcotest.test_case "mixed-version journal/cache refused" `Quick test_mixed_version_refused;
+        ] );
+    ]
