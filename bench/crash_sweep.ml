@@ -1,0 +1,73 @@
+(* Exhaustive crash-point sweep over the durability stack, as a bench:
+   runs the journal and journal+checkpoint scenarios under the *full*
+   budget (every write, every tear offset, ENOSPC and EIO at every op)
+   and reports trial counts plus recovery-time statistics as one JSON
+   object on stdout (committed as BENCH_PR7.json).
+
+   Usage: crash_sweep [--bounded]
+   --bounded uses the dune-runtest budget instead; handy for a quick
+   smoke of the bench itself. *)
+
+module Crashexplore = Ipdb_run.Crashexplore
+module Json = Ipdb_obs.Json
+
+let () =
+  let bounded = Array.exists (( = ) "--bounded") Sys.argv in
+  let budget =
+    if bounded then Crashexplore.default_budget else Crashexplore.full_budget
+  in
+  let scenarios =
+    [
+      Crashexplore.journal_scenario ();
+      Crashexplore.checkpoint_scenario ();
+      (* a longer journaled run: more call sites, deeper tail behaviour *)
+      Crashexplore.journal_scenario ~path:"bench-long.journal"
+        ~records:(List.init 24 (Printf.sprintf "record-%02d line\none\ttwo\\three"))
+        ();
+    ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let reports = List.map (Crashexplore.run ~budget) scenarios in
+  let wall = Unix.gettimeofday () -. t0 in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let failures = total (fun r -> List.length r.Crashexplore.failures) in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun f -> prerr_endline (Crashexplore.failure_to_string f))
+        r.Crashexplore.failures)
+    reports;
+  let obj =
+    Json.Obj
+      [
+        ("bench", Json.String "crash_sweep");
+        ("budget", Json.String (if bounded then "bounded" else "full"));
+        ("wall_s", Json.Float wall);
+        ("scenarios", Json.Int (List.length reports));
+        ("io_call_sites", Json.Int (total (fun r -> r.Crashexplore.io_ops)));
+        ("trials", Json.Int (total (fun r -> r.Crashexplore.trials)));
+        ("failures", Json.Int failures);
+        ( "acked_lost_under_lies",
+          Json.Int (total (fun r -> r.Crashexplore.acked_lost_under_lies)) );
+        ( "recovery_total_s",
+          Json.Float
+            (List.fold_left
+               (fun acc r -> acc +. r.Crashexplore.recovery_total_s)
+               0.0 reports) );
+        ( "recovery_max_s",
+          Json.Float
+            (List.fold_left
+               (fun acc r -> Float.max acc r.Crashexplore.recovery_max_s)
+               0.0 reports) );
+        ( "reports",
+          Json.List
+            (List.map
+               (fun r ->
+                 match Json.parse (Crashexplore.report_to_json r) with
+                 | Ok j -> j
+                 | Error _ -> Json.String (Crashexplore.report_to_json r))
+               reports) );
+      ]
+  in
+  print_endline (Json.to_string obj);
+  exit (if failures = 0 then 0 else 1)

@@ -935,7 +935,7 @@ let () =
     match cfg.journal_path with
     | None -> None
     | Some path -> (
-      match Journal.open_append ~path with
+      match Journal.open_append ~path () with
       | Ok j -> Some j
       | Error e ->
         Printf.eprintf "bench: cannot open journal %s: %s\n" path (Run_error.to_string e);

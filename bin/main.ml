@@ -46,7 +46,9 @@ open Cmdliner
 (* Exit-code contract (documented in README.md):
      0  success / certified-positive verdict
      1  certified-negative verdict
-     2  usage error (bad arguments, unreadable input, missing certificate)
+     2  usage error (bad arguments, unreadable input, missing certificate,
+        I/O failure, or a journal/cache path locked by another writer —
+        E_IO and E_LOCKED both land here)
      3  budget exhausted: a sound partial verdict was printed
      4  internal error (invalid certificate, injected fault, bug) *)
 
@@ -586,7 +588,7 @@ let zoo_cmd =
 (* serve: the persistent query daemon *)
 let serve_cmd =
   let run port jobs queue_limit degraded_steps default_timeout journal cache fault_rate fault_seed
-      slow_worker trace metrics =
+      slow_worker force_lock trace metrics =
     guard @@ fun () ->
     setup_obs trace metrics;
     let cfg =
@@ -602,6 +604,7 @@ let serve_cmd =
         fault_rate;
         fault_seed;
         slow_worker;
+        force_lock;
       }
     in
     match Ipdb_serve.Server.run cfg with Ok () -> () | Error e -> fail_typed e
@@ -660,15 +663,26 @@ let serve_cmd =
       & opt float 0.0
       & info [ "slow-worker" ] ~docv:"SECS" ~doc:"Injected per-request delay (tests/bench).")
   in
+  let force_lock_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "force-lock" ]
+          ~doc:
+            "Skip the advisory single-writer locks on the journal and cache files. Without it a \
+             second daemon on the same paths is refused with E_LOCKED (exit 2). Use only to \
+             reclaim paths after an unclean platform — never to share them between live daemons.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Fault-tolerant persistent query daemon (framed TCP protocol)")
     Term.(
       const run $ port_arg $ jobs_arg $ queue_arg $ degraded_arg $ default_timeout_arg $ journal_arg
-      $ cache_arg $ fault_rate_arg $ fault_seed_arg $ slow_arg $ trace_arg $ metrics_arg)
+      $ cache_arg $ fault_rate_arg $ fault_seed_arg $ slow_arg $ force_lock_arg $ trace_arg
+      $ metrics_arg)
 
 (* request: one-shot client, exit code mirrors the response status *)
 let request_cmd =
-  let run port retries raw payload =
+  let run port retries retry_base_ms retry_seed raw payload =
     guard @@ fun () ->
     if raw then begin
       match Ipdb_serve.Client.request_raw ~retries ~port payload with
@@ -680,7 +694,15 @@ let request_cmd =
         exit 2
     end
     else
-      match Ipdb_serve.Client.request ~retries ~port payload with
+      let backoff =
+        {
+          Ipdb_serve.Client.default_backoff with
+          retries;
+          base_delay = float_of_int retry_base_ms /. 1000.0;
+          seed = retry_seed;
+        }
+      in
+      match Ipdb_serve.Client.request_with_retry ~backoff ~port payload with
       | Error msg ->
         Printf.eprintf "ipdb: %s\n" msg;
         exit 2
@@ -690,7 +712,23 @@ let request_cmd =
   in
   let port_arg = Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port.") in
   let retries_arg =
-    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc:"Connect retries (0.1s apart).")
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) times on connection-refused and E_BUSY sheds, with seeded \
+             exponential backoff and jitter (deterministic for a fixed --retry-seed). With --raw: \
+             plain connect retries, 0.1s apart.")
+  in
+  let retry_base_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "retry-base-ms" ] ~docv:"MS" ~doc:"First-retry backoff delay, before jitter.")
+  in
+  let retry_seed_arg =
+    Arg.(value & opt int 0 & info [ "retry-seed" ] ~docv:"SEED" ~doc:"Backoff jitter seed.")
   in
   let raw_arg =
     Arg.(value & flag & info [ "raw" ] ~doc:"Send the payload bytes verbatim, unframed (protocol tests).")
@@ -703,7 +741,8 @@ let request_cmd =
   in
   Cmd.v
     (Cmd.info "request" ~doc:"Send one request to a running ipdb serve daemon")
-    Term.(const run $ port_arg $ retries_arg $ raw_arg $ payload_arg)
+    Term.(
+      const run $ port_arg $ retries_arg $ retry_base_arg $ retry_seed_arg $ raw_arg $ payload_arg)
 
 (* version: package plus every on-disk/wire format version *)
 let version_cmd =

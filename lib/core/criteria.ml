@@ -196,6 +196,7 @@ let error_to_tokens = function
   | Ipdb_run.Error.Validation { what; msg } -> [ "validation"; tok_escape what; tok_escape msg ]
   | Ipdb_run.Error.Certificate { what; msg } -> [ "certificate"; tok_escape what; tok_escape msg ]
   | Ipdb_run.Error.Io { path; msg } -> [ "io"; tok_escape path; tok_escape msg ]
+  | Ipdb_run.Error.Locked { path; msg } -> [ "locked"; tok_escape path; tok_escape msg ]
   | Ipdb_run.Error.Exhausted { what; reason } ->
     "exhausted" :: tok_escape what :: exhaustion_to_tokens reason
   | Ipdb_run.Error.Injected_fault { site } -> [ "fault"; tok_escape site ]
@@ -212,6 +213,7 @@ let error_of_tokens toks =
   | [ "validation"; w; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Validation { what; msg }) w m
   | [ "certificate"; w; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Certificate { what; msg }) w m
   | [ "io"; p; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Io { path = what; msg }) p m
+  | [ "locked"; p; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Locked { path = what; msg }) p m
   | "exhausted" :: w :: rest ->
     let* what = tok_unescape w in
     let* reason = exhaustion_of_tokens rest in

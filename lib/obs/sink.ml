@@ -1,7 +1,9 @@
+module Env = Ipdb_env.Env
+
 type kind =
   | Null
   | Memory of string list ref
-  | File of { fd : Unix.file_descr; fsync : bool; mutable open_ : bool }
+  | File of { fd : Env.fd; fsync : bool; mutable open_ : bool }
 
 type t = { kind : kind; lock : Mutex.t }
 
@@ -19,7 +21,8 @@ let memory () =
   (t, read)
 
 let open_jsonl ?(fsync = false) path =
-  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+  let env = Env.current () in
+  match env.Env.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
   | fd -> Ok { kind = File { fd; fsync; open_ = true }; lock = Mutex.create () }
   | exception Unix.Unix_error (err, _, _) ->
     Error (Printf.sprintf "cannot open trace file %s: %s" path (Unix.error_message err))
@@ -31,8 +34,8 @@ let close t =
   (match t.kind with
   | File f when f.open_ ->
     f.open_ <- false;
-    (try Unix.fsync f.fd with Unix.Unix_error _ -> ());
-    (try Unix.close f.fd with Unix.Unix_error _ -> ())
+    (try f.fd.Env.fsync () with Unix.Unix_error _ -> ());
+    (try f.fd.Env.close () with Unix.Unix_error _ -> ())
   | _ -> ());
   Mutex.unlock t.lock
 
@@ -66,7 +69,7 @@ let emit_line line =
       (if f.open_ then
          try
            write_all f.fd (line ^ "\n");
-           if f.fsync then Unix.fsync f.fd
+           if f.fsync then f.fd.Env.fsync ()
          with Unix.Unix_error _ | Sys_error _ ->
            (* A failing trace must not fail the traced run: drop the
               sink and keep going. *)

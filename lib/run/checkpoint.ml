@@ -42,18 +42,11 @@ let save ~path payload =
   | exception Failure m -> io path (Printf.sprintf "checkpoint write failed: %s" m)
 
 let load ~path =
-  if not (Sys.file_exists path) then Ok None
+  if not ((Ipdb_env.Env.current ()).Ipdb_env.Env.exists path) then Ok None
   else
-    match
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in_noerr ic;
-      s
-    with
-    | exception Sys_error m -> io path m
-    | exception End_of_file -> invalid path "file shrank while reading"
-    | text -> (
+    match Ioutil.read_file path with
+    | Error m -> io path m
+    | Ok text -> (
         match String.index_opt text '\n' with
         | None -> invalid path "missing header line"
         | Some nl -> (

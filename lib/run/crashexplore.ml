@@ -1,0 +1,424 @@
+(* Exhaustive crash-point exploration over the simulated I/O environment.
+   See crashexplore.mli for the model and the three invariants. *)
+
+module Env = Ipdb_env.Env
+module Simenv = Ipdb_env.Simenv
+
+type scenario = {
+  name : string;
+  setup : unit -> unit;
+  work : ack:(string -> unit) -> unit;
+  recovered : unit -> (string list, string) result;
+  fingerprint : unit -> string;
+}
+
+type failure = {
+  scenario : string;
+  sweep : string;
+  op : int;
+  torn : int;
+  invariant : int;
+  detail : string;
+}
+
+type report = {
+  scenario : string;
+  io_ops : int;
+  crash_points : int;
+  byte_points : int;
+  errno_points : int;
+  lie_points : int;
+  trials : int;
+  acked_lost_under_lies : int;
+  failures : failure list;
+  recovery_total_s : float;
+  recovery_max_s : float;
+}
+
+type budget = {
+  stride : int;
+  byte_writes : int;
+  byte_tears : int;
+  errno_stride : int;
+  errnos : Unix.error list;
+}
+
+let default_budget =
+  { stride = 1; byte_writes = 6; byte_tears = 3; errno_stride = 4; errnos = [ Unix.ENOSPC ] }
+
+let full_budget =
+  { stride = 1; byte_writes = max_int; byte_tears = 8; errno_stride = 1;
+    errnos = [ Unix.ENOSPC; Unix.EIO ] }
+
+let with_sim sim f = Env.with_env (Simenv.env sim) f
+
+(* The uninterrupted run: records the op trace the sweeps enumerate, the
+   acknowledged records, and the canonical end-state fingerprint every
+   resumed trial must reproduce byte-for-byte. *)
+let baseline (s : scenario) =
+  let sim = Simenv.create () in
+  with_sim sim (fun () ->
+      s.setup ();
+      Simenv.reset_ops sim;
+      let acked = ref 0 in
+      s.work ~ack:(fun _ -> incr acked);
+      (* capture the op trace before fingerprinting: fingerprint reads are
+         not part of the interrupted run, so they are not fault points *)
+      let io_ops = Simenv.ops sim in
+      let op_log = Simenv.op_log sim in
+      let fp = s.fingerprint () in
+      (io_ops, op_log, !acked, fp))
+
+type trial_outcome = {
+  t_failures : failure list;
+  t_acked_lost : int;
+  t_recovery_s : float;
+}
+
+(* One interrupted run: fresh world, same deterministic work, with the
+   given fault plan armed. After the fault fires we reboot (a power cut
+   loses the page cache; a process-killing errno at worst does the same)
+   and check the three invariants. *)
+let trial (s : scenario) ~sweep ~op ~torn ~plan ~baseline_fp ~lies_expected =
+  let sim = Simenv.create () in
+  let fail invariant detail =
+    { scenario = s.name; sweep; op; torn; invariant; detail }
+  in
+  with_sim sim (fun () -> s.setup ());
+  Simenv.reset_ops sim;
+  Simenv.set_plan sim plan;
+  let acked = ref [] in
+  let failures = ref [] in
+  (try with_sim sim (fun () -> s.work ~ack:(fun r -> acked := r :: !acked)) with
+  | Simenv.Power_cut -> ()
+  | Unix.Unix_error _ | Failure _ -> ()
+  | e ->
+      failures :=
+        fail 1 (Printf.sprintf "work escaped with %s" (Printexc.to_string e)) :: !failures);
+  Simenv.reboot sim;
+  (* Invariant 1: recovery is total — it may report damage, never raise
+     or return an error on a crash-consistent image. *)
+  let t0 = Unix.gettimeofday () in
+  let recovered =
+    match with_sim sim (fun () -> s.recovered ()) with
+    | Ok rs -> Some rs
+    | Error m ->
+        failures := fail 1 (Printf.sprintf "recovery returned error: %s" m) :: !failures;
+        None
+    | exception e ->
+        failures := fail 1 (Printf.sprintf "recovery raised %s" (Printexc.to_string e)) :: !failures;
+        None
+  in
+  let recovery_s = Unix.gettimeofday () -. t0 in
+  (* Invariant 2: acknowledged records survive the cut — except under an
+     fsync lie, where losing them is the *point*; those trials count the
+     losses instead of failing. *)
+  let acked_lost =
+    match recovered with
+    | None -> 0
+    | Some rs ->
+        let lost = List.filter (fun a -> not (List.mem a rs)) (List.rev !acked) in
+        if lost <> [] && not lies_expected then
+          failures :=
+            fail 2
+              (Printf.sprintf "%d acknowledged record(s) lost, first %S" (List.length lost)
+                 (List.hd lost))
+            :: !failures;
+        List.length lost
+  in
+  (* Invariant 3: resuming from the crash-consistent image converges on
+     the byte-identical end state of the uninterrupted run. *)
+  (try
+     let fp = with_sim sim (fun () -> s.work ~ack:(fun _ -> ()); s.fingerprint ()) in
+     if fp <> baseline_fp then
+       failures :=
+         fail 3
+           (Printf.sprintf "resumed fingerprint differs (%d vs %d bytes)" (String.length fp)
+              (String.length baseline_fp))
+         :: !failures
+   with e ->
+     failures := fail 3 (Printf.sprintf "resume raised %s" (Printexc.to_string e)) :: !failures);
+  { t_failures = List.rev !failures; t_acked_lost = acked_lost; t_recovery_s = recovery_s }
+
+(* Evenly-spaced sample of at most [n] elements (keeps both extremes). *)
+let sample n xs =
+  let len = List.length xs in
+  if n <= 0 then []
+  else if len <= n then xs
+  else
+    let arr = Array.of_list xs in
+    List.init n (fun i -> arr.(i * (len - 1) / max 1 (n - 1)))
+
+let run ?(budget = default_budget) (s : scenario) =
+  let io_ops, op_log, base_acked, base_fp = baseline s in
+  if base_acked = 0 then
+    invalid_arg (Printf.sprintf "crashexplore: scenario %s acknowledges nothing" s.name);
+  let failures = ref [] in
+  let trials = ref 0 in
+  let acked_lost = ref 0 in
+  let rec_total = ref 0.0 in
+  let rec_max = ref 0.0 in
+  let run_trial ~sweep ~op ~torn ~plan ~lies_expected =
+    let o = trial s ~sweep ~op ~torn ~plan ~baseline_fp:base_fp ~lies_expected in
+    incr trials;
+    failures := !failures @ o.t_failures;
+    acked_lost := !acked_lost + o.t_acked_lost;
+    rec_total := !rec_total +. o.t_recovery_s;
+    if o.t_recovery_s > !rec_max then rec_max := o.t_recovery_s
+  in
+  (* Sweep 1: a power cut at every op boundary (nothing of the op's write,
+     if any, reaches the platter). *)
+  let stride = max 1 budget.stride in
+  let crash_points = ref 0 in
+  for k = 0 to io_ops - 1 do
+    if k mod stride = 0 then begin
+      incr crash_points;
+      run_trial ~sweep:"op" ~op:k ~torn:0
+        ~plan:{ Simenv.faults = [ Simenv.Crash { at = k; torn = 0 } ]; agitate = None }
+        ~lies_expected:false
+    end
+  done;
+  (* Sweep 2: torn writes — the cut lands mid-write, a prefix of the
+     pending bytes is already on the platter. *)
+  let writes =
+    List.filter (fun o -> o.Simenv.kind = Simenv.Write && o.Simenv.len > 1) op_log
+  in
+  let byte_points = ref 0 in
+  List.iter
+    (fun (o : Simenv.op) ->
+      let tears =
+        sample budget.byte_tears (List.init (o.Simenv.len - 1) (fun i -> i + 1))
+      in
+      List.iter
+        (fun torn ->
+          incr byte_points;
+          run_trial ~sweep:"byte" ~op:o.Simenv.index ~torn
+            ~plan:
+              { Simenv.faults = [ Simenv.Crash { at = o.Simenv.index; torn } ];
+                agitate = None }
+            ~lies_expected:false)
+        tears)
+    (sample budget.byte_writes writes);
+  (* Sweep 3: injected errnos (ENOSPC, EIO) — the op fails, the process
+     degrades or dies, the machine restarts. *)
+  let errno_stride = max 1 budget.errno_stride in
+  let errno_points = ref 0 in
+  for k = 0 to io_ops - 1 do
+    if k mod errno_stride = 0 then
+      List.iter
+        (fun errno ->
+          incr errno_points;
+          run_trial ~sweep:"errno" ~op:k ~torn:0
+            ~plan:{ Simenv.faults = [ Simenv.Err { at = k; errno } ]; agitate = None }
+            ~lies_expected:false)
+        budget.errnos
+  done;
+  (* Sweep 4: fsync lies — the fsync at op [f] reports success but
+     persists nothing, and the power fails at the next op. Acked records
+     may legitimately vanish (counted, not failed); recovery totality and
+     resume convergence must still hold. *)
+  let fsyncs = List.filter (fun o -> o.Simenv.kind = Simenv.Fsync) op_log in
+  let lie_points = ref 0 in
+  List.iter
+    (fun (o : Simenv.op) ->
+      let f = o.Simenv.index in
+      if f mod stride = 0 && f + 1 < io_ops then begin
+        incr lie_points;
+        run_trial ~sweep:"lie" ~op:f ~torn:0
+          ~plan:
+            { Simenv.faults =
+                [ Simenv.Fsync_lie { at = f }; Simenv.Crash { at = f + 1; torn = 0 } ];
+              agitate = None }
+          ~lies_expected:true
+      end)
+    fsyncs;
+  {
+    scenario = s.name;
+    io_ops;
+    crash_points = !crash_points;
+    byte_points = !byte_points;
+    errno_points = !errno_points;
+    lie_points = !lie_points;
+    trials = !trials;
+    acked_lost_under_lies = !acked_lost;
+    failures = !failures;
+    recovery_total_s = !rec_total;
+    recovery_max_s = !rec_max;
+  }
+
+let report_to_json (r : report) =
+  let module J = Ipdb_obs.Json in
+  J.to_string
+    (J.Obj
+       [
+         ("scenario", J.String r.scenario);
+         ("io_ops", J.Int r.io_ops);
+         ("crash_points", J.Int r.crash_points);
+         ("byte_points", J.Int r.byte_points);
+         ("errno_points", J.Int r.errno_points);
+         ("lie_points", J.Int r.lie_points);
+         ("trials", J.Int r.trials);
+         ("acked_lost_under_lies", J.Int r.acked_lost_under_lies);
+         ("failures", J.Int (List.length r.failures));
+         ("recovery_total_s", J.Float r.recovery_total_s);
+         ("recovery_max_s", J.Float r.recovery_max_s);
+         ( "recovery_mean_s",
+           J.Float (if r.trials = 0 then 0.0 else r.recovery_total_s /. float_of_int r.trials) );
+       ])
+
+let failure_to_string (f : failure) =
+  Printf.sprintf "%s/%s op=%d torn=%d invariant=%d: %s" f.scenario f.sweep f.op f.torn
+    f.invariant f.detail
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenarios: the journaled bench run and the checkpointed run *)
+(* ------------------------------------------------------------------ *)
+
+(* A journaled bench-style run: replay what the journal already holds,
+   then append (and ack) the missing records in order. Idempotent by
+   construction, which is exactly what resuming after a cut requires. *)
+let journal_scenario ?(path = "bench.journal") ?records () =
+  let records =
+    match records with
+    | Some rs -> rs
+    | None ->
+        [
+          "done example-3.5 ok\n  E(|D|) = 3";
+          "ckpt sum-p2.5\n1 42 1/10 3/10";
+          "done geometric partial\tafter 64 terms";
+          String.make 97 'x';
+          "bin\x01ary \\ record";
+        ]
+  in
+  {
+    name = "journal";
+    setup = (fun () -> ());
+    work =
+      (fun ~ack ->
+        let recovered =
+          match Journal.repair ~path with
+          | Ok { Journal.records; _ } -> records
+          | Error e -> failwith (Error.to_string e)
+        in
+        match Journal.open_append ~path () with
+        | Error e -> failwith (Error.to_string e)
+        | Ok j ->
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () ->
+                List.iteri
+                  (fun i r ->
+                    if i >= List.length recovered then
+                      match Journal.append j r with
+                      | Ok () -> ack r
+                      | Error e -> failwith (Error.to_string e))
+                  records));
+    recovered =
+      (fun () ->
+        match Journal.recover ~path with
+        | Ok { Journal.records; _ } -> Ok records
+        | Error e -> Error (Error.to_string e));
+    fingerprint =
+      (fun () ->
+        match Ioutil.read_file path with Ok s -> s | Error m -> failwith m);
+  }
+
+(* A checkpointed run: journal one record per step, atomically replace the
+   checkpoint snapshot every [every] steps. The resumed run must land on
+   the same journal bytes *and* the same snapshot bytes. *)
+let checkpoint_scenario ?(journal_path = "run.journal") ?(ckpt_path = "run.ckpt")
+    ?(steps = 6) ?(every = 2) () =
+  let step_record i = Printf.sprintf "step %d of %d" i steps in
+  let ckpt_payload i = Printf.sprintf "state after step %d\nsum=%d" i (i * (i + 1) / 2) in
+  {
+    name = "checkpoint";
+    setup = (fun () -> ());
+    work =
+      (fun ~ack ->
+        let done_steps =
+          match Journal.repair ~path:journal_path with
+          | Ok { Journal.records; _ } -> List.length records
+          | Error e -> failwith (Error.to_string e)
+        in
+        match Journal.open_append ~path:journal_path () with
+        | Error e -> failwith (Error.to_string e)
+        | Ok j ->
+            Fun.protect
+              ~finally:(fun () -> Journal.close j)
+              (fun () ->
+                for i = done_steps + 1 to steps do
+                  (match Journal.append j (step_record i) with
+                  | Ok () -> ack (step_record i)
+                  | Error e -> failwith (Error.to_string e));
+                  if i mod every = 0 then
+                    match Checkpoint.save ~path:ckpt_path (ckpt_payload i) with
+                    | Ok () -> ack ("ckpt " ^ string_of_int i)
+                    | Error e -> failwith (Error.to_string e)
+                done;
+                (* A cut can land between the last journal append and its
+                   checkpoint: the journal says "done", the snapshot lags.
+                   Converge by re-saving whenever the snapshot on disk is
+                   not the one the completed run would leave behind. *)
+                let last_save = steps / every * every in
+                if last_save >= 1 then
+                  let current =
+                    match Checkpoint.load ~path:ckpt_path with
+                    | Ok (Some p) -> Some p
+                    | Ok None -> None
+                    | Error e -> failwith (Error.to_string e)
+                  in
+                  if current <> Some (ckpt_payload last_save) then
+                    match Checkpoint.save ~path:ckpt_path (ckpt_payload last_save) with
+                    | Ok () -> ack ("ckpt " ^ string_of_int last_save)
+                    | Error e -> failwith (Error.to_string e)));
+    recovered =
+      (fun () ->
+        let ( let* ) = Result.bind in
+        let* journal =
+          match Journal.recover ~path:journal_path with
+          | Ok { Journal.records; _ } -> Ok records
+          | Error e -> Error (Error.to_string e)
+        in
+        let* ckpt =
+          match Checkpoint.load ~path:ckpt_path with
+          | Ok None -> Ok []
+          | Ok (Some payload) -> (
+              (* the snapshot names the step it captured; recompute which
+                 acks it re-certifies *)
+              match String.index_opt payload '\n' with
+              | None -> Ok []
+              | Some _ ->
+                  Ok
+                    (List.filter_map
+                       (fun i ->
+                         if payload = ckpt_payload i then
+                           Some ("ckpt " ^ string_of_int i)
+                         else None)
+                       (List.init steps (fun i -> i + 1))))
+          | Error e -> Error (Error.to_string e)
+        in
+        (* an acked "ckpt i" stays honoured if any *later* snapshot
+           superseded it; recovery reports every step the journal and the
+           latest snapshot jointly certify *)
+        let latest =
+          List.fold_left
+            (fun acc r ->
+              match int_of_string_opt (String.sub r 5 (String.length r - 5)) with
+              | Some i -> max acc i
+              | None -> acc)
+            0 ckpt
+        in
+        let superseded =
+          List.filter_map
+            (fun i -> if i mod every = 0 && i <= latest then Some ("ckpt " ^ string_of_int i) else None)
+            (List.init steps (fun i -> i + 1))
+        in
+        Ok (journal @ ckpt @ superseded));
+    fingerprint =
+      (fun () ->
+        let j = match Ioutil.read_file journal_path with Ok s -> s | Error m -> failwith m in
+        let c =
+          match Ioutil.read_file ckpt_path with Ok s -> s | Error m -> failwith m
+        in
+        j ^ "\x00" ^ c);
+  }

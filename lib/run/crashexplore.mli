@@ -1,0 +1,119 @@
+(** Exhaustive crash-point exploration for the durability stack.
+
+    The explorer runs a {!scenario} once, uninterrupted, under the
+    simulated I/O environment ({!Ipdb_env.Simenv}) to enumerate every I/O
+    call site it reaches, then re-runs it from a fresh world once per
+    fault point:
+
+    - {b op sweep}: a power cut at every operation boundary;
+    - {b byte sweep}: a power cut {e inside} a write, for a sampled set
+      of writes and torn-prefix lengths — the bytes before the tear are
+      on the platter, the rest never happened;
+    - {b errno sweep}: an injected [ENOSPC]/[EIO] at (a strided subset
+      of) every operation, followed by a restart;
+    - {b lie sweep}: an fsync that reports success but persists nothing,
+      with the power failing at the next operation — the
+      rename-visible-before-data family of crashes falls out of this
+      composed with {!Ioutil.atomic_replace}'s rename.
+
+    After every interrupted run the explorer reboots the simulated world
+    (the page cache is gone, locks die, descriptors are dead) and asserts
+    the three durability invariants:
+
+    + {b recovery is total} — the scenario's recovery procedure neither
+      raises nor returns an error on any crash-consistent image;
+    + {b acknowledged records survive} — everything acknowledged before
+      the cut is in the recovered set. Under an fsync {e lie} this is
+      expectedly violated; those trials count the losses
+      ({!report.acked_lost_under_lies}) instead of failing, documenting
+      precisely which contract an honest fsync buys;
+    + {b resume converges byte-identically} — re-running the (idempotent)
+      work from the recovered state reproduces the uninterrupted run's
+      fingerprint, byte for byte.
+
+    [test/test_crashexplore.ml] wires the built-in scenarios plus a
+    serve request cycle into [dune runtest] (bounded budget by default,
+    [IPDB_CRASH_SWEEP=full] for the full sweep); [bench/crash_sweep.ml]
+    records recovery-time statistics to [BENCH_PR7.json]. *)
+
+type scenario = {
+  name : string;
+  setup : unit -> unit;
+      (** prepare the initial world (runs under the sim env, before the
+          op clock is zeroed — setup ops are not fault points) *)
+  work : ack:(string -> unit) -> unit;
+      (** the run being interrupted. Must be {e resumable}: inspect the
+          (possibly partial) durable state and finish the job. Call
+          [ack r] only once record [r] is durably acknowledged —
+          acknowledged records are what invariant 2 protects. *)
+  recovered : unit -> (string list, string) result;
+      (** total recovery: report every durably-recovered record; an
+          [Error] or an exception is an invariant-1 violation *)
+  fingerprint : unit -> string;
+      (** canonical bytes of the end state (journal file, snapshot, …)
+          after a completed run — invariant 3 compares these *)
+}
+
+type failure = {
+  scenario : string;
+  sweep : string;  (** ["op"], ["byte"], ["errno"] or ["lie"] *)
+  op : int;  (** the faulted op index in the uninterrupted trace *)
+  torn : int;  (** torn-prefix length (byte sweep; [0] elsewhere) *)
+  invariant : int;  (** 1, 2 or 3 *)
+  detail : string;
+}
+
+type report = {
+  scenario : string;
+  io_ops : int;  (** I/O call sites reached by the uninterrupted run *)
+  crash_points : int;  (** op-boundary power-cut trials *)
+  byte_points : int;  (** mid-write power-cut trials *)
+  errno_points : int;  (** injected-errno trials *)
+  lie_points : int;  (** fsync-lie trials *)
+  trials : int;
+  acked_lost_under_lies : int;
+      (** acknowledged records lost across lie trials — nonzero means the
+          sim's lying fsync actually bites (the invariant-2 check is
+          waived only there) *)
+  failures : failure list;  (** empty iff every invariant held everywhere *)
+  recovery_total_s : float;
+  recovery_max_s : float;
+}
+
+type budget = {
+  stride : int;  (** op sweep: test every [stride]-th boundary *)
+  byte_writes : int;  (** byte sweep: at most this many writes *)
+  byte_tears : int;  (** byte sweep: tear offsets per write *)
+  errno_stride : int;  (** errno sweep: every [errno_stride]-th op *)
+  errnos : Unix.error list;
+}
+
+val default_budget : budget
+(** Bounded for [dune runtest]: full op sweep, 6 writes × 3 tears,
+    [ENOSPC] every 4th op. *)
+
+val full_budget : budget
+(** Every write, 8 tears each, [ENOSPC] and [EIO] at every op
+    ([IPDB_CRASH_SWEEP=full]). *)
+
+val run : ?budget:budget -> scenario -> report
+(** Baseline the scenario, then sweep. @raise Invalid_argument if the
+    scenario acknowledges nothing (a vacuous scenario would make the
+    invariants trivially true). *)
+
+val report_to_json : report -> string
+(** One JSON object (counts + recovery-time stats), for BENCH files. *)
+
+val failure_to_string : failure -> string
+
+val journal_scenario : ?path:string -> ?records:string list -> unit -> scenario
+(** The journaled bench run: repair, then append whatever of [records]
+    (default: a payload zoo — multi-line, binary, backslashes) is not
+    already durable, acknowledging each append after its fsync. *)
+
+val checkpoint_scenario :
+  ?journal_path:string -> ?ckpt_path:string -> ?steps:int -> ?every:int -> unit -> scenario
+(** A journal+checkpoint run: one journal record per step, an atomic
+    snapshot replace every [every] steps, converging the snapshot on
+    resume. Covers {!Ioutil.atomic_replace}'s full open/write/fsync/
+    rename/unlink surface plus {!Checkpoint.load}. *)

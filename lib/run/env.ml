@@ -1,0 +1,60 @@
+(* Pluggable I/O environment: the one seam between the durability stack
+   (ioutil, journal, checkpoint, trace sink, serve cache) and the
+   operating system. See env.mli. *)
+
+type fd = {
+  write : string -> int -> int -> int;
+  read : bytes -> int -> int -> int;
+  fsync : unit -> unit;
+  lock : unit -> bool;
+  unlock : unit -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  backend : string;
+  openfile : string -> Unix.open_flag list -> Unix.file_perm -> fd;
+  rename : string -> string -> unit;
+  unlink : string -> unit;
+  mkdir : string -> Unix.file_perm -> unit;
+  exists : string -> bool;
+}
+
+let of_unix u =
+  {
+    write = (fun s off len -> Unix.write_substring u s off len);
+    read = (fun b off len -> Unix.read u b off len);
+    fsync = (fun () -> Unix.fsync u);
+    lock =
+      (fun () ->
+        try
+          Unix.lockf u Unix.F_TLOCK 0;
+          true
+        with Unix.Unix_error ((Unix.EACCES | Unix.EAGAIN), _, _) -> false);
+    unlock = (fun () -> try Unix.lockf u Unix.F_ULOCK 0 with _ -> ());
+    close = (fun () -> Unix.close u);
+  }
+
+let unix =
+  {
+    backend = "unix";
+    openfile = (fun path flags perm -> of_unix (Unix.openfile path flags perm));
+    rename = Unix.rename;
+    unlink = Unix.unlink;
+    mkdir = Unix.mkdir;
+    exists = Sys.file_exists;
+  }
+
+(* The ambient environment. Per-fd operations dispatch through the record
+   captured at open time, so installing a simulated env mid-run never
+   redirects I/O on descriptors the real backend handed out (sockets in
+   particular keep working while a test simulates disk faults). *)
+let ambient : t Atomic.t = Atomic.make unix
+
+let current () = Atomic.get ambient
+let set e = Atomic.set ambient e
+let reset () = Atomic.set ambient unix
+
+let with_env e f =
+  let prev = Atomic.exchange ambient e in
+  Fun.protect ~finally:(fun () -> Atomic.set ambient prev) f

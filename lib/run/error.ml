@@ -8,6 +8,7 @@ type t =
   | Validation of { what : string; msg : string }
   | Certificate of { what : string; msg : string }
   | Io of { path : string; msg : string }
+  | Locked of { path : string; msg : string }
   | Exhausted of { what : string; reason : exhaustion }
   | Injected_fault of { site : string }
   | Internal of { msg : string }
@@ -17,6 +18,7 @@ let code = function
   | Validation _ -> "E_VALIDATION"
   | Certificate _ -> "E_CERTIFICATE"
   | Io _ -> "E_IO"
+  | Locked _ -> "E_LOCKED"
   | Exhausted _ -> "E_BUDGET"
   | Injected_fault _ -> "E_FAULT"
   | Internal _ -> "E_INTERNAL"
@@ -31,6 +33,7 @@ let message = function
   | Validation { what; msg } -> Printf.sprintf "invalid %s: %s" what msg
   | Certificate { what; msg } -> Printf.sprintf "certificate rejected for %s: %s" what msg
   | Io { path; msg } -> Printf.sprintf "I/O failure on %s: %s" path msg
+  | Locked { path; msg } -> Printf.sprintf "single-writer lock refused on %s: %s" path msg
   | Exhausted { what; reason } -> Printf.sprintf "%s: %s" what (exhaustion_to_string reason)
   | Injected_fault { site } -> Printf.sprintf "injected fault at site %s" site
   | Internal { msg } -> Printf.sprintf "internal error: %s" msg
@@ -38,7 +41,7 @@ let message = function
 let to_string e = code e ^ ": " ^ message e
 
 let exit_code = function
-  | Parse _ | Validation _ | Io _ -> 2
+  | Parse _ | Validation _ | Io _ | Locked _ -> 2
   | Exhausted _ -> 3
   | Certificate _ | Injected_fault _ | Internal _ -> 4
 

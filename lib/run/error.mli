@@ -39,6 +39,10 @@ type t =
           term, or the certificate's parameters are out of range. *)
   | Io of { path : string; msg : string }
       (** File-system failure while reading or writing [path]. *)
+  | Locked of { path : string; msg : string }
+      (** Another writer holds the advisory single-writer lock on [path]
+          (journal or cache-snapshot); refusing beats interleaving
+          appends. The [--force-lock] escape hatch bypasses the check. *)
   | Exhausted of { what : string; reason : exhaustion }
       (** A {!Budget} ran out inside the computation named [what]. *)
   | Injected_fault of { site : string }
@@ -48,7 +52,7 @@ type t =
 
 val code : t -> string
 (** Stable machine-readable code: one of ["E_PARSE"], ["E_VALIDATION"],
-    ["E_CERTIFICATE"], ["E_IO"], ["E_BUDGET"], ["E_FAULT"],
+    ["E_CERTIFICATE"], ["E_IO"], ["E_LOCKED"], ["E_BUDGET"], ["E_FAULT"],
     ["E_INTERNAL"]. *)
 
 val message : t -> string
@@ -61,7 +65,8 @@ val exhaustion_to_string : exhaustion -> string
 
 val exit_code : t -> int
 (** The CLI exit-code contract: [2] for usage-class errors (parse,
-    validation, I/O), [3] for budget exhaustion, [4] for certificate
+    validation, I/O, a refused single-writer lock), [3] for budget
+    exhaustion, [4] for certificate
     failures, injected faults and internal errors. Exit codes [0] (ok) and
     [1] (certified negative) are verdicts, not errors, and are assigned by
     the caller. *)

@@ -1,28 +1,64 @@
-(* Shared durable-I/O discipline: EINTR-safe write loops, fsync-before-ack,
-   atomic temp+fsync+rename replacement, and the FNV-1a/64 + line-escaping
-   framing integrity bits used by every on-disk format. See ioutil.mli. *)
+(* Shared durable-I/O discipline: EINTR-safe transfer loops, fsync-before-
+   ack, atomic temp+fsync+rename replacement, advisory single-writer lock
+   files, and the FNV-1a/64 + line-escaping framing integrity bits used by
+   every on-disk format. Every file operation is routed through the
+   pluggable {!Ipdb_env.Env} environment, so the simulated-fault backend
+   can exercise all of it. See ioutil.mli. *)
 
-let rec write_all fd s =
+module Env = Ipdb_env.Env
+
+let rec write_all (fd : Env.fd) s =
   let n = String.length s in
   let rec go off =
     if off < n then
-      match Unix.write_substring fd s off (n - off) with
+      match fd.Env.write s off (n - off) with
       | written -> go (off + written)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
-and fsync fd =
-  match Unix.fsync fd with
+and fsync (fd : Env.fd) =
+  match fd.Env.fsync () with
   | () -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> fsync fd
 
 let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  let env = Env.current () in
+  match env.Env.openfile dir [ Unix.O_RDONLY ] 0 with
   | fd ->
       (try fsync fd with _ -> ());
-      (try Unix.close fd with _ -> ())
+      (try fd.Env.close () with _ -> ())
   | exception _ -> ()
+
+let read_all (fd : Env.fd) =
+  let chunk = Bytes.create 65536 in
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match fd.Env.read chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let read_file path =
+  let env = Env.current () in
+  match env.Env.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Sys_error m -> Error m
+  | fd -> (
+      match read_all fd with
+      | text ->
+          (try fd.Env.close () with _ -> ());
+          Ok text
+      | exception Unix.Unix_error (e, _, _) ->
+          (try fd.Env.close () with _ -> ());
+          Error (Unix.error_message e)
+      | exception Sys_error m ->
+          (try fd.Env.close () with _ -> ());
+          Error m)
 
 let checksum s =
   let prime = 0x100000001b3L in
@@ -73,22 +109,53 @@ let unescape s =
   go 0
 
 let atomic_replace ~path text =
+  let env = Env.current () in
   let dir = Filename.dirname path in
   let tmp =
     Filename.concat dir
       (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
   in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let cleanup () = try Unix.close fd with _ -> () in
+  let fd = env.Env.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let cleanup () = try fd.Env.close () with _ -> () in
   match
     write_all fd text;
     fsync fd
   with
   | () ->
       cleanup ();
-      Unix.rename tmp path;
+      env.Env.rename tmp path;
       fsync_dir dir
   | exception e ->
       cleanup ();
-      (try Sys.remove tmp with _ -> ());
+      (try env.Env.unlink tmp with _ -> ());
       raise e
+
+(* ------------------------------------------------------------------ *)
+(* Advisory single-writer lock files                                   *)
+(* ------------------------------------------------------------------ *)
+
+type lock = { lock_fd : Env.fd; lock_file : string }
+
+let lock_file_of path = path ^ ".lock"
+
+let acquire_lock ~path =
+  let env = Env.current () in
+  let lf = lock_file_of path in
+  match env.Env.openfile lf [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot open lock file %s: %s" lf (Unix.error_message e))
+  | exception Sys_error m -> Error (Printf.sprintf "cannot open lock file %s: %s" lf m)
+  | fd ->
+      if
+        match fd.Env.lock () with
+        | ok -> ok
+        | exception _ -> false
+      then Ok { lock_fd = fd; lock_file = lf }
+      else begin
+        (try fd.Env.close () with _ -> ());
+        Error (Printf.sprintf "%s is held by another writer" lf)
+      end
+
+let release_lock l =
+  (try l.lock_fd.Env.unlock () with _ -> ());
+  try l.lock_fd.Env.close () with _ -> ()

@@ -24,10 +24,18 @@ let frame payload =
   Printf.sprintf "%s %d %016Lx %s\n" magic (String.length payload)
     (checksum payload) (escape payload)
 
+module Env = Ipdb_env.Env
+
 (* The mutex serialises appends from concurrent domains (pool workers
    checkpoint while the merge domain journals completions); each record
    still lands as a single write+fsync, so crash atomicity is unchanged. *)
-type t = { fd : Unix.file_descr; path : string; lock : Mutex.t; mutable closed : bool }
+type t = {
+  fd : Env.fd;
+  path : string;
+  lock : Mutex.t;
+  writer_lock : Ioutil.lock option;
+  mutable closed : bool;
+}
 
 module Metrics = Ipdb_obs.Metrics
 module Trace = Ipdb_obs.Trace
@@ -41,41 +49,61 @@ let io path msg =
   Error.emit e;
   Error e
 
-let open_append ~path =
-  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
-  | fd -> Ok { fd; path; lock = Mutex.create (); closed = false }
-  | exception Unix.Unix_error (e, _, _) ->
-      io path (Printf.sprintf "cannot open journal: %s" (Unix.error_message e))
-  | exception Sys_error m -> io path m
+let locked path msg =
+  let e = Error.Locked { path; msg } in
+  Error.emit e;
+  Error e
+
+let open_append ?(lock = true) ~path () =
+  let writer_lock =
+    if not lock then Ok None
+    else
+      match Ioutil.acquire_lock ~path with
+      | Ok l -> Ok (Some l)
+      | Error msg -> Error msg
+  in
+  match writer_lock with
+  | Error msg -> locked path msg
+  | Ok writer_lock -> (
+      let env = Env.current () in
+      match env.Env.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644 with
+      | fd -> Ok { fd; path; lock = Mutex.create (); writer_lock; closed = false }
+      | exception Unix.Unix_error (e, _, _) ->
+          Option.iter Ioutil.release_lock writer_lock;
+          io path (Printf.sprintf "cannot open journal: %s" (Unix.error_message e))
+      | exception Sys_error m ->
+          Option.iter Ioutil.release_lock writer_lock;
+          io path m)
 
 let append t payload =
   Mutex.lock t.lock;
-  let r =
-    if t.closed then io t.path "journal handle is closed"
-    else
-      let line = frame payload in
-      let len = String.length line in
-      match
-        Ioutil.write_all t.fd line;
-        Ioutil.fsync t.fd
-      with
-      | () ->
-          Metrics.incr m_appends;
-          Metrics.incr m_fsyncs;
-          Metrics.add m_bytes len;
-          Ok ()
-      | exception Unix.Unix_error (e, _, _) ->
-          io t.path (Printf.sprintf "journal append failed: %s" (Unix.error_message e))
-      | exception Failure m -> io t.path (Printf.sprintf "journal append failed: %s" m)
-  in
-  Mutex.unlock t.lock;
-  r
+  (* release on every exit: a simulated power cut (or any non-I/O
+     exception) escaping mid-append must not leave the mutex held, or the
+     close in the caller's cleanup path self-deadlocks *)
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if t.closed then io t.path "journal handle is closed"
+  else
+    let line = frame payload in
+    let len = String.length line in
+    match
+      Ioutil.write_all t.fd line;
+      Ioutil.fsync t.fd
+    with
+    | () ->
+        Metrics.incr m_appends;
+        Metrics.incr m_fsyncs;
+        Metrics.add m_bytes len;
+        Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        io t.path (Printf.sprintf "journal append failed: %s" (Unix.error_message e))
+    | exception Failure m -> io t.path (Printf.sprintf "journal append failed: %s" m)
 
 let close t =
   Mutex.lock t.lock;
   if not t.closed then (
     t.closed <- true;
-    try Unix.close t.fd with _ -> ());
+    (try t.fd.Env.close () with _ -> ());
+    Option.iter (fun l -> try Ioutil.release_lock l with _ -> ()) t.writer_lock);
   Mutex.unlock t.lock
 
 type tail = Clean | Torn of { line : int; reason : string }
@@ -116,37 +144,37 @@ let parse_line line =
                             else Ok payload)))))
 
 let read_file path =
-  match open_in_bin path with
-  | ic ->
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in_noerr ic;
-      Ok s
-  | exception Sys_error m -> io path m
+  match Ioutil.read_file path with Ok s -> Ok s | Error m -> io path m
 
 let recover ~path =
-  if not (Sys.file_exists path) then Ok { records = []; tail = Clean }
+  if not ((Env.current ()).Env.exists path) then Ok { records = []; tail = Clean }
   else
     match read_file path with
     | Error _ as e -> e
     | Ok text ->
         let n = String.length text in
         let records = ref [] in
-        (* Walk newline-terminated lines; a final chunk without '\n' is a
-           torn append unless it still verifies as a complete record. *)
+        (* Walk newline-terminated lines. A final chunk without '\n' is a
+           torn append even when its bytes verify as a complete record: a
+           tear can land exactly on the terminator, and appending after an
+           unterminated line would join two records on one physical line —
+           silently corrupting every record from there on at the *next*
+           recovery. The chunk's record was never fsync-acknowledged (the
+           cut hit mid-write), so dropping it is always safe. *)
         let rec go pos line_no =
           if pos >= n then Clean
           else
-            let stop, next =
+            let stop, next, terminated =
               match String.index_from_opt text pos '\n' with
-              | Some i -> (i, i + 1)
-              | None -> (n, n)
+              | Some i -> (i, i + 1, true)
+              | None -> (n, n, false)
             in
             let line = String.sub text pos (stop - pos) in
             match parse_line line with
-            | Ok payload ->
+            | Ok payload when terminated ->
                 records := payload :: !records;
                 go next (line_no + 1)
+            | Ok _ -> Torn { line = line_no; reason = "record tail lost its terminator" }
             | Error reason -> Torn { line = line_no; reason }
         in
         let tail = go 0 1 in

@@ -23,8 +23,13 @@ val format_version : string
 type t
 (** An open journal handle for appending. *)
 
-val open_append : path:string -> (t, Error.t) result
-(** Open (creating if missing) a journal for appending. *)
+val open_append : ?lock:bool -> path:string -> unit -> (t, Error.t) result
+(** Open (creating if missing) a journal for appending, through the
+    ambient {!Ipdb_env.Env} environment. Unless [~lock:false] is given,
+    first takes the advisory single-writer lock ([<path>.lock], see
+    {!Ioutil.acquire_lock}); refusal surfaces as [Error (Locked _)]
+    (["E_LOCKED"], exit 2) rather than risking interleaved appends from
+    two live writers. The lock is released by {!close}. *)
 
 val append : t -> string -> (unit, Error.t) result
 (** Append one record (any bytes) and [fsync]. *)

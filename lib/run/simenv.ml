@@ -1,0 +1,315 @@
+(* Deterministic simulated filesystem with seeded fault injection.
+   See simenv.mli for the model. *)
+
+exception Power_cut
+
+type fault =
+  | Crash of { at : int; torn : int }
+  | Crash_at_write of { path : string; nth : int; torn : int }
+  | Err of { at : int; errno : Unix.error }
+  | Fsync_lie of { at : int }
+
+type plan = { faults : fault list; agitate : int option }
+
+let quiet = { faults = []; agitate = None }
+
+type op_kind = Open | Read | Write | Fsync | Close | Rename | Unlink | Mkdir | Exists
+
+let op_kind_name = function
+  | Open -> "open"
+  | Read -> "read"
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Close -> "close"
+  | Rename -> "rename"
+  | Unlink -> "unlink"
+  | Mkdir -> "mkdir"
+  | Exists -> "exists"
+
+type op = { index : int; kind : op_kind; path : string; len : int }
+
+type t = {
+  view : (string, string) Hashtbl.t;  (* what the process sees *)
+  disk : (string, string) Hashtbl.t;  (* what survives a power cut *)
+  dirs : (string, unit) Hashtbl.t;
+  locks : (string, unit) Hashtbl.t;
+  write_counts : (string, int) Hashtbl.t;  (* per-path write ordinals *)
+  mutable op : int;
+  mutable gen : int;  (* bumped on reboot: descriptors from before are dead *)
+  mutable dead : bool;
+  mutable plan : plan;
+  mutable rng : Random.State.t option;
+  mutable lied : int;
+  mutable log : op list;  (* reverse chronological *)
+}
+
+let rng_of_plan plan =
+  Option.map (fun seed -> Random.State.make [| seed; 0x53696d |]) plan.agitate
+
+let create ?(plan = quiet) () =
+  {
+    view = Hashtbl.create 16;
+    disk = Hashtbl.create 16;
+    dirs = Hashtbl.create 4;
+    locks = Hashtbl.create 4;
+    write_counts = Hashtbl.create 16;
+    op = 0;
+    gen = 0;
+    dead = false;
+    plan;
+    rng = rng_of_plan plan;
+    lied = 0;
+    log = [];
+  }
+
+let set_plan t plan =
+  t.plan <- plan;
+  t.rng <- rng_of_plan plan
+
+let ops t = t.op
+let op_log t = List.rev t.log
+let fsync_lies t = t.lied
+
+let reset_ops t =
+  t.op <- 0;
+  t.log <- [];
+  t.lied <- 0;
+  Hashtbl.reset t.write_counts
+
+let reboot t =
+  t.gen <- t.gen + 1;
+  t.dead <- false;
+  Hashtbl.reset t.view;
+  Hashtbl.iter (fun p c -> Hashtbl.replace t.view p c) t.disk;
+  Hashtbl.reset t.locks;
+  set_plan t quiet
+
+let wipe t =
+  Hashtbl.reset t.view;
+  Hashtbl.reset t.disk;
+  Hashtbl.reset t.dirs;
+  Hashtbl.reset t.locks;
+  t.gen <- t.gen + 1;
+  t.dead <- false;
+  t.lied <- 0;
+  reset_ops t;
+  set_plan t quiet
+
+let dump_disk t =
+  Hashtbl.fold (fun p c acc -> (p, c) :: acc) t.disk []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let read_disk t path = Hashtbl.find_opt t.disk path
+let read_view t path = Hashtbl.find_opt t.view path
+
+let unix_err errno fn path = raise (Unix.Unix_error (errno, fn, path))
+
+let view t path = Option.value ~default:"" (Hashtbl.find_opt t.view path)
+let disk_len t path = String.length (Option.value ~default:"" (Hashtbl.find_opt t.disk path))
+
+let power_cut t =
+  t.dead <- true;
+  raise Power_cut
+
+(* Advance the op clock and consult the plan. Returns [(crash, lie)]:
+   [crash = Some torn] means this op is a power-cut point ([torn] bytes of
+   a write's pending tail reach the platter first); [lie] marks a lying
+   fsync. Injected errnos raise here, before the op has any effect. *)
+let gate t kind path ~len =
+  if t.dead then unix_err Unix.EIO (op_kind_name kind) path;
+  let k = t.op in
+  t.op <- t.op + 1;
+  t.log <- { index = k; kind; path; len } :: t.log;
+  let nth =
+    if kind = Write then begin
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.write_counts path) in
+      Hashtbl.replace t.write_counts path (n + 1);
+      n
+    end
+    else -1
+  in
+  List.iter
+    (function
+      | Err { at; errno } when at = k -> unix_err errno (op_kind_name kind) path
+      | _ -> ())
+    t.plan.faults;
+  let crash =
+    List.find_map
+      (function
+        | Crash { at; torn } when at = k -> Some torn
+        | Crash_at_write { path = p; nth = n; torn } when kind = Write && p = path && n = nth ->
+            Some torn
+        | _ -> None)
+      t.plan.faults
+  in
+  let lie = List.exists (function Fsync_lie { at } -> at = k | _ -> false) t.plan.faults in
+  (crash, lie)
+
+(* Seeded agitation: occasionally raise EINTR, and cap transfer lengths so
+   callers' retry loops actually loop. Deterministic for a given seed and
+   op sequence. *)
+let agitate t fn path len =
+  match t.rng with
+  | None -> len
+  | Some rng ->
+      if len > 0 && Random.State.int rng 8 = 0 then unix_err Unix.EINTR fn path;
+      if len <= 1 then len else 1 + Random.State.int rng len
+
+let openfile t path flags _perm =
+  (match gate t Open path ~len:0 with Some _, _ -> power_cut t | None, _ -> ());
+  if Hashtbl.mem t.dirs path then begin
+    (* fsync_dir opens directories read-only; give it an inert handle. *)
+    let dead_check fn = if t.dead then unix_err Unix.EIO fn path in
+    {
+      Env.write = (fun _ _ _ -> unix_err Unix.EISDIR "write" path);
+      read = (fun _ _ _ -> unix_err Unix.EISDIR "read" path);
+      fsync =
+        (fun () ->
+          dead_check "fsync";
+          ignore (gate t Fsync path ~len:0));
+      lock = (fun () -> true);
+      unlock = (fun () -> ());
+      close = (fun () -> ignore (gate t Close path ~len:0));
+    }
+  end
+  else begin
+    let exists = Hashtbl.mem t.view path in
+    if (not exists) && not (List.mem Unix.O_CREAT flags) then unix_err Unix.ENOENT "open" path;
+    if not exists then Hashtbl.replace t.view path "";
+    if List.mem Unix.O_TRUNC flags then begin
+      (* Truncation is metadata and journals quickly; model it as
+         immediately persistent. *)
+      Hashtbl.replace t.view path "";
+      if Hashtbl.mem t.disk path then Hashtbl.replace t.disk path ""
+    end;
+    let gen = t.gen in
+    let pos = ref 0 in
+    let closed = ref false in
+    let holds_lock = ref false in
+    let check fn =
+      if t.dead || t.gen <> gen then unix_err Unix.EIO fn path;
+      if !closed then unix_err Unix.EBADF fn path
+    in
+    let release () =
+      if !holds_lock then begin
+        holds_lock := false;
+        Hashtbl.remove t.locks path
+      end
+    in
+    {
+      Env.write =
+        (fun s off len ->
+          check "write";
+          let len = agitate t "write" path len in
+          let crash, _ = gate t Write path ~len in
+          let data = String.sub s off len in
+          (match crash with
+          | Some torn ->
+              (* Power cut mid-write: the page cache flushes in order, so
+                 the platter gains up to [torn] more bytes of the file's
+                 pending tail (earlier un-fsynced bytes flush first). *)
+              let full = view t path ^ data in
+              let keep = min (String.length full) (disk_len t path + max 0 torn) in
+              if keep > 0 then Hashtbl.replace t.disk path (String.sub full 0 keep);
+              power_cut t
+          | None -> ());
+          Hashtbl.replace t.view path (view t path ^ data);
+          len)
+      ;
+      read =
+        (fun buf off len ->
+          check "read";
+          let content = view t path in
+          let avail = String.length content - !pos in
+          if avail <= 0 then begin
+            ignore (gate t Read path ~len:0);
+            0
+          end
+          else begin
+            let len = min len avail in
+            let len = agitate t "read" path len in
+            let crash, _ = gate t Read path ~len in
+            (match crash with Some _ -> power_cut t | None -> ());
+            Bytes.blit_string content !pos buf off len;
+            pos := !pos + len;
+            len
+          end)
+      ;
+      fsync =
+        (fun () ->
+          check "fsync";
+          let crash, lie = gate t Fsync path ~len:0 in
+          (match crash with Some _ -> power_cut t | None -> ());
+          if lie then t.lied <- t.lied + 1
+          else Hashtbl.replace t.disk path (view t path))
+      ;
+      lock =
+        (fun () ->
+          check "lock";
+          if Hashtbl.mem t.locks path then false
+          else begin
+            Hashtbl.replace t.locks path ();
+            holds_lock := true;
+            true
+          end)
+      ;
+      unlock =
+        (fun () ->
+          check "unlock";
+          release ())
+      ;
+      close =
+        (fun () ->
+          if t.dead || t.gen <> gen then unix_err Unix.EIO "close" path;
+          if !closed then unix_err Unix.EBADF "close" path;
+          let crash, _ = gate t Close path ~len:0 in
+          (match crash with Some _ -> power_cut t | None -> ());
+          closed := true;
+          release ())
+      ;
+    }
+  end
+
+let rename t src dst =
+  let crash, _ = gate t Rename src ~len:0 in
+  (match crash with Some _ -> power_cut t | None -> ());
+  if not (Hashtbl.mem t.view src) then unix_err Unix.ENOENT "rename" src;
+  Hashtbl.replace t.view dst (view t src);
+  Hashtbl.remove t.view src;
+  (* The directory entry persists with whatever content of [src] is
+     actually on the platter — if an earlier fsync lied, that is less
+     than the process believes, which is exactly the
+     rename-visible-before-data crash. *)
+  let durable = Option.value ~default:"" (Hashtbl.find_opt t.disk src) in
+  Hashtbl.remove t.disk src;
+  Hashtbl.replace t.disk dst durable;
+  Hashtbl.remove t.locks src
+
+let unlink t path =
+  let crash, _ = gate t Unlink path ~len:0 in
+  (match crash with Some _ -> power_cut t | None -> ());
+  if not (Hashtbl.mem t.view path) then unix_err Unix.ENOENT "unlink" path;
+  Hashtbl.remove t.view path;
+  Hashtbl.remove t.disk path;
+  Hashtbl.remove t.locks path
+
+let mkdir t path _perm =
+  let crash, _ = gate t Mkdir path ~len:0 in
+  (match crash with Some _ -> power_cut t | None -> ());
+  if Hashtbl.mem t.dirs path || Hashtbl.mem t.view path then unix_err Unix.EEXIST "mkdir" path;
+  Hashtbl.replace t.dirs path ()
+
+let exists t path =
+  let crash, _ = gate t Exists path ~len:0 in
+  (match crash with Some _ -> power_cut t | None -> ());
+  Hashtbl.mem t.view path || Hashtbl.mem t.dirs path
+
+let env t =
+  {
+    Env.backend = "sim";
+    openfile = (fun path flags perm -> openfile t path flags perm);
+    rename = (fun src dst -> rename t src dst);
+    unlink = (fun path -> unlink t path);
+    mkdir = (fun path perm -> mkdir t path perm);
+    exists = (fun path -> exists t path);
+  }

@@ -1,0 +1,102 @@
+(** Simulated I/O backend with deterministic, seeded fault injection.
+
+    An in-memory filesystem implementing {!Env.t}, built for
+    FoundationDB-style simulation testing of the durability stack: the
+    crash-point explorer runs real [Journal]/[Checkpoint]/cache code
+    against this backend and sweeps a {e fault plan} over every I/O
+    operation the workload performs.
+
+    {2 The model}
+
+    Each file has two contents: the {b view} (what the process observes)
+    and the {b disk} (what survives a power cut). Writes append to the
+    view; an honest [fsync] copies view to disk; [rename]/[unlink]
+    persist their directory-entry change immediately, a renamed file
+    carrying only its {e disk} content (so a lying fsync followed by a
+    rename yields the classic rename-visible-before-data crash).
+    [O_TRUNC] truncates both. Writes are modeled as sequential appends —
+    the discipline every writer in this codebase follows (append-only
+    journal, fresh temp files, truncate-then-stream sinks); seek-and-
+    overwrite is not modeled.
+
+    {2 Fault classes}
+
+    - {!constructor:Crash} / {!constructor:Crash_at_write} — a power cut
+      at a chosen operation index (or the [nth] write to a path). For a
+      cut landing on a write, [torn] bytes of the file's un-fsynced tail
+      reach the disk first, in order — sweeping [torn] over [0..len]
+      explores every byte boundary of a torn write. After the cut the
+      backend is {e dead}: every operation raises [EIO] until {!reboot},
+      which resets each view to its disk content (and releases all
+      advisory locks, like a real reboot).
+    - {!constructor:Err} — raise a chosen errno ([ENOSPC], [EIO], …) at a
+      chosen operation, with no crash: exercises typed-error degradation.
+    - {!constructor:Fsync_lie} — the fsync at a chosen operation reports
+      success without persisting; the loss only surfaces at the next
+      power cut, like real volatile write caches.
+    - [agitate] — a seed enabling short writes, short reads and
+      spurious [EINTR]s on every transfer, deterministically; callers'
+      retry loops must mask all of it.
+
+    Operations are numbered from 0 in execution order ({!ops} reads the
+    clock, {!op_log} the per-op kinds/paths/lengths), which is what lets
+    the explorer enumerate crash points exhaustively. *)
+
+exception Power_cut
+(** Raised (once) by the operation a {!constructor:Crash} lands on; the
+    backend is dead afterwards until {!reboot}. *)
+
+type fault =
+  | Crash of { at : int; torn : int }
+      (** power-cut at op index [at]; [torn] pending bytes hit disk first *)
+  | Crash_at_write of { path : string; nth : int; torn : int }
+      (** power-cut at the [nth] (0-based) write to [path] *)
+  | Err of { at : int; errno : Unix.error }  (** raise [errno] at op [at] *)
+  | Fsync_lie of { at : int }  (** the fsync at op [at] persists nothing *)
+
+type plan = { faults : fault list; agitate : int option }
+
+val quiet : plan
+(** No faults, no agitation. *)
+
+type op_kind = Open | Read | Write | Fsync | Close | Rename | Unlink | Mkdir | Exists
+
+val op_kind_name : op_kind -> string
+
+type op = { index : int; kind : op_kind; path : string; len : int }
+
+type t
+
+val create : ?plan:plan -> unit -> t
+val env : t -> Env.t
+(** The {!Env.t} backend view of this simulator (install with
+    [Env.set]/[Env.with_env]). *)
+
+val set_plan : t -> plan -> unit
+(** Replace the fault plan (resets the agitation PRNG from its seed). *)
+
+val ops : t -> int
+(** Operations performed since creation / the last {!reset_ops}. *)
+
+val op_log : t -> op list
+(** Chronological log of those operations. *)
+
+val reset_ops : t -> unit
+(** Zero the op clock and log (the filesystem contents are untouched). *)
+
+val fsync_lies : t -> int
+(** Lying fsyncs fired so far. *)
+
+val reboot : t -> unit
+(** Simulated power-cycle: every view resets to its disk content, open
+    descriptors die, advisory locks are released, the plan becomes
+    {!quiet}. The op clock keeps counting. *)
+
+val wipe : t -> unit
+(** Fresh empty filesystem, clock at 0, quiet plan. *)
+
+val dump_disk : t -> (string * string) list
+(** Durable contents, sorted by path. *)
+
+val read_disk : t -> string -> string option
+val read_view : t -> string -> string option

@@ -56,5 +56,54 @@ let read_line_raw fd =
 let request_raw ?retries ~port bytes =
   with_conn ?retries ~port @@ fun fd ->
   (* raw means raw: write the caller's bytes, not a frame *)
-  (try Ioutil.write_all fd bytes with _ -> ());
+  (try Ioutil.write_all (Ipdb_env.Env.of_unix fd) bytes with _ -> ());
   read_line_raw fd
+
+(* ------------------------------------------------------------------ *)
+(* Seeded retry with exponential backoff                               *)
+(* ------------------------------------------------------------------ *)
+
+module Supervisor = Ipdb_run.Supervisor
+
+type backoff = { retries : int; base_delay : float; max_delay : float; seed : int }
+
+let default_backoff = { retries = 0; base_delay = 0.1; max_delay = 5.0; seed = 0 }
+
+(* Reuse the supervisor's deterministic jittered schedule: same seed,
+   same attempt => same delay, so retry traces are reproducible. *)
+let backoff_delay b ~attempt =
+  Supervisor.backoff_delay
+    {
+      Supervisor.default_policy with
+      base_delay = b.base_delay;
+      max_delay = b.max_delay;
+      seed = b.seed;
+    }
+    ~task:"client.request" ~attempt
+
+let retryable_error msg =
+  (* connect(2) refusals while the daemon is (re)starting *)
+  let has needle =
+    let n = String.length needle and m = String.length msg in
+    let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+    go 0
+  in
+  has "Connection refused" || has "Connection reset"
+
+let request_with_retry ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ~port payload =
+  let rec go attempt =
+    let r = request ~port payload in
+    let retry =
+      attempt <= backoff.retries
+      &&
+      match r with
+      | Ok resp -> resp.Protocol.status = Protocol.Busy
+      | Error msg -> retryable_error msg
+    in
+    if retry then begin
+      sleep (backoff_delay backoff ~attempt);
+      go (attempt + 1)
+    end
+    else r
+  in
+  go 1

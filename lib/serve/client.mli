@@ -15,3 +15,28 @@ val request : ?retries:int -> port:int -> string -> (Protocol.response, string) 
 val request_raw : ?retries:int -> port:int -> string -> (string, string) result
 (** Send raw bytes verbatim (no framing — the malformed-frame test path)
     and read back one response line, unparsed. *)
+
+type backoff = {
+  retries : int;  (** extra attempts after the first (0 = no retry) *)
+  base_delay : float;  (** first-retry delay, seconds, before jitter *)
+  max_delay : float;  (** exponential growth cap, seconds *)
+  seed : int;  (** jitter seed — fixed seed, fixed schedule *)
+}
+(** Retry policy for {!request_with_retry}: exponential backoff with
+    deterministic jitter (the supervisor's schedule, see
+    {!Ipdb_run.Supervisor.backoff_delay}). *)
+
+val default_backoff : backoff
+(** [{ retries = 0; base_delay = 0.1; max_delay = 5.0; seed = 0 }]. *)
+
+val backoff_delay : backoff -> attempt:int -> float
+(** The exact delay slept before retry [attempt] (1-based). Pure:
+    exposed so tests can assert the schedule is deterministic. *)
+
+val request_with_retry :
+  ?backoff:backoff -> ?sleep:(float -> unit) -> port:int -> string -> (Protocol.response, string) result
+(** {!request}, retrying on the two transient outcomes — connection
+    refused/reset (daemon still starting or restarting) and an [E_BUSY]
+    shed — with the seeded backoff schedule. Any other response or error
+    is returned as-is. [ipdb request --retries N --retry-base-ms M] is a
+    thin wrapper over this. *)

@@ -68,7 +68,11 @@ let read_frame fd =
   in
   go ()
 
-let write_frame fd payload = Ioutil.write_all fd (frame payload)
+(* Sockets are wrapped per-call with [Env.of_unix]: frame writes share
+   Ioutil's EINTR/short-write loop but never route through the ambient
+   (possibly simulated) environment — a simulated disk must not swallow
+   wire bytes. *)
+let write_frame fd payload = Ioutil.write_all (Ipdb_env.Env.of_unix fd) (frame payload)
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)

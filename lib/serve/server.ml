@@ -30,6 +30,7 @@ type config = {
   fault_rate : float;
   fault_seed : int;
   slow_worker : float;
+  force_lock : bool;
 }
 
 let default_config =
@@ -47,6 +48,7 @@ let default_config =
     fault_rate = 0.0;
     fault_seed = 0;
     slow_worker = 0.0;
+    force_lock = false;
   }
 
 let m_accepted = Metrics.counter "serve.accepted"
@@ -58,6 +60,7 @@ let m_torn = Metrics.counter "serve.torn_connections"
 let m_proto_errors = Metrics.counter "serve.proto_errors"
 let m_queue_depth = Metrics.gauge "serve.queue_depth"
 let m_latency_ms = Metrics.histogram "serve.latency_ms"
+let m_io_errors = Metrics.counter "serve.io_errors"
 
 type t = {
   cfg : config;
@@ -66,6 +69,7 @@ type t = {
   pool : Pool.t;
   cache : Cache.t;
   journal : Journal.t option;
+  cache_lock : Ioutil.lock option;
   stopping : bool Atomic.t;
   stopped : bool Atomic.t;
   in_flight : int Atomic.t;
@@ -329,12 +333,21 @@ let journal_append t payload =
 
 let set_queue_gauge (t : t) = Metrics.set_gauge m_queue_depth (float_of_int (Atomic.get t.in_flight))
 
+(* An I/O failure on a durability path (journal append, cache snapshot) is
+   counted and traced, but never kills the daemon: the failing request gets
+   a structured E_IO response and the next request is admitted normally. *)
+let note_io_error = function
+  | Ok _ -> ()
+  | Error e ->
+      Metrics.incr m_io_errors;
+      Run_error.emit e
+
 let maybe_checkpoint_cache t =
   match t.cfg.cache_file with
   | None -> ()
   | Some path ->
       if Atomic.fetch_and_add t.completions 1 mod t.cfg.checkpoint_every = t.cfg.checkpoint_every - 1
-      then ignore (Cache.checkpoint t.cache ~path)
+      then note_io_error (Cache.checkpoint t.cache ~path)
 
 (* Compute a response for an already-parsed request, going through the
    cache and the journal. Shared by live connections and journal replay. *)
@@ -362,11 +375,15 @@ let answer (t : t) req opts ~degraded =
             match journal_err with
             | Error e ->
                 (* The durability contract is broken: refuse rather than
-                   compute an answer that could not be replayed. *)
+                   compute an answer that could not be replayed. The
+                   daemon itself stays up — an ENOSPC/EIO on one append
+                   fails that request with a stable E_IO body and the
+                   next request is admitted normally. *)
+                note_io_error journal_err;
                 { status = Internal; body = Run_error.to_string e }
             | Ok () ->
                 let resp = evaluate t req opts ~degraded in
-                ignore
+                note_io_error
                   (journal_append t
                      (Printf.sprintf "done %d %s" id (Protocol.render_response resp)));
                 if Protocol.cacheable resp.status then begin
@@ -396,7 +413,8 @@ let complete_pending (t : t) id req opts =
               Cache.put t.cache ~key (Protocol.render_response resp);
             resp)
   in
-  ignore (journal_append t (Printf.sprintf "done %d %s" id (Protocol.render_response resp)))
+  note_io_error
+    (journal_append t (Printf.sprintf "done %d %s" id (Protocol.render_response resp)))
 
 let respond conn resp =
   match Protocol.write_frame conn (Protocol.render_response resp) with
@@ -545,7 +563,7 @@ let replay t records =
      catch up too so a following crash loses nothing. *)
   if ids <> [] then
     match t.cfg.cache_file with
-    | Some path -> ignore (Cache.checkpoint t.cache ~path)
+    | Some path -> note_io_error (Cache.checkpoint t.cache ~path)
     | None -> ()
 
 let start cfg =
@@ -554,24 +572,64 @@ let start cfg =
     Faultinj.arm ~seed:cfg.fault_seed ~rate:cfg.fault_rate [ Faultinj.Serve_worker ];
   let ( let* ) = Result.bind in
   (* Cache checkpoint first: a mixed-version snapshot must abort startup
-     before we touch the journal. *)
+     before we touch the journal. The snapshot path gets the same advisory
+     single-writer guard as the journal — two daemons checkpointing into
+     one file would interleave atomically-correct but mutually clobbering
+     snapshots. *)
+  let* cache_lock =
+    match cfg.cache_file with
+    | None -> Ok None
+    | Some _ when cfg.force_lock -> Ok None
+    | Some path -> (
+        match Ioutil.acquire_lock ~path with
+        | Ok l -> Ok (Some l)
+        | Error msg ->
+            let e = Run_error.Locked { path; msg } in
+            Run_error.emit e;
+            Error e)
+  in
+  let release_cache_lock () = Option.iter Ioutil.release_lock cache_lock in
   let* cache =
-    match cfg.cache_file with None -> Ok (Cache.create ()) | Some path -> Cache.load ~path
+    match cfg.cache_file with
+    | None -> Ok (Cache.create ())
+    | Some path -> (
+        match Cache.load ~path with
+        | Ok c -> Ok c
+        | Error e ->
+            release_cache_lock ();
+            Error e)
   in
   (* Journal: repair a torn tail, check the format header, remember the
      records for replay once the server object exists. *)
-  let* journal_state =
-    match cfg.journal with
-    | None -> Ok None
-    | Some path ->
-        let* { Journal.records; _ } = Journal.repair ~path in
-        let* () =
-          match records with [] -> Ok () | first :: _ -> check_header path first
-        in
-        let* j = Journal.open_append ~path in
-        let* () = if records = [] then Journal.append j journal_header else Ok () in
-        Ok (Some (j, records))
+  let guard r =
+    match r with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+        release_cache_lock ();
+        e
   in
+  let* journal_state =
+    guard
+      (match cfg.journal with
+      | None -> Ok None
+      | Some path ->
+          let* { Journal.records; _ } = Journal.repair ~path in
+          let* () =
+            match records with [] -> Ok () | first :: _ -> check_header path first
+          in
+          let* j = Journal.open_append ~lock:(not cfg.force_lock) ~path () in
+          let* () =
+            if records = [] then (
+              match Journal.append j journal_header with
+              | Ok () -> Ok ()
+              | Error _ as e ->
+                  Journal.close j;
+                  e)
+            else Ok ()
+          in
+          Ok (Some (j, records)))
+  in
+  let close_journal () = Option.iter (fun (j, _) -> Journal.close j) journal_state in
   let* listen_fd =
     match
       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -582,6 +640,8 @@ let start cfg =
     with
     | fd -> Ok fd
     | exception Unix.Unix_error (e, _, _) ->
+        close_journal ();
+        release_cache_lock ();
         Error
           (Run_error.Io
              {
@@ -602,6 +662,7 @@ let start cfg =
       pool;
       cache;
       journal = Option.map fst journal_state;
+      cache_lock;
       stopping = Atomic.make false;
       stopped = Atomic.make false;
       in_flight = Atomic.make 0;
@@ -617,11 +678,23 @@ let start cfg =
       accept_domain = None;
     }
   in
-  (match journal_state with Some (_, records) -> replay t records | None -> ());
-  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
-  Trace.event "serve.started"
-    ~attrs:[ ("port", Json.Int bound_port); ("jobs", Json.Int jobs); ("capacity", Json.Int t.capacity) ];
-  Ok t
+  match
+    (match journal_state with Some (_, records) -> replay t records | None -> ());
+    t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t))
+  with
+  | () ->
+      Trace.event "serve.started"
+        ~attrs:
+          [ ("port", Json.Int bound_port); ("jobs", Json.Int jobs); ("capacity", Json.Int t.capacity) ];
+      Ok t
+  | exception e ->
+      (* Replay hitting a dying disk (or a failed domain spawn) must not
+         leak the pool's domains, the socket, or the locks. *)
+      Pool.shutdown pool;
+      (try Unix.close listen_fd with _ -> ());
+      close_journal ();
+      release_cache_lock ();
+      raise e
 
 let stop ?(drain_timeout = 30.0) t =
   if not (Atomic.exchange t.stopped true) then begin
@@ -636,9 +709,10 @@ let stop ?(drain_timeout = 30.0) t =
     done;
     Pool.shutdown t.pool;
     (match t.cfg.cache_file with
-    | Some path -> ignore (Cache.checkpoint t.cache ~path)
+    | Some path -> note_io_error (Cache.checkpoint t.cache ~path)
     | None -> ());
     (match t.journal with Some j -> Journal.close j | None -> ());
+    Option.iter Ioutil.release_lock t.cache_lock;
     if t.cfg.fault_rate > 0.0 then Faultinj.disarm ();
     Trace.event "serve.stopped"
       ~attrs:[ ("served", Json.Int (Atomic.get t.n_served)); ("shed", Json.Int (Atomic.get t.n_shed)) ]

@@ -50,6 +50,10 @@ type config = {
   fault_rate : float;  (** arm {!Ipdb_run.Faultinj.Serve_worker} at this rate (tests) *)
   fault_seed : int;
   slow_worker : float;  (** injected per-request delay in seconds (tests/bench) *)
+  force_lock : bool;
+      (** skip the advisory single-writer locks on the journal and cache
+          snapshot ([--force-lock]) — for reclaiming a path whose lock
+          file survived an unclean platform, not for sharing the files *)
 }
 
 val default_config : config
@@ -63,8 +67,10 @@ val start : config -> (t, Ipdb_run.Error.t) result
 (** Bind, replay the journal (repairing a torn tail), load the cache
     checkpoint, spawn the accept loop and worker pool. Fails loudly —
     typed [Error], no partial daemon — on bind failure, journal damage, a
-    journal/cache written by a different format version, or an unreadable
-    cache checkpoint. *)
+    journal/cache written by a different format version, an unreadable
+    cache checkpoint, or (unless [force_lock]) a journal/cache path whose
+    advisory single-writer lock another live process holds
+    ([Error (Locked _)], ["E_LOCKED"], exit 2). *)
 
 val port : t -> int
 (** The bound port (the ephemeral port when the config said [0]). *)

@@ -193,7 +193,7 @@ let file_corruption_suite ~format ~seed_file_text ~check () =
 (* A well-formed journal file to mutate: a handful of framed records. *)
 let journal_file_text =
   let path = Filename.temp_file "ipdb-corrupt" ".journal-seed" in
-  (match Journal.open_append ~path with
+  (match Journal.open_append ~path () with
   | Ok j ->
     List.iter
       (fun p -> match Journal.append j p with Ok () -> () | Error _ -> ())

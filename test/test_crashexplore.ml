@@ -1,0 +1,306 @@
+(* Crash-point exploration over the simulated I/O environment.
+
+   The explorer (lib/run/crashexplore.ml) power-cuts a journaled run and a
+   checkpointed run at every reached I/O call site (and inside writes, and
+   with injected errnos, and under lying fsyncs), asserting after each cut
+   that recovery is total, acknowledged records survive, and a resumed run
+   converges byte-identically. This file wires it into `dune runtest` with
+   a bounded default budget — set IPDB_CRASH_SWEEP=full for the exhaustive
+   sweep — and adds the serve request cycle as a third scenario, QCheck
+   properties over Ioutil under seeded agitation, and the single-writer
+   lock contract. *)
+
+module Env = Ipdb_env.Env
+module Simenv = Ipdb_env.Simenv
+module Crashexplore = Ipdb_run.Crashexplore
+module Journal = Ipdb_run.Journal
+module Run_error = Ipdb_run.Error
+module Server = Ipdb_serve.Server
+module Client = Ipdb_serve.Client
+module Protocol = Ipdb_serve.Protocol
+
+let full_sweep = Sys.getenv_opt "IPDB_CRASH_SWEEP" = Some "full"
+
+let budget =
+  if full_sweep then Crashexplore.full_budget else Crashexplore.default_budget
+
+let check_clean (r : Crashexplore.report) =
+  List.iter
+    (fun f -> Printf.eprintf "FAIL %s\n%!" (Crashexplore.failure_to_string f))
+    r.Crashexplore.failures;
+  Alcotest.(check int)
+    (r.Crashexplore.scenario ^ ": all invariants hold at every fault point")
+    0
+    (List.length r.Crashexplore.failures);
+  Alcotest.(check bool) (r.Crashexplore.scenario ^ ": swept at least one op") true
+    (r.Crashexplore.crash_points > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in scenarios                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let journal_report = lazy (Crashexplore.run ~budget (Crashexplore.journal_scenario ()))
+
+let checkpoint_report =
+  lazy (Crashexplore.run ~budget (Crashexplore.checkpoint_scenario ()))
+
+let test_journal_sweep () =
+  let r = Lazy.force journal_report in
+  check_clean r;
+  (* every journal append is write+fsync: a lying fsync before a cut must
+     actually lose an acknowledged record somewhere in the sweep, or the
+     lie machinery isn't biting *)
+  Alcotest.(check bool) "fsync lies lose acked records" true
+    (r.Crashexplore.acked_lost_under_lies > 0)
+
+let test_checkpoint_sweep () =
+  let r = Lazy.force checkpoint_report in
+  check_clean r;
+  Alcotest.(check bool) "sweep reaches the atomic-replace surface" true
+    (r.Crashexplore.byte_points > 0)
+
+(* ------------------------------------------------------------------ *)
+(* The serve request cycle as a scenario                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Cacheable requests only: an acknowledged response is one whose `done`
+   record was fsynced before the bytes went out, so a restarted daemon
+   must answer it byte-identically (replay re-seeds the cache). *)
+let serve_payloads = [ "criterion geometric upto=200"; "moments geometric k=1 upto=200" ]
+
+let serve_config ~journal_path ~cache_path =
+  {
+    Server.default_config with
+    port = 0;
+    jobs = Some 1;
+    journal = Some journal_path;
+    cache_file = Some cache_path;
+    checkpoint_every = 1;
+    read_timeout = 5.0;
+    max_timeout = 5.0;
+  }
+
+let serve_cycle cfg ~on_response =
+  match Server.start cfg with
+  | Error _ -> ()  (* a typed startup refusal (injected errno) is a legal degradation *)
+  | Ok t ->
+      Fun.protect
+        (* the planned power cut may land inside stop's own cache
+           checkpoint — that's a daemon dying mid-shutdown, not a test
+           failure; the sweep's recovery pass judges the aftermath *)
+        ~finally:(fun () -> try Server.stop t with Simenv.Power_cut -> ())
+        (fun () ->
+          List.iter
+            (fun p ->
+              match Client.request ~port:(Server.port t) p with
+              | Ok resp -> on_response p resp
+              | Error _ -> ())
+            serve_payloads)
+
+let serve_scenario () =
+  let journal_path = "serve.journal" and cache_path = "serve.cache" in
+  let cfg = serve_config ~journal_path ~cache_path in
+  {
+    Crashexplore.name = "serve";
+    setup = (fun () -> ());
+    work =
+      (fun ~ack ->
+        serve_cycle cfg ~on_response:(fun p (resp : Protocol.response) ->
+            if Protocol.cacheable resp.Protocol.status then
+              ack (p ^ "\x1f" ^ resp.Protocol.body)));
+    recovered =
+      (fun () ->
+        let got = ref [] in
+        match
+          serve_cycle cfg ~on_response:(fun p (resp : Protocol.response) ->
+              if Protocol.cacheable resp.Protocol.status then
+                got := (p ^ "\x1f" ^ resp.Protocol.body) :: !got)
+        with
+        | () -> Ok (List.rev !got)
+        | exception e -> Error (Printexc.to_string e));
+    fingerprint =
+      (fun () ->
+        let got = ref [] in
+        serve_cycle cfg ~on_response:(fun p (resp : Protocol.response) ->
+            got := (p ^ "\x1f" ^ resp.Protocol.body) :: !got);
+        String.concat "\x1e" (List.sort compare !got));
+  }
+
+let serve_report =
+  lazy
+    (let b =
+       (* every serve trial spins daemons up and down; stride the op sweep
+          unless the full sweep was asked for *)
+       if full_sweep then { Crashexplore.full_budget with byte_tears = 2 }
+       else
+         { Crashexplore.default_budget with stride = 5; errno_stride = 7; byte_writes = 3;
+           byte_tears = 1 }
+     in
+     Crashexplore.run ~budget:b (serve_scenario ()))
+
+let test_serve_sweep () =
+  match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> Alcotest.skip ()
+  | probe ->
+      Unix.close probe;
+      check_clean (Lazy.force serve_report)
+
+let test_callsite_coverage () =
+  (* the acceptance bar: the sweeps visit every I/O call site reached by
+     the journal, checkpoint and serve-cycle paths — more than 50 distinct
+     sites in total *)
+  let total =
+    (Lazy.force journal_report).Crashexplore.io_ops
+    + (Lazy.force checkpoint_report).Crashexplore.io_ops
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "journal+checkpoint sweeps cover > 50 call sites (got %d)" total)
+    true (total > 50)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: Ioutil helpers under seeded agitation                       *)
+(* ------------------------------------------------------------------ *)
+
+let payload_gen = QCheck.(string_of_size Gen.(0 -- 300))
+
+(* Short-write/short-read/EINTR schedules must be invisible: the write
+   loop lands every byte, the read loop returns the full payload — never
+   a silent partial value. *)
+let prop_agitated_roundtrip =
+  QCheck.Test.make ~count:(if full_sweep then 200 else 60)
+    ~name:"Ioutil write/read round-trips under agitation"
+    QCheck.(pair payload_gen small_int)
+    (fun (payload, seed) ->
+      let sim = Simenv.create ~plan:{ Simenv.faults = []; agitate = Some seed } () in
+      Env.with_env (Simenv.env sim) (fun () ->
+          let env = Env.current () in
+          let fd = env.Env.openfile "f" [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+          Ioutil.write_all fd payload;
+          Ioutil.fsync fd;
+          fd.Env.close ();
+          match Ioutil.read_file "f" with
+          | Ok s -> s = payload
+          | Error m -> QCheck.Test.fail_reportf "read_file: %s" m))
+
+(* Prefix truncation (what a torn tail looks like on disk) must yield a
+   valid record prefix or a typed torn-tail diagnostic — never a damaged
+   record presented as valid. *)
+let prop_truncation_prefix =
+  QCheck.Test.make ~count:(if full_sweep then 150 else 50)
+    ~name:"journal recovery of any byte prefix is a record prefix"
+    QCheck.(pair (list_of_size Gen.(1 -- 5) payload_gen) (float_bound_exclusive 1.0))
+    (fun (records, cut_frac) ->
+      QCheck.assume (records <> []);
+      let sim = Simenv.create () in
+      Env.with_env (Simenv.env sim) (fun () ->
+          let path = "t.journal" in
+          (match Journal.open_append ~path () with
+          | Error e -> QCheck.Test.fail_reportf "open: %s" (Run_error.to_string e)
+          | Ok j ->
+              List.iter (fun r -> ignore (Journal.append j r)) records;
+              Journal.close j);
+          let full =
+            match Ioutil.read_file path with
+            | Ok s -> s
+            | Error m -> QCheck.Test.fail_reportf "read: %s" m
+          in
+          let cut = int_of_float (cut_frac *. float_of_int (String.length full)) in
+          let truncated = String.sub full 0 cut in
+          let tpath = "t.truncated" in
+          let env = Env.current () in
+          let fd = env.Env.openfile tpath [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+          Ioutil.write_all fd truncated;
+          fd.Env.close ();
+          match Journal.recover ~path:tpath with
+          | Error e -> QCheck.Test.fail_reportf "recover: %s" (Run_error.to_string e)
+          | Ok { Journal.records = got; _ } ->
+              let rec is_prefix got all =
+                match (got, all) with
+                | [], _ -> true
+                | g :: gs, a :: as_ -> g = a && is_prefix gs as_
+                | _ :: _, [] -> false
+              in
+              is_prefix got records))
+
+(* ------------------------------------------------------------------ *)
+(* Single-writer locks                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_lock_refused () =
+  let sim = Simenv.create () in
+  Env.with_env (Simenv.env sim) @@ fun () ->
+  (match Ioutil.acquire_lock ~path:"db.journal" with
+  | Error m -> Alcotest.failf "first acquire refused: %s" m
+  | Ok l1 -> (
+      (match Ioutil.acquire_lock ~path:"db.journal" with
+      | Ok _ -> Alcotest.fail "second acquire succeeded while held"
+      | Error m ->
+          Alcotest.(check bool) "diagnostic names the lock file" true
+            (String.length m > 0));
+      Ioutil.release_lock l1;
+      match Ioutil.acquire_lock ~path:"db.journal" with
+      | Ok l3 -> Ioutil.release_lock l3
+      | Error m -> Alcotest.failf "reacquire after release refused: %s" m));
+  (* a different path is an independent lock *)
+  match Ioutil.acquire_lock ~path:"other.journal" with
+  | Ok l -> Ioutil.release_lock l
+  | Error m -> Alcotest.failf "independent path refused: %s" m
+
+let test_journal_lock_refused () =
+  let sim = Simenv.create () in
+  Env.with_env (Simenv.env sim) @@ fun () ->
+  match Journal.open_append ~path:"db.journal" () with
+  | Error e -> Alcotest.failf "first open: %s" (Run_error.to_string e)
+  | Ok j1 -> (
+      (match Journal.open_append ~path:"db.journal" () with
+      | Ok _ -> Alcotest.fail "second writer admitted"
+      | Error e ->
+          Alcotest.(check string) "refusal is typed E_LOCKED" "E_LOCKED" (Run_error.code e);
+          Alcotest.(check int) "E_LOCKED exits 2" 2 (Run_error.exit_code e));
+      (* --force-lock semantics: lock=false skips the guard *)
+      (match Journal.open_append ~lock:false ~path:"db.journal" () with
+      | Ok j2 -> Journal.close j2
+      | Error e -> Alcotest.failf "unlocked open refused: %s" (Run_error.to_string e));
+      Journal.close j1;
+      match Journal.open_append ~path:"db.journal" () with
+      | Ok j3 -> Journal.close j3
+      | Error e -> Alcotest.failf "reopen after close: %s" (Run_error.to_string e))
+
+let test_lock_dies_with_reboot () =
+  (* SIGKILL'd holder: the lock must not wedge the successor *)
+  let sim = Simenv.create () in
+  Env.with_env (Simenv.env sim) @@ fun () ->
+  (match Journal.open_append ~path:"db.journal" () with
+  | Error e -> Alcotest.failf "open: %s" (Run_error.to_string e)
+  | Ok _ -> ());
+  (* no close: the holder dies *)
+  Simenv.reboot sim;
+  match Journal.open_append ~path:"db.journal" () with
+  | Ok j -> Journal.close j
+  | Error e -> Alcotest.failf "lock survived a reboot: %s" (Run_error.to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_agitated_roundtrip; prop_truncation_prefix ]
+
+let () =
+  Alcotest.run "crashexplore"
+    [
+      ( "sweeps",
+        [
+          Alcotest.test_case "journaled run survives every crash point" `Slow test_journal_sweep;
+          Alcotest.test_case "checkpointed run survives every crash point" `Slow
+            test_checkpoint_sweep;
+          Alcotest.test_case "serve request cycle survives every crash point" `Slow
+            test_serve_sweep;
+          Alcotest.test_case "sweeps cover > 50 I/O call sites" `Quick test_callsite_coverage;
+        ] );
+      ("ioutil", qsuite);
+      ( "locks",
+        [
+          Alcotest.test_case "sim lock: second writer refused" `Quick test_sim_lock_refused;
+          Alcotest.test_case "journal open is E_LOCKED while held" `Quick
+            test_journal_lock_refused;
+          Alcotest.test_case "locks die with the process" `Quick test_lock_dies_with_reboot;
+        ] );
+    ]

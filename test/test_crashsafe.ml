@@ -57,7 +57,7 @@ let sample_payloads =
 
 let with_journal payloads k =
   let path = temp_path ".journal" in
-  (match Journal.open_append ~path with
+  (match Journal.open_append ~path () with
   | Error e -> Alcotest.failf "open_append: %s" (err_str e)
   | Ok j ->
     List.iter

@@ -11,6 +11,9 @@ module Client = Ipdb_serve.Client
 module Journal = Ipdb_run.Journal
 module Checkpoint = Ipdb_run.Checkpoint
 module Faultinj = Ipdb_run.Faultinj
+module Env = Ipdb_env.Env
+module Simenv = Ipdb_env.Simenv
+module Metrics = Ipdb_obs.Metrics
 
 let prop ?(count = 200) name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
 let fail fmt = Printf.ksprintf QCheck.Test.fail_report fmt
@@ -333,7 +336,7 @@ let test_replay_completes_pending () =
   let answered = request t0 "criterion geometric upto=2000" in
   Server.stop t0;
   (* append a pending request by hand, as if the daemon died mid-compute *)
-  (match Journal.open_append ~path with
+  (match Journal.open_append ~path () with
   | Error e -> Alcotest.failf "journal: %s" (Ipdb_run.Error.to_string e)
   | Ok j ->
       (match Journal.append j "req 999 criterion geometric c=1 upto=2000" with
@@ -358,7 +361,7 @@ let test_mixed_version_refused () =
      startup loudly, not replay garbage. *)
   let path = tmpfile ".journal" in
   Sys.remove path;
-  (match Journal.open_append ~path with
+  (match Journal.open_append ~path () with
   | Error e -> Alcotest.failf "journal: %s" (Ipdb_run.Error.to_string e)
   | Ok j ->
       ignore (Journal.append j "serve ipdbs0 ipdbsc1 0.9.9");
@@ -398,6 +401,101 @@ let test_graceful_drain () =
   | Ok r -> check_status "drained request answered" Protocol.Ok_positive r
   | Error m -> Alcotest.failf "in-flight request lost during drain: %s" m
 
+(* ------------------------------------------------------------------ *)
+(* Faults: injected I/O errors, retry backoff, writer locks            *)
+(* ------------------------------------------------------------------ *)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ISSUE acceptance: a daemon surviving an injected ENOSPC on journal
+   append answers the next request successfully, with the failed request
+   getting a stable E_IO code and serve.io_errors incremented. *)
+let test_enospc_survival () =
+  Metrics.enable ();
+  let io_errors = Metrics.counter "serve.io_errors" in
+  let sim = Simenv.create () in
+  Env.with_env (Simenv.env sim) @@ fun () ->
+  let cfg = { test_config with jobs = Some 1; journal = Some "serve-enospc.journal" } in
+  with_server cfg @@ fun t ->
+  let r1 = request t "criterion geometric upto=211" in
+  check_status "warm-up answered" Protocol.Ok_positive r1;
+  let before = Metrics.value io_errors in
+  (* The very next simulated I/O op is the journal append for the request
+     we are about to send: sockets bypass the sim env, and the journal is
+     the daemon's only sim-backed file here. *)
+  Simenv.set_plan sim
+    { Simenv.faults = [ Simenv.Err { at = Simenv.ops sim; errno = Unix.ENOSPC } ];
+      agitate = None };
+  let r_fail = request t "criterion geometric upto=212" in
+  Simenv.set_plan sim Simenv.quiet;
+  check_status "failed append surfaces E_INTERNAL status" Protocol.Internal r_fail;
+  Alcotest.(check bool)
+    "body carries the stable E_IO code" true
+    (contains "E_IO" r_fail.Protocol.body);
+  Alcotest.(check bool)
+    "serve.io_errors incremented" true
+    (Metrics.value io_errors > before);
+  (* the daemon is still alive and journaling *)
+  let r2 = request t "criterion geometric upto=213" in
+  check_status "next request answered after ENOSPC" Protocol.Ok_positive r2
+
+let test_backoff_deterministic () =
+  let base = { Client.default_backoff with retries = 6; base_delay = 0.05; max_delay = 10.0 } in
+  let schedule seed =
+    List.init 6 (fun i -> Client.backoff_delay { base with seed } ~attempt:(i + 1))
+  in
+  Alcotest.(check (list (float 1e-12)))
+    "fixed seed reproduces the schedule" (schedule 7) (schedule 7);
+  if schedule 7 = schedule 8 then Alcotest.fail "different seeds produced identical schedules";
+  (* exponential growth dominates the [0.5, 1.0] jitter band *)
+  (match schedule 7 with
+  | d1 :: _ :: _ :: d4 :: _ ->
+      if not (d1 <= 0.05 +. 1e-9 && d4 > d1) then
+        Alcotest.failf "schedule not growing: attempt1=%.4f attempt4=%.4f" d1 d4
+  | _ -> Alcotest.fail "short schedule")
+
+let test_retry_connect_refused () =
+  (* grab an ephemeral port and close it: nothing listens there *)
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname s with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  Unix.close s;
+  let slept = ref [] in
+  let sleep d = slept := d :: !slept in
+  let b = { Client.default_backoff with retries = 2; base_delay = 0.001 } in
+  (match Client.request_with_retry ~backoff:b ~sleep ~port "version" with
+  | Ok _ -> Alcotest.fail "request to a dead port succeeded"
+  | Error _ -> ());
+  Alcotest.(check (list (float 1e-12)))
+    "every retry slept its seeded backoff"
+    [ Client.backoff_delay b ~attempt:1; Client.backoff_delay b ~attempt:2 ]
+    (List.rev !slept)
+
+let test_daemon_lock () =
+  (* Two daemons on one journal path: the second refuses with E_LOCKED
+     unless --force-lock. Simulated env: Unix lockf is per-process, so an
+     in-process double-start only contends under the sim lock table. *)
+  let sim = Simenv.create () in
+  Env.with_env (Simenv.env sim) @@ fun () ->
+  let cfg = { test_config with journal = Some "locked.journal" } in
+  with_server cfg @@ fun _t ->
+  (match Server.start cfg with
+  | Ok t2 ->
+      Server.stop t2;
+      Alcotest.fail "second daemon on the same journal admitted"
+  | Error (Ipdb_run.Error.Locked _) -> ()
+  | Error e ->
+      Alcotest.failf "expected E_LOCKED, got %s" (Ipdb_run.Error.to_string e));
+  match Server.start { cfg with force_lock = true } with
+  | Ok t2 -> Server.stop t2
+  | Error e ->
+      Alcotest.failf "--force-lock did not bypass the lock: %s" (Ipdb_run.Error.to_string e)
+
 let () =
   Alcotest.run "serve"
     [
@@ -425,6 +523,13 @@ let () =
           Alcotest.test_case "fault drive is typed" `Quick test_fault_drive;
           Alcotest.test_case "torn client shrugged off" `Quick test_torn_client;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "daemon survives ENOSPC on journal append" `Quick test_enospc_survival;
+          Alcotest.test_case "client backoff schedule is seeded" `Quick test_backoff_deterministic;
+          Alcotest.test_case "client retries connection-refused" `Quick test_retry_connect_refused;
+          Alcotest.test_case "second daemon on one journal is E_LOCKED" `Quick test_daemon_lock;
         ] );
       ( "replay",
         [
