@@ -585,10 +585,203 @@ let zoo_cmd =
   in
   Cmd.v (Cmd.info "zoo" ~doc:"List the built-in probabilistic databases") Term.(const run $ const ())
 
+(* kb: million-fact TI knowledge bases (lib/kb) *)
+let kb_cmd =
+  let module Store = Ipdb_kb.Store in
+  let module Kbfile = Ipdb_kb.Kbfile in
+  let module Lifted = Ipdb_kb.Lifted in
+  let parse_relations spec =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun part ->
+           match String.index_opt part '/' with
+           | Some i -> (
+             let name = String.sub part 0 i in
+             match int_of_string_opt (String.sub part (i + 1) (String.length part - i - 1)) with
+             | Some arity when arity >= 0 -> (name, arity)
+             | _ ->
+               Printf.eprintf "bad relation spec %S (want Name/arity)\n" part;
+               exit 2)
+           | None ->
+             Printf.eprintf "bad relation spec %S (want Name/arity)\n" part;
+             exit 2)
+  in
+  let load_kb path =
+    match Kbfile.load path with
+    | Error e -> fail_typed e
+    | Ok loaded ->
+      if loaded.Kbfile.torn_tail then
+        Printf.eprintf "ipdb: warning: %s has a torn final line (ignored)\n" path;
+      loaded
+  in
+  let parse_sentence q =
+    match Ipdb_logic.Parser.sentence q with
+    | Ok phi -> phi
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 2
+  in
+  let gen_cmd =
+    let run out facts seed relations universe =
+      guard @@ fun () ->
+      let relations = parse_relations relations in
+      let st = Random.State.make [| seed |] in
+      let stream =
+        try Ipdb_pdb.Generate.kb_stream st ~relations ~facts ~universe
+        with Invalid_argument msg -> fail_typed (Run_error.Validation { what = "kb gen"; msg })
+      in
+      match Kbfile.write ~path:out ~relations stream with
+      | Error e -> fail_typed e
+      | Ok n -> Printf.printf "wrote %d facts to %s\n" n out
+    in
+    let out_arg =
+      Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output kb file.")
+    in
+    let facts_arg =
+      Arg.(value & opt int 10_000 & info [ "facts" ] ~docv:"N" ~doc:"Number of distinct facts to generate.")
+    in
+    let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+    let relations_arg =
+      Arg.(
+        value
+        & opt string "R/2,S/2,T/1"
+        & info [ "relations" ] ~docv:"SPEC" ~doc:"Comma-separated Name/arity relation list.")
+    in
+    let universe_arg =
+      Arg.(
+        value
+        & opt int 1000
+        & info [ "universe" ] ~docv:"N"
+            ~doc:
+              "Active-domain size per position; the fact capacity is the sum of $(docv)^arity over \
+               the relations and must cover --facts.")
+    in
+    Cmd.v
+      (Cmd.info "gen" ~doc:"Generate a seeded random TI knowledge base (collision-free, streaming)")
+      Term.(const run $ out_arg $ facts_arg $ seed_arg $ relations_arg $ universe_arg)
+  in
+  let kb_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Knowledge-base file (ipdbkb1).") in
+  let print_stats loaded =
+    let store = loaded.Kbfile.store in
+    List.iter
+      (fun (name, arity) ->
+        let rows = match Store.handle store name with Some h -> Store.handle_rows h | None -> 0 in
+        Printf.printf "relation %s/%d: %d facts\n" name arity rows)
+      (Store.schema store);
+    Printf.printf "facts: %d\n" (Store.fact_count store);
+    Printf.printf "distinct values: %d\n" (Store.distinct_values store);
+    Printf.printf "spilled marginals: %d\n" (Store.spilled store);
+    Printf.printf "zero-marginal lines dropped: %d\n" loaded.Kbfile.zero_dropped;
+    Printf.printf "expected instance size: %s\n" (Q.to_decimal_string ~digits:4 (Store.expected_size store));
+    Printf.printf "digest: %016Lx\n" loaded.Kbfile.digest
+  in
+  let ingest_cmd =
+    let run path trace metrics =
+      guard @@ fun () ->
+      setup_obs trace metrics;
+      print_stats (load_kb path)
+    in
+    Cmd.v
+      (Cmd.info "ingest" ~doc:"Load a kb file, verifying every record, and print a summary")
+      Term.(const run $ kb_arg $ trace_arg $ metrics_arg)
+  in
+  let stats_cmd =
+    let run path trace metrics =
+      guard @@ fun () ->
+      setup_obs trace metrics;
+      print_stats (load_kb path)
+    in
+    Cmd.v (Cmd.info "stats" ~doc:"Summarise a kb file") Term.(const run $ kb_arg $ trace_arg $ metrics_arg)
+  in
+  let query_cmd =
+    let run path query timeout max_steps jobs mc_samples seed delta trace metrics =
+      guard @@ fun () ->
+      setup_obs trace metrics;
+      let pool = make_pool jobs in
+      let loaded = load_kb path in
+      let phi = parse_sentence query in
+      let budget = budget_of timeout max_steps in
+      let mc = if mc_samples > 0 then Some { Lifted.samples = mc_samples; seed; delta } else None in
+      match Lifted.query ~pool ~budget ?mc loaded.Kbfile.store phi with
+      | Error e -> fail_typed e
+      | Ok (Lifted.Exact p) ->
+        Printf.printf "P(%s) = %s ≈ %s\n" (Fo.to_string phi) (Q.to_string p)
+          (Q.to_decimal_string ~digits:8 p);
+        if Q.is_zero p then exit 1
+      | Ok (Lifted.Estimated est) ->
+        let iv = Ipdb_pdb.Estimate.interval est in
+        Printf.printf "P(%s) ≈ %.6f ± %.6f (mc, %d samples, confidence %g, interval [%g, %g])\n"
+          (Fo.to_string phi) est.Ipdb_pdb.Estimate.mean est.Ipdb_pdb.Estimate.statistical_halfwidth
+          est.Ipdb_pdb.Estimate.samples est.Ipdb_pdb.Estimate.confidence iv.Interval.lo iv.Interval.hi;
+        if est.Ipdb_pdb.Estimate.samples < mc_samples then begin
+          Printf.eprintf "ipdb: budget exhausted after %d of %d samples (degraded estimate)\n"
+            est.Ipdb_pdb.Estimate.samples mc_samples;
+          exit 3
+        end
+    in
+    let query_arg =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"SENTENCE" ~doc:"Positive-existential sentence, e.g. \"exists x y. R(x,y)\".")
+    in
+    let mc_samples_arg =
+      Arg.(
+        value
+        & opt int 0
+        & info [ "mc-samples" ] ~docv:"N"
+            ~doc:
+              "Monte-Carlo sample count for queries with no safe lifted plan (0 = exact only; an \
+               unsafe query is then refused with a validation error).")
+    in
+    let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Monte-Carlo RNG seed.") in
+    let delta_arg =
+      Arg.(value & opt float 0.05 & info [ "delta" ] ~docv:"D" ~doc:"Hoeffding failure probability.")
+    in
+    Cmd.v
+      (Cmd.info "query"
+         ~doc:
+           "Exact lifted UCQ probability over a kb file (inclusion-exclusion over safe plans; \
+            Monte-Carlo fallback with --mc-samples)")
+      Term.(
+        const run $ kb_arg $ query_arg $ timeout_arg $ max_steps_arg $ jobs_arg $ mc_samples_arg
+        $ seed_arg $ delta_arg $ trace_arg $ metrics_arg)
+  in
+  let indep_cmd =
+    let run path q1 q2 timeout max_steps jobs trace metrics =
+      guard @@ fun () ->
+      setup_obs trace metrics;
+      let pool = make_pool jobs in
+      let loaded = load_kb path in
+      let phi1 = parse_sentence q1 and phi2 = parse_sentence q2 in
+      let budget = budget_of timeout max_steps in
+      match Lifted.independence ~pool ~budget loaded.Kbfile.store phi1 phi2 with
+      | Error e -> fail_typed e
+      | Ok (indep, p1, p2, p12) ->
+        Printf.printf "P(Q1) = %s\nP(Q2) = %s\nP(Q1 and Q2) = %s\nP(Q1)*P(Q2) = %s\n" (Q.to_string p1)
+          (Q.to_string p2) (Q.to_string p12)
+          (Q.to_string (Q.mul p1 p2));
+        Printf.printf "independent: %b\n" indep;
+        if not indep then exit 1
+    in
+    let q1_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"Q1" ~doc:"First sentence.") in
+    let q2_arg = Arg.(required & pos 2 (some string) None & info [] ~docv:"Q2" ~doc:"Second sentence.") in
+    Cmd.v
+      (Cmd.info "indep"
+         ~doc:"Exact independence test: is P(Q1 and Q2) = P(Q1) * P(Q2)? (exit 1 when dependent)")
+      Term.(
+        const run $ kb_arg $ q1_arg $ q2_arg $ timeout_arg $ max_steps_arg $ jobs_arg $ trace_arg
+        $ metrics_arg)
+  in
+  Cmd.group
+    (Cmd.info "kb" ~doc:"Million-fact TI knowledge bases: generate, ingest, query, independence")
+    [ gen_cmd; ingest_cmd; query_cmd; stats_cmd; indep_cmd ]
+
 (* serve: the persistent query daemon *)
 let serve_cmd =
-  let run port jobs queue_limit degraded_steps default_timeout journal cache fault_rate fault_seed
-      slow_worker force_lock trace metrics =
+  let run port jobs queue_limit degraded_steps default_timeout journal cache kb_file fault_rate
+      fault_seed slow_worker force_lock trace metrics =
     guard @@ fun () ->
     setup_obs trace metrics;
     let cfg =
@@ -601,6 +794,7 @@ let serve_cmd =
         default_timeout;
         journal;
         cache_file = cache;
+        kb_file;
         fault_rate;
         fault_seed;
         slow_worker;
@@ -650,6 +844,15 @@ let serve_cmd =
       & info [ "cache" ] ~docv:"FILE"
           ~doc:"Persist the verdict cache to $(docv) (atomic checkpoints; loaded on start).")
   in
+  let kb_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kb" ] ~docv:"FILE"
+          ~doc:
+            "Serve exact lifted UCQ queries (the $(b,kb) op) over this ipdbkb1 knowledge base. The \
+             file is fully verified at startup and its content digest keys the verdict cache.")
+  in
   let fault_rate_arg =
     Arg.(
       value
@@ -677,8 +880,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Fault-tolerant persistent query daemon (framed TCP protocol)")
     Term.(
       const run $ port_arg $ jobs_arg $ queue_arg $ degraded_arg $ default_timeout_arg $ journal_arg
-      $ cache_arg $ fault_rate_arg $ fault_seed_arg $ slow_arg $ force_lock_arg $ trace_arg
-      $ metrics_arg)
+      $ cache_arg $ kb_file_arg $ fault_rate_arg $ fault_seed_arg $ slow_arg $ force_lock_arg
+      $ trace_arg $ metrics_arg)
 
 (* request: one-shot client, exit code mirrors the response status *)
 let request_cmd =
@@ -758,7 +961,7 @@ let () =
       ~doc:"Tuple-independent representations of infinite PDBs"
   in
   let code =
-    Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd; serve_cmd; request_cmd; version_cmd ])
+    Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd; kb_cmd; serve_cmd; request_cmd; version_cmd ])
   in
   (* map cmdliner's reserved codes onto the documented contract:
      124 (cli error) → 2 usage, 125 (internal) → 4 internal *)

@@ -1,0 +1,190 @@
+(* ipdbkb1 reader/writer. See kbfile.mli for the format contract. *)
+
+module Q = Ipdb_bignum.Q
+module Value = Ipdb_relational.Value
+module Env = Ipdb_env.Env
+module Run_error = Ipdb_run.Error
+module Metrics = Ipdb_obs.Metrics
+module Trace = Ipdb_obs.Trace
+
+let format_version = "ipdbkb1"
+
+let m_ingest_facts = Metrics.counter "kb.ingest.facts"
+let m_ingest_bytes = Metrics.counter "kb.ingest.bytes"
+
+type loaded = {
+  store : Store.t;
+  facts : int;
+  zero_dropped : int;
+  digest : int64;
+  torn_tail : bool;
+}
+
+(* FNV-1a/64, incremental (same function as Ioutil.checksum, folded over
+   a substring so the whole file need not be re-read for its digest) *)
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_fold acc s pos len =
+  let h = ref acc in
+  for i = pos to pos + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+  done;
+  !h
+
+let value_token v =
+  match v with
+  | Value.Int n -> Ok (string_of_int n)
+  | Value.Bot -> Ok "_"
+  | Value.Str s ->
+    if s = "" then Error "empty string value has no token"
+    else if s = "_" || s.[0] = '_' then Error (Printf.sprintf "string %S would read back as bottom" s)
+    else if int_of_string_opt s <> None then Error (Printf.sprintf "string %S would read back as an integer" s)
+    else if String.exists (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '#') s then
+      Error (Printf.sprintf "string %S contains whitespace or #" s)
+    else Ok s
+  | Value.Pair _ -> Error "pair values have no ipdbkb1 encoding"
+
+let value_of_token tok =
+  if tok = "_" then Value.Bot
+  else begin
+    match int_of_string_opt tok with Some n -> Value.Int n | None -> Value.Str tok
+  end
+
+let split_tokens line =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if c = ' ' || c = '\t' || c = '\r' then flush () else Buffer.add_char buf c) line;
+  flush ();
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of Run_error.t
+
+let fail_parse path lineno fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Bad (Run_error.Parse { what = path; msg = Printf.sprintf "line %d: %s" lineno msg })))
+    fmt
+
+let load path =
+  Trace.with_span "kb.ingest" @@ fun () ->
+  let env = Env.current () in
+  if not (env.Env.exists path) then Error (Run_error.Io { path; msg = "no such file" })
+  else begin
+    match Ioutil.read_file path with
+    | Error msg -> Error (Run_error.Io { path; msg })
+    | Ok content -> (
+      let store = Store.create [] in
+      let facts = ref 0 and zero_dropped = ref 0 in
+      let digest = ref fnv_offset in
+      let torn = ref false in
+      let seen_magic = ref false in
+      let handle_line lineno line =
+        match split_tokens line with
+        | [] -> ()
+        | tok :: _ when String.length tok > 0 && tok.[0] = '#' -> ()
+        | tokens when not !seen_magic ->
+          if tokens = [ format_version ] then seen_magic := true
+          else fail_parse path lineno "expected %s magic, got %S" format_version line
+        | [ "rel"; name; arity_s ] -> (
+          match int_of_string_opt arity_s with
+          | None -> fail_parse path lineno "relation %s: unparsable arity %S" name arity_s
+          | Some arity -> (
+            if String.length name = 0 || not (name.[0] >= 'A' && name.[0] <= 'Z') then
+              fail_parse path lineno "relation name %S must start with an upper-case letter" name;
+            match Store.declare store name arity with
+            | Ok () -> ()
+            | Error msg -> fail_parse path lineno "%s" msg))
+        | "rel" :: _ -> fail_parse path lineno "rel needs a name and an arity"
+        | rel :: prob_s :: value_toks -> (
+          let p =
+            try Q.of_string prob_s
+            with Invalid_argument _ -> fail_parse path lineno "unparsable marginal %S" prob_s
+          in
+          let args = Array.of_list (List.map value_of_token value_toks) in
+          match Store.add store ~rel args p with
+          | Ok () -> if Q.is_zero p then incr zero_dropped else incr facts
+          | Error msg -> raise (Bad (Run_error.Validation { what = path; msg = Printf.sprintf "line %d: %s" lineno msg })))
+        | [ _ ] -> fail_parse path lineno "fact line needs a marginal"
+      in
+      try
+        let n = String.length content in
+        let lineno = ref 0 in
+        let pos = ref 0 in
+        while !pos < n do
+          match String.index_from_opt content !pos '\n' with
+          | Some nl ->
+            incr lineno;
+            handle_line !lineno (String.sub content !pos (nl - !pos));
+            digest := fnv_fold !digest content !pos (nl - !pos + 1);
+            pos := nl + 1
+          | None ->
+            (* torn tail: a crash mid-append left a partial last line;
+               ignore it, exactly like the journal's tail repair *)
+            torn := true;
+            pos := n
+        done;
+        if not !seen_magic then
+          Error (Run_error.Parse { what = path; msg = "empty or magic-less file (expected " ^ format_version ^ ")" })
+        else begin
+          Metrics.add m_ingest_facts !facts;
+          Metrics.add m_ingest_bytes n;
+          Trace.annotate
+            [ ("facts", Ipdb_obs.Json.Int !facts); ("torn", Ipdb_obs.Json.Bool !torn) ];
+          Ok { store; facts = !facts; zero_dropped = !zero_dropped; digest = !digest; torn_tail = !torn }
+        end
+      with Bad e -> Error e)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write ~path ~relations facts =
+  let env = Env.current () in
+  match
+    let fd = env.Env.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect ~finally:(fun () -> fd.Env.close ()) @@ fun () ->
+    let buf = Buffer.create 65536 in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        Ioutil.write_all fd (Buffer.contents buf);
+        Buffer.clear buf
+      end
+    in
+    Buffer.add_string buf format_version;
+    Buffer.add_char buf '\n';
+    List.iter (fun (name, arity) -> Buffer.add_string buf (Printf.sprintf "rel %s %d\n" name arity)) relations;
+    let count = ref 0 in
+    Seq.iter
+      (fun (rel, args, p) ->
+        Buffer.add_string buf rel;
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Q.to_string p);
+        Array.iter
+          (fun v ->
+            Buffer.add_char buf ' ';
+            match value_token v with
+            | Ok tok -> Buffer.add_string buf tok
+            | Error msg -> failwith (Printf.sprintf "%s: %s" rel msg))
+          args;
+        Buffer.add_char buf '\n';
+        incr count;
+        if Buffer.length buf >= 65536 then flush ())
+      facts;
+    flush ();
+    Ioutil.fsync fd;
+    !count
+  with
+  | count -> Ok count
+  | exception Unix.Unix_error (e, _, _) -> Error (Run_error.Io { path; msg = Unix.error_message e })
+  | exception Failure msg -> Error (Run_error.Validation { what = path; msg })

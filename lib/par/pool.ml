@@ -134,6 +134,34 @@ let map_ordered (type b) t ~(f : 'a -> b) (items : 'a list) : b list =
   match items with
   | [] -> []
   | [ x ] -> [ f x ] (* inline: a 1-task fan-out gains nothing from the pool *)
+  | _ when t.jobs = 1 ->
+      (* jobs=1: the caller would run every task itself from the
+         help-while-waiting loop anyway, so skip the deque round-trip.
+         The contract is preserved: every item settles, and the failure
+         raised is the smallest-index one (which inline order gives for
+         free). Chunk plans are size-deterministic, so bypassing the
+         fan-out cannot change results or step counts. *)
+      Mutex.lock t.mutex;
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.map_ordered: pool is shut down"
+      end;
+      Mutex.unlock t.mutex;
+      let run_inline x =
+        let timed = Metrics.enabled () in
+        let t0 = if timed then Ipdb_obs.Trace.now () else 0.0 in
+        let r = try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+        if timed then
+          Metrics.observe m_task_us ((Ipdb_obs.Trace.now () -. t0) *. 1e6);
+        r
+      in
+      let results = List.map run_inline items in
+      Metrics.add m_tasks (List.length items);
+      List.map
+        (function
+          | Ok v -> v
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+        results
   | _ ->
       let arr = Array.of_list items in
       let n = Array.length arr in

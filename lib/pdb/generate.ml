@@ -29,15 +29,104 @@ let finite_pdb st ~schema ~worlds ~max_size ~universe =
   in
   Finite_pdb.make_unnormalized schema weighted
 
+(* ------------------------------------------------------------------ *)
+(* Collision-free fact sampling                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Facts over [(rel, arity)] relations with values in [0, universe) are
+   ranked [0 .. Σ universe^arity): cumulative relation blocks, then the
+   tuple read as base-[universe] digits. Sampling distinct ranks (Floyd)
+   and decoding is collision-free by construction and O(n) draws — the
+   old draw-and-retry membership test was quadratic and could cycle
+   forever near capacity. *)
+
+let pow_capped base exp =
+  let rec go acc e =
+    if e = 0 then acc else if base <> 0 && acc > max_int / base then max_int else go (acc * base) (e - 1)
+  in
+  if base = 0 && exp > 0 then 0 else go 1 exp
+
+let rank_capacity relations universe =
+  List.fold_left
+    (fun total (_, arity) ->
+      let c = pow_capped universe arity in
+      if total > max_int - c then max_int else total + c)
+    0 relations
+
+(* Floyd's algorithm: [count] distinct ranks in [0, total), sorted. *)
+let sample_ranks st ~total ~count =
+  let chosen = Hashtbl.create (2 * count + 16) in
+  for j = total - count to total - 1 do
+    let r = Random.State.full_int st (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j () else Hashtbl.replace chosen r ()
+  done;
+  let ranks = Array.make count 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun r () ->
+      ranks.(!i) <- r;
+      incr i)
+    chosen;
+  Array.sort compare ranks;
+  ranks
+
+let decode_rank relations universe rank =
+  let rec pick rank = function
+    | [] -> invalid_arg "Generate: rank out of capacity"
+    | (rel, arity) :: rest ->
+      let c = pow_capped universe arity in
+      if rank < c then begin
+        let r = ref rank in
+        let args =
+          List.init arity (fun _ ->
+              let d = !r mod universe in
+              r := !r / universe;
+              Value.Int d)
+        in
+        (rel, args)
+      end
+      else pick (rank - c) rest
+  in
+  pick rank relations
+
+let sampled_facts st ~relations ~facts ~universe =
+  let total = rank_capacity relations universe in
+  if facts > total then
+    invalid_arg
+      (Printf.sprintf "Generate: %d facts exceed the %d-fact capacity of the schema at universe %d"
+         facts total universe);
+  sample_ranks st ~total ~count:facts
+
 let ti st ~schema ~facts ~universe =
-  let rec distinct acc n =
-    if n = 0 then acc
+  let relations = Schema.relations schema in
+  let ranks = sampled_facts st ~relations ~facts ~universe in
+  (* probabilities drawn in rank order, so the result is a deterministic
+     function of the seed alone (not of hash-table iteration order) *)
+  let weighted =
+    Array.to_list
+      (Array.map
+         (fun rank ->
+           let rel, args = decode_rank relations universe rank in
+           (Fact.make rel args, probability st))
+         ranks)
+  in
+  Ti.Finite.make schema weighted
+
+let kb_stream st ~relations ~facts ~universe =
+  let ranks = sampled_facts st ~relations ~facts ~universe in
+  let i = ref 0 in
+  (* one-shot sequence: probabilities are drawn from [st] as facts are
+     pulled, so consume it exactly once *)
+  let rec next () =
+    if !i >= Array.length ranks then Seq.Nil
     else begin
-      let f = random_fact st schema universe in
-      if List.mem_assoc f acc then distinct acc n else distinct ((f, probability st) :: acc) (n - 1)
+      let rank = ranks.(!i) in
+      incr i;
+      let rel, args = decode_rank relations universe rank in
+      Seq.Cons ((rel, Array.of_list args, probability st), next)
     end
   in
-  Ti.Finite.make schema (distinct [] facts)
+  next
 
 let bid st ~schema ~blocks ~max_block_size ~universe =
   let seen = Hashtbl.create 16 in

@@ -32,7 +32,23 @@ val ti :
   facts:int ->
   universe:int ->
   Ti.Finite.t
-(** A random finite TI-PDB with [facts] distinct facts. *)
+(** A random finite TI-PDB with exactly [facts] distinct facts, sampled
+    collision-free by distinct-rank (Floyd) sampling over the
+    [Σ universe^arity] fact space — O(facts) draws plus one sort, no
+    draw-and-retry. @raise Invalid_argument when [facts] exceeds the
+    schema's fact capacity at this universe. *)
+
+val kb_stream :
+  Random.State.t ->
+  relations:(string * int) list ->
+  facts:int ->
+  universe:int ->
+  (string * Ipdb_relational.Value.t array * Ipdb_bignum.Q.t) Seq.t
+(** Streaming variant for large knowledge bases: exactly [facts]
+    distinct [(relation, tuple, marginal)] facts in rank order, without
+    materialising a {!Ti.Finite.t}. The sequence is {e one-shot}
+    (probabilities are drawn from the state as elements are pulled);
+    consume it once. @raise Invalid_argument as {!ti}. *)
 
 val bid :
   Random.State.t ->

@@ -60,6 +60,27 @@ let boolean_probability_exact ti phi =
   let d = Ti.Finite.to_finite_pdb ti in
   Finite_pdb.prob_sentence d phi
 
+(* Connected components of an atom list under shared variables; ground
+   atoms come out as singleton components. *)
+let components atoms =
+  let rec grow comp comp_vars rest =
+    let touching, others =
+      List.partition (fun a -> List.exists (fun x -> SS.mem x comp_vars) (atom_vars a)) rest
+    in
+    if touching = [] then (comp, rest)
+    else
+      grow (comp @ touching)
+        (List.fold_left (fun acc a -> List.fold_left (fun acc x -> SS.add x acc) acc (atom_vars a)) comp_vars touching)
+        others
+  in
+  let rec split = function
+    | [] -> []
+    | a :: rest ->
+      let comp, others = grow [ a ] (SS.of_list (atom_vars a)) rest in
+      comp :: split others
+  in
+  split atoms
+
 (* ------------------------------------------------------------------ *)
 (* Extensional plan                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -88,26 +109,6 @@ let lifted_cq_probability ti q =
     in
     let substitute_atom x v a =
       { a with args = List.map (fun t -> match t with Fo.V y when String.equal y x -> Fo.C v | t -> t) a.args }
-    in
-    (* connected components by shared variables *)
-    let components atoms =
-      let rec grow comp comp_vars rest =
-        let touching, others =
-          List.partition (fun a -> List.exists (fun x -> SS.mem x comp_vars) (atom_vars a)) rest
-        in
-        if touching = [] then (comp, rest)
-        else
-          grow (comp @ touching)
-            (List.fold_left (fun acc a -> List.fold_left (fun acc x -> SS.add x acc) acc (atom_vars a)) comp_vars touching)
-            others
-      in
-      let rec split = function
-        | [] -> []
-        | a :: rest ->
-          let comp, others = grow [ a ] (SS.of_list (atom_vars a)) rest in
-          comp :: split others
-      in
-      split atoms
     in
     let rec lift atoms =
       match atoms with
@@ -151,4 +152,184 @@ let lifted_cq_probability ti q =
       end
     in
     lift q.atoms
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Unions of conjunctive queries                                       *)
+(* ------------------------------------------------------------------ *)
+
+type ucq = cq list
+
+let max_union_terms = 10
+
+let cq_vars q = List.sort_uniq String.compare (List.concat_map atom_vars q.atoms)
+
+let ucq_to_formula ucq = Fo.disj (List.map cq_to_formula ucq)
+
+let rename_atom_var x y a =
+  { a with args = List.map (function Fo.V z when String.equal z x -> Fo.V y | t -> t) a.args }
+
+let freshen taken stem =
+  let rec go i =
+    let v = Printf.sprintf "%s#%d" stem i in
+    if SS.mem v taken then go (i + 1) else v
+  in
+  go 0
+
+(* Rename each bound variable of [q] that lies in [avoid]; fresh names
+   steer clear of [taken]. Within a CQ a name in [exists] binds all its
+   occurrences, so renaming every occurrence is capture-free. *)
+let rename_bound_avoiding q avoid taken =
+  List.fold_left
+    (fun (q, taken) x ->
+      if SS.mem x avoid then begin
+        let y = freshen taken x in
+        ( {
+            exists = List.map (fun z -> if String.equal z x then y else z) q.exists;
+            atoms = List.map (rename_atom_var x y) q.atoms;
+          },
+          SS.add y taken )
+      end
+      else (q, taken))
+    (q, taken) q.exists
+
+(* Conjunction of two CQs with bound variables renamed apart; free
+   variables stay shared (they refer to binders in the context). *)
+let conj2 q1 q2 =
+  let v1 = SS.of_list (cq_vars q1 @ q1.exists) in
+  let v2 = SS.of_list (cq_vars q2 @ q2.exists) in
+  let taken = SS.union v1 v2 in
+  let q1, taken = rename_bound_avoiding q1 v2 taken in
+  let v1' = SS.of_list (cq_vars q1 @ q1.exists) in
+  let q2, _ = rename_bound_avoiding q2 v1' taken in
+  { exists = q1.exists @ q2.exists; atoms = q1.atoms @ q2.atoms }
+
+let conjoin_cqs = function
+  | [] -> { exists = []; atoms = [] }
+  | q :: rest -> List.fold_left conj2 q rest
+
+let ucq_of_formula phi =
+  if not (Fo.is_sentence phi) then None
+  else begin
+    let gate = 64 in
+    (* [go] keeps the invariant that a CQ's [exists] lists the variables
+       bound inside the subformula; the remaining atom variables are free
+       and shared with the enclosing context. *)
+    let rec go phi =
+      match phi with
+      | Fo.True -> Some [ { exists = []; atoms = [] } ]
+      | Fo.False -> Some []
+      | Fo.Atom (rel, args) -> Some [ { exists = []; atoms = [ { rel; args } ] } ]
+      | Fo.Or (f, g) -> two f g (fun a b -> a @ b)
+      | Fo.And (f, g) -> two f g (fun a b -> List.concat_map (fun q1 -> List.map (conj2 q1) b) a)
+      | Fo.Exists (x, f) ->
+        Option.map
+          (List.map (fun q ->
+               if List.mem x q.exists || not (List.mem x (cq_vars q)) then q
+               else { q with exists = x :: q.exists }))
+          (go f)
+      | _ -> None
+    and two f g k =
+      match (go f, go g) with
+      | Some a, Some b ->
+        let r = k a b in
+        if List.length r > gate then None else Some r
+      | _ -> None
+    in
+    match go phi with
+    | Some cqs when List.for_all (fun q -> List.for_all (fun x -> List.mem x q.exists) (cq_vars q)) cqs
+      -> Some cqs
+    | _ -> None
+  end
+
+(* Canonical serialisation of one connected component: atoms stably
+   sorted by a name-free skeleton, variables renumbered by first
+   occurrence. Renamed-apart copies of one CQ share relative atom order
+   and an order-preserving variable map, so they canonicalise equal. *)
+let canon_component atoms =
+  let skeleton a =
+    a.rel ^ "("
+    ^ String.concat "," (List.map (function Fo.C v -> "c:" ^ Value.to_string v | Fo.V _ -> "?") a.args)
+    ^ ")"
+  in
+  let atoms = List.stable_sort (fun a b -> compare (skeleton a) (skeleton b)) atoms in
+  let map = Hashtbl.create 8 in
+  let next = ref 0 in
+  let arg = function
+    | Fo.C v -> "c:" ^ Value.to_string v
+    | Fo.V x -> (
+      match Hashtbl.find_opt map x with
+      | Some i -> Printf.sprintf "v%d" i
+      | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add map x i;
+        Printf.sprintf "v%d" i)
+  in
+  String.concat "&" (List.map (fun a -> a.rel ^ "(" ^ String.concat "," (List.map arg a.args) ^ ")") atoms)
+
+let canon_cq q =
+  String.concat "|" (List.sort compare (List.map canon_component (components q.atoms)))
+
+(* Drop duplicate atoms and duplicate-up-to-renaming components:
+   [P(C ∧ C') = P(C)] when [C'] is a variable renaming of [C], which is
+   exactly what inclusion–exclusion conjunctions of overlapping union
+   terms produce. *)
+let normalize_closed_cq q =
+  let atoms = List.sort_uniq compare q.atoms in
+  let seen = Hashtbl.create 8 in
+  let comps =
+    List.filter
+      (fun c ->
+        let k = canon_component c in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      (components atoms)
+  in
+  let atoms = List.concat comps in
+  let vars = List.sort_uniq String.compare (List.concat_map atom_vars atoms) in
+  { exists = List.filter (fun x -> List.mem x vars) q.exists; atoms }
+
+let dedupe_ucq ucq =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun q ->
+      let k = canon_cq (normalize_closed_cq q) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    ucq
+
+let lifted_ucq_probability ti ucq =
+  let ucq = dedupe_ucq ucq in
+  let k = List.length ucq in
+  if k = 0 then Some Q.zero
+  else if k > max_union_terms then None
+  else begin
+    let cqs = Array.of_list ucq in
+    let rec over_masks mask acc =
+      if mask = 1 lsl k then Some acc
+      else begin
+        let sel = List.filter_map (fun i -> if mask land (1 lsl i) <> 0 then Some cqs.(i) else None)
+            (List.init k Fun.id)
+        in
+        let conj = normalize_closed_cq (conjoin_cqs sel) in
+        match lifted_cq_probability ti conj with
+        | None -> None
+        | Some p ->
+          let odd = ref false in
+          let m = ref mask in
+          while !m <> 0 do
+            if !m land 1 = 1 then odd := not !odd;
+            m := !m lsr 1
+          done;
+          over_masks (mask + 1) (if !odd then Q.add acc p else Q.sub acc p)
+      end
+    in
+    over_masks 1 Q.zero
   end

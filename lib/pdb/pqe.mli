@@ -42,3 +42,46 @@ val boolean_probability_exact : Ti.Finite.t -> Ipdb_logic.Fo.t -> Ipdb_bignum.Q.
 val lifted_cq_probability : Ti.Finite.t -> cq -> Ipdb_bignum.Q.t option
 (** The extensional plan, grounding quantifiers over the TI-PDB's active
     domain (plus the query's constants). [None] when no safe rule applies. *)
+
+(** {1 Unions of conjunctive queries}
+
+    A UCQ [Q₁ ∨ … ∨ Qₙ] is evaluated by inclusion–exclusion: the sum
+    over nonempty subsets S of the union terms of [(−1)^(#S+1) · Pr(⋀ S)],
+    where each conjunction is a CQ with bound variables renamed apart. Conjunctions
+    of overlapping union terms produce isomorphic duplicate components;
+    {!normalize_closed_cq} removes them before the safety check, so
+    e.g. [Q ∨ Q] stays safe. *)
+
+type ucq = cq list
+
+val max_union_terms : int
+(** Inclusion–exclusion gate: unions beyond this many (deduplicated)
+    terms are refused ([2ⁿ − 1] conjunctions). *)
+
+val ucq_of_formula : Ipdb_logic.Fo.t -> ucq option
+(** Recognise a positive-existential sentence ([∃], [∧], [∨], atoms,
+    [⊤], [⊥]) and normalise it to a disjunction of closed CQs with bound
+    variables renamed apart (capture-free). [None] on any other
+    connective, on free variables, or past an internal DNF size gate. *)
+
+val ucq_to_formula : ucq -> Ipdb_logic.Fo.t
+
+val conjoin_cqs : cq list -> cq
+(** Conjunction of closed CQs, bound variables renamed apart. *)
+
+val normalize_closed_cq : cq -> cq
+(** Drop duplicate atoms and duplicate-up-to-renaming connected
+    components (sound for probability: [P(C ∧ C') = P(C)] when [C'] is a
+    renaming of [C]). *)
+
+val canon_cq : cq -> string
+(** Canonical string of a closed CQ, invariant under variable renaming
+    and atom/component reordering (for syntactically-built duplicates;
+    not a general graph-isomorphism test). *)
+
+val dedupe_ucq : ucq -> ucq
+(** Drop union terms whose normalised canonical form repeats. *)
+
+val lifted_ucq_probability : Ti.Finite.t -> ucq -> Ipdb_bignum.Q.t option
+(** Inclusion–exclusion over {!lifted_cq_probability}. [None] when any
+    conjunction is unsafe or the union exceeds {!max_union_terms}. *)

@@ -85,6 +85,7 @@ type request =
   | Moments of { family : string; k : int; upto : int }
   | Criterion of { family : string; c : int; upto : int }
   | Pqe of { ti : string; query : string }
+  | Kb of { query : string }
 
 type budget_opts = { timeout : float option; max_steps : int option }
 
@@ -153,8 +154,10 @@ let parse_request payload =
           Ok (Criterion { family; c = p.c; upto = p.upto }, budget_of_params p))
   | "pqe" :: ti :: (_ :: _ as query) -> Ok (Pqe { ti; query = String.concat " " query }, no_budget)
   | "pqe" :: _ -> err "pqe needs a PDB name and a sentence"
+  | "kb" :: (_ :: _ as query) -> Ok (Kb { query = String.concat " " query }, no_budget)
+  | "kb" :: _ -> err "kb needs a sentence"
   | [ ("classify" | "moments" | "criterion") ] -> err "missing FAMILY argument"
-  | op :: _ -> err "unknown op %S (version|stats|classify|moments|criterion|pqe)" op
+  | op :: _ -> err "unknown op %S (version|stats|classify|moments|criterion|pqe|kb)" op
 
 let request_to_payload req opts =
   let budget =
@@ -171,12 +174,17 @@ let request_to_payload req opts =
     | Criterion { family; c; upto } ->
         [ "criterion"; family; Printf.sprintf "c=%d" c; Printf.sprintf "upto=%d" upto ] @ budget
     | Pqe { ti; query } -> [ "pqe"; ti; query ]
+    | Kb { query } -> [ "kb"; query ]
   in
   String.concat " " words
 
 module Serialize = Ipdb_pdb.Serialize
 
-let cache_key = function
+(* [kb_digest] is the content address of the loaded knowledge base (the
+   ipdbkb1 file's FNV-1a/64 digest): a kb answer is only valid for the
+   exact fact set it was computed over, so the digest is part of the key
+   and a daemon with no kb loaded caches nothing for the op. *)
+let cache_key ?kb_digest = function
   | Version | Stats -> None
   | Classify { family; upto } ->
       Some (Serialize.canonical_key ~op:"classify" [ ("family", family); ("upto", string_of_int upto) ])
@@ -198,6 +206,18 @@ let cache_key = function
         | Error _ -> query
       in
       Some (Serialize.canonical_key ~op:"pqe" [ ("ti", ti); ("query", query) ])
+  | Kb { query } -> (
+      match kb_digest with
+      | None -> None
+      | Some digest ->
+          let query =
+            match Ipdb_logic.Parser.sentence query with
+            | Ok phi -> Ipdb_logic.Fo.to_string phi
+            | Error _ -> query
+          in
+          Some
+            (Serialize.canonical_key ~op:"kb"
+               [ ("digest", Printf.sprintf "%016Lx" digest); ("query", query) ]))
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)

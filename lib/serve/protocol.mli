@@ -20,6 +20,7 @@
   moments   FAMILY [k=K] [upto=N] [timeout=S] [max_steps=N]
   criterion FAMILY [c=C] [upto=N] [timeout=S] [max_steps=N]
   pqe       PDB SENTENCE...
+  kb        SENTENCE...
     v}
 
     {b Responses} are [<status> <body>] where the status token mirrors the
@@ -71,6 +72,8 @@ type request =
   | Moments of { family : string; k : int; upto : int }
   | Criterion of { family : string; c : int; upto : int }
   | Pqe of { ti : string; query : string }
+  | Kb of { query : string }
+      (** lifted UCQ probability over the daemon's loaded knowledge base *)
 
 type budget_opts = { timeout : float option; max_steps : int option }
 
@@ -82,12 +85,15 @@ val request_to_payload : request -> budget_opts -> string
 (** Render back to the wire grammar (inverse of {!parse_request} up to
     parameter order). *)
 
-val cache_key : request -> string option
+val cache_key : ?kb_digest:int64 -> request -> string option
 (** Canonical content-address preimage of the (family, query, precision)
     triple, via {!Ipdb_pdb.Serialize.canonical_key}. [None] for requests
     that must not be cached ([version], [stats]). Budget options are
     deliberately excluded: a cached answer is a {e completed} verdict,
-    valid whatever budget the asker would have allowed. *)
+    valid whatever budget the asker would have allowed. A [Kb] request is
+    keyed on [kb_digest] (the loaded kb file's content digest) plus the
+    canonicalised sentence — and gets no key at all when no kb is loaded,
+    since the answer would not be a verdict about any fact set. *)
 
 (** {1 Responses} *)
 

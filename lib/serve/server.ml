@@ -26,6 +26,7 @@ type config = {
   read_timeout : float;
   journal : string option;
   cache_file : string option;
+  kb_file : string option;
   checkpoint_every : int;
   fault_rate : float;
   fault_seed : int;
@@ -44,6 +45,7 @@ let default_config =
     read_timeout = 30.0;
     journal = None;
     cache_file = None;
+    kb_file = None;
     checkpoint_every = 32;
     fault_rate = 0.0;
     fault_seed = 0;
@@ -69,6 +71,7 @@ type t = {
   pool : Pool.t;
   cache : Cache.t;
   journal : Journal.t option;
+  kb : (Ipdb_kb.Store.t * int64) option; (* loaded store + content digest *)
   cache_lock : Ioutil.lock option;
   stopping : bool Atomic.t;
   stopped : bool Atomic.t;
@@ -272,6 +275,31 @@ let evaluate t req opts ~degraded =
                   Printf.sprintf "P(%s) = %s ≈ %s" (Ipdb_logic.Fo.to_string phi) (Q.to_string p)
                     (Q.to_decimal_string ~digits:8 p);
               }))
+  | Kb { query } -> (
+      match t.kb with
+      | None ->
+          { status = Bad_request; body = "no knowledge base loaded (start the daemon with --kb FILE)" }
+      | Some (store, _) -> (
+          match Ipdb_logic.Parser.sentence query with
+          | Error e -> { status = Bad_request; body = "parse error: " ^ e }
+          | Ok phi -> (
+              let budget = budget_of cfg opts ~degraded in
+              (* Exact only: a Monte-Carlo answer depends on a seed the
+                 client never sent, so it could not be cached or replayed
+                 byte-identically. Unsafe queries are refused (status 2);
+                 the one-shot CLI offers the sampling fallback instead. *)
+              match Ipdb_kb.Lifted.query ~budget store phi with
+              | Error e -> { status = status_of_run_error e; body = Run_error.to_string e }
+              | Ok (Ipdb_kb.Lifted.Estimated _) ->
+                  { status = Internal; body = "unexpected estimate from exact-only evaluation" }
+              | Ok (Ipdb_kb.Lifted.Exact p) ->
+                  (* Body bytes mirror `ipdb kb query` exactly. *)
+                  {
+                    status = (if Q.is_zero p then Certified_negative else Ok_positive);
+                    body =
+                      Printf.sprintf "P(%s) = %s ≈ %s" (Ipdb_logic.Fo.to_string phi) (Q.to_string p)
+                        (Q.to_decimal_string ~digits:8 p);
+                  })))
 
 (* Clamp a request to its canonical precision (the horizon past which the
    family's certificates stop being float-meaningful), so equivalent
@@ -285,7 +313,9 @@ let normalize req =
   match req with
   | Moments m -> Moments { m with upto = clamp m.family m.upto }
   | Criterion c -> Criterion { c with upto = clamp c.family c.upto }
-  | Version | Stats | Classify _ | Pqe _ -> req
+  | Version | Stats | Classify _ | Pqe _ | Kb _ -> req
+
+let kb_digest t = Option.map snd t.kb
 
 (* ------------------------------------------------------------------ *)
 (* Journal records                                                     *)
@@ -353,7 +383,7 @@ let maybe_checkpoint_cache t =
    cache and the journal. Shared by live connections and journal replay. *)
 let answer (t : t) req opts ~degraded =
   let req = normalize req in
-  match Protocol.cache_key req with
+  match Protocol.cache_key ?kb_digest:(kb_digest t) req with
   | None -> (evaluate t req opts ~degraded, `Fresh)
   | Some key -> (
       match Cache.find t.cache ~key with
@@ -402,7 +432,7 @@ let answer (t : t) req opts ~degraded =
 let complete_pending (t : t) id req opts =
   let req = normalize req in
   let resp =
-    match Protocol.cache_key req with
+    match Protocol.cache_key ?kb_digest:(kb_digest t) req with
     | None -> evaluate t req opts ~degraded:false
     | Some key -> (
         match Option.bind (Cache.find t.cache ~key) (fun p -> Result.to_option (Protocol.parse_response p)) with
@@ -538,7 +568,7 @@ let replay t records =
               (* Re-seed the cache from the journaled answer. *)
               match (Protocol.parse_request req_payload, Protocol.parse_response payload) with
               | Ok (req, _), Ok resp when Protocol.cacheable resp.status -> (
-                  match Protocol.cache_key (normalize req) with
+                  match Protocol.cache_key ?kb_digest:(kb_digest t) (normalize req) with
                   | Some key -> Cache.put t.cache ~key payload
                   | None -> ())
               | _ -> ())
@@ -595,6 +625,19 @@ let start cfg =
     | Some path -> (
         match Cache.load ~path with
         | Ok c -> Ok c
+        | Error e ->
+            release_cache_lock ();
+            Error e)
+  in
+  (* Knowledge base: loaded in full (every record verified) before the
+     journal is touched, so a bad kb file aborts startup instead of
+     surfacing as per-request errors after replay already ran. *)
+  let* kb =
+    match cfg.kb_file with
+    | None -> Ok None
+    | Some path -> (
+        match Ipdb_kb.Kbfile.load path with
+        | Ok loaded -> Ok (Some (loaded.Ipdb_kb.Kbfile.store, loaded.Ipdb_kb.Kbfile.digest))
         | Error e ->
             release_cache_lock ();
             Error e)
@@ -662,6 +705,7 @@ let start cfg =
       pool;
       cache;
       journal = Option.map fst journal_state;
+      kb;
       cache_lock;
       stopping = Atomic.make false;
       stopped = Atomic.make false;

@@ -46,6 +46,11 @@ type config = {
   read_timeout : float;  (** [SO_RCVTIMEO] on accepted connections *)
   journal : string option;  (** request journal path; [None] disables replay *)
   cache_file : string option;  (** cache checkpoint path; [None] keeps the cache in memory *)
+  kb_file : string option;
+      (** [ipdbkb1] knowledge base served by the [kb] op; loaded in full
+          at startup (a bad file aborts the start), its content digest
+          keys the op's verdict-cache entries. [None] answers [kb]
+          requests with status [2]. *)
   checkpoint_every : int;  (** cache checkpoint cadence, in completed computations *)
   fault_rate : float;  (** arm {!Ipdb_run.Faultinj.Serve_worker} at this rate (tests) *)
   fault_seed : int;

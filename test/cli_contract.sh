@@ -87,6 +87,48 @@ for f in "$TMP/b.jsonl"; do
   [ "$b" -eq "$e" ] || fail "trace: $b span_begin vs $e span_end"
 done
 
+# ------------------------------------------- ipdb kb exit contract
+# gen → ingest → query covering exits 0 (positive marginal), 1 (certified
+# zero), 2 (unsafe plan without --mc-samples; missing file), 3 (budget),
+# plus the Monte-Carlo fallback and the exact independence test.
+run 0 "kb-gen" "$IPDB" kb gen -o "$TMP/kb.kb" --facts 200 --seed 3 \
+  --relations R/2,T/1 --universe 50
+grep -qx 'wrote 200 facts to .*/kb\.kb' "$TMP/out" || fail "kb-gen: bad summary line"
+run 0 "kb-stats" "$IPDB" kb stats "$TMP/kb.kb"
+grep -qx 'facts: 200' "$TMP/out" || fail "kb-stats: wrong fact count"
+grep -qx 'digest: [0-9a-f]\{16\}' "$TMP/out" || fail "kb-stats: missing digest"
+digest1=$(grep '^digest: ' "$TMP/out")
+run 0 "kb-stats-again" "$IPDB" kb stats "$TMP/kb.kb"
+[ "$(grep '^digest: ' "$TMP/out")" = "$digest1" ] || fail "kb-stats: digest not stable"
+
+run 0 "kb-exit0" "$IPDB" kb query "$TMP/kb.kb" 'exists x y. R(x,y)'
+grep -q '^P(∃x\.(∃y\.R(x,y))) = [0-9]*/[0-9]* ≈ 0\.' "$TMP/out" \
+  || fail "kb-exit0: verdict text drifted: $(cat "$TMP/out")"
+run 1 "kb-exit1" "$IPDB" kb query "$TMP/kb.kb" 'T(999999)'
+printf 'P(T(999999)) = 0 ≈ 0.00000000\n' > "$TMP/want"
+cmp -s "$TMP/out" "$TMP/want" || fail "kb-exit1: verdict text drifted: $(cat "$TMP/out")"
+run 2 "kb-exit2-unsafe" "$IPDB" kb query "$TMP/kb.kb" 'exists x y. (R(x,y) and R(y,x))'
+grep -q 'E_VALIDATION.*no safe lifted plan (self-join on R)' "$TMP/err" \
+  || fail "kb-exit2-unsafe: missing diagnostic"
+run 2 "kb-exit2-missing" "$IPDB" kb query "$TMP/nope.kb" 'T(1)'
+grep -q 'E_IO' "$TMP/err" || fail "kb-exit2-missing: missing diagnostic"
+run 3 "kb-exit3" "$IPDB" kb query "$TMP/kb.kb" --max-steps 1 'exists x y. R(x,y)'
+grep -q 'E_BUDGET: kb\.query: step budget exhausted' "$TMP/err" || fail "kb-exit3: missing diagnostic"
+
+# unsafe query + --mc-samples: Hoeffding estimate, deterministic under --seed
+run 0 "kb-mc" "$IPDB" kb query "$TMP/kb.kb" --mc-samples 400 --seed 9 \
+  'exists x y. (R(x,y) and R(y,x))'
+grep -q '± .* (mc, 400 samples, confidence 0.95' "$TMP/out" || fail "kb-mc: estimate line drifted"
+cp "$TMP/out" "$TMP/mc1"
+run 0 "kb-mc-repeat" "$IPDB" kb query "$TMP/kb.kb" --mc-samples 400 --seed 9 \
+  'exists x y. (R(x,y) and R(y,x))'
+cmp -s "$TMP/out" "$TMP/mc1" || fail "kb-mc: seeded estimate not reproducible"
+
+run 0 "kb-indep" "$IPDB" kb indep "$TMP/kb.kb" 'exists x y. R(x,y)' 'exists x. T(x)'
+grep -qx 'independent: true' "$TMP/out" || fail "kb-indep: disjoint relations not independent"
+run 1 "kb-dep" "$IPDB" kb indep "$TMP/kb.kb" 'exists x. T(x)' 'exists x. T(x)'
+grep -qx 'independent: false' "$TMP/out" || fail "kb-dep: self-dependence missed"
+
 # ------------------------------------------- CLI --trace and --metrics
 run 0 "cli-trace" "$IPDB" criterion geometric --upto 2000 --trace "$TMP/c.jsonl" --metrics
 [ -s "$TMP/c.jsonl" ] || fail "cli-trace: empty trace"

@@ -73,7 +73,7 @@ expect 1 "1 E(|D|^2) = ∞ (certified; partial sum 150 after 50 terms)" \
 # status 2: usage errors
 expect 2 "2 unknown family no-such-family; available: example-3.5, example-3.9, example-5.5, geometric, sensor-bounded, sqrt-growth" \
   "classify no-such-family"
-expect 2 "2 unknown op \"frobnicate\" (version|stats|classify|moments|criterion|pqe)" \
+expect 2 "2 unknown op \"frobnicate\" (version|stats|classify|moments|criterion|pqe|kb)" \
   "frobnicate geometric"
 
 # status 3: budget exhaustion degrades to a sound partial verdict

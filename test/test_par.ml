@@ -206,6 +206,32 @@ let test_map_ordered_exception () =
   | _ -> Alcotest.fail "expected exception"
   | exception Failure m -> Alcotest.(check string) "first failing index wins" "boom" m
 
+let test_map_ordered_jobs1_bypass () =
+  (* jobs=1 runs inline without the deque round-trip; the bypass must be
+     observationally identical to the fan-out path: same results in the
+     same order, every item settles before the re-raise, and the
+     smallest-index failure is the one re-raised. *)
+  let p1 = pool_of_index 0 and p8 = pool_of_index 2 in
+  let xs = List.init 321 Fun.id in
+  let f x = (x * 37) mod 101 in
+  Alcotest.(check (list int)) "jobs=1 equals jobs=8" (Pool.map_ordered p8 ~f xs) (Pool.map_ordered p1 ~f xs);
+  let settled = Atomic.make 0 in
+  (match
+     Pool.map_ordered p1
+       ~f:(fun x ->
+         Atomic.incr settled;
+         if x >= 5 then failwith (string_of_int x) else x)
+       (List.init 12 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "smallest failing index wins" "5" m);
+  Alcotest.(check int) "every item settled before the re-raise" 12 (Atomic.get settled);
+  let dead = Pool.create ~jobs:1 () in
+  Pool.shutdown dead;
+  match Pool.map_ordered dead ~f:Fun.id [ 1; 2 ] with
+  | _ -> Alcotest.fail "map_ordered on a shut-down pool succeeded"
+  | exception Invalid_argument _ -> ()
+
 let test_nested_map_ordered () =
   (* A pool task that fans out on the same pool must not deadlock, even on
      a 1-worker pool (the waiting caller helps). *)
@@ -301,6 +327,7 @@ let () =
         [
           Alcotest.test_case "map_ordered preserves order" `Quick test_map_ordered_order;
           Alcotest.test_case "map_ordered re-raises the first exception" `Quick test_map_ordered_exception;
+          Alcotest.test_case "jobs=1 inline bypass is observationally identical" `Quick test_map_ordered_jobs1_bypass;
           Alcotest.test_case "nested map_ordered does not deadlock" `Quick test_nested_map_ordered;
           Alcotest.test_case "map_fold stops pulling on Error" `Quick test_reduce_stops_pulling;
           Alcotest.test_case "chunk plans are size-deterministic" `Quick test_chunk_plan;
