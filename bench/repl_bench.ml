@@ -1,0 +1,159 @@
+(* Replication bench (BENCH_PR9.json): three measurements in one JSON
+   object on stdout.
+
+   1. A full-budget crash-point sweep over the leader→ship→promote
+      replication drill (Ipdb_serve.Repl.crash_scenario) — the ISSUE 9
+      acceptance bar is 0 recovery failures and 0 acked-write losses
+      anywhere except under a lying fsync.
+   2. The same sweep over the ipdbkb1 store write path
+      (Ipdb_kb.Kbfile.crash_scenario).
+   3. A live in-process failover drill: a journaled leader under load, a
+      tailing follower; reports shipping throughput, catch-up time,
+      steady-state lag, and the promotion-to-first-answer failover time.
+
+   Usage: repl_bench [--bounded]
+   --bounded uses the dune-runtest explorer budget; handy for a quick
+   smoke of the bench itself. *)
+
+module Crashexplore = Ipdb_run.Crashexplore
+module Json = Ipdb_obs.Json
+module Server = Ipdb_serve.Server
+module Client = Ipdb_serve.Client
+module Protocol = Ipdb_serve.Protocol
+
+let now = Unix.gettimeofday
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("repl_bench: " ^ m); exit 1) fmt
+
+let report_json r =
+  match Json.parse (Crashexplore.report_to_json r) with
+  | Ok j -> j
+  | Error _ -> Json.String (Crashexplore.report_to_json r)
+
+let tmppath suffix =
+  let f = Filename.temp_file "ipdb-repl-bench" suffix in
+  at_exit (fun () -> try Sys.remove f with _ -> ());
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Live failover drill                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let request port payload =
+  match Client.request ~retries:20 ~port payload with
+  | Ok resp -> resp
+  | Error m -> die "request %S failed: %s" payload m
+
+let health_int port field =
+  let resp = request port "health" in
+  match Json.parse resp.Protocol.body with
+  | Error m -> die "health is not JSON (%s): %s" m resp.Protocol.body
+  | Ok j -> (
+      match Json.member field j with
+      | Some (Json.Int i) -> i
+      | _ -> die "health lacks integer %S: %s" field resp.Protocol.body)
+
+let live_drill () =
+  let lj = tmppath ".wal" and fj = tmppath ".wal" in
+  let base =
+    { Server.default_config with port = 0; jobs = Some 2; read_timeout = 5.0; max_timeout = 5.0 }
+  in
+  let leader =
+    match Server.start { base with journal = Some lj } with
+    | Ok t -> t
+    | Error e -> die "leader: %s" (Ipdb_run.Error.to_string e)
+  in
+  let lport = Server.port leader in
+  let follower =
+    match Server.start { base with journal = Some fj; follow = Some lport } with
+    | Ok t -> t
+    | Error e -> die "follower: %s" (Ipdb_run.Error.to_string e)
+  in
+  let fport = Server.port follower in
+  (* load: distinct certified verdicts, each journaling req+done *)
+  let n_requests = 40 in
+  let payload i = Printf.sprintf "criterion geometric upto=%d" (100 + (10 * i)) in
+  let t_load0 = now () in
+  let acked =
+    List.init n_requests (fun i ->
+        let p = payload i in
+        (p, (request lport p).Protocol.body))
+  in
+  let t_load1 = now () in
+  let lpos = health_int lport "journal_pos" in
+  let deadline = now () +. 30.0 in
+  let rec wait () =
+    if health_int fport "journal_pos" >= lpos && health_int fport "lag" = 0 then now ()
+    else if now () > deadline then die "follower never caught up to %d" lpos
+    else (
+      Unix.sleepf 0.02;
+      wait ())
+  in
+  let t_caught = wait () in
+  let steady_lag = health_int fport "lag" in
+  (* failover: leader gone, promote, first cached read + first fresh write *)
+  Server.stop ~drain_timeout:5.0 leader;
+  let t_fail0 = now () in
+  let presp = Server.promote follower in
+  let t_promoted = now () in
+  if presp.Protocol.status <> Protocol.Ok_positive then
+    die "promote failed: %s" presp.Protocol.body;
+  let survived =
+    List.for_all (fun (p, body) -> (request fport p).Protocol.body = body) acked
+  in
+  let fresh = request fport "criterion geometric upto=12345" in
+  let t_first_write = now () in
+  if fresh.Protocol.status = Protocol.Stale then die "promoted leader still sheds";
+  let epoch = health_int fport "epoch" in
+  Server.stop ~drain_timeout:5.0 follower;
+  Json.Obj
+    [
+      ("requests", Json.Int n_requests);
+      ("journal_records", Json.Int lpos);
+      ("load_s", Json.Float (t_load1 -. t_load0));
+      ("catch_up_after_last_ack_s", Json.Float (t_caught -. t_load1));
+      ("ship_records_per_s", Json.Float (float_of_int lpos /. (t_caught -. t_load0)));
+      ("steady_state_lag", Json.Int steady_lag);
+      ("promote_s", Json.Float (t_promoted -. t_fail0));
+      ("failover_to_first_write_s", Json.Float (t_first_write -. t_fail0));
+      ("promoted_epoch", Json.Int epoch);
+      ("acked_verdicts_survived", Json.Bool survived);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let bounded = Array.exists (( = ) "--bounded") Sys.argv in
+  let budget = if bounded then Crashexplore.default_budget else Crashexplore.full_budget in
+  let t0 = now () in
+  let repl_report = Crashexplore.run ~budget (Ipdb_serve.Repl.crash_scenario ()) in
+  let kb_report = Crashexplore.run ~budget (Ipdb_kb.Kbfile.crash_scenario ()) in
+  let sweep_wall = now () -. t0 in
+  List.iter
+    (fun (r : Crashexplore.report) ->
+      List.iter (fun f -> prerr_endline (Crashexplore.failure_to_string f)) r.Crashexplore.failures)
+    [ repl_report; kb_report ];
+  let failures =
+    List.length repl_report.Crashexplore.failures + List.length kb_report.Crashexplore.failures
+  in
+  let live = live_drill () in
+  let obj =
+    Json.Obj
+      [
+        ("bench", Json.String "repl_bench");
+        ("budget", Json.String (if bounded then "bounded" else "full"));
+        ("sweep_wall_s", Json.Float sweep_wall);
+        ( "trials",
+          Json.Int (repl_report.Crashexplore.trials + kb_report.Crashexplore.trials) );
+        ("failures", Json.Int failures);
+        ( "acked_lost_under_lies",
+          Json.Int
+            (repl_report.Crashexplore.acked_lost_under_lies
+            + kb_report.Crashexplore.acked_lost_under_lies) );
+        ("replication_sweep", report_json repl_report);
+        ("kbfile_sweep", report_json kb_report);
+        ("failover", live);
+      ]
+  in
+  print_endline (Json.to_string obj);
+  exit (if failures = 0 then 0 else 1)

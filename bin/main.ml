@@ -781,7 +781,7 @@ let kb_cmd =
 (* serve: the persistent query daemon *)
 let serve_cmd =
   let run port jobs queue_limit degraded_steps default_timeout journal cache kb_file fault_rate
-      fault_seed slow_worker force_lock trace metrics =
+      fault_seed slow_worker force_lock follow trace metrics =
     guard @@ fun () ->
     setup_obs trace metrics;
     let cfg =
@@ -799,6 +799,7 @@ let serve_cmd =
         fault_seed;
         slow_worker;
         force_lock;
+        follow;
       }
     in
     match Ipdb_serve.Server.run cfg with Ok () -> () | Error e -> fail_typed e
@@ -876,16 +877,26 @@ let serve_cmd =
              second daemon on the same paths is refused with E_LOCKED (exit 2). Use only to \
              reclaim paths after an unclean platform — never to share them between live daemons.")
   in
+  let follow_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "follow" ] ~docv:"PORT"
+          ~doc:
+            "Start as a hot-standby follower of the leader at 127.0.0.1:$(docv): tail its journal \
+             over the repl wire op into our own --journal (required), serve cached reads, shed \
+             uncached ones with E_STALE. Promote with $(b,ipdb promote) or SIGUSR1.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Fault-tolerant persistent query daemon (framed TCP protocol)")
     Term.(
       const run $ port_arg $ jobs_arg $ queue_arg $ degraded_arg $ default_timeout_arg $ journal_arg
       $ cache_arg $ kb_file_arg $ fault_rate_arg $ fault_seed_arg $ slow_arg $ force_lock_arg
-      $ trace_arg $ metrics_arg)
+      $ follow_arg $ trace_arg $ metrics_arg)
 
 (* request: one-shot client, exit code mirrors the response status *)
 let request_cmd =
-  let run port retries retry_base_ms retry_seed raw payload =
+  let run port ports retries retry_base_ms retry_seed timeout raw payload =
     guard @@ fun () ->
     if raw then begin
       match Ipdb_serve.Client.request_raw ~retries ~port payload with
@@ -905,7 +916,12 @@ let request_cmd =
           seed = retry_seed;
         }
       in
-      match Ipdb_serve.Client.request_with_retry ~backoff ~port payload with
+      let result =
+        match ports with
+        | [] -> Ipdb_serve.Client.request_with_retry ~backoff ?timeout ~port payload
+        | ports -> Ipdb_serve.Client.request_failover ~backoff ?timeout ~ports payload
+      in
+      match result with
       | Error msg ->
         Printf.eprintf "ipdb: %s\n" msg;
         exit 2
@@ -914,6 +930,26 @@ let request_cmd =
         exit (Ipdb_serve.Protocol.status_exit_code status)
   in
   let port_arg = Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT" ~doc:"Daemon port.") in
+  let ports_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "ports" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Failover address list: try each daemon in order until one answers definitively. \
+             E_BUSY, E_STALE and transport failures (refused, reset, --timeout) move to the next \
+             address; a whole failed round backs off and sweeps again per --retries. Overrides \
+             --port.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Bound the whole response read: a stalled or byte-trickling server cannot hang the \
+             client past this deadline.")
+  in
   let retries_arg =
     Arg.(
       value
@@ -945,7 +981,31 @@ let request_cmd =
   Cmd.v
     (Cmd.info "request" ~doc:"Send one request to a running ipdb serve daemon")
     Term.(
-      const run $ port_arg $ retries_arg $ retry_base_arg $ retry_seed_arg $ raw_arg $ payload_arg)
+      const run $ port_arg $ ports_arg $ retries_arg $ retry_base_arg $ retry_seed_arg $ timeout_arg
+      $ raw_arg $ payload_arg)
+
+(* promote: turn a follower into the leader (epoch-fenced failover) *)
+let promote_cmd =
+  let run port retries =
+    guard @@ fun () ->
+    match Ipdb_serve.Client.request ~retries ~port "promote" with
+    | Error msg ->
+      Printf.eprintf "ipdb: %s\n" msg;
+      exit 2
+    | Ok { Ipdb_serve.Protocol.status; body } ->
+      Printf.printf "%s %s\n" (Ipdb_serve.Protocol.status_token status) body;
+      exit (Ipdb_serve.Protocol.status_exit_code status)
+  in
+  let port_arg = Arg.(value & opt int 7411 & info [ "port" ] ~docv:"PORT" ~doc:"Follower port.") in
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc:"Connect retries, 0.1s apart.")
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Promote a follower daemon to leader: complete its journaled pending requests under \
+          their original ids and bump the epoch, fencing the old leader (E_FENCED)")
+    Term.(const run $ port_arg $ retries_arg)
 
 (* version: package plus every on-disk/wire format version *)
 let version_cmd =
@@ -961,7 +1021,7 @@ let () =
       ~doc:"Tuple-independent representations of infinite PDBs"
   in
   let code =
-    Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd; kb_cmd; serve_cmd; request_cmd; version_cmd ])
+    Cmd.eval (Cmd.group info [ classify_cmd; moments_cmd; criterion_cmd; sample_cmd; construct_cmd; prob_cmd; lineage_cmd; figures_cmd; check_cmd; export_cmd; import_cmd; zoo_cmd; kb_cmd; serve_cmd; request_cmd; promote_cmd; version_cmd ])
   in
   (* map cmdliner's reserved codes onto the documented contract:
      124 (cli error) → 2 usage, 125 (internal) → 4 internal *)

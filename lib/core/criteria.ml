@@ -197,6 +197,8 @@ let error_to_tokens = function
   | Ipdb_run.Error.Certificate { what; msg } -> [ "certificate"; tok_escape what; tok_escape msg ]
   | Ipdb_run.Error.Io { path; msg } -> [ "io"; tok_escape path; tok_escape msg ]
   | Ipdb_run.Error.Locked { path; msg } -> [ "locked"; tok_escape path; tok_escape msg ]
+  | Ipdb_run.Error.Fenced { what; stale; current } ->
+    [ "fenced"; tok_escape what; string_of_int stale; string_of_int current ]
   | Ipdb_run.Error.Exhausted { what; reason } ->
     "exhausted" :: tok_escape what :: exhaustion_to_tokens reason
   | Ipdb_run.Error.Injected_fault { site } -> [ "fault"; tok_escape site ]
@@ -214,6 +216,11 @@ let error_of_tokens toks =
   | [ "certificate"; w; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Certificate { what; msg }) w m
   | [ "io"; p; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Io { path = what; msg }) p m
   | [ "locked"; p; m ] -> two (fun ~what ~msg -> Ipdb_run.Error.Locked { path = what; msg }) p m
+  | [ "fenced"; w; s; c ] ->
+    let* what = tok_unescape w in
+    let* stale = int_tok "stale epoch" s in
+    let* current = int_tok "current epoch" c in
+    Ok (Ipdb_run.Error.Fenced { what; stale; current })
   | "exhausted" :: w :: rest ->
     let* what = tok_unescape w in
     let* reason = exhaustion_of_tokens rest in

@@ -188,3 +188,59 @@ let write ~path ~relations facts =
   | count -> Ok count
   | exception Unix.Unix_error (e, _, _) -> Error (Run_error.Io { path; msg = Unix.error_message e })
   | exception Failure msg -> Error (Run_error.Validation { what = path; msg })
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point scenario: the ipdbkb1 write path                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The bulk-write drill the crash-point explorer sweeps: write a small
+   deterministic kb, verify it back, acknowledge its digest. [write]
+   truncates, so resuming from any crash-consistent image (empty file,
+   torn mid-line tail, complete prefix of lines) is one idempotent
+   rewrite; a torn image {e loads} (partial tail ignored, [torn_tail]
+   set) rather than erroring, which is invariant 1 for this format. *)
+let crash_scenario ?(path = "kb.ipdbkb") () =
+  let relations = [ ("Edge", 2); ("Node", 1); ("Label", 2) ] in
+  let facts () =
+    List.to_seq
+      [
+        ("Node", [| Value.Int 1 |], Q.of_string "1/3");
+        ("Node", [| Value.Int 2 |], Q.of_string "2/3");
+        ("Edge", [| Value.Int 1; Value.Int 2 |], Q.of_string "1/2");
+        ("Edge", [| Value.Int 2; Value.Int 3 |], Q.of_string "3/4");
+        ("Label", [| Value.Int 1; Value.Str "blue" |], Q.of_string "0.25");
+        ("Label", [| Value.Bot; Value.Str "green" |], Q.of_string "5/7");
+      ]
+  in
+  let n_facts = 6 in
+  (* Complete iff every fact line is durable and the tail is whole — a
+     crash leaves a strict prefix, which either ends mid-line (torn) or
+     short of [n_facts]; both mean "rewrite". *)
+  let complete () =
+    match load path with
+    | Ok l when (not l.torn_tail) && l.facts = n_facts -> Some l.digest
+    | _ -> None
+  in
+  let ack_line d = Printf.sprintf "kb %016Lx" d in
+  {
+    Ipdb_run.Crashexplore.name = "kbfile";
+    setup = (fun () -> ());
+    work =
+      (fun ~ack ->
+        let digest =
+          match complete () with
+          | Some d -> d
+          | None -> (
+              (match write ~path ~relations (facts ()) with
+              | Ok _ -> ()
+              | Error e -> failwith (Run_error.to_string e));
+              match complete () with
+              | Some d -> d
+              | None -> failwith "kb rewrite did not converge")
+        in
+        ack (ack_line digest));
+    recovered =
+      (fun () -> match complete () with Some d -> Ok [ ack_line d ] | None -> Ok []);
+    fingerprint =
+      (fun () -> match Ioutil.read_file path with Ok s -> s | Error m -> failwith m);
+  }

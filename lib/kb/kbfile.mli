@@ -56,3 +56,11 @@ val write :
 
 val value_token : Value.t -> (string, string) result
 (** The token encoding a value, or why it has none. *)
+
+val crash_scenario : ?path:string -> unit -> Ipdb_run.Crashexplore.scenario
+(** The [ipdbkb1] write path as a crash-point scenario: bulk-write a
+    small deterministic kb, verify it back, acknowledge its content
+    digest. Power cuts and byte tears at every call site of {!write}
+    leave an image {!load} accepts (partial tail ignored, [torn_tail]
+    set — invariant 1); resuming rewrites from scratch ([O_TRUNC]) and
+    converges byte-identically (invariant 3). *)

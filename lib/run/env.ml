@@ -18,6 +18,7 @@ type t = {
   unlink : string -> unit;
   mkdir : string -> Unix.file_perm -> unit;
   exists : string -> bool;
+  socket : Unix.file_descr -> fd;
 }
 
 let of_unix u =
@@ -43,6 +44,7 @@ let unix =
     unlink = Unix.unlink;
     mkdir = Unix.mkdir;
     exists = Sys.file_exists;
+    socket = of_unix;
   }
 
 (* The ambient environment. Per-fd operations dispatch through the record

@@ -53,6 +53,12 @@ type t = {
   unlink : string -> unit;
   mkdir : string -> Unix.file_perm -> unit;
   exists : string -> bool;
+  socket : Unix.file_descr -> fd;
+      (** Wrap a connected socket descriptor for framed wire I/O. The
+          unix backend is {!of_unix}; the simulated backend layers
+          partition injection on top (reads/writes raise [ECONNRESET]
+          while a simulated partition is in force), which is how the
+          replication protocol's connection-drop handling is swept. *)
 }
 
 val unix : t

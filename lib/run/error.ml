@@ -9,6 +9,7 @@ type t =
   | Certificate of { what : string; msg : string }
   | Io of { path : string; msg : string }
   | Locked of { path : string; msg : string }
+  | Fenced of { what : string; stale : int; current : int }
   | Exhausted of { what : string; reason : exhaustion }
   | Injected_fault of { site : string }
   | Internal of { msg : string }
@@ -19,6 +20,7 @@ let code = function
   | Certificate _ -> "E_CERTIFICATE"
   | Io _ -> "E_IO"
   | Locked _ -> "E_LOCKED"
+  | Fenced _ -> "E_FENCED"
   | Exhausted _ -> "E_BUDGET"
   | Injected_fault _ -> "E_FAULT"
   | Internal _ -> "E_INTERNAL"
@@ -34,6 +36,8 @@ let message = function
   | Certificate { what; msg } -> Printf.sprintf "certificate rejected for %s: %s" what msg
   | Io { path; msg } -> Printf.sprintf "I/O failure on %s: %s" path msg
   | Locked { path; msg } -> Printf.sprintf "single-writer lock refused on %s: %s" path msg
+  | Fenced { what; stale; current } ->
+    Printf.sprintf "%s fenced: epoch %d superseded by epoch %d" what stale current
   | Exhausted { what; reason } -> Printf.sprintf "%s: %s" what (exhaustion_to_string reason)
   | Injected_fault { site } -> Printf.sprintf "injected fault at site %s" site
   | Internal { msg } -> Printf.sprintf "internal error: %s" msg
@@ -41,7 +45,7 @@ let message = function
 let to_string e = code e ^ ": " ^ message e
 
 let exit_code = function
-  | Parse _ | Validation _ | Io _ | Locked _ -> 2
+  | Parse _ | Validation _ | Io _ | Locked _ | Fenced _ -> 2
   | Exhausted _ -> 3
   | Certificate _ | Injected_fault _ | Internal _ -> 4
 

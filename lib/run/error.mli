@@ -43,6 +43,11 @@ type t =
       (** Another writer holds the advisory single-writer lock on [path]
           (journal or cache-snapshot); refusing beats interleaving
           appends. The [--force-lock] escape hatch bypasses the check. *)
+  | Fenced of { what : string; stale : int; current : int }
+      (** A write carrying a superseded replication epoch was refused:
+          the journal (or peer) named [what] has already seen epoch
+          [current], so a writer still at epoch [stale] is a deposed
+          leader whose appends must not land (see DESIGN.md §13). *)
   | Exhausted of { what : string; reason : exhaustion }
       (** A {!Budget} ran out inside the computation named [what]. *)
   | Injected_fault of { site : string }
@@ -52,8 +57,8 @@ type t =
 
 val code : t -> string
 (** Stable machine-readable code: one of ["E_PARSE"], ["E_VALIDATION"],
-    ["E_CERTIFICATE"], ["E_IO"], ["E_LOCKED"], ["E_BUDGET"], ["E_FAULT"],
-    ["E_INTERNAL"]. *)
+    ["E_CERTIFICATE"], ["E_IO"], ["E_LOCKED"], ["E_FENCED"],
+    ["E_BUDGET"], ["E_FAULT"], ["E_INTERNAL"]. *)
 
 val message : t -> string
 (** Human-readable one-line description (no code prefix). *)
@@ -65,7 +70,7 @@ val exhaustion_to_string : exhaustion -> string
 
 val exit_code : t -> int
 (** The CLI exit-code contract: [2] for usage-class errors (parse,
-    validation, I/O, a refused single-writer lock), [3] for budget
+    validation, I/O, a refused single-writer lock, a fenced epoch), [3] for budget
     exhaustion, [4] for certificate
     failures, injected faults and internal errors. Exit codes [0] (ok) and
     [1] (certified negative) are verdicts, not errors, and are assigned by

@@ -40,6 +40,7 @@ type t = {
   mutable plan : plan;
   mutable rng : Random.State.t option;
   mutable lied : int;
+  mutable parted : bool;  (* simulated network partition in force *)
   mutable log : op list;  (* reverse chronological *)
 }
 
@@ -59,6 +60,7 @@ let create ?(plan = quiet) () =
     plan;
     rng = rng_of_plan plan;
     lied = 0;
+    parted = false;
     log = [];
   }
 
@@ -76,9 +78,14 @@ let reset_ops t =
   t.lied <- 0;
   Hashtbl.reset t.write_counts
 
+let partition t = t.parted <- true
+let heal t = t.parted <- false
+let partitioned t = t.parted
+
 let reboot t =
   t.gen <- t.gen + 1;
   t.dead <- false;
+  t.parted <- false;
   Hashtbl.reset t.view;
   Hashtbl.iter (fun p c -> Hashtbl.replace t.view p c) t.disk;
   Hashtbl.reset t.locks;
@@ -92,6 +99,7 @@ let wipe t =
   t.gen <- t.gen + 1;
   t.dead <- false;
   t.lied <- 0;
+  t.parted <- false;
   reset_ops t;
   set_plan t quiet
 
@@ -304,6 +312,21 @@ let exists t path =
   (match crash with Some _ -> power_cut t | None -> ());
   Hashtbl.mem t.view path || Hashtbl.mem t.dirs path
 
+(* Sockets stay real descriptors (the simulator has no network model);
+   the wrapper only interposes the partition switch, so a test can sever
+   a live replication stream at a deterministic point and watch the
+   reconnect/fence logic, which is the failure mode TCP actually shows a
+   process: reads and writes on an established connection failing with
+   ECONNRESET. *)
+let socket t u =
+  let real = Env.of_unix u in
+  let check fn = if t.parted then unix_err Unix.ECONNRESET fn "socket" in
+  {
+    real with
+    Env.write = (fun s off len -> check "write"; real.Env.write s off len);
+    read = (fun b off len -> check "read"; real.Env.read b off len);
+  }
+
 let env t =
   {
     Env.backend = "sim";
@@ -312,4 +335,5 @@ let env t =
     unlink = (fun path -> unlink t path);
     mkdir = (fun path perm -> mkdir t path perm);
     exists = (fun path -> exists t path);
+    socket = (fun u -> socket t u);
   }

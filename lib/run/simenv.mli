@@ -87,6 +87,20 @@ val reset_ops : t -> unit
 val fsync_lies : t -> int
 (** Lying fsyncs fired so far. *)
 
+val partition : t -> unit
+(** Sever the simulated network: every subsequent read/write on a
+    descriptor wrapped by this backend's [Env.socket] raises
+    [ECONNRESET] (connections already established included), until
+    {!heal} or {!reboot}. File I/O is unaffected — a partition is not a
+    power cut. *)
+
+val heal : t -> unit
+(** End the partition; {e new} socket operations succeed again (the
+    peers must still reconnect — dropped connections stay dropped, as on
+    a real network). *)
+
+val partitioned : t -> bool
+
 val reboot : t -> unit
 (** Simulated power-cycle: every view resets to its disk content, open
     descriptors die, advisory locks are released, the plan becomes

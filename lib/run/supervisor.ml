@@ -3,10 +3,11 @@ type classification = Transient | Permanent
 let classify = function
   | Error.Io _ | Error.Injected_fault _ -> Transient
   | Error.Parse _ | Error.Validation _ | Error.Certificate _ | Error.Internal _
-  | Error.Exhausted _ | Error.Locked _ ->
+  | Error.Exhausted _ | Error.Locked _ | Error.Fenced _ ->
       (* A refused single-writer lock is held by a live process; retrying
          on a backoff schedule would just race it — fail fast and let the
-         operator decide (--force-lock exists for the rare override). *)
+         operator decide (--force-lock exists for the rare override).
+         Likewise a fenced epoch never un-supersedes itself. *)
       Permanent
 
 let classification_to_string = function

@@ -51,6 +51,12 @@ let size t =
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
 
+let entries t =
+  Mutex.lock t.lock;
+  let es = Hashtbl.fold (fun _ e acc -> (e.key, e.response) :: acc) t.tbl [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> compare (address a) (address b)) es
+
 (* Snapshot lines: "<addr> <klen> <rlen> <escaped-key> <escaped-response>"
    where klen/rlen are the byte lengths of the *escaped* fields, so the
    decoder slices at fixed offsets and spaces inside keys survive. *)

@@ -38,6 +38,11 @@ val size : t -> int
 val hits : t -> int
 val misses : t -> int
 
+val entries : t -> (string * string) list
+(** All (key, response) pairs, sorted by content address — the order
+    {!to_string} serializes them in. Used to merge a shipped snapshot
+    into a follower's live cache. *)
+
 val to_string : t -> string
 val of_string : string -> (t, string) result
 (** Versioned snapshot encoding (first line is {!format_version}); the

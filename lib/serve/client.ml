@@ -24,10 +24,17 @@ let with_conn ?retries ~port f =
       (try Unix.close fd with _ -> ());
       r
 
-let request ?retries ~port payload =
+let request ?retries ?timeout ~port payload =
   with_conn ?retries ~port @@ fun fd ->
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  (* Belt (SO_RCVTIMEO caps each read) and braces (the absolute deadline
+     caps the whole response): a server that trickles one byte per
+     second can defeat a per-read timeout but not the deadline. *)
+  (match timeout with
+  | Some s -> ( try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with _ -> ())
+  | None -> ());
   Protocol.write_frame fd payload;
-  match Protocol.read_frame fd with
+  match Protocol.read_frame ?deadline fd with
   | Error _ as e -> e
   | Ok resp_payload -> Protocol.parse_response resp_payload
 
@@ -90,9 +97,9 @@ let retryable_error msg =
   in
   has "Connection refused" || has "Connection reset"
 
-let request_with_retry ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ~port payload =
+let request_with_retry ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ?timeout ~port payload =
   let rec go attempt =
-    let r = request ~port payload in
+    let r = request ?timeout ~port payload in
     let retry =
       attempt <= backoff.retries
       &&
@@ -107,3 +114,31 @@ let request_with_retry ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ~port
     else r
   in
   go 1
+
+(* Multi-address failover: walk the list until a definitive response.
+   E_BUSY, E_STALE and any transport failure (refused, reset, deadline)
+   move to the next address — exactly the outcomes a dead leader or a
+   not-yet-promoted follower produces during a failover window. When a
+   whole round fails, sleep the seeded backoff and sweep again. *)
+let request_failover ?(backoff = default_backoff) ?(sleep = Unix.sleepf) ?timeout ~ports payload =
+  if ports = [] then Error "request_failover: empty port list"
+  else
+    let rec round attempt =
+      let rec go last = function
+        | [] ->
+            if attempt <= backoff.retries then begin
+              sleep (backoff_delay backoff ~attempt);
+              round (attempt + 1)
+            end
+            else last
+        | port :: rest -> (
+            match request ?timeout ~port payload with
+            | Ok resp when resp.Protocol.status = Protocol.Busy || resp.Protocol.status = Protocol.Stale
+              ->
+                go (Ok resp) rest
+            | Error msg -> go (Error msg) rest
+            | Ok _ as r -> r)
+      in
+      go (Error "request_failover: empty port list") ports
+    in
+    round 1

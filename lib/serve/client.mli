@@ -7,10 +7,13 @@ val connect : ?retries:int -> ?delay:float -> port:int -> unit -> (Unix.file_des
     sleeping [delay] seconds (default 0.1) between attempts — scripts use
     this to wait out daemon startup. *)
 
-val request : ?retries:int -> port:int -> string -> (Protocol.response, string) result
+val request : ?retries:int -> ?timeout:float -> port:int -> string -> (Protocol.response, string) result
 (** Send one request payload, read the framed response, close. [Error]
     covers transport failures and protocol damage, never server-side
-    statuses — an [E_BUSY] shed is an [Ok] response with {!Protocol.Busy}. *)
+    statuses — an [E_BUSY] shed is an [Ok] response with {!Protocol.Busy}.
+    [timeout] bounds the {e whole} response read with an absolute
+    deadline (plus [SO_RCVTIMEO] per read), so a stalled or trickling
+    server cannot hang the client past it. *)
 
 val request_raw : ?retries:int -> port:int -> string -> (string, string) result
 (** Send raw bytes verbatim (no framing — the malformed-frame test path)
@@ -34,9 +37,29 @@ val backoff_delay : backoff -> attempt:int -> float
     exposed so tests can assert the schedule is deterministic. *)
 
 val request_with_retry :
-  ?backoff:backoff -> ?sleep:(float -> unit) -> port:int -> string -> (Protocol.response, string) result
+  ?backoff:backoff ->
+  ?sleep:(float -> unit) ->
+  ?timeout:float ->
+  port:int ->
+  string ->
+  (Protocol.response, string) result
 (** {!request}, retrying on the two transient outcomes — connection
     refused/reset (daemon still starting or restarting) and an [E_BUSY]
     shed — with the seeded backoff schedule. Any other response or error
     is returned as-is. [ipdb request --retries N --retry-base-ms M] is a
     thin wrapper over this. *)
+
+val request_failover :
+  ?backoff:backoff ->
+  ?sleep:(float -> unit) ->
+  ?timeout:float ->
+  ports:int list ->
+  string ->
+  (Protocol.response, string) result
+(** {!request} against a list of addresses, in order, until one returns a
+    definitive response. [E_BUSY], [E_STALE] and transport failures
+    (refused, reset, read deadline) move to the next address — the
+    outcomes a dead leader or a not-yet-promoted follower produces during
+    a failover window. After a whole failed round: seeded backoff, sweep
+    again, up to [backoff.retries] extra rounds; the last outcome is
+    returned. [ipdb request --ports P1,P2] wraps this. *)

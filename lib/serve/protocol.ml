@@ -45,34 +45,84 @@ let parse_frame line =
    newline is looking at garbage and can stop. *)
 let max_line = (2 * max_payload) + 64
 
-let read_frame fd =
+(* Sockets route through the ambient environment's dedicated [socket]
+   wrapper: the unix backend is a plain [Env.of_unix], and the simulated
+   backend only layers partition injection on top — its filesystem tables
+   never see wire bytes, so a simulated disk fault cannot swallow them
+   while a simulated partition can sever them deterministically. *)
+let socket_fd fd = (Ipdb_env.Env.current ()).Ipdb_env.Env.socket fd
+
+(* A buffered frame reader. [read(2)] hands back whatever the kernel has,
+   which on a streaming connection routinely spans a frame boundary; the
+   bytes past the newline belong to the {e next} frame and must be carried
+   over, not dropped. One-frame-per-connection callers can use the plain
+   {!read_frame} wrapper; anything reading several frames off one socket
+   (the replication tail) must reuse a single [reader]. *)
+type reader = { rfd : Unix.file_descr; mutable pending : string }
+
+let reader fd = { rfd = fd; pending = "" }
+
+(* [deadline] is an absolute [Unix.gettimeofday] instant bounding the
+   whole multi-read frame assembly: a server trickling one byte per
+   [SO_RCVTIMEO] interval can stretch each blocking read's clock but not
+   the total, because we wait for readability with [select] against the
+   time remaining before every read. *)
+let read_frame_r ?deadline r =
+  let fd = r.rfd in
+  let sfd = socket_fd fd in
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
-  let rec go () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (Printf.sprintf "read failed: %s" (Unix.error_message e))
-    | 0 ->
-        if Buffer.length buf = 0 then Error "connection closed before a frame arrived"
-        else Error "connection closed mid-frame"
-    | n -> (
-        match Bytes.index_from_opt chunk 0 '\n' with
-        | Some i when i < n ->
-            Buffer.add_subbytes buf chunk 0 i;
-            parse_frame (Buffer.contents buf)
-        | _ ->
-            Buffer.add_subbytes buf chunk 0 n;
-            if Buffer.length buf > max_line then Error "frame exceeds line limit"
-            else go ())
+  let wait_readable () =
+    match deadline with
+    | None -> Ok ()
+    | Some d ->
+        let rec sel () =
+          let remaining = d -. Unix.gettimeofday () in
+          if remaining <= 0. then Error "read deadline exceeded"
+          else
+            match Unix.select [ fd ] [] [] remaining with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> sel ()
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Printf.sprintf "read failed: %s" (Unix.error_message e))
+            | [], _, _ -> Error "read deadline exceeded"
+            | _ -> Ok ()
+        in
+        sel ()
   in
-  go ()
+  (* Fold freshly-arrived bytes: up to the first newline completes the
+     frame, everything after it is carried for the next call. *)
+  let consume s =
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.add_string buf (String.sub s 0 i);
+        r.pending <- String.sub s (i + 1) (String.length s - i - 1);
+        Some (parse_frame (Buffer.contents buf))
+    | None ->
+        Buffer.add_string buf s;
+        if Buffer.length buf > max_line then Some (Error "frame exceeds line limit") else None
+  in
+  let rec go () =
+    match wait_readable () with
+    | Error _ as e -> e
+    | Ok () -> (
+        match sfd.Ipdb_env.Env.read chunk 0 (Bytes.length chunk) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "read failed: %s" (Unix.error_message e))
+        | 0 ->
+            if Buffer.length buf = 0 then Error "connection closed before a frame arrived"
+            else Error "connection closed mid-frame"
+        | n -> (
+            match consume (Bytes.sub_string chunk 0 n) with Some res -> res | None -> go ()))
+  in
+  let carried = r.pending in
+  r.pending <- "";
+  if carried <> "" then (match consume carried with Some res -> res | None -> go ())
+  else go ()
 
-(* Sockets are wrapped per-call with [Env.of_unix]: frame writes share
-   Ioutil's EINTR/short-write loop but never route through the ambient
-   (possibly simulated) environment — a simulated disk must not swallow
-   wire bytes. *)
-let write_frame fd payload = Ioutil.write_all (Ipdb_env.Env.of_unix fd) (frame payload)
+let read_frame ?deadline fd = read_frame_r ?deadline (reader fd)
+
+let write_frame fd payload = Ioutil.write_all (socket_fd fd) (frame payload)
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -81,6 +131,9 @@ let write_frame fd payload = Ioutil.write_all (Ipdb_env.Env.of_unix fd) (frame p
 type request =
   | Version
   | Stats
+  | Health
+  | Promote
+  | Repl of { proto : string; cachefmt : string; package : string; pos : int; epoch : int }
   | Classify of { family : string; upto : int }
   | Moments of { family : string; k : int; upto : int }
   | Criterion of { family : string; c : int; upto : int }
@@ -142,7 +195,23 @@ let parse_request payload =
   | [] -> err "empty request"
   | [ "version" ] -> Ok (Version, no_budget)
   | [ "stats" ] -> Ok (Stats, no_budget)
-  | "version" :: _ | "stats" :: _ -> err "this op takes no arguments"
+  | [ "health" ] -> Ok (Health, no_budget)
+  | [ "promote" ] -> Ok (Promote, no_budget)
+  | "version" :: _ | "stats" :: _ | "health" :: _ | "promote" :: _ ->
+      err "this op takes no arguments"
+  | [ "repl"; proto; cachefmt; package; pos_w; epoch_w ] -> (
+      let field name w =
+        let prefix = name ^ "=" in
+        let pl = String.length prefix in
+        if String.length w > pl && String.sub w 0 pl = prefix then
+          int_of_string_opt (String.sub w pl (String.length w - pl))
+        else None
+      in
+      match (field "pos" pos_w, field "epoch" epoch_w) with
+      | Some pos, Some epoch when pos >= 0 && epoch >= 0 ->
+          Ok (Repl { proto; cachefmt; package; pos; epoch }, no_budget)
+      | _ -> err "repl needs pos=N epoch=E with non-negative integers")
+  | "repl" :: _ -> err "repl needs PROTO CACHEFMT PACKAGE pos=N epoch=E"
   | "classify" :: family :: rest ->
       Result.bind (parse_params rest) (fun p ->
           Ok (Classify { family; upto = p.upto }, budget_of_params p))
@@ -157,7 +226,8 @@ let parse_request payload =
   | "kb" :: (_ :: _ as query) -> Ok (Kb { query = String.concat " " query }, no_budget)
   | "kb" :: _ -> err "kb needs a sentence"
   | [ ("classify" | "moments" | "criterion") ] -> err "missing FAMILY argument"
-  | op :: _ -> err "unknown op %S (version|stats|classify|moments|criterion|pqe|kb)" op
+  | op :: _ ->
+      err "unknown op %S (version|stats|health|promote|repl|classify|moments|criterion|pqe|kb)" op
 
 let request_to_payload req opts =
   let budget =
@@ -168,6 +238,10 @@ let request_to_payload req opts =
     match req with
     | Version -> [ "version" ]
     | Stats -> [ "stats" ]
+    | Health -> [ "health" ]
+    | Promote -> [ "promote" ]
+    | Repl { proto; cachefmt; package; pos; epoch } ->
+        [ "repl"; proto; cachefmt; package; Printf.sprintf "pos=%d" pos; Printf.sprintf "epoch=%d" epoch ]
     | Classify { family; upto } -> [ "classify"; family; Printf.sprintf "upto=%d" upto ] @ budget
     | Moments { family; k; upto } ->
         [ "moments"; family; Printf.sprintf "k=%d" k; Printf.sprintf "upto=%d" upto ] @ budget
@@ -185,7 +259,7 @@ module Serialize = Ipdb_pdb.Serialize
    exact fact set it was computed over, so the digest is part of the key
    and a daemon with no kb loaded caches nothing for the op. *)
 let cache_key ?kb_digest = function
-  | Version | Stats -> None
+  | Version | Stats | Health | Promote | Repl _ -> None
   | Classify { family; upto } ->
       Some (Serialize.canonical_key ~op:"classify" [ ("family", family); ("upto", string_of_int upto) ])
   | Moments { family; k; upto } ->
@@ -223,7 +297,15 @@ let cache_key ?kb_digest = function
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
 
-type status = Ok_positive | Certified_negative | Bad_request | Partial | Internal | Busy | Proto
+type status =
+  | Ok_positive
+  | Certified_negative
+  | Bad_request
+  | Partial
+  | Internal
+  | Busy
+  | Proto
+  | Stale
 
 let status_token = function
   | Ok_positive -> "0"
@@ -233,6 +315,7 @@ let status_token = function
   | Internal -> "4"
   | Busy -> "E_BUSY"
   | Proto -> "E_PROTO"
+  | Stale -> "E_STALE"
 
 let status_of_token = function
   | "0" -> Some Ok_positive
@@ -242,6 +325,7 @@ let status_of_token = function
   | "4" -> Some Internal
   | "E_BUSY" -> Some Busy
   | "E_PROTO" -> Some Proto
+  | "E_STALE" -> Some Stale
   | _ -> None
 
 let status_exit_code = function
@@ -252,6 +336,7 @@ let status_exit_code = function
   | Internal -> 4
   | Busy -> 3
   | Proto -> 2
+  | Stale -> 3
 
 type response = { status : status; body : string }
 
@@ -270,4 +355,4 @@ let parse_response payload =
 
 let cacheable = function
   | Ok_positive | Certified_negative -> true
-  | Bad_request | Partial | Internal | Busy | Proto -> false
+  | Bad_request | Partial | Internal | Busy | Proto | Stale -> false

@@ -16,6 +16,9 @@
     {v
   version
   stats
+  health
+  promote
+  repl      PROTO CACHEFMT PACKAGE pos=N epoch=E
   classify  FAMILY [upto=N] [timeout=S] [max_steps=N]
   moments   FAMILY [k=K] [upto=N] [timeout=S] [max_steps=N]
   criterion FAMILY [c=C] [upto=N] [timeout=S] [max_steps=N]
@@ -32,7 +35,16 @@
     - [3] budget exhausted: the body is a sound partial verdict
     - [E_BUSY] load shed: admission control refused the request
     - [E_PROTO] malformed frame; the connection is closed after it
-    - [4] internal error (invalid certificate, injected fault, bug) *)
+    - [E_STALE] a follower cannot answer from its replicated cache; the
+      body carries [leader=HOST:PORT] so the client can fail over
+    - [4] internal error (invalid certificate, injected fault, bug)
+
+    A [repl] handshake turns the connection into a {e replication
+    stream}: the [0]-status hello response ([hello epoch=E len=N
+    snap=0|1]) is followed by raw payload frames [snapc K N CHUNK]
+    (cache-snapshot bootstrap), [rec POS EPOCH K N CHUNK] (journal
+    records, chunked) and [keep EPOCH LEN] heartbeats — see {!Repl} for
+    the grammar and the fencing rules. *)
 
 val version : string
 (** Protocol format tag, ["ipdbs1"]. *)
@@ -53,10 +65,30 @@ val parse_frame : string -> (string, string) result
     payload; diagnostics for bad magic, bad length, oversize, or damaged
     escapes. *)
 
-val read_frame : Unix.file_descr -> (string, string) result
+val read_frame : ?deadline:float -> Unix.file_descr -> (string, string) result
 (** Read bytes until the first newline (bounded by an escaped
     {!max_payload}) and parse the frame. [Error] on EOF, timeouts
-    ([SO_RCVTIMEO] on the fd), oversize input, or a malformed frame. *)
+    ([SO_RCVTIMEO] on the fd), oversize input, or a malformed frame.
+    [deadline] (absolute [Unix.gettimeofday] time) additionally bounds
+    the {e whole} frame: readability is awaited with [select] against
+    the remaining time before every read, so a peer trickling bytes
+    cannot stall the caller past it ([Error "read deadline exceeded"]).
+    Reads go through the ambient {!Ipdb_env.Env.t.socket} wrapper, so a
+    simulated partition severs them. Bytes read past the newline are
+    dropped — correct only for one-frame-per-connection exchanges; use a
+    {!reader} to stream several frames off one socket. *)
+
+type reader
+(** A buffered frame reader for connections carrying {e many} frames
+    (the replication stream): bytes the kernel hands back past a frame's
+    newline are carried over to the next {!read_frame_r} call instead of
+    being dropped. *)
+
+val reader : Unix.file_descr -> reader
+
+val read_frame_r : ?deadline:float -> reader -> (string, string) result
+(** {!read_frame} against a buffered reader; same errors and deadline
+    semantics. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Frame and send a payload ({!Ioutil.write_all}; EINTR-safe).
@@ -68,6 +100,17 @@ val write_frame : Unix.file_descr -> string -> unit
 type request =
   | Version
   | Stats
+  | Health
+      (** liveness/readiness probe: JSON role, epoch, journal position,
+          replication lag, queue depth and cache stats *)
+  | Promote
+      (** promote a follower to leader (replay the tail, bump the epoch,
+          start accepting writes); idempotent on a leader *)
+  | Repl of { proto : string; cachefmt : string; package : string; pos : int; epoch : int }
+      (** replication handshake: the follower announces its format
+          versions, journal position (records already applied) and the
+          highest epoch it has seen; the leader refuses mismatched
+          formats and fenced epochs, then streams *)
   | Classify of { family : string; upto : int }
   | Moments of { family : string; k : int; upto : int }
   | Criterion of { family : string; c : int; upto : int }
@@ -97,15 +140,26 @@ val cache_key : ?kb_digest:int64 -> request -> string option
 
 (** {1 Responses} *)
 
-type status = Ok_positive | Certified_negative | Bad_request | Partial | Internal | Busy | Proto
+type status =
+  | Ok_positive
+  | Certified_negative
+  | Bad_request
+  | Partial
+  | Internal
+  | Busy
+  | Proto
+  | Stale
+      (** follower shed: the verdict is not in the replicated cache, the
+          body names the leader to redirect to *)
 
 val status_token : status -> string
 val status_of_token : string -> status option
 
 val status_exit_code : status -> int
 (** The CLI exit code a one-shot client maps the status to: [0]–[4] for
-    the mirror statuses, [3] for [E_BUSY] (resource exhaustion), [2] for
-    [E_PROTO]. *)
+    the mirror statuses, [3] for [E_BUSY] (resource exhaustion) and
+    [E_STALE] (the answer exists but not here — retryable against the
+    leader), [2] for [E_PROTO]. *)
 
 type response = { status : status; body : string }
 

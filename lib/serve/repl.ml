@@ -1,0 +1,302 @@
+(* Replication: the deterministic journal-fold state machine shared by
+   leader startup replay, follower tailing and promotion, plus the
+   epoch-fenced header and the replication stream grammar. See repl.mli. *)
+
+module Run_error = Ipdb_run.Error
+module Journal = Ipdb_run.Journal
+module Crashexplore = Ipdb_run.Crashexplore
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-fenced journal header                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* "serve <proto> <cache-format> <package> epoch=<E>". PR 6 journals wrote
+   the three-field form; they parse as epoch 0, so an upgraded binary
+   replays them unchanged. *)
+let header ~epoch =
+  Printf.sprintf "serve %s %s %s epoch=%d" Protocol.version Cache.format_version
+    Protocol.package_version epoch
+
+let epoch_field w =
+  let prefix = "epoch=" in
+  let pl = String.length prefix in
+  if String.length w > pl && String.sub w 0 pl = prefix then
+    int_of_string_opt (String.sub w pl (String.length w - pl))
+  else None
+
+let parse_header path record =
+  match String.split_on_char ' ' record with
+  | "serve" :: proto :: cachefmt :: rest ->
+      if proto <> Protocol.version || cachefmt <> Cache.format_version then
+        Error
+          (Run_error.Validation
+             {
+               what = "journal " ^ path;
+               msg =
+                 Printf.sprintf
+                   "format version mismatch: journal was written by proto=%s cache=%s, this \
+                    binary speaks proto=%s cache=%s — refusing mixed-version replay"
+                   proto cachefmt Protocol.version Cache.format_version;
+             })
+      else Ok (Option.value ~default:0 (List.find_map epoch_field rest))
+  | _ ->
+      Error
+        (Run_error.Validation
+           { what = "journal " ^ path; msg = "first record is not a serve header" })
+
+(* ------------------------------------------------------------------ *)
+(* Fencing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fence ~what ~current ~writer =
+  if writer < current then Error (Run_error.Fenced { what; stale = writer; current })
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* The journal fold                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  mutable epoch : int;
+  mutable pos : int;
+  mutable max_id : int;
+  pending : (int, string) Hashtbl.t;
+}
+
+let create () = { epoch = 0; pos = 0; max_id = 0; pending = Hashtbl.create 16 }
+
+let split2 s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let apply ?(on_done = fun ~request:_ ~response:_ -> ()) st record =
+  (let kind, rest = split2 record in
+   match kind with
+   | "serve" ->
+       (match List.find_map epoch_field (String.split_on_char ' ' rest) with
+       | Some e -> st.epoch <- Stdlib.max st.epoch e
+       | None -> ())
+   | "epoch" -> (
+       match int_of_string_opt (fst (split2 rest)) with
+       | Some e -> st.epoch <- Stdlib.max st.epoch e
+       | None -> ())
+   | "req" | "done" -> (
+       let id_s, payload = split2 rest in
+       match int_of_string_opt id_s with
+       | None -> ()
+       | Some id ->
+           st.max_id <- Stdlib.max st.max_id id;
+           if kind = "req" then Hashtbl.replace st.pending id payload
+           else begin
+             (match Hashtbl.find_opt st.pending id with
+             | Some request -> on_done ~request ~response:payload
+             | None -> ());
+             Hashtbl.remove st.pending id
+           end)
+   | _ -> () (* a record from a future minor revision *));
+  st.pos <- st.pos + 1
+
+let pending_ids st = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) st.pending [])
+let pending_request st id = Hashtbl.find_opt st.pending id
+
+(* ------------------------------------------------------------------ *)
+(* Stream frames                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Chunks keep every stream frame under Protocol.max_payload even when the
+   shipped record itself is a max-size done record: 32 KiB chunk + a short
+   head always fits the 64 KiB frame limit. *)
+let chunk_size = 32768
+
+let chunks s =
+  let n = String.length s in
+  if n = 0 then [ "" ]
+  else
+    List.init
+      ((n + chunk_size - 1) / chunk_size)
+      (fun i -> String.sub s (i * chunk_size) (Stdlib.min chunk_size (n - (i * chunk_size))))
+
+let hello_body ~epoch ~len ~snap = Printf.sprintf "hello epoch=%d len=%d snap=%d" epoch len (if snap then 1 else 0)
+
+let int_field name w =
+  let prefix = name ^ "=" in
+  let pl = String.length prefix in
+  if String.length w > pl && String.sub w 0 pl = prefix then
+    int_of_string_opt (String.sub w pl (String.length w - pl))
+  else None
+
+let parse_hello body =
+  match String.split_on_char ' ' body with
+  | [ "hello"; e; l; s ] -> (
+      match (int_field "epoch" e, int_field "len" l, int_field "snap" s) with
+      | Some epoch, Some len, Some snap -> Ok (epoch, len, snap = 1)
+      | _ -> Error (Printf.sprintf "malformed hello %S" body))
+  | _ -> Error (Printf.sprintf "malformed hello %S" body)
+
+type stream_frame =
+  | Snap_chunk of { k : int; n : int; chunk : string }
+  | Record of { pos : int; epoch : int; k : int; n : int; chunk : string }
+  | Keepalive of { epoch : int; len : int }
+
+let render_snap_chunks snapshot =
+  let cs = chunks snapshot in
+  let n = List.length cs in
+  List.mapi (fun k c -> Printf.sprintf "snapc %d %d %s" k n c) cs
+
+let render_record ~pos ~epoch record =
+  let cs = chunks record in
+  let n = List.length cs in
+  List.mapi (fun k c -> Printf.sprintf "rec %d %d %d %d %s" pos epoch k n c) cs
+
+let render_keepalive ~epoch ~len = Printf.sprintf "keep %d %d" epoch len
+
+(* The chunk is the rest-of-payload after the fixed head fields, so record
+   bytes containing spaces or newlines survive verbatim. *)
+let parse_stream_frame payload =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let kind, rest = split2 payload in
+  match kind with
+  | "snapc" -> (
+      let k_s, rest = split2 rest in
+      let n_s, chunk = split2 rest in
+      match (int_of_string_opt k_s, int_of_string_opt n_s) with
+      | Some k, Some n when 0 <= k && k < n -> Ok (Snap_chunk { k; n; chunk })
+      | _ -> fail "malformed snapc frame")
+  | "rec" -> (
+      let pos_s, rest = split2 rest in
+      let epoch_s, rest = split2 rest in
+      let k_s, rest = split2 rest in
+      let n_s, chunk = split2 rest in
+      match
+        (int_of_string_opt pos_s, int_of_string_opt epoch_s, int_of_string_opt k_s, int_of_string_opt n_s)
+      with
+      | Some pos, Some epoch, Some k, Some n when pos >= 0 && epoch >= 0 && 0 <= k && k < n ->
+          Ok (Record { pos; epoch; k; n; chunk })
+      | _ -> fail "malformed rec frame")
+  | "keep" -> (
+      let epoch_s, len_s = split2 rest in
+      match (int_of_string_opt epoch_s, int_of_string_opt len_s) with
+      | Some epoch, Some len when epoch >= 0 && len >= 0 -> Ok (Keepalive { epoch; len })
+      | _ -> fail "malformed keep frame")
+  | k -> fail "unknown stream frame %S" k
+
+(* ------------------------------------------------------------------ *)
+(* Crash-point scenario: leader → ship → promote                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The file-level replication drill the explorer sweeps: a leader journal
+   is written (one request left pending), its records are shipped
+   byte-identically to a follower journal, and the follower is promoted —
+   tail replayed (the pending request completed under its original id),
+   epoch bumped. Every phase derives what is already done from the
+   repaired on-disk state, so a power cut at any I/O boundary resumes to
+   the same final bytes; the fingerprint includes the follower's folded
+   cache state, which is what "byte-identical follower verdicts" means at
+   this level. *)
+let crash_scenario ?(leader_path = "leader.journal") ?(follower_path = "follower.journal") () =
+  (* Deterministic script: requests 1 and 2 complete on the leader,
+     request 3 is still pending when the leader dies. *)
+  let answer_of q = "0 answer for " ^ q in
+  let leader_records =
+    [
+      header ~epoch:0;
+      "req 1 classify geometric upto=64";
+      "done 1 " ^ answer_of "classify geometric upto=64";
+      "req 2 moments example k=2 upto=32";
+      "done 2 " ^ answer_of "moments example k=2 upto=32";
+      "req 3 criterion zoo c=1 upto=16";
+    ]
+  in
+  let promoted_epoch = 1 in
+  let with_journal path f =
+    match Journal.open_append ~path () with
+    | Error e -> failwith (Run_error.to_string e)
+    | Ok j -> Fun.protect ~finally:(fun () -> Journal.close j) (fun () -> f j)
+  in
+  let repair path =
+    match Journal.repair ~path with
+    | Ok { Journal.records; _ } -> records
+    | Error e -> failwith (Run_error.to_string e)
+  in
+  let append j r = match Journal.append j r with Ok () -> () | Error e -> failwith (Run_error.to_string e) in
+  let fold records =
+    let st = create () in
+    let cache = ref [] in
+    List.iter (apply st ~on_done:(fun ~request ~response -> cache := (request, response) :: !cache)) records;
+    (st, List.sort compare !cache)
+  in
+  {
+    Crashexplore.name = "replication";
+    setup = (fun () -> ());
+    work =
+      (fun ~ack ->
+        (* Leader phase: append whatever of the scripted records is not
+           already durable. *)
+        let have = List.length (repair leader_path) in
+        with_journal leader_path (fun j ->
+            List.iteri
+              (fun i r ->
+                if i >= have then begin
+                  append j r;
+                  ack (Printf.sprintf "L:%d" i)
+                end)
+              leader_records);
+        (* Ship phase: the follower journal is a byte-identical prefix
+           copy; append the missing suffix. *)
+        let lrecs = repair leader_path in
+        let fhave = List.length (repair follower_path) in
+        with_journal follower_path (fun j ->
+            List.iteri
+              (fun i r ->
+                if i >= fhave && i < List.length leader_records then begin
+                  append j r;
+                  ack (Printf.sprintf "ship:%d" i)
+                end)
+              lrecs);
+        (* Promotion: fold the follower journal, complete the pending
+           tail under its original id, bump the epoch. Both appends are
+           guarded by the folded state, so promotion is idempotent. *)
+        let st, _ = fold (repair follower_path) in
+        with_journal follower_path (fun j ->
+            List.iter
+              (fun id ->
+                let q = Option.get (pending_request st id) in
+                append j (Printf.sprintf "done %d %s" id (answer_of q));
+                ack (Printf.sprintf "F:done:%d" id))
+              (pending_ids st);
+            if st.epoch < promoted_epoch then begin
+              append j (Printf.sprintf "epoch %d" promoted_epoch);
+              ack "promoted"
+            end));
+    recovered =
+      (fun () ->
+        try
+          let lrecs = repair leader_path in
+          let frecs = repair follower_path in
+          let acked_l = List.mapi (fun i _ -> Printf.sprintf "L:%d" i) lrecs in
+          let acked_ship =
+            List.filteri (fun i _ -> i < List.length leader_records) frecs
+            |> List.mapi (fun i _ -> Printf.sprintf "ship:%d" i)
+          in
+          let st, _ = fold frecs in
+          let acked_done =
+            List.filter_map
+              (fun r ->
+                let kind, rest = split2 r in
+                let id_s, _ = split2 rest in
+                if kind = "done" && id_s = "3" then Some "F:done:3" else None)
+              frecs
+          in
+          let acked_promoted = if st.epoch >= promoted_epoch then [ "promoted" ] else [] in
+          Ok (acked_l @ acked_ship @ acked_done @ acked_promoted)
+        with Failure m -> Error m);
+    fingerprint =
+      (fun () ->
+        let l = match Ioutil.read_file leader_path with Ok s -> s | Error m -> failwith m in
+        let f = match Ioutil.read_file follower_path with Ok s -> s | Error m -> failwith m in
+        let st, cache = fold (repair follower_path) in
+        let cache_lines = List.map (fun (q, a) -> q ^ " => " ^ a) cache in
+        String.concat "\x00"
+          [ l; f; Printf.sprintf "epoch=%d" st.epoch; String.concat "\n" cache_lines ]);
+  }

@@ -1,0 +1,106 @@
+(** Hot-standby replication: epoch-fenced journal shipping (DESIGN.md §13).
+
+    Because every certified verdict is a deterministic function of the
+    request journal, a follower that holds a byte-identical copy of the
+    leader's journal and folds it through the same state machine the
+    leader uses after SIGKILL has, provably, the leader's cache — that is
+    the whole replication model. This module is the shared substance:
+
+    - the {e epoch-fenced} journal header and the [epoch N] bump record;
+    - the {!state} fold applied by leader startup replay, follower
+      tailing, and promotion alike;
+    - the replication stream grammar carried inside [ipdbs1] frames
+      after a [repl] handshake ([hello] / [snapc] / [rec] / [keep]);
+    - {!crash_scenario}, the file-level leader→ship→promote drill the
+      crash-point explorer sweeps.
+
+    {b Fencing.} Epochs are monotonic: the journal header persists the
+    epoch at creation, [epoch N] records persist each promotion. A writer
+    (deposed leader) presenting an epoch below the highest one seen is
+    refused with a typed {!Ipdb_run.Error.Fenced} ([E_FENCED], exit 2) —
+    its acknowledged writes stayed durable in its own journal, but they
+    can no longer land anywhere that has moved on. *)
+
+(** {1 Epoch-fenced header} *)
+
+val header : epoch:int -> string
+(** ["serve <proto> <cachefmt> <package> epoch=<E>"] — the first record
+    of every serve journal. *)
+
+val parse_header : string -> string -> (int, Ipdb_run.Error.t) result
+(** [parse_header path record]: validate the format versions (a mismatch
+    is the same typed refusal as PR 6's mixed-version check) and return
+    the header epoch. Headers written before this revision carry no
+    [epoch=] field and parse as epoch [0]. *)
+
+val fence : what:string -> current:int -> writer:int -> (unit, Ipdb_run.Error.t) result
+(** [Error (Fenced _)] iff [writer < current] — the one rule of epoch
+    fencing, applied to handshakes, shipped records and heartbeats. *)
+
+(** {1 The journal fold} *)
+
+type state = {
+  mutable epoch : int;  (** highest epoch seen (header and [epoch] records) *)
+  mutable pos : int;  (** records folded — the replication position *)
+  mutable max_id : int;  (** highest request id seen *)
+  pending : (int, string) Hashtbl.t;  (** journaled [req]s with no [done] yet *)
+}
+
+val create : unit -> state
+
+val apply : ?on_done:(request:string -> response:string -> unit) -> state -> string -> unit
+(** Fold one journal record. [req]/[done] maintain the pending table and
+    [max_id]; a [done] whose [req] was seen invokes [on_done] (the hook
+    the server uses to seed its verdict cache); header and [epoch]
+    records raise {!state.epoch}; unknown records are skipped. Every
+    record advances {!state.pos} — identical prefixes of a journal fold
+    to identical states, which is the prefix-replay equivalence property
+    QCheck drives in [test/test_serve.ml]. *)
+
+val pending_ids : state -> int list
+(** Pending request ids, ascending — the replay/promotion work list. *)
+
+val pending_request : state -> int -> string option
+
+val split2 : string -> string * string
+(** Split at the first space: [("kind", "rest")]; second component empty
+    when there is no space. *)
+
+(** {1 Stream frames} *)
+
+val chunk_size : int
+(** 32 KiB: every stream frame stays under {!Protocol.max_payload} even
+    when shipping a maximum-size record. *)
+
+val hello_body : epoch:int -> len:int -> snap:bool -> string
+(** The leader's handshake response body: its epoch, journal length
+    (records), and whether a cache-snapshot bootstrap follows. *)
+
+val parse_hello : string -> (int * int * bool, string) result
+(** [(epoch, len, snap)]. *)
+
+type stream_frame =
+  | Snap_chunk of { k : int; n : int; chunk : string }
+      (** chunk [k] of [n] of a {!Cache.to_string} snapshot *)
+  | Record of { pos : int; epoch : int; k : int; n : int; chunk : string }
+      (** chunk [k] of [n] of journal record [pos], sent under [epoch] *)
+  | Keepalive of { epoch : int; len : int }
+      (** idle heartbeat: leader's epoch and journal length, so the
+          follower can report lag and detect a deposed or dead leader *)
+
+val render_snap_chunks : string -> string list
+val render_record : pos:int -> epoch:int -> string -> string list
+val render_keepalive : epoch:int -> len:int -> string
+val parse_stream_frame : string -> (stream_frame, string) result
+
+(** {1 Crash-point scenario} *)
+
+val crash_scenario :
+  ?leader_path:string -> ?follower_path:string -> unit -> Ipdb_run.Crashexplore.scenario
+(** The replication drill as a {!Ipdb_run.Crashexplore.scenario}: write a
+    leader journal (one request left pending), ship it byte-identically
+    to a follower journal, promote the follower (complete the pending
+    tail under its original id, bump the epoch). Power cuts, torn
+    writes, errnos and fsync lies land at every I/O boundary of all
+    three phases; the fingerprint covers both journals plus the
+    follower's folded epoch and cache state. *)

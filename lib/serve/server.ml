@@ -32,6 +32,7 @@ type config = {
   fault_seed : int;
   slow_worker : float;
   force_lock : bool;
+  follow : int option;
 }
 
 let default_config =
@@ -51,6 +52,7 @@ let default_config =
     fault_seed = 0;
     slow_worker = 0.0;
     force_lock = false;
+    follow = None;
   }
 
 let m_accepted = Metrics.counter "serve.accepted"
@@ -63,6 +65,12 @@ let m_proto_errors = Metrics.counter "serve.proto_errors"
 let m_queue_depth = Metrics.gauge "serve.queue_depth"
 let m_latency_ms = Metrics.histogram "serve.latency_ms"
 let m_io_errors = Metrics.counter "serve.io_errors"
+let m_repl_records = Metrics.counter "serve.repl_records"
+let m_repl_lag = Metrics.gauge "serve.repl_lag"
+let m_stale = Metrics.counter "serve.stale"
+let m_promotions = Metrics.counter "serve.promotions"
+
+type role = Leader | Follower
 
 type t = {
   cfg : config;
@@ -83,9 +91,26 @@ type t = {
   n_shed : int Atomic.t;
   n_degraded : int Atomic.t;
   n_replayed : int Atomic.t;
+  n_stale : int Atomic.t;
   jobs : int;
   capacity : int;
   mutable accept_domain : unit Domain.t option;
+  (* Replication. The hub mirrors the local journal record-for-record
+     (same order, same bytes): [hub_len] is the journal position and
+     replica streamers read [0, hub_len) without touching the file.
+     Publication happens under [hub_lock] inside the same critical
+     section as the journal append, so hub order {e is} journal order. *)
+  role : role Atomic.t;
+  epoch : int Atomic.t;
+  hub : (int, string) Hashtbl.t;
+  hub_len : int Atomic.t;
+  hub_lock : Mutex.t;
+  repl_state : Repl.state; (* maintained at startup (both roles) and by the follower tail *)
+  leader_len : int Atomic.t; (* follower: the leader's journal length, last heard *)
+  tail_stop : bool Atomic.t;
+  mutable tail_domain : unit Domain.t option;
+  mutable replica_domains : unit Domain.t list;
+  replica_lock : Mutex.t;
 }
 
 let port t = t.bound_port
@@ -143,6 +168,32 @@ let stats_json t =
          ("cache_size", Json.Int s.cache_size);
          ("cache_hits", Json.Int s.cache_hits);
          ("cache_misses", Json.Int s.cache_misses);
+       ])
+
+(* The liveness/readiness probe: role, epoch, journal position, lag (how
+   far behind the leader a follower is, in records), queue depth, cache
+   stats. A leader's lag is 0 by definition. *)
+let health_json t =
+  let role = match Atomic.get t.role with Leader -> "leader" | Follower -> "follower" in
+  let pos = Atomic.get t.hub_len in
+  let lag =
+    match Atomic.get t.role with
+    | Leader -> 0
+    | Follower -> Stdlib.max 0 (Atomic.get t.leader_len - pos)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("role", Json.String role);
+         ("epoch", Json.Int (Atomic.get t.epoch));
+         ("journal_pos", Json.Int pos);
+         ("lag", Json.Int lag);
+         ("pending", Json.Int (Hashtbl.length t.repl_state.Repl.pending));
+         ("queue_depth", Json.Int (Atomic.get t.in_flight));
+         ("capacity", Json.Int t.capacity);
+         ("cache_size", Json.Int (Cache.size t.cache));
+         ("cache_hits", Json.Int (Cache.hits t.cache));
+         ("cache_misses", Json.Int (Cache.misses t.cache));
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -219,6 +270,13 @@ let evaluate t req opts ~degraded =
   match req with
   | Version -> { status = Ok_positive; body = version_string () }
   | Stats -> { status = Ok_positive; body = stats_json t }
+  | Health -> { status = Ok_positive; body = health_json t }
+  | Promote ->
+      (* Promotion and replication handshakes are connection-level ops,
+         intercepted in [handle] before the evaluation pipeline; reaching
+         here means a nested/replayed occurrence, which is meaningless. *)
+      { status = Bad_request; body = "promote is a connection-level op" }
+  | Repl _ -> { status = Bad_request; body = "repl must be the first and only frame on its connection" }
   | Classify { family; upto } -> (
       match List.assoc_opt family Zoo.all_families with
       | None -> unknown_family family
@@ -313,7 +371,7 @@ let normalize req =
   match req with
   | Moments m -> Moments { m with upto = clamp m.family m.upto }
   | Criterion c -> Criterion { c with upto = clamp c.family c.upto }
-  | Version | Stats | Classify _ | Pqe _ | Kb _ -> req
+  | Version | Stats | Health | Promote | Repl _ | Classify _ | Pqe _ | Kb _ -> req
 
 let kb_digest t = Option.map snd t.kb
 
@@ -321,41 +379,31 @@ let kb_digest t = Option.map snd t.kb
 (* Journal records                                                     *)
 (* ------------------------------------------------------------------ *)
 
-(* Header: "serve <proto> <cache-format> <package>". Format versions must
-   match exactly on reopen — a journal written by another format fails
-   loudly instead of replaying garbage. *)
-let journal_header =
-  Printf.sprintf "serve %s %s %s" Protocol.version Cache.format_version Protocol.package_version
+(* Header and record grammar live in {!Repl} now (the follower folds the
+   same records); the header is epoch-fenced: "serve <proto> <cachefmt>
+   <package> epoch=<E>". Format versions must match exactly on reopen — a
+   journal written by another format fails loudly instead of replaying
+   garbage. *)
 
-let check_header path record =
-  match String.split_on_char ' ' record with
-  | "serve" :: proto :: cachefmt :: _ ->
-      if proto <> Protocol.version || cachefmt <> Cache.format_version then
-        Error
-          (Run_error.Validation
-             {
-               what = "journal " ^ path;
-               msg =
-                 Printf.sprintf
-                   "format version mismatch: journal was written by proto=%s cache=%s, this \
-                    binary speaks proto=%s cache=%s — refusing mixed-version replay"
-                   proto cachefmt Protocol.version Cache.format_version;
-             })
-      else Ok ()
-  | _ ->
-      Error
-        (Run_error.Validation
-           { what = "journal " ^ path; msg = "first record is not a serve header" })
-
-let split2 s =
-  match String.index_opt s ' ' with
-  | None -> (s, "")
-  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
-
+(* Append to the journal and publish to the replication hub in one
+   critical section, so the hub's order is exactly the journal's order
+   and [hub_len] is exactly the on-disk record count. A failed append
+   publishes nothing — replicas only ever see durable records, which is
+   what makes "acked ⊆ shipped-eventually" hold. *)
 let journal_append t payload =
   match t.journal with
   | None -> Ok ()
-  | Some j -> Journal.append j payload
+  | Some j ->
+      Mutex.lock t.hub_lock;
+      let r = Journal.append j payload in
+      (match r with
+      | Ok () ->
+          let pos = Atomic.get t.hub_len in
+          Hashtbl.replace t.hub pos payload;
+          Atomic.set t.hub_len (pos + 1)
+      | Error _ -> ());
+      Mutex.unlock t.hub_lock;
+      r
 
 (* ------------------------------------------------------------------ *)
 (* The request pipeline                                                *)
@@ -379,6 +427,33 @@ let maybe_checkpoint_cache t =
       if Atomic.fetch_and_add t.completions 1 mod t.cfg.checkpoint_every = t.cfg.checkpoint_every - 1
       then note_io_error (Cache.checkpoint t.cache ~path)
 
+(* Seed the verdict cache from a journaled (request, response) pair — the
+   [on_done] hook of the {!Repl} fold, shared by leader startup replay
+   and the follower tail. *)
+let seed_cache (t : t) ~request ~response =
+  match (Protocol.parse_request request, Protocol.parse_response response) with
+  | Ok (req, _), Ok resp when Protocol.cacheable resp.status -> (
+      match Protocol.cache_key ?kb_digest:(kb_digest t) (normalize req) with
+      | Some key -> Cache.put t.cache ~key response
+      | None -> ())
+  | _ -> ()
+
+(* A follower sheds a cache miss instead of computing: computing would
+   have to journal, and the follower's journal is a byte-identical
+   replica of the leader's — client traffic must not fork it. The body
+   names the leader so [ipdb request --ports] can fail over. *)
+let stale_response (t : t) =
+  Atomic.incr t.n_stale;
+  Metrics.incr m_stale;
+  let pos = Atomic.get t.hub_len in
+  let lag = Stdlib.max 0 (Atomic.get t.leader_len - pos) in
+  let leader =
+    match t.cfg.follow with
+    | Some p -> Printf.sprintf " leader=127.0.0.1:%d" p
+    | None -> ""
+  in
+  { status = Stale; body = Printf.sprintf "verdict not yet replicated here (lag=%d)%s" lag leader }
+
 (* Compute a response for an already-parsed request, going through the
    cache and the journal. Shared by live connections and journal replay. *)
 let answer (t : t) req opts ~degraded =
@@ -390,6 +465,7 @@ let answer (t : t) req opts ~degraded =
       | Some payload -> (
           match Protocol.parse_response payload with
           | Ok resp -> (resp, `Hit)
+          | Error _ when Atomic.get t.role = Follower -> (stale_response t, `Fresh)
           | Error _ ->
               (* A damaged in-memory entry is impossible short of a bug;
                  degrade to recomputation rather than serving garbage. *)
@@ -397,6 +473,7 @@ let answer (t : t) req opts ~degraded =
               if Protocol.cacheable resp.status then
                 Cache.put t.cache ~key (Protocol.render_response resp);
               (resp, `Fresh))
+      | None when Atomic.get t.role = Follower -> (stale_response t, `Fresh)
       | None ->
           let id = Atomic.fetch_and_add t.next_id 1 in
           let payload = Protocol.request_to_payload req opts in
@@ -454,10 +531,130 @@ let respond conn resp =
       Metrics.incr m_torn;
       false
 
+(* ------------------------------------------------------------------ *)
+(* Replication: promotion, leader-side streaming                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Promote a follower to leader: stop the tail, complete the journaled
+   pending requests under their original ids (the same discipline as
+   post-SIGKILL replay, so the promoted follower's verdicts are
+   byte-identical to a never-crashed leader's), then journal an [epoch]
+   bump — the durable fence that lets everyone refuse the old leader. *)
+let promote (t : t) =
+  if Atomic.compare_and_set t.role Follower Leader then begin
+    Atomic.set t.tail_stop true;
+    (match t.tail_domain with Some d -> Domain.join d | None -> ());
+    t.tail_domain <- None;
+    let st = t.repl_state in
+    (* Claim ids past everything the journal has seen before completing
+       pendings — a concurrent fresh request must not collide. *)
+    Atomic.set t.next_id (st.Repl.max_id + 1);
+    let ids = Repl.pending_ids st in
+    List.iter
+      (fun id ->
+        match Repl.pending_request st id with
+        | None -> ()
+        | Some payload -> (
+            Hashtbl.remove st.Repl.pending id;
+            match Protocol.parse_request payload with
+            | Error _ -> ()
+            | Ok (req, opts) ->
+                Trace.with_span "serve.replay" @@ fun () ->
+                complete_pending t id req opts;
+                Atomic.incr t.n_replayed;
+                Metrics.incr m_replayed))
+      ids;
+    let e = Atomic.get t.epoch + 1 in
+    note_io_error (journal_append t (Printf.sprintf "epoch %d" e));
+    Atomic.set t.epoch e;
+    st.Repl.epoch <- Stdlib.max st.Repl.epoch e;
+    Metrics.incr m_promotions;
+    Trace.event "serve.promoted" ~attrs:[ ("epoch", Json.Int e) ];
+    {
+      status = Ok_positive;
+      body = Printf.sprintf "promoted epoch=%d replayed=%d" e (List.length ids);
+    }
+  end
+  else { status = Ok_positive; body = Printf.sprintf "already leader epoch=%d" (Atomic.get t.epoch) }
+
+(* Leader side of one replication connection: hello, an optional cache
+   snapshot for a cold follower, then journal records straight from the
+   hub as they are published, with keepalives when idle. Runs in its own
+   domain; any socket error ends the stream and the follower reconnects. *)
+let stream_replica (t : t) conn ~from =
+  let ok = ref true in
+  let send payload = try Protocol.write_frame conn payload with _ -> ok := false in
+  (try Unix.setsockopt_float conn Unix.SO_SNDTIMEO 5.0 with _ -> ());
+  let snap = from = 0 && Cache.size t.cache > 0 in
+  send
+    (Protocol.render_response
+       {
+         status = Ok_positive;
+         body = Repl.hello_body ~epoch:(Atomic.get t.epoch) ~len:(Atomic.get t.hub_len) ~snap;
+       });
+  if !ok && snap then
+    List.iter (fun f -> if !ok then send f) (Repl.render_snap_chunks (Cache.to_string t.cache));
+  let pos = ref from in
+  let last_sent = ref (Unix.gettimeofday ()) in
+  while !ok && not (Atomic.get t.stopping) do
+    if !pos < Atomic.get t.hub_len then begin
+      Mutex.lock t.hub_lock;
+      let record = Hashtbl.find_opt t.hub !pos in
+      Mutex.unlock t.hub_lock;
+      match record with
+      | Some r ->
+          List.iter
+            (fun f -> if !ok then send f)
+            (Repl.render_record ~pos:!pos ~epoch:(Atomic.get t.epoch) r);
+          if !ok then begin
+            incr pos;
+            Metrics.incr m_repl_records;
+            last_sent := Unix.gettimeofday ()
+          end
+      | None -> ok := false (* a hub hole is impossible; fail closed *)
+    end
+    else begin
+      if Unix.gettimeofday () -. !last_sent > 0.5 then begin
+        send (Repl.render_keepalive ~epoch:(Atomic.get t.epoch) ~len:(Atomic.get t.hub_len));
+        last_sent := Unix.gettimeofday ()
+      end;
+      Unix.sleepf 0.02
+    end
+  done;
+  try Unix.close conn with _ -> ()
+
+(* Vet a replication handshake; on success the connection is handed to a
+   streamer domain (the caller must not close it). Every refusal is a
+   structured response on the ordinary reply path. *)
+let start_replica (t : t) conn ~proto ~cachefmt ~pos ~epoch =
+  let refuse msg = Error { status = Bad_request; body = msg } in
+  if Atomic.get t.role <> Leader then refuse "not a leader (this daemon is itself a follower)"
+  else if t.journal = None then refuse "replication requires --journal on the leader"
+  else if proto <> Protocol.version || cachefmt <> Cache.format_version then
+    refuse
+      (Printf.sprintf
+         "version mismatch: follower speaks proto=%s cache=%s, leader speaks proto=%s cache=%s"
+         proto cachefmt Protocol.version Cache.format_version)
+  else
+    match
+      Repl.fence ~what:"replication handshake" ~current:epoch ~writer:(Atomic.get t.epoch)
+    with
+    | Error e -> Error { status = Bad_request; body = Run_error.to_string e }
+    | Ok () ->
+        if pos > Atomic.get t.hub_len then refuse "follower journal is ahead of this leader"
+        else begin
+          let d = Domain.spawn (fun () -> stream_replica t conn ~from:pos) in
+          Mutex.lock t.replica_lock;
+          t.replica_domains <- d :: t.replica_domains;
+          Mutex.unlock t.replica_lock;
+          Ok ()
+        end
+
 let handle (t : t) conn ~degraded =
   let t0 = Trace.now () in
+  let taken = ref false in
   let finally () =
-    (try Unix.close conn with _ -> ());
+    if not !taken then (try Unix.close conn with _ -> ());
     Atomic.decr t.in_flight;
     set_queue_gauge t;
     Metrics.observe m_latency_ms ((Trace.now () -. t0) *. 1e3)
@@ -466,33 +663,48 @@ let handle (t : t) conn ~degraded =
   Trace.with_span "serve.request" @@ fun () ->
   (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO t.cfg.read_timeout with _ -> ());
   (try Unix.setsockopt_float conn Unix.SO_SNDTIMEO t.cfg.read_timeout with _ -> ());
+  let served () =
+    Atomic.incr t.n_served;
+    Metrics.incr m_served
+  in
   match Protocol.read_frame conn with
   | Error msg ->
       Metrics.incr m_proto_errors;
       Trace.annotate [ ("status", Json.String "E_PROTO") ];
-      if respond conn { status = Proto; body = msg } then begin
-        Atomic.incr t.n_served;
-        Metrics.incr m_served
-      end
-  | Ok payload ->
-      let resp =
-        match Protocol.parse_request payload with
-        | Error msg -> { status = Bad_request; body = msg }
-        | Ok (req, opts) -> (
-            match
-              Faultinj.protect ~what:"serve request" (fun () ->
-                  Faultinj.fire Faultinj.Serve_worker;
-                  if t.cfg.slow_worker > 0.0 then Unix.sleepf t.cfg.slow_worker;
-                  answer t req opts ~degraded)
-            with
-            | Ok (resp, _) -> resp
-            | Error e -> { status = status_of_run_error e; body = Run_error.to_string e })
-      in
-      Trace.annotate [ ("status", Json.String (Protocol.status_token resp.status)) ];
-      if respond conn resp then begin
-        Atomic.incr t.n_served;
-        Metrics.incr m_served
-      end
+      if respond conn { status = Proto; body = msg } then served ()
+  | Ok payload -> (
+      match Protocol.parse_request payload with
+      (* Connection-level ops are intercepted before the evaluation
+         pipeline: a successful repl handshake hands the socket to a
+         streamer domain for the rest of its life. *)
+      | Ok (Repl { proto; cachefmt; package = _; pos; epoch }, _) -> (
+          match start_replica t conn ~proto ~cachefmt ~pos ~epoch with
+          | Ok () ->
+              taken := true;
+              served ()
+          | Error resp ->
+              Trace.annotate [ ("status", Json.String (Protocol.status_token resp.status)) ];
+              if respond conn resp then served ())
+      | Ok (Promote, _) ->
+          let resp = promote t in
+          Trace.annotate [ ("status", Json.String (Protocol.status_token resp.status)) ];
+          if respond conn resp then served ()
+      | parsed ->
+          let resp =
+            match parsed with
+            | Error msg -> { status = Bad_request; body = msg }
+            | Ok (req, opts) -> (
+                match
+                  Faultinj.protect ~what:"serve request" (fun () ->
+                      Faultinj.fire Faultinj.Serve_worker;
+                      if t.cfg.slow_worker > 0.0 then Unix.sleepf t.cfg.slow_worker;
+                      answer t req opts ~degraded)
+                with
+                | Ok (resp, _) -> resp
+                | Error e -> { status = status_of_run_error e; body = Run_error.to_string e })
+          in
+          Trace.annotate [ ("status", Json.String (Protocol.status_token resp.status)) ];
+          if respond conn resp then served ())
 
 (* Shed an over-capacity connection: structured E_BUSY, then a short
    drain-read so the rejection survives the close (an unread request in
@@ -543,51 +755,187 @@ let accept_loop (t : t) =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Follower tail: connect to the leader, replay its journal live        *)
+(* ------------------------------------------------------------------ *)
+
+exception Tail_break
+
+(* Interruptible sleep: promotion and stop must not wait out a backoff. *)
+let tail_sleep (t : t) secs =
+  let deadline = Unix.gettimeofday () +. secs in
+  while (not (Atomic.get t.tail_stop)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done
+
+(* One connected streaming session: handshake, optional snapshot
+   bootstrap, then shipped records appended to the local journal and
+   folded through the same {!Repl.apply} the leader uses after SIGKILL —
+   which is the whole argument that a promoted follower equals a
+   recovered leader. Every exit is [Tail_break]; the caller reconnects. *)
+let tail_session (t : t) fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 2.0 with _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 2.0 with _ -> ());
+  (* One buffered reader for the whole session: stream frames arrive
+     back-to-back, so reads straddle frame boundaries constantly. *)
+  let rd = Protocol.reader fd in
+  let read_frame () =
+    match Protocol.read_frame_r rd with Ok p -> p | Error _ | (exception _) -> raise Tail_break
+  in
+  let check_fence writer =
+    match Repl.fence ~what:"replication stream" ~current:(Atomic.get t.epoch) ~writer with
+    | Ok () -> ()
+    | Error e ->
+        Run_error.emit e;
+        raise Tail_break
+  in
+  let note_leader_len len =
+    Atomic.set t.leader_len (Stdlib.max (Atomic.get t.leader_len) len);
+    Metrics.set_gauge m_repl_lag
+      (float_of_int (Stdlib.max 0 (Atomic.get t.leader_len - Atomic.get t.hub_len)))
+  in
+  (try
+     Protocol.write_frame fd
+       (Protocol.request_to_payload
+          (Repl
+             {
+               proto = Protocol.version;
+               cachefmt = Cache.format_version;
+               package = Protocol.package_version;
+               pos = Atomic.get t.hub_len;
+               epoch = Atomic.get t.epoch;
+             })
+          { timeout = None; max_steps = None })
+   with _ -> raise Tail_break);
+  let snap =
+    match Protocol.parse_response (read_frame ()) with
+    | Error _ -> raise Tail_break
+    | Ok { status = Ok_positive; body } -> (
+        match Repl.parse_hello body with
+        | Error _ -> raise Tail_break
+        | Ok (epoch_l, len_l, snap) ->
+            check_fence epoch_l;
+            note_leader_len len_l;
+            snap)
+    | Ok resp ->
+        (* A structured refusal: fenced, version mismatch, not a leader.
+           Surface it and back off — the operator has to intervene. *)
+        Trace.event "serve.repl_refused" ~attrs:[ ("body", Json.String resp.body) ];
+        raise Tail_break
+  in
+  if snap then begin
+    (* Cold bootstrap: the leader's whole cache snapshot, chunked. *)
+    let buf = Buffer.create 4096 in
+    let next = ref 0 in
+    let total = ref 1 in
+    while !next < !total do
+      match Repl.parse_stream_frame (read_frame ()) with
+      | Ok (Repl.Snap_chunk { k; n; chunk }) when k = !next ->
+          Buffer.add_string buf chunk;
+          total := n;
+          incr next
+      | _ -> raise Tail_break
+    done;
+    match Cache.of_string (Buffer.contents buf) with
+    | Ok snapshot -> List.iter (fun (key, resp) -> Cache.put t.cache ~key resp) (Cache.entries snapshot)
+    | Error _ -> raise Tail_break
+  end;
+  let rbuf = Buffer.create 1024 in
+  let rpos = ref (-1) in
+  let rnext = ref 0 in
+  while not (Atomic.get t.tail_stop) do
+    match Repl.parse_stream_frame (read_frame ()) with
+    | Error _ -> raise Tail_break
+    | Ok (Repl.Snap_chunk _) -> raise Tail_break
+    | Ok (Repl.Keepalive { epoch; len }) ->
+        check_fence epoch;
+        note_leader_len len
+    | Ok (Repl.Record { pos; epoch; k; n; chunk }) ->
+        check_fence epoch;
+        if k = 0 then begin
+          Buffer.clear rbuf;
+          rpos := pos;
+          rnext := 0
+        end;
+        if pos <> !rpos || k <> !rnext then raise Tail_break;
+        Buffer.add_string rbuf chunk;
+        rnext := k + 1;
+        if k = n - 1 then begin
+          let record = Buffer.contents rbuf in
+          let here = Atomic.get t.hub_len in
+          if pos < here then () (* duplicate after a reconnect: drop *)
+          else if pos > here then raise Tail_break (* gap: resync via reconnect *)
+          else begin
+            (match journal_append t record with
+            | Ok () -> ()
+            | Error _ as e ->
+                (* The replica's durability is broken; stop advancing
+                   rather than diverge from the leader's journal. *)
+                note_io_error e;
+                raise Tail_break);
+            Repl.apply t.repl_state record ~on_done:(seed_cache t);
+            Atomic.set t.epoch (Stdlib.max (Atomic.get t.epoch) t.repl_state.Repl.epoch);
+            Metrics.incr m_repl_records;
+            note_leader_len (pos + 1);
+            maybe_checkpoint_cache t
+          end
+        end
+  done
+
+let follower_tail (t : t) ~leader_port =
+  let attempt = ref 0 in
+  while not (Atomic.get t.tail_stop) do
+    match Client.connect ~port:leader_port () with
+    | Error _ ->
+        incr attempt;
+        tail_sleep t
+          (Client.backoff_delay Client.default_backoff ~attempt:(Stdlib.min !attempt 8))
+    | Ok fd ->
+        (try tail_session t fd with Tail_break -> () | _ -> ());
+        (try Unix.close fd with _ -> ());
+        if not (Atomic.get t.tail_stop) then begin
+          attempt := Stdlib.min (!attempt + 1) 8;
+          tail_sleep t (Client.backoff_delay Client.default_backoff ~attempt:1)
+        end
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Startup: journal replay, cache load                                 *)
 (* ------------------------------------------------------------------ *)
+
+(* Fold the recovered journal into the replication state machine and the
+   hub (position i holds record i, so a replica can bootstrap from any
+   prefix), seeding the cache from completed verdicts along the way. Both
+   roles start here; only a leader then {!replay}s the pending tail. *)
+let fold_journal t records =
+  List.iteri
+    (fun i r ->
+      Hashtbl.replace t.hub i r;
+      Repl.apply t.repl_state r ~on_done:(seed_cache t))
+    records;
+  Atomic.set t.hub_len (List.length records);
+  Atomic.set t.epoch t.repl_state.Repl.epoch;
+  Atomic.set t.next_id (t.repl_state.Repl.max_id + 1)
 
 (* Replay requests that were accepted (journaled) but never answered:
    recompute them under their journaled budgets and journal the answers.
    Completed certified verdicts — replayed or recovered from done records
    — enter the cache, so a re-asked query is answered byte-identically. *)
-let replay t records =
-  let pending = Hashtbl.create 16 in
-  let max_id = ref 0 in
-  List.iter
-    (fun record ->
-      let kind, rest = split2 record in
-      let id_s, payload = split2 rest in
-      match (kind, int_of_string_opt id_s) with
-      | "req", Some id ->
-          max_id := Stdlib.max !max_id id;
-          Hashtbl.replace pending id payload
-      | "done", Some id ->
-          max_id := Stdlib.max !max_id id;
-          (match Hashtbl.find_opt pending id with
-          | Some req_payload -> (
-              (* Re-seed the cache from the journaled answer. *)
-              match (Protocol.parse_request req_payload, Protocol.parse_response payload) with
-              | Ok (req, _), Ok resp when Protocol.cacheable resp.status -> (
-                  match Protocol.cache_key ?kb_digest:(kb_digest t) (normalize req) with
-                  | Some key -> Cache.put t.cache ~key payload
-                  | None -> ())
-              | _ -> ())
-          | None -> ());
-          Hashtbl.remove pending id
-      | _ -> () (* the header, or a record from a future minor revision *))
-    records;
-  Atomic.set t.next_id (!max_id + 1);
-  let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) pending []) in
+let replay t =
+  let st = t.repl_state in
+  let ids = Repl.pending_ids st in
   List.iter
     (fun id ->
-      let payload = Hashtbl.find pending id in
-      Trace.with_span "serve.replay" @@ fun () ->
-      match Protocol.parse_request payload with
-      | Error _ -> ()
-      | Ok (req, opts) ->
-          complete_pending t id req opts;
-          Atomic.incr t.n_replayed;
-          Metrics.incr m_replayed)
+      match Repl.pending_request st id with
+      | None -> ()
+      | Some payload -> (
+          Hashtbl.remove st.Repl.pending id;
+          match Protocol.parse_request payload with
+          | Error _ -> ()
+          | Ok (req, opts) ->
+              Trace.with_span "serve.replay" @@ fun () ->
+              complete_pending t id req opts;
+              Atomic.incr t.n_replayed;
+              Metrics.incr m_replayed))
     ids;
   (* Replayed verdicts are durable in the journal; make the cache snapshot
      catch up too so a following crash loses nothing. *)
@@ -601,6 +949,22 @@ let start cfg =
   if cfg.fault_rate > 0.0 then
     Faultinj.arm ~seed:cfg.fault_seed ~rate:cfg.fault_rate [ Faultinj.Serve_worker ];
   let ( let* ) = Result.bind in
+  (* A follower's journal is its replica — without one there is nothing
+     to replicate into, so --follow without --journal is a typed refusal. *)
+  let* () =
+    match (cfg.follow, cfg.journal) with
+    | Some _, None ->
+        let e =
+          Run_error.Validation
+            {
+              what = "serve --follow";
+              msg = "a follower needs --journal FILE: the replicated journal is its whole state";
+            }
+        in
+        Run_error.emit e;
+        Error e
+    | _ -> Ok ()
+  in
   (* Cache checkpoint first: a mixed-version snapshot must abort startup
      before we touch the journal. The snapshot path gets the same advisory
      single-writer guard as the journal — two daemons checkpointing into
@@ -658,17 +1022,23 @@ let start cfg =
       | Some path ->
           let* { Journal.records; _ } = Journal.repair ~path in
           let* () =
-            match records with [] -> Ok () | first :: _ -> check_header path first
+            match records with
+            | [] -> Ok ()
+            | first :: _ -> Result.map ignore (Repl.parse_header path first)
           in
           let* j = Journal.open_append ~lock:(not cfg.force_lock) ~path () in
-          let* () =
-            if records = [] then (
-              match Journal.append j journal_header with
-              | Ok () -> Ok ()
-              | Error _ as e ->
+          let* records =
+            (* A leader writes its own header; a follower's record 0 is
+               the header shipped from the leader, so an empty follower
+               journal stays empty until the stream arrives. *)
+            if records = [] && cfg.follow = None then (
+              let h = Repl.header ~epoch:0 in
+              match Journal.append j h with
+              | Ok () -> Ok [ h ]
+              | Error err ->
                   Journal.close j;
-                  e)
-            else Ok ()
+                  Error err)
+            else Ok records
           in
           Ok (Some (j, records)))
   in
@@ -717,13 +1087,32 @@ let start cfg =
       n_shed = Atomic.make 0;
       n_degraded = Atomic.make 0;
       n_replayed = Atomic.make 0;
+      n_stale = Atomic.make 0;
       jobs;
       capacity = jobs + Stdlib.max 0 cfg.queue_limit;
       accept_domain = None;
+      role = Atomic.make (match cfg.follow with Some _ -> Follower | None -> Leader);
+      epoch = Atomic.make 0;
+      hub = Hashtbl.create 64;
+      hub_len = Atomic.make 0;
+      hub_lock = Mutex.create ();
+      repl_state = Repl.create ();
+      leader_len = Atomic.make 0;
+      tail_stop = Atomic.make false;
+      tail_domain = None;
+      replica_domains = [];
+      replica_lock = Mutex.create ();
     }
   in
   match
-    (match journal_state with Some (_, records) -> replay t records | None -> ());
+    (match journal_state with Some (_, records) -> fold_journal t records | None -> ());
+    (* A leader completes the pending tail now (post-crash replay); a
+       follower leaves it pending — the leader's shipped [done] records
+       or a promotion will complete it. *)
+    (match cfg.follow with
+    | None -> replay t
+    | Some leader_port ->
+        t.tail_domain <- Some (Domain.spawn (fun () -> follower_tail t ~leader_port)));
     t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t))
   with
   | () ->
@@ -733,8 +1122,10 @@ let start cfg =
       Ok t
   | exception e ->
       (* Replay hitting a dying disk (or a failed domain spawn) must not
-         leak the pool's domains, the socket, or the locks. *)
+         leak the pool's domains, the tail, the socket, or the locks. *)
       Pool.shutdown pool;
+      Atomic.set t.tail_stop true;
+      (match t.tail_domain with Some d -> Domain.join d | None -> ());
       (try Unix.close listen_fd with _ -> ());
       close_journal ();
       release_cache_lock ();
@@ -743,7 +1134,10 @@ let start cfg =
 let stop ?(drain_timeout = 30.0) t =
   if not (Atomic.exchange t.stopped true) then begin
     Atomic.set t.stopping true;
+    Atomic.set t.tail_stop true;
     (match t.accept_domain with Some d -> Domain.join d | None -> ());
+    (match t.tail_domain with Some d -> Domain.join d | None -> ());
+    t.tail_domain <- None;
     (try Unix.close t.listen_fd with _ -> ());
     (* Drain: in-flight handlers decrement the counter as they finish;
        Pool.shutdown then runs anything still queued before joining. *)
@@ -752,6 +1146,15 @@ let stop ?(drain_timeout = 30.0) t =
       Unix.sleepf 0.01
     done;
     Pool.shutdown t.pool;
+    (* Replica streamers watch [stopping] and exit their loops. *)
+    let replicas =
+      Mutex.lock t.replica_lock;
+      let ds = t.replica_domains in
+      t.replica_domains <- [];
+      Mutex.unlock t.replica_lock;
+      ds
+    in
+    List.iter Domain.join replicas;
     (match t.cfg.cache_file with
     | Some path -> note_io_error (Cache.checkpoint t.cache ~path)
     | None -> ());
@@ -766,19 +1169,30 @@ let run cfg =
   match start cfg with
   | Error _ as e -> e
   | Ok t ->
-      Printf.printf "ipdb serve: listening on 127.0.0.1:%d (jobs=%d, capacity=%d)\n%!" t.bound_port
-        t.jobs t.capacity;
+      let role = match Atomic.get t.role with Leader -> "leader" | Follower -> "follower" in
+      Printf.printf "ipdb serve: listening on 127.0.0.1:%d (jobs=%d, capacity=%d, role=%s)\n%!"
+        t.bound_port t.jobs t.capacity role;
       let stop_requested = Atomic.make false in
+      let promote_requested = Atomic.make false in
       let on_signal _ = Atomic.set stop_requested true in
       let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
       let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+      let prev_usr1 =
+        try Some (Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> Atomic.set promote_requested true)))
+        with _ -> None
+      in
       while not (Atomic.get stop_requested) do
+        if Atomic.exchange promote_requested false then begin
+          let resp = promote t in
+          Printf.printf "ipdb serve: %s\n%!" resp.body
+        end;
         try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
       Printf.printf "ipdb serve: draining\n%!";
       stop t;
       Sys.set_signal Sys.sigterm prev_term;
       Sys.set_signal Sys.sigint prev_int;
+      (match prev_usr1 with Some p -> (try Sys.set_signal Sys.sigusr1 p with _ -> ()) | None -> ());
       let s = stats t in
       Printf.printf "ipdb serve: bye (served=%d shed=%d cache=%d)\n%!" s.served s.shed s.cache_size;
       Ok ()

@@ -59,6 +59,15 @@ type config = {
       (** skip the advisory single-writer locks on the journal and cache
           snapshot ([--force-lock]) — for reclaiming a path whose lock
           file survived an unclean platform, not for sharing the files *)
+  follow : int option;
+      (** start as a hot-standby follower of the leader at
+          [127.0.0.1:PORT] (DESIGN.md §13): tail its journal over the
+          [repl] wire op into our own [--journal] (required), keep a live
+          verdict cache, answer cached reads and shed uncached ones with
+          [E_STALE]. [ipdb promote] (or SIGUSR1 under {!run}) turns the
+          follower into a leader: pending requests are completed under
+          their original ids and the epoch is bumped, fencing the old
+          leader. [None] starts an ordinary leader. *)
 }
 
 val default_config : config
@@ -79,6 +88,13 @@ val start : config -> (t, Ipdb_run.Error.t) result
 
 val port : t -> int
 (** The bound port (the ephemeral port when the config said [0]). *)
+
+val promote : t -> Protocol.response
+(** Promote a follower to leader in place: stop the tail, complete the
+    journaled pending requests under their original ids, journal an
+    [epoch] bump (the durable fence). Idempotent — promoting a leader
+    returns [already leader]. Also reachable as the [promote] wire op and
+    as SIGUSR1 under {!run}. *)
 
 val stop : ?drain_timeout:float -> t -> unit
 (** Graceful shutdown: stop accepting, drain in-flight requests (up to

@@ -73,7 +73,7 @@ expect 1 "1 E(|D|^2) = ∞ (certified; partial sum 150 after 50 terms)" \
 # status 2: usage errors
 expect 2 "2 unknown family no-such-family; available: example-3.5, example-3.9, example-5.5, geometric, sensor-bounded, sqrt-growth" \
   "classify no-such-family"
-expect 2 "2 unknown op \"frobnicate\" (version|stats|classify|moments|criterion|pqe|kb)" \
+expect 2 "2 unknown op \"frobnicate\" (version|stats|health|promote|repl|classify|moments|criterion|pqe|kb)" \
   "frobnicate geometric"
 
 # status 3: budget exhaustion degrades to a sound partial verdict
@@ -84,6 +84,21 @@ case "$OUT" in
   "3 "*"step budget exhausted"*) ;;
   *) fail "budget-exhausted response: $OUT" ;;
 esac
+
+# health: a status-0 JSON liveness probe carrying the replication role,
+# epoch, journal position, lag and queue/cache gauges (DESIGN.md §13)
+HEALTH=$("$IPDB" request --port "$PORT" "health") || fail "health probe failed: $HEALTH"
+case "$HEALTH" in
+  "0 {"*) ;;
+  *) fail "health is not a status-0 JSON object: $HEALTH" ;;
+esac
+for field in '"role": "leader"' '"epoch": 0' '"journal_pos": ' '"lag": 0' \
+  '"pending": ' '"queue_depth": ' '"capacity": ' '"cache_size": '; do
+  case "$HEALTH" in
+    *"$field"*) ;;
+    *) fail "health JSON lacks $field: $HEALTH" ;;
+  esac
+done
 
 # a cache hit answers with the same bytes as the miss
 A=$("$IPDB" request --port "$PORT" "criterion geometric upto=2000") || true

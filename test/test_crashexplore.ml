@@ -145,6 +145,41 @@ let test_serve_sweep () =
       Unix.close probe;
       check_clean (Lazy.force serve_report)
 
+(* ------------------------------------------------------------------ *)
+(* Replication and kb-store write paths as scenarios                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The leader→ship→promote drill (ISSUE 9 acceptance): power cuts land
+   at every I/O boundary of the leader's journal writes, the byte-level
+   shipping pass and the follower's promotion tail-replay; recovery must
+   be total, acked writes must survive honest fsyncs, and the follower's
+   folded state must converge byte-identically. *)
+let repl_report =
+  lazy
+    (let b =
+       if full_sweep then Crashexplore.full_budget
+       else { Crashexplore.default_budget with stride = 3; errno_stride = 5; byte_writes = 4 }
+     in
+     Crashexplore.run ~budget:b (Ipdb_serve.Repl.crash_scenario ()))
+
+let test_repl_sweep () =
+  let r = Lazy.force repl_report in
+  check_clean r;
+  Alcotest.(check bool) "fsync lies lose acked replication writes" true
+    (not full_sweep || r.Crashexplore.acked_lost_under_lies > 0)
+
+(* The ipdbkb1 store write path (ISSUE 9 satellite): a torn kb file must
+   be detected on load and a re-write must converge to the same digest. *)
+let kb_report =
+  lazy
+    (let b =
+       if full_sweep then Crashexplore.full_budget
+       else { Crashexplore.default_budget with stride = 2; errno_stride = 3; byte_writes = 4 }
+     in
+     Crashexplore.run ~budget:b (Ipdb_kb.Kbfile.crash_scenario ()))
+
+let test_kb_sweep () = check_clean (Lazy.force kb_report)
+
 let test_callsite_coverage () =
   (* the acceptance bar: the sweeps visit every I/O call site reached by
      the journal, checkpoint and serve-cycle paths — more than 50 distinct
@@ -293,6 +328,10 @@ let () =
             test_checkpoint_sweep;
           Alcotest.test_case "serve request cycle survives every crash point" `Slow
             test_serve_sweep;
+          Alcotest.test_case "replication drill survives every crash point" `Slow
+            test_repl_sweep;
+          Alcotest.test_case "kb store write path survives every crash point" `Slow
+            test_kb_sweep;
           Alcotest.test_case "sweeps cover > 50 I/O call sites" `Quick test_callsite_coverage;
         ] );
       ("ioutil", qsuite);

@@ -496,6 +496,298 @@ let test_daemon_lock () =
   | Error e ->
       Alcotest.failf "--force-lock did not bypass the lock: %s" (Ipdb_run.Error.to_string e)
 
+(* ------------------------------------------------------------------ *)
+(* Replication: epoch fencing, journal shipping, follower catch-up     *)
+(* ------------------------------------------------------------------ *)
+
+module Repl = Ipdb_serve.Repl
+module Json = Ipdb_obs.Json
+
+let slurp path = In_channel.with_open_bin path In_channel.input_all
+
+let health_field (resp : Protocol.response) name =
+  match Json.parse resp.Protocol.body with
+  | Error m -> Alcotest.failf "health body is not JSON (%s): %s" m resp.Protocol.body
+  | Ok j -> (
+      match Json.member name j with
+      | Some v -> v
+      | None -> Alcotest.failf "health JSON lacks %S: %s" name resp.Protocol.body)
+
+let health_int resp name =
+  match health_field resp name with
+  | Json.Int i -> i
+  | _ -> Alcotest.failf "health field %S is not an integer" name
+
+let health_string resp name =
+  match health_field resp name with
+  | Json.String s -> s
+  | _ -> Alcotest.failf "health field %S is not a string" name
+
+(* Poll the follower's health probe until it has applied [pos] records
+   and reports zero lag; the suite's 5s read timeouts bound each probe. *)
+let wait_caught_up t ~pos =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let h = request t "health" in
+    if health_int h "journal_pos" >= pos && health_int h "lag" = 0 then h
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "follower never caught up to pos %d: %s" pos h.Protocol.body
+    else (
+      Unix.sleepf 0.05;
+      go ())
+  in
+  go ()
+
+let test_fence_typed () =
+  (match Repl.fence ~what:"journal append" ~current:2 ~writer:1 with
+  | Error (Ipdb_run.Error.Fenced { stale; current; _ } as e) ->
+      Alcotest.(check int) "stale epoch" 1 stale;
+      Alcotest.(check int) "current epoch" 2 current;
+      Alcotest.(check string) "typed code" "E_FENCED" (Ipdb_run.Error.code e);
+      Alcotest.(check int) "exit code" 2 (Ipdb_run.Error.exit_code e)
+  | Error e -> Alcotest.failf "expected Fenced, got %s" (Ipdb_run.Error.to_string e)
+  | Ok () -> Alcotest.fail "stale writer admitted");
+  (match Repl.fence ~what:"x" ~current:3 ~writer:3 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "equal epochs fenced: %s" (Ipdb_run.Error.to_string e));
+  match Repl.fence ~what:"x" ~current:1 ~writer:4 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "newer writer fenced: %s" (Ipdb_run.Error.to_string e)
+
+let test_epoch_header_roundtrip () =
+  (match Repl.parse_header "t.journal" (Repl.header ~epoch:7) with
+  | Ok e -> Alcotest.(check int) "epoch round-trips" 7 e
+  | Error e -> Alcotest.failf "own header refused: %s" (Ipdb_run.Error.to_string e));
+  (* pre-replication headers carry no epoch field and parse as epoch 0 *)
+  let legacy =
+    Printf.sprintf "serve %s %s %s" Protocol.version Cache.format_version
+      Protocol.package_version
+  in
+  (match Repl.parse_header "t.journal" legacy with
+  | Ok e -> Alcotest.(check int) "legacy header is epoch 0" 0 e
+  | Error e -> Alcotest.failf "legacy header refused: %s" (Ipdb_run.Error.to_string e));
+  match Repl.parse_header "t.journal" "serve ipdbs0 ipdbsc1 0.0.0 epoch=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mixed-version header admitted"
+
+(* The stream grammar: hello, keepalives and chunked records reassemble
+   bit-exactly, including records larger than one chunk. *)
+let arb_stream_record =
+  QCheck.make
+    ~print:(fun (pos, epoch, r) -> Printf.sprintf "(%d, %d, %d bytes)" pos epoch (String.length r))
+    QCheck.Gen.(
+      triple (0 -- 1000) (0 -- 5)
+        (string_size ~gen:(map Char.chr (0 -- 255)) (0 -- (3 * Repl.chunk_size))))
+
+let stream_record_roundtrip (pos, epoch, record) =
+  let frames = Repl.render_record ~pos ~epoch record in
+  let n = List.length frames in
+  let buf = Buffer.create (String.length record) in
+  List.iteri
+    (fun i f ->
+      match Repl.parse_stream_frame f with
+      | Ok (Repl.Record { pos = p; epoch = e; k; n = n'; chunk })
+        when p = pos && e = epoch && k = i && n' = n ->
+          Buffer.add_string buf chunk
+      | Ok _ -> fail "frame %d of %d parsed to the wrong shape" i n
+      | Error m -> fail "frame %d rejected: %s" i m)
+    frames;
+  if Buffer.contents buf <> record then fail "record did not reassemble bit-exactly";
+  (match Repl.parse_hello (Repl.hello_body ~epoch ~len:pos ~snap:(pos mod 2 = 0)) with
+  | Ok (e, l, s) when e = epoch && l = pos && s = (pos mod 2 = 0) -> ()
+  | Ok _ -> fail "hello round-trip changed fields"
+  | Error m -> fail "hello rejected: %s" m);
+  match Repl.parse_stream_frame (Repl.render_keepalive ~epoch ~len:pos) with
+  | Ok (Repl.Keepalive { epoch = e; len = l }) when e = epoch && l = pos -> true
+  | _ -> fail "keepalive did not round-trip"
+
+(* Prefix-replay equivalence (ISSUE 9 satellite): folding any prefix of a
+   journal through Repl.apply yields exactly the state a live fold held
+   after that many records — same epoch, position, id watermark, pending
+   table and cache-seeding sequence. A follower that stops at position k
+   is indistinguishable from a leader that only ever wrote k records. *)
+let arb_journal_records =
+  let open QCheck.Gen in
+  let record =
+    frequency
+      [
+        (4, map2 (fun i q -> Printf.sprintf "req %d classify %s upto=8" i q) (0 -- 9) (oneofl [ "geometric"; "poisson"; "zoo" ]));
+        (4, map2 (fun i a -> Printf.sprintf "done %d 0 %s" i a) (0 -- 9) (string_size ~gen:printable (0 -- 12)));
+        (1, map (Printf.sprintf "epoch %d") (0 -- 4));
+        (1, oneofl [ "noise"; "checkpoint cache.snap" ]);
+      ]
+  in
+  QCheck.make
+    ~print:(fun rs -> String.concat " | " rs)
+    (map (fun rs -> Repl.header ~epoch:0 :: rs) (list_size (0 -- 25) record))
+
+let fold_snapshot st seeds =
+  ( st.Repl.epoch,
+    st.Repl.pos,
+    st.Repl.max_id,
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.Repl.pending []),
+    List.rev seeds )
+
+let prefix_replay_equivalence records =
+  (* one live fold, snapshotting after every record *)
+  let st = Repl.create () in
+  let seeds = ref [] in
+  let initial = fold_snapshot st [] in
+  let snapshots =
+    initial
+    :: List.map
+         (fun r ->
+           Repl.apply ~on_done:(fun ~request ~response -> seeds := (request, response) :: !seeds) st r;
+           fold_snapshot st !seeds)
+         records
+  in
+  (* every prefix, refolded from scratch, matches the live snapshot *)
+  List.iteri
+    (fun k snap ->
+      let st' = Repl.create () in
+      let seeds' = ref [] in
+      List.iteri
+        (fun i r ->
+          if i < k then
+            Repl.apply
+              ~on_done:(fun ~request ~response -> seeds' := (request, response) :: !seeds')
+              st' r)
+        records;
+      if fold_snapshot st' !seeds' <> snap then
+        fail "prefix of %d records folded to a different state" k)
+    snapshots;
+  List.length snapshots = List.length records + 1
+
+let test_follower_catch_up () =
+  let lj = tmpfile ".journal" and fj = tmpfile ".journal" in
+  with_server { test_config with journal = Some lj } @@ fun leader ->
+  let r1 = request leader "classify geometric upto=40" in
+  let r2 = request leader "moments geometric k=2 upto=24" in
+  let lpos = health_int (request leader "health") "journal_pos" in
+  Alcotest.(check string) "leader role" "leader" (health_string (request leader "health") "role");
+  with_server { test_config with journal = Some fj; follow = Some (Server.port leader) }
+  @@ fun follower ->
+  let h = wait_caught_up follower ~pos:lpos in
+  Alcotest.(check string) "follower role" "follower" (health_string h "role");
+  Alcotest.(check int) "follower epoch" 0 (health_int h "epoch");
+  Alcotest.(check int) "no pending on follower" 0 (health_int h "pending");
+  (* replicated verdicts answer byte-identically from the live cache *)
+  let f1 = request follower "classify geometric upto=40" in
+  let f2 = request follower "moments geometric k=2 upto=24" in
+  Alcotest.(check string) "verdict 1 byte-identical" r1.Protocol.body f1.Protocol.body;
+  Alcotest.(check string) "verdict 2 byte-identical" r2.Protocol.body f2.Protocol.body;
+  check_status "verdict 1 status" r1.Protocol.status f1;
+  check_status "verdict 2 status" r2.Protocol.status f2;
+  (* an uncached read sheds E_STALE and names the leader *)
+  let s = request follower "classify zoo upto=12" in
+  check_status "uncached read sheds" Protocol.Stale s;
+  if not (contains "leader=" s.Protocol.body) then
+    Alcotest.failf "E_STALE body does not name the leader: %s" s.Protocol.body;
+  (* the client walks the address list past the stale follower *)
+  (match
+     Client.request_failover
+       ~ports:[ Server.port follower; Server.port leader ]
+       "classify zoo upto=12"
+   with
+  | Ok resp when resp.Protocol.status <> Protocol.Stale -> ()
+  | Ok resp -> Alcotest.failf "failover stuck on the follower: %s" resp.Protocol.body
+  | Error m -> Alcotest.failf "failover failed: %s" m);
+  (* the shipped journal is byte-identical to the leader's *)
+  let lpos = health_int (request leader "health") "journal_pos" in
+  ignore (wait_caught_up follower ~pos:lpos);
+  Alcotest.(check string) "journals byte-identical" (slurp lj) (slurp fj)
+
+let test_promotion_fencing () =
+  let lj = tmpfile ".journal" and fj = tmpfile ".journal" in
+  with_server { test_config with journal = Some lj } @@ fun leader ->
+  let r1 = request leader "classify geometric upto=32" in
+  let lpos = health_int (request leader "health") "journal_pos" in
+  (* a handshake from a higher epoch means this leader is deposed *)
+  let deposed =
+    request leader
+      (Printf.sprintf "repl %s %s %s pos=0 epoch=5" Protocol.version Cache.format_version
+         Protocol.package_version)
+  in
+  check_status "deposed leader refuses" Protocol.Bad_request deposed;
+  if not (contains "E_FENCED" deposed.Protocol.body) then
+    Alcotest.failf "fencing refusal is not typed: %s" deposed.Protocol.body;
+  (* version-mismatched and ahead-of-log handshakes are vetted too *)
+  let bad_ver = request leader "repl ipdbs0 ipdbsc1 0.0.0 pos=0 epoch=0" in
+  check_status "mixed-version handshake refused" Protocol.Bad_request bad_ver;
+  let ahead =
+    request leader
+      (Printf.sprintf "repl %s %s %s pos=9999 epoch=0" Protocol.version Cache.format_version
+         Protocol.package_version)
+  in
+  check_status "ahead-of-log handshake refused" Protocol.Bad_request ahead;
+  with_server { test_config with journal = Some fj; follow = Some (Server.port leader) }
+  @@ fun follower ->
+  ignore (wait_caught_up follower ~pos:lpos);
+  (* a follower does not serve the replication stream *)
+  let not_leader =
+    Client.request ~port:(Server.port follower)
+      (Printf.sprintf "repl %s %s %s pos=0 epoch=0" Protocol.version Cache.format_version
+         Protocol.package_version)
+  in
+  (match not_leader with
+  | Ok resp -> check_status "follower refuses repl handshake" Protocol.Bad_request resp
+  | Error m -> Alcotest.failf "repl handshake to follower errored: %s" m);
+  (* the leader dies; promotion bumps the epoch and reopens writes *)
+  Server.stop ~drain_timeout:5.0 leader;
+  let p = Server.promote follower in
+  check_status "promotion succeeds" Protocol.Ok_positive p;
+  if not (contains "promoted epoch=1" p.Protocol.body) then
+    Alcotest.failf "promotion body: %s" p.Protocol.body;
+  let p2 = Server.promote follower in
+  if not (contains "already leader" p2.Protocol.body) then
+    Alcotest.failf "second promotion not idempotent: %s" p2.Protocol.body;
+  let h = request follower "health" in
+  Alcotest.(check string) "promoted role" "leader" (health_string h "role");
+  Alcotest.(check int) "promoted epoch" 1 (health_int h "epoch");
+  (* cached verdicts survive; new writes compute instead of shedding *)
+  let f1 = request follower "classify geometric upto=32" in
+  Alcotest.(check string) "cached verdict survives promotion" r1.Protocol.body f1.Protocol.body;
+  let fresh = request follower "classify zoo upto=8" in
+  if fresh.Protocol.status = Protocol.Stale then
+    Alcotest.failf "promoted leader still sheds: %s" fresh.Protocol.body;
+  (* the promotion is durable: the journal now carries the epoch bump *)
+  if not (contains "epoch 1" (slurp fj)) then Alcotest.fail "epoch bump not journaled"
+
+let test_failover_walks_dead_ports () =
+  with_server test_config @@ fun t ->
+  let dead =
+    (* grab an ephemeral port and close it so nothing listens there *)
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p = match Unix.getsockname s with Unix.ADDR_INET (_, p) -> p | _ -> assert false in
+    Unix.close s;
+    p
+  in
+  (match Client.request_failover ~ports:[ dead; Server.port t ] "version" with
+  | Ok resp -> check_status "failover reached the live server" Protocol.Ok_positive resp
+  | Error m -> Alcotest.failf "failover past a dead port failed: %s" m);
+  match Client.request_failover ~ports:[] "version" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty address list answered"
+
+let test_client_read_deadline () =
+  (* a server that accepts the TCP handshake but never answers must not
+     hang the client past --timeout *)
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 4;
+  let port = match Unix.getsockname srv with Unix.ADDR_INET (_, p) -> p | _ -> assert false in
+  let finally () = Unix.close srv in
+  Fun.protect ~finally @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  (match Client.request ~timeout:0.3 ~port "version" with
+  | Ok _ -> Alcotest.fail "mute server answered"
+  | Error m ->
+      if not (contains "deadline" m) then Alcotest.failf "not a deadline error: %s" m);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > 3.0 then Alcotest.failf "deadline overshot: %.1fs" elapsed
+
 let () =
   Alcotest.run "serve"
     [
@@ -536,5 +828,19 @@ let () =
           Alcotest.test_case "pending requests complete on restart" `Quick
             test_replay_completes_pending;
           Alcotest.test_case "mixed-version journal/cache refused" `Quick test_mixed_version_refused;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "epoch fencing is typed" `Quick test_fence_typed;
+          Alcotest.test_case "epoch-fenced header round-trips" `Quick test_epoch_header_roundtrip;
+          prop ~count:40 "stream frames reassemble bit-exactly" arb_stream_record
+            stream_record_roundtrip;
+          prop ~count:100 "prefix replay is equivalent" arb_journal_records
+            prefix_replay_equivalence;
+          Alcotest.test_case "follower catches up and serves" `Quick test_follower_catch_up;
+          Alcotest.test_case "promotion and fencing" `Quick test_promotion_fencing;
+          Alcotest.test_case "client failover walks dead ports" `Quick
+            test_failover_walks_dead_ports;
+          Alcotest.test_case "client read deadline" `Quick test_client_read_deadline;
         ] );
     ]
