@@ -1,0 +1,27 @@
+(* Global dispatch between the filtered/fast arithmetic paths and the
+   unfiltered reference implementation. The reference path is the original
+   from-scratch limb arithmetic: eager GCD normalisation, classical
+   multiplication, exact cross-multiplication comparisons, no native-int
+   shortcuts and no memoisation. The fast paths must be observationally
+   identical — same canonical representations, same results bit for bit —
+   and the differential suite (test_bignum_diff.ml) holds them to it.
+
+   IPDB_ARITH_REFERENCE=1 forces the reference path process-wide so any
+   contract test can be replayed with the filter disabled; a divergence
+   between the two runs is a tier-1 failure. *)
+
+let parse_env = function
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let mode = ref (parse_env (Sys.getenv_opt "IPDB_ARITH_REFERENCE"))
+let reference () = !mode
+
+(* Test hook: the metamorphic suites flip the mode in-process to compare
+   fast and reference runs of whole engines inside one executable. *)
+let set_reference b = mode := b
+
+let with_reference b f =
+  let saved = !mode in
+  mode := b;
+  Fun.protect ~finally:(fun () -> mode := saved) f

@@ -1,0 +1,22 @@
+(** Dispatch between the filtered/fast arithmetic and the unfiltered
+    reference implementation.
+
+    The fast paths (native-int shortcuts, Karatsuba, batched GCD, the
+    float-interval comparison filter, memoised power products) may only
+    {e accelerate} computations: every produced value and every decision is
+    identical to the reference path bit for bit. Setting the environment
+    variable [IPDB_ARITH_REFERENCE=1] (or [true]/[yes]/[on]) before startup
+    forces the reference path process-wide, which is how the contract tests
+    replay whole workloads with the filter disabled. *)
+
+val reference : unit -> bool
+(** [true] when the reference (slow) path is forced. *)
+
+val set_reference : bool -> unit
+(** Test hook: force or release the reference path in-process. Differential
+    and metamorphic tests use this to run both paths inside one executable;
+    production code must not call it. *)
+
+val with_reference : bool -> (unit -> 'a) -> 'a
+(** [with_reference b f] runs [f] with the mode forced to [b], restoring
+    the previous mode afterwards (also on exceptions). *)

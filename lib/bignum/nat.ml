@@ -109,7 +109,10 @@ let mul_classical (a : t) (b : t) : t =
     normalize r
   end
 
-let karatsuba_threshold = 512
+(* The crossover where three half-size products beat one quadratic pass.
+   Measured on the 30-bit limb representation; far below the old 512-limb
+   setting, which never fired on realistic operands. *)
+let karatsuba_threshold = 24
 
 (* Split at [m] limbs: a = hi * B^m + lo. *)
 let split_at m (a : t) =
@@ -122,9 +125,27 @@ let shift_limbs k (a : t) = if is_zero a then a else Array.append (Array.make k 
 let rec mul (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
-  else if Stdlib.min la lb < karatsuba_threshold then mul_classical a b
+  else if Stdlib.min la lb < karatsuba_threshold || Arith.reference () then mul_classical a b
   else begin
     (* Karatsuba: three half-size products instead of four. *)
+    let m = Stdlib.max la lb / 2 in
+    let a0, a1 = split_at m a in
+    let b0, b1 = split_at m b in
+    let z2 = mul a1 b1 in
+    let z0 = mul a0 b0 in
+    let z1full = mul (add a0 a1) (add b0 b1) in
+    let z1 = sub (sub z1full z2) z0 in
+    add (shift_limbs (2 * m) z2) (add (shift_limbs m z1) z0)
+  end
+
+(* One forced Karatsuba split regardless of size (the recursive products go
+   back through [mul]). Exposed so the differential suite can drive the
+   split logic on operands below the threshold. *)
+let mul_karatsuba (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if Stdlib.min la lb < 2 then mul_classical a b
+  else begin
     let m = Stdlib.max la lb / 2 in
     let a0, a1 = split_at m a in
     let b0, b1 = split_at m b in
@@ -265,7 +286,7 @@ let divmod_knuth (u0 : t) (v0 : t) : t * t =
   let r = normalize (Array.sub u 0 n) in
   (normalize q, shift_right r s)
 
-let divmod (a : t) (b : t) : t * t =
+let divmod_reference (a : t) (b : t) : t * t =
   if is_zero b then raise Division_by_zero;
   if compare a b < 0 then (zero, a)
   else if Array.length b = 1 then begin
@@ -273,6 +294,21 @@ let divmod (a : t) (b : t) : t * t =
     (q, of_int r)
   end
   else divmod_knuth a b
+
+let divmod (a : t) (b : t) : t * t =
+  (* Native-int fast path: if the dividend fits an OCaml int so does the
+     divisor (b <= a on the nontrivial branch), and machine division is
+     exact on naturals. *)
+  if Arith.reference () then divmod_reference a b
+  else begin
+    match to_int_opt a with
+    | Some ai -> (
+      match to_int_opt b with
+      | Some 0 -> raise Division_by_zero
+      | Some bi -> (of_int (ai / bi), of_int (ai mod bi))
+      | None -> (zero, a) (* b has more limbs than a, so a < b *))
+    | None -> divmod_reference a b
+  end
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
@@ -282,7 +318,19 @@ let pow a k =
   let rec go acc a k = if k = 0 then acc else go (if k land 1 = 1 then mul acc a else acc) (mul a a) (k lsr 1) in
   go one a k
 
-let rec gcd a b = if is_zero b then a else gcd b (rem a b)
+let rec gcd_reference a b = if is_zero b then a else gcd_reference b (rem a b)
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let rec gcd a b =
+  (* Euclid on native ints once both operands fit; the limb loop only runs
+     until the remainders shrink into int range. *)
+  if Arith.reference () then gcd_reference a b
+  else begin
+    match (to_int_opt a, to_int_opt b) with
+    | Some ai, Some bi -> of_int (gcd_int ai bi)
+    | _ -> if is_zero b then a else gcd b (rem a b)
+  end
 
 let to_string (a : t) =
   if is_zero a then "0"

@@ -62,18 +62,27 @@ val sub_opt : t -> t -> t option
 (** [sub_opt a b] is [Some (a - b)] when [b <= a] and [None] otherwise. *)
 
 val mul : t -> t -> t
-(** Karatsuba above {!karatsuba_threshold} limbs, schoolbook below. *)
+(** Karatsuba above {!karatsuba_threshold} limbs, schoolbook below (and
+    always schoolbook under [IPDB_ARITH_REFERENCE=1]). *)
 
 val mul_classical : t -> t -> t
-(** Schoolbook multiplication (exposed for differential tests and the
-    multiplication ablation bench). *)
+(** Schoolbook multiplication: the reference implementation (exposed for
+    differential tests and the multiplication ablation bench). *)
+
+val mul_karatsuba : t -> t -> t
+(** One forced Karatsuba split regardless of operand size (exposed so the
+    differential suite can exercise the split on small operands). *)
 
 val karatsuba_threshold : int
 val mul_int : t -> int -> t
 
 val divmod : t -> t -> t * t
 (** [divmod a b] is [(q, r)] with [a = q*b + r] and [0 <= r < b].
-    Knuth Algorithm D. @raise Division_by_zero when [b] is zero. *)
+    Native division when the dividend fits an int, Knuth Algorithm D
+    otherwise. @raise Division_by_zero when [b] is zero. *)
+
+val divmod_reference : t -> t -> t * t
+(** {!divmod} without the native-int fast path (differential oracle). *)
 
 val div : t -> t -> t
 val rem : t -> t -> t
@@ -83,7 +92,11 @@ val pow : t -> int -> t
     [k < 0]. *)
 
 val gcd : t -> t -> t
-(** Greatest common divisor; [gcd 0 a = a]. *)
+(** Greatest common divisor; [gcd 0 a = a]. Euclid on native ints once
+    both operands fit. *)
+
+val gcd_reference : t -> t -> t
+(** Limb-loop Euclid with no native-int shortcut (differential oracle). *)
 
 (** {1 Bit operations} *)
 

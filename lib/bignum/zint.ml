@@ -1,77 +1,196 @@
-type t = { sign : int; mag : Nat.t }
-(* Invariant: sign is -1 or 1; sign of zero is 1 so that equality is
-   structural. *)
+(* Signed integers with a native-int fast path.
 
-let make sign mag = if Nat.is_zero mag then { sign = 1; mag } else { sign; mag }
-let zero = { sign = 1; mag = Nat.zero }
-let one = { sign = 1; mag = Nat.one }
-let minus_one = { sign = -1; mag = Nat.one }
-let of_nat mag = { sign = 1; mag }
-let of_int n = if n < 0 then make (-1) (Nat.of_int (-n)) else make 1 (Nat.of_int n)
-let to_nat a = a.mag
-let sign a = if Nat.is_zero a.mag then 0 else a.sign
-let is_zero a = Nat.is_zero a.mag
+   Representation invariant: [Small n] holds every value whose magnitude
+   fits an OCaml int (so n ranges over [-max_int, max_int]); [Big] holds
+   the rest, with sign -1 or 1 and a magnitude that does not fit an int.
+   The representation is canonical — a value has exactly one form — so
+   structural equality coincides with numeric equality, exactly as in the
+   original record representation.
+
+   Every operation has two implementations: a checked-overflow native-int
+   fast path and the original limb-based reference (the [Reference]
+   submodule, also forced process-wide by IPDB_ARITH_REFERENCE=1). Both
+   produce the same canonical values bit for bit; test_bignum_diff.ml is
+   the differential oracle for that claim. *)
+
+type t = Small of int | Big of { sign : int; mag : Nat.t }
+
+(* Canonicalize a sign/magnitude pair. *)
+let of_big sign mag =
+  match Nat.to_int_opt mag with
+  | Some n -> Small (if sign < 0 then -n else n)
+  | None -> Big { sign = (if sign < 0 then -1 else 1); mag }
+
+let nat_min_int = Nat.add (Nat.of_int max_int) Nat.one
+
+let of_int n = if n = min_int then Big { sign = -1; mag = nat_min_int } else Small n
+
+let zero = Small 0
+let one = Small 1
+let minus_one = Small (-1)
+let of_nat mag = of_big 1 mag
+
+let to_nat = function
+  | Small n -> Nat.of_int (if n < 0 then -n else n)
+  | Big b -> b.mag
+
+(* Sign/magnitude view, for the limb-based paths. *)
+let sign_mag = function
+  | Small n -> if n < 0 then (-1, Nat.of_int (-n)) else (1, Nat.of_int n)
+  | Big b -> (b.sign, b.mag)
+
+let sign = function Small n -> Stdlib.compare n 0 | Big b -> b.sign
+let is_zero = function Small 0 -> true | _ -> false
 let is_negative a = sign a < 0
 
-let to_int_opt a =
-  match Nat.to_int_opt a.mag with
-  | Some n -> Some (if a.sign < 0 then -n else n)
-  | None -> None
+let to_int_opt = function
+  | Small n -> Some n
+  | Big b ->
+    (* The only Big value fitting an int is min_int (magnitude max_int+1). *)
+    if b.sign = -1 && Nat.equal b.mag nat_min_int then Some min_int else None
 
 let to_int_exn a =
   match to_int_opt a with Some n -> n | None -> failwith "Zint.to_int_exn: value too large"
 
-let equal (a : t) (b : t) = a.sign = b.sign && Nat.equal a.mag b.mag
+let equal (a : t) (b : t) = a = b
 
-let compare a b =
+let compare_big a b =
   match (sign a, sign b) with
   | sa, sb when sa <> sb -> Stdlib.compare sa sb
-  | 1, _ -> Nat.compare a.mag b.mag
-  | -1, _ -> Nat.compare b.mag a.mag
+  | 1, _ -> Nat.compare (to_nat a) (to_nat b)
+  | -1, _ -> Nat.compare (to_nat b) (to_nat a)
   | _ -> 0
+
+let compare a b =
+  match (a, b) with
+  | Small x, Small y -> Stdlib.compare x y
+  | _ -> compare_big a b
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
-let hash a = Hashtbl.hash (a.sign, Nat.hash a.mag)
-let neg a = make (-a.sign) a.mag
-let abs a = { a with sign = 1 }
+let hash = function Small n -> Hashtbl.hash n | Big b -> Hashtbl.hash (b.sign, Nat.hash b.mag)
+
+let neg = function
+  | Small n -> Small (-n) (* n > min_int by the invariant *)
+  | Big b -> Big { b with sign = -b.sign }
+
+let abs = function
+  | Small n -> Small (if n < 0 then -n else n)
+  | Big b -> Big { b with sign = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Reference (limb-based) implementations — the original algorithms.    *)
+(* ------------------------------------------------------------------ *)
+
+let add_via_nat a b =
+  let sa, ma = sign_mag a and sb, mb = sign_mag b in
+  if sa = sb then of_big sa (Nat.add ma mb)
+  else if Nat.compare ma mb >= 0 then of_big sa (Nat.sub ma mb)
+  else of_big sb (Nat.sub mb ma)
+
+let mul_via_nat a b =
+  let sa, ma = sign_mag a and sb, mb = sign_mag b in
+  of_big (sa * sb) (Nat.mul ma mb)
+
+(* Euclidean division: remainder is always in [0, |b|). *)
+let divmod_via_nat a b =
+  let sa, ma = sign_mag a and sb, mb = sign_mag b in
+  let q0, r0 = Nat.divmod ma mb in
+  if Nat.is_zero r0 then (of_big (sa * sb) q0, zero)
+  else if sa > 0 then (of_big sb q0, of_nat r0)
+  else
+    (* a < 0: floor toward -inf on |q| then fix remainder to be positive. *)
+    (of_big (-sb) (Nat.succ q0), of_nat (Nat.sub mb r0))
+
+let pow_via_nat a k =
+  let sa, ma = sign_mag a in
+  of_big (if sa < 0 && k land 1 = 1 then -1 else 1) (Nat.pow ma k)
+
+let gcd_via_nat a b = Nat.gcd (to_nat a) (to_nat b)
+
+module Reference = struct
+  let add = add_via_nat
+  let sub a b = add_via_nat a (neg b)
+  let mul = mul_via_nat
+  let divmod a b = if is_zero b then raise Division_by_zero else divmod_via_nat a b
+  let pow a k = if k < 0 then invalid_arg "Zint.pow: negative exponent" else pow_via_nat a k
+  let gcd = gcd_via_nat
+  let compare = compare_big
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fast paths                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let add a b =
-  if a.sign = b.sign then make a.sign (Nat.add a.mag b.mag)
-  else if Nat.compare a.mag b.mag >= 0 then make a.sign (Nat.sub a.mag b.mag)
-  else make b.sign (Nat.sub b.mag a.mag)
+  match (a, b) with
+  | Small x, Small y when not (Arith.reference ()) ->
+    let s = x + y in
+    (* Two's-complement overflow: operands share a sign the sum lacks. *)
+    if (x >= 0) = (y >= 0) && (s >= 0) <> (x >= 0) then add_via_nat a b else of_int s
+  | _ -> add_via_nat a b
 
 let sub a b = add a (neg b)
-let mul a b = make (a.sign * b.sign) (Nat.mul a.mag b.mag)
+
+(* Magnitudes strictly below 2^31 multiply without overflow (the product
+   magnitude stays below 2^62 <= max_int) and cannot reach min_int. *)
+let small_mul_bound = 1 lsl 31
+
+let mul a b =
+  match (a, b) with
+  | Small x, Small y
+    when (not (Arith.reference ()))
+         && x > -small_mul_bound && x < small_mul_bound
+         && y > -small_mul_bound && y < small_mul_bound -> Small (x * y)
+  | _ -> mul_via_nat a b
+
 let mul_int a n = mul a (of_int n)
 let succ a = add a one
 let pred a = sub a one
 
-(* Euclidean division: remainder is always in [0, |b|). *)
 let divmod a b =
-  let q0, r0 = Nat.divmod a.mag b.mag in
-  if Nat.is_zero r0 then (make (a.sign * b.sign) q0, zero)
-  else if a.sign > 0 then (make b.sign q0, of_nat r0)
-  else
-    (* a < 0: floor toward -inf on |q| then fix remainder to be positive. *)
-    (make (-b.sign) (Nat.succ q0), of_nat (Nat.sub b.mag r0))
+  if is_zero b then raise Division_by_zero;
+  match (a, b) with
+  | Small x, Small y when not (Arith.reference ()) ->
+    (* Truncated machine division, adjusted to the Euclidean convention
+       (remainder in [0, |b|)). *)
+    let q = x / y and r = x mod y in
+    if r >= 0 then (Small q, Small r)
+    else if y > 0 then (of_int (q - 1), Small (r + y))
+    else (of_int (q + 1), Small (r - y))
+  | _ -> divmod_via_nat a b
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let pow a k =
   if k < 0 then invalid_arg "Zint.pow: negative exponent";
-  make (if a.sign < 0 && k land 1 = 1 then -1 else 1) (Nat.pow a.mag k)
+  pow_via_nat a k
 
-let gcd a b = Nat.gcd a.mag b.mag
-let to_string a = if sign a < 0 then "-" ^ Nat.to_string a.mag else Nat.to_string a.mag
-let to_float a = if sign a < 0 then -.Nat.to_float a.mag else Nat.to_float a.mag
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let gcd a b =
+  match (a, b) with
+  | Small x, Small y when not (Arith.reference ()) ->
+    Nat.of_int (gcd_int (if x < 0 then -x else x) (if y < 0 then -y else y))
+  | _ -> gcd_via_nat a b
+
+let to_string = function
+  | Small n -> string_of_int n
+  | a -> if sign a < 0 then "-" ^ Nat.to_string (to_nat a) else Nat.to_string (to_nat a)
+
+let to_float = function
+  (* Magnitudes below 2^53 convert exactly either way; beyond that the
+     frexp-based truncating conversion is the contract (bit-compatible
+     with the original implementation and with Q.to_float). *)
+  | Small n when n > -(1 lsl 53) && n < 1 lsl 53 -> float_of_int n
+  | a -> if sign a < 0 then -.Nat.to_float (to_nat a) else Nat.to_float (to_nat a)
 
 let of_string s =
   if String.length s = 0 then invalid_arg "Zint.of_string: empty string";
   match s.[0] with
-  | '-' -> make (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
-  | '+' -> make 1 (Nat.of_string (String.sub s 1 (String.length s - 1)))
-  | _ -> make 1 (Nat.of_string s)
+  | '-' -> of_big (-1) (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  | '+' -> of_big 1 (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  | _ -> of_big 1 (Nat.of_string s)
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)

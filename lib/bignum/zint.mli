@@ -64,4 +64,18 @@ val pow : t -> int -> t
 val gcd : t -> t -> Nat.t
 (** Non-negative greatest common divisor of the absolute values. *)
 
+(** The limb-based reference implementations, with no native-int fast
+    path. Results are canonical and bit-identical to the fast operations;
+    the differential suite ([test_bignum_diff.ml]) enforces this. The same
+    code paths are forced process-wide by [IPDB_ARITH_REFERENCE=1]. *)
+module Reference : sig
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val divmod : t -> t -> t * t
+  val pow : t -> int -> t
+  val gcd : t -> t -> Nat.t
+  val compare : t -> t -> int
+end
+
 val pp : Format.formatter -> t -> unit

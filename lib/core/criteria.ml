@@ -330,16 +330,18 @@ let lemma33_bound ~view ~input_schema ~input_moment ~k =
   let c = View.max_constants_in_def view in
   let r' = Schema.max_arity input_schema in
   let rk = r * k in
-  let total = ref Q.zero in
+  (* Batched-GCD accumulation: the committed sum is identical to the
+     eager [Q.add] fold, just cheaper on the long common-denominator
+     chains these binomial series produce. *)
+  let total = Q.Accum.create () in
   for j = 0 to rk do
     (* C(rk, j) r'^j c^(rk-j) E(|·|^j); with c = 0 only the j = rk term
        survives (0^0 = 1 by the binomial-formula convention) *)
     let const_pow = if rk - j = 0 then Q.one else Q.pow (Q.of_int c) (rk - j) in
-    total :=
-      Q.add !total
-        (Q.mul (binomial rk j) (Q.mul (Q.pow (Q.of_int r') j) (Q.mul const_pow (input_moment j))))
+    Q.Accum.add total
+      (Q.mul (binomial rk j) (Q.mul (Q.pow (Q.of_int r') j) (Q.mul const_pow (input_moment j))))
   done;
-  Q.mul (Q.pow (Q.of_int m) k) !total
+  Q.mul (Q.pow (Q.of_int m) k) (Q.Accum.total total)
 
 (* ------------------------------------------------------------------ *)
 (* Lemma 3.6                                                           *)

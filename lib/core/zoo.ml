@@ -26,6 +26,14 @@ type certified_family = {
 
 let unary_schema = Schema.make [ ("R", 1) ]
 
+(* Memoised power tables for the zoo's recurring exact-weight families:
+   (1/2)^n for the geometric distributions and 2^{-i²} (example 5.5), and
+   4^i (example 3.5). Each value produced through a table is canonical and
+   bit-identical to the direct [Q.pow]/[Zint.pow] formula — the tables are
+   domain-safe, so [prob_q] stays callable from pool workers. *)
+let half_pows = Q.Powtab.create Q.half
+let four_pows = Q.Powtab.create (Q.of_int 4)
+
 (* World with [size] fresh elements, disjoint across indices. *)
 let disjoint_world index size =
   Instance.of_list (List.init size (fun j -> Fact.make "R" [ Value.Pair (Value.Int index, Value.Int j) ]))
@@ -35,7 +43,8 @@ let disjoint_world index size =
 (* ------------------------------------------------------------------ *)
 
 let example_3_5 =
-  let prob_q i = Q.div (Q.of_int 3) (Q.pow (Q.of_int 4) i) in
+  let three = Q.of_int 3 in
+  let prob_q i = Q.div three (Q.Powtab.pow four_pows i) in
   let family =
     Family.make ~name:"example-3.5" ~schema:unary_schema
       ~instance:(fun i -> disjoint_world i (1 lsl i))
@@ -145,8 +154,9 @@ let example_5_5_normalizer =
 let example_5_5 =
   let x = Interval.midpoint example_5_5_normalizer in
   let prob_q i =
-    (* unnormalised exact weight 2^{-i²} (Family.truncate_exact renormalises) *)
-    Q.div Q.one (Q.of_zint (Zint.pow (Zint.of_int 2) (i * i)))
+    (* unnormalised exact weight 2^{-i²} = (1/2)^(i²), memoised
+       (Family.truncate_exact renormalises) *)
+    Q.Powtab.pow half_pows (i * i)
   in
   let prob i = Float.ldexp 1.0 (-(i * i)) /. x in
   let family =
@@ -327,7 +337,7 @@ let sensor_bounded =
         Fact.make "Temp" [ Value.Str "s2"; Value.Int (n + 1) ]
       ]
   in
-  let prob_q n = Q.pow Q.half n in
+  let prob_q n = Q.Powtab.pow half_pows n in
   let family =
     Family.make ~name:"sensor-bounded" ~schema ~instance
       ~prob:(fun n -> Float.ldexp 1.0 (-n))
@@ -370,7 +380,7 @@ let geometric =
      index with no slack and no float-horizon — check_upto = max_int. That
      makes it the stress family for the budgeted engine: huge [upto]
      requests are legitimate, and only the budget stops them. *)
-  let prob_q n = Q.pow Q.half n in
+  let prob_q n = Q.Powtab.pow half_pows n in
   let family =
     Family.make ~name:"geometric" ~schema:unary_schema
       ~instance:(fun n -> Instance.of_list [ Fact.make "R" [ Value.Int n ] ])

@@ -298,7 +298,9 @@ let ucq_exact ?pool budget store ucq =
     raise (Unsafe (Printf.sprintf "union of %d terms exceeds the inclusion-exclusion gate (%d)" k Pqe.max_union_terms))
   else begin
     Metrics.add m_subsets ((1 lsl k) - 1);
-    let total = ref Q.zero in
+    (* Signed sum over subsets via a batched accumulator: each term's
+       normalisation cost is deferred, the total is canonical. *)
+    let total = Q.Accum.create () in
     for mask = 1 to (1 lsl k) - 1 do
       let sel = ref [] in
       for i = k - 1 downto 0 do
@@ -306,9 +308,9 @@ let ucq_exact ?pool budget store ucq =
       done;
       let conj = Pqe.normalize_closed_cq (Pqe.conjoin_cqs !sel) in
       let p = eval_conj ?pool budget store conj in
-      total := if popcount mask land 1 = 1 then Q.add !total p else Q.sub !total p
+      if popcount mask land 1 = 1 then Q.Accum.add total p else Q.Accum.sub total p
     done;
-    !total
+    Q.Accum.total total
   end
 
 let ucq_probability ?pool ?budget store ucq =

@@ -126,7 +126,11 @@ let set_prob tbl row p =
 
 let row_prob tbl row =
   let d = tbl.pden.(row) in
-  if d <> 0 then Q.of_ints tbl.pnum.(row) d else Hashtbl.find tbl.spill row
+  (* The stored pair was destructured from a normalised rational in
+     [set_prob], so it is coprime with d > 0: rebuilding with
+     [of_ints_reduced] skips the per-lookup GCD. (Reference mode
+     re-verifies the coprimality contract.) *)
+  if d <> 0 then Q.of_ints_reduced tbl.pnum.(row) d else Hashtbl.find tbl.spill row
 
 let add t ~rel args p =
   match List.assoc_opt rel t.tables with
@@ -163,14 +167,16 @@ let fact_count t = List.fold_left (fun acc (_, tbl) -> acc + tbl.nrows) 0 t.tabl
 let spilled t = List.fold_left (fun acc (_, tbl) -> acc + Hashtbl.length tbl.spill) 0 t.tables
 
 let expected_size t =
-  List.fold_left
-    (fun acc (_, tbl) ->
-      let s = ref acc in
+  (* Batched accumulation: normalisation is deferred until the running
+     denominator grows large, then once more at [total]. *)
+  let s = Q.Accum.create () in
+  List.iter
+    (fun (_, tbl) ->
       for row = 0 to tbl.nrows - 1 do
-        s := Q.add !s (row_prob tbl row)
-      done;
-      !s)
-    Q.zero t.tables
+        Q.Accum.add s (row_prob tbl row)
+      done)
+    t.tables;
+  Q.Accum.total s
 
 let marginal t ~rel args =
   match List.assoc_opt rel t.tables with

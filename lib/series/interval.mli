@@ -13,6 +13,15 @@ type t = private { lo : float; hi : float }
 val make : float -> float -> t
 (** [make lo hi]. @raise Invalid_argument if [lo > hi] or either is NaN. *)
 
+val down : float -> float
+(** One ulp toward [-inf] (identity on non-finite values): the endpoint
+    widening used by every operation. Exposed so the series engine's tight
+    loops can accumulate endpoints unboxed with {e exactly} the same
+    rounding as a fold of {!add}. *)
+
+val up : float -> float
+(** One ulp toward [+inf]; see {!down}. *)
+
 val point : float -> t
 (** Degenerate interval [x, x] (no widening: useful for exact constants). *)
 

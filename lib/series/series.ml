@@ -1,7 +1,17 @@
 type term = int -> float
 
-let ulp_slack x = Float.ldexp (Float.max (Float.abs x) Float.min_float) (-48)
-(* 4-ulps-ish relative slack used when validating pointwise hypotheses. *)
+(* 4-ulps-ish relative slack used when validating pointwise hypotheses.
+   Multiplying by the constant 2^-48 is bit-identical to
+   [Float.ldexp _ (-48)] (both are correctly rounded images of the same
+   real number) but allocation-free in the per-term loops, where the
+   cross-module [ldexp]/[Float.max] calls used to box every operand. On a
+   NaN argument this returns a finite junk value where the old expression
+   returned NaN; every use site compares [_ +. slack]/[_ -. slack] against
+   a term, and comparisons against NaN operands are false either way, so
+   the decisions are unchanged. *)
+let ulp_slack x =
+  let ax = Float.abs x in
+  (if ax > Float.min_float then ax else Float.min_float) *. 0x1p-48
 
 module Tail = struct
   type t =
@@ -272,6 +282,78 @@ let poll_cut budget =
   | Ok () | Error (Run_error.Steps _) -> None
   | Error e -> Some e
 
+(* The tight loops below are pure engine-overhead removal. They are taken
+   only when every per-term hook is provably inert: the budget can never
+   trip ([Budget.check] on an unlimited budget is a branch that updates
+   nothing), metrics and tracing are off ([Metrics.incr] would be a
+   no-op), and the term/certificate fault sites are not armed ([fire]
+   would not raise). Under those conditions the instrumented loops and
+   the tight loops are observationally identical: same term evaluations
+   in the same order, same directed-rounding accumulation, same progress
+   emission points, same snapshots, bit for bit. IPDB_ARITH_REFERENCE=1
+   disqualifies them, forcing the original instrumented loops. *)
+let fast_eligible budget =
+  (not (Ipdb_bignum.Arith.reference ()))
+  && Budget.is_unlimited budget
+  && (not (Metrics.enabled ()))
+  && (not (Trace.enabled ()))
+  && (not (Faultinj.armed Faultinj.Term_eval))
+  && not (Faultinj.armed Faultinj.Certificate)
+
+(* Directed rounding for the tight loops, locally unboxed. Semantically
+   identical to [Interval.down]/[Interval.up]: [x -. x = 0.0] is the
+   allocation-free finiteness test and [Float.pred]/[Float.succ] are
+   defined as [next_after] toward the corresponding infinity. Declared
+   here because without flambda a cross-module call boxes its float
+   argument and result — at two rounded additions per term that boxing
+   dominated the accumulation loops. The metamorphic suite pins the
+   equivalence by comparing fast-mode enclosures with reference-mode ones
+   bit for bit. *)
+external next_after : float -> float -> float = "caml_nextafter_float" "caml_nextafter"
+  [@@unboxed] [@@noalloc]
+
+let[@inline] round_down x = if x -. x = 0.0 then next_after x Float.neg_infinity else x
+let[@inline] round_up x = if x -. x = 0.0 then next_after x Float.infinity else x
+
+(* Index-ordered fold of [accumulate] over a chunk's terms with the
+   endpoints kept in local refs (the instrumented path allocates one
+   interval per term). Same additions, same [down]/[up] rounding, so the
+   resulting interval is bit-identical to [Array.fold_left accumulate]. *)
+let fold_terms_fast acc arr =
+  let lo = ref (Interval.lo acc) and hi = ref (Interval.hi acc) in
+  for j = 0 to Array.length arr - 1 do
+    let a = Array.unsafe_get arr j in
+    lo := round_down (!lo +. a);
+    hi := round_up (!hi +. a)
+  done;
+  Interval.make !lo !hi
+
+(* Recycling pool for chunk term buffers. A worker pops a buffer (or
+   allocates on miss), fills every slot it reports, and the admitting
+   domain returns it after folding — so a run keeps a handful of live
+   buffers instead of churning one major-heap array per chunk (each array
+   is chunk-sized, well past the minor-alloc cutoff, and the churn showed
+   up as dozens of major collections per run). Only full-size buffers are
+   recycled; the odd-sized final chunk's buffer is simply dropped. The
+   Treiber-stack handoff publishes the buffer contents between domains. *)
+type 'a buf_pool = { bufs : 'a array list Atomic.t; want : int; blank : 'a }
+
+let buf_pool_make want blank = { bufs = Atomic.make []; want; blank }
+
+let rec buf_take p len =
+  if len <> p.want then Array.make len p.blank
+  else
+    match Atomic.get p.bufs with
+    | [] -> Array.make len p.blank
+    | (b :: rest) as old ->
+      if Atomic.compare_and_set p.bufs old rest then b else buf_take p len
+
+let rec buf_give p b =
+  if Array.length b = p.want then begin
+    let old = Atomic.get p.bufs in
+    if not (Atomic.compare_and_set p.bufs old (b :: old)) then buf_give p b
+  end
+
 type partial = {
   enclosure : Interval.t option;
   prefix : Interval.t;
@@ -491,19 +573,30 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
     | Ok (n0, acc0) ->
       let snapshot n acc = Snapshot.Sum_state { sum_start = start; next = n; prefix = acc } in
       let check_from = Stdlib.max start (Tail.start_index tail) in
-      let eval n =
-        Metrics.incr m_terms;
-        Faultinj.fire Faultinj.Term_eval;
-        f n
+      let fast = fast_eligible budget in
+      let eval =
+        if fast then f
+        else fun n ->
+          Metrics.incr m_terms;
+          Faultinj.fire Faultinj.Term_eval;
+          f n
       in
-      let validate n a =
-        if n < check_from then Ok ()
-        else begin
-          Faultinj.fire Faultinj.Certificate;
-          let b = Tail.pointwise_bound tail n in
-          if a <= b +. ulp_slack b then Ok ()
-          else Error (Printf.sprintf "term %d = %g exceeds certified bound %g" n a b)
-        end
+      let validate =
+        if fast then fun n a ->
+          if n < check_from then Ok ()
+          else begin
+            let b = Tail.pointwise_bound tail n in
+            if a <= b +. ulp_slack b then Ok ()
+            else Error (Printf.sprintf "term %d = %g exceeds certified bound %g" n a b)
+          end
+        else fun n a ->
+          if n < check_from then Ok ()
+          else begin
+            Faultinj.fire Faultinj.Certificate;
+            let b = Tail.pointwise_bound tail n in
+            if a <= b +. ulp_slack b then Ok ()
+            else Error (Printf.sprintf "term %d = %g exceeds certified bound %g" n a b)
+          end
       in
       let stop acc last exhausted =
         let enclosure =
@@ -557,8 +650,51 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
               end)
         end
       in
+      (* Tight sequential loop: same traversal, same checks, same rounding
+         and emission points as [go], with the per-term hooks elided (they
+         are inert under [fast]) and the enclosure endpoints carried as
+         plain floats instead of one interval allocation per term. *)
+      let go_fast n0 acc0 =
+        let rec loop n lo hi =
+          if n > upto then begin
+            let acc = Interval.make lo hi in
+            match tail_bound_opt tail (upto + 1) with
+            | Some b -> Ok (Complete (Interval.add acc (Interval.make 0.0 b)), snapshot n acc)
+            | None ->
+              Error
+                (Run_error.Certificate
+                   { what = "tail certificate"; msg = "no tail bound at the cutoff (finite support not exhausted?)" })
+          end
+          else begin
+            match f n with
+            | exception Faultinj.Injected site ->
+              Error (Run_error.Injected_fault { site = Faultinj.site_name site })
+            | exception e ->
+              Error
+                (Run_error.Certificate
+                   { what = Printf.sprintf "term %d" n; msg = "term evaluation raised " ^ Printexc.to_string e })
+            | a ->
+              if Float.is_nan a || a < 0.0 then
+                Error
+                  (Run_error.Certificate
+                     { what = Printf.sprintf "term %d" n; msg = Printf.sprintf "term is not a non-negative number (%g)" a })
+              else begin
+                match validate n a with
+                | Error msg -> Error (Run_error.Certificate { what = "tail certificate"; msg })
+                | Ok () ->
+                  let lo = round_down (lo +. a) and hi = round_up (hi +. a) in
+                  (match progress with
+                  | Some emit when (n + 1 - n0) mod progress_every = 0 ->
+                    emit (snapshot (n + 1) (Interval.make lo hi))
+                  | _ -> ());
+                  loop (n + 1) lo hi
+              end
+          end
+        in
+        loop n0 (Interval.lo acc0) (Interval.hi acc0)
+      in
       match pool with
-      | None -> go n0 acc0
+      | None -> if fast then go_fast n0 acc0 else go n0 acc0
       | Some pool ->
         (* Chunked parallel engine. Workers evaluate and validate terms
            into per-chunk arrays; the interval fold below replays them
@@ -566,17 +702,18 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
            to [go n0 acc0] for any worker count. *)
         let size = match chunk with Some s -> Stdlib.max 1 s | None -> Chunk.default_size in
         let admit_stop = ref None in
+        let bufs = buf_pool_make size 0.0 in
         let chunks = admit_chunks ~budget ~stop:admit_stop (Chunk.plan ~size ~start:n0 ~upto ()) in
         let run_chunk (c : Chunk.t) =
           Metrics.incr m_chunks;
           Trace.with_span "series.chunk"
             ~attrs:[ ("lo", OJson.Int c.Chunk.lo); ("hi", OJson.Int c.Chunk.hi) ]
           @@ fun () ->
-          let arr = Array.make (Chunk.length c) 0.0 in
+          let arr = buf_take bufs (Chunk.length c) in
           let rec at n =
             if n > c.Chunk.hi then `Terms arr
             else begin
-              match (if (n - c.Chunk.lo) land 15 = 0 then poll_cut budget else None) with
+              match (if (not fast) && (n - c.Chunk.lo) land 15 = 0 then poll_cut budget else None) with
               | Some exh -> `Cut exh
               | None -> (
                 match eval n with
@@ -609,7 +746,8 @@ let sum_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unlimited) ?from ?
           | `Fail e -> Error (`Fail e)
           | `Cut exh -> Error (`Cut (acc, next, exh))
           | `Terms arr ->
-            let acc = Array.fold_left accumulate acc arr in
+            let acc = if fast then fold_terms_fast acc arr else Array.fold_left accumulate acc arr in
+            buf_give bufs arr;
             let next = c.Chunk.hi + 1 in
             let emitted =
               match progress with
@@ -693,10 +831,13 @@ let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unl
       let snapshot k partial prev_term prev_pick =
         Snapshot.Div_state { div_start = i0; next_k = k; partial; prev_term; prev_pick }
       in
-      let eval n =
-        Metrics.incr m_terms;
-        Faultinj.fire Faultinj.Term_eval;
-        f n
+      let fast = fast_eligible budget in
+      let eval =
+        if fast then f
+        else fun n ->
+          Metrics.incr m_terms;
+          Faultinj.fire Faultinj.Term_eval;
+          f n
       in
       let index_of k =
         match certificate with
@@ -794,6 +935,8 @@ let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unl
           | _ -> upto
         in
         let admit_stop = ref None in
+        let term_bufs = buf_pool_make size 0.0 in
+        let pick_bufs = buf_pool_make size 0 in
         let chunks = admit_chunks ~budget ~stop:admit_stop (Chunk.plan ~size ~start:k0 ~upto:kmax ()) in
         let run_chunk (c : Chunk.t) =
           Metrics.incr m_chunks;
@@ -801,8 +944,8 @@ let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unl
             ~attrs:[ ("lo", OJson.Int c.Chunk.lo); ("hi", OJson.Int c.Chunk.hi) ]
           @@ fun () ->
           let len = Chunk.length c in
-          let terms = Array.make len 0.0 in
-          let picks = Array.make len 0 in
+          let terms = buf_take term_bufs len in
+          let picks = buf_take pick_bufs len in
           let stop_at j s = `Stopped (j, s) in
           let rec at j =
             if j >= len then `Full
@@ -811,7 +954,7 @@ let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unl
               let n = index_of k in
               if n > upto then stop_at j `Upto_hit
               else begin
-                match (if j land 15 = 0 then poll_cut budget else None) with
+                match (if (not fast) && j land 15 = 0 then poll_cut budget else None) with
                 | Some exh -> stop_at j (`Cut exh)
                 | None -> (
                   match eval n with
@@ -896,6 +1039,8 @@ let certify_divergence_resumable ?pool ?chunk ?(start = 0) ?(budget = Budget.unl
             let prev_pick = if dlen >= 1 then picks.(dlen - 1) else prev_pick in
             let k_next = if dlen >= 1 then c.Chunk.lo + dlen else k_next in
             let st = (partial, prev, prev_pick, k_next, emitted) in
+            buf_give term_bufs terms;
+            buf_give pick_bufs picks;
             (match outcome with
             | `Full ->
               let emitted =
@@ -957,7 +1102,36 @@ let sum ?(start = 0) f ~tail ~upto =
 let sum_exn ?start f ~tail ~upto =
   match sum ?start f ~tail ~upto with Ok i -> i | Error msg -> failwith ("Series.sum: " ^ msg)
 
+module Qb = Ipdb_bignum.Q
+
+(* Memoised per-ratio state for [geometric_tail_exact]: the power table
+   for r^n and the precomputed 1/(1-r). [Q.div a b] is [Q.mul a (inv b)]
+   and canonical forms are unique, so [pow r n * inv (1 - r)] is
+   bit-identical to the direct formula. Guarded by a mutex because zoo
+   distributions evaluate tails from pool workers. *)
+let geotail_lock = Mutex.create ()
+let geotail_tabs : (Qb.t, Qb.Powtab.t * Qb.t) Hashtbl.t = Hashtbl.create 8
+
+(* Beyond this exponent the table (quadratic total size in the exponent)
+   would cost more memory than the memoisation saves; compute directly. *)
+let geotail_memo_max = 4096
+
 let geometric_tail_exact r n =
   let module Q = Ipdb_bignum.Q in
   if not (Q.is_probability r) || Q.is_one r then invalid_arg "Series.geometric_tail_exact: need 0 <= r < 1";
-  Q.div (Q.pow r n) (Q.one_minus r)
+  if Ipdb_bignum.Arith.reference () || n < 0 || n > geotail_memo_max then Q.div (Q.pow r n) (Q.one_minus r)
+  else begin
+    Mutex.lock geotail_lock;
+    let tab, inv_one_minus =
+      match Hashtbl.find_opt geotail_tabs r with
+      | Some v ->
+        Mutex.unlock geotail_lock;
+        v
+      | None ->
+        let v = (Q.Powtab.create r, Q.inv (Q.one_minus r)) in
+        Hashtbl.add geotail_tabs r v;
+        Mutex.unlock geotail_lock;
+        v
+    in
+    Q.mul (Q.Powtab.pow tab n) inv_one_minus
+  end

@@ -4,6 +4,8 @@
    deterministic, and resuming a budgeted series from a snapshot is
    bit-for-bit equivalent to never having been interrupted. *)
 
+module Arith = Ipdb_bignum.Arith
+module Qa = Ipdb_bignum.Q
 module Budget = Ipdb_run.Budget
 module Run_error = Ipdb_run.Error
 module Journal = Ipdb_run.Journal
@@ -523,6 +525,129 @@ let test_stale_snapshot_rejected () =
   | Ok _ -> Alcotest.fail "stale snapshot accepted"
 
 (* ------------------------------------------------------------------ *)
+(* Metamorphic: the filtered fast arithmetic (DESIGN.md §14)            *)
+(*                                                                      *)
+(* The fast series loop and the lazy-GCD accumulators may only          *)
+(* accelerate: whole runs, their progress snapshots, and partial sums   *)
+(* must be byte-identical to the unfiltered reference path.             *)
+(* ------------------------------------------------------------------ *)
+
+(* One full resumable summation, capturing every progress snapshot as its
+   serialized string: the fast path and the forced-reference path must
+   produce byte-identical snapshot streams and final enclosures. *)
+let prop_fast_reference_sum_identical seed =
+  let rng = Random.State.make [| seed; 0xFA57 |] in
+  let coeff = 0.1 +. Random.State.float rng 0.9 in
+  let p = 1.5 +. Random.State.float rng 1.5 in
+  let upto = 100 + Random.State.int rng 400 in
+  let every = 16 + Random.State.int rng 48 in
+  let term i = coeff /. (float_of_int i ** p) in
+  let tail = Series.Tail.P_series { index = 1; coeff; p } in
+  let run () =
+    let snaps = ref [] in
+    match
+      Series.sum_resumable ~start:1
+        ~progress:(fun s -> snaps := Series.Snapshot.to_string s :: !snaps)
+        ~progress_every:every term ~tail ~upto
+    with
+    | Ok (Series.Complete e, final) ->
+      (List.rev !snaps, Series.Snapshot.to_string final, e)
+    | Ok (Series.Exhausted _, _) -> QCheck.Test.fail_report "unbudgeted run exhausted"
+    | Error e -> QCheck.Test.fail_reportf "run failed: %s" (err_str e)
+  in
+  let fast_snaps, fast_final, fast_e = run () in
+  let ref_snaps, ref_final, ref_e = Arith.with_reference true run in
+  if not (interval_bits_equal fast_e ref_e) then
+    QCheck.Test.fail_report "fast and reference enclosures differ"
+  else if not (String.equal fast_final ref_final) then
+    QCheck.Test.fail_report "final snapshots differ"
+  else if not (List.equal String.equal fast_snaps ref_snaps) then
+    QCheck.Test.fail_report "progress snapshot streams differ"
+  else true
+
+let prop_fast_reference_divergence_identical seed =
+  let rng = Random.State.make [| seed; 0xD1FF |] in
+  let coeff = 0.1 +. Random.State.float rng 0.9 in
+  let upto = 100 + Random.State.int rng 400 in
+  let term i = coeff /. float_of_int i in
+  let certificate = Series.Divergence.Harmonic { index = 1; coeff } in
+  let run () =
+    match Series.certify_divergence_resumable ~start:1 term ~certificate ~upto with
+    | Ok (Series.Div_complete { partial; at }, final) ->
+      (partial, at, Series.Snapshot.to_string final)
+    | Ok (Series.Div_exhausted _, _) -> QCheck.Test.fail_report "unbudgeted run exhausted"
+    | Error e -> QCheck.Test.fail_reportf "run failed: %s" (err_str e)
+  in
+  let p1, at1, s1 = run () in
+  let p2, at2, s2 = Arith.with_reference true run in
+  float_bits_equal p1 p2 && at1 = at2 && String.equal s1 s2
+
+(* A snapshot taken by the fast path restores byte-identically and can be
+   resumed under the reference mode (and vice versa): the remainder of the
+   run still reproduces the uninterrupted enclosure bit for bit. *)
+let prop_cross_mode_resume seed =
+  let rng = Random.State.make [| seed; 0xC805 |] in
+  let upto = 100 + Random.State.int rng 300 in
+  let term i = 1.0 /. (float_of_int i ** 2.5) in
+  let tail = Series.Tail.P_series { index = 1; coeff = 1.0; p = 2.5 } in
+  let full =
+    match Series.sum_resumable ~start:1 term ~tail ~upto with
+    | Ok (Series.Complete e, _) -> e
+    | _ -> QCheck.Test.fail_report "unbudgeted run did not complete"
+  in
+  (* interrupt in one mode... *)
+  let first_fast = Random.State.bool rng in
+  let snap =
+    Arith.with_reference (not first_fast) @@ fun () ->
+    match
+      Series.sum_resumable ~start:1
+        ~budget:(Budget.make ~max_steps:(1 + Random.State.int rng (upto - 1)) ())
+        term ~tail ~upto
+    with
+    | Ok (Series.Exhausted _, snap) -> Some snap
+    | Ok (Series.Complete _, _) -> None (* budget covered everything *)
+    | Error e -> QCheck.Test.fail_reportf "budgeted slice failed: %s" (err_str e)
+  in
+  match snap with
+  | None -> true
+  | Some snap -> (
+    (* ...restore from its string form and finish in the other mode *)
+    let snap =
+      match Series.Snapshot.of_string (Series.Snapshot.to_string snap) with
+      | Ok s -> s
+      | Error m -> QCheck.Test.fail_reportf "snapshot did not roundtrip: %s" m
+    in
+    Arith.with_reference first_fast @@ fun () ->
+    match Series.sum_resumable ~start:1 ~from:snap term ~tail ~upto with
+    | Ok (Series.Complete e, _) -> interval_bits_equal full e
+    | Ok (Series.Exhausted _, _) -> QCheck.Test.fail_report "resumed run exhausted"
+    | Error e -> QCheck.Test.fail_reportf "resumed run failed: %s" (err_str e))
+
+(* Lazy-GCD partial sums: after every single operation the batched
+   accumulator's total equals the eagerly normalised running sum — not
+   just at the end. *)
+let prop_lazy_gcd_partial_sums seed =
+  let rng = Random.State.make [| seed; 0x6CD |] in
+  let n = 1 + Random.State.int rng 80 in
+  let acc = Qa.Accum.create () in
+  let eager = ref Qa.zero in
+  let ok = ref true in
+  for _ = 1 to n do
+    let x = Qa.of_ints (Random.State.int rng 2001 - 1000) (1 + Random.State.int rng 1000) in
+    let add = Random.State.bool rng in
+    if add then Qa.Accum.add acc x else Qa.Accum.sub acc x;
+    eager := if add then Qa.add !eager x else Qa.sub !eager x;
+    let t = Qa.Accum.total acc in
+    if
+      not
+        (Qa.equal t !eager
+        && Ipdb_bignum.Zint.equal (Qa.num t) (Qa.num !eager)
+        && Ipdb_bignum.Nat.equal (Qa.den t) (Qa.den !eager))
+    then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
 (* Classifier checkpoints                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -661,6 +786,15 @@ let () =
             test_ratio_resume_equivalence;
           Alcotest.test_case "stale snapshot is a typed Validation error" `Quick
             test_stale_snapshot_rejected
+        ] );
+      ( "filtered-arithmetic",
+        [ prop ~count:40 "fast run ≡ reference run (snapshots byte-identical)"
+            prop_fast_reference_sum_identical;
+          prop ~count:40 "fast divergence ≡ reference divergence"
+            prop_fast_reference_divergence_identical;
+          prop ~count:60 "snapshots resume across arithmetic modes" prop_cross_mode_resume;
+          prop ~count:60 "lazy-GCD partial sums ≡ eager normalisation"
+            prop_lazy_gcd_partial_sums
         ] );
       ( "classifier",
         [ Alcotest.test_case "checkpoint to_string/of_string" `Quick

@@ -303,6 +303,47 @@ let test_budget_cancel_latch () =
   | Error Ipdb_run.Error.Cancelled -> ()
   | _ -> Alcotest.fail "cancel was not latched"
 
+(* ------------------------------------------------------------------ *)
+(* kb fan-out threshold boundary                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The lifted engine hands root candidates to the pool only from
+   par_threshold items up. Straddle the boundary exactly — threshold-1
+   (serial), threshold (one full chunk) and threshold+1 (a full chunk
+   plus a 1-item tail) — and require the marginal, its printed form and
+   the budget step count to be independent of the path taken. *)
+let test_kb_par_threshold_boundary () =
+  let module Store = Ipdb_kb.Store in
+  let module Lifted = Ipdb_kb.Lifted in
+  let module Q = Ipdb_bignum.Q in
+  let module Value = Ipdb_relational.Value in
+  let module Fo = Ipdb_logic.Fo in
+  let phi = Fo.Exists ("x", Fo.Atom ("T", [ Fo.V "x" ])) in
+  let pool = pool_of_index 2 (* jobs=8 *) in
+  List.iter
+    (fun n ->
+      let store = Store.create [ ("T", 1) ] in
+      for i = 1 to n do
+        match Store.add store ~rel:"T" [| Value.int i |] (Q.of_ints 1 (2 + (i mod 97))) with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m
+      done;
+      let run ?pool () =
+        let budget = Budget.make ~max_steps:1_000_000 () in
+        match Lifted.query ?pool ~budget store phi with
+        | Ok (Lifted.Exact p) -> (p, Budget.steps_used budget)
+        | Ok (Lifted.Estimated _) -> Alcotest.fail "safe query fell back to sampling"
+        | Error e -> Alcotest.fail (Ipdb_run.Error.message e)
+      in
+      let p_serial, steps_serial = run () in
+      let p_par, steps_par = run ~pool () in
+      let label = Printf.sprintf "n=%d (threshold%+d)" n (n - Lifted.par_threshold) in
+      Alcotest.(check bool) (label ^ ": bit-identical marginal") true (Q.equal p_serial p_par);
+      Alcotest.(check string) (label ^ ": identical printed form") (Q.to_string p_serial) (Q.to_string p_par);
+      Alcotest.(check int) (label ^ ": step count independent of path") steps_serial steps_par;
+      Alcotest.(check int) (label ^ ": one step per candidate") n steps_serial)
+    [ Lifted.par_threshold - 1; Lifted.par_threshold; Lifted.par_threshold + 1 ]
+
 let () =
   let at_exit_shutdown () = if Lazy.is_val pools then Array.iter Pool.shutdown (Lazy.force pools) in
   Stdlib.at_exit at_exit_shutdown;
@@ -331,6 +372,8 @@ let () =
           Alcotest.test_case "nested map_ordered does not deadlock" `Quick test_nested_map_ordered;
           Alcotest.test_case "map_fold stops pulling on Error" `Quick test_reduce_stops_pulling;
           Alcotest.test_case "chunk plans are size-deterministic" `Quick test_chunk_plan;
+          Alcotest.test_case "kb fan-out at the par_threshold boundary" `Quick
+            test_kb_par_threshold_boundary;
         ] );
       ( "budget",
         [
